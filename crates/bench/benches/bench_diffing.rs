@@ -1,0 +1,43 @@
+//! Criterion bench behind Figure 8: diffing-tool cost and the accuracy
+//! computation on an obfuscated-vs-baseline pair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use khaos_bench::{build_baseline, khaos_apply, SEED};
+use khaos_binary::lower_module;
+use khaos_core::KhaosMode;
+use khaos_diff::{
+    deepbindiff_precision_at_1, precision_at_1, Asm2Vec, BinDiff, DeepBinDiff, Differ, Safe,
+    VulSeeker,
+};
+use khaos_workloads::spec2006;
+
+fn bench_diffing(c: &mut Criterion) {
+    let src = spec2006().swap_remove(3);
+    let base = build_baseline(&src);
+    let base_bin = lower_module(&base);
+    let (obf, _) = khaos_apply(&base, KhaosMode::FuFiAll, SEED);
+    let obf_bin = lower_module(&obf);
+
+    let mut group = c.benchmark_group("diffing_mcf");
+    group.sample_size(10);
+    let tools: Vec<Box<dyn Differ>> = vec![
+        Box::new(BinDiff::default()),
+        Box::new(VulSeeker::default()),
+        Box::new(Asm2Vec::default()),
+        Box::new(Safe::default()),
+    ];
+    for tool in tools {
+        group.bench_with_input(
+            BenchmarkId::new("precision_at_1", tool.name()),
+            &tool,
+            |b, t| b.iter(|| precision_at_1(t.as_ref(), &base_bin, &obf_bin)),
+        );
+    }
+    group.bench_function("precision_at_1/DeepBinDiff", |b| {
+        b.iter(|| deepbindiff_precision_at_1(&DeepBinDiff::default(), &base_bin, &obf_bin))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_diffing);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench behind Figure 11: lowering + opcode histogram
+//! distance computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use khaos_bench::{build_baseline, khaos_apply, SEED};
+use khaos_binary::{histogram_distance, lower_module, opcode_histogram};
+use khaos_core::KhaosMode;
+use khaos_workloads::spec2006;
+
+fn bench_histogram(c: &mut Criterion) {
+    let src = spec2006().swap_remove(3);
+    let base = build_baseline(&src);
+    let (obf, _) = khaos_apply(&base, KhaosMode::FuFiAll, SEED);
+
+    let mut group = c.benchmark_group("histogram_mcf");
+    group.sample_size(10);
+    group.bench_function("lower_module", |b| b.iter(|| lower_module(&obf)));
+    let h1 = opcode_histogram(&lower_module(&base));
+    let h2 = opcode_histogram(&lower_module(&obf));
+    group.bench_function("opcode_histogram", |b| {
+        let bin = lower_module(&obf);
+        b.iter(|| opcode_histogram(&bin))
+    });
+    group.bench_function("distance", |b| b.iter(|| histogram_distance(&h1, &h2)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_histogram);
+criterion_main!(benches);

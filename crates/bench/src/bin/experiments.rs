@@ -1,0 +1,56 @@
+//! `experiments` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--quick] <fig6|fig7|fig8|fig9|fig10|fig11|table1|table2|table3|ablations
+//!                        |ext-arity|ext-dataflow|ext-stripped|all>
+//! ```
+//!
+//! The `ext-*` targets are extension experiments beyond the paper's
+//! evaluation: the N-way fusion arity sweep, the §5 data-flow-diffing
+//! prediction, and stripped-binary BinDiff.
+
+use khaos_bench::experiments::{self, Scope};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scope = if quick { Scope::Quick } else { Scope::Full };
+    let targets: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let targets: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
+        vec![
+            "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "ablations", "ext-arity", "ext-dataflow", "ext-stripped",
+        ]
+    } else {
+        targets
+    };
+
+    for t in targets {
+        let start = Instant::now();
+        match t {
+            "fig6" => experiments::fig6(scope),
+            "fig7" => experiments::fig7(scope),
+            "fig8" => experiments::fig8(scope),
+            "fig9" => experiments::fig9(scope),
+            "fig10" => experiments::fig10(scope),
+            "fig11" => experiments::fig11(scope),
+            "table1" => experiments::table1(),
+            "table2" => experiments::table2(scope),
+            "table3" => experiments::table3(),
+            "ablations" => experiments::ablations(scope),
+            "ext-arity" => experiments::ext_arity(scope),
+            "ext-dataflow" => experiments::ext_dataflow(scope),
+            "ext-stripped" => experiments::ext_stripped(scope),
+            other => {
+                eprintln!("unknown experiment `{other}`");
+                eprintln!(
+                    "usage: experiments [--quick] <fig6..fig11|table1..table3|ablations|ext-arity|ext-dataflow|ext-stripped|all>"
+                );
+                std::process::exit(2);
+            }
+        }
+        eprintln!("[{t} took {:.1?}]\n", start.elapsed());
+    }
+}

@@ -1,0 +1,691 @@
+//! The per-figure / per-table experiment drivers.
+//!
+//! Every function prints the same rows or series the paper's artifact
+//! reports. See `EXPERIMENTS.md` at the repository root for paper-vs-
+//! measured notes.
+
+use crate::harness::{
+    build_at, build_baseline, build_config, geomean, geomean_ratio, khaos_apply, measure_cycles,
+    overhead_pct, BuildConfig, SEED,
+};
+use khaos_binary::{histogram_distance, lower_module, opcode_histogram};
+use khaos_bintuner::BinTuner;
+use khaos_core::{FissionStats, FusionStats, KhaosContext, KhaosMode};
+use khaos_diff::{
+    binary_similarity, deepbindiff_precision_at_1, escape_at_k, precision_at_1, Asm2Vec, BinDiff,
+    DeepBinDiff, Differ, Safe, VulSeeker,
+};
+use khaos_ir::Module;
+use khaos_ollvm::OllvmMode;
+use khaos_opt::OptLevel;
+use khaos_workloads::{coreutils, spec2006, spec2017, tiii, TIII_CVES};
+
+/// Scope knob: `--quick` trims the program sets so a laptop run finishes
+/// in seconds; the default covers the full suites.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scope {
+    /// Trimmed program sets.
+    Quick,
+    /// The full suites (T-I: 47 programs, T-II: 108, T-III: 5).
+    Full,
+}
+
+fn t1_programs(scope: Scope) -> Vec<Module> {
+    let mut v = spec2006();
+    v.extend(spec2017());
+    if scope == Scope::Quick {
+        v.truncate(6);
+    }
+    v
+}
+
+fn t2_programs(scope: Scope) -> Vec<Module> {
+    let mut v = coreutils();
+    if scope == Scope::Quick {
+        v.truncate(8);
+    }
+    v
+}
+
+/// **Figure 6** — runtime overhead of the five Khaos modes on the SPEC
+/// CPU 2006/2017 stand-ins, per program plus geometric means.
+pub fn fig6(scope: Scope) {
+    println!("# Figure 6: runtime overhead (%) of Khaos modes, baseline O2+LTO");
+    println!(
+        "{:<20} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "program", "Fission", "Fusion", "FuFi.sep", "FuFi.ori", "FuFi.all"
+    );
+    let mut per_mode: Vec<Vec<f64>> = vec![Vec::new(); KhaosMode::ALL.len()];
+    for src in t1_programs(scope) {
+        let base = build_baseline(&src);
+        let base_cycles = measure_cycles(&base);
+        let mut row = format!("{:<20}", src.name);
+        for (k, mode) in KhaosMode::ALL.iter().enumerate() {
+            let (obf, _) = khaos_apply(&base, *mode, SEED);
+            let oh = overhead_pct(base_cycles, measure_cycles(&obf));
+            per_mode[k].push(oh);
+            row.push_str(&format!(" {oh:>8.1}%"));
+        }
+        println!("{row}");
+    }
+    let mut row = format!("{:<20}", "GEOMEAN");
+    for ohs in &per_mode {
+        row.push_str(&format!(" {:>8.1}%", geomean_ratio(ohs)));
+    }
+    println!("{row}");
+}
+
+/// **Figure 7** — overhead comparison against O-LLVM (Sub/Bog/Fla at
+/// 100%, Fla-10 at 10%) with geometric means per suite.
+pub fn fig7(scope: Scope) {
+    println!("# Figure 7: runtime overhead (%) — O-LLVM vs Khaos (GEOMEAN)");
+    let configs: Vec<(String, BuildConfig)> = vec![
+        ("Sub".into(), BuildConfig::Ollvm(OllvmMode::Sub(1.0))),
+        ("Bog".into(), BuildConfig::Ollvm(OllvmMode::Bog(1.0))),
+        ("Fla".into(), BuildConfig::Ollvm(OllvmMode::Fla(1.0))),
+        ("Fla-10".into(), BuildConfig::Ollvm(OllvmMode::Fla(0.1))),
+        ("Fission".into(), BuildConfig::Khaos(KhaosMode::Fission)),
+        ("Fusion".into(), BuildConfig::Khaos(KhaosMode::Fusion)),
+        ("FuFi.sep".into(), BuildConfig::Khaos(KhaosMode::FuFiSep)),
+        ("FuFi.ori".into(), BuildConfig::Khaos(KhaosMode::FuFiOri)),
+        ("FuFi.all".into(), BuildConfig::Khaos(KhaosMode::FuFiAll)),
+    ];
+    let suites: Vec<(&str, Vec<Module>)> = if scope == Scope::Quick {
+        vec![("SPEC(quick)", t1_programs(scope))]
+    } else {
+        vec![("SPEC CPU 2006", spec2006()), ("SPEC CPU 2017", spec2017())]
+    };
+    print!("{:<14}", "config");
+    for (sname, _) in &suites {
+        print!(" {sname:>15}");
+    }
+    println!(" {:>10}", "GEOMEAN");
+    for (name, cfg) in &configs {
+        let mut all = Vec::new();
+        print!("{name:<14}");
+        for (_, programs) in &suites {
+            let mut ohs = Vec::new();
+            for src in programs {
+                let base = build_baseline(src);
+                let base_cycles = measure_cycles(&base);
+                let obf = build_config(&base, *cfg);
+                ohs.push(overhead_pct(base_cycles, measure_cycles(&obf)));
+            }
+            all.extend_from_slice(&ohs);
+            print!(" {:>14.1}%", geomean_ratio(&ohs));
+        }
+        println!(" {:>9.1}%", geomean_ratio(&all));
+    }
+}
+
+/// **Figure 8** — Precision@1 of the five diffing tools against the eight
+/// obfuscation configurations (obfuscated vs un-obfuscated, un-stripped).
+pub fn fig8(scope: Scope) {
+    println!("# Figure 8: diffing accuracy vs obfuscation (T-I + T-II)");
+    println!("#   BinDiff column = normalized whole-binary similarity;");
+    println!("#   learning tools = Precision@1 with relaxed pairing (paper 4.2)");
+    let configs = BuildConfig::figure8_set();
+    let mut programs = t1_programs(scope);
+    programs.extend(t2_programs(scope));
+
+    print!("{:<10}", "config");
+    for t in ["BinDiff", "VulSeeker", "Asm2Vec", "SAFE", "DeepBinDiff"] {
+        print!(" {t:>11}");
+    }
+    println!();
+
+    for cfg in configs {
+        let mut scores = vec![Vec::new(); 5];
+        for src in &programs {
+            let base = build_baseline(src);
+            let base_bin = lower_module(&base);
+            let obf = build_config(&base, cfg);
+            let obf_bin = lower_module(&obf);
+
+            scores[0].push(binary_similarity(&BinDiff::default(), &base_bin, &obf_bin));
+            scores[1].push(precision_at_1(&VulSeeker::default(), &base_bin, &obf_bin));
+            scores[2].push(precision_at_1(&Asm2Vec::default(), &base_bin, &obf_bin));
+            scores[3].push(precision_at_1(&Safe::default(), &base_bin, &obf_bin));
+            scores[4].push(deepbindiff_precision_at_1(
+                &DeepBinDiff::default(),
+                &base_bin,
+                &obf_bin,
+            ));
+        }
+        print!("{:<10}", cfg.name());
+        for s in &scores {
+            let avg: f64 = s.iter().sum::<f64>() / s.len().max(1) as f64;
+            print!(" {avg:>11.3}");
+        }
+        println!();
+    }
+}
+
+/// The SPECint 2006 + SPECspeed 2017 subset plotted in Figure 9.
+fn fig9_names() -> Vec<&'static str> {
+    vec![
+        "400.perlbench",
+        "401.bzip2",
+        "429.mcf",
+        "445.gobmk",
+        "456.hmmer",
+        "458.sjeng",
+        "462.libquantum",
+        "464.h264ref",
+        "473.astar",
+        "483.xalancbmk",
+        "600.perlbench_s",
+        "605.mcf_s",
+        "620.omnetpp_s",
+        "623.xalancbmk_s",
+        "625.x264_s",
+        "631.deepsjeng_s",
+        "641.leela_s",
+        "657.xz_s",
+    ]
+}
+
+/// **Figure 9** — BinDiff similarity of BinTuner and Khaos builds against
+/// `O0`–`O3` reference builds, plus BinTuner's runtime overhead against
+/// the paper's `O2+LTO` Khaos baseline (paper reports 30.35%).
+pub fn fig9(scope: Scope) {
+    println!("# Figure 9: BinDiff similarity — BinTuner vs Khaos (FuFi.all)");
+    let names = fig9_names();
+    let mut programs: Vec<Module> = spec2006()
+        .into_iter()
+        .chain(spec2017())
+        .filter(|m| names.contains(&m.name.as_str()))
+        .collect();
+    if scope == Scope::Quick {
+        programs.truncate(4);
+    }
+
+    let differ = BinDiff::default();
+    println!(
+        "{:<18} {:>8} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "program", "BT/O0", "BT/O1", "BT/O2", "BT/O3", "KH/O0", "KH/O1", "KH/O2", "KH/O3", "BT-ovh%"
+    );
+    let mut bt_cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let mut kh_cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let mut bt_overheads = Vec::new();
+    for src in &programs {
+        let refs: Vec<_> = OptLevel::ALL.iter().map(|l| lower_module(&build_at(src, *l))).collect();
+
+        let tuned = BinTuner { budget: 16, seed: SEED }.tune(src);
+        let baseline = build_baseline(src);
+        let base_cycles = measure_cycles(&baseline);
+        let bt_overhead = overhead_pct(base_cycles, measure_cycles(&tuned.module));
+        bt_overheads.push(bt_overhead);
+
+        let (khaos, _) = khaos_apply(&baseline, KhaosMode::FuFiAll, SEED);
+        let khaos_bin = lower_module(&khaos);
+
+        let mut row = format!("{:<18}", src.name);
+        for (k, r) in refs.iter().enumerate() {
+            let s = binary_similarity(&differ, r, &tuned.binary);
+            bt_cols[k].push(s);
+            row.push_str(&format!(" {s:>8.3}"));
+        }
+        row.push_str("  ");
+        for (k, r) in refs.iter().enumerate() {
+            let s = binary_similarity(&differ, r, &khaos_bin);
+            kh_cols[k].push(s);
+            row.push_str(&format!(" {s:>8.3}"));
+        }
+        row.push_str(&format!(" {bt_overhead:>9.1}%"));
+        println!("{row}");
+    }
+    let mut row = format!("{:<18}", "GEOMEAN");
+    for c in &bt_cols {
+        row.push_str(&format!(" {:>8.3}", geomean(c)));
+    }
+    row.push_str("  ");
+    for c in &kh_cols {
+        row.push_str(&format!(" {:>8.3}", geomean(c)));
+    }
+    row.push_str(&format!(" {:>9.1}%", geomean_ratio(&bt_overheads)));
+    println!("{row}");
+    println!("# paper: Khaos scores well below BinTuner at every level; BinTuner overhead 30.35%");
+}
+
+/// **Figure 10** — escape@1/10/50 of the T-III vulnerable functions under
+/// each obfuscation (Fla at 100% here, as in the paper).
+pub fn fig10(_scope: Scope) {
+    println!("# Figure 10: escape ratio of vulnerable functions (T-III)");
+    let configs: Vec<(String, BuildConfig)> = vec![
+        ("Sub".into(), BuildConfig::Ollvm(OllvmMode::Sub(1.0))),
+        ("Bog".into(), BuildConfig::Ollvm(OllvmMode::Bog(1.0))),
+        ("Fla".into(), BuildConfig::Ollvm(OllvmMode::Fla(1.0))),
+        ("FuFi.sep".into(), BuildConfig::Khaos(KhaosMode::FuFiSep)),
+        ("FuFi.ori".into(), BuildConfig::Khaos(KhaosMode::FuFiOri)),
+        ("FuFi.all".into(), BuildConfig::Khaos(KhaosMode::FuFiAll)),
+    ];
+    let tools: Vec<(&str, Box<dyn Differ>)> = vec![
+        ("VulSeeker", Box::new(VulSeeker::default())),
+        ("Asm2Vec", Box::new(Asm2Vec::default())),
+        ("SAFE", Box::new(Safe::default())),
+    ];
+    let programs = tiii();
+
+    for k in [1usize, 10, 50] {
+        println!("\n## escape@{k}");
+        print!("{:<10}", "config");
+        for (t, _) in &tools {
+            print!(" {t:>10}");
+        }
+        println!();
+        for (name, cfg) in &configs {
+            print!("{name:<10}");
+            for (_, tool) in &tools {
+                let mut ratios = Vec::new();
+                for src in &programs {
+                    let base = build_baseline(src);
+                    let base_bin = lower_module(&base);
+                    let obf = build_config(&base, *cfg);
+                    let obf_bin = lower_module(&obf);
+                    ratios.push(escape_at_k(tool.as_ref(), &base_bin, &obf_bin, k));
+                }
+                let avg: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+                print!(" {avg:>10.2}");
+            }
+            println!();
+        }
+    }
+}
+
+/// **Figure 11** — normalized opcode-histogram distance of every
+/// configuration against the baseline build.
+pub fn fig11(scope: Scope) {
+    println!("# Figure 11: opcode histogram distance (normalized per suite)");
+    let mut configs: Vec<(String, Option<BuildConfig>)> = vec![
+        ("Sub".into(), Some(BuildConfig::Ollvm(OllvmMode::Sub(1.0)))),
+        ("Bog".into(), Some(BuildConfig::Ollvm(OllvmMode::Bog(1.0)))),
+        ("Fla-10".into(), Some(BuildConfig::Ollvm(OllvmMode::Fla(0.1)))),
+        ("BinTuner".into(), None), // handled specially
+    ];
+    configs.extend(
+        KhaosMode::ALL
+            .iter()
+            .map(|m| (m.name().to_string(), Some(BuildConfig::Khaos(*m)))),
+    );
+    let programs = t1_programs(scope);
+
+    // distances[config][program]
+    let mut distances: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    let mut names: Vec<String> = Vec::new();
+    for src in &programs {
+        names.push(src.name.clone());
+        let base = build_baseline(src);
+        let base_hist = opcode_histogram(&lower_module(&base));
+        for (ci, (_, cfg)) in configs.iter().enumerate() {
+            let obf_bin = match cfg {
+                Some(c) => lower_module(&build_config(&base, *c)),
+                None => BinTuner { budget: 8, seed: SEED }.tune(src).binary,
+            };
+            let h = opcode_histogram(&obf_bin);
+            distances[ci].push(histogram_distance(&base_hist, &h));
+        }
+    }
+    // Normalize by the max distance over everything (the paper's scheme).
+    let max = distances
+        .iter()
+        .flat_map(|v| v.iter())
+        .cloned()
+        .fold(1e-9f64, f64::max);
+    print!("{:<20}", "program");
+    for (n, _) in &configs {
+        print!(" {n:>9}");
+    }
+    println!();
+    for (pi, pname) in names.iter().enumerate() {
+        print!("{pname:<20}");
+        for d in &distances {
+            print!(" {:>9.3}", d[pi] / max);
+        }
+        println!();
+    }
+    print!("{:<20}", "GEOMEAN");
+    for d in &distances {
+        let norm: Vec<f64> = d.iter().map(|x| x / max).collect();
+        print!(" {:>9.3}", geomean(&norm));
+    }
+    println!();
+}
+
+/// **Table 1** — the diffing-tool characteristics summary.
+pub fn table1() {
+    println!("# Table 1: chosen diffing works");
+    println!(
+        "{:<12} {:<12} {:<7} {:<7} {:<7} {:<10}",
+        "diffing", "granularity", "symbol", "time", "memory", "call-graph"
+    );
+    println!(
+        "{:<12} {:<12} {:<7} {:<7} {:<7} {:<10}",
+        "", "", "relying", "heavy", "heavy", "lacking"
+    );
+    for (name, gran, sym, time, mem, cg) in [
+        ("BinDiff", "function", "Y", "N", "N", "N"),
+        ("VulSeeker", "function", "N", "Y", "Y", "Y"),
+        ("Asm2Vec", "function", "N", "N", "N", "Y"),
+        ("SAFE", "function", "N", "N", "N", "Y"),
+        ("DeepBinDiff", "basic block", "N", "Y", "Y", "N"),
+    ] {
+        println!("{name:<12} {gran:<12} {sym:<7} {time:<7} {mem:<7} {cg:<10}");
+    }
+}
+
+/// **Table 2** — fission/fusion internal statistics per suite.
+pub fn table2(scope: Scope) {
+    println!("# Table 2: statistics of the fission and the fusion");
+    let suites: Vec<(&str, Vec<Module>)> = if scope == Scope::Quick {
+        vec![("SPEC2006(q)", {
+            let mut v = spec2006();
+            v.truncate(4);
+            v
+        })]
+    } else {
+        vec![
+            ("SPEC CPU 2006", spec2006()),
+            ("SPEC CPU 2017", spec2017()),
+            ("CoreUtils", coreutils()),
+        ]
+    };
+    println!(
+        "{:<16} {:>12} {:>8} {:>8} {:>13} {:>8} {:>8}",
+        "suite", "FissionRatio", "#BB", "RR", "FusionRatio", "#RP", "#HBB"
+    );
+    for (name, programs) in suites {
+        let mut fi = FissionStats::default();
+        let mut fu = FusionStats::default();
+        for src in &programs {
+            let base = build_baseline(src);
+            // Fission stats come from a pure-fission build; fusion stats
+            // from a pure-fusion build (the paper measures the primitives
+            // individually, "without the combination").
+            let (_, ctx) = khaos_apply(&base, KhaosMode::Fission, SEED);
+            fi.merge(&ctx.fission_stats);
+            let (_, ctx) = khaos_apply(&base, KhaosMode::Fusion, SEED);
+            fu.merge(&ctx.fusion_stats);
+        }
+        println!(
+            "{:<16} {:>11.0}% {:>8.2} {:>7.0}% {:>12.0}% {:>8.2} {:>8.2}",
+            name,
+            fi.ratio() * 100.0,
+            fi.avg_blocks(),
+            fi.reduced_ratio() * 100.0,
+            fu.ratio() * 100.0,
+            fu.avg_reduced_params(),
+            fu.avg_innocuous(),
+        );
+    }
+    println!("# paper: Fission 116-152%, #BB 5.3-6.5, RR 34-44%; Fusion 97-99%, #RP 1.2-1.5, #HBB 1.0-1.9");
+}
+
+/// **Table 3** — the CVE inventory of the T-III suite.
+pub fn table3() {
+    println!("# Table 3: vulnerable functions of Test Suite III");
+    println!("{:<16} {:<28} CVE", "program", "function");
+    let mut total = 0;
+    for (prog, funcs) in TIII_CVES {
+        for (f, cve) in *funcs {
+            println!("{prog:<16} {f:<28} {cve}");
+            total += 1;
+        }
+    }
+    println!("total vulnerable functions: {total}");
+}
+
+/// Ablation: the data-flow reduction, parameter compression and deep
+/// fusion switches called out in DESIGN.md.
+pub fn ablations(scope: Scope) {
+    use khaos_core::KhaosOptions;
+    println!("# Ablations: Khaos design-choice switches");
+    let programs = {
+        let mut v = t1_programs(Scope::Quick);
+        if scope == Scope::Quick {
+            v.truncate(3);
+        }
+        v
+    };
+
+    let run = |name: &str, options: KhaosOptions, mode: KhaosMode| {
+        let mut ohs = Vec::new();
+        let mut fi = FissionStats::default();
+        let mut fu = FusionStats::default();
+        for src in &programs {
+            let base = build_baseline(src);
+            let base_cycles = measure_cycles(&base);
+            let mut m = base.clone();
+            let mut ctx = KhaosContext::with_options(SEED, options.clone());
+            mode.apply(&mut m, &mut ctx).expect("ablation build");
+            ohs.push(overhead_pct(base_cycles, measure_cycles(&m)));
+            fi.merge(&ctx.fission_stats);
+            fu.merge(&ctx.fusion_stats);
+        }
+        println!(
+            "{:<34} overhead {:>7.1}%  paramsReduced {:>4}  #RP {:>5.2}  deepPairs {:>4}",
+            name,
+            geomean_ratio(&ohs),
+            fi.params_reduced,
+            fu.avg_reduced_params(),
+            fu.deep_fused_pairs,
+        );
+    };
+
+    run("Fission (default)", KhaosOptions::default(), KhaosMode::Fission);
+    run(
+        "Fission w/o data-flow reduction",
+        KhaosOptions { data_flow_reduction: false, ..Default::default() },
+        KhaosMode::Fission,
+    );
+    run(
+        "Fission naive regions (min_value 0)",
+        KhaosOptions { fission_min_value: 0.0, fission_max_regions: 64, ..Default::default() },
+        KhaosMode::Fission,
+    );
+    run("Fusion (default)", KhaosOptions::default(), KhaosMode::Fusion);
+    run(
+        "Fusion w/o param compression",
+        KhaosOptions { parameter_compression: false, ..Default::default() },
+        KhaosMode::Fusion,
+    );
+    run(
+        "Fusion w/o deep fusion",
+        KhaosOptions { deep_fusion: false, ..Default::default() },
+        KhaosMode::Fusion,
+    );
+}
+
+/// **Extension E10** — N-way fusion arity sweep (`ext-arity`).
+///
+/// Paper §3.3 fixes the fusion arity at two "to balance the performance
+/// overhead and the obfuscation effect" and §A.1's tag-bit budget caps
+/// the general form at four constituents. This sweep measures the
+/// trade-off the paper asserts: overhead and anti-diffing effect as the
+/// arity grows.
+pub fn ext_arity(scope: Scope) {
+    use crate::harness::khaos_apply_nway;
+    println!("# Extension: N-way fusion arity sweep (fusion-only builds)");
+    println!(
+        "{:<8} {:>10} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "arity", "overhead", "BinDiff", "Asm2Vec", "SAFE", "DataFlow", "fus/funcs"
+    );
+    let programs = t1_programs(scope);
+    for arity in 2..=4usize {
+        let mut ohs = Vec::new();
+        let mut bindiff = Vec::new();
+        let mut asm2vec = Vec::new();
+        let mut safe = Vec::new();
+        let mut dataflow = Vec::new();
+        let mut fus_funcs = 0usize;
+        let mut eligible = 0usize;
+        for src in &programs {
+            let base = build_baseline(src);
+            let base_cycles = measure_cycles(&base);
+            let base_bin = lower_module(&base);
+            let (obf, ctx) = khaos_apply_nway(&base, arity, SEED);
+            ohs.push(overhead_pct(base_cycles, measure_cycles(&obf)));
+            let obf_bin = lower_module(&obf);
+            bindiff.push(binary_similarity(&BinDiff::default(), &base_bin, &obf_bin));
+            asm2vec.push(precision_at_1(&Asm2Vec::default(), &base_bin, &obf_bin));
+            safe.push(precision_at_1(&Safe::default(), &base_bin, &obf_bin));
+            dataflow.push(precision_at_1(&khaos_diff::DataFlowDiff::default(), &base_bin, &obf_bin));
+            fus_funcs += ctx.fusion_stats.fus_funcs;
+            eligible += ctx.fusion_stats.eligible_funcs;
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        println!(
+            "{:<8} {:>9.1}% {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>5}/{:<4}",
+            arity,
+            geomean_ratio(&ohs),
+            avg(&bindiff),
+            avg(&asm2vec),
+            avg(&safe),
+            avg(&dataflow),
+            fus_funcs,
+            eligible,
+        );
+    }
+    println!("# expectation: overhead grows with arity; diffing accuracy falls;");
+    println!("# fus/funcs shrinks (each fusFunc swallows more functions)");
+
+    // Same sweep at the paper's obfuscation-effect-first operating point:
+    // fission first, then N-way fusion over sepFuncs + untouched originals
+    // (the arity-k analogue of FuFi.all).
+    println!("\n## FuFi.all at arity k (fission + N-way fusion)");
+    println!(
+        "{:<8} {:>10} {:>9} {:>9} {:>9}",
+        "arity", "overhead", "BinDiff", "Asm2Vec", "SAFE"
+    );
+    let programs = t1_programs(if scope == Scope::Quick { Scope::Quick } else { Scope::Full });
+    for arity in 2..=4usize {
+        let mut ohs = Vec::new();
+        let mut bindiff = Vec::new();
+        let mut asm2vec = Vec::new();
+        let mut safe = Vec::new();
+        for src in &programs {
+            let base = build_baseline(src);
+            let base_cycles = measure_cycles(&base);
+            let base_bin = lower_module(&base);
+            let mut m = base.clone();
+            let mut ctx = KhaosContext::new(SEED);
+            khaos_core::fufi_n(&mut m, &mut ctx, arity).expect("fufi_n build");
+            khaos_opt::optimize(&mut m, &khaos_opt::OptOptions::baseline());
+            ohs.push(overhead_pct(base_cycles, measure_cycles(&m)));
+            let obf_bin = lower_module(&m);
+            bindiff.push(binary_similarity(&BinDiff::default(), &base_bin, &obf_bin));
+            asm2vec.push(precision_at_1(&Asm2Vec::default(), &base_bin, &obf_bin));
+            safe.push(precision_at_1(&Safe::default(), &base_bin, &obf_bin));
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        println!(
+            "{:<8} {:>9.1}% {:>9.3} {:>9.3} {:>9.3}",
+            arity,
+            geomean_ratio(&ohs),
+            avg(&bindiff),
+            avg(&asm2vec),
+            avg(&safe),
+        );
+    }
+}
+
+/// **Extension E11** — the data-flow-representation differ (`ext-dataflow`).
+///
+/// Paper §5: *"we predict the potential of data flow representation can
+/// be further tapped."* [`khaos_diff::DataFlowDiff`] embeds def-use-chain
+/// features only; this experiment reruns the Figure-8 protocol with it
+/// alongside the control-flow-reliant tools.
+pub fn ext_dataflow(scope: Scope) {
+    println!("# Extension: data-flow diffing (paper section-5 prediction)");
+    println!("#   Precision@1, relaxed pairing — higher = more Khaos-resistant");
+    let configs = BuildConfig::figure8_set();
+    let mut programs = t1_programs(scope);
+    programs.extend(t2_programs(scope));
+
+    let tools: Vec<(&str, Box<dyn Differ>)> = vec![
+        ("VulSeeker", Box::new(VulSeeker::default())),
+        ("Asm2Vec", Box::new(Asm2Vec::default())),
+        ("SAFE", Box::new(Safe::default())),
+        ("DF/intra", Box::new(khaos_diff::DataFlowDiff::intra_only())),
+        ("DataFlow", Box::new(khaos_diff::DataFlowDiff::default())),
+    ];
+    print!("{:<10}", "config");
+    for (t, _) in &tools {
+        print!(" {t:>11}");
+    }
+    println!();
+    for cfg in configs {
+        let mut scores = vec![Vec::new(); tools.len()];
+        for src in &programs {
+            let base = build_baseline(src);
+            let base_bin = lower_module(&base);
+            let obf = build_config(&base, cfg);
+            let obf_bin = lower_module(&obf);
+            for (k, (_, tool)) in tools.iter().enumerate() {
+                scores[k].push(precision_at_1(tool.as_ref(), &base_bin, &obf_bin));
+            }
+        }
+        print!("{:<10}", cfg.name());
+        for s in &scores {
+            let avg: f64 = s.iter().sum::<f64>() / s.len().max(1) as f64;
+            print!(" {avg:>11.3}");
+        }
+        println!();
+    }
+    println!("# reading: DataFlow is near-immune to intra-procedural obfuscation");
+    println!("# (Fla-10 row) and beats the call-graph tool (VulSeeker) under every");
+    println!("# Khaos mode; sequence embeddings still edge it out after fission —");
+    println!("# see EXPERIMENTS.md E11 for the honest verdict on the section-5 claim");
+}
+
+/// **Extension E12** — stripped-binary diffing (`ext-stripped`).
+///
+/// The paper highlights that BinDiff's resilience comes from symbol
+/// names on un-stripped binaries (§4.2, Table 1). Real embedded firmware
+/// is stripped; this experiment reruns BinDiff with stripped targets to
+/// quantify how much of its accuracy is the symbol table.
+pub fn ext_stripped(scope: Scope) {
+    println!("# Extension: BinDiff with stripped targets (symbols removed)");
+    println!(
+        "{:<10} {:>13} {:>13} {:>11} {:>11}",
+        "config", "sim/unstrip", "sim/strip", "P@1/unstrip", "P@1/strip"
+    );
+    let configs: Vec<BuildConfig> = vec![
+        BuildConfig::Ollvm(OllvmMode::Sub(1.0)),
+        BuildConfig::Ollvm(OllvmMode::Fla(0.1)),
+        BuildConfig::Khaos(KhaosMode::Fission),
+        BuildConfig::Khaos(KhaosMode::Fusion),
+        BuildConfig::Khaos(KhaosMode::FuFiAll),
+    ];
+    let programs = t1_programs(scope);
+    for cfg in configs {
+        let tool = BinDiff::default();
+        let mut sim_u = Vec::new();
+        let mut sim_s = Vec::new();
+        let mut p_u = Vec::new();
+        let mut p_s = Vec::new();
+        for src in &programs {
+            let base = build_baseline(src);
+            let base_bin = lower_module(&base);
+            let obf = build_config(&base, cfg);
+            let obf_bin = lower_module(&obf);
+            let mut stripped = obf_bin.clone();
+            stripped.strip();
+            sim_u.push(binary_similarity(&tool, &base_bin, &obf_bin));
+            sim_s.push(binary_similarity(&tool, &base_bin, &stripped));
+            p_u.push(precision_at_1(&tool, &base_bin, &obf_bin));
+            p_s.push(precision_at_1(&tool, &base_bin, &stripped));
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        println!(
+            "{:<10} {:>13.3} {:>13.3} {:>11.3} {:>11.3}",
+            cfg.name(),
+            avg(&sim_u),
+            avg(&sim_s),
+            avg(&p_u),
+            avg(&p_s)
+        );
+    }
+    println!("# expectation: stripping costs BinDiff accuracy everywhere, and");
+    println!("# under Khaos the structural fallback has nothing left to hold onto");
+}

@@ -1,0 +1,176 @@
+//! Shared experiment plumbing: build pipelines, measurement, statistics.
+
+use khaos_core::{KhaosContext, KhaosMode};
+use khaos_ir::Module;
+use khaos_ollvm::OllvmMode;
+use khaos_opt::{optimize, OptLevel, OptOptions};
+use khaos_vm::{run_with_config, RunConfig};
+
+/// The obfuscation seed used across all experiments (determinism).
+pub const SEED: u64 = 0xC60_2023;
+
+/// One build configuration evaluated in the figures.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BuildConfig {
+    /// Un-obfuscated baseline at `O2 + LTO` (the paper's baseline).
+    Baseline,
+    /// An O-LLVM transform over the baseline.
+    Ollvm(OllvmMode),
+    /// A Khaos mode over the baseline.
+    Khaos(KhaosMode),
+}
+
+impl BuildConfig {
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> String {
+        match self {
+            BuildConfig::Baseline => "Baseline".into(),
+            BuildConfig::Ollvm(m) => m.name(),
+            BuildConfig::Khaos(m) => m.name().into(),
+        }
+    }
+
+    /// The eight obfuscated configurations of Figure 8/11, in order.
+    pub fn figure8_set() -> Vec<BuildConfig> {
+        let mut v: Vec<BuildConfig> =
+            OllvmMode::STANDARD.iter().map(|m| BuildConfig::Ollvm(*m)).collect();
+        v.extend(KhaosMode::ALL.iter().map(|m| BuildConfig::Khaos(*m)));
+        v
+    }
+}
+
+/// Optimizes a freshly-generated module at the paper's baseline level
+/// (`O2` with LTO).
+pub fn build_baseline(src: &Module) -> Module {
+    let mut m = src.clone();
+    optimize(&mut m, &OptOptions::baseline());
+    m
+}
+
+/// Builds at an explicit optimization level without LTO (Figure 9 axes).
+pub fn build_at(src: &Module, level: OptLevel) -> Module {
+    let mut m = src.clone();
+    optimize(&mut m, &OptOptions::level(level));
+    m
+}
+
+/// Applies a Khaos mode to an already-optimized module, followed by the
+/// rest of the compiler pipeline (`O2 + LTO` again): Khaos schedules its
+/// passes in the middle-end *before* the regular optimizations, so the
+/// inliner runs over the restructured code — thinned `remFunc`s get
+/// inlined into their callers and disappear (the paper's negative
+/// overhead cases), while `sepFunc`s/`fusFunc`s are pinned `noinline`.
+pub fn khaos_apply(baseline: &Module, mode: KhaosMode, seed: u64) -> (Module, KhaosContext) {
+    let mut m = baseline.clone();
+    let mut ctx = KhaosContext::new(seed);
+    mode.apply(&mut m, &mut ctx).expect("khaos obfuscation produced invalid IR");
+    optimize(&mut m, &OptOptions::baseline());
+    (m, ctx)
+}
+
+/// Applies the N-way fusion extension (arity 2–4) at the same pipeline
+/// position as [`khaos_apply`] (for the `ext-arity` sweep).
+///
+/// # Panics
+/// Panics when the arity is outside `2..=4` or the transform produces
+/// invalid IR (both are harness bugs, surfaced loudly).
+pub fn khaos_apply_nway(baseline: &Module, arity: usize, seed: u64) -> (Module, KhaosContext) {
+    let mut m = baseline.clone();
+    let mut ctx = KhaosContext::new(seed);
+    khaos_core::fusion_n(&mut m, &mut ctx, arity).expect("n-way fusion produced invalid IR");
+    optimize(&mut m, &OptOptions::baseline());
+    (m, ctx)
+}
+
+/// Applies an O-LLVM mode to an already-optimized module (same pipeline
+/// position and post-pass optimization as Khaos).
+pub fn obfuscate_ollvm(baseline: &Module, mode: OllvmMode, seed: u64) -> Module {
+    let mut m = baseline.clone();
+    mode.apply(&mut m, seed);
+    optimize(&mut m, &OptOptions::baseline());
+    m
+}
+
+/// Builds the module for `config` from an optimized baseline.
+pub fn build_config(baseline: &Module, config: BuildConfig) -> Module {
+    match config {
+        BuildConfig::Baseline => baseline.clone(),
+        BuildConfig::Ollvm(m) => obfuscate_ollvm(baseline, m, SEED),
+        BuildConfig::Khaos(m) => khaos_apply(baseline, m, SEED).0,
+    }
+}
+
+/// Simulated runtime of a module in cycles.
+///
+/// # Panics
+/// Panics when the program faults — obfuscated programs must run.
+pub fn measure_cycles(m: &Module) -> u64 {
+    let cfg = RunConfig { inputs: vec![3, 7, 11], ..RunConfig::default() };
+    run_with_config(m, cfg).unwrap_or_else(|e| panic!("{} failed to run: {e}", m.name)).cycles
+}
+
+/// Percentage overhead of `obf` relative to `base`.
+pub fn overhead_pct(base: u64, obf: u64) -> f64 {
+    (obf as f64 / base as f64 - 1.0) * 100.0
+}
+
+/// Geometric mean of `(1 + overhead_i)`, expressed again as a percentage
+/// overhead — the paper's GEOMEAN columns.
+pub fn geomean_ratio(overheads_pct: &[f64]) -> f64 {
+    if overheads_pct.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 =
+        overheads_pct.iter().map(|o| ((o / 100.0) + 1.0).max(1e-6).ln()).sum();
+    ((log_sum / overheads_pct.len() as f64).exp() - 1.0) * 100.0
+}
+
+/// Plain geometric mean of positive values (similarity scores etc.).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-9).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use khaos_workloads::coreutils_program;
+
+    #[test]
+    fn geomean_ratio_matches_hand_calc() {
+        // 10% and 21% -> sqrt(1.1*1.21) = 1.15369 -> 15.37%
+        let g = geomean_ratio(&[10.0, 21.0]);
+        assert!((g - 15.369).abs() < 0.01, "{g}");
+        assert_eq!(geomean_ratio(&[]), 0.0);
+    }
+
+    #[test]
+    fn negative_overheads_supported() {
+        let g = geomean_ratio(&[-10.0, 10.0]);
+        assert!(g < 0.5 && g > -1.5, "{g}");
+    }
+
+    #[test]
+    fn overhead_pct_signs() {
+        assert!((overhead_pct(100, 107) - 7.0).abs() < 1e-9);
+        assert!((overhead_pct(100, 93) + 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn build_config_names() {
+        assert_eq!(BuildConfig::Khaos(KhaosMode::FuFiOri).name(), "FuFi.ori");
+        assert_eq!(BuildConfig::figure8_set().len(), 8);
+    }
+
+    #[test]
+    fn pipeline_measures_deterministically() {
+        let src = coreutils_program("cat", 6);
+        let base = build_baseline(&src);
+        assert_eq!(measure_cycles(&base), measure_cycles(&base));
+        let (obf, _) = khaos_apply(&base, KhaosMode::FuFiOri, SEED);
+        let _ = measure_cycles(&obf); // must not fault
+    }
+}

@@ -1,0 +1,14 @@
+//! # khaos-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§4).
+//! Each `figN`/`tableN` function prints the same rows/series the paper
+//! reports; `EXPERIMENTS.md` records the measured numbers next to the
+//! paper's. The `experiments` binary dispatches to these functions.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{
+    build_baseline, build_config, geomean, geomean_ratio, khaos_apply, khaos_apply_nway,
+    measure_cycles, obfuscate_ollvm, overhead_pct, BuildConfig, SEED,
+};

@@ -1,0 +1,429 @@
+//! # khaos-binary — synthetic x86-64-like codegen
+//!
+//! Lowers KIR modules to a machine-code-shaped representation: the
+//! artifact binary diffing tools consume. The point is not code quality —
+//! it is that the *features diffing tools extract* (instruction streams,
+//! opcode mixes, basic-block structure, CFG edges, call graphs, symbol
+//! names, relocations) respond to obfuscation the way real binaries do:
+//!
+//! * calls lower to argument-register moves + stack pushes beyond six
+//!   arguments (so parameter-list compression is visible),
+//! * function addresses lower to `lea` against a relocation whose addend
+//!   carries the fusion tag (paper §A.1),
+//! * block structure and terminators survive, so CFG features shift with
+//!   fission/fusion exactly as the paper describes.
+//!
+//! [`opcode_histogram`] and [`histogram_distance`] implement the Figure 11
+//! metric.
+
+mod lower;
+
+pub use lower::lower_module;
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Machine opcodes (a practical x86-64 subset).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Opcode {
+    Mov,
+    MovImm,
+    Load,
+    Store,
+    Movsx,
+    Movzx,
+    Lea,
+    Add,
+    Sub,
+    Imul,
+    Idiv,
+    Div,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Sar,
+    Neg,
+    Not,
+    Cmp,
+    Test,
+    Setcc,
+    Jmp,
+    Jcc,
+    Call,
+    CallInd,
+    Ret,
+    Push,
+    Pop,
+    Movsd,
+    Addsd,
+    Subsd,
+    Mulsd,
+    Divsd,
+    Ucomisd,
+    Cvtsi2sd,
+    Cvttsd2si,
+    Cvtss2sd,
+    Cvtsd2ss,
+    Xorps,
+    Cmov,
+    Nop,
+}
+
+impl Opcode {
+    /// Every opcode, in a fixed order (histogram dimensions).
+    pub const ALL: [Opcode; 43] = [
+        Opcode::Mov,
+        Opcode::MovImm,
+        Opcode::Load,
+        Opcode::Store,
+        Opcode::Movsx,
+        Opcode::Movzx,
+        Opcode::Lea,
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Imul,
+        Opcode::Idiv,
+        Opcode::Div,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Shl,
+        Opcode::Shr,
+        Opcode::Sar,
+        Opcode::Neg,
+        Opcode::Not,
+        Opcode::Cmp,
+        Opcode::Test,
+        Opcode::Setcc,
+        Opcode::Jmp,
+        Opcode::Jcc,
+        Opcode::Call,
+        Opcode::CallInd,
+        Opcode::Ret,
+        Opcode::Push,
+        Opcode::Pop,
+        Opcode::Movsd,
+        Opcode::Addsd,
+        Opcode::Subsd,
+        Opcode::Mulsd,
+        Opcode::Divsd,
+        Opcode::Ucomisd,
+        Opcode::Cvtsi2sd,
+        Opcode::Cvttsd2si,
+        Opcode::Cvtss2sd,
+        Opcode::Cvtsd2ss,
+        Opcode::Xorps,
+        Opcode::Cmov,
+        Opcode::Nop,
+    ];
+
+    /// Lower-case mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Mov | Opcode::MovImm => "mov",
+            Opcode::Load => "mov.ld",
+            Opcode::Store => "mov.st",
+            Opcode::Movsx => "movsx",
+            Opcode::Movzx => "movzx",
+            Opcode::Lea => "lea",
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::Imul => "imul",
+            Opcode::Idiv => "idiv",
+            Opcode::Div => "div",
+            Opcode::And => "and",
+            Opcode::Or => "or",
+            Opcode::Xor => "xor",
+            Opcode::Shl => "shl",
+            Opcode::Shr => "shr",
+            Opcode::Sar => "sar",
+            Opcode::Neg => "neg",
+            Opcode::Not => "not",
+            Opcode::Cmp => "cmp",
+            Opcode::Test => "test",
+            Opcode::Setcc => "setcc",
+            Opcode::Jmp => "jmp",
+            Opcode::Jcc => "jcc",
+            Opcode::Call => "call",
+            Opcode::CallInd => "call*",
+            Opcode::Ret => "ret",
+            Opcode::Push => "push",
+            Opcode::Pop => "pop",
+            Opcode::Movsd => "movsd",
+            Opcode::Addsd => "addsd",
+            Opcode::Subsd => "subsd",
+            Opcode::Mulsd => "mulsd",
+            Opcode::Divsd => "divsd",
+            Opcode::Ucomisd => "ucomisd",
+            Opcode::Cvtsi2sd => "cvtsi2sd",
+            Opcode::Cvttsd2si => "cvttsd2si",
+            Opcode::Cvtss2sd => "cvtss2sd",
+            Opcode::Cvtsd2ss => "cvtsd2ss",
+            Opcode::Xorps => "xorps",
+            Opcode::Cmov => "cmov",
+            Opcode::Nop => "nop",
+        }
+    }
+}
+
+/// A symbolic reference in an operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SymRef {
+    /// Function by index in [`Binary::functions`].
+    Func(u32),
+    /// Global data symbol.
+    Global(u32),
+    /// External (dynamic) symbol.
+    Ext(u32),
+}
+
+/// A machine operand (already normalized the way diffing tools like
+/// Asm2Vec normalize: concrete addresses abstracted to classes).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MOperand {
+    /// Integer register.
+    Reg(u8),
+    /// Float (XMM) register.
+    FReg(u8),
+    /// Immediate value.
+    Imm(i64),
+    /// Memory via base register + displacement.
+    Mem {
+        /// Base register.
+        base: u8,
+        /// Byte displacement.
+        offset: i32,
+    },
+    /// Symbol-relative reference (RIP-relative in real life).
+    Sym(SymRef),
+    /// Branch target: block index within the function.
+    Label(u32),
+}
+
+/// One machine instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MInst {
+    /// Opcode.
+    pub opcode: Opcode,
+    /// Operands, destination first.
+    pub operands: Vec<MOperand>,
+}
+
+impl MInst {
+    /// Constructs an instruction.
+    pub fn new(opcode: Opcode, operands: Vec<MOperand>) -> Self {
+        MInst { opcode, operands }
+    }
+}
+
+impl fmt::Display for MInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.opcode.mnemonic())?;
+        for (i, o) in self.operands.iter().enumerate() {
+            let sep = if i == 0 { " " } else { ", " };
+            match o {
+                MOperand::Reg(r) => write!(f, "{sep}r{r}")?,
+                MOperand::FReg(r) => write!(f, "{sep}xmm{r}")?,
+                MOperand::Imm(v) => write!(f, "{sep}${v}")?,
+                MOperand::Mem { base, offset } => write!(f, "{sep}[r{base}{offset:+}]")?,
+                MOperand::Sym(SymRef::Func(i)) => write!(f, "{sep}@fn{i}")?,
+                MOperand::Sym(SymRef::Global(i)) => write!(f, "{sep}@gl{i}")?,
+                MOperand::Sym(SymRef::Ext(i)) => write!(f, "{sep}@ext{i}")?,
+                MOperand::Label(l) => write!(f, "{sep}.L{l}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A machine basic block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BinBlock {
+    /// Instructions in order.
+    pub insts: Vec<MInst>,
+    /// Successor block indices within the function.
+    pub succs: Vec<u32>,
+    /// Direct call targets made from this block.
+    pub calls: Vec<SymRef>,
+}
+
+/// Function lineage carried into the binary (the diffing ground truth;
+/// never consulted by the diffing tools themselves, only by the metrics).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BinProvenance {
+    /// Original source functions whose code is inside.
+    pub origins: Vec<String>,
+    /// Free-form markers (e.g. `"vulnerable"`).
+    pub annotations: Vec<String>,
+}
+
+/// A function in the binary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BinFunction {
+    /// Symbol name (`None` when the binary is stripped).
+    pub name: Option<String>,
+    /// Ground-truth lineage.
+    pub provenance: BinProvenance,
+    /// Whether the symbol is exported.
+    pub exported: bool,
+    /// Machine blocks; index 0 is the entry.
+    pub blocks: Vec<BinBlock>,
+}
+
+impl BinFunction {
+    /// Total instruction count.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Number of CFG edges.
+    pub fn edge_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.succs.len()).sum()
+    }
+
+    /// Number of call sites (direct + indirect).
+    pub fn call_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i.opcode, Opcode::Call | Opcode::CallInd))
+            .count()
+    }
+}
+
+/// A relocation: a data slot holding a function address plus addend (the
+/// addend carries fusion tag bits, as in paper §A.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Reloc {
+    /// Target function index.
+    pub func: u32,
+    /// Addend applied at load time.
+    pub addend: i64,
+}
+
+/// External symbol table entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExtSym {
+    /// Dynamic symbol name.
+    pub name: String,
+}
+
+/// A lowered binary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Binary {
+    /// Binary (module) name.
+    pub name: String,
+    /// Functions in layout order.
+    pub functions: Vec<BinFunction>,
+    /// Data relocations against function symbols.
+    pub relocations: Vec<Reloc>,
+    /// Imported externals.
+    pub externals: Vec<ExtSym>,
+    /// True when symbol names have been removed.
+    pub stripped: bool,
+}
+
+impl Binary {
+    /// Removes all symbol names (diffing must then work structurally).
+    pub fn strip(&mut self) {
+        self.stripped = true;
+        for f in &mut self.functions {
+            f.name = None;
+        }
+    }
+
+    /// Total instruction count.
+    pub fn inst_count(&self) -> usize {
+        self.functions.iter().map(BinFunction::inst_count).sum()
+    }
+}
+
+/// Opcode histogram of a binary (the `objdump | histogram` of §4.4).
+pub fn opcode_histogram(b: &Binary) -> BTreeMap<Opcode, u64> {
+    let mut h = BTreeMap::new();
+    for f in &b.functions {
+        for blk in &f.blocks {
+            for i in &blk.insts {
+                *h.entry(i.opcode).or_insert(0) += 1;
+            }
+        }
+    }
+    h
+}
+
+/// Euclidean distance between two opcode histograms, as used by the
+/// paper's Figure 11 (normalization across a set happens in the harness).
+pub fn histogram_distance(a: &BTreeMap<Opcode, u64>, b: &BTreeMap<Opcode, u64>) -> f64 {
+    let mut sum = 0.0f64;
+    for op in Opcode::ALL {
+        let x = *a.get(&op).unwrap_or(&0) as f64;
+        let y = *b.get(&op).unwrap_or(&0) as f64;
+        sum += (x - y) * (x - y);
+    }
+    sum.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_binary(extra_adds: usize) -> Binary {
+        let mut insts = vec![MInst::new(Opcode::MovImm, vec![MOperand::Reg(0), MOperand::Imm(1)])];
+        for _ in 0..extra_adds {
+            insts.push(MInst::new(
+                Opcode::Add,
+                vec![MOperand::Reg(0), MOperand::Imm(1)],
+            ));
+        }
+        insts.push(MInst::new(Opcode::Ret, vec![]));
+        Binary {
+            name: "t".into(),
+            functions: vec![BinFunction {
+                name: Some("f".into()),
+                provenance: BinProvenance { origins: vec!["f".into()], annotations: vec![] },
+                exported: false,
+                blocks: vec![BinBlock { insts, succs: vec![], calls: vec![] }],
+            }],
+            relocations: vec![],
+            externals: vec![],
+            stripped: false,
+        }
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let b = tiny_binary(3);
+        let h = opcode_histogram(&b);
+        assert_eq!(h[&Opcode::Add], 3);
+        assert_eq!(h[&Opcode::Ret], 1);
+        assert_eq!(b.inst_count(), 5);
+    }
+
+    #[test]
+    fn distance_is_metric_like() {
+        let h1 = opcode_histogram(&tiny_binary(0));
+        let h2 = opcode_histogram(&tiny_binary(4));
+        assert_eq!(histogram_distance(&h1, &h1), 0.0);
+        assert_eq!(histogram_distance(&h1, &h2), 4.0);
+        assert_eq!(histogram_distance(&h2, &h1), 4.0);
+    }
+
+    #[test]
+    fn strip_removes_names() {
+        let mut b = tiny_binary(0);
+        b.strip();
+        assert!(b.stripped);
+        assert!(b.functions[0].name.is_none());
+        // Provenance stays: it is ground truth, not a symbol.
+        assert_eq!(b.functions[0].provenance.origins, vec!["f".to_string()]);
+    }
+
+    #[test]
+    fn inst_display() {
+        let i = MInst::new(Opcode::Load, vec![MOperand::Reg(1), MOperand::Mem { base: 5, offset: -8 }]);
+        assert_eq!(i.to_string(), "mov.ld r1, [r5-8]");
+    }
+}

@@ -1,0 +1,240 @@
+//! # khaos-bintuner — the BinTuner comparison baseline
+//!
+//! BinTuner (Ren et al., PLDI 2021) searches *compiler option sequences*
+//! that maximise the binary difference from a reference build, showing how
+//! much "hidden power" plain optimization flags have against diffing.
+//! The paper compares Khaos against it in Figure 9.
+//!
+//! This reproduction searches the same kind of space — toggles over the
+//! scalar pass pipeline, the inliner threshold and LTO — with a seeded
+//! hill-climbing loop (BinTuner's genetic search collapses to this at our
+//! scale), scoring candidates by BinDiff similarity against the `-O0`
+//! build, exactly as the original tool does.
+
+use khaos_binary::{lower_module, Binary};
+use khaos_diff::{binary_similarity, BinDiff};
+use khaos_ir::Module;
+use khaos_opt::{constprop, cse, dce, dfe, inline, mem2reg, simplifycfg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One point in the option space.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TunerConfig {
+    /// mem2reg on/off.
+    pub mem2reg: bool,
+    /// Constant propagation / folding on/off.
+    pub constprop: bool,
+    /// Local CSE on/off.
+    pub cse: bool,
+    /// Dead-code elimination on/off.
+    pub dce: bool,
+    /// CFG simplification on/off.
+    pub simplifycfg: bool,
+    /// Inliner threshold; 0 disables inlining.
+    pub inline_threshold: usize,
+    /// Dead-function elimination (the LTO effect).
+    pub lto: bool,
+    /// Number of pipeline repetitions (1–3).
+    pub rounds: u8,
+}
+
+impl TunerConfig {
+    /// The `-O0` reference configuration.
+    pub fn o0() -> Self {
+        TunerConfig {
+            mem2reg: false,
+            constprop: false,
+            cse: false,
+            dce: false,
+            simplifycfg: false,
+            inline_threshold: 0,
+            lto: false,
+            rounds: 1,
+        }
+    }
+
+    /// Applies this configuration's pipeline to a module.
+    pub fn apply(&self, m: &mut Module) {
+        for _ in 0..self.rounds.clamp(1, 3) {
+            for f in &mut m.functions {
+                if self.mem2reg {
+                    mem2reg::run_function(f);
+                }
+                if self.constprop {
+                    constprop::run_function(f);
+                }
+                if self.cse {
+                    cse::run_function(f);
+                }
+                if self.dce {
+                    dce::run_function(f);
+                }
+                if self.simplifycfg {
+                    simplifycfg::run_function(f);
+                }
+            }
+            if self.inline_threshold > 0 {
+                inline::run_module(
+                    m,
+                    &inline::InlineOptions {
+                        threshold: self.inline_threshold,
+                        allow_exported: self.lto,
+                    },
+                );
+            }
+        }
+        if self.lto {
+            dfe::run_module(m);
+        }
+    }
+
+    fn mutate(&self, rng: &mut StdRng) -> Self {
+        let mut c = *self;
+        match rng.gen_range(0..8u8) {
+            0 => c.mem2reg = !c.mem2reg,
+            1 => c.constprop = !c.constprop,
+            2 => c.cse = !c.cse,
+            3 => c.dce = !c.dce,
+            4 => c.simplifycfg = !c.simplifycfg,
+            5 => c.inline_threshold = [0usize, 16, 48, 96, 160][rng.gen_range(0..5)],
+            6 => c.lto = !c.lto,
+            _ => c.rounds = rng.gen_range(1..=3),
+        }
+        c
+    }
+
+    fn random(rng: &mut StdRng) -> Self {
+        TunerConfig {
+            mem2reg: rng.gen_bool(0.5),
+            constprop: rng.gen_bool(0.5),
+            cse: rng.gen_bool(0.5),
+            dce: rng.gen_bool(0.5),
+            simplifycfg: rng.gen_bool(0.5),
+            inline_threshold: [0usize, 16, 48, 96, 160][rng.gen_range(0..5)],
+            lto: rng.gen_bool(0.5),
+            rounds: rng.gen_range(1..=3),
+        }
+    }
+}
+
+/// Search output.
+#[derive(Clone, Debug)]
+pub struct TunedResult {
+    /// The best configuration found.
+    pub config: TunerConfig,
+    /// Its BinDiff similarity against the `-O0` reference (lower = more
+    /// different = better for BinTuner).
+    pub similarity_vs_o0: f64,
+    /// The tuned module.
+    pub module: Module,
+    /// The tuned binary.
+    pub binary: Binary,
+    /// Candidate evaluations spent.
+    pub evaluations: usize,
+}
+
+/// The iterative search driver.
+#[derive(Clone, Debug)]
+pub struct BinTuner {
+    /// Candidate evaluation budget.
+    pub budget: usize,
+    /// Search seed.
+    pub seed: u64,
+}
+
+impl Default for BinTuner {
+    fn default() -> Self {
+        BinTuner { budget: 24, seed: 0xB17 }
+    }
+}
+
+impl BinTuner {
+    /// Runs the search on `source` (an unoptimized module), maximising
+    /// difference against its `-O0` build.
+    pub fn tune(&self, source: &Module) -> TunedResult {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let differ = BinDiff::default();
+        let baseline = lower_module(source); // -O0 reference
+
+        let evaluate = |cfg: &TunerConfig| -> (f64, Module, Binary) {
+            let mut m = source.clone();
+            cfg.apply(&mut m);
+            let bin = lower_module(&m);
+            let sim = binary_similarity(&differ, &baseline, &bin);
+            (sim, m, bin)
+        };
+
+        let mut best_cfg = TunerConfig::random(&mut rng);
+        let (mut best_sim, mut best_mod, mut best_bin) = evaluate(&best_cfg);
+        let mut evaluations = 1;
+        while evaluations < self.budget {
+            // Mostly hill-climb, occasionally restart (genetic flavour).
+            let cand = if evaluations % 7 == 6 {
+                TunerConfig::random(&mut rng)
+            } else {
+                best_cfg.mutate(&mut rng)
+            };
+            let (sim, m, bin) = evaluate(&cand);
+            evaluations += 1;
+            if sim < best_sim {
+                best_sim = sim;
+                best_cfg = cand;
+                best_mod = m;
+                best_bin = bin;
+            }
+        }
+        TunedResult {
+            config: best_cfg,
+            similarity_vs_o0: best_sim,
+            module: best_mod,
+            binary: best_bin,
+            evaluations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use khaos_workloads::coreutils_program;
+
+    #[test]
+    fn search_reduces_similarity_vs_o0() {
+        let src = coreutils_program("cat", 3);
+        let tuner = BinTuner { budget: 12, seed: 1 };
+        let result = tuner.tune(&src);
+        // Identity config would give 1.0; the search must find something
+        // meaningfully different.
+        assert!(result.similarity_vs_o0 < 0.999, "got {}", result.similarity_vs_o0);
+        assert_eq!(result.evaluations, 12);
+        khaos_ir::verify::assert_valid(&result.module);
+    }
+
+    #[test]
+    fn tuned_module_preserves_behaviour() {
+        let src = coreutils_program("wc", 7);
+        let want = khaos_vm::run_to_completion(&src, &[5]).unwrap();
+        let result = BinTuner { budget: 10, seed: 2 }.tune(&src);
+        let got = khaos_vm::run_to_completion(&result.module, &[5]).unwrap();
+        assert_eq!(want.output, got.output, "optimization must preserve behaviour");
+        assert_eq!(want.exit_code, got.exit_code);
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let src = coreutils_program("ls", 1);
+        let a = BinTuner { budget: 8, seed: 9 }.tune(&src);
+        let b = BinTuner { budget: 8, seed: 9 }.tune(&src);
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.similarity_vs_o0, b.similarity_vs_o0);
+    }
+
+    #[test]
+    fn o0_config_is_identity() {
+        let src = coreutils_program("rm", 4);
+        let mut m = src.clone();
+        TunerConfig::o0().apply(&mut m);
+        assert_eq!(m, src);
+    }
+}

@@ -1,0 +1,152 @@
+//! An Asm2Vec-like differ.
+//!
+//! Asm2Vec learns PV-DM embeddings over random walks of the CFG with
+//! operands normalized. We reproduce the pipeline deterministically:
+//! seeded random walks over block successors generate token sequences;
+//! unigrams, bigrams and trigrams are feature-hashed into a dense vector
+//! (the stand-in for the learned paragraph vector); similarity is cosine.
+//!
+//! The design point the paper exploits: walks never leave the function,
+//! so intra-procedural rewrites barely move the vector, while moving code
+//! across functions (fission/fusion) changes the token distribution
+//! wholesale.
+
+use crate::tokens::block_class_tokens;
+use crate::vector::{add_token, EMB_DIM};
+use crate::Differ;
+use khaos_binary::{BinFunction, Binary};
+
+/// Asm2Vec stand-in. See the module docs.
+#[derive(Clone, Debug)]
+pub struct Asm2Vec {
+    /// Number of random walks per function.
+    pub walks: u32,
+    /// Maximum walk length in blocks.
+    pub walk_len: u32,
+    /// Walk RNG seed (deterministic embeddings).
+    pub seed: u64,
+}
+
+impl Default for Asm2Vec {
+    fn default() -> Self {
+        Asm2Vec { walks: 8, walk_len: 16, seed: 0xA52 }
+    }
+}
+
+/// Tiny xorshift so the crate does not need a rand dependency here.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+fn embed_function(f: &BinFunction, walks: u32, walk_len: u32, seed: u64) -> Vec<f64> {
+    let mut v = vec![0.0; EMB_DIM];
+    if f.blocks.is_empty() {
+        return v;
+    }
+    let per_block: Vec<Vec<String>> = f.blocks.iter().map(block_class_tokens).collect();
+    let mut rng = seed ^ 0x9e3779b97f4a7c15;
+    for w in 0..walks {
+        // Walks start at the entry (like Asm2Vec's edge-sampled sequences)
+        // and at rotating offsets for coverage.
+        let mut cur = if f.blocks.len() > 1 { (w as usize) % f.blocks.len() } else { 0 };
+        let mut sequence: Vec<&str> = Vec::new();
+        for _ in 0..walk_len {
+            for t in &per_block[cur] {
+                sequence.push(t);
+            }
+            let succs = &f.blocks[cur].succs;
+            if succs.is_empty() {
+                break;
+            }
+            cur = succs[(xorshift(&mut rng) % succs.len() as u64) as usize] as usize;
+            if cur >= f.blocks.len() {
+                break;
+            }
+        }
+        // n-gram accumulation (PV-DM context windows).
+        for i in 0..sequence.len() {
+            add_token(&mut v, sequence[i], 1.0);
+            if i + 1 < sequence.len() {
+                let bg = format!("{}|{}", sequence[i], sequence[i + 1]);
+                add_token(&mut v, &bg, 0.5);
+            }
+            if i + 2 < sequence.len() {
+                let tg = format!("{}|{}|{}", sequence[i], sequence[i + 1], sequence[i + 2]);
+                add_token(&mut v, &tg, 0.25);
+            }
+        }
+    }
+    // Length normalization so big functions do not dominate.
+    let n: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if n > 0.0 {
+        for x in &mut v {
+            *x /= n;
+        }
+    }
+    v
+}
+
+impl Differ for Asm2Vec {
+    fn name(&self) -> &'static str {
+        "Asm2Vec"
+    }
+
+    fn embed(&self, bin: &Binary) -> Vec<Vec<f64>> {
+        bin.functions
+            .iter()
+            .map(|f| embed_function(f, self.walks, self.walk_len, self.seed))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::small_binary;
+    use crate::vector::cosine;
+
+    #[test]
+    fn embeddings_are_deterministic() {
+        let b = small_binary("a");
+        let tool = Asm2Vec::default();
+        assert_eq!(tool.embed(&b), tool.embed(&b));
+    }
+
+    #[test]
+    fn distinct_functions_distinct_embeddings() {
+        let b = small_binary("a");
+        let tool = Asm2Vec::default();
+        let e = tool.embed(&b);
+        assert!(cosine(&e[0], &e[1]) < 0.999, "alpha and beta differ");
+    }
+
+    #[test]
+    fn register_renaming_is_invisible() {
+        // Token normalization abstracts register ids: bump every register
+        // number and the embedding must not move.
+        let b = small_binary("a");
+        let mut renamed = b.clone();
+        for f in &mut renamed.functions {
+            for blk in &mut f.blocks {
+                for i in &mut blk.insts {
+                    for o in &mut i.operands {
+                        if let khaos_binary::MOperand::Reg(r) = o {
+                            *o = khaos_binary::MOperand::Reg(r.wrapping_add(1));
+                        }
+                    }
+                }
+            }
+        }
+        let tool = Asm2Vec::default();
+        let e1 = tool.embed(&b);
+        let e2 = tool.embed(&renamed);
+        for (a, b) in e1.iter().zip(&e2) {
+            assert!((cosine(a, b) - 1.0).abs() < 1e-9);
+        }
+    }
+}

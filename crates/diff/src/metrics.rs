@@ -1,0 +1,157 @@
+//! Evaluation metrics — the paper's §4.2 protocol.
+
+use crate::Differ;
+use khaos_binary::{BinProvenance, Binary};
+
+/// The relaxed pairing-success judgment: a query (pre-obfuscation)
+/// function pairs successfully with a candidate when their origin sets
+/// intersect — an `oriFunc` matches any of its `sepFunc`s, its `remFunc`,
+/// or any `fusFunc` it participates in.
+pub fn origins_match(query: &BinProvenance, candidate: &BinProvenance) -> bool {
+    query.origins.iter().any(|o| candidate.origins.iter().any(|c| c == o))
+}
+
+/// `Precision@1`: the ratio of query functions whose top-ranked candidate
+/// is a true (relaxed) match.
+pub fn precision_at_1(tool: &dyn Differ, baseline: &Binary, obf: &Binary) -> f64 {
+    if baseline.functions.is_empty() || obf.functions.is_empty() {
+        return 0.0;
+    }
+    let matrix = tool.similarity_matrix(baseline, obf);
+    let mut hits = 0usize;
+    for (i, row) in matrix.iter().enumerate() {
+        let mut best = 0usize;
+        let mut best_s = f64::MIN;
+        for (j, s) in row.iter().enumerate() {
+            if *s > best_s {
+                best_s = *s;
+                best = j;
+            }
+        }
+        if origins_match(
+            &baseline.functions[i].provenance,
+            &obf.functions[best].provenance,
+        ) {
+            hits += 1;
+        }
+    }
+    hits as f64 / baseline.functions.len() as f64
+}
+
+/// 1-based rank of the first true match for query function `qi` in the
+/// candidate ranking, or `None` when no candidate matches at all.
+pub fn rank_of_true_match(
+    tool: &dyn Differ,
+    baseline: &Binary,
+    obf: &Binary,
+    qi: usize,
+) -> Option<usize> {
+    let matrix = tool.similarity_matrix(baseline, obf);
+    let row = &matrix[qi];
+    let mut order: Vec<usize> = (0..row.len()).collect();
+    order.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite sims").then(a.cmp(&b)));
+    let qprov = &baseline.functions[qi].provenance;
+    order
+        .iter()
+        .position(|&j| origins_match(qprov, &obf.functions[j].provenance))
+        .map(|p| p + 1)
+}
+
+/// `escape@k` over the vulnerable functions of the baseline binary: the
+/// fraction whose true match ranks *worse* than `k` (higher = better
+/// hiding). Functions are "vulnerable" when annotated as such.
+pub fn escape_at_k(tool: &dyn Differ, baseline: &Binary, obf: &Binary, k: usize) -> f64 {
+    let vulnerable: Vec<usize> = baseline
+        .functions
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.provenance.annotations.iter().any(|a| a == "vulnerable"))
+        .map(|(i, _)| i)
+        .collect();
+    if vulnerable.is_empty() {
+        return 0.0;
+    }
+    let escaped = vulnerable
+        .iter()
+        .filter(|&&qi| match rank_of_true_match(tool, baseline, obf, qi) {
+            Some(r) => r > k,
+            None => true,
+        })
+        .count();
+    escaped as f64 / vulnerable.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::small_binary;
+    use crate::{Asm2Vec, BinDiff, Safe, VulSeeker};
+    use khaos_binary::BinProvenance;
+
+    fn prov(origins: &[&str]) -> BinProvenance {
+        BinProvenance {
+            origins: origins.iter().map(|s| s.to_string()).collect(),
+            annotations: vec![],
+        }
+    }
+
+    #[test]
+    fn relaxed_matching_rules() {
+        let ori = prov(&["cal_file"]);
+        let sep = prov(&["cal_file"]); // sepFunc keeps the origin
+        let fused = prov(&["log", "cal_file"]);
+        let other = prov(&["memcpy"]);
+        assert!(origins_match(&ori, &sep));
+        assert!(origins_match(&ori, &fused), "fusFunc matches either constituent");
+        assert!(!origins_match(&ori, &other));
+    }
+
+    #[test]
+    fn identity_diff_gives_perfect_precision() {
+        let b = small_binary("m");
+        for tool in [
+            Box::new(BinDiff::default()) as Box<dyn Differ>,
+            Box::new(VulSeeker::default()),
+            Box::new(Asm2Vec::default()),
+            Box::new(Safe::default()),
+        ] {
+            let p = precision_at_1(tool.as_ref(), &b, &b);
+            assert!(p > 0.99, "{}: {p}", tool.name());
+        }
+    }
+
+    #[test]
+    fn rank_of_true_match_is_one_on_identity() {
+        let b = small_binary("m");
+        let tool = Asm2Vec::default();
+        for qi in 0..b.functions.len() {
+            assert_eq!(rank_of_true_match(&tool, &b, &b, qi), Some(1));
+        }
+    }
+
+    #[test]
+    fn escape_requires_vulnerable_annotations() {
+        let b = small_binary("m");
+        let tool = Asm2Vec::default();
+        // No annotations: degenerate 0.0.
+        assert_eq!(escape_at_k(&tool, &b, &b, 1), 0.0);
+        // Mark alpha vulnerable: identity diff ranks it first => no escape.
+        let mut marked = b.clone();
+        marked.functions[0].provenance.annotations.push("vulnerable".into());
+        assert_eq!(escape_at_k(&tool, &marked, &b, 1), 0.0);
+    }
+
+    #[test]
+    fn escape_when_function_disappears() {
+        let b = small_binary("m");
+        let mut marked = b.clone();
+        marked.functions[0].provenance.annotations.push("vulnerable".into());
+        // Obfuscated binary whose provenance no longer mentions alpha.
+        let mut hidden = b.clone();
+        for f in &mut hidden.functions {
+            f.provenance.origins = vec!["unrelated".into()];
+        }
+        let tool = Asm2Vec::default();
+        assert_eq!(escape_at_k(&tool, &marked, &hidden, 50), 1.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! A SAFE-like differ.
+//!
+//! SAFE embeds the *linear instruction sequence* with a self-attentive
+//! RNN. The deterministic stand-in keeps the two properties that matter:
+//! order sensitivity (positional weighting of token contributions) and
+//! attention-style emphasis (rarer tokens weigh more than filler moves).
+
+use crate::tokens::function_class_stream;
+use crate::vector::{add_token, EMB_DIM};
+use crate::Differ;
+use khaos_binary::Binary;
+use std::collections::HashMap;
+
+/// SAFE stand-in. See the module docs.
+#[derive(Clone, Debug)]
+pub struct Safe {
+    /// Positional encoding period (tokens per phase bucket).
+    pub position_period: usize,
+}
+
+impl Default for Safe {
+    fn default() -> Self {
+        Safe { position_period: 24 }
+    }
+}
+
+impl Differ for Safe {
+    fn name(&self) -> &'static str {
+        "SAFE"
+    }
+
+    fn embed(&self, bin: &Binary) -> Vec<Vec<f64>> {
+        // Corpus-level token frequencies give the attention weights
+        // (inverse-frequency emphasis, as learned attention tends to).
+        let mut df: HashMap<String, f64> = HashMap::new();
+        let streams: Vec<Vec<String>> =
+            bin.functions.iter().map(function_class_stream).collect();
+        for s in &streams {
+            for t in s {
+                *df.entry(t.clone()).or_insert(0.0) += 1.0;
+            }
+        }
+        let total: f64 = df.values().sum::<f64>().max(1.0);
+
+        streams
+            .iter()
+            .map(|s| {
+                let mut v = vec![0.0; EMB_DIM];
+                let n = s.len().max(1) as f64;
+                for (i, t) in s.iter().enumerate() {
+                    let attention = (total / (1.0 + df[t])).ln().max(0.1);
+                    // Position bucket: early/mid/late phases of the body.
+                    let phase = (i / self.position_period) % 4;
+                    let positional = format!("{t}#p{phase}");
+                    add_token(&mut v, t, attention / n);
+                    add_token(&mut v, &positional, 0.5 * attention / n);
+                }
+                let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+                if norm > 0.0 {
+                    for x in &mut v {
+                        *x /= norm;
+                    }
+                }
+                v
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::small_binary;
+    use crate::vector::cosine;
+
+    #[test]
+    fn deterministic_and_self_similar() {
+        let b = small_binary("s");
+        let tool = Safe::default();
+        let e1 = tool.embed(&b);
+        let e2 = tool.embed(&b);
+        assert_eq!(e1, e2);
+        assert!((cosine(&e1[0], &e1[0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_matters() {
+        let b = small_binary("s");
+        let tool = Safe::default();
+        let e = tool.embed(&b);
+        // Reverse the blocks of alpha: the positional phases shift.
+        let mut rev = b.clone();
+        rev.functions[0].blocks.reverse();
+        let er = tool.embed(&rev);
+        assert!(
+            cosine(&e[0], &er[0]) < 1.0 - 1e-6,
+            "sequence order must influence the embedding"
+        );
+    }
+
+    #[test]
+    fn attention_emphasizes_rare_tokens() {
+        let b = small_binary("s");
+        let tool = Safe::default();
+        let e = tool.embed(&b);
+        // beta (bit-twiddling, rare shl/and mix) should not be confused
+        // with alpha (loop adds).
+        assert!(cosine(&e[0], &e[1]) < 0.99);
+    }
+}

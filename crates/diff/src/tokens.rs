@@ -1,0 +1,143 @@
+//! Instruction tokenization shared by the embedding tools.
+//!
+//! Operands are normalized to classes — the standard preprocessing of
+//! Asm2Vec/SAFE/DeepBinDiff (concrete registers and addresses carry no
+//! cross-binary signal; immediates are bucketed).
+
+use khaos_binary::{BinBlock, BinFunction, MInst, MOperand, Opcode, SymRef};
+
+/// Coarse semantic class of an opcode. The learned models (Asm2Vec, SAFE)
+/// embed *semantics*, which makes them robust against instruction
+/// substitution — `add` and the `sub`-chains O-LLVM replaces it with live
+/// in the same class.
+pub fn opcode_class(op: Opcode) -> &'static str {
+    match op {
+        Opcode::Mov | Opcode::MovImm | Opcode::Movsx | Opcode::Movzx | Opcode::Movsd => "mov",
+        Opcode::Load => "load",
+        Opcode::Store => "store",
+        Opcode::Lea => "lea",
+        // One class for simple integer ALU work: `add` and the
+        // `sub/xor/and` chains O-LLVM's Sub rewrites it into are
+        // semantically interchangeable to a learned model.
+        Opcode::Add
+        | Opcode::Sub
+        | Opcode::Neg
+        | Opcode::And
+        | Opcode::Or
+        | Opcode::Xor
+        | Opcode::Not
+        | Opcode::Shl
+        | Opcode::Shr
+        | Opcode::Sar => "alu",
+        Opcode::Imul | Opcode::Idiv | Opcode::Div => "muldiv",
+        Opcode::Cmp | Opcode::Test | Opcode::Ucomisd => "cmp",
+        Opcode::Setcc | Opcode::Cmov => "cc",
+        Opcode::Jmp | Opcode::Jcc => "jump",
+        Opcode::Call | Opcode::CallInd => "call",
+        Opcode::Ret => "ret",
+        Opcode::Push | Opcode::Pop => "stack",
+        Opcode::Addsd | Opcode::Subsd | Opcode::Mulsd | Opcode::Divsd | Opcode::Xorps => "fparith",
+        Opcode::Cvtsi2sd | Opcode::Cvttsd2si | Opcode::Cvtss2sd | Opcode::Cvtsd2ss => "cvt",
+        Opcode::Nop => "nop",
+    }
+}
+
+/// Semantic-class token of an instruction, e.g. `"arith reg,imm8"`.
+pub fn inst_class_token(i: &MInst) -> String {
+    let mut s = String::from(opcode_class(i.opcode));
+    for (k, o) in i.operands.iter().enumerate() {
+        s.push(if k == 0 { ' ' } else { ',' });
+        s.push_str(operand_class(o));
+    }
+    s
+}
+
+/// Class tokens of one block (used by the learned-model stand-ins).
+pub fn block_class_tokens(b: &BinBlock) -> Vec<String> {
+    b.insts.iter().map(inst_class_token).collect()
+}
+
+/// The linear class-token stream of a function.
+pub fn function_class_stream(f: &BinFunction) -> Vec<String> {
+    f.blocks.iter().flat_map(block_class_tokens).collect()
+}
+
+/// Normalizes one operand to a token fragment.
+pub fn operand_class(o: &MOperand) -> &'static str {
+    match o {
+        MOperand::Reg(_) => "reg",
+        MOperand::FReg(_) => "xmm",
+        MOperand::Imm(v) => {
+            // Bucketed immediates, as Asm2Vec does.
+            if *v == 0 {
+                "imm0"
+            } else if (-128..=127).contains(v) {
+                "imm8"
+            } else {
+                "imm32"
+            }
+        }
+        MOperand::Mem { .. } => "mem",
+        MOperand::Sym(SymRef::Func(_)) => "fnsym",
+        MOperand::Sym(SymRef::Global(_)) => "glsym",
+        MOperand::Sym(SymRef::Ext(_)) => "extsym",
+        MOperand::Label(_) => "loc",
+    }
+}
+
+/// Normalized token of a whole instruction, e.g. `"add reg,imm8"`.
+pub fn inst_token(i: &MInst) -> String {
+    let mut s = String::from(i.opcode.mnemonic());
+    for (k, o) in i.operands.iter().enumerate() {
+        s.push(if k == 0 { ' ' } else { ',' });
+        s.push_str(operand_class(o));
+    }
+    s
+}
+
+/// Tokens of one block.
+pub fn block_tokens(b: &BinBlock) -> Vec<String> {
+    b.insts.iter().map(inst_token).collect()
+}
+
+/// The linear token stream of a function (layout order).
+pub fn function_token_stream(f: &BinFunction) -> Vec<String> {
+    f.blocks.iter().flat_map(block_tokens).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use khaos_binary::{MInst, Opcode};
+
+    #[test]
+    fn tokens_normalize_operands() {
+        let i = MInst::new(
+            Opcode::Add,
+            vec![MOperand::Reg(3), MOperand::Imm(5)],
+        );
+        assert_eq!(inst_token(&i), "add reg,imm8");
+        let j = MInst::new(
+            Opcode::Add,
+            vec![MOperand::Reg(9), MOperand::Imm(77)],
+        );
+        assert_eq!(inst_token(&i), inst_token(&j), "register ids are abstracted");
+    }
+
+    #[test]
+    fn immediates_bucketed() {
+        let z = MInst::new(Opcode::MovImm, vec![MOperand::Reg(0), MOperand::Imm(0)]);
+        let small = MInst::new(Opcode::MovImm, vec![MOperand::Reg(0), MOperand::Imm(-5)]);
+        let big = MInst::new(Opcode::MovImm, vec![MOperand::Reg(0), MOperand::Imm(100000)]);
+        assert_eq!(inst_token(&z), "mov reg,imm0");
+        assert_eq!(inst_token(&small), "mov reg,imm8");
+        assert_eq!(inst_token(&big), "mov reg,imm32");
+    }
+
+    #[test]
+    fn symbol_classes_differ() {
+        let c1 = MInst::new(Opcode::Call, vec![MOperand::Sym(SymRef::Func(4))]);
+        let c2 = MInst::new(Opcode::Call, vec![MOperand::Sym(SymRef::Ext(0))]);
+        assert_ne!(inst_token(&c1), inst_token(&c2));
+    }
+}

@@ -1,0 +1,88 @@
+//! Small dense-vector utilities shared by the embedding-based tools.
+
+/// Embedding dimensionality used by the learned-model stand-ins.
+pub const EMB_DIM: usize = 128;
+
+/// Type alias for readability.
+pub type Dim = usize;
+
+/// FNV-1a hash of a token string, reduced to an embedding dimension.
+pub fn hash_token(token: &str) -> Dim {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in token.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % EMB_DIM as u64) as usize
+}
+
+/// A second independent hash, used to pick the sign of a token's
+/// contribution (feature hashing with signs reduces collisions' bias).
+pub fn hash_sign(token: &str) -> f64 {
+    let mut h: u64 = 0x9e3779b97f4a7c15;
+    for b in token.as_bytes() {
+        h = h.rotate_left(9) ^ (*b as u64);
+        h = h.wrapping_mul(0xff51afd7ed558ccd);
+    }
+    if h & 1 == 0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Adds `weight` at the hashed position of `token` (signed hashing).
+pub fn add_token(vec: &mut [f64], token: &str, weight: f64) {
+    let d = hash_token(token);
+    vec[d] += weight * hash_sign(token);
+}
+
+/// Cosine similarity; 0.0 when either vector is all-zero.
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na.sqrt() * nb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_stable_and_in_range() {
+        let d1 = hash_token("mov r1, r2");
+        let d2 = hash_token("mov r1, r2");
+        assert_eq!(d1, d2);
+        assert!(d1 < EMB_DIM);
+        assert!(hash_sign("x") == 1.0 || hash_sign("x") == -1.0);
+    }
+
+    #[test]
+    fn cosine_properties() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-12, "colinear = 1");
+        let c = [0.0, 0.0, 0.0];
+        assert_eq!(cosine(&a, &c), 0.0, "zero vector = 0");
+        let d = [-1.0, -2.0, -3.0];
+        assert!((cosine(&a, &d) + 1.0).abs() < 1e-12, "opposite = -1");
+    }
+
+    #[test]
+    fn add_token_accumulates() {
+        let mut v = vec![0.0; EMB_DIM];
+        add_token(&mut v, "add r1, r2", 2.0);
+        add_token(&mut v, "add r1, r2", 3.0);
+        let d = hash_token("add r1, r2");
+        assert!((v[d].abs() - 5.0).abs() < 1e-12);
+    }
+}

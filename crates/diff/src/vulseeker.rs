@@ -1,0 +1,181 @@
+//! A VulSeeker-like differ.
+//!
+//! VulSeeker extracts per-function numeric semantic features and fuses
+//! them through a structure2vec network over the **call graph**. We keep
+//! both ingredients: an 8-dimensional feature block (stack, arithmetic,
+//! logic, transfer, call, conditional, constant and total counts — the
+//! feature set of the original) concatenated with propagated neighbour
+//! features over caller/callee edges. Because the call graph is part of
+//! the embedding, inter-procedural obfuscation poisons it — the property
+//! the paper's Table 1 calls out ("call-graph lacking": N).
+
+use crate::Differ;
+use khaos_binary::{BinFunction, Binary, Opcode, SymRef};
+
+/// VulSeeker stand-in. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct VulSeeker {
+    /// Number of propagation rounds (structure2vec depth).
+    pub hops: Option<u32>,
+}
+
+const FEAT: usize = 8;
+
+fn features(f: &BinFunction) -> [f64; FEAT] {
+    let mut stack = 0.0;
+    let mut arith = 0.0;
+    let mut logic = 0.0;
+    let mut transfer = 0.0;
+    let mut calls = 0.0;
+    let mut cond = 0.0;
+    let mut consts = 0.0;
+    let mut total = 0.0;
+    for b in &f.blocks {
+        for i in &b.insts {
+            total += 1.0;
+            match i.opcode {
+                Opcode::Push | Opcode::Pop => stack += 1.0,
+                Opcode::Add
+                | Opcode::Sub
+                | Opcode::Imul
+                | Opcode::Idiv
+                | Opcode::Div
+                | Opcode::Neg
+                | Opcode::Addsd
+                | Opcode::Subsd
+                | Opcode::Mulsd
+                | Opcode::Divsd => arith += 1.0,
+                Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Not | Opcode::Shl | Opcode::Shr | Opcode::Sar | Opcode::Xorps => {
+                    logic += 1.0
+                }
+                Opcode::Mov | Opcode::MovImm | Opcode::Load | Opcode::Store | Opcode::Movsd | Opcode::Movsx | Opcode::Movzx | Opcode::Lea => {
+                    transfer += 1.0
+                }
+                Opcode::Call | Opcode::CallInd => calls += 1.0,
+                Opcode::Jcc | Opcode::Cmp | Opcode::Test | Opcode::Ucomisd => cond += 1.0,
+                _ => {}
+            }
+            for o in &i.operands {
+                if matches!(o, khaos_binary::MOperand::Imm(_)) {
+                    consts += 1.0;
+                }
+            }
+        }
+    }
+    [stack, arith, logic, transfer, calls, cond, consts, total]
+}
+
+fn normalize(v: &mut [f64]) {
+    let n: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if n > 0.0 {
+        for x in v {
+            *x /= n;
+        }
+    }
+}
+
+impl Differ for VulSeeker {
+    fn name(&self) -> &'static str {
+        "VulSeeker"
+    }
+
+    fn embed(&self, bin: &Binary) -> Vec<Vec<f64>> {
+        let n = bin.functions.len();
+        let own: Vec<[f64; FEAT]> = bin.functions.iter().map(features).collect();
+
+        // Call-graph adjacency (callers ∪ callees, function-level).
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, f) in bin.functions.iter().enumerate() {
+            for b in &f.blocks {
+                for c in &b.calls {
+                    if let SymRef::Func(j) = c {
+                        let j = *j as usize;
+                        if j < n && j != i {
+                            if !adj[i].contains(&j) {
+                                adj[i].push(j);
+                            }
+                            if !adj[j].contains(&i) {
+                                adj[j].push(i);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // structure2vec-style mean aggregation.
+        let hops = self.hops.unwrap_or(2);
+        let mut state: Vec<Vec<f64>> = own.iter().map(|x| x.to_vec()).collect();
+        for _ in 0..hops {
+            let mut next = state.clone();
+            for (i, neigh) in adj.iter().enumerate() {
+                if neigh.is_empty() {
+                    continue;
+                }
+                let mut agg = [0.0; FEAT];
+                for &j in neigh {
+                    for k in 0..FEAT {
+                        agg[k] += state[j][k];
+                    }
+                }
+                for k in 0..FEAT {
+                    next[i][k] = 0.6 * state[i][k] + 0.4 * agg[k] / neigh.len() as f64;
+                }
+            }
+            state = next;
+        }
+
+        // Embedding = own features ++ propagated state, normalized.
+        state
+            .into_iter()
+            .zip(own)
+            .map(|(prop, own)| {
+                let mut v: Vec<f64> = own.to_vec();
+                v.extend(prop);
+                normalize(&mut v);
+                v
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::small_binary;
+
+    #[test]
+    fn self_match() {
+        let b = small_binary("v");
+        let tool = VulSeeker::default();
+        let m = tool.similarity_matrix(&b, &b);
+        for (i, row) in m.iter().enumerate() {
+            let best = row.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
+            assert_eq!(best.0, i);
+        }
+    }
+
+    #[test]
+    fn call_graph_changes_move_the_embedding() {
+        let b = small_binary("v");
+        let tool = VulSeeker { hops: Some(2) };
+        let base = tool.embed(&b);
+        // Remove main's call edges (as if the callee were fused away).
+        let mut cut = b.clone();
+        for blk in &mut cut.functions[2].blocks {
+            blk.calls.clear();
+        }
+        let moved = tool.embed(&cut);
+        // alpha's embedding changes because its caller edge vanished.
+        let drift = crate::cosine(&base[0], &moved[0]);
+        assert!(drift < 0.999999, "call-graph dependence must be visible, got {drift}");
+    }
+
+    #[test]
+    fn feature_extraction_counts() {
+        let b = small_binary("v");
+        let f = features(&b.functions[2]); // main has two calls
+        assert!(f[4] >= 2.0, "call feature sees both calls");
+        assert!(f[7] > 0.0);
+    }
+}

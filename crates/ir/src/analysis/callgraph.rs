@@ -1,0 +1,262 @@
+//! Module call graph and address-taken analysis.
+//!
+//! Fusion needs: (a) the *direct calling relationship* between candidate
+//! pairs (such pairs are excluded, §3.3.1); (b) which functions have their
+//! address taken (those need the tagged-pointer treatment); (c) which
+//! function addresses *escape* the module (those need trampolines).
+
+use crate::ids::FuncId;
+use crate::inst::{Callee, Inst, Term};
+use crate::module::{GInit, Module};
+
+/// Call graph facts for a module.
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    /// `callees[f]` = functions directly called by `f` (deduplicated).
+    callees: Vec<Vec<FuncId>>,
+    /// `callers[f]` = functions that directly call `f` (deduplicated).
+    callers: Vec<Vec<FuncId>>,
+    /// Functions whose address is taken by an instruction or stored in a
+    /// global initialiser.
+    address_taken: Vec<bool>,
+    /// Functions whose address may leave the module: passed to an external
+    /// function, stored in an exported global, or belonging to an exported
+    /// function (callable by name from outside).
+    escaping: Vec<bool>,
+    /// Functions containing at least one indirect call.
+    has_indirect_call: Vec<bool>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_call(
+    fi: usize,
+    callee: &Callee,
+    args: &[crate::inst::Operand],
+    fn_locals: &[(crate::ids::LocalId, FuncId)],
+    callees: &mut [Vec<FuncId>],
+    callers: &mut [Vec<FuncId>],
+    escaping: &mut [bool],
+    has_indirect_call: &mut [bool],
+) {
+    match callee {
+        Callee::Direct(t) => {
+            if !callees[fi].contains(t) {
+                callees[fi].push(*t);
+            }
+            if !callers[t.index()].contains(&FuncId::new(fi)) {
+                callers[t.index()].push(FuncId::new(fi));
+            }
+        }
+        Callee::Indirect(_) => has_indirect_call[fi] = true,
+        Callee::Ext(_) => {
+            // Function pointers passed to externals escape.
+            for a in args {
+                if let Some(l) = a.as_local() {
+                    if let Some((_, func)) = fn_locals.iter().find(|(fl, _)| *fl == l) {
+                        escaping[func.index()] = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl CallGraph {
+    /// Computes the call graph for `m`.
+    pub fn compute(m: &Module) -> Self {
+        let n = m.functions.len();
+        let mut callees = vec![Vec::new(); n];
+        let mut callers = vec![Vec::new(); n];
+        let mut address_taken = vec![false; n];
+        let mut escaping = vec![false; n];
+        let mut has_indirect_call = vec![false; n];
+
+        for (fi, f) in m.functions.iter().enumerate() {
+            if f.linkage == crate::function::Linkage::Exported {
+                escaping[fi] = true;
+            }
+            for block in &f.blocks {
+                // Track locals that hold function addresses within this
+                // block (cheap, flow-insensitive-per-block escape check).
+                let mut fn_locals: Vec<(crate::ids::LocalId, FuncId)> = Vec::new();
+                for inst in &block.insts {
+                    match inst {
+                        Inst::FuncAddr { dst, func } => {
+                            address_taken[func.index()] = true;
+                            fn_locals.push((*dst, *func));
+                        }
+                        Inst::Call { callee, args, .. } => record_call(
+                            fi,
+                            callee,
+                            args,
+                            &fn_locals,
+                            &mut callees,
+                            &mut callers,
+                            &mut escaping,
+                            &mut has_indirect_call,
+                        ),
+                        _ => {}
+                    }
+                }
+                if let Term::Invoke { callee, args, .. } = &block.term {
+                    record_call(
+                        fi,
+                        callee,
+                        args,
+                        &fn_locals,
+                        &mut callees,
+                        &mut callers,
+                        &mut escaping,
+                        &mut has_indirect_call,
+                    );
+                }
+            }
+        }
+
+        for g in &m.globals {
+            for init in &g.init {
+                if let GInit::FuncPtr { func, .. } = init {
+                    address_taken[func.index()] = true;
+                    if g.exported {
+                        escaping[func.index()] = true;
+                    }
+                }
+            }
+        }
+
+        CallGraph { callees, callers, address_taken, escaping, has_indirect_call }
+    }
+
+    /// Functions directly called by `f`.
+    pub fn callees(&self, f: FuncId) -> &[FuncId] {
+        &self.callees[f.index()]
+    }
+
+    /// Functions that directly call `f`.
+    pub fn callers(&self, f: FuncId) -> &[FuncId] {
+        &self.callers[f.index()]
+    }
+
+    /// True if `a` directly calls `b` or `b` directly calls `a`.
+    pub fn directly_related(&self, a: FuncId, b: FuncId) -> bool {
+        self.callees[a.index()].contains(&b) || self.callees[b.index()].contains(&a)
+    }
+
+    /// True if `f`'s address is taken anywhere in the module.
+    pub fn is_address_taken(&self, f: FuncId) -> bool {
+        self.address_taken[f.index()]
+    }
+
+    /// True if `f`'s address (or name) may escape the module.
+    pub fn escapes(&self, f: FuncId) -> bool {
+        self.escaping[f.index()]
+    }
+
+    /// True if `f` contains at least one indirect call site.
+    pub fn has_indirect_call(&self, f: FuncId) -> bool {
+        self.has_indirect_call[f.index()]
+    }
+
+    /// True if `f` calls itself directly.
+    pub fn is_self_recursive(&self, f: FuncId) -> bool {
+        self.callees[f.index()].contains(&f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::Linkage;
+    use crate::module::{ExtFunc, Global};
+    use crate::types::Type;
+
+    fn module_with_calls() -> Module {
+        let mut m = Module::new("cg");
+        // f0 calls f1 directly; f1 takes f2's address and passes it to ext.
+        let ext = m.declare_external(ExtFunc {
+            name: "sink".into(),
+            params: vec![Type::Ptr],
+            ret_ty: Type::Void,
+            variadic: false,
+        });
+
+        let mut b2 = FunctionBuilder::new("leaf", Type::Void);
+        b2.ret(None);
+        let f2 = m.push_function(b2.finish());
+
+        let mut b1 = FunctionBuilder::new("mid", Type::Void);
+        let p = b1.funcaddr(f2);
+        b1.call_ext(ext, Type::Void, vec![crate::inst::Operand::local(p)]);
+        b1.call_indirect(crate::inst::Operand::local(p), Type::Void, vec![]);
+        b1.ret(None);
+        let f1 = m.push_function(b1.finish());
+
+        let mut b0 = FunctionBuilder::new("root", Type::Void);
+        b0.set_exported();
+        b0.call(f1, Type::Void, vec![]);
+        b0.ret(None);
+        m.push_function(b0.finish());
+        m
+    }
+
+    #[test]
+    fn direct_edges() {
+        let m = module_with_calls();
+        let cg = CallGraph::compute(&m);
+        let (root, _) = m.function_by_name("root").unwrap();
+        let (mid, _) = m.function_by_name("mid").unwrap();
+        let (leaf, _) = m.function_by_name("leaf").unwrap();
+        assert_eq!(cg.callees(root), &[mid]);
+        assert_eq!(cg.callers(mid), &[root]);
+        assert!(cg.directly_related(root, mid));
+        assert!(!cg.directly_related(root, leaf));
+    }
+
+    #[test]
+    fn address_taken_and_escape() {
+        let m = module_with_calls();
+        let cg = CallGraph::compute(&m);
+        let (root, _) = m.function_by_name("root").unwrap();
+        let (mid, _) = m.function_by_name("mid").unwrap();
+        let (leaf, _) = m.function_by_name("leaf").unwrap();
+        assert!(cg.is_address_taken(leaf));
+        assert!(!cg.is_address_taken(mid));
+        assert!(cg.escapes(leaf), "passed to external sink");
+        assert!(cg.escapes(root), "exported linkage");
+        assert!(!cg.escapes(mid));
+        assert!(cg.has_indirect_call(mid));
+        assert!(!cg.has_indirect_call(root));
+    }
+
+    #[test]
+    fn global_funcptr_is_address_taken() {
+        let mut m = Module::new("g");
+        let mut fb = FunctionBuilder::new("target", Type::Void);
+        fb.ret(None);
+        let f = m.push_function(fb.finish());
+        m.push_global(Global {
+            name: "table".into(),
+            init: vec![GInit::FuncPtr { func: f, addend: 0 }],
+            align: 8,
+            exported: true,
+        });
+        let cg = CallGraph::compute(&m);
+        assert!(cg.is_address_taken(f));
+        assert!(cg.escapes(f), "stored in exported global");
+        assert_eq!(m.function(f).linkage, Linkage::Internal);
+    }
+
+    #[test]
+    fn self_recursion_detected() {
+        let mut m = Module::new("r");
+        let mut fb = FunctionBuilder::new("rec", Type::Void);
+        fb.ret(None);
+        let f = m.push_function(fb.finish());
+        // Patch in a self call.
+        let fmut = m.function_mut(f);
+        fmut.blocks[0].insts.push(Inst::Call { dst: None, callee: Callee::Direct(f), args: vec![] });
+        let cg = CallGraph::compute(&m);
+        assert!(cg.is_self_recursive(f));
+    }
+}

@@ -1,0 +1,147 @@
+//! Control-flow graph utilities: predecessors, postorder traversals and
+//! reachability.
+
+use crate::function::Function;
+use crate::ids::BlockId;
+
+/// Predecessor lists and traversal orders for a function's CFG.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    /// Reverse postorder over reachable blocks, starting at the entry.
+    rpo: Vec<BlockId>,
+    /// `rpo_index[b] == Some(i)` iff `rpo[i] == b`; `None` for unreachable.
+    rpo_index: Vec<Option<u32>>,
+}
+
+impl Cfg {
+    /// Computes the CFG for `f`.
+    pub fn compute(f: &Function) -> Self {
+        let n = f.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        for (b, block) in f.iter_blocks() {
+            block.term.for_each_successor(|s| {
+                if !preds[s.index()].contains(&b) {
+                    preds[s.index()].push(b);
+                }
+            });
+        }
+        // Iterative DFS postorder.
+        let mut post = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let mut stack: Vec<(BlockId, usize)> = vec![(f.entry(), 0)];
+        visited[f.entry().index()] = true;
+        let succs: Vec<Vec<BlockId>> = f.blocks.iter().map(|b| b.term.successors()).collect();
+        while let Some((b, i)) = stack.pop() {
+            if i < succs[b.index()].len() {
+                stack.push((b, i + 1));
+                let s = succs[b.index()][i];
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+            }
+        }
+        let mut rpo = post;
+        rpo.reverse();
+        let mut rpo_index = vec![None; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = Some(i as u32);
+        }
+        Cfg { preds, rpo, rpo_index }
+    }
+
+    /// Predecessors of `b` (deduplicated, in discovery order).
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Reverse postorder over reachable blocks; `rpo()[0]` is the entry.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in reverse postorder, or `None` if unreachable.
+    pub fn rpo_index(&self, b: BlockId) -> Option<u32> {
+        self.rpo_index[b.index()]
+    }
+
+    /// True if `b` is reachable from the entry block.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index(b).is_some()
+    }
+
+    /// Number of reachable blocks.
+    pub fn reachable_count(&self) -> usize {
+        self.rpo.len()
+    }
+
+    /// Number of CFG edges among reachable blocks (with multiplicity).
+    pub fn edge_count(&self, f: &Function) -> usize {
+        self.rpo.iter().map(|&b| f.block(b).term.successors().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{CmpPred, Operand};
+    use crate::types::Type;
+
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("d", Type::Void);
+        let p = b.add_param(Type::I32);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.cmp(CmpPred::Sgt, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 0));
+        b.branch(Operand::local(c), t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn preds_of_join() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.preds(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(0)), &[]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.rpo()[0], BlockId(0));
+        assert_eq!(cfg.reachable_count(), 4);
+        // The join must come after both branch targets.
+        let j = cfg.rpo_index(BlockId(3)).unwrap();
+        assert!(j > cfg.rpo_index(BlockId(1)).unwrap());
+        assert!(j > cfg.rpo_index(BlockId(2)).unwrap());
+    }
+
+    #[test]
+    fn unreachable_blocks_detected() {
+        let mut f = diamond();
+        // Add a dangling block no one targets.
+        let dead = f.push_block(crate::function::Block::with_term(crate::inst::Term::Ret(None)));
+        let cfg = Cfg::compute(&f);
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.reachable_count(), 4);
+    }
+
+    #[test]
+    fn edge_count_counts_multiplicity() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.edge_count(&f), 4); // branch(2) + 2 jumps
+    }
+}

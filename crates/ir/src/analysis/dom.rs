@@ -1,0 +1,270 @@
+//! Dominator tree computation (Cooper–Harvey–Kennedy).
+//!
+//! The fission primitive partitions functions at *dominator subtree*
+//! granularity (paper §3.2.1): any dominator subtree is a single-entry
+//! region and can be separated into a `sepFunc`.
+
+use crate::analysis::cfg::Cfg;
+use crate::function::Function;
+use crate::ids::BlockId;
+
+/// The dominator tree of a function's reachable CFG.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// `idom[b]` is the immediate dominator of `b`; the entry maps to itself.
+    /// Unreachable blocks map to `None`.
+    idom: Vec<Option<BlockId>>,
+    /// Children lists (reachable blocks only).
+    children: Vec<Vec<BlockId>>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Computes the dominator tree using the Cooper–Harvey–Kennedy
+    /// iterative algorithm over reverse postorder.
+    pub fn compute(f: &Function, cfg: &Cfg) -> Self {
+        let n = f.blocks.len();
+        let entry = f.entry();
+        let rpo = cfg.rpo();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            // Walk up by RPO index until the fingers meet.
+            while a != b {
+                let (ai, bi) = (cfg.rpo_index(a).unwrap(), cfg.rpo_index(b).unwrap());
+                if ai > bi {
+                    a = idom[a.index()].expect("processed block has idom");
+                } else {
+                    b = idom[b.index()].expect("processed block has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue; // unprocessed or unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        let mut children = vec![Vec::new(); n];
+        for &b in rpo {
+            if b != entry {
+                if let Some(p) = idom[b.index()] {
+                    children[p.index()].push(b);
+                }
+            }
+        }
+        DomTree { idom, children, entry }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            None
+        } else {
+            self.idom[b.index()]
+        }
+    }
+
+    /// Dominator-tree children of `b`.
+    pub fn children(&self, b: BlockId) -> &[BlockId] {
+        &self.children[b.index()]
+    }
+
+    /// True if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// All blocks in the dominator subtree rooted at `root` (preorder,
+    /// including `root`).
+    pub fn subtree(&self, root: BlockId) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(b) = stack.pop() {
+            out.push(b);
+            stack.extend(self.children(b).iter().copied());
+        }
+        out
+    }
+
+    /// Roots of every dominator subtree except the whole-function tree:
+    /// i.e. every reachable block other than the entry (paper Algorithm 1,
+    /// line 3 removes the function's own tree).
+    pub fn candidate_roots(&self, cfg: &Cfg) -> Vec<BlockId> {
+        cfg.rpo().iter().copied().filter(|&b| b != self.entry).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{CmpPred, Operand, Term};
+    use crate::types::Type;
+
+    /// entry -> {a, b}; a -> join; b -> join; join -> {loop_h}; loop_h -> {loop_b, exit}; loop_b -> loop_h
+    fn build_cfg() -> Function {
+        let mut fb = FunctionBuilder::new("t", Type::Void);
+        let p = fb.add_param(Type::I32);
+        let a = fb.new_block();
+        let b = fb.new_block();
+        let join = fb.new_block();
+        let loop_h = fb.new_block();
+        let loop_b = fb.new_block();
+        let exit = fb.new_block();
+        let c = fb.cmp(CmpPred::Sgt, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 0));
+        fb.branch(Operand::local(c), a, b);
+        fb.switch_to(a);
+        fb.jump(join);
+        fb.switch_to(b);
+        fb.jump(join);
+        fb.switch_to(join);
+        fb.jump(loop_h);
+        fb.switch_to(loop_h);
+        fb.branch(Operand::local(c), loop_b, exit);
+        fb.switch_to(loop_b);
+        fb.jump(loop_h);
+        fb.switch_to(exit);
+        fb.ret(None);
+        fb.finish()
+    }
+
+    #[test]
+    fn idoms_match_structure() {
+        let f = build_cfg();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        assert_eq!(dt.idom(BlockId(0)), None);
+        assert_eq!(dt.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dt.idom(BlockId(2)), Some(BlockId(0)));
+        assert_eq!(dt.idom(BlockId(3)), Some(BlockId(0)), "join dominated by entry, not by a/b");
+        assert_eq!(dt.idom(BlockId(4)), Some(BlockId(3)));
+        assert_eq!(dt.idom(BlockId(5)), Some(BlockId(4)));
+        assert_eq!(dt.idom(BlockId(6)), Some(BlockId(4)));
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_transitive() {
+        let f = build_cfg();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        assert!(dt.dominates(BlockId(0), BlockId(6)));
+        assert!(dt.dominates(BlockId(4), BlockId(5)));
+        assert!(dt.dominates(BlockId(3), BlockId(3)));
+        assert!(!dt.dominates(BlockId(1), BlockId(3)));
+    }
+
+    #[test]
+    fn subtree_collects_descendants() {
+        let f = build_cfg();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let mut st = dt.subtree(BlockId(4));
+        st.sort();
+        assert_eq!(st, vec![BlockId(4), BlockId(5), BlockId(6)]);
+    }
+
+    #[test]
+    fn candidate_roots_exclude_entry() {
+        let f = build_cfg();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let roots = dt.candidate_roots(&cfg);
+        assert_eq!(roots.len(), 6);
+        assert!(!roots.contains(&BlockId(0)));
+    }
+
+    /// Naive O(n^2) dominance used to cross-check the CHK implementation.
+    fn naive_dominates(f: &Function, a: BlockId, b: BlockId) -> bool {
+        // b is dominated by a iff removing a makes b unreachable.
+        let n = f.blocks.len();
+        let mut visited = vec![false; n];
+        let mut stack = vec![f.entry()];
+        if f.entry() != a {
+            visited[f.entry().index()] = true;
+            while let Some(x) = stack.pop() {
+                f.block(x).term.for_each_successor(|s| {
+                    if s != a && !visited[s.index()] {
+                        visited[s.index()] = true;
+                        stack.push(s);
+                    }
+                });
+            }
+        }
+        a == b || !visited[b.index()]
+    }
+
+    #[test]
+    fn matches_naive_dominance() {
+        let f = build_cfg();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        for (a, _) in f.iter_blocks() {
+            for (b, _) in f.iter_blocks() {
+                if cfg.is_reachable(a) && cfg.is_reachable(b) {
+                    assert_eq!(
+                        dt.dominates(a, b),
+                        naive_dominates(&f, a, b),
+                        "dominates({a},{b}) disagrees with naive"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn irreducible_like_cfg_handled() {
+        // entry -> a, b; a -> b; b -> a (cross edges); both -> via branch.
+        let mut fb = FunctionBuilder::new("x", Type::Void);
+        let p = fb.add_param(Type::I32);
+        let a = fb.new_block();
+        let b = fb.new_block();
+        let exit = fb.new_block();
+        let c = fb.cmp(CmpPred::Sgt, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 0));
+        fb.branch(Operand::local(c), a, b);
+        fb.switch_to(a);
+        fb.branch(Operand::local(c), b, exit);
+        fb.switch_to(b);
+        fb.branch(Operand::local(c), a, exit);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let f = fb.finish();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        assert_eq!(dt.idom(a), Some(BlockId(0)));
+        assert_eq!(dt.idom(b), Some(BlockId(0)));
+        assert_eq!(dt.idom(exit), Some(BlockId(0)));
+        // Terminator sanity for the test function itself.
+        assert!(matches!(f.block(exit).term, Term::Ret(None)));
+    }
+}

@@ -1,0 +1,137 @@
+//! Static block-frequency estimation.
+//!
+//! A simplified analogue of LLVM's BlockFrequency analysis (which the paper
+//! cites as the source of Algorithm 1's cold/hot information): branch
+//! probabilities are uniform, and each loop multiplies its body's frequency
+//! by a static trip count.
+
+use crate::analysis::cfg::Cfg;
+use crate::analysis::loops::{LoopInfo, DEFAULT_TRIP_COUNT};
+use crate::function::Function;
+use crate::ids::BlockId;
+
+/// Estimated execution frequency of each block, with the entry at 1.0.
+#[derive(Clone, Debug)]
+pub struct BlockFreq {
+    freq: Vec<f64>,
+}
+
+impl BlockFreq {
+    /// Computes block frequencies.
+    ///
+    /// Frequencies propagate in reverse postorder along forward edges with
+    /// uniform branch probabilities; back edges are ignored, and instead
+    /// every block's frequency is scaled by `trip^depth` for its loop
+    /// nesting depth. This converges in one pass and is stable under the
+    /// CFG edits the obfuscator performs.
+    pub fn compute(f: &Function, cfg: &Cfg, li: &LoopInfo) -> Self {
+        let n = f.blocks.len();
+        let mut base = vec![0.0f64; n];
+        base[f.entry().index()] = 1.0;
+        for &b in cfg.rpo() {
+            let w = base[b.index()];
+            if w == 0.0 {
+                continue;
+            }
+            let succs = f.block(b).term.successors();
+            if succs.is_empty() {
+                continue;
+            }
+            let share = w / succs.len() as f64;
+            for s in succs {
+                // Ignore back/self edges: loop weighting handles them.
+                let is_back = match (cfg.rpo_index(s), cfg.rpo_index(b)) {
+                    (Some(si), Some(bi)) => si <= bi,
+                    _ => false,
+                };
+                if !is_back {
+                    base[s.index()] += share;
+                }
+            }
+        }
+        let freq = (0..n)
+            .map(|i| {
+                let b = BlockId::new(i);
+                let depth = li.depth(b);
+                base[i] * DEFAULT_TRIP_COUNT.powi(depth as i32)
+            })
+            .collect();
+        BlockFreq { freq }
+    }
+
+    /// The estimated frequency of `b` (0.0 for unreachable blocks).
+    pub fn freq(&self, b: BlockId) -> f64 {
+        self.freq[b.index()]
+    }
+
+    /// The hottest block.
+    pub fn hottest(&self) -> Option<BlockId> {
+        self.freq
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("frequencies are finite"))
+            .map(|(i, _)| BlockId::new(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::dom::DomTree;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{CmpPred, Operand};
+    use crate::types::Type;
+
+    fn analyze(f: &Function) -> BlockFreq {
+        let cfg = Cfg::compute(f);
+        let dt = DomTree::compute(f, &cfg);
+        let li = LoopInfo::compute(f, &cfg, &dt);
+        BlockFreq::compute(f, &cfg, &li)
+    }
+
+    #[test]
+    fn branch_splits_probability() {
+        let mut fb = FunctionBuilder::new("b", Type::Void);
+        let p = fb.add_param(Type::I32);
+        let t = fb.new_block();
+        let e = fb.new_block();
+        let j = fb.new_block();
+        let c = fb.cmp(CmpPred::Sgt, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 0));
+        fb.branch(Operand::local(c), t, e);
+        fb.switch_to(t);
+        fb.jump(j);
+        fb.switch_to(e);
+        fb.jump(j);
+        fb.switch_to(j);
+        fb.ret(None);
+        let f = fb.finish();
+        let bf = analyze(&f);
+        assert_eq!(bf.freq(BlockId(0)), 1.0);
+        assert!((bf.freq(BlockId(1)) - 0.5).abs() < 1e-9);
+        assert!((bf.freq(BlockId(2)) - 0.5).abs() < 1e-9);
+        assert!((bf.freq(BlockId(3)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loop_bodies_are_hot() {
+        let mut fb = FunctionBuilder::new("l", Type::Void);
+        let p = fb.add_param(Type::I32);
+        let h = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        let c = fb.cmp(CmpPred::Sgt, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 0));
+        fb.jump(h);
+        fb.switch_to(h);
+        fb.branch(Operand::local(c), body, exit);
+        fb.switch_to(body);
+        fb.jump(h);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let f = fb.finish();
+        let bf = analyze(&f);
+        assert!(bf.freq(BlockId(2)) > bf.freq(BlockId(0)), "loop body hotter than entry");
+        assert!(bf.freq(BlockId(2)) > bf.freq(BlockId(3)), "loop body hotter than exit");
+        let hot = bf.hottest().unwrap();
+        assert!(hot == BlockId(1) || hot == BlockId(2));
+    }
+}

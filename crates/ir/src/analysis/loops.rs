@@ -1,0 +1,224 @@
+//! Natural-loop detection and nesting depths.
+//!
+//! Algorithm 1 of the paper weighs a candidate region's cost by the trip
+//! count of the innermost loop containing its head; this module provides
+//! the loop nest and a static trip-count estimate.
+
+use crate::analysis::cfg::Cfg;
+use crate::analysis::dom::DomTree;
+use crate::function::Function;
+use crate::ids::BlockId;
+
+/// A single natural loop.
+#[derive(Clone, Debug)]
+pub struct Loop {
+    /// The loop header (target of the back edges).
+    pub header: BlockId,
+    /// All blocks in the loop body, including the header.
+    pub blocks: Vec<BlockId>,
+    /// Nesting depth: 1 for outermost loops.
+    pub depth: u32,
+}
+
+/// The loop forest of a function.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    loops: Vec<Loop>,
+    /// Innermost loop containing each block (`None` if not in a loop).
+    innermost: Vec<Option<u32>>,
+    /// Loop nesting depth of each block (0 if not in a loop).
+    depth: Vec<u32>,
+}
+
+/// Static trip-count estimate used when no profile exists (the paper's
+/// "loop count"); matches LLVM's default block-frequency assumption.
+pub const DEFAULT_TRIP_COUNT: f64 = 10.0;
+
+impl LoopInfo {
+    /// Detects natural loops from back edges (`t -> h` where `h` dominates
+    /// `t`) and merges bodies that share a header.
+    pub fn compute(f: &Function, cfg: &Cfg, dt: &DomTree) -> Self {
+        let n = f.blocks.len();
+        // Collect back edges grouped by header.
+        let mut latches_by_header: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for &b in cfg.rpo() {
+            f.block(b).term.for_each_successor(|s| {
+                if dt.dominates(s, b) {
+                    match latches_by_header.iter_mut().find(|(h, _)| *h == s) {
+                        Some((_, v)) => v.push(b),
+                        None => latches_by_header.push((s, vec![b])),
+                    }
+                }
+            });
+        }
+        // Natural loop body: header + all blocks that reach a latch without
+        // passing through the header.
+        let mut loops = Vec::new();
+        for (header, latches) in latches_by_header {
+            let mut in_body = vec![false; n];
+            in_body[header.index()] = true;
+            let mut stack: Vec<BlockId> = Vec::new();
+            for &l in &latches {
+                if !in_body[l.index()] {
+                    in_body[l.index()] = true;
+                    stack.push(l);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in cfg.preds(b) {
+                    if !in_body[p.index()] && cfg.is_reachable(p) {
+                        in_body[p.index()] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+            let blocks: Vec<BlockId> =
+                (0..n).filter(|&i| in_body[i]).map(BlockId::new).collect();
+            loops.push(Loop { header, blocks, depth: 0 });
+        }
+
+        // Depth: number of loops containing each block; loop depth = depth
+        // of its header.
+        let mut depth = vec![0u32; n];
+        for l in &loops {
+            for &b in &l.blocks {
+                depth[b.index()] += 1;
+            }
+        }
+        for l in &mut loops {
+            l.depth = depth[l.header.index()];
+        }
+        // Innermost loop: the containing loop with maximal depth.
+        let mut innermost: Vec<Option<u32>> = vec![None; n];
+        for (li, l) in loops.iter().enumerate() {
+            for &b in &l.blocks {
+                let better = match innermost[b.index()] {
+                    None => true,
+                    Some(prev) => loops[prev as usize].depth < l.depth,
+                };
+                if better {
+                    innermost[b.index()] = Some(li as u32);
+                }
+            }
+        }
+        LoopInfo { loops, innermost, depth }
+    }
+
+    /// All detected loops.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// The innermost loop containing `b`, if any.
+    pub fn innermost(&self, b: BlockId) -> Option<&Loop> {
+        self.innermost[b.index()].map(|i| &self.loops[i as usize])
+    }
+
+    /// Loop nesting depth of `b` (0 = not in any loop).
+    pub fn depth(&self, b: BlockId) -> u32 {
+        self.depth[b.index()]
+    }
+
+    /// True if `b` is inside any loop.
+    pub fn in_loop(&self, b: BlockId) -> bool {
+        self.depth(b) > 0
+    }
+
+    /// Static trip-count estimate for the innermost loop containing `b`.
+    pub fn trip_count(&self, b: BlockId) -> f64 {
+        if self.in_loop(b) {
+            DEFAULT_TRIP_COUNT
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{CmpPred, Operand};
+    use crate::types::Type;
+
+    /// entry -> h1; h1 -> {h2, exit}; h2 -> {body, h1}; body -> h2
+    fn nested_loops() -> Function {
+        let mut fb = FunctionBuilder::new("l", Type::Void);
+        let p = fb.add_param(Type::I32);
+        let h1 = fb.new_block();
+        let h2 = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        let c = fb.cmp(CmpPred::Sgt, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 0));
+        fb.jump(h1);
+        fb.switch_to(h1);
+        fb.branch(Operand::local(c), h2, exit);
+        fb.switch_to(h2);
+        fb.branch(Operand::local(c), body, h1);
+        fb.switch_to(body);
+        fb.jump(h2);
+        fb.switch_to(exit);
+        fb.ret(None);
+        fb.finish()
+    }
+
+    fn analyze(f: &Function) -> LoopInfo {
+        let cfg = Cfg::compute(f);
+        let dt = DomTree::compute(f, &cfg);
+        LoopInfo::compute(f, &cfg, &dt)
+    }
+
+    #[test]
+    fn finds_two_nested_loops() {
+        let f = nested_loops();
+        let li = analyze(&f);
+        assert_eq!(li.loops().len(), 2);
+        let outer = li.loops().iter().find(|l| l.header == BlockId(1)).unwrap();
+        let inner = li.loops().iter().find(|l| l.header == BlockId(2)).unwrap();
+        assert_eq!(outer.depth, 1);
+        assert_eq!(inner.depth, 2);
+    }
+
+    #[test]
+    fn depths_and_innermost() {
+        let f = nested_loops();
+        let li = analyze(&f);
+        assert_eq!(li.depth(BlockId(0)), 0);
+        assert_eq!(li.depth(BlockId(1)), 1);
+        assert_eq!(li.depth(BlockId(2)), 2);
+        assert_eq!(li.depth(BlockId(3)), 2);
+        assert_eq!(li.depth(BlockId(4)), 0);
+        assert_eq!(li.innermost(BlockId(3)).unwrap().header, BlockId(2));
+        assert!(li.innermost(BlockId(4)).is_none());
+        assert!(li.in_loop(BlockId(2)));
+        assert_eq!(li.trip_count(BlockId(4)), 1.0);
+        assert_eq!(li.trip_count(BlockId(3)), DEFAULT_TRIP_COUNT);
+    }
+
+    #[test]
+    fn straightline_has_no_loops() {
+        let mut fb = FunctionBuilder::new("s", Type::Void);
+        fb.ret(None);
+        let f = fb.finish();
+        let li = analyze(&f);
+        assert!(li.loops().is_empty());
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let mut fb = FunctionBuilder::new("w", Type::Void);
+        let p = fb.add_param(Type::I32);
+        let h = fb.new_block();
+        let exit = fb.new_block();
+        let c = fb.cmp(CmpPred::Sgt, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 0));
+        fb.jump(h);
+        fb.switch_to(h);
+        fb.branch(Operand::local(c), h, exit);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let f = fb.finish();
+        let li = analyze(&f);
+        assert_eq!(li.loops().len(), 1);
+        assert_eq!(li.loops()[0].blocks, vec![h]);
+    }
+}

@@ -1,0 +1,9 @@
+//! Function- and module-level analyses shared by the optimizer, the
+//! obfuscator and the code generator.
+
+pub mod callgraph;
+pub mod cfg;
+pub mod dom;
+pub mod freq;
+pub mod liveness;
+pub mod loops;

@@ -1,0 +1,333 @@
+//! Ergonomic construction of KIR functions.
+
+use crate::constant::Const;
+use crate::function::{Block, Function, Linkage, PadInfo};
+use crate::ids::{BlockId, ExtId, FuncId, GlobalId, LocalId};
+use crate::inst::{BinOp, Callee, CastKind, CmpPred, Inst, Operand, Term, UnOp};
+use crate::types::Type;
+
+/// Builds one [`Function`], tracking a current insertion block.
+///
+/// Terminators are set explicitly; blocks left unterminated keep the
+/// placeholder [`Term::Unreachable`], which the verifier accepts only when
+/// genuinely unreachable code is intended.
+///
+/// ```
+/// use khaos_ir::builder::FunctionBuilder;
+/// use khaos_ir::{Type, Operand, BinOp};
+///
+/// let mut b = FunctionBuilder::new("double_it", Type::I64);
+/// let x = b.add_param(Type::I64);
+/// let two = Operand::const_int(Type::I64, 2);
+/// let r = b.bin(BinOp::Mul, Type::I64, Operand::local(x), two);
+/// b.ret(Some(Operand::local(r)));
+/// let f = b.finish();
+/// assert_eq!(f.param_count, 1);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    f: Function,
+    cur: BlockId,
+    params_closed: bool,
+}
+
+impl FunctionBuilder {
+    /// Starts a new function; the insertion point is the entry block.
+    pub fn new(name: impl Into<String>, ret_ty: Type) -> Self {
+        FunctionBuilder { f: Function::new(name, ret_ty), cur: BlockId(0), params_closed: false }
+    }
+
+    /// Adds a parameter of type `ty`.
+    ///
+    /// # Panics
+    /// Panics if a non-parameter local has already been created; parameters
+    /// must occupy the first local slots.
+    pub fn add_param(&mut self, ty: Type) -> LocalId {
+        assert!(!self.params_closed, "parameters must be added before other locals");
+        let id = self.f.new_local(ty);
+        self.f.param_count += 1;
+        id
+    }
+
+    /// Creates a non-parameter local of type `ty`.
+    pub fn new_local(&mut self, ty: Type) -> LocalId {
+        self.params_closed = true;
+        self.f.new_local(ty)
+    }
+
+    /// Marks the function as exported.
+    pub fn set_exported(&mut self) -> &mut Self {
+        self.f.linkage = Linkage::Exported;
+        self
+    }
+
+    /// Marks the function as variadic.
+    pub fn set_variadic(&mut self) -> &mut Self {
+        self.f.variadic = true;
+        self
+    }
+
+    /// Adds an annotation string (e.g. `"vulnerable"`).
+    pub fn annotate(&mut self, a: impl Into<String>) -> &mut Self {
+        self.f.annotations.push(a.into());
+        self
+    }
+
+    /// Creates a new (empty, unreachable-terminated) block.
+    pub fn new_block(&mut self) -> BlockId {
+        self.f.push_block(Block::with_term(Term::Unreachable))
+    }
+
+    /// Creates a new landing-pad block; `dst` receives the exception value.
+    pub fn new_pad_block(&mut self, dst: Option<LocalId>) -> BlockId {
+        let mut b = Block::with_term(Term::Unreachable);
+        b.pad = Some(PadInfo { dst });
+        self.f.push_block(b)
+    }
+
+    /// Moves the insertion point.
+    ///
+    /// # Panics
+    /// Panics if `b` is out of range.
+    pub fn switch_to(&mut self, b: BlockId) {
+        assert!(b.index() < self.f.blocks.len(), "switch_to out-of-range block {b}");
+        self.cur = b;
+    }
+
+    /// The current insertion block.
+    pub fn current(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Read-only access to the function under construction.
+    pub fn function(&self) -> &Function {
+        &self.f
+    }
+
+    fn push(&mut self, i: Inst) {
+        self.f.blocks[self.cur.index()].insts.push(i);
+    }
+
+    fn def(&mut self, ty: Type) -> LocalId {
+        self.new_local(ty)
+    }
+
+    /// Emits a binary operation and returns the destination local.
+    pub fn bin(&mut self, op: BinOp, ty: Type, lhs: Operand, rhs: Operand) -> LocalId {
+        let dst = self.def(ty);
+        self.push(Inst::Bin { op, ty, dst, lhs, rhs });
+        dst
+    }
+
+    /// Emits a unary operation.
+    pub fn un(&mut self, op: UnOp, ty: Type, src: Operand) -> LocalId {
+        let dst = self.def(ty);
+        self.push(Inst::Un { op, ty, dst, src });
+        dst
+    }
+
+    /// Emits a comparison; the result local has type `i1`.
+    pub fn cmp(&mut self, pred: CmpPred, ty: Type, lhs: Operand, rhs: Operand) -> LocalId {
+        let dst = self.def(Type::I1);
+        self.push(Inst::Cmp { pred, ty, dst, lhs, rhs });
+        dst
+    }
+
+    /// Emits a select.
+    pub fn select(&mut self, ty: Type, cond: Operand, on_true: Operand, on_false: Operand) -> LocalId {
+        let dst = self.def(ty);
+        self.push(Inst::Select { ty, dst, cond, on_true, on_false });
+        dst
+    }
+
+    /// Emits a register copy.
+    pub fn copy(&mut self, ty: Type, src: Operand) -> LocalId {
+        let dst = self.def(ty);
+        self.push(Inst::Copy { ty, dst, src });
+        dst
+    }
+
+    /// Emits a copy into an existing local.
+    pub fn copy_to(&mut self, dst: LocalId, src: Operand) {
+        let ty = self.f.local_ty(dst);
+        self.push(Inst::Copy { ty, dst, src });
+    }
+
+    /// Emits a cast.
+    pub fn cast(&mut self, kind: CastKind, src: Operand, from: Type, to: Type) -> LocalId {
+        let dst = self.def(to);
+        self.push(Inst::Cast { kind, dst, src, from, to });
+        dst
+    }
+
+    /// Emits a load.
+    pub fn load(&mut self, ty: Type, addr: Operand) -> LocalId {
+        let dst = self.def(ty);
+        self.push(Inst::Load { ty, dst, addr });
+        dst
+    }
+
+    /// Emits a store.
+    pub fn store(&mut self, ty: Type, value: Operand, addr: Operand) {
+        self.push(Inst::Store { ty, addr, value });
+    }
+
+    /// Emits an alloca of `size` bytes.
+    pub fn alloca(&mut self, size: u32) -> LocalId {
+        let dst = self.def(Type::Ptr);
+        self.push(Inst::Alloca { dst, size, align: 8 });
+        dst
+    }
+
+    /// Emits byte-offset pointer arithmetic.
+    pub fn ptradd(&mut self, base: Operand, offset: Operand) -> LocalId {
+        let dst = self.def(Type::Ptr);
+        self.push(Inst::PtrAdd { dst, base, offset });
+        dst
+    }
+
+    /// Emits a direct call; returns the destination local for non-void callees.
+    pub fn call(&mut self, func: FuncId, ret_ty: Type, args: Vec<Operand>) -> Option<LocalId> {
+        let dst = if ret_ty == Type::Void { None } else { Some(self.def(ret_ty)) };
+        self.push(Inst::Call { dst, callee: Callee::Direct(func), args });
+        dst
+    }
+
+    /// Emits a call to an external function.
+    pub fn call_ext(&mut self, ext: ExtId, ret_ty: Type, args: Vec<Operand>) -> Option<LocalId> {
+        let dst = if ret_ty == Type::Void { None } else { Some(self.def(ret_ty)) };
+        self.push(Inst::Call { dst, callee: Callee::Ext(ext), args });
+        dst
+    }
+
+    /// Emits an indirect call through `ptr`.
+    pub fn call_indirect(&mut self, ptr: Operand, ret_ty: Type, args: Vec<Operand>) -> Option<LocalId> {
+        let dst = if ret_ty == Type::Void { None } else { Some(self.def(ret_ty)) };
+        self.push(Inst::Call { dst, callee: Callee::Indirect(ptr), args });
+        dst
+    }
+
+    /// Takes the address of a function.
+    pub fn funcaddr(&mut self, func: FuncId) -> LocalId {
+        let dst = self.def(Type::Ptr);
+        self.push(Inst::FuncAddr { dst, func });
+        dst
+    }
+
+    /// Takes the address of a global.
+    pub fn globaladdr(&mut self, global: GlobalId) -> LocalId {
+        let dst = self.def(Type::Ptr);
+        self.push(Inst::GlobalAddr { dst, global });
+        dst
+    }
+
+    /// Convenience: loads an integer constant into a fresh local.
+    pub fn iconst(&mut self, ty: Type, value: i64) -> LocalId {
+        self.copy(ty, Operand::Const(Const::int(ty, value)))
+    }
+
+    fn set_term(&mut self, t: Term) {
+        self.f.blocks[self.cur.index()].term = t;
+    }
+
+    /// Terminates the current block with a jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.set_term(Term::Jump(target));
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn branch(&mut self, cond: Operand, then_bb: BlockId, else_bb: BlockId) {
+        self.set_term(Term::Branch { cond, then_bb, else_bb });
+    }
+
+    /// Terminates the current block with a switch.
+    pub fn switch(&mut self, ty: Type, value: Operand, cases: Vec<(i64, BlockId)>, default: BlockId) {
+        self.set_term(Term::Switch { ty, value, cases, default });
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.set_term(Term::Ret(value));
+    }
+
+    /// Terminates the current block with an invoke (call with unwind edge).
+    pub fn invoke(
+        &mut self,
+        callee: Callee,
+        ret_ty: Type,
+        args: Vec<Operand>,
+        normal: BlockId,
+        unwind: BlockId,
+    ) -> Option<LocalId> {
+        let dst = if ret_ty == Type::Void { None } else { Some(self.def(ret_ty)) };
+        self.set_term(Term::Invoke { dst, callee, args, normal, unwind });
+        dst
+    }
+
+    /// Terminates the current block with `unreachable`.
+    pub fn unreachable(&mut self) {
+        self.set_term(Term::Unreachable);
+    }
+
+    /// Finishes construction and returns the function.
+    pub fn finish(self) -> Function {
+        self.f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_straightline_function() {
+        let mut b = FunctionBuilder::new("f", Type::I32);
+        let p = b.add_param(Type::I32);
+        let r = b.bin(BinOp::Add, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 1));
+        b.ret(Some(Operand::local(r)));
+        let f = b.finish();
+        assert_eq!(f.param_count, 1);
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.block(BlockId(0)).insts.len(), 1);
+        assert!(matches!(f.block(BlockId(0)).term, Term::Ret(Some(_))));
+    }
+
+    #[test]
+    fn builds_diamond_cfg() {
+        let mut b = FunctionBuilder::new("g", Type::I32);
+        let p = b.add_param(Type::I32);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.cmp(CmpPred::Sgt, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 0));
+        let out = b.new_local(Type::I32);
+        b.branch(Operand::local(c), t, e);
+        b.switch_to(t);
+        b.copy_to(out, Operand::const_int(Type::I32, 1));
+        b.jump(j);
+        b.switch_to(e);
+        b.copy_to(out, Operand::const_int(Type::I32, 2));
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(Some(Operand::local(out)));
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 4);
+        assert_eq!(f.block(BlockId(0)).term.successors(), vec![t, e]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameters must be added before")]
+    fn params_after_locals_panics() {
+        let mut b = FunctionBuilder::new("h", Type::Void);
+        let _ = b.new_local(Type::I32);
+        let _ = b.add_param(Type::I32);
+    }
+
+    #[test]
+    fn pad_blocks_are_marked() {
+        let mut b = FunctionBuilder::new("e", Type::Void);
+        let v = b.new_local(Type::I64);
+        let pad = b.new_pad_block(Some(v));
+        assert!(b.function().block(pad).is_pad());
+    }
+}

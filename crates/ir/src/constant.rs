@@ -1,0 +1,147 @@
+//! Constant values.
+
+use crate::types::Type;
+use std::fmt;
+
+/// A compile-time constant operand.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Const {
+    /// An integer constant of the given integer type. The value is stored
+    /// sign-extended to `i64`; [`Const::normalized`] wraps it to the width.
+    Int { value: i64, ty: Type },
+    /// A float constant of the given float type.
+    Float { value: f64, ty: Type },
+    /// The null pointer.
+    Null,
+}
+
+impl Const {
+    /// Integer constant constructor.
+    ///
+    /// # Panics
+    /// Panics if `ty` is not an integer type.
+    pub fn int(ty: Type, value: i64) -> Self {
+        assert!(ty.is_int(), "Const::int requires an integer type, got {ty}");
+        Const::Int { value, ty }
+    }
+
+    /// Float constant constructor.
+    ///
+    /// # Panics
+    /// Panics if `ty` is not a float type.
+    pub fn float(ty: Type, value: f64) -> Self {
+        assert!(ty.is_float(), "Const::float requires a float type, got {ty}");
+        Const::Float { value, ty }
+    }
+
+    /// The boolean constant of type `i1`.
+    pub fn bool(value: bool) -> Self {
+        Const::Int { value: value as i64, ty: Type::I1 }
+    }
+
+    /// The type of this constant.
+    pub fn ty(&self) -> Type {
+        match self {
+            Const::Int { ty, .. } => *ty,
+            Const::Float { ty, .. } => *ty,
+            Const::Null => Type::Ptr,
+        }
+    }
+
+    /// The zero value of `ty`.
+    ///
+    /// # Panics
+    /// Panics if `ty` is `Void`.
+    pub fn zero(ty: Type) -> Self {
+        match ty {
+            Type::Void => panic!("no zero value of type void"),
+            t if t.is_int() => Const::Int { value: 0, ty: t },
+            t if t.is_float() => Const::Float { value: 0.0, ty: t },
+            _ => Const::Null,
+        }
+    }
+
+    /// Returns the integer value wrapped to the width of its type,
+    /// sign-extended back to `i64`. Returns `None` for non-integers.
+    pub fn normalized(&self) -> Option<i64> {
+        match self {
+            Const::Int { value, ty } => Some(normalize_int(*value, *ty)),
+            _ => None,
+        }
+    }
+
+    /// True if this is an integer or null constant equal to zero, or a float
+    /// constant equal to `0.0`.
+    pub fn is_zero(&self) -> bool {
+        match self {
+            Const::Int { value, ty } => normalize_int(*value, *ty) == 0,
+            Const::Float { value, .. } => *value == 0.0,
+            Const::Null => true,
+        }
+    }
+}
+
+/// Wraps `value` to the bit width of integer type `ty` (two's complement),
+/// sign-extending the result back to `i64`.
+pub fn normalize_int(value: i64, ty: Type) -> i64 {
+    match ty {
+        Type::I1 => value & 1,
+        Type::I8 => value as i8 as i64,
+        Type::I16 => value as i16 as i64,
+        Type::I32 => value as i32 as i64,
+        Type::I64 => value,
+        _ => panic!("normalize_int on non-integer type {ty}"),
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Int { value, ty } => write!(f, "{ty} {value}"),
+            Const::Float { value, ty } => write!(f, "{ty} {value:?}"),
+            Const::Null => write!(f, "ptr null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_values() {
+        assert!(Const::zero(Type::I32).is_zero());
+        assert!(Const::zero(Type::F64).is_zero());
+        assert!(Const::zero(Type::Ptr).is_zero());
+        assert_eq!(Const::zero(Type::Ptr), Const::Null);
+    }
+
+    #[test]
+    fn normalization_wraps_to_width() {
+        assert_eq!(Const::int(Type::I8, 300).normalized(), Some(44));
+        assert_eq!(Const::int(Type::I8, -1).normalized(), Some(-1));
+        assert_eq!(Const::int(Type::I1, 3).normalized(), Some(1));
+        assert_eq!(Const::int(Type::I32, i64::MAX).normalized(), Some(-1));
+        assert_eq!(Const::float(Type::F32, 1.5).normalized(), None);
+    }
+
+    #[test]
+    fn types_report_correctly() {
+        assert_eq!(Const::bool(true).ty(), Type::I1);
+        assert_eq!(Const::int(Type::I64, 7).ty(), Type::I64);
+        assert_eq!(Const::float(Type::F32, 2.0).ty(), Type::F32);
+        assert_eq!(Const::Null.ty(), Type::Ptr);
+    }
+
+    #[test]
+    #[should_panic(expected = "integer type")]
+    fn int_ctor_rejects_floats() {
+        let _ = Const::int(Type::F32, 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Const::int(Type::I32, -5).to_string(), "i32 -5");
+        assert_eq!(Const::Null.to_string(), "ptr null");
+    }
+}

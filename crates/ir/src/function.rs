@@ -1,0 +1,296 @@
+//! Functions, basic blocks and provenance.
+
+use crate::ids::{BlockId, LocalId};
+use crate::inst::{Inst, Operand, Term};
+use crate::types::Type;
+
+/// Whether a function is visible outside its module.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Linkage {
+    /// Module-private; the obfuscator may change its signature freely.
+    Internal,
+    /// Part of the module interface; callers outside the module exist, so
+    /// signature changes require a trampoline (paper §3.3.3).
+    Exported,
+}
+
+/// Landing-pad marker on a block.
+///
+/// A block carrying `PadInfo` may only be entered through the `unwind` edge
+/// of a [`Term::Invoke`]; `dst` receives the thrown value (an `i64`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PadInfo {
+    /// Local that receives the in-flight exception value, if bound.
+    pub dst: Option<LocalId>,
+}
+
+/// Lineage of a function with respect to the pre-obfuscation program.
+///
+/// The diffing evaluation needs the paper's relaxed pairing judgment (§4.2):
+/// an original function pairs successfully with any of its `sepFuncs`, its
+/// `remFunc`, or any `fusFunc` it participates in. `origins` carries the
+/// set of original source-function names this function's code descends from.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Provenance {
+    /// How this function came to be.
+    pub kind: ProvKind,
+    /// Names of the original functions whose code is (partly) inside.
+    pub origins: Vec<String>,
+}
+
+/// The transformation that produced a function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProvKind {
+    /// Present in the source program.
+    Original,
+    /// A region separated out of an original function by fission.
+    Sep,
+    /// The remnant of an original function after fission.
+    Rem,
+    /// The aggregation of two functions by fusion.
+    Fused,
+    /// A forwarding stub generated for exported/escaping fused functions.
+    Trampoline,
+}
+
+impl Provenance {
+    /// Provenance of an unobfuscated function named `name`.
+    pub fn original(name: impl Into<String>) -> Self {
+        Provenance { kind: ProvKind::Original, origins: vec![name.into()] }
+    }
+
+    /// True if any of this function's code descends from `origin`.
+    pub fn has_origin(&self, origin: &str) -> bool {
+        self.origins.iter().any(|o| o == origin)
+    }
+}
+
+/// A basic block: a straight-line instruction list plus one terminator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// The non-terminator instructions, in execution order.
+    pub insts: Vec<Inst>,
+    /// The terminator.
+    pub term: Term,
+    /// Landing-pad marker (see [`PadInfo`]).
+    pub pad: Option<PadInfo>,
+}
+
+impl Block {
+    /// A block that falls through to `target`.
+    pub fn jump_to(target: BlockId) -> Self {
+        Block { insts: Vec::new(), term: Term::Jump(target), pad: None }
+    }
+
+    /// A block holding only `term`.
+    pub fn with_term(term: Term) -> Self {
+        Block { insts: Vec::new(), term, pad: None }
+    }
+
+    /// True if this block is a landing pad.
+    pub fn is_pad(&self) -> bool {
+        self.pad.is_some()
+    }
+}
+
+/// A KIR function.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    /// Symbol name. Unique within a module.
+    pub name: String,
+    /// Types of all locals; params occupy the first `param_count` slots.
+    pub locals: Vec<Type>,
+    /// Number of leading locals that are parameters.
+    pub param_count: u32,
+    /// Return type (may be [`Type::Void`]).
+    pub ret_ty: Type,
+    /// Basic blocks. `BlockId(0)` is the entry block.
+    pub blocks: Vec<Block>,
+    /// Visibility.
+    pub linkage: Linkage,
+    /// True for C-style variadic functions (never fused, per §3.3.1).
+    pub variadic: bool,
+    /// Lineage for the diffing ground truth.
+    pub provenance: Provenance,
+    /// Free-form markers; the workloads mark vulnerable functions with
+    /// `"vulnerable"` for the escape@k experiment.
+    pub annotations: Vec<String>,
+}
+
+impl Function {
+    /// Creates an empty function with the given name and return type.
+    ///
+    /// The entry block is created, terminated by [`Term::Unreachable`] until
+    /// real code is added.
+    pub fn new(name: impl Into<String>, ret_ty: Type) -> Self {
+        let name = name.into();
+        Function {
+            provenance: Provenance::original(name.clone()),
+            name,
+            locals: Vec::new(),
+            param_count: 0,
+            ret_ty,
+            blocks: vec![Block::with_term(Term::Unreachable)],
+            linkage: Linkage::Internal,
+            variadic: false,
+            annotations: Vec::new(),
+        }
+    }
+
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Ids of the parameter locals.
+    pub fn params(&self) -> impl Iterator<Item = LocalId> + '_ {
+        (0..self.param_count).map(LocalId)
+    }
+
+    /// Types of the parameters.
+    pub fn param_types(&self) -> &[Type] {
+        &self.locals[..self.param_count as usize]
+    }
+
+    /// Appends a fresh local of type `ty` and returns its id.
+    pub fn new_local(&mut self, ty: Type) -> LocalId {
+        let id = LocalId::new(self.locals.len());
+        self.locals.push(ty);
+        id
+    }
+
+    /// The type of local `l`.
+    ///
+    /// # Panics
+    /// Panics if `l` is out of range.
+    pub fn local_ty(&self, l: LocalId) -> Type {
+        self.locals[l.index()]
+    }
+
+    /// Appends a block and returns its id.
+    pub fn push_block(&mut self, block: Block) -> BlockId {
+        let id = BlockId::new(self.blocks.len());
+        self.blocks.push(block);
+        id
+    }
+
+    /// Shared access to a block.
+    ///
+    /// # Panics
+    /// Panics if `b` is out of range.
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b.index()]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    /// Panics if `b` is out of range.
+    pub fn block_mut(&mut self, b: BlockId) -> &mut Block {
+        &mut self.blocks[b.index()]
+    }
+
+    /// Iterates over `(BlockId, &Block)` pairs.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId::new(i), b))
+    }
+
+    /// Total instruction count (including terminators), a cheap size metric
+    /// used by inlining heuristics and statistics.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len() + 1).sum()
+    }
+
+    /// True if the function carries the given annotation.
+    pub fn has_annotation(&self, a: &str) -> bool {
+        self.annotations.iter().any(|x| x == a)
+    }
+
+    /// Visits every operand read anywhere in the function, mutably.
+    pub fn for_each_use_mut(&mut self, mut f: impl FnMut(&mut Operand)) {
+        for b in &mut self.blocks {
+            for i in &mut b.insts {
+                i.for_each_use_mut(&mut f);
+            }
+            b.term.for_each_use_mut(&mut f);
+        }
+    }
+
+    /// Replaces every read of local `from` with the operand `to`.
+    pub fn replace_uses(&mut self, from: LocalId, to: Operand) {
+        self.for_each_use_mut(|o| {
+            if o.as_local() == Some(from) {
+                *o = to;
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::BinOp;
+
+    #[test]
+    fn new_function_has_entry() {
+        let f = Function::new("f", Type::Void);
+        assert_eq!(f.entry(), BlockId(0));
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.block(f.entry()).term, Term::Unreachable);
+        assert_eq!(f.provenance.kind, ProvKind::Original);
+        assert!(f.provenance.has_origin("f"));
+    }
+
+    #[test]
+    fn locals_and_params() {
+        let mut f = Function::new("g", Type::I32);
+        let a = f.new_local(Type::I32);
+        let b = f.new_local(Type::F64);
+        f.param_count = 1;
+        assert_eq!(f.params().collect::<Vec<_>>(), vec![a]);
+        assert_eq!(f.param_types(), &[Type::I32]);
+        assert_eq!(f.local_ty(b), Type::F64);
+    }
+
+    #[test]
+    fn replace_uses_rewrites_operands() {
+        let mut f = Function::new("h", Type::I32);
+        let a = f.new_local(Type::I32);
+        let d = f.new_local(Type::I32);
+        f.param_count = 1;
+        f.block_mut(BlockId(0)).insts.push(Inst::Bin {
+            op: BinOp::Add,
+            ty: Type::I32,
+            dst: d,
+            lhs: Operand::local(a),
+            rhs: Operand::local(a),
+        });
+        f.block_mut(BlockId(0)).term = Term::Ret(Some(Operand::local(d)));
+        f.replace_uses(a, Operand::const_int(Type::I32, 7));
+        match &f.block(BlockId(0)).insts[0] {
+            Inst::Bin { lhs, rhs, .. } => {
+                assert_eq!(lhs.as_const().unwrap().normalized(), Some(7));
+                assert_eq!(rhs.as_const().unwrap().normalized(), Some(7));
+            }
+            other => panic!("unexpected inst {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inst_count_includes_terminators() {
+        let mut f = Function::new("k", Type::Void);
+        f.block_mut(BlockId(0)).term = Term::Ret(None);
+        assert_eq!(f.inst_count(), 1);
+        let b = f.push_block(Block::jump_to(BlockId(0)));
+        assert_eq!(f.inst_count(), 2);
+        assert!(!f.block(b).is_pad());
+    }
+
+    #[test]
+    fn annotations() {
+        let mut f = Function::new("v", Type::Void);
+        f.annotations.push("vulnerable".to_string());
+        assert!(f.has_annotation("vulnerable"));
+        assert!(!f.has_annotation("hot"));
+    }
+}

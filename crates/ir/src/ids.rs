@@ -1,0 +1,101 @@
+//! Index newtypes for IR entities.
+//!
+//! All IR containers are plain `Vec`s indexed by these ids; the newtypes keep
+//! the different index spaces from being mixed up ([C-NEWTYPE]).
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates the id from a raw `usize` index.
+            ///
+            /// # Panics
+            /// Panics if `index` exceeds `u32::MAX`.
+            pub fn new(index: usize) -> Self {
+                assert!(index <= u32::MAX as usize, "id index overflow");
+                Self(index as u32)
+            }
+
+            /// Returns the raw index for container access.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a function within a [`crate::Module`].
+    FuncId,
+    "@f"
+);
+define_id!(
+    /// Identifies a basic block within a [`crate::Function`].
+    BlockId,
+    "bb"
+);
+define_id!(
+    /// Identifies a local (virtual register) within a [`crate::Function`].
+    LocalId,
+    "%"
+);
+define_id!(
+    /// Identifies a global variable within a [`crate::Module`].
+    GlobalId,
+    "@g"
+);
+define_id!(
+    /// Identifies an external function declaration within a [`crate::Module`].
+    ExtId,
+    "@e"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let b = BlockId::new(42);
+        assert_eq!(b.index(), 42);
+        assert_eq!(b, BlockId(42));
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(format!("{}", LocalId(3)), "%3");
+        assert_eq!(format!("{}", FuncId(1)), "@f1");
+        assert_eq!(format!("{}", BlockId(0)), "bb0");
+        assert_eq!(format!("{:?}", GlobalId(7)), "@g7");
+        assert_eq!(format!("{}", ExtId(2)), "@e2");
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(BlockId(1) < BlockId(2));
+        assert!(LocalId(0) < LocalId(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "id index overflow")]
+    fn new_rejects_overflow() {
+        let _ = BlockId::new(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,731 @@
+//! Instructions, operands and block terminators.
+
+use crate::constant::Const;
+use crate::ids::{BlockId, ExtId, FuncId, GlobalId, LocalId};
+use crate::types::Type;
+
+/// A value read by an instruction: either a local register or a constant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Operand {
+    /// Read the current value of a local.
+    Local(LocalId),
+    /// An immediate constant.
+    Const(Const),
+}
+
+impl Operand {
+    /// Shorthand for `Operand::Local`.
+    pub fn local(id: LocalId) -> Self {
+        Operand::Local(id)
+    }
+
+    /// Shorthand for an integer immediate.
+    pub fn const_int(ty: Type, value: i64) -> Self {
+        Operand::Const(Const::int(ty, value))
+    }
+
+    /// Shorthand for a float immediate.
+    pub fn const_float(ty: Type, value: f64) -> Self {
+        Operand::Const(Const::float(ty, value))
+    }
+
+    /// Shorthand for the `i1` constants.
+    pub fn const_bool(value: bool) -> Self {
+        Operand::Const(Const::bool(value))
+    }
+
+    /// The zero value of `ty`.
+    pub fn zero(ty: Type) -> Self {
+        Operand::Const(Const::zero(ty))
+    }
+
+    /// Returns the local if this operand reads one.
+    pub fn as_local(&self) -> Option<LocalId> {
+        match self {
+            Operand::Local(l) => Some(*l),
+            Operand::Const(_) => None,
+        }
+    }
+
+    /// Returns the constant if this operand is immediate.
+    pub fn as_const(&self) -> Option<Const> {
+        match self {
+            Operand::Local(_) => None,
+            Operand::Const(c) => Some(*c),
+        }
+    }
+}
+
+impl From<LocalId> for Operand {
+    fn from(l: LocalId) -> Self {
+        Operand::Local(l)
+    }
+}
+
+impl From<Const> for Operand {
+    fn from(c: Const) -> Self {
+        Operand::Const(c)
+    }
+}
+
+/// Integer and float binary operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    /// Signed division. Traps on division by zero.
+    SDiv,
+    /// Unsigned division. Traps on division by zero.
+    UDiv,
+    /// Signed remainder. Traps on division by zero.
+    SRem,
+    /// Unsigned remainder. Traps on division by zero.
+    URem,
+    And,
+    Or,
+    Xor,
+    /// Shift left; shift amount is masked to the width.
+    Shl,
+    /// Logical shift right.
+    LShr,
+    /// Arithmetic shift right.
+    AShr,
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+}
+
+impl BinOp {
+    /// All variants, for iteration in tests and generators.
+    pub const ALL: [BinOp; 17] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::SDiv,
+        BinOp::UDiv,
+        BinOp::SRem,
+        BinOp::URem,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::LShr,
+        BinOp::AShr,
+        BinOp::FAdd,
+        BinOp::FSub,
+        BinOp::FMul,
+        BinOp::FDiv,
+    ];
+
+    /// True for the float-typed operations.
+    pub fn is_float_op(self) -> bool {
+        matches!(self, BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv)
+    }
+
+    /// True for operations that can trap (integer division/remainder by zero).
+    pub fn can_trap(self) -> bool {
+        matches!(self, BinOp::SDiv | BinOp::UDiv | BinOp::SRem | BinOp::URem)
+    }
+
+    /// True if `op(a, b) == op(b, a)`.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::FAdd | BinOp::FMul
+        )
+    }
+
+    /// The textual mnemonic used by the printer and parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::SDiv => "sdiv",
+            BinOp::UDiv => "udiv",
+            BinOp::SRem => "srem",
+            BinOp::URem => "urem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::LShr => "lshr",
+            BinOp::AShr => "ashr",
+            BinOp::FAdd => "fadd",
+            BinOp::FSub => "fsub",
+            BinOp::FMul => "fmul",
+            BinOp::FDiv => "fdiv",
+        }
+    }
+}
+
+/// Unary operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Integer negation.
+    Neg,
+    /// Bitwise complement.
+    Not,
+    /// Float negation.
+    FNeg,
+}
+
+impl UnOp {
+    /// The textual mnemonic used by the printer and parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+            UnOp::FNeg => "fneg",
+        }
+    }
+}
+
+/// Comparison predicates. `S`/`U` prefixes are signed/unsigned integer
+/// comparisons; `F` prefixes are ordered float comparisons.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpPred {
+    Eq,
+    Ne,
+    Slt,
+    Sle,
+    Sgt,
+    Sge,
+    Ult,
+    Ule,
+    Ugt,
+    Uge,
+    FEq,
+    FNe,
+    FLt,
+    FLe,
+    FGt,
+    FGe,
+}
+
+impl CmpPred {
+    /// All variants.
+    pub const ALL: [CmpPred; 16] = [
+        CmpPred::Eq,
+        CmpPred::Ne,
+        CmpPred::Slt,
+        CmpPred::Sle,
+        CmpPred::Sgt,
+        CmpPred::Sge,
+        CmpPred::Ult,
+        CmpPred::Ule,
+        CmpPred::Ugt,
+        CmpPred::Uge,
+        CmpPred::FEq,
+        CmpPred::FNe,
+        CmpPred::FLt,
+        CmpPred::FLe,
+        CmpPred::FGt,
+        CmpPred::FGe,
+    ];
+
+    /// True for the float predicates.
+    pub fn is_float_pred(self) -> bool {
+        matches!(
+            self,
+            CmpPred::FEq | CmpPred::FNe | CmpPred::FLt | CmpPred::FLe | CmpPred::FGt | CmpPred::FGe
+        )
+    }
+
+    /// The predicate with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn swapped(self) -> CmpPred {
+        match self {
+            CmpPred::Eq | CmpPred::Ne | CmpPred::FEq | CmpPred::FNe => self,
+            CmpPred::Slt => CmpPred::Sgt,
+            CmpPred::Sle => CmpPred::Sge,
+            CmpPred::Sgt => CmpPred::Slt,
+            CmpPred::Sge => CmpPred::Sle,
+            CmpPred::Ult => CmpPred::Ugt,
+            CmpPred::Ule => CmpPred::Uge,
+            CmpPred::Ugt => CmpPred::Ult,
+            CmpPred::Uge => CmpPred::Ule,
+            CmpPred::FLt => CmpPred::FGt,
+            CmpPred::FLe => CmpPred::FGe,
+            CmpPred::FGt => CmpPred::FLt,
+            CmpPred::FGe => CmpPred::FLe,
+        }
+    }
+
+    /// The logically negated predicate.
+    pub fn negated(self) -> CmpPred {
+        match self {
+            CmpPred::Eq => CmpPred::Ne,
+            CmpPred::Ne => CmpPred::Eq,
+            CmpPred::Slt => CmpPred::Sge,
+            CmpPred::Sle => CmpPred::Sgt,
+            CmpPred::Sgt => CmpPred::Sle,
+            CmpPred::Sge => CmpPred::Slt,
+            CmpPred::Ult => CmpPred::Uge,
+            CmpPred::Ule => CmpPred::Ugt,
+            CmpPred::Ugt => CmpPred::Ule,
+            CmpPred::Uge => CmpPred::Ult,
+            CmpPred::FEq => CmpPred::FNe,
+            CmpPred::FNe => CmpPred::FEq,
+            CmpPred::FLt => CmpPred::FGe,
+            CmpPred::FLe => CmpPred::FGt,
+            CmpPred::FGt => CmpPred::FLe,
+            CmpPred::FGe => CmpPred::FLt,
+        }
+    }
+
+    /// The textual mnemonic used by the printer and parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpPred::Eq => "eq",
+            CmpPred::Ne => "ne",
+            CmpPred::Slt => "slt",
+            CmpPred::Sle => "sle",
+            CmpPred::Sgt => "sgt",
+            CmpPred::Sge => "sge",
+            CmpPred::Ult => "ult",
+            CmpPred::Ule => "ule",
+            CmpPred::Ugt => "ugt",
+            CmpPred::Uge => "uge",
+            CmpPred::FEq => "feq",
+            CmpPred::FNe => "fne",
+            CmpPred::FLt => "flt",
+            CmpPred::FLe => "fle",
+            CmpPred::FGt => "fgt",
+            CmpPred::FGe => "fge",
+        }
+    }
+}
+
+/// Value conversion kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CastKind {
+    /// Integer truncation to a narrower type.
+    Trunc,
+    /// Zero extension to a wider integer type.
+    ZExt,
+    /// Sign extension to a wider integer type.
+    SExt,
+    /// Float → signed integer (round toward zero, saturating).
+    FpToSi,
+    /// Signed integer → float.
+    SiToFp,
+    /// Float narrowing (`f64` → `f32`).
+    FpTrunc,
+    /// Float widening (`f32` → `f64`).
+    FpExt,
+    /// Pointer → `i64`.
+    PtrToInt,
+    /// `i64` → pointer.
+    IntToPtr,
+}
+
+impl CastKind {
+    /// The textual mnemonic used by the printer and parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CastKind::Trunc => "trunc",
+            CastKind::ZExt => "zext",
+            CastKind::SExt => "sext",
+            CastKind::FpToSi => "fptosi",
+            CastKind::SiToFp => "sitofp",
+            CastKind::FpTrunc => "fptrunc",
+            CastKind::FpExt => "fpext",
+            CastKind::PtrToInt => "ptrtoint",
+            CastKind::IntToPtr => "inttoptr",
+        }
+    }
+}
+
+/// The target of a call.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Callee {
+    /// A function in the same module.
+    Direct(FuncId),
+    /// A declared external function, executed by the VM's synthetic libc.
+    Ext(ExtId),
+    /// An indirect call through a pointer value.
+    Indirect(Operand),
+}
+
+/// A non-terminator instruction.
+///
+/// Every instruction defines at most one local ([`Inst::def`]) and reads a
+/// set of operands ([`Inst::for_each_use`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Inst {
+    /// `dst = op ty lhs, rhs`
+    Bin { op: BinOp, ty: Type, dst: LocalId, lhs: Operand, rhs: Operand },
+    /// `dst = op ty src`
+    Un { op: UnOp, ty: Type, dst: LocalId, src: Operand },
+    /// `dst = cmp pred ty lhs, rhs` — `dst` has type `i1`.
+    Cmp { pred: CmpPred, ty: Type, dst: LocalId, lhs: Operand, rhs: Operand },
+    /// `dst = select cond, on_true, on_false` (all of type `ty`).
+    Select { ty: Type, dst: LocalId, cond: Operand, on_true: Operand, on_false: Operand },
+    /// `dst = copy ty src` — register move.
+    Copy { ty: Type, dst: LocalId, src: Operand },
+    /// `dst = cast kind src : from -> to`
+    Cast { kind: CastKind, dst: LocalId, src: Operand, from: Type, to: Type },
+    /// `dst = load ty, addr`
+    Load { ty: Type, dst: LocalId, addr: Operand },
+    /// `store ty value, addr`
+    Store { ty: Type, addr: Operand, value: Operand },
+    /// `dst = alloca size, align` — reserves `size` bytes in the current
+    /// frame and yields the address. Executing the same alloca repeatedly
+    /// (e.g. in a loop) yields fresh slots, as in C.
+    Alloca { dst: LocalId, size: u32, align: u32 },
+    /// `dst = ptradd base, offset` — byte-offset pointer arithmetic.
+    PtrAdd { dst: LocalId, base: Operand, offset: Operand },
+    /// `dst = call callee(args...)` — `dst` is `None` for void calls.
+    Call { dst: Option<LocalId>, callee: Callee, args: Vec<Operand> },
+    /// `dst = funcaddr @f` — takes the address of a function.
+    FuncAddr { dst: LocalId, func: FuncId },
+    /// `dst = globaladdr @g` — takes the address of a global.
+    GlobalAddr { dst: LocalId, global: GlobalId },
+}
+
+impl Inst {
+    /// The local defined by this instruction, if any.
+    pub fn def(&self) -> Option<LocalId> {
+        match self {
+            Inst::Bin { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::Cmp { dst, .. }
+            | Inst::Select { dst, .. }
+            | Inst::Copy { dst, .. }
+            | Inst::Cast { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::Alloca { dst, .. }
+            | Inst::PtrAdd { dst, .. }
+            | Inst::FuncAddr { dst, .. }
+            | Inst::GlobalAddr { dst, .. } => Some(*dst),
+            Inst::Store { .. } => None,
+            Inst::Call { dst, .. } => *dst,
+        }
+    }
+
+    /// A mutable reference to the defined local, if any.
+    pub fn def_mut(&mut self) -> Option<&mut LocalId> {
+        match self {
+            Inst::Bin { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::Cmp { dst, .. }
+            | Inst::Select { dst, .. }
+            | Inst::Copy { dst, .. }
+            | Inst::Cast { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::Alloca { dst, .. }
+            | Inst::PtrAdd { dst, .. }
+            | Inst::FuncAddr { dst, .. }
+            | Inst::GlobalAddr { dst, .. } => Some(dst),
+            Inst::Store { .. } => None,
+            Inst::Call { dst, .. } => dst.as_mut(),
+        }
+    }
+
+    /// Visits every operand this instruction reads.
+    pub fn for_each_use(&self, mut f: impl FnMut(&Operand)) {
+        match self {
+            Inst::Bin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            Inst::Un { src, .. } | Inst::Copy { src, .. } | Inst::Cast { src, .. } => f(src),
+            Inst::Select { cond, on_true, on_false, .. } => {
+                f(cond);
+                f(on_true);
+                f(on_false);
+            }
+            Inst::Load { addr, .. } => f(addr),
+            Inst::Store { addr, value, .. } => {
+                f(addr);
+                f(value);
+            }
+            Inst::Alloca { .. } | Inst::FuncAddr { .. } | Inst::GlobalAddr { .. } => {}
+            Inst::PtrAdd { base, offset, .. } => {
+                f(base);
+                f(offset);
+            }
+            Inst::Call { callee, args, .. } => {
+                if let Callee::Indirect(p) = callee {
+                    f(p);
+                }
+                for a in args {
+                    f(a);
+                }
+            }
+        }
+    }
+
+    /// Visits every operand this instruction reads, mutably.
+    pub fn for_each_use_mut(&mut self, mut f: impl FnMut(&mut Operand)) {
+        match self {
+            Inst::Bin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            Inst::Un { src, .. } | Inst::Copy { src, .. } | Inst::Cast { src, .. } => f(src),
+            Inst::Select { cond, on_true, on_false, .. } => {
+                f(cond);
+                f(on_true);
+                f(on_false);
+            }
+            Inst::Load { addr, .. } => f(addr),
+            Inst::Store { addr, value, .. } => {
+                f(addr);
+                f(value);
+            }
+            Inst::Alloca { .. } | Inst::FuncAddr { .. } | Inst::GlobalAddr { .. } => {}
+            Inst::PtrAdd { base, offset, .. } => {
+                f(base);
+                f(offset);
+            }
+            Inst::Call { callee, args, .. } => {
+                if let Callee::Indirect(p) = callee {
+                    f(p);
+                }
+                for a in args {
+                    f(a);
+                }
+            }
+        }
+    }
+
+    /// True if removing this instruction (when its def is dead) is safe:
+    /// no memory writes, no calls, no traps.
+    pub fn is_pure(&self) -> bool {
+        match self {
+            Inst::Bin { op, .. } => !op.can_trap(),
+            Inst::Un { .. }
+            | Inst::Cmp { .. }
+            | Inst::Select { .. }
+            | Inst::Copy { .. }
+            | Inst::Cast { .. }
+            | Inst::PtrAdd { .. }
+            | Inst::FuncAddr { .. }
+            | Inst::GlobalAddr { .. } => true,
+            Inst::Load { .. } | Inst::Store { .. } | Inst::Alloca { .. } | Inst::Call { .. } => false,
+        }
+    }
+}
+
+/// A basic-block terminator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Term {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way conditional branch on an `i1` operand.
+    Branch { cond: Operand, then_bb: BlockId, else_bb: BlockId },
+    /// Multi-way switch on an integer operand.
+    Switch { ty: Type, value: Operand, cases: Vec<(i64, BlockId)>, default: BlockId },
+    /// Function return.
+    Ret(Option<Operand>),
+    /// A call with an exception edge: control continues at `normal`, or at
+    /// `unwind` (a landing pad) if the callee throws.
+    Invoke {
+        dst: Option<LocalId>,
+        callee: Callee,
+        args: Vec<Operand>,
+        normal: BlockId,
+        unwind: BlockId,
+    },
+    /// Marks unreachable control flow; the VM traps if executed.
+    Unreachable,
+}
+
+impl Term {
+    /// The local defined by this terminator (only `Invoke` defines one).
+    pub fn def(&self) -> Option<LocalId> {
+        match self {
+            Term::Invoke { dst, .. } => *dst,
+            _ => None,
+        }
+    }
+
+    /// Visits every operand this terminator reads.
+    pub fn for_each_use(&self, mut f: impl FnMut(&Operand)) {
+        match self {
+            Term::Jump(_) | Term::Unreachable => {}
+            Term::Branch { cond, .. } => f(cond),
+            Term::Switch { value, .. } => f(value),
+            Term::Ret(Some(v)) => f(v),
+            Term::Ret(None) => {}
+            Term::Invoke { callee, args, .. } => {
+                if let Callee::Indirect(p) = callee {
+                    f(p);
+                }
+                for a in args {
+                    f(a);
+                }
+            }
+        }
+    }
+
+    /// Visits every operand this terminator reads, mutably.
+    pub fn for_each_use_mut(&mut self, mut f: impl FnMut(&mut Operand)) {
+        match self {
+            Term::Jump(_) | Term::Unreachable => {}
+            Term::Branch { cond, .. } => f(cond),
+            Term::Switch { value, .. } => f(value),
+            Term::Ret(Some(v)) => f(v),
+            Term::Ret(None) => {}
+            Term::Invoke { callee, args, .. } => {
+                if let Callee::Indirect(p) = callee {
+                    f(p);
+                }
+                for a in args {
+                    f(a);
+                }
+            }
+        }
+    }
+
+    /// Visits every successor block id.
+    pub fn for_each_successor(&self, mut f: impl FnMut(BlockId)) {
+        match self {
+            Term::Jump(t) => f(*t),
+            Term::Branch { then_bb, else_bb, .. } => {
+                f(*then_bb);
+                f(*else_bb);
+            }
+            Term::Switch { cases, default, .. } => {
+                for (_, t) in cases {
+                    f(*t);
+                }
+                f(*default);
+            }
+            Term::Ret(_) | Term::Unreachable => {}
+            Term::Invoke { normal, unwind, .. } => {
+                f(*normal);
+                f(*unwind);
+            }
+        }
+    }
+
+    /// Visits every successor block id, mutably (for retargeting edges).
+    pub fn for_each_successor_mut(&mut self, mut f: impl FnMut(&mut BlockId)) {
+        match self {
+            Term::Jump(t) => f(t),
+            Term::Branch { then_bb, else_bb, .. } => {
+                f(then_bb);
+                f(else_bb);
+            }
+            Term::Switch { cases, default, .. } => {
+                for (_, t) in cases {
+                    f(t);
+                }
+                f(default);
+            }
+            Term::Ret(_) | Term::Unreachable => {}
+            Term::Invoke { normal, unwind, .. } => {
+                f(normal);
+                f(unwind);
+            }
+        }
+    }
+
+    /// Collects the successors into a vector.
+    pub fn successors(&self) -> Vec<BlockId> {
+        let mut v = Vec::new();
+        self.for_each_successor(|b| v.push(b));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_constructors() {
+        assert_eq!(Operand::const_int(Type::I32, 5).as_const(), Some(Const::int(Type::I32, 5)));
+        assert_eq!(Operand::local(LocalId(3)).as_local(), Some(LocalId(3)));
+        assert_eq!(Operand::zero(Type::Ptr).as_const(), Some(Const::Null));
+        let o: Operand = LocalId(1).into();
+        assert_eq!(o, Operand::Local(LocalId(1)));
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::FAdd.is_float_op());
+        assert!(!BinOp::Add.is_float_op());
+        assert!(BinOp::SDiv.can_trap());
+        assert!(!BinOp::FDiv.can_trap(), "float division yields inf, no trap");
+        assert!(BinOp::Mul.is_commutative());
+        assert!(!BinOp::Sub.is_commutative());
+    }
+
+    #[test]
+    fn pred_negation_is_involutive() {
+        for p in CmpPred::ALL {
+            assert_eq!(p.negated().negated(), p);
+            assert_eq!(p.swapped().swapped(), p);
+        }
+    }
+
+    #[test]
+    fn inst_def_and_uses() {
+        let i = Inst::Bin {
+            op: BinOp::Add,
+            ty: Type::I32,
+            dst: LocalId(2),
+            lhs: Operand::local(LocalId(0)),
+            rhs: Operand::const_int(Type::I32, 1),
+        };
+        assert_eq!(i.def(), Some(LocalId(2)));
+        let mut uses = Vec::new();
+        i.for_each_use(|o| uses.push(*o));
+        assert_eq!(uses.len(), 2);
+        assert!(i.is_pure());
+
+        let s = Inst::Store {
+            ty: Type::I64,
+            addr: Operand::local(LocalId(1)),
+            value: Operand::local(LocalId(0)),
+        };
+        assert_eq!(s.def(), None);
+        assert!(!s.is_pure());
+    }
+
+    #[test]
+    fn call_uses_include_indirect_target() {
+        let c = Inst::Call {
+            dst: None,
+            callee: Callee::Indirect(Operand::local(LocalId(9))),
+            args: vec![Operand::local(LocalId(1))],
+        };
+        let mut uses = Vec::new();
+        c.for_each_use(|o| uses.push(*o));
+        assert_eq!(uses.len(), 2);
+        assert_eq!(uses[0].as_local(), Some(LocalId(9)));
+    }
+
+    #[test]
+    fn term_successors() {
+        let t = Term::Switch {
+            ty: Type::I32,
+            value: Operand::local(LocalId(0)),
+            cases: vec![(0, BlockId(1)), (1, BlockId(2))],
+            default: BlockId(3),
+        };
+        assert_eq!(t.successors(), vec![BlockId(1), BlockId(2), BlockId(3)]);
+        assert_eq!(Term::Ret(None).successors(), Vec::<BlockId>::new());
+        let inv = Term::Invoke {
+            dst: Some(LocalId(4)),
+            callee: Callee::Direct(FuncId(0)),
+            args: vec![],
+            normal: BlockId(5),
+            unwind: BlockId(6),
+        };
+        assert_eq!(inv.successors(), vec![BlockId(5), BlockId(6)]);
+        assert_eq!(inv.def(), Some(LocalId(4)));
+    }
+
+    #[test]
+    fn retarget_edges_mutably() {
+        let mut t = Term::Jump(BlockId(0));
+        t.for_each_successor_mut(|b| *b = BlockId(7));
+        assert_eq!(t, Term::Jump(BlockId(7)));
+    }
+}

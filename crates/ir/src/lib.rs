@@ -1,0 +1,61 @@
+//! # khaos-ir — KIR, the compiler IR substrate
+//!
+//! KIR is a typed, register-based intermediate representation modelled on the
+//! subset of LLVM IR that the Khaos obfuscator (CGO 2023) manipulates:
+//!
+//! * functions made of basic blocks with explicit terminators,
+//! * typed virtual registers ("locals") plus explicit [`Inst::Alloca`] stack
+//!   slots for address-taken data,
+//! * direct, external and indirect calls, function-address constants and
+//!   globals with function-pointer initialisers (relocations with addends),
+//! * `invoke`-style exception edges and `setjmp`/`longjmp` intrinsics.
+//!
+//! Unlike LLVM, KIR is *not* SSA: a local may be assigned multiple times.
+//! This mirrors the "demote to memory / registers" representation LLVM's
+//! `CodeExtractor` works on and keeps the fission/fusion transformations
+//! faithful while avoiding phi-node rewiring machinery.
+//!
+//! The crate also hosts the analyses both the optimizer and the obfuscator
+//! need: CFG utilities, dominator trees, natural loops, static block
+//! frequencies, liveness and the call graph.
+//!
+//! ```
+//! use khaos_ir::builder::FunctionBuilder;
+//! use khaos_ir::{Module, Type, Operand, BinOp};
+//!
+//! let mut m = Module::new("demo");
+//! let mut b = FunctionBuilder::new("add1", Type::I64);
+//! let x = b.add_param(Type::I64);
+//! let one = Operand::const_int(Type::I64, 1);
+//! let r = b.bin(BinOp::Add, Type::I64, Operand::local(x), one);
+//! b.ret(Some(Operand::local(r)));
+//! m.push_function(b.finish());
+//! assert!(khaos_ir::verify::verify_module(&m).is_ok());
+//! ```
+
+pub mod analysis;
+pub mod builder;
+pub mod constant;
+pub mod function;
+pub mod ids;
+pub mod inst;
+pub mod module;
+pub mod parser;
+pub mod printer;
+pub mod rewrite;
+pub mod types;
+pub mod verify;
+
+pub use constant::Const;
+pub use function::{Block, Function, Linkage, PadInfo, ProvKind, Provenance};
+pub use ids::{BlockId, ExtId, FuncId, GlobalId, LocalId};
+pub use inst::{BinOp, Callee, CastKind, CmpPred, Inst, Operand, Term, UnOp};
+pub use module::{ExtFunc, GInit, Global, Module};
+pub use types::Type;
+
+pub use analysis::callgraph::CallGraph;
+pub use analysis::cfg::Cfg;
+pub use analysis::dom::DomTree;
+pub use analysis::freq::BlockFreq;
+pub use analysis::liveness::Liveness;
+pub use analysis::loops::LoopInfo;

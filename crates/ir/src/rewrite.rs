@@ -1,0 +1,196 @@
+//! Rewriting utilities shared by optimization and obfuscation passes.
+
+use crate::function::{Block, Function};
+use crate::ids::{BlockId, LocalId};
+use crate::inst::{Inst, Operand, Term};
+use std::collections::HashMap;
+
+/// Remaps every local id in `inst` through `map` (ids absent from the map
+/// stay unchanged).
+pub fn remap_inst_locals(inst: &mut Inst, map: &HashMap<LocalId, LocalId>) {
+    if let Some(d) = inst.def_mut() {
+        if let Some(n) = map.get(d) {
+            *d = *n;
+        }
+    }
+    inst.for_each_use_mut(|o| {
+        if let Operand::Local(l) = o {
+            if let Some(n) = map.get(l) {
+                *o = Operand::Local(*n);
+            }
+        }
+    });
+}
+
+/// Remaps every local id in `term` through `map`.
+pub fn remap_term_locals(term: &mut Term, map: &HashMap<LocalId, LocalId>) {
+    if let Term::Invoke { dst: Some(d), .. } = term {
+        if let Some(n) = map.get(d) {
+            *d = *n;
+        }
+    }
+    term.for_each_use_mut(|o| {
+        if let Operand::Local(l) = o {
+            if let Some(n) = map.get(l) {
+                *o = Operand::Local(*n);
+            }
+        }
+    });
+}
+
+/// Remaps every block id in `term` through `map` (ids absent stay put).
+pub fn remap_term_blocks(term: &mut Term, map: &HashMap<BlockId, BlockId>) {
+    term.for_each_successor_mut(|b| {
+        if let Some(n) = map.get(b) {
+            *b = *n;
+        }
+    });
+}
+
+/// Remaps a whole block (instructions, terminator, pad binding).
+pub fn remap_block(
+    block: &mut Block,
+    locals: &HashMap<LocalId, LocalId>,
+    blocks: &HashMap<BlockId, BlockId>,
+) {
+    if let Some(pad) = &mut block.pad {
+        if let Some(d) = &mut pad.dst {
+            if let Some(n) = locals.get(d) {
+                *d = *n;
+            }
+        }
+    }
+    for inst in &mut block.insts {
+        remap_inst_locals(inst, locals);
+    }
+    remap_term_locals(&mut block.term, locals);
+    remap_term_blocks(&mut block.term, blocks);
+}
+
+/// Removes the blocks in `dead` (which must be unreferenced after the call)
+/// and compacts block ids, rewriting all terminators.
+///
+/// Returns the mapping from old to new block ids for surviving blocks.
+///
+/// # Panics
+/// Panics if the entry block is listed in `dead`.
+pub fn remove_blocks(f: &mut Function, dead: &[BlockId]) -> HashMap<BlockId, BlockId> {
+    let mut is_dead = vec![false; f.blocks.len()];
+    for &d in dead {
+        assert!(d != f.entry(), "cannot remove the entry block");
+        is_dead[d.index()] = true;
+    }
+    let mut map = HashMap::new();
+    let mut new_blocks = Vec::with_capacity(f.blocks.len() - dead.len());
+    for (i, b) in std::mem::take(&mut f.blocks).into_iter().enumerate() {
+        if !is_dead[i] {
+            map.insert(BlockId::new(i), BlockId::new(new_blocks.len()));
+            new_blocks.push(b);
+        }
+    }
+    f.blocks = new_blocks;
+    for b in &mut f.blocks {
+        remap_term_blocks(&mut b.term, &map);
+    }
+    map
+}
+
+/// Replaces direct jumps/branches targeting `from` with `to` across the
+/// whole function (used when splicing dispatch blocks in).
+pub fn retarget_edges(f: &mut Function, from: BlockId, to: BlockId) {
+    for b in &mut f.blocks {
+        b.term.for_each_successor_mut(|s| {
+            if *s == from {
+                *s = to;
+            }
+        });
+    }
+}
+
+/// Builds a map that renumbers `locals` of a source function into fresh
+/// locals appended to `dest`, preserving types.
+pub fn import_locals(dest: &mut Function, src: &Function) -> HashMap<LocalId, LocalId> {
+    let mut map = HashMap::with_capacity(src.locals.len());
+    for (i, ty) in src.locals.iter().enumerate() {
+        let nl = dest.new_local(*ty);
+        map.insert(LocalId::new(i), nl);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, CmpPred};
+    use crate::types::Type;
+
+    #[test]
+    fn remap_locals_in_inst() {
+        let mut i = Inst::Bin {
+            op: BinOp::Add,
+            ty: Type::I32,
+            dst: LocalId(0),
+            lhs: Operand::local(LocalId(1)),
+            rhs: Operand::local(LocalId(2)),
+        };
+        let map: HashMap<_, _> =
+            [(LocalId(0), LocalId(10)), (LocalId(2), LocalId(12))].into_iter().collect();
+        remap_inst_locals(&mut i, &map);
+        assert_eq!(i.def(), Some(LocalId(10)));
+        let mut uses = Vec::new();
+        i.for_each_use(|o| uses.push(o.as_local().unwrap()));
+        assert_eq!(uses, vec![LocalId(1), LocalId(12)]);
+    }
+
+    #[test]
+    fn remove_blocks_compacts_and_retargets() {
+        let mut fb = FunctionBuilder::new("f", Type::Void);
+        let p = fb.add_param(Type::I32);
+        let a = fb.new_block(); // bb1 — will die
+        let b = fb.new_block(); // bb2 — survives
+        let c = fb.cmp(CmpPred::Sgt, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 0));
+        fb.branch(Operand::local(c), b, b);
+        fb.switch_to(a);
+        fb.jump(b);
+        fb.switch_to(b);
+        fb.ret(None);
+        let mut f = fb.finish();
+        let map = remove_blocks(&mut f, &[a]);
+        assert_eq!(f.blocks.len(), 2);
+        assert_eq!(map.get(&b), Some(&BlockId(1)));
+        // Entry branch must now point at the compacted id.
+        assert_eq!(f.block(BlockId(0)).term.successors(), vec![BlockId(1), BlockId(1)]);
+    }
+
+    #[test]
+    fn retarget_rewrites_all_edges() {
+        let mut fb = FunctionBuilder::new("f", Type::Void);
+        let t = fb.new_block();
+        let n = fb.new_block();
+        fb.jump(t);
+        fb.switch_to(t);
+        fb.ret(None);
+        fb.switch_to(n);
+        fb.ret(None);
+        let mut f = fb.finish();
+        retarget_edges(&mut f, t, n);
+        assert_eq!(f.block(BlockId(0)).term, Term::Jump(n));
+    }
+
+    #[test]
+    fn import_locals_preserves_types() {
+        let mut a = FunctionBuilder::new("a", Type::Void);
+        a.ret(None);
+        let mut a = a.finish();
+        let mut bb = FunctionBuilder::new("b", Type::Void);
+        let _p = bb.add_param(Type::F64);
+        let _l = bb.new_local(Type::I8);
+        bb.ret(None);
+        let b = bb.finish();
+        let map = import_locals(&mut a, &b);
+        assert_eq!(a.locals.len(), 2);
+        assert_eq!(a.local_ty(map[&LocalId(0)]), Type::F64);
+        assert_eq!(a.local_ty(map[&LocalId(1)]), Type::I8);
+    }
+}

@@ -1,0 +1,173 @@
+//! Local (block-scoped) common-subexpression elimination over pure
+//! instructions.
+
+use khaos_ir::{Function, Inst, LocalId, Operand};
+use std::collections::HashMap;
+
+/// A hashable key for a pure expression.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Bin(khaos_ir::BinOp, khaos_ir::Type, OpKey, OpKey),
+    Un(khaos_ir::UnOp, khaos_ir::Type, OpKey),
+    Cmp(khaos_ir::CmpPred, khaos_ir::Type, OpKey, OpKey),
+    Cast(khaos_ir::CastKind, khaos_ir::Type, khaos_ir::Type, OpKey),
+    PtrAdd(OpKey, OpKey),
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum OpKey {
+    Local(LocalId),
+    Int(i64, khaos_ir::Type),
+    Float(u64, khaos_ir::Type),
+    Null,
+}
+
+fn op_key(o: &Operand) -> OpKey {
+    match o {
+        Operand::Local(l) => OpKey::Local(*l),
+        Operand::Const(khaos_ir::Const::Int { value, ty }) => OpKey::Int(*value, *ty),
+        Operand::Const(khaos_ir::Const::Float { value, ty }) => OpKey::Float(value.to_bits(), *ty),
+        Operand::Const(khaos_ir::Const::Null) => OpKey::Null,
+    }
+}
+
+fn key_of(inst: &Inst) -> Option<(Key, LocalId, khaos_ir::Type)> {
+    match inst {
+        Inst::Bin { op, ty, dst, lhs, rhs } if !op.can_trap() => {
+            // Canonicalize commutative operand order for better hit rates.
+            let (a, b) = if op.is_commutative() {
+                let (ka, kb) = (op_key(lhs), op_key(rhs));
+                if format!("{:?}", DebugKey(&ka)) <= format!("{:?}", DebugKey(&kb)) {
+                    (ka, kb)
+                } else {
+                    (kb, ka)
+                }
+            } else {
+                (op_key(lhs), op_key(rhs))
+            };
+            Some((Key::Bin(*op, *ty, a, b), *dst, *ty))
+        }
+        Inst::Un { op, ty, dst, src } => Some((Key::Un(*op, *ty, op_key(src)), *dst, *ty)),
+        Inst::Cmp { pred, ty, dst, lhs, rhs } => {
+            Some((Key::Cmp(*pred, *ty, op_key(lhs), op_key(rhs)), *dst, khaos_ir::Type::I1))
+        }
+        Inst::Cast { kind, dst, src, from, to } => {
+            Some((Key::Cast(*kind, *from, *to, op_key(src)), *dst, *to))
+        }
+        Inst::PtrAdd { dst, base, offset } => {
+            Some((Key::PtrAdd(op_key(base), op_key(offset)), *dst, khaos_ir::Type::Ptr))
+        }
+        _ => None,
+    }
+}
+
+struct DebugKey<'a>(&'a OpKey);
+impl std::fmt::Debug for DebugKey<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0 {
+            OpKey::Local(l) => write!(f, "l{}", l.index()),
+            OpKey::Int(v, t) => write!(f, "i{v}:{t}"),
+            OpKey::Float(v, t) => write!(f, "f{v}:{t}"),
+            OpKey::Null => write!(f, "null"),
+        }
+    }
+}
+
+fn key_mentions(k: &Key, l: LocalId) -> bool {
+    let check = |o: &OpKey| matches!(o, OpKey::Local(x) if *x == l);
+    match k {
+        Key::Bin(_, _, a, b) | Key::Cmp(_, _, a, b) | Key::PtrAdd(a, b) => check(a) || check(b),
+        Key::Un(_, _, a) | Key::Cast(_, _, _, a) => check(a),
+    }
+}
+
+/// Runs local CSE on one function. Returns the number of replaced
+/// instructions.
+pub fn run_function(f: &mut Function) -> usize {
+    let mut replaced = 0;
+    for b in &mut f.blocks {
+        let mut avail: HashMap<Key, LocalId> = HashMap::new();
+        for inst in &mut b.insts {
+            let parsed = key_of(inst);
+            // The definition invalidates expressions reading or producing
+            // this local — do this before recording the new expression.
+            if let Some(d) = inst.def() {
+                avail.retain(|k, v| *v != d && !key_mentions(k, d));
+            }
+            if let Some((key, dst, ty)) = parsed {
+                if let Some(prev) = avail.get(&key).copied() {
+                    if prev != dst {
+                        *inst = Inst::Copy { ty, dst, src: Operand::local(prev) };
+                        replaced += 1;
+                    }
+                } else if !key_mentions(&key, dst) {
+                    // Self-referential defs (`x = x + 1`) are not reusable.
+                    avail.insert(key, dst);
+                }
+            }
+        }
+    }
+    replaced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use khaos_ir::builder::FunctionBuilder;
+    use khaos_ir::{BinOp, Module, Type};
+
+    #[test]
+    fn reuses_identical_expression() {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("main", Type::I64);
+        let p = fb.add_param(Type::I64);
+        let a = fb.bin(BinOp::Mul, Type::I64, Operand::local(p), Operand::local(p));
+        let b = fb.bin(BinOp::Mul, Type::I64, Operand::local(p), Operand::local(p));
+        let r = fb.bin(BinOp::Add, Type::I64, Operand::local(a), Operand::local(b));
+        fb.ret(Some(Operand::local(r)));
+        m.push_function(fb.finish());
+        assert_eq!(run_function(&mut m.functions[0]), 1);
+        assert!(matches!(&m.functions[0].blocks[0].insts[1], Inst::Copy { src: Operand::Local(l), .. } if *l == a));
+        khaos_ir::verify::assert_valid(&m);
+    }
+
+    #[test]
+    fn redefinition_invalidates() {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("main", Type::I64);
+        let p = fb.add_param(Type::I64);
+        let a = fb.bin(BinOp::Add, Type::I64, Operand::local(p), Operand::const_int(Type::I64, 1));
+        fb.copy_to(p, Operand::const_int(Type::I64, 9)); // p redefined!
+        let b = fb.bin(BinOp::Add, Type::I64, Operand::local(p), Operand::const_int(Type::I64, 1));
+        let r = fb.bin(BinOp::Add, Type::I64, Operand::local(a), Operand::local(b));
+        fb.ret(Some(Operand::local(r)));
+        m.push_function(fb.finish());
+        assert_eq!(run_function(&mut m.functions[0]), 0, "p changed between the adds");
+    }
+
+    #[test]
+    fn commutative_operands_canonicalized() {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("main", Type::I64);
+        let p = fb.add_param(Type::I64);
+        let q = fb.add_param(Type::I64);
+        let a = fb.bin(BinOp::Add, Type::I64, Operand::local(p), Operand::local(q));
+        let _b = fb.bin(BinOp::Add, Type::I64, Operand::local(q), Operand::local(p));
+        fb.ret(Some(Operand::local(a)));
+        m.push_function(fb.finish());
+        assert_eq!(run_function(&mut m.functions[0]), 1, "a+b and b+a unify");
+    }
+
+    #[test]
+    fn trapping_ops_not_csed() {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("main", Type::I64);
+        let p = fb.add_param(Type::I64);
+        let q = fb.add_param(Type::I64);
+        let a = fb.bin(BinOp::SDiv, Type::I64, Operand::local(p), Operand::local(q));
+        let _b = fb.bin(BinOp::SDiv, Type::I64, Operand::local(p), Operand::local(q));
+        fb.ret(Some(Operand::local(a)));
+        m.push_function(fb.finish());
+        assert_eq!(run_function(&mut m.functions[0]), 0);
+    }
+}

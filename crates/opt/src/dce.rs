@@ -1,0 +1,120 @@
+//! Liveness-based dead code elimination for pure instructions.
+
+use khaos_ir::analysis::liveness::LocalSet;
+use khaos_ir::{Cfg, Function, Liveness};
+
+/// Removes pure instructions whose results are dead. Returns the number of
+/// removed instructions.
+pub fn run_function(f: &mut Function) -> usize {
+    let mut removed = 0;
+    loop {
+        let cfg = Cfg::compute(f);
+        let lv = Liveness::compute(f, &cfg);
+        let mut round = 0;
+        for (b, block) in f.blocks.iter_mut().enumerate() {
+            let bid = khaos_ir::BlockId::new(b);
+            // Walk backwards keeping a running live set.
+            let mut live: LocalSet = lv.live_out(bid).clone();
+            // Collect uses of the terminator first.
+            block.term.for_each_use(|o| {
+                if let Some(l) = o.as_local() {
+                    live.insert(l);
+                }
+            });
+            let mut keep = vec![true; block.insts.len()];
+            for (i, inst) in block.insts.iter().enumerate().rev() {
+                let dead = match inst.def() {
+                    Some(d) => !live.contains(d),
+                    None => false,
+                };
+                if dead && inst.is_pure() {
+                    keep[i] = false;
+                    round += 1;
+                    continue;
+                }
+                if let Some(d) = inst.def() {
+                    live.remove(d);
+                }
+                inst.for_each_use(|o| {
+                    if let Some(l) = o.as_local() {
+                        live.insert(l);
+                    }
+                });
+            }
+            if round > 0 {
+                let mut it = keep.iter();
+                block.insts.retain(|_| *it.next().expect("keep mask aligned"));
+            }
+        }
+        if round == 0 {
+            return removed;
+        }
+        removed += round;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use khaos_ir::builder::FunctionBuilder;
+    use khaos_ir::{BinOp, Inst, Module, Operand, Type};
+
+    #[test]
+    fn removes_unused_chain() {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("main", Type::I64);
+        let p = fb.add_param(Type::I64);
+        let a = fb.bin(BinOp::Add, Type::I64, Operand::local(p), Operand::const_int(Type::I64, 1));
+        let _b = fb.bin(BinOp::Mul, Type::I64, Operand::local(a), Operand::const_int(Type::I64, 2));
+        fb.ret(Some(Operand::local(p)));
+        m.push_function(fb.finish());
+        let removed = run_function(&mut m.functions[0]);
+        assert_eq!(removed, 2, "whole dead chain removed");
+        assert!(m.functions[0].blocks[0].insts.is_empty());
+    }
+
+    #[test]
+    fn keeps_impure_instructions() {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("main", Type::I64);
+        let p = fb.alloca(8); // impure (frame effect), result unused below
+        fb.store(Type::I64, Operand::const_int(Type::I64, 1), Operand::local(p));
+        fb.ret(Some(Operand::const_int(Type::I64, 0)));
+        m.push_function(fb.finish());
+        let removed = run_function(&mut m.functions[0]);
+        assert_eq!(removed, 0);
+        assert_eq!(m.functions[0].blocks[0].insts.len(), 2);
+    }
+
+    #[test]
+    fn keeps_dead_looking_but_live_across_blocks() {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("main", Type::I64);
+        let p = fb.add_param(Type::I64);
+        let x = fb.new_local(Type::I64);
+        let nxt = fb.new_block();
+        fb.copy_to(x, Operand::local(p)); // only used in the next block
+        fb.jump(nxt);
+        fb.switch_to(nxt);
+        fb.ret(Some(Operand::local(x)));
+        m.push_function(fb.finish());
+        assert_eq!(run_function(&mut m.functions[0]), 0);
+    }
+
+    #[test]
+    fn removes_dead_store_to_register_but_not_memory() {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("main", Type::I64);
+        let x = fb.new_local(Type::I64);
+        fb.copy_to(x, Operand::const_int(Type::I64, 1)); // overwritten below
+        fb.copy_to(x, Operand::const_int(Type::I64, 2));
+        fb.ret(Some(Operand::local(x)));
+        m.push_function(fb.finish());
+        let removed = run_function(&mut m.functions[0]);
+        assert_eq!(removed, 1, "first copy is a dead register write");
+        assert!(matches!(
+            &m.functions[0].blocks[0].insts[0],
+            Inst::Copy { src: Operand::Const(c), .. } if c.normalized() == Some(2)
+        ));
+    }
+}

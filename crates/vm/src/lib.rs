@@ -1,0 +1,31 @@
+//! # khaos-vm — the KIR execution substrate
+//!
+//! A deterministic interpreter for KIR modules with a per-instruction
+//! **cycle cost model**. It plays two roles in the Khaos reproduction:
+//!
+//! 1. **Correctness oracle** — an obfuscated module must produce exactly
+//!    the same [`RunResult::output`] and exit code as the baseline build
+//!    (differential testing).
+//! 2. **Performance simulator** — [`RunResult::cycles`] stands in for the
+//!    paper's wall-clock runtime when measuring obfuscation overhead
+//!    (Figures 6 and 7). The model charges realistic relative costs for
+//!    calls, register vs. stack argument passing, memory traffic and
+//!    division, which is where fission/fusion overhead comes from.
+//!
+//! The VM also implements the runtime machinery the paper's mechanisms
+//! assume: 16-byte-aligned synthetic function addresses (so the fusion
+//! tag bits 2–3 are available), relocation addends on global function
+//! pointers, `setjmp`/`longjmp`, and `invoke`-based exception unwinding.
+//! Indirect calls through a *tagged* pointer trap — the obfuscator must
+//! emit explicit decode code, and the differential tests prove it does.
+
+mod cost;
+mod libc;
+mod machine;
+mod memory;
+mod value;
+
+pub use cost::CostModel;
+pub use machine::{run_function, run_to_completion, run_with_config, RunConfig, RunResult, Vm, VmError};
+pub use memory::{Memory, FUNC_SPACE_BASE, FUNC_SPACE_STRIDE};
+pub use value::Value;

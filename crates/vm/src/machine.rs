@@ -1,0 +1,1082 @@
+//! The interpreter proper: frames, dispatch, calls, unwinding.
+
+use crate::cost::CostModel;
+use crate::libc::{self, ExtOutcome};
+use crate::memory::{addr_to_func, func_addr, Memory};
+use crate::value::Value;
+use khaos_ir::constant::normalize_int;
+use khaos_ir::{
+    BinOp, BlockId, Callee, CastKind, CmpPred, FuncId, Inst, LocalId, Module, Operand, Term, Type,
+    UnOp,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why execution stopped abnormally.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VmError {
+    /// A dynamic fault: bad memory access, division by zero, call through a
+    /// tagged/invalid pointer, type confusion, etc.
+    Trap(String),
+    /// The step budget ran out (probably an accidental infinite loop).
+    OutOfFuel,
+    /// An exception reached the top of the stack.
+    UncaughtException(i64),
+    /// The module has no runnable entry function.
+    NoEntry(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Trap(m) => write!(f, "trap: {m}"),
+            VmError::OutOfFuel => write!(f, "out of fuel (step budget exhausted)"),
+            VmError::UncaughtException(v) => write!(f, "uncaught exception {v}"),
+            VmError::NoEntry(n) => write!(f, "no entry function `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Execution configuration.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Values returned by the `input_i64` external, in order (cycled).
+    pub inputs: Vec<i64>,
+    /// Maximum interpreter steps before [`VmError::OutOfFuel`].
+    pub max_steps: u64,
+    /// Size of the data arena in bytes (globals + heap + stack).
+    pub data_size: usize,
+    /// Cycle cost model.
+    pub cost: CostModel,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            inputs: Vec::new(),
+            max_steps: 200_000_000,
+            data_size: 1 << 22,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// The observable result of a run: the differential-testing oracle plus the
+/// simulated performance counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunResult {
+    /// Everything printed through the output externals.
+    pub output: Vec<i64>,
+    /// The entry function's return value (or `exit` argument).
+    pub exit_code: i64,
+    /// Simulated cycles (the paper's "runtime").
+    pub cycles: u64,
+    /// Interpreter steps executed.
+    pub steps: u64,
+}
+
+#[derive(Debug)]
+struct Pending {
+    dst: Option<LocalId>,
+    /// `Some((normal, unwind))` when the pending call was an invoke.
+    invoke: Option<(BlockId, BlockId)>,
+}
+
+#[derive(Debug)]
+struct Frame {
+    func: FuncId,
+    locals: Vec<Value>,
+    block: BlockId,
+    inst: usize,
+    stack_mark: u64,
+    pending: Option<Pending>,
+}
+
+#[derive(Debug)]
+pub(crate) struct JmpSnapshot {
+    pub depth: usize,
+    pub func: FuncId,
+    pub block: BlockId,
+    pub inst: usize,
+    pub dst: Option<LocalId>,
+    pub stack_mark: u64,
+}
+
+/// The interpreter. Most users want [`run_to_completion`]; `Vm` is exposed
+/// for tests that need to poke at intermediate state.
+pub struct Vm<'m> {
+    m: &'m Module,
+    pub(crate) mem: Memory,
+    frames: Vec<Frame>,
+    pub(crate) output: Vec<i64>,
+    pub(crate) input_pos: usize,
+    pub(crate) config: RunConfig,
+    pub(crate) snapshots: Vec<JmpSnapshot>,
+    pub(crate) file_offsets: Vec<u64>,
+    /// 1-entry branch history per (function, block) site: last successor.
+    predictor: HashMap<(u32, u32), BlockId>,
+    /// Dual-issue pairing state for consecutive plain ALU ops.
+    alu_pair: bool,
+    cycles: u64,
+    steps: u64,
+    exit: Option<i64>,
+}
+
+enum Flow {
+    Continue,
+    Done(i64),
+}
+
+impl<'m> Vm<'m> {
+    /// Creates a VM for `m`.
+    pub fn new(m: &'m Module, config: RunConfig) -> Self {
+        let mem = Memory::new(m, config.data_size);
+        Vm {
+            m,
+            mem,
+            frames: Vec::new(),
+            output: Vec::new(),
+            input_pos: 0,
+            config,
+            snapshots: Vec::new(),
+            file_offsets: Vec::new(),
+            predictor: HashMap::new(),
+            alu_pair: false,
+            cycles: 0,
+            steps: 0,
+            exit: None,
+        }
+    }
+
+    /// Charges a control transfer at the current site with simple 1-entry
+    /// branch prediction: stable directions cost [`CostModel::branch`],
+    /// direction changes cost [`CostModel::branch_miss`].
+    fn charge_branch(&mut self, multi_way_scan: usize, actual: BlockId) {
+        let fr = self.frames.last().expect("frame");
+        let site = (fr.func.0, fr.block.0);
+        let predicted = self.predictor.insert(site, actual);
+        let scan = self.config.cost.switch_case * (multi_way_scan as u64 / 2);
+        self.cycles += scan
+            + if predicted == Some(actual) {
+                self.config.cost.branch
+            } else {
+                self.config.cost.branch_miss
+            };
+    }
+
+    /// Module being executed.
+    pub fn module(&self) -> &Module {
+        self.m
+    }
+
+    fn trap<T>(&self, msg: impl Into<String>) -> Result<T, VmError> {
+        Err(VmError::Trap(msg.into()))
+    }
+
+    fn read_operand(&self, fr: &Frame, o: &Operand) -> Value {
+        match o {
+            Operand::Local(l) => fr.locals[l.index()],
+            Operand::Const(c) => Value::from_const(c),
+        }
+    }
+
+    fn push_frame(
+        &mut self,
+        func: FuncId,
+        args: &[Value],
+        strict_arity: bool,
+    ) -> Result<(), VmError> {
+        let f = self.m.function(func);
+        if strict_arity && !f.variadic && args.len() != f.param_count as usize {
+            return self.trap(format!(
+                "call to `{}` with {} args, expected {}",
+                f.name,
+                args.len(),
+                f.param_count
+            ));
+        }
+        if self.frames.len() >= 1 << 14 {
+            return self.trap("call stack overflow");
+        }
+        let mut locals: Vec<Value> = f.locals.iter().map(|t| Value::zero(*t)).collect();
+        for (i, a) in args.iter().take(f.param_count as usize).enumerate() {
+            let ty = f.locals[i];
+            // Indirect K&R-style calls may pass the compatible wider class;
+            // normalize into the declared parameter type.
+            let v = match (a, ty.is_float()) {
+                (Value::Int(_), false) | (Value::Float(_), true) => a.normalize(ty),
+                _ => return self.trap(format!("argument class mismatch calling `{}`", f.name)),
+            };
+            locals[i] = v;
+        }
+        self.frames.push(Frame {
+            func,
+            locals,
+            block: f.entry(),
+            inst: 0,
+            stack_mark: self.mem.stack_mark(),
+            pending: None,
+        });
+        Ok(())
+    }
+
+    fn do_return(&mut self, value: Option<Value>) -> Result<Flow, VmError> {
+        self.cycles += self.config.cost.ret;
+        let fr = self.frames.pop().expect("return with no frame");
+        self.mem.stack_release(fr.stack_mark);
+        // Drop setjmp snapshots pointing into the dead frame.
+        self.snapshots.retain(|s| s.depth <= self.frames.len());
+        let Some(caller) = self.frames.last_mut() else {
+            return Ok(Flow::Done(value.map_or(0, Value::as_int)));
+        };
+        let pending = caller.pending.take().expect("caller must have pending call");
+        if let Some(d) = pending.dst {
+            let ty = self.m.function(caller.func).locals[d.index()];
+            let v = value.ok_or(VmError::Trap("void return into value context".into()))?;
+            caller.locals[d.index()] = v.normalize(ty);
+        }
+        if let Some((normal, _)) = pending.invoke {
+            caller.block = normal;
+            caller.inst = 0;
+        }
+        Ok(Flow::Continue)
+    }
+
+    pub(crate) fn unwind(&mut self, exc: i64) -> Result<(), VmError> {
+        loop {
+            let Some(fr) = self.frames.pop() else {
+                return Err(VmError::UncaughtException(exc));
+            };
+            self.mem.stack_release(fr.stack_mark);
+            self.snapshots.retain(|s| s.depth <= self.frames.len());
+            let Some(caller) = self.frames.last_mut() else {
+                return Err(VmError::UncaughtException(exc));
+            };
+            let pending = caller.pending.take().expect("caller must have pending call");
+            if let Some((_, unwind)) = pending.invoke {
+                caller.block = unwind;
+                caller.inst = 0;
+                let func = self.m.function(caller.func);
+                if let Some(pad) = &func.block(unwind).pad {
+                    if let Some(d) = pad.dst {
+                        caller.locals[d.index()] = Value::Int(exc);
+                    }
+                }
+                return Ok(());
+            }
+            // Plain call: keep popping.
+        }
+    }
+
+    /// Enters the landing pad of the *current* frame's invoke (used when an
+    /// invoked external throws: the exception is caught by this invoke).
+    fn unwind_into_current(&mut self, exc: i64, unwind: BlockId) {
+        let fr = self.frames.last_mut().expect("frame exists");
+        fr.pending = None;
+        fr.block = unwind;
+        fr.inst = 0;
+        let func = self.m.function(fr.func);
+        if let Some(pad) = &func.block(unwind).pad {
+            if let Some(d) = pad.dst {
+                fr.locals[d.index()] = Value::Int(exc);
+            }
+        }
+    }
+
+    pub(crate) fn do_longjmp(&mut self, id: i64, val: i64) -> Result<(), VmError> {
+        let idx = id as usize;
+        if idx >= self.snapshots.len() {
+            return self.trap(format!("longjmp with invalid jmpbuf id {id}"));
+        }
+        let (depth, func, block, inst, dst, stack_mark) = {
+            let s = &self.snapshots[idx];
+            (s.depth, s.func, s.block, s.inst, s.dst, s.stack_mark)
+        };
+        if depth > self.frames.len() {
+            return self.trap("longjmp target frame no longer on the stack");
+        }
+        self.frames.truncate(depth);
+        let fr = self.frames.last_mut().expect("longjmp with empty stack");
+        if fr.func != func {
+            return self.trap("longjmp target frame mismatch");
+        }
+        fr.pending = None;
+        fr.block = block;
+        fr.inst = inst;
+        if let Some(d) = dst {
+            let v = if val == 0 { 1 } else { val };
+            fr.locals[d.index()] = Value::Int(normalize_int(v, Type::I32));
+        }
+        self.mem.stack_release(stack_mark);
+        self.snapshots.retain(|s| s.depth <= self.frames.len());
+        Ok(())
+    }
+
+    fn resolve_indirect(&self, addr: i64) -> Result<FuncId, VmError> {
+        let a = addr as u64;
+        match addr_to_func(a, self.m.functions.len()) {
+            Some(f) => Ok(f),
+            None => Err(VmError::Trap(format!(
+                "indirect call to invalid address {a:#x}{}",
+                if a & 0xe != 0 { " (tag bits still set — missing decode?)" } else { "" }
+            ))),
+        }
+    }
+
+    fn eval_call(
+        &mut self,
+        callee: Callee,
+        args: Vec<Value>,
+        dst: Option<LocalId>,
+        invoke: Option<(BlockId, BlockId)>,
+    ) -> Result<Flow, VmError> {
+        let cost = &self.config.cost;
+        self.cycles += cost.arg_cost(args.len());
+        match callee {
+            Callee::Direct(f) => {
+                self.cycles += cost.call + invoke.map_or(0, |_| cost.invoke_extra);
+                let caller = self.frames.last_mut().expect("frame exists");
+                caller.pending = Some(Pending { dst, invoke });
+                self.push_frame(f, &args, true)?;
+                Ok(Flow::Continue)
+            }
+            Callee::Indirect(_) => unreachable!("resolved before eval_call"),
+            Callee::Ext(e) => {
+                self.cycles += cost.ext_call;
+                let name = self.m.external(e).name.clone();
+                match libc::dispatch(self, &name, &args)? {
+                    ExtOutcome::Ret(v) => {
+                        let fr = self.frames.last_mut().expect("frame exists");
+                        if let Some(d) = dst {
+                            let ty = self.m.function(fr.func).locals[d.index()];
+                            let v = v.ok_or(VmError::Trap(format!(
+                                "external `{name}` returned void into value context"
+                            )))?;
+                            fr.locals[d.index()] = v.normalize(ty);
+                        }
+                        if let Some((normal, _)) = invoke {
+                            fr.block = normal;
+                            fr.inst = 0;
+                        }
+                        Ok(Flow::Continue)
+                    }
+                    ExtOutcome::Throw(exc) => {
+                        if let Some((_, unwind)) = invoke {
+                            self.unwind_into_current(exc, unwind);
+                            Ok(Flow::Continue)
+                        } else {
+                            self.unwind(exc)?;
+                            Ok(Flow::Continue)
+                        }
+                    }
+                    ExtOutcome::Exit(code) => Ok(Flow::Done(code)),
+                    ExtOutcome::Setjmp { buf } => {
+                        let fr = self.frames.last().expect("frame exists");
+                        let snap = JmpSnapshot {
+                            depth: self.frames.len(),
+                            func: fr.func,
+                            block: fr.block,
+                            inst: fr.inst,
+                            dst,
+                            stack_mark: self.mem.stack_mark(),
+                        };
+                        let id = self.snapshots.len() as i64;
+                        self.snapshots.push(snap);
+                        self.mem
+                            .write(buf as u64, Type::I64, Value::Int(id))
+                            .map_err(|e| VmError::Trap(format!("setjmp buffer: {}", e.message)))?;
+                        let fr = self.frames.last_mut().expect("frame exists");
+                        if let Some(d) = dst {
+                            fr.locals[d.index()] = Value::Int(0);
+                        }
+                        if let Some((normal, _)) = invoke {
+                            fr.block = normal;
+                            fr.inst = 0;
+                        }
+                        Ok(Flow::Continue)
+                    }
+                    ExtOutcome::Longjmp { id, val } => {
+                        self.do_longjmp(id, val)?;
+                        Ok(Flow::Continue)
+                    }
+                }
+            }
+        }
+    }
+
+    fn step(&mut self) -> Result<Flow, VmError> {
+        let fr = self.frames.last().expect("step with no frame");
+        let func = self.m.function(fr.func);
+        let block = func.block(fr.block);
+
+        if fr.inst < block.insts.len() {
+            let inst = block.insts[fr.inst].clone();
+            // Advance before executing so calls resume correctly.
+            self.frames.last_mut().expect("frame").inst += 1;
+            // Dual-issue pairing: every second consecutive plain ALU op is
+            // free (hidden by superscalar issue).
+            if CostModel::is_pairable_alu(&inst) {
+                if self.alu_pair {
+                    self.alu_pair = false;
+                } else {
+                    self.alu_pair = true;
+                    self.cycles += self.config.cost.inst_cost(&inst);
+                }
+            } else {
+                self.alu_pair = false;
+                self.cycles += self.config.cost.inst_cost(&inst);
+            }
+            self.exec_inst(inst)
+        } else {
+            let term = block.term.clone();
+            self.exec_term(term)
+        }
+    }
+
+    fn exec_inst(&mut self, inst: Inst) -> Result<Flow, VmError> {
+        match inst {
+            Inst::Bin { op, ty, dst, lhs, rhs } => {
+                let fr = self.frames.last().expect("frame");
+                let a = self.read_operand(fr, &lhs);
+                let b = self.read_operand(fr, &rhs);
+                let v = self.eval_bin(op, ty, a, b)?;
+                self.frames.last_mut().expect("frame").locals[dst.index()] = v.normalize(ty);
+                Ok(Flow::Continue)
+            }
+            Inst::Un { op, ty, dst, src } => {
+                let fr = self.frames.last().expect("frame");
+                let s = self.read_operand(fr, &src);
+                let v = match op {
+                    UnOp::Neg => Value::Int(s.as_int().wrapping_neg()),
+                    UnOp::Not => Value::Int(!s.as_int()),
+                    UnOp::FNeg => Value::Float(-s.as_float()),
+                };
+                self.frames.last_mut().expect("frame").locals[dst.index()] = v.normalize(ty);
+                Ok(Flow::Continue)
+            }
+            Inst::Cmp { pred, ty, dst, lhs, rhs } => {
+                let fr = self.frames.last().expect("frame");
+                let a = self.read_operand(fr, &lhs);
+                let b = self.read_operand(fr, &rhs);
+                let r = eval_cmp(pred, ty, a, b);
+                self.frames.last_mut().expect("frame").locals[dst.index()] =
+                    Value::Int(r as i64);
+                Ok(Flow::Continue)
+            }
+            Inst::Select { ty, dst, cond, on_true, on_false } => {
+                let fr = self.frames.last().expect("frame");
+                let c = self.read_operand(fr, &cond).as_int() & 1;
+                let v = if c == 1 {
+                    self.read_operand(fr, &on_true)
+                } else {
+                    self.read_operand(fr, &on_false)
+                };
+                self.frames.last_mut().expect("frame").locals[dst.index()] = v.normalize(ty);
+                Ok(Flow::Continue)
+            }
+            Inst::Copy { ty, dst, src } => {
+                let fr = self.frames.last().expect("frame");
+                let v = self.read_operand(fr, &src);
+                self.frames.last_mut().expect("frame").locals[dst.index()] = v.normalize(ty);
+                Ok(Flow::Continue)
+            }
+            Inst::Cast { kind, dst, src, from, to } => {
+                let fr = self.frames.last().expect("frame");
+                let s = self.read_operand(fr, &src);
+                let v = eval_cast(kind, s, from, to);
+                self.frames.last_mut().expect("frame").locals[dst.index()] = v;
+                Ok(Flow::Continue)
+            }
+            Inst::Load { ty, dst, addr } => {
+                let fr = self.frames.last().expect("frame");
+                let a = self.read_operand(fr, &addr).as_int() as u64;
+                let v = self
+                    .mem
+                    .read(a, ty)
+                    .map_err(|e| VmError::Trap(format!("load: {} at {:#x}", e.message, e.addr)))?;
+                self.frames.last_mut().expect("frame").locals[dst.index()] = v;
+                Ok(Flow::Continue)
+            }
+            Inst::Store { ty, addr, value } => {
+                let fr = self.frames.last().expect("frame");
+                let a = self.read_operand(fr, &addr).as_int() as u64;
+                let v = self.read_operand(fr, &value).normalize(ty);
+                self.mem
+                    .write(a, ty, v)
+                    .map_err(|e| VmError::Trap(format!("store: {} at {:#x}", e.message, e.addr)))?;
+                Ok(Flow::Continue)
+            }
+            Inst::Alloca { dst, size, align } => {
+                let a = self
+                    .mem
+                    .stack_alloc(size, align)
+                    .map_err(|e| VmError::Trap(e.message))?;
+                self.frames.last_mut().expect("frame").locals[dst.index()] = Value::Int(a as i64);
+                Ok(Flow::Continue)
+            }
+            Inst::PtrAdd { dst, base, offset } => {
+                let fr = self.frames.last().expect("frame");
+                let b = self.read_operand(fr, &base).as_int();
+                let o = self.read_operand(fr, &offset).as_int();
+                self.frames.last_mut().expect("frame").locals[dst.index()] =
+                    Value::Int(b.wrapping_add(o));
+                Ok(Flow::Continue)
+            }
+            Inst::Call { dst, callee, args } => {
+                let fr = self.frames.last().expect("frame");
+                let vals: Vec<Value> = args.iter().map(|a| self.read_operand(fr, a)).collect();
+                let callee = match callee {
+                    Callee::Indirect(p) => {
+                        let addr = self.read_operand(self.frames.last().expect("frame"), &p).as_int();
+                        self.cycles += self.config.cost.indirect_extra;
+                        Callee::Direct(self.resolve_indirect(addr)?)
+                    }
+                    c => c,
+                };
+                if let Callee::Direct(f) = callee {
+                    // Indirect calls resolved above use relaxed arity.
+                    let relaxed = matches!(args.len(), n if n != self.m.function(f).param_count as usize);
+                    if relaxed {
+                        self.cycles += self.config.cost.call;
+                        let caller = self.frames.last_mut().expect("frame");
+                        caller.pending = Some(Pending { dst, invoke: None });
+                        self.push_frame(f, &vals, false)?;
+                        return Ok(Flow::Continue);
+                    }
+                }
+                self.eval_call(callee, vals, dst, None)
+            }
+            Inst::FuncAddr { dst, func } => {
+                self.frames.last_mut().expect("frame").locals[dst.index()] =
+                    Value::Int(func_addr(func) as i64);
+                Ok(Flow::Continue)
+            }
+            Inst::GlobalAddr { dst, global } => {
+                let a = self.mem.global_addr(global);
+                self.frames.last_mut().expect("frame").locals[dst.index()] = Value::Int(a as i64);
+                Ok(Flow::Continue)
+            }
+        }
+    }
+
+    fn exec_term(&mut self, term: Term) -> Result<Flow, VmError> {
+        match term {
+            Term::Jump(t) => {
+                self.cycles += self.config.cost.branch;
+                let fr = self.frames.last_mut().expect("frame");
+                fr.block = t;
+                fr.inst = 0;
+                Ok(Flow::Continue)
+            }
+            Term::Branch { cond, then_bb, else_bb } => {
+                let fr = self.frames.last().expect("frame");
+                let c = self.read_operand(fr, &cond).as_int() & 1;
+                let target = if c == 1 { then_bb } else { else_bb };
+                self.charge_branch(0, target);
+                let fr = self.frames.last_mut().expect("frame");
+                fr.block = target;
+                fr.inst = 0;
+                Ok(Flow::Continue)
+            }
+            Term::Switch { ty: _, value, cases, default } => {
+                let fr = self.frames.last().expect("frame");
+                let v = self.read_operand(fr, &value).as_int();
+                let target =
+                    cases.iter().find(|(c, _)| *c == v).map(|(_, t)| *t).unwrap_or(default);
+                // Lowered switches scan a cmp/jcc chain, and erratic
+                // targets (flattening dispatch) mispredict.
+                self.charge_branch(cases.len(), target);
+                let fr = self.frames.last_mut().expect("frame");
+                fr.block = target;
+                fr.inst = 0;
+                Ok(Flow::Continue)
+            }
+            Term::Ret(v) => {
+                let value = v.map(|o| self.read_operand(self.frames.last().expect("frame"), &o));
+                // Normalize to the function's return type.
+                let value = match value {
+                    Some(val) => {
+                        let rt = self.m.function(self.frames.last().expect("frame").func).ret_ty;
+                        Some(val.normalize(rt))
+                    }
+                    None => None,
+                };
+                self.do_return(value)
+            }
+            Term::Invoke { dst, callee, args, normal, unwind } => {
+                let fr = self.frames.last().expect("frame");
+                let vals: Vec<Value> = args.iter().map(|a| self.read_operand(fr, a)).collect();
+                let callee = match callee {
+                    Callee::Indirect(p) => {
+                        let addr = self.read_operand(self.frames.last().expect("frame"), &p).as_int();
+                        self.cycles += self.config.cost.indirect_extra;
+                        Callee::Direct(self.resolve_indirect(addr)?)
+                    }
+                    c => c,
+                };
+                self.eval_call(callee, vals, dst, Some((normal, unwind)))
+            }
+            Term::Unreachable => self.trap("executed unreachable"),
+        }
+    }
+
+    fn eval_bin(&self, op: BinOp, ty: Type, a: Value, b: Value) -> Result<Value, VmError> {
+        if op.is_float_op() {
+            let (x, y) = (a.as_float(), b.as_float());
+            let r = match op {
+                BinOp::FAdd => x + y,
+                BinOp::FSub => x - y,
+                BinOp::FMul => x * y,
+                BinOp::FDiv => x / y,
+                _ => unreachable!(),
+            };
+            return Ok(Value::Float(r).normalize(ty));
+        }
+        let (x, y) = (a.as_int(), b.as_int());
+        let bits = ty.bits().unwrap_or(64);
+        let shift_mask = (bits.max(8) - 1) as i64; // i1 shifts unused in practice
+        let r = match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::SDiv => {
+                if y == 0 {
+                    return self.trap("integer division by zero");
+                }
+                x.wrapping_div(y)
+            }
+            BinOp::SRem => {
+                if y == 0 {
+                    return self.trap("integer remainder by zero");
+                }
+                x.wrapping_rem(y)
+            }
+            BinOp::UDiv => {
+                if y == 0 {
+                    return self.trap("integer division by zero");
+                }
+                (to_unsigned(x, bits) / to_unsigned(y, bits)) as i64
+            }
+            BinOp::URem => {
+                if y == 0 {
+                    return self.trap("integer remainder by zero");
+                }
+                (to_unsigned(x, bits) % to_unsigned(y, bits)) as i64
+            }
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+            BinOp::Shl => x.wrapping_shl((y & shift_mask) as u32),
+            BinOp::LShr => (to_unsigned(x, bits) >> (y & shift_mask) as u32) as i64,
+            BinOp::AShr => x >> (y & shift_mask) as u32,
+            _ => unreachable!(),
+        };
+        Ok(Value::Int(r).normalize(ty))
+    }
+
+    /// Runs `entry` with `args` until completion.
+    ///
+    /// # Errors
+    /// Propagates traps, fuel exhaustion and uncaught exceptions.
+    pub fn run(&mut self, entry: FuncId, args: &[Value]) -> Result<RunResult, VmError> {
+        self.push_frame(entry, args, true)?;
+        loop {
+            if self.steps >= self.config.max_steps {
+                return Err(VmError::OutOfFuel);
+            }
+            self.steps += 1;
+            match self.step()? {
+                Flow::Continue => {}
+                Flow::Done(code) => {
+                    self.exit = Some(code);
+                    return Ok(RunResult {
+                        output: std::mem::take(&mut self.output),
+                        exit_code: code,
+                        cycles: self.cycles,
+                        steps: self.steps,
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn to_unsigned(x: i64, bits: u32) -> u64 {
+    if bits >= 64 {
+        x as u64
+    } else {
+        (x as u64) & ((1u64 << bits) - 1)
+    }
+}
+
+fn eval_cmp(pred: CmpPred, ty: Type, a: Value, b: Value) -> bool {
+    if pred.is_float_pred() {
+        let (x, y) = (a.as_float(), b.as_float());
+        return match pred {
+            CmpPred::FEq => x == y,
+            CmpPred::FNe => x != y,
+            CmpPred::FLt => x < y,
+            CmpPred::FLe => x <= y,
+            CmpPred::FGt => x > y,
+            CmpPred::FGe => x >= y,
+            _ => unreachable!(),
+        };
+    }
+    let (x, y) = (a.as_int(), b.as_int());
+    let bits = ty.bits().unwrap_or(64);
+    let (ux, uy) = (to_unsigned(x, bits), to_unsigned(y, bits));
+    match pred {
+        CmpPred::Eq => x == y,
+        CmpPred::Ne => x != y,
+        CmpPred::Slt => x < y,
+        CmpPred::Sle => x <= y,
+        CmpPred::Sgt => x > y,
+        CmpPred::Sge => x >= y,
+        CmpPred::Ult => ux < uy,
+        CmpPred::Ule => ux <= uy,
+        CmpPred::Ugt => ux > uy,
+        CmpPred::Uge => ux >= uy,
+        _ => unreachable!(),
+    }
+}
+
+fn eval_cast(kind: CastKind, s: Value, from: Type, to: Type) -> Value {
+    match kind {
+        CastKind::Trunc | CastKind::SExt => Value::Int(s.as_int()).normalize(to),
+        CastKind::ZExt => {
+            let bits = from.bits().unwrap_or(64);
+            Value::Int(to_unsigned(s.as_int(), bits) as i64).normalize(to)
+        }
+        CastKind::FpToSi => {
+            let f = s.as_float();
+            let v = if f.is_nan() {
+                0
+            } else {
+                f.max(i64::MIN as f64).min(i64::MAX as f64) as i64
+            };
+            Value::Int(v).normalize(to)
+        }
+        CastKind::SiToFp => Value::Float(s.as_int() as f64).normalize(to),
+        CastKind::FpTrunc | CastKind::FpExt => Value::Float(s.as_float()).normalize(to),
+        CastKind::PtrToInt => Value::Int(s.as_int()),
+        CastKind::IntToPtr => Value::Int(s.as_int()),
+    }
+}
+
+/// Runs the module's entry function (`main`, falling back to the single
+/// exported function) with default inputs.
+///
+/// # Errors
+/// Fails when no entry exists or execution faults.
+pub fn run_to_completion(m: &Module, inputs: &[i64]) -> Result<RunResult, VmError> {
+    let config = RunConfig { inputs: inputs.to_vec(), ..RunConfig::default() };
+    run_with_config(m, config)
+}
+
+/// [`run_to_completion`] with an explicit configuration.
+///
+/// # Errors
+/// Fails when no entry exists or execution faults.
+pub fn run_with_config(m: &Module, config: RunConfig) -> Result<RunResult, VmError> {
+    let entry = m
+        .function_by_name("main")
+        .map(|(id, _)| id)
+        .ok_or_else(|| VmError::NoEntry("main".into()))?;
+    let f = m.function(entry);
+    let args: Vec<Value> = f.param_types().iter().map(|t| Value::zero(*t)).collect();
+    let mut vm = Vm::new(m, config);
+    vm.run(entry, &args)
+}
+
+/// Runs an arbitrary function with integer/float arguments (test helper).
+///
+/// # Errors
+/// Fails when the function is missing or execution faults.
+pub fn run_function(m: &Module, name: &str, args: &[Value]) -> Result<RunResult, VmError> {
+    let (id, _) = m.function_by_name(name).ok_or_else(|| VmError::NoEntry(name.into()))?;
+    let mut vm = Vm::new(m, RunConfig::default());
+    vm.run(id, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use khaos_ir::builder::FunctionBuilder;
+    use khaos_ir::{ExtFunc, Module, Operand};
+
+    fn int_fn_module(build: impl FnOnce(&mut FunctionBuilder, &mut Module)) -> Module {
+        let mut m = Module::new("t");
+        let mut fb = FunctionBuilder::new("main", Type::I64);
+        build(&mut fb, &mut m);
+        m.push_function(fb.finish());
+        khaos_ir::verify::assert_valid(&m);
+        m
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let m = int_fn_module(|fb, _| {
+            let a = fb.bin(
+                BinOp::Mul,
+                Type::I64,
+                Operand::const_int(Type::I64, 6),
+                Operand::const_int(Type::I64, 7),
+            );
+            fb.ret(Some(Operand::local(a)));
+        });
+        let r = run_function(&m, "main", &[]).unwrap();
+        assert_eq!(r.exit_code, 42);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let m = int_fn_module(|fb, _| {
+            let a = fb.bin(
+                BinOp::SDiv,
+                Type::I64,
+                Operand::const_int(Type::I64, 1),
+                Operand::const_int(Type::I64, 0),
+            );
+            fb.ret(Some(Operand::local(a)));
+        });
+        let e = run_function(&m, "main", &[]).unwrap_err();
+        assert!(matches!(e, VmError::Trap(m) if m.contains("division by zero")));
+    }
+
+    #[test]
+    fn loop_summation() {
+        // sum 1..=10 via a loop
+        let m = int_fn_module(|fb, _| {
+            let i = fb.new_local(Type::I64);
+            let sum = fb.new_local(Type::I64);
+            let h = fb.new_block();
+            let body = fb.new_block();
+            let exit = fb.new_block();
+            fb.copy_to(i, Operand::const_int(Type::I64, 1));
+            fb.copy_to(sum, Operand::const_int(Type::I64, 0));
+            fb.jump(h);
+            fb.switch_to(h);
+            let c = fb.cmp(CmpPred::Sle, Type::I64, Operand::local(i), Operand::const_int(Type::I64, 10));
+            fb.branch(Operand::local(c), body, exit);
+            fb.switch_to(body);
+            let ns = fb.bin(BinOp::Add, Type::I64, Operand::local(sum), Operand::local(i));
+            fb.copy_to(sum, Operand::local(ns));
+            let ni = fb.bin(BinOp::Add, Type::I64, Operand::local(i), Operand::const_int(Type::I64, 1));
+            fb.copy_to(i, Operand::local(ni));
+            fb.jump(h);
+            fb.switch_to(exit);
+            fb.ret(Some(Operand::local(sum)));
+        });
+        assert_eq!(run_function(&m, "main", &[]).unwrap().exit_code, 55);
+    }
+
+    #[test]
+    fn memory_via_alloca() {
+        let m = int_fn_module(|fb, _| {
+            let p = fb.alloca(8);
+            fb.store(Type::I64, Operand::const_int(Type::I64, 99), Operand::local(p));
+            let v = fb.load(Type::I64, Operand::local(p));
+            fb.ret(Some(Operand::local(v)));
+        });
+        assert_eq!(run_function(&m, "main", &[]).unwrap().exit_code, 99);
+    }
+
+    #[test]
+    fn direct_and_indirect_calls() {
+        let mut m = Module::new("t");
+        let mut callee = FunctionBuilder::new("add3", Type::I64);
+        let p = callee.add_param(Type::I64);
+        let r = callee.bin(BinOp::Add, Type::I64, Operand::local(p), Operand::const_int(Type::I64, 3));
+        callee.ret(Some(Operand::local(r)));
+        let cid = m.push_function(callee.finish());
+
+        let mut main = FunctionBuilder::new("main", Type::I64);
+        let d = main.call(cid, Type::I64, vec![Operand::const_int(Type::I64, 10)]).unwrap();
+        let fp = main.funcaddr(cid);
+        let ind = main
+            .call_indirect(Operand::local(fp), Type::I64, vec![Operand::local(d)])
+            .unwrap();
+        main.ret(Some(Operand::local(ind)));
+        m.push_function(main.finish());
+        khaos_ir::verify::assert_valid(&m);
+        assert_eq!(run_function(&m, "main", &[]).unwrap().exit_code, 16);
+    }
+
+    #[test]
+    fn tagged_pointer_call_traps_without_decode() {
+        let mut m = Module::new("t");
+        let mut callee = FunctionBuilder::new("f", Type::Void);
+        callee.ret(None);
+        let cid = m.push_function(callee.finish());
+        let mut main = FunctionBuilder::new("main", Type::I64);
+        let fp = main.funcaddr(cid);
+        let fi = main.cast(CastKind::PtrToInt, Operand::local(fp), Type::Ptr, Type::I64);
+        let tagged = main.bin(BinOp::Or, Type::I64, Operand::local(fi), Operand::const_int(Type::I64, 4));
+        let tp = main.cast(CastKind::IntToPtr, Operand::local(tagged), Type::I64, Type::Ptr);
+        main.call_indirect(Operand::local(tp), Type::Void, vec![]);
+        main.ret(Some(Operand::const_int(Type::I64, 0)));
+        m.push_function(main.finish());
+        let e = run_function(&m, "main", &[]).unwrap_err();
+        assert!(matches!(e, VmError::Trap(msg) if msg.contains("tag bits")));
+    }
+
+    #[test]
+    fn exception_unwinds_to_landing_pad() {
+        let mut m = Module::new("t");
+        let throw_ext = m.declare_external(ExtFunc {
+            name: "throw_exc".into(),
+            params: vec![Type::I64],
+            ret_ty: Type::Void,
+            variadic: false,
+        });
+        // thrower: plain call to throw_exc -> unwinds through.
+        let mut thrower = FunctionBuilder::new("thrower", Type::Void);
+        thrower.call_ext(throw_ext, Type::Void, vec![Operand::const_int(Type::I64, 77)]);
+        thrower.ret(None);
+        let tid = m.push_function(thrower.finish());
+        // main: invoke thrower; pad returns the exception value.
+        let mut main = FunctionBuilder::new("main", Type::I64);
+        let exc = main.new_local(Type::I64);
+        let normal = main.new_block();
+        let pad = main.new_pad_block(Some(exc));
+        main.invoke(Callee::Direct(tid), Type::Void, vec![], normal, pad);
+        main.switch_to(normal);
+        main.ret(Some(Operand::const_int(Type::I64, 0)));
+        main.switch_to(pad);
+        main.ret(Some(Operand::local(exc)));
+        m.push_function(main.finish());
+        khaos_ir::verify::assert_valid(&m);
+        assert_eq!(run_function(&m, "main", &[]).unwrap().exit_code, 77);
+    }
+
+    #[test]
+    fn uncaught_exception_reported() {
+        let mut m = Module::new("t");
+        let throw_ext = m.declare_external(ExtFunc {
+            name: "throw_exc".into(),
+            params: vec![Type::I64],
+            ret_ty: Type::Void,
+            variadic: false,
+        });
+        let mut main = FunctionBuilder::new("main", Type::I64);
+        main.call_ext(throw_ext, Type::Void, vec![Operand::const_int(Type::I64, 5)]);
+        main.ret(Some(Operand::const_int(Type::I64, 0)));
+        m.push_function(main.finish());
+        let e = run_function(&m, "main", &[]).unwrap_err();
+        assert_eq!(e, VmError::UncaughtException(5));
+    }
+
+    #[test]
+    fn setjmp_longjmp_roundtrip() {
+        let mut m = Module::new("t");
+        let setjmp = m.declare_external(ExtFunc {
+            name: "setjmp".into(),
+            params: vec![Type::Ptr],
+            ret_ty: Type::I32,
+            variadic: false,
+        });
+        let longjmp = m.declare_external(ExtFunc {
+            name: "longjmp".into(),
+            params: vec![Type::Ptr, Type::I32],
+            ret_ty: Type::Void,
+            variadic: false,
+        });
+        // jumper(buf): longjmp(buf, 9)
+        let mut jumper = FunctionBuilder::new("jumper", Type::Void);
+        let bp = jumper.add_param(Type::Ptr);
+        jumper.call_ext(longjmp, Type::Void, vec![Operand::local(bp), Operand::const_int(Type::I32, 9)]);
+        jumper.ret(None);
+        let jid = m.push_function(jumper.finish());
+        // main: buf = alloca; r = setjmp(buf); if r==0 { jumper(buf); return 1 } else return r
+        let mut main = FunctionBuilder::new("main", Type::I64);
+        let buf = main.alloca(8);
+        let r = main.call_ext(setjmp, Type::I32, vec![Operand::local(buf)]).unwrap();
+        let first = main.new_block();
+        let again = main.new_block();
+        let c = main.cmp(CmpPred::Eq, Type::I32, Operand::local(r), Operand::const_int(Type::I32, 0));
+        main.branch(Operand::local(c), first, again);
+        main.switch_to(first);
+        main.call(jid, Type::Void, vec![Operand::local(buf)]);
+        main.ret(Some(Operand::const_int(Type::I64, 1)));
+        main.switch_to(again);
+        let w = main.cast(CastKind::SExt, Operand::local(r), Type::I32, Type::I64);
+        main.ret(Some(Operand::local(w)));
+        m.push_function(main.finish());
+        khaos_ir::verify::assert_valid(&m);
+        assert_eq!(run_function(&m, "main", &[]).unwrap().exit_code, 9);
+    }
+
+    #[test]
+    fn fuel_limit_stops_infinite_loop() {
+        let mut m = Module::new("t");
+        let mut main = FunctionBuilder::new("main", Type::I64);
+        let h = main.new_block();
+        main.jump(h);
+        main.switch_to(h);
+        main.jump(h);
+        m.push_function(main.finish());
+        let mut vm = Vm::new(&m, RunConfig { max_steps: 1000, ..RunConfig::default() });
+        let (id, _) = m.function_by_name("main").unwrap();
+        assert_eq!(vm.run(id, &[]).unwrap_err(), VmError::OutOfFuel);
+    }
+
+    #[test]
+    fn switch_dispatch() {
+        let m = int_fn_module(|fb, _| {
+            let a = fb.new_block();
+            let b = fb.new_block();
+            let d = fb.new_block();
+            fb.switch(
+                Type::I64,
+                Operand::const_int(Type::I64, 1),
+                vec![(0, a), (1, b)],
+                d,
+            );
+            fb.switch_to(a);
+            fb.ret(Some(Operand::const_int(Type::I64, 100)));
+            fb.switch_to(b);
+            fb.ret(Some(Operand::const_int(Type::I64, 200)));
+            fb.switch_to(d);
+            fb.ret(Some(Operand::const_int(Type::I64, 300)));
+        });
+        assert_eq!(run_function(&m, "main", &[]).unwrap().exit_code, 200);
+    }
+
+    #[test]
+    fn stack_args_cost_more_than_reg_args() {
+        // Two identical callees, one called with 2 args, one with 8.
+        let mut m = Module::new("t");
+        let mut few = FunctionBuilder::new("few", Type::I64);
+        let p0 = few.add_param(Type::I64);
+        let _p1 = few.add_param(Type::I64);
+        few.ret(Some(Operand::local(p0)));
+        let fid = m.push_function(few.finish());
+        let mut many = FunctionBuilder::new("many", Type::I64);
+        let q0 = many.add_param(Type::I64);
+        for _ in 1..8 {
+            many.add_param(Type::I64);
+        }
+        many.ret(Some(Operand::local(q0)));
+        let mid = m.push_function(many.finish());
+
+        let mk_main = |m: &Module, use_many: bool| -> Module {
+            let mut m2 = m.clone();
+            let mut main = FunctionBuilder::new("main", Type::I64);
+            let one = Operand::const_int(Type::I64, 1);
+            let r = if use_many {
+                main.call(mid, Type::I64, vec![one; 8]).unwrap()
+            } else {
+                main.call(fid, Type::I64, vec![one; 2]).unwrap()
+            };
+            main.ret(Some(Operand::local(r)));
+            m2.push_function(main.finish());
+            m2
+        };
+        let cheap = run_function(&mk_main(&m, false), "main", &[]).unwrap().cycles;
+        let pricey = run_function(&mk_main(&m, true), "main", &[]).unwrap().cycles;
+        assert!(pricey > cheap, "8-arg call must cost more than 2-arg call");
+    }
+}

@@ -1,0 +1,40 @@
+//! Per-program runtime overhead report — a narrow slice of Figure 6 you
+//! can eyeball in seconds, including the negative-overhead cases the
+//! paper highlights (thinned remFuncs getting inlined).
+//!
+//! ```sh
+//! cargo run --release --example overhead_report
+//! ```
+
+use khaos::obfuscate::{KhaosContext, KhaosMode};
+use khaos::opt::{optimize, OptOptions};
+use khaos::vm::{run_with_config, RunConfig};
+use khaos::workloads;
+
+fn cycles(m: &khaos_ir::Module) -> u64 {
+    let cfg = RunConfig { inputs: vec![3, 7, 11], ..RunConfig::default() };
+    run_with_config(m, cfg).expect("program runs").cycles
+}
+
+fn main() {
+    println!(
+        "{:<20} {:>12} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "program", "base cycles", "Fission", "Fusion", "FuFi.sep", "FuFi.ori", "FuFi.all"
+    );
+    for mut program in workloads::spec2006().into_iter().take(8) {
+        optimize(&mut program, &OptOptions::baseline());
+        let base = cycles(&program);
+        print!("{:<20} {:>12}", program.name, base);
+        for mode in KhaosMode::ALL {
+            let mut m = program.clone();
+            let mut ctx = KhaosContext::new(0xC60);
+            mode.apply(&mut m, &mut ctx).expect("khaos");
+            optimize(&mut m, &OptOptions::baseline());
+            let oh = (cycles(&m) as f64 / base as f64 - 1.0) * 100.0;
+            print!(" {oh:>8.1}%");
+        }
+        println!();
+    }
+    println!("\nNegative numbers are real: fission thins a function below the");
+    println!("inlining threshold and the call disappears entirely (paper 4.1).");
+}

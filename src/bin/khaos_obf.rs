@@ -1,0 +1,200 @@
+//! `khaos-obf` — command-line obfuscator for textual KIR modules.
+//!
+//! ```text
+//! khaos-obf <mode> [--seed N] [--arity K] [--o2] [--run] [--stats]
+//!                  [input.kir|--demo NAME]
+//!
+//!   mode     fission | fusion | fusion-n | fufi-sep | fufi-ori | fufi-all |
+//!            sub | bog | fla | fla-10
+//!   --arity  constituents per fusFunc for `fusion-n` (2–4, default 3)
+//!   --demo   use a generated workload program instead of a file
+//!   --o2     run the O2+LTO pipeline before and after obfuscation
+//!   --run    execute baseline and obfuscated builds and diff the output
+//!   --stats  print fission/fusion statistics
+//! ```
+//!
+//! The obfuscated module is printed to stdout in the same textual format,
+//! so pipelines compose: `khaos-obf fufi-all a.kir > a_obf.kir`.
+
+use khaos::obfuscate::{fusion_n, KhaosContext, KhaosMode};
+use khaos::ollvm::OllvmMode;
+use khaos::opt::{optimize, OptOptions};
+use khaos::vm::run_to_completion;
+use khaos_ir::{parser, printer, Module};
+use std::process::ExitCode;
+
+struct Args {
+    mode: String,
+    seed: u64,
+    arity: usize,
+    o2: bool,
+    run: bool,
+    stats: bool,
+    input: Option<String>,
+    demo: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        mode: String::new(),
+        seed: 0xC60,
+        arity: 3,
+        o2: false,
+        run: false,
+        stats: false,
+        input: None,
+        demo: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs an integer")?;
+            }
+            "--arity" => {
+                args.arity = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|k| (2..=4).contains(k))
+                    .ok_or("--arity needs an integer in 2..=4")?;
+            }
+            "--o2" => args.o2 = true,
+            "--run" => args.run = true,
+            "--stats" => args.stats = true,
+            "--demo" => args.demo = Some(it.next().ok_or("--demo needs a program name")?),
+            _ if args.mode.is_empty() => args.mode = a,
+            _ if args.input.is_none() => args.input = Some(a),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if args.mode.is_empty() {
+        return Err("missing <mode>".into());
+    }
+    Ok(args)
+}
+
+fn load_module(args: &Args) -> Result<Module, String> {
+    if let Some(name) = &args.demo {
+        return Ok(khaos::workloads::coreutils_program(name, args.seed));
+    }
+    let path = args.input.as_ref().ok_or("missing input file (or use --demo NAME)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parser::parse_module(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("khaos-obf: {e}");
+            eprintln!(
+                "usage: khaos-obf <fission|fusion|fusion-n|fufi-sep|fufi-ori|fufi-all|sub|bog|fla|fla-10> \
+                 [--seed N] [--arity K] [--o2] [--run] [--stats] [input.kir | --demo NAME]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut module = match load_module(&args) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("khaos-obf: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(errs) = khaos_ir::verify::verify_module(&module) {
+        eprintln!("khaos-obf: input does not verify: {}", errs[0]);
+        return ExitCode::FAILURE;
+    }
+    if args.o2 {
+        optimize(&mut module, &OptOptions::baseline());
+    }
+    let baseline = module.clone();
+
+    let mut ctx = KhaosContext::new(args.seed);
+    enum Transform {
+        Khaos(KhaosMode),
+        NwayFusion,
+        Ollvm(OllvmMode),
+    }
+    let transform = match args.mode.as_str() {
+        "fission" => Transform::Khaos(KhaosMode::Fission),
+        "fusion" => Transform::Khaos(KhaosMode::Fusion),
+        "fusion-n" => Transform::NwayFusion,
+        "fufi-sep" => Transform::Khaos(KhaosMode::FuFiSep),
+        "fufi-ori" => Transform::Khaos(KhaosMode::FuFiOri),
+        "fufi-all" => Transform::Khaos(KhaosMode::FuFiAll),
+        "sub" => Transform::Ollvm(OllvmMode::Sub(1.0)),
+        "bog" => Transform::Ollvm(OllvmMode::Bog(1.0)),
+        "fla" => Transform::Ollvm(OllvmMode::Fla(1.0)),
+        "fla-10" => Transform::Ollvm(OllvmMode::Fla(0.1)),
+        other => {
+            eprintln!("khaos-obf: unknown mode `{other}`");
+            return ExitCode::from(2);
+        }
+    };
+    let applied = match transform {
+        Transform::Khaos(m) => m.apply(&mut module, &mut ctx),
+        Transform::NwayFusion => fusion_n(&mut module, &mut ctx, args.arity),
+        Transform::Ollvm(m) => {
+            m.apply(&mut module, args.seed);
+            Ok(())
+        }
+    };
+    if let Err(e) = applied {
+        eprintln!("khaos-obf: {e}");
+        return ExitCode::FAILURE;
+    }
+    if args.o2 {
+        optimize(&mut module, &OptOptions::baseline());
+    }
+
+    if args.run {
+        let want = run_to_completion(&baseline, &[]);
+        let got = run_to_completion(&module, &[]);
+        match (want, got) {
+            (Ok(w), Ok(g)) if w.output == g.output && w.exit_code == g.exit_code => {
+                eprintln!(
+                    "khaos-obf: behaviour preserved (exit {}, {} outputs); cycles {} -> {} ({:+.1}%)",
+                    g.exit_code,
+                    g.output.len(),
+                    w.cycles,
+                    g.cycles,
+                    (g.cycles as f64 / w.cycles as f64 - 1.0) * 100.0
+                );
+            }
+            (Ok(_), Ok(_)) => {
+                eprintln!("khaos-obf: BEHAVIOUR DIVERGED — this is a bug, please report");
+                return ExitCode::FAILURE;
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("khaos-obf: execution failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if args.stats {
+        eprintln!(
+            "khaos-obf: fission: {} sepFuncs from {} functions (ratio {:.0}%, #BB {:.2}, RR {:.0}%)",
+            ctx.fission_stats.sep_funcs,
+            ctx.fission_stats.ori_funcs,
+            ctx.fission_stats.ratio() * 100.0,
+            ctx.fission_stats.avg_blocks(),
+            ctx.fission_stats.reduced_ratio() * 100.0,
+        );
+        eprintln!(
+            "khaos-obf: fusion: {} fusFuncs, ratio {:.0}%, #RP {:.2}, #HBB {:.2}, {} trampolines",
+            ctx.fusion_stats.fus_funcs,
+            ctx.fusion_stats.ratio() * 100.0,
+            ctx.fusion_stats.avg_reduced_params(),
+            ctx.fusion_stats.avg_innocuous(),
+            ctx.fusion_stats.trampolines,
+        );
+    }
+
+    print!("{}", printer::print_module(&module));
+    ExitCode::SUCCESS
+}

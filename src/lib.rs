@@ -1,0 +1,42 @@
+//! # khaos — facade crate
+//!
+//! Re-exports the whole Khaos reproduction (CGO 2023): the KIR compiler
+//! substrate, the optimizer, the fission/fusion obfuscator, the O-LLVM and
+//! BinTuner baselines, the synthetic binary codegen, the five binary
+//! diffing techniques, the benchmark workloads and the execution VM.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+//!
+//! ```
+//! use khaos::prelude::*;
+//!
+//! // Generate a small workload program, obfuscate it, and check that the
+//! // obfuscated build still computes the same outputs.
+//! let module = khaos::workloads::coreutils_program("demo_tool", 7);
+//! let baseline = khaos::vm::run_to_completion(&module, &[]).unwrap();
+//!
+//! let mut obf = module.clone();
+//! let mut ctx = KhaosContext::new(42);
+//! khaos::obfuscate::fufi_ori(&mut obf, &mut ctx).unwrap();
+//! let obfuscated = khaos::vm::run_to_completion(&obf, &[]).unwrap();
+//! assert_eq!(baseline.output, obfuscated.output);
+//! ```
+
+pub use khaos_binary as binary;
+pub use khaos_bintuner as bintuner;
+pub use khaos_core as obfuscate;
+pub use khaos_diff as diff;
+pub use khaos_ir as ir;
+pub use khaos_ollvm as ollvm;
+pub use khaos_opt as opt;
+pub use khaos_vm as vm;
+pub use khaos_workloads as workloads;
+
+/// Convenient glob-import surface for examples and tests.
+pub mod prelude {
+    pub use khaos_binary::lower_module;
+    pub use khaos_core::{KhaosContext, KhaosOptions};
+    pub use khaos_ir::{Module, Type};
+    pub use khaos_opt::{optimize, OptLevel, OptOptions};
+    pub use khaos_vm::run_to_completion;
+}

@@ -1,0 +1,227 @@
+//! Property-based tests over randomly generated programs: the generator,
+//! the optimizer, the obfuscator and the VM must uphold their invariants
+//! for *every* seed, not just the hand-picked ones.
+
+use khaos::obfuscate::{KhaosContext, KhaosMode, KhaosOptions};
+use khaos::opt::{optimize, OptLevel, OptOptions};
+use khaos::vm::run_to_completion;
+use khaos::workloads::{generate, ProgramProfile};
+use proptest::prelude::*;
+
+fn small_profile(seed: u64, functions: usize, constructs: usize) -> ProgramProfile {
+    ProgramProfile {
+        name: format!("prop_{seed}"),
+        functions: functions.clamp(4, 14),
+        constructs: constructs.clamp(2, 5),
+        work_scale: 6,
+        table_size: 2,
+        ..ProgramProfile::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Every generated program verifies and runs to completion.
+    #[test]
+    fn generated_programs_verify_and_run(seed in 0u64..5000, nf in 4usize..14, nc in 2usize..5) {
+        let mut p = small_profile(seed, nf, nc);
+        p.seed = seed;
+        let m = generate(&p);
+        prop_assert!(khaos_ir::verify::verify_module(&m).is_ok());
+        let r = run_to_completion(&m, &[seed as i64]).expect("program runs");
+        prop_assert!(!r.output.is_empty());
+    }
+
+    /// Optimization at any level preserves observable behaviour.
+    #[test]
+    fn optimization_preserves_behaviour(seed in 0u64..2000, level in 0usize..4) {
+        let mut p = small_profile(seed, 8, 3);
+        p.seed = seed;
+        let src = generate(&p);
+        let want = run_to_completion(&src, &[1]).expect("baseline");
+        let mut m = src.clone();
+        optimize(&mut m, &OptOptions::level(OptLevel::ALL[level]));
+        prop_assert!(khaos_ir::verify::verify_module(&m).is_ok());
+        let got = run_to_completion(&m, &[1]).expect("optimized build runs");
+        prop_assert_eq!(&want.output, &got.output);
+        prop_assert_eq!(want.exit_code, got.exit_code);
+    }
+
+    /// Every Khaos mode preserves behaviour on every seed.
+    #[test]
+    fn khaos_preserves_behaviour(seed in 0u64..1000, mode_idx in 0usize..5) {
+        let mut p = small_profile(seed, 10, 3);
+        p.seed = seed;
+        let mut src = generate(&p);
+        optimize(&mut src, &OptOptions::baseline());
+        let want = run_to_completion(&src, &[2]).expect("baseline");
+
+        let mut m = src.clone();
+        let mut ctx = KhaosContext::new(seed ^ 0xC60);
+        KhaosMode::ALL[mode_idx].apply(&mut m, &mut ctx).expect("obfuscation");
+        let got = run_to_completion(&m, &[2]).expect("obfuscated build runs");
+        prop_assert_eq!(&want.output, &got.output);
+        prop_assert_eq!(want.exit_code, got.exit_code);
+
+        // And the full pipeline (re-optimization) must hold too.
+        optimize(&mut m, &OptOptions::baseline());
+        let got2 = run_to_completion(&m, &[2]).expect("re-optimized build runs");
+        prop_assert_eq!(&want.output, &got2.output);
+    }
+
+    /// Khaos option ablations never break behaviour.
+    #[test]
+    fn khaos_options_preserve_behaviour(
+        seed in 0u64..500,
+        dfr in any::<bool>(),
+        compress in any::<bool>(),
+        deep in any::<bool>(),
+    ) {
+        let mut p = small_profile(seed, 10, 3);
+        p.seed = seed;
+        let mut src = generate(&p);
+        optimize(&mut src, &OptOptions::baseline());
+        let want = run_to_completion(&src, &[4]).expect("baseline");
+        let mut m = src.clone();
+        let options = KhaosOptions {
+            data_flow_reduction: dfr,
+            parameter_compression: compress,
+            deep_fusion: deep,
+            ..KhaosOptions::default()
+        };
+        let mut ctx = KhaosContext::with_options(seed, options);
+        KhaosMode::FuFiAll.apply(&mut m, &mut ctx).expect("obfuscation");
+        let got = run_to_completion(&m, &[4]).expect("runs");
+        prop_assert_eq!(&want.output, &got.output);
+    }
+
+    /// The textual IR round-trips: print → parse → print is a fixpoint.
+    #[test]
+    fn printer_parser_roundtrip(seed in 0u64..2000) {
+        let mut p = small_profile(seed, 6, 3);
+        p.seed = seed;
+        let m = generate(&p);
+        let text = khaos_ir::printer::print_module(&m);
+        let parsed = khaos_ir::parser::parse_module(&text).expect("printed IR parses");
+        prop_assert_eq!(&m, &parsed);
+    }
+
+    /// Lowering never panics and yields one machine function per IR
+    /// function with entry-block prologues.
+    #[test]
+    fn lowering_is_total(seed in 0u64..2000) {
+        let mut p = small_profile(seed, 8, 3);
+        p.seed = seed;
+        let mut m = generate(&p);
+        optimize(&mut m, &OptOptions::baseline());
+        let bin = khaos::binary::lower_module(&m);
+        prop_assert_eq!(bin.functions.len(), m.functions.len());
+        for f in &bin.functions {
+            prop_assert!(!f.blocks.is_empty());
+            prop_assert!(f.blocks[0].insts.len() >= 2, "prologue present");
+        }
+    }
+
+    /// N-way fusion (extension) preserves behaviour for every seed and
+    /// arity, through the full re-optimization pipeline.
+    #[test]
+    fn nway_fusion_preserves_behaviour(seed in 0u64..600, arity in 2usize..=4) {
+        let mut p = small_profile(seed, 12, 3);
+        p.seed = seed;
+        let mut src = generate(&p);
+        optimize(&mut src, &OptOptions::baseline());
+        let want = run_to_completion(&src, &[5]).expect("baseline");
+
+        let mut m = src.clone();
+        let mut ctx = KhaosContext::new(seed ^ 0xA11);
+        khaos::obfuscate::fusion_n(&mut m, &mut ctx, arity).expect("n-way fusion");
+        let got = run_to_completion(&m, &[5]).expect("fused build runs");
+        prop_assert_eq!(&want.output, &got.output);
+        prop_assert_eq!(want.exit_code, got.exit_code);
+
+        optimize(&mut m, &OptOptions::baseline());
+        let got2 = run_to_completion(&m, &[5]).expect("re-optimized fused build runs");
+        prop_assert_eq!(&want.output, &got2.output);
+    }
+
+    /// The data-flow differ's embeddings are unit-length (or zero) and
+    /// its similarity matrix self-match sits on the diagonal.
+    #[test]
+    fn dataflow_embeddings_are_normalized(seed in 0u64..800) {
+        use khaos::diff::{DataFlowDiff, Differ};
+        let mut p = small_profile(seed, 6, 3);
+        p.seed = seed;
+        let mut m = generate(&p);
+        optimize(&mut m, &OptOptions::baseline());
+        let bin = khaos::binary::lower_module(&m);
+        let tool = DataFlowDiff::default();
+        for e in tool.embed(&bin) {
+            let norm: f64 = e.iter().map(|x| x * x).sum::<f64>().sqrt();
+            prop_assert!(norm < 1.0 + 1e-9, "unit or zero length, got {}", norm);
+            prop_assert!(norm == 0.0 || norm > 1.0 - 1e-9);
+        }
+        let matrix = tool.similarity_matrix(&bin, &bin);
+        for (i, row) in matrix.iter().enumerate() {
+            for (j, s) in row.iter().enumerate() {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(s));
+                if i == j {
+                    prop_assert!(*s > 0.999 || row.iter().all(|x| *x == 0.0));
+                }
+            }
+        }
+    }
+}
+
+/// Cross-check the fast dominator implementation against the naive
+/// definition on generated CFGs (beyond the unit tests' fixed shapes).
+#[test]
+fn dominators_match_naive_on_generated_cfgs() {
+    use khaos_ir::{BlockId, Cfg, DomTree};
+    for seed in 0..40u64 {
+        let p = ProgramProfile {
+            name: format!("dom_{seed}"),
+            functions: 6,
+            constructs: 4,
+            seed,
+            ..ProgramProfile::default()
+        };
+        let m = generate(&p);
+        for f in &m.functions {
+            let cfg = Cfg::compute(f);
+            let dt = DomTree::compute(f, &cfg);
+            // Naive: a dominates b iff removing a disconnects b.
+            for (a, _) in f.iter_blocks() {
+                if !cfg.is_reachable(a) {
+                    continue;
+                }
+                let mut visited = vec![false; f.blocks.len()];
+                if f.entry() != a {
+                    visited[f.entry().index()] = true;
+                    let mut stack = vec![f.entry()];
+                    while let Some(x) = stack.pop() {
+                        f.block(x).term.for_each_successor(|s| {
+                            if s != a && !visited[s.index()] {
+                                visited[s.index()] = true;
+                                stack.push(s);
+                            }
+                        });
+                    }
+                }
+                for (b, _) in f.iter_blocks() {
+                    if !cfg.is_reachable(b) {
+                        continue;
+                    }
+                    let naive = a == b || !visited[b.index()];
+                    assert_eq!(
+                        dt.dominates(a, b),
+                        naive,
+                        "{}: dominates({a},{b}) mismatch",
+                        f.name
+                    );
+                }
+            }
+            let _ = BlockId(0);
+        }
+    }
+}
