@@ -21,27 +21,44 @@ fn bench_ablation(c: &mut Criterion) {
     group.sample_size(10);
 
     let variants: Vec<(&str, KhaosMode, KhaosOptions)> = vec![
-        ("fission_default", KhaosMode::Fission, KhaosOptions::default()),
+        (
+            "fission_default",
+            KhaosMode::Fission,
+            KhaosOptions::default(),
+        ),
         (
             "fission_no_dfr",
             KhaosMode::Fission,
-            KhaosOptions { data_flow_reduction: false, ..Default::default() },
+            KhaosOptions {
+                data_flow_reduction: false,
+                ..Default::default()
+            },
         ),
         (
             "fission_naive_regions",
             KhaosMode::Fission,
-            KhaosOptions { fission_min_value: 0.0, fission_max_regions: 64, ..Default::default() },
+            KhaosOptions {
+                fission_min_value: 0.0,
+                fission_max_regions: 64,
+                ..Default::default()
+            },
         ),
         ("fusion_default", KhaosMode::Fusion, KhaosOptions::default()),
         (
             "fusion_no_compress",
             KhaosMode::Fusion,
-            KhaosOptions { parameter_compression: false, ..Default::default() },
+            KhaosOptions {
+                parameter_compression: false,
+                ..Default::default()
+            },
         ),
         (
             "fusion_no_deep",
             KhaosMode::Fusion,
-            KhaosOptions { deep_fusion: false, ..Default::default() },
+            KhaosOptions {
+                deep_fusion: false,
+                ..Default::default()
+            },
         ),
     ];
     for (name, mode, options) in variants {

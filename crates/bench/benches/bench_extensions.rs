@@ -20,9 +20,11 @@ fn bench_nway_overhead(c: &mut Criterion) {
     });
     for arity in 2..=4usize {
         let (obf, _) = khaos_apply_nway(&base, arity, SEED);
-        group.bench_with_input(BenchmarkId::new("run", format!("arity{arity}")), &obf, |b, m| {
-            b.iter(|| measure_cycles(m))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("run", format!("arity{arity}")),
+            &obf,
+            |b, m| b.iter(|| measure_cycles(m)),
+        );
     }
     group.finish();
 }
@@ -35,9 +37,11 @@ fn bench_nway_transform(c: &mut Criterion) {
     let mut group = c.benchmark_group("nway_transform_mcf");
     group.sample_size(10);
     for arity in 2..=4usize {
-        group.bench_with_input(BenchmarkId::new("fuse", format!("arity{arity}")), &base, |b, m| {
-            b.iter(|| khaos_apply_nway(m, arity, SEED))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fuse", format!("arity{arity}")),
+            &base,
+            |b, m| b.iter(|| khaos_apply_nway(m, arity, SEED)),
+        );
     }
     group.finish();
 }
@@ -65,5 +69,10 @@ fn bench_dataflow_matching(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_nway_overhead, bench_nway_transform, bench_dataflow_matching);
+criterion_group!(
+    benches,
+    bench_nway_overhead,
+    bench_nway_transform,
+    bench_dataflow_matching
+);
 criterion_main!(benches);

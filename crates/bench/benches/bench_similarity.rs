@@ -1,0 +1,198 @@
+//! Criterion bench for the batched similarity engine: the seed
+//! (per-pair cosine, matrix-per-query) `escape@k` path against the
+//! batched path (cached normalized embeddings, one flat matrix, `O(T)`
+//! rank queries) on a 200-function binary pair.
+//!
+//! Writes `BENCH_similarity.json` at the repository root with the
+//! baseline-vs-batched timings so future PRs can track the perf
+//! trajectory. The acceptance bar for this engine is a ≥10× speedup on
+//! `escape@k`; the JSON records the measured factor per tool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use khaos_bench::{build_baseline, khaos_apply, SEED};
+use khaos_binary::{lower_module, Binary};
+use khaos_core::KhaosMode;
+use khaos_diff::{
+    escape_at_k, escape_profile_with, Asm2Vec, BinDiff, DataFlowDiff, Differ, EmbeddingCache, Safe,
+    VulSeeker,
+};
+use khaos_workloads::{generate, ProgramProfile};
+use std::time::Instant;
+
+/// A 200-function baseline/obfuscated pair with every tenth function
+/// annotated vulnerable (the Figure-10 shape at T-I scale). The
+/// generator profile is oversized because `O2+LTO` inlines and strips a
+/// large share of the generated workers; the assert pins the scale the
+/// speedup claim is made at.
+fn build_pair() -> (Binary, Binary) {
+    let profile = ProgramProfile {
+        name: "bench_sim".into(),
+        functions: 460,
+        constructs: 3,
+        ..ProgramProfile::default()
+    };
+    let src = generate(&profile);
+    let base = build_baseline(&src);
+    let (obf, _) = khaos_apply(&base, KhaosMode::FuFiAll, SEED);
+    let mut base_bin = lower_module(&base);
+    assert!(
+        base_bin.functions.len() >= 200,
+        "bench pair must be >= 200 functions, got {}",
+        base_bin.functions.len()
+    );
+    for f in base_bin.functions.iter_mut().step_by(10) {
+        f.provenance.annotations.push("vulnerable".into());
+    }
+    (base_bin, lower_module(&obf))
+}
+
+// The measured baseline is `khaos_diff::reference` — the frozen seed
+// implementation (full matrix rebuild per vulnerable query), shared
+// with the equivalence suite so bench and tests pin the same
+// semantics.
+use khaos_diff::reference::reference_escape_at_k as seed_escape_at_k;
+
+fn time_ns<F: FnMut() -> f64>(iters: u32, mut f: F) -> (f64, f64) {
+    let mut value = 0.0;
+    let start = Instant::now();
+    for _ in 0..iters {
+        value = criterion::black_box(f());
+    }
+    (start.elapsed().as_nanos() as f64 / iters as f64, value)
+}
+
+fn json_escape_entry(tool: &str, seed_ns: f64, cold_ns: f64, warm_ns: f64, equal: bool) -> String {
+    format!(
+        "    {{\"tool\": \"{tool}\", \"seed_escape_ns\": {seed_ns:.0}, \
+         \"batched_cold_ns\": {cold_ns:.0}, \"batched_warm_ns\": {warm_ns:.0}, \
+         \"speedup\": {:.2}, \"values_equal\": {equal}}}",
+        seed_ns / cold_ns
+    )
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let (base_bin, obf_bin) = build_pair();
+    let tools: Vec<Box<dyn Differ>> = vec![
+        Box::new(BinDiff::default()),
+        Box::new(VulSeeker::default()),
+        Box::new(Asm2Vec::default()),
+        Box::new(Safe::default()),
+        Box::new(DataFlowDiff::default()),
+    ];
+
+    // Criterion-style per-tool comparison of one full matrix build.
+    {
+        let mut group = c.benchmark_group("similarity_matrix_200fn");
+        group.sample_size(5);
+        for tool in &tools {
+            group.bench_with_input(BenchmarkId::new("per_pair", tool.name()), tool, |b, t| {
+                b.iter(|| t.similarity_matrix(&base_bin, &obf_bin))
+            });
+            group.bench_with_input(
+                BenchmarkId::new("batched_cold", tool.name()),
+                tool,
+                |b, t| {
+                    b.iter(|| {
+                        // Fresh cache: embeds both sides, then one flat build.
+                        let cache = EmbeddingCache::new(4);
+                        t.batched_similarity(&base_bin, &obf_bin, &cache)
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("batched_warm", tool.name()),
+                tool,
+                |b, t| {
+                    b.iter(|| t.batched_similarity(&base_bin, &obf_bin, EmbeddingCache::global()))
+                },
+            );
+        }
+        group.finish();
+    }
+
+    // The acceptance measurement: the Figure-10 escape protocol —
+    // escape@{1,10,50} over ~20 vulnerable functions — seed path vs
+    // batched path, per tool. The seed fig10 driver called
+    // `escape_at_k` once per threshold, each call rebuilding the
+    // matrix per vulnerable query; the engine's `escape_profile`
+    // answers all three thresholds from one matrix. The headline
+    // "cold" number uses a **fresh cache per call** — every iteration
+    // pays embedding + fingerprinting + matrix + ranking in full, so
+    // the speedup reflects the engine itself, not process-global cache
+    // hits. The warm number (shared global cache, the wrapper default,
+    // i.e. what fig10 actually pays beyond its first call) is
+    // reported alongside.
+    const KS: [usize; 3] = [1, 10, 50];
+    let mut entries = Vec::new();
+    let mut worst_speedup = f64::INFINITY;
+    println!(
+        "\n# escape@{{1,10,50}}, 200-function pair, {} tools",
+        tools.len()
+    );
+    println!(
+        "{:<14} {:>16} {:>15} {:>15} {:>9} {:>7}",
+        "tool", "seed", "batched/cold", "batched/warm", "speedup", "equal"
+    );
+    for tool in &tools {
+        let (cold_ns, cold_v) = time_ns(3, || {
+            let cache = EmbeddingCache::new(4);
+            escape_profile_with(tool.as_ref(), &base_bin, &obf_bin, &KS, &cache)
+                .iter()
+                .sum()
+        });
+        let (warm_ns, warm_v) = time_ns(5, || {
+            KS.iter()
+                .map(|&k| escape_at_k(tool.as_ref(), &base_bin, &obf_bin, k))
+                .sum()
+        });
+        let (seed_ns, seed_v) = time_ns(1, || {
+            KS.iter()
+                .map(|&k| seed_escape_at_k(tool.as_ref(), &base_bin, &obf_bin, k))
+                .sum()
+        });
+        let equal = (seed_v - cold_v).abs() < 1e-12 && (seed_v - warm_v).abs() < 1e-12;
+        let speedup = seed_ns / cold_ns;
+        worst_speedup = worst_speedup.min(speedup);
+        println!(
+            "{:<14} {:>13.2} ms {:>12.2} ms {:>12.2} ms {:>8.1}x {:>7}",
+            tool.name(),
+            seed_ns / 1e6,
+            cold_ns / 1e6,
+            warm_ns / 1e6,
+            speedup,
+            equal
+        );
+        assert!(
+            equal,
+            "{}: batched escape@{{1,10,50}} diverged from seed path",
+            tool.name()
+        );
+        entries.push(json_escape_entry(
+            tool.name(),
+            seed_ns,
+            cold_ns,
+            warm_ns,
+            equal,
+        ));
+    }
+    println!("# worst cold speedup: {worst_speedup:.1}x (acceptance bar: >= 10x)");
+
+    let json = format!(
+        "{{\n  \"bench\": \"escape_profile_fig10\",\n  \"functions\": {},\n  \"vulnerable\": {},\n  \
+         \"ks\": [1, 10, 50],\n  \"worst_speedup\": {:.2},\n  \"tools\": [\n{}\n  ]\n}}\n",
+        base_bin.functions.len(),
+        base_bin
+            .functions
+            .iter()
+            .filter(|f| f.provenance.annotations.iter().any(|a| a == "vulnerable"))
+            .count(),
+        worst_speedup,
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_similarity.json");
+    std::fs::write(path, json).expect("write BENCH_similarity.json");
+    println!("# wrote {path}");
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

@@ -16,12 +16,26 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scope = if quick { Scope::Quick } else { Scope::Full };
-    let targets: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let targets: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
         vec![
-            "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "ablations", "ext-arity", "ext-dataflow", "ext-stripped",
+            "table1",
+            "table2",
+            "table3",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "ablations",
+            "ext-arity",
+            "ext-dataflow",
+            "ext-stripped",
         ]
     } else {
         targets

@@ -6,14 +6,14 @@
 
 use crate::harness::{
     build_at, build_baseline, build_config, geomean, geomean_ratio, khaos_apply, measure_cycles,
-    overhead_pct, BuildConfig, SEED,
+    overhead_pct, par_fan_out, prepare_baselines, BuildConfig, SEED,
 };
 use khaos_binary::{histogram_distance, lower_module, opcode_histogram};
 use khaos_bintuner::BinTuner;
 use khaos_core::{FissionStats, FusionStats, KhaosContext, KhaosMode};
 use khaos_diff::{
-    binary_similarity, deepbindiff_precision_at_1, escape_at_k, precision_at_1, Asm2Vec, BinDiff,
-    DeepBinDiff, Differ, Safe, VulSeeker,
+    binary_similarity, deepbindiff_precision_at_1, escape_profile, precision_at_1, Asm2Vec,
+    BinDiff, DeepBinDiff, Differ, Safe, VulSeeker,
 };
 use khaos_ir::Module;
 use khaos_ollvm::OllvmMode;
@@ -56,13 +56,23 @@ pub fn fig6(scope: Scope) {
         "program", "Fission", "Fusion", "FuFi.sep", "FuFi.ori", "FuFi.all"
     );
     let mut per_mode: Vec<Vec<f64>> = vec![Vec::new(); KhaosMode::ALL.len()];
-    for src in t1_programs(scope) {
-        let base = build_baseline(&src);
+    let programs = t1_programs(scope);
+    // One worker per program: baseline + the five mode builds.
+    let rows = par_fan_out(&programs, |src| {
+        let base = build_baseline(src);
         let base_cycles = measure_cycles(&base);
-        let mut row = format!("{:<20}", src.name);
-        for (k, mode) in KhaosMode::ALL.iter().enumerate() {
-            let (obf, _) = khaos_apply(&base, *mode, SEED);
-            let oh = overhead_pct(base_cycles, measure_cycles(&obf));
+        let ohs: Vec<f64> = KhaosMode::ALL
+            .iter()
+            .map(|mode| {
+                let (obf, _) = khaos_apply(&base, *mode, SEED);
+                overhead_pct(base_cycles, measure_cycles(&obf))
+            })
+            .collect();
+        (src.name.clone(), ohs)
+    });
+    for (name, ohs) in rows {
+        let mut row = format!("{name:<20}");
+        for (k, oh) in ohs.into_iter().enumerate() {
             per_mode[k].push(oh);
             row.push_str(&format!(" {oh:>8.1}%"));
         }
@@ -100,17 +110,19 @@ pub fn fig7(scope: Scope) {
         print!(" {sname:>15}");
     }
     println!(" {:>10}", "GEOMEAN");
+    // Baselines are shared by all nine configurations: build once.
+    let baselines: Vec<Vec<(Module, u64)>> = suites
+        .iter()
+        .map(|(_, programs)| prepare_baselines(programs))
+        .collect();
     for (name, cfg) in &configs {
         let mut all = Vec::new();
         print!("{name:<14}");
-        for (_, programs) in &suites {
-            let mut ohs = Vec::new();
-            for src in programs {
-                let base = build_baseline(src);
-                let base_cycles = measure_cycles(&base);
-                let obf = build_config(&base, *cfg);
-                ohs.push(overhead_pct(base_cycles, measure_cycles(&obf)));
-            }
+        for prepared in &baselines {
+            let ohs = par_fan_out(prepared, |(base, base_cycles)| {
+                let obf = build_config(base, *cfg);
+                overhead_pct(*base_cycles, measure_cycles(&obf))
+            });
             all.extend_from_slice(&ohs);
             print!(" {:>14.1}%", geomean_ratio(&ohs));
         }
@@ -134,27 +146,30 @@ pub fn fig8(scope: Scope) {
     }
     println!();
 
+    // Baselines (and their lowered binaries) are shared by all eight
+    // configurations; the embedding cache then reuses the baseline-side
+    // embeddings across every config row.
+    let prepared: Vec<_> = par_fan_out(&programs, |src| {
+        let base = build_baseline(src);
+        let base_bin = lower_module(&base);
+        (base, base_bin)
+    });
     for cfg in configs {
-        let mut scores = vec![Vec::new(); 5];
-        for src in &programs {
-            let base = build_baseline(src);
-            let base_bin = lower_module(&base);
-            let obf = build_config(&base, cfg);
+        let per_program = par_fan_out(&prepared, |(base, base_bin)| {
+            let obf = build_config(base, cfg);
             let obf_bin = lower_module(&obf);
-
-            scores[0].push(binary_similarity(&BinDiff::default(), &base_bin, &obf_bin));
-            scores[1].push(precision_at_1(&VulSeeker::default(), &base_bin, &obf_bin));
-            scores[2].push(precision_at_1(&Asm2Vec::default(), &base_bin, &obf_bin));
-            scores[3].push(precision_at_1(&Safe::default(), &base_bin, &obf_bin));
-            scores[4].push(deepbindiff_precision_at_1(
-                &DeepBinDiff::default(),
-                &base_bin,
-                &obf_bin,
-            ));
-        }
+            [
+                binary_similarity(&BinDiff::default(), base_bin, &obf_bin),
+                precision_at_1(&VulSeeker::default(), base_bin, &obf_bin),
+                precision_at_1(&Asm2Vec::default(), base_bin, &obf_bin),
+                precision_at_1(&Safe::default(), base_bin, &obf_bin),
+                deepbindiff_precision_at_1(&DeepBinDiff::default(), base_bin, &obf_bin),
+            ]
+        });
         print!("{:<10}", cfg.name());
-        for s in &scores {
-            let avg: f64 = s.iter().sum::<f64>() / s.len().max(1) as f64;
+        for t in 0..5 {
+            let avg: f64 =
+                per_program.iter().map(|s| s[t]).sum::<f64>() / per_program.len().max(1) as f64;
             print!(" {avg:>11.3}");
         }
         println!();
@@ -203,32 +218,59 @@ pub fn fig9(scope: Scope) {
     let differ = BinDiff::default();
     println!(
         "{:<18} {:>8} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8} {:>8} {:>10}",
-        "program", "BT/O0", "BT/O1", "BT/O2", "BT/O3", "KH/O0", "KH/O1", "KH/O2", "KH/O3", "BT-ovh%"
+        "program",
+        "BT/O0",
+        "BT/O1",
+        "BT/O2",
+        "BT/O3",
+        "KH/O0",
+        "KH/O1",
+        "KH/O2",
+        "KH/O3",
+        "BT-ovh%"
     );
     let mut bt_cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
     let mut kh_cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
     let mut bt_overheads = Vec::new();
-    for src in &programs {
-        let refs: Vec<_> = OptLevel::ALL.iter().map(|l| lower_module(&build_at(src, *l))).collect();
+    // Fan out per program: each worker runs the BinTuner search, the
+    // Khaos build, and the eight whole-binary comparisons.
+    let results = par_fan_out(&programs, |src| {
+        let refs: Vec<_> = OptLevel::ALL
+            .iter()
+            .map(|l| lower_module(&build_at(src, *l)))
+            .collect();
 
-        let tuned = BinTuner { budget: 16, seed: SEED }.tune(src);
+        let tuned = BinTuner {
+            budget: 16,
+            seed: SEED,
+        }
+        .tune(src);
         let baseline = build_baseline(src);
         let base_cycles = measure_cycles(&baseline);
         let bt_overhead = overhead_pct(base_cycles, measure_cycles(&tuned.module));
-        bt_overheads.push(bt_overhead);
 
         let (khaos, _) = khaos_apply(&baseline, KhaosMode::FuFiAll, SEED);
         let khaos_bin = lower_module(&khaos);
 
-        let mut row = format!("{:<18}", src.name);
-        for (k, r) in refs.iter().enumerate() {
-            let s = binary_similarity(&differ, r, &tuned.binary);
+        let bt: Vec<f64> = refs
+            .iter()
+            .map(|r| binary_similarity(&differ, r, &tuned.binary))
+            .collect();
+        let kh: Vec<f64> = refs
+            .iter()
+            .map(|r| binary_similarity(&differ, r, &khaos_bin))
+            .collect();
+        (src.name.clone(), bt, kh, bt_overhead)
+    });
+    for (name, bt, kh, bt_overhead) in results {
+        bt_overheads.push(bt_overhead);
+        let mut row = format!("{name:<18}");
+        for (k, s) in bt.into_iter().enumerate() {
             bt_cols[k].push(s);
             row.push_str(&format!(" {s:>8.3}"));
         }
         row.push_str("  ");
-        for (k, r) in refs.iter().enumerate() {
-            let s = binary_similarity(&differ, r, &khaos_bin);
+        for (k, s) in kh.into_iter().enumerate() {
             kh_cols[k].push(s);
             row.push_str(&format!(" {s:>8.3}"));
         }
@@ -260,33 +302,69 @@ pub fn fig10(_scope: Scope) {
         ("FuFi.ori".into(), BuildConfig::Khaos(KhaosMode::FuFiOri)),
         ("FuFi.all".into(), BuildConfig::Khaos(KhaosMode::FuFiAll)),
     ];
-    let tools: Vec<(&str, Box<dyn Differ>)> = vec![
+    let tools: Vec<(&str, Box<dyn Differ + Sync>)> = vec![
         ("VulSeeker", Box::new(VulSeeker::default())),
         ("Asm2Vec", Box::new(Asm2Vec::default())),
         ("SAFE", Box::new(Safe::default())),
     ];
     let programs = tiii();
+    const KS: [usize; 3] = [1, 10, 50];
 
-    for k in [1usize, 10, 50] {
+    // Build each (config, program) pair once and rank each tool's
+    // vulnerable queries against one shared similarity matrix for all
+    // three escape thresholds (the seed rebuilt binaries and matrices
+    // per (config, tool, k, query)).
+    let prepared: Vec<_> = par_fan_out(&programs, |src| {
+        let base = build_baseline(src);
+        (lower_module(&base), base)
+    });
+    // One flat (config × program) grid: a single fan-out level keeps
+    // concurrency at ~core count instead of multiplying config workers
+    // by program workers.
+    let grid: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|ci| (0..prepared.len()).map(move |pi| (ci, pi)))
+        .collect();
+    let cells: Vec<Vec<[f64; 3]>> = par_fan_out(&grid, |&(ci, pi)| {
+        let (base_bin, base) = &prepared[pi];
+        let obf = build_config(base, configs[ci].1);
+        let obf_bin = lower_module(&obf);
+        tools
+            .iter()
+            .map(|(_, tool)| {
+                let profile = escape_profile(tool.as_ref(), base_bin, &obf_bin, &KS);
+                [profile[0], profile[1], profile[2]]
+            })
+            .collect()
+    });
+    // avg[config][tool][k]
+    let avg: Vec<Vec<[f64; 3]>> = (0..configs.len())
+        .map(|ci| {
+            (0..tools.len())
+                .map(|t| {
+                    let mut acc = [0.0f64; 3];
+                    for pi in 0..prepared.len() {
+                        let scores = &cells[ci * prepared.len() + pi];
+                        for (a, s) in acc.iter_mut().zip(scores[t]) {
+                            *a += s;
+                        }
+                    }
+                    acc.map(|a| a / prepared.len().max(1) as f64)
+                })
+                .collect()
+        })
+        .collect();
+
+    for (ki, k) in KS.iter().enumerate() {
         println!("\n## escape@{k}");
         print!("{:<10}", "config");
         for (t, _) in &tools {
             print!(" {t:>10}");
         }
         println!();
-        for (name, cfg) in &configs {
+        for ((name, _), tool_avgs) in configs.iter().zip(&avg) {
             print!("{name:<10}");
-            for (_, tool) in &tools {
-                let mut ratios = Vec::new();
-                for src in &programs {
-                    let base = build_baseline(src);
-                    let base_bin = lower_module(&base);
-                    let obf = build_config(&base, *cfg);
-                    let obf_bin = lower_module(&obf);
-                    ratios.push(escape_at_k(tool.as_ref(), &base_bin, &obf_bin, k));
-                }
-                let avg: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
-                print!(" {avg:>10.2}");
+            for tool_avg in tool_avgs {
+                print!(" {:>10.2}", tool_avg[ki]);
             }
             println!();
         }
@@ -300,7 +378,10 @@ pub fn fig11(scope: Scope) {
     let mut configs: Vec<(String, Option<BuildConfig>)> = vec![
         ("Sub".into(), Some(BuildConfig::Ollvm(OllvmMode::Sub(1.0)))),
         ("Bog".into(), Some(BuildConfig::Ollvm(OllvmMode::Bog(1.0)))),
-        ("Fla-10".into(), Some(BuildConfig::Ollvm(OllvmMode::Fla(0.1)))),
+        (
+            "Fla-10".into(),
+            Some(BuildConfig::Ollvm(OllvmMode::Fla(0.1))),
+        ),
         ("BinTuner".into(), None), // handled specially
     ];
     configs.extend(
@@ -310,20 +391,36 @@ pub fn fig11(scope: Scope) {
     );
     let programs = t1_programs(scope);
 
+    // Fan out per program; each worker builds every configuration.
+    let rows = par_fan_out(&programs, |src| {
+        let base = build_baseline(src);
+        let base_hist = opcode_histogram(&lower_module(&base));
+        let ds: Vec<f64> = configs
+            .iter()
+            .map(|(_, cfg)| {
+                let obf_bin = match cfg {
+                    Some(c) => lower_module(&build_config(&base, *c)),
+                    None => {
+                        BinTuner {
+                            budget: 8,
+                            seed: SEED,
+                        }
+                        .tune(src)
+                        .binary
+                    }
+                };
+                histogram_distance(&base_hist, &opcode_histogram(&obf_bin))
+            })
+            .collect();
+        (src.name.clone(), ds)
+    });
     // distances[config][program]
     let mut distances: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
     let mut names: Vec<String> = Vec::new();
-    for src in &programs {
-        names.push(src.name.clone());
-        let base = build_baseline(src);
-        let base_hist = opcode_histogram(&lower_module(&base));
-        for (ci, (_, cfg)) in configs.iter().enumerate() {
-            let obf_bin = match cfg {
-                Some(c) => lower_module(&build_config(&base, *c)),
-                None => BinTuner { budget: 8, seed: SEED }.tune(src).binary,
-            };
-            let h = opcode_histogram(&obf_bin);
-            distances[ci].push(histogram_distance(&base_hist, &h));
+    for (name, ds) in rows {
+        names.push(name);
+        for (ci, d) in ds.into_iter().enumerate() {
+            distances[ci].push(d);
         }
     }
     // Normalize by the max distance over everything (the paper's scheme).
@@ -397,15 +494,18 @@ pub fn table2(scope: Scope) {
     for (name, programs) in suites {
         let mut fi = FissionStats::default();
         let mut fu = FusionStats::default();
-        for src in &programs {
+        // Fission stats come from a pure-fission build; fusion stats
+        // from a pure-fusion build (the paper measures the primitives
+        // individually, "without the combination").
+        let stats = par_fan_out(&programs, |src| {
             let base = build_baseline(src);
-            // Fission stats come from a pure-fission build; fusion stats
-            // from a pure-fusion build (the paper measures the primitives
-            // individually, "without the combination").
-            let (_, ctx) = khaos_apply(&base, KhaosMode::Fission, SEED);
-            fi.merge(&ctx.fission_stats);
-            let (_, ctx) = khaos_apply(&base, KhaosMode::Fusion, SEED);
-            fu.merge(&ctx.fusion_stats);
+            let (_, fi_ctx) = khaos_apply(&base, KhaosMode::Fission, SEED);
+            let (_, fu_ctx) = khaos_apply(&base, KhaosMode::Fusion, SEED);
+            (fi_ctx.fission_stats, fu_ctx.fusion_stats)
+        });
+        for (fis, fus) in &stats {
+            fi.merge(fis);
+            fu.merge(fus);
         }
         println!(
             "{:<16} {:>11.0}% {:>8.2} {:>7.0}% {:>12.0}% {:>8.2} {:>8.2}",
@@ -452,15 +552,19 @@ pub fn ablations(scope: Scope) {
         let mut ohs = Vec::new();
         let mut fi = FissionStats::default();
         let mut fu = FusionStats::default();
-        for src in &programs {
+        let results = par_fan_out(&programs, |src| {
             let base = build_baseline(src);
             let base_cycles = measure_cycles(&base);
             let mut m = base.clone();
             let mut ctx = KhaosContext::with_options(SEED, options.clone());
             mode.apply(&mut m, &mut ctx).expect("ablation build");
-            ohs.push(overhead_pct(base_cycles, measure_cycles(&m)));
-            fi.merge(&ctx.fission_stats);
-            fu.merge(&ctx.fusion_stats);
+            let oh = overhead_pct(base_cycles, measure_cycles(&m));
+            (oh, ctx.fission_stats, ctx.fusion_stats)
+        });
+        for (oh, fis, fus) in &results {
+            ohs.push(*oh);
+            fi.merge(fis);
+            fu.merge(fus);
         }
         println!(
             "{:<34} overhead {:>7.1}%  paramsReduced {:>4}  #RP {:>5.2}  deepPairs {:>4}",
@@ -472,26 +576,47 @@ pub fn ablations(scope: Scope) {
         );
     };
 
-    run("Fission (default)", KhaosOptions::default(), KhaosMode::Fission);
+    run(
+        "Fission (default)",
+        KhaosOptions::default(),
+        KhaosMode::Fission,
+    );
     run(
         "Fission w/o data-flow reduction",
-        KhaosOptions { data_flow_reduction: false, ..Default::default() },
+        KhaosOptions {
+            data_flow_reduction: false,
+            ..Default::default()
+        },
         KhaosMode::Fission,
     );
     run(
         "Fission naive regions (min_value 0)",
-        KhaosOptions { fission_min_value: 0.0, fission_max_regions: 64, ..Default::default() },
+        KhaosOptions {
+            fission_min_value: 0.0,
+            fission_max_regions: 64,
+            ..Default::default()
+        },
         KhaosMode::Fission,
     );
-    run("Fusion (default)", KhaosOptions::default(), KhaosMode::Fusion);
+    run(
+        "Fusion (default)",
+        KhaosOptions::default(),
+        KhaosMode::Fusion,
+    );
     run(
         "Fusion w/o param compression",
-        KhaosOptions { parameter_compression: false, ..Default::default() },
+        KhaosOptions {
+            parameter_compression: false,
+            ..Default::default()
+        },
         KhaosMode::Fusion,
     );
     run(
         "Fusion w/o deep fusion",
-        KhaosOptions { deep_fusion: false, ..Default::default() },
+        KhaosOptions {
+            deep_fusion: false,
+            ..Default::default()
+        },
         KhaosMode::Fusion,
     );
 }
@@ -519,19 +644,33 @@ pub fn ext_arity(scope: Scope) {
         let mut dataflow = Vec::new();
         let mut fus_funcs = 0usize;
         let mut eligible = 0usize;
-        for src in &programs {
+        let results = par_fan_out(&programs, |src| {
             let base = build_baseline(src);
             let base_cycles = measure_cycles(&base);
             let base_bin = lower_module(&base);
             let (obf, ctx) = khaos_apply_nway(&base, arity, SEED);
-            ohs.push(overhead_pct(base_cycles, measure_cycles(&obf)));
+            let oh = overhead_pct(base_cycles, measure_cycles(&obf));
             let obf_bin = lower_module(&obf);
-            bindiff.push(binary_similarity(&BinDiff::default(), &base_bin, &obf_bin));
-            asm2vec.push(precision_at_1(&Asm2Vec::default(), &base_bin, &obf_bin));
-            safe.push(precision_at_1(&Safe::default(), &base_bin, &obf_bin));
-            dataflow.push(precision_at_1(&khaos_diff::DataFlowDiff::default(), &base_bin, &obf_bin));
-            fus_funcs += ctx.fusion_stats.fus_funcs;
-            eligible += ctx.fusion_stats.eligible_funcs;
+            (
+                oh,
+                [
+                    binary_similarity(&BinDiff::default(), &base_bin, &obf_bin),
+                    precision_at_1(&Asm2Vec::default(), &base_bin, &obf_bin),
+                    precision_at_1(&Safe::default(), &base_bin, &obf_bin),
+                    precision_at_1(&khaos_diff::DataFlowDiff::default(), &base_bin, &obf_bin),
+                ],
+                ctx.fusion_stats.fus_funcs,
+                ctx.fusion_stats.eligible_funcs,
+            )
+        });
+        for (oh, scores, fus, elig) in results {
+            ohs.push(oh);
+            bindiff.push(scores[0]);
+            asm2vec.push(scores[1]);
+            safe.push(scores[2]);
+            dataflow.push(scores[3]);
+            fus_funcs += fus;
+            eligible += elig;
         }
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
         println!(
@@ -557,13 +696,13 @@ pub fn ext_arity(scope: Scope) {
         "{:<8} {:>10} {:>9} {:>9} {:>9}",
         "arity", "overhead", "BinDiff", "Asm2Vec", "SAFE"
     );
-    let programs = t1_programs(if scope == Scope::Quick { Scope::Quick } else { Scope::Full });
+    let programs = t1_programs(if scope == Scope::Quick {
+        Scope::Quick
+    } else {
+        Scope::Full
+    });
     for arity in 2..=4usize {
-        let mut ohs = Vec::new();
-        let mut bindiff = Vec::new();
-        let mut asm2vec = Vec::new();
-        let mut safe = Vec::new();
-        for src in &programs {
+        let results = par_fan_out(&programs, |src| {
             let base = build_baseline(src);
             let base_cycles = measure_cycles(&base);
             let base_bin = lower_module(&base);
@@ -571,12 +710,19 @@ pub fn ext_arity(scope: Scope) {
             let mut ctx = KhaosContext::new(SEED);
             khaos_core::fufi_n(&mut m, &mut ctx, arity).expect("fufi_n build");
             khaos_opt::optimize(&mut m, &khaos_opt::OptOptions::baseline());
-            ohs.push(overhead_pct(base_cycles, measure_cycles(&m)));
+            let oh = overhead_pct(base_cycles, measure_cycles(&m));
             let obf_bin = lower_module(&m);
-            bindiff.push(binary_similarity(&BinDiff::default(), &base_bin, &obf_bin));
-            asm2vec.push(precision_at_1(&Asm2Vec::default(), &base_bin, &obf_bin));
-            safe.push(precision_at_1(&Safe::default(), &base_bin, &obf_bin));
-        }
+            (
+                oh,
+                binary_similarity(&BinDiff::default(), &base_bin, &obf_bin),
+                precision_at_1(&Asm2Vec::default(), &base_bin, &obf_bin),
+                precision_at_1(&Safe::default(), &base_bin, &obf_bin),
+            )
+        });
+        let ohs: Vec<f64> = results.iter().map(|r| r.0).collect();
+        let bindiff: Vec<f64> = results.iter().map(|r| r.1).collect();
+        let asm2vec: Vec<f64> = results.iter().map(|r| r.2).collect();
+        let safe: Vec<f64> = results.iter().map(|r| r.3).collect();
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
         println!(
             "{:<8} {:>9.1}% {:>9.3} {:>9.3} {:>9.3}",
@@ -602,7 +748,7 @@ pub fn ext_dataflow(scope: Scope) {
     let mut programs = t1_programs(scope);
     programs.extend(t2_programs(scope));
 
-    let tools: Vec<(&str, Box<dyn Differ>)> = vec![
+    let tools: Vec<(&str, Box<dyn Differ + Sync>)> = vec![
         ("VulSeeker", Box::new(VulSeeker::default())),
         ("Asm2Vec", Box::new(Asm2Vec::default())),
         ("SAFE", Box::new(Safe::default())),
@@ -614,20 +760,23 @@ pub fn ext_dataflow(scope: Scope) {
         print!(" {t:>11}");
     }
     println!();
+    let prepared: Vec<_> = par_fan_out(&programs, |src| {
+        let base = build_baseline(src);
+        (lower_module(&base), base)
+    });
     for cfg in configs {
-        let mut scores = vec![Vec::new(); tools.len()];
-        for src in &programs {
-            let base = build_baseline(src);
-            let base_bin = lower_module(&base);
-            let obf = build_config(&base, cfg);
+        let per_program = par_fan_out(&prepared, |(base_bin, base)| {
+            let obf = build_config(base, cfg);
             let obf_bin = lower_module(&obf);
-            for (k, (_, tool)) in tools.iter().enumerate() {
-                scores[k].push(precision_at_1(tool.as_ref(), &base_bin, &obf_bin));
-            }
-        }
+            tools
+                .iter()
+                .map(|(_, tool)| precision_at_1(tool.as_ref(), base_bin, &obf_bin))
+                .collect::<Vec<f64>>()
+        });
         print!("{:<10}", cfg.name());
-        for s in &scores {
-            let avg: f64 = s.iter().sum::<f64>() / s.len().max(1) as f64;
+        for k in 0..tools.len() {
+            let avg: f64 =
+                per_program.iter().map(|s| s[k]).sum::<f64>() / per_program.len().max(1) as f64;
             print!(" {avg:>11.3}");
         }
         println!();
@@ -660,22 +809,24 @@ pub fn ext_stripped(scope: Scope) {
     let programs = t1_programs(scope);
     for cfg in configs {
         let tool = BinDiff::default();
-        let mut sim_u = Vec::new();
-        let mut sim_s = Vec::new();
-        let mut p_u = Vec::new();
-        let mut p_s = Vec::new();
-        for src in &programs {
+        let results = par_fan_out(&programs, |src| {
             let base = build_baseline(src);
             let base_bin = lower_module(&base);
             let obf = build_config(&base, cfg);
             let obf_bin = lower_module(&obf);
             let mut stripped = obf_bin.clone();
             stripped.strip();
-            sim_u.push(binary_similarity(&tool, &base_bin, &obf_bin));
-            sim_s.push(binary_similarity(&tool, &base_bin, &stripped));
-            p_u.push(precision_at_1(&tool, &base_bin, &obf_bin));
-            p_s.push(precision_at_1(&tool, &base_bin, &stripped));
-        }
+            [
+                binary_similarity(&tool, &base_bin, &obf_bin),
+                binary_similarity(&tool, &base_bin, &stripped),
+                precision_at_1(&tool, &base_bin, &obf_bin),
+                precision_at_1(&tool, &base_bin, &stripped),
+            ]
+        });
+        let sim_u: Vec<f64> = results.iter().map(|r| r[0]).collect();
+        let sim_s: Vec<f64> = results.iter().map(|r| r[1]).collect();
+        let p_u: Vec<f64> = results.iter().map(|r| r[2]).collect();
+        let p_s: Vec<f64> = results.iter().map(|r| r[3]).collect();
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
         println!(
             "{:<10} {:>13.3} {:>13.3} {:>11.3} {:>11.3}",

@@ -1,4 +1,6 @@
-//! Shared experiment plumbing: build pipelines, measurement, statistics.
+//! Shared experiment plumbing: build pipelines, measurement, statistics,
+//! and the parallel fan-out helpers the experiment drivers use to spread
+//! build-config × workload × tool grids across cores.
 
 use khaos_core::{KhaosContext, KhaosMode};
 use khaos_ir::Module;
@@ -32,8 +34,10 @@ impl BuildConfig {
 
     /// The eight obfuscated configurations of Figure 8/11, in order.
     pub fn figure8_set() -> Vec<BuildConfig> {
-        let mut v: Vec<BuildConfig> =
-            OllvmMode::STANDARD.iter().map(|m| BuildConfig::Ollvm(*m)).collect();
+        let mut v: Vec<BuildConfig> = OllvmMode::STANDARD
+            .iter()
+            .map(|m| BuildConfig::Ollvm(*m))
+            .collect();
         v.extend(KhaosMode::ALL.iter().map(|m| BuildConfig::Khaos(*m)));
         v
     }
@@ -63,7 +67,8 @@ pub fn build_at(src: &Module, level: OptLevel) -> Module {
 pub fn khaos_apply(baseline: &Module, mode: KhaosMode, seed: u64) -> (Module, KhaosContext) {
     let mut m = baseline.clone();
     let mut ctx = KhaosContext::new(seed);
-    mode.apply(&mut m, &mut ctx).expect("khaos obfuscation produced invalid IR");
+    mode.apply(&mut m, &mut ctx)
+        .expect("khaos obfuscation produced invalid IR");
     optimize(&mut m, &OptOptions::baseline());
     (m, ctx)
 }
@@ -105,8 +110,39 @@ pub fn build_config(baseline: &Module, config: BuildConfig) -> Module {
 /// # Panics
 /// Panics when the program faults — obfuscated programs must run.
 pub fn measure_cycles(m: &Module) -> u64 {
-    let cfg = RunConfig { inputs: vec![3, 7, 11], ..RunConfig::default() };
-    run_with_config(m, cfg).unwrap_or_else(|e| panic!("{} failed to run: {e}", m.name)).cycles
+    let cfg = RunConfig {
+        inputs: vec![3, 7, 11],
+        ..RunConfig::default()
+    };
+    run_with_config(m, cfg)
+        .unwrap_or_else(|e| panic!("{} failed to run: {e}", m.name))
+        .cycles
+}
+
+/// Order-preserving parallel fan-out over experiment items (programs,
+/// build configs, tool grids). Each item's work runs on a worker from
+/// the `khaos-par` pool; results come back in input order so the
+/// experiment drivers print rows deterministically. `KHAOS_THREADS=1`
+/// forces sequential execution.
+pub fn par_fan_out<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    khaos_par::par_map_slice(items, f)
+}
+
+/// Builds and measures the `O2+LTO` baseline of every program in
+/// parallel, returning `(optimized module, baseline cycles)` pairs in
+/// input order. Experiment drivers that sweep many configurations over
+/// the same programs hoist this out of their config loops.
+pub fn prepare_baselines(programs: &[Module]) -> Vec<(Module, u64)> {
+    par_fan_out(programs, |src| {
+        let base = build_baseline(src);
+        let cycles = measure_cycles(&base);
+        (base, cycles)
+    })
 }
 
 /// Percentage overhead of `obf` relative to `base`.
@@ -120,8 +156,10 @@ pub fn geomean_ratio(overheads_pct: &[f64]) -> f64 {
     if overheads_pct.is_empty() {
         return 0.0;
     }
-    let log_sum: f64 =
-        overheads_pct.iter().map(|o| ((o / 100.0) + 1.0).max(1e-6).ln()).sum();
+    let log_sum: f64 = overheads_pct
+        .iter()
+        .map(|o| ((o / 100.0) + 1.0).max(1e-6).ln())
+        .sum();
     ((log_sum / overheads_pct.len() as f64).exp() - 1.0) * 100.0
 }
 

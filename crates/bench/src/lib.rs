@@ -10,5 +10,6 @@ pub mod harness;
 
 pub use harness::{
     build_baseline, build_config, geomean, geomean_ratio, khaos_apply, khaos_apply_nway,
-    measure_cycles, obfuscate_ollvm, overhead_pct, BuildConfig, SEED,
+    measure_cycles, obfuscate_ollvm, overhead_pct, par_fan_out, prepare_baselines, BuildConfig,
+    SEED,
 };

@@ -6,10 +6,12 @@
 //! rest pushed), and relocation records for data-resident function
 //! pointers.
 
-use crate::{BinBlock, BinFunction, BinProvenance, Binary, ExtSym, MInst, MOperand, Opcode, Reloc, SymRef};
+use crate::{
+    BinBlock, BinFunction, BinProvenance, Binary, ExtSym, MInst, MOperand, Opcode, Reloc, SymRef,
+};
 use khaos_ir::{
-    BinOp, Callee, CastKind, Const, Function, GInit, Inst, Linkage, LocalId, Module,
-    Operand, Term, Type, UnOp,
+    BinOp, Callee, CastKind, Const, Function, GInit, Inst, Linkage, LocalId, Module, Operand, Term,
+    Type, UnOp,
 };
 use std::collections::HashMap;
 
@@ -61,12 +63,27 @@ pub fn lower_module(m: &Module) -> Binary {
     for g in &m.globals {
         for init in &g.init {
             if let GInit::FuncPtr { func, addend } = init {
-                relocations.push(Reloc { func: func.index() as u32, addend: *addend });
+                relocations.push(Reloc {
+                    func: func.index() as u32,
+                    addend: *addend,
+                });
             }
         }
     }
-    let externals = m.externals.iter().map(|e| ExtSym { name: e.name.clone() }).collect();
-    Binary { name: m.name.clone(), functions, relocations, externals, stripped: false }
+    let externals = m
+        .externals
+        .iter()
+        .map(|e| ExtSym {
+            name: e.name.clone(),
+        })
+        .collect();
+    Binary {
+        name: m.name.clone(),
+        functions,
+        relocations,
+        externals,
+        stripped: false,
+    }
 }
 
 fn assign_places(f: &Function) -> (Vec<Place>, i32) {
@@ -142,8 +159,12 @@ fn lower_function(m: &Module, f: &Function) -> BinFunction {
         };
         if bi == 0 {
             // Prologue.
-            lw.insts.push(MInst::new(Opcode::Push, vec![MOperand::Reg(RBP)]));
-            lw.insts.push(MInst::new(Opcode::Mov, vec![MOperand::Reg(RBP), MOperand::Reg(17)]));
+            lw.insts
+                .push(MInst::new(Opcode::Push, vec![MOperand::Reg(RBP)]));
+            lw.insts.push(MInst::new(
+                Opcode::Mov,
+                vec![MOperand::Reg(RBP), MOperand::Reg(17)],
+            ));
             if frame_size > 0 {
                 lw.insts.push(MInst::new(
                     Opcode::Sub,
@@ -175,17 +196,27 @@ fn lower_function(m: &Module, f: &Function) -> BinFunction {
                 };
                 let Some(src) = src else { continue }; // stack args already in memory
                 match lw.places[i] {
-                    Place::Reg(r) => {
-                        lw.insts.push(MInst::new(Opcode::Mov, vec![MOperand::Reg(r), src]))
-                    }
-                    Place::FReg(r) => {
-                        lw.insts.push(MInst::new(Opcode::Movsd, vec![MOperand::FReg(r), src]))
-                    }
+                    Place::Reg(r) => lw
+                        .insts
+                        .push(MInst::new(Opcode::Mov, vec![MOperand::Reg(r), src])),
+                    Place::FReg(r) => lw
+                        .insts
+                        .push(MInst::new(Opcode::Movsd, vec![MOperand::FReg(r), src])),
                     Place::Slot(off) => {
-                        let op = if is_float { Opcode::Movsd } else { Opcode::Store };
+                        let op = if is_float {
+                            Opcode::Movsd
+                        } else {
+                            Opcode::Store
+                        };
                         lw.insts.push(MInst::new(
                             op,
-                            vec![MOperand::Mem { base: RBP, offset: off }, src],
+                            vec![
+                                MOperand::Mem {
+                                    base: RBP,
+                                    offset: off,
+                                },
+                                src,
+                            ],
                         ));
                     }
                 }
@@ -197,7 +228,11 @@ fn lower_function(m: &Module, f: &Function) -> BinFunction {
         let mut succs: Vec<u32> = Vec::new();
         b.term.for_each_successor(|s| succs.push(s.index() as u32));
         lw.lower_term(&b.term);
-        blocks.push(BinBlock { insts: lw.insts, succs, calls: lw.calls });
+        blocks.push(BinBlock {
+            insts: lw.insts,
+            succs,
+            calls: lw.calls,
+        });
     }
 
     BinFunction {
@@ -228,7 +263,13 @@ impl<'m> FnLowering<'m> {
                 Place::Slot(off) => {
                     self.insts.push(MInst::new(
                         Opcode::Load,
-                        vec![MOperand::Reg(scratch), MOperand::Mem { base: RBP, offset: off }],
+                        vec![
+                            MOperand::Reg(scratch),
+                            MOperand::Mem {
+                                base: RBP,
+                                offset: off,
+                            },
+                        ],
                     ));
                     scratch
                 }
@@ -240,8 +281,10 @@ impl<'m> FnLowering<'m> {
                     Const::Null => 0,
                     Const::Float { .. } => unreachable!("int read of float const"),
                 };
-                self.insts
-                    .push(MInst::new(Opcode::MovImm, vec![MOperand::Reg(scratch), MOperand::Imm(v)]));
+                self.insts.push(MInst::new(
+                    Opcode::MovImm,
+                    vec![MOperand::Reg(scratch), MOperand::Imm(v)],
+                ));
                 scratch
             }
         }
@@ -255,7 +298,13 @@ impl<'m> FnLowering<'m> {
                 Place::Slot(off) => {
                     self.insts.push(MInst::new(
                         Opcode::Movsd,
-                        vec![MOperand::FReg(scratch), MOperand::Mem { base: RBP, offset: off }],
+                        vec![
+                            MOperand::FReg(scratch),
+                            MOperand::Mem {
+                                base: RBP,
+                                offset: off,
+                            },
+                        ],
                     ));
                     scratch
                 }
@@ -267,8 +316,10 @@ impl<'m> FnLowering<'m> {
                     _ => unreachable!("float read of int const"),
                 };
                 // movabs + movq in real life; model as MovImm + Movsd.
-                self.insts
-                    .push(MInst::new(Opcode::MovImm, vec![MOperand::Reg(SCRATCH2), MOperand::Imm(bits)]));
+                self.insts.push(MInst::new(
+                    Opcode::MovImm,
+                    vec![MOperand::Reg(SCRATCH2), MOperand::Imm(bits)],
+                ));
                 self.insts.push(MInst::new(
                     Opcode::Movsd,
                     vec![MOperand::FReg(scratch), MOperand::Reg(SCRATCH2)],
@@ -283,13 +334,21 @@ impl<'m> FnLowering<'m> {
         match self.place(dst) {
             Place::Reg(r) => {
                 if r != src_reg {
-                    self.insts
-                        .push(MInst::new(Opcode::Mov, vec![MOperand::Reg(r), MOperand::Reg(src_reg)]));
+                    self.insts.push(MInst::new(
+                        Opcode::Mov,
+                        vec![MOperand::Reg(r), MOperand::Reg(src_reg)],
+                    ));
                 }
             }
             Place::Slot(off) => self.insts.push(MInst::new(
                 Opcode::Store,
-                vec![MOperand::Mem { base: RBP, offset: off }, MOperand::Reg(src_reg)],
+                vec![
+                    MOperand::Mem {
+                        base: RBP,
+                        offset: off,
+                    },
+                    MOperand::Reg(src_reg),
+                ],
             )),
             Place::FReg(_) => unreachable!("int write to float local"),
         }
@@ -307,7 +366,13 @@ impl<'m> FnLowering<'m> {
             }
             Place::Slot(off) => self.insts.push(MInst::new(
                 Opcode::Movsd,
-                vec![MOperand::Mem { base: RBP, offset: off }, MOperand::FReg(src_reg)],
+                vec![
+                    MOperand::Mem {
+                        base: RBP,
+                        offset: off,
+                    },
+                    MOperand::FReg(src_reg),
+                ],
             )),
             Place::Reg(_) => unreachable!("float write to int local"),
         }
@@ -328,12 +393,16 @@ impl<'m> FnLowering<'m> {
                     let r = self.read_float(a, FSCRATCH);
                     self.insts.push(MInst::new(
                         Opcode::Movsd,
-                        vec![MOperand::FReg(FARG_BASE + float_used as u8), MOperand::FReg(r)],
+                        vec![
+                            MOperand::FReg(FARG_BASE + float_used as u8),
+                            MOperand::FReg(r),
+                        ],
                     ));
                     float_used += 1;
                 } else {
                     let r = self.read_float(a, FSCRATCH);
-                    self.insts.push(MInst::new(Opcode::Push, vec![MOperand::FReg(r)]));
+                    self.insts
+                        .push(MInst::new(Opcode::Push, vec![MOperand::FReg(r)]));
                     pushed += 1;
                 }
             } else if int_used < INT_ARG_SLOTS {
@@ -345,7 +414,8 @@ impl<'m> FnLowering<'m> {
                 int_used += 1;
             } else {
                 let r = self.read_int(a, SCRATCH1);
-                self.insts.push(MInst::new(Opcode::Push, vec![MOperand::Reg(r)]));
+                self.insts
+                    .push(MInst::new(Opcode::Push, vec![MOperand::Reg(r)]));
                 pushed += 1;
             }
         }
@@ -354,19 +424,25 @@ impl<'m> FnLowering<'m> {
             Callee::Direct(t) => {
                 let sym = SymRef::Func(t.index() as u32);
                 self.calls.push(sym);
-                self.insts.push(MInst::new(Opcode::Call, vec![MOperand::Sym(sym)]));
+                self.insts
+                    .push(MInst::new(Opcode::Call, vec![MOperand::Sym(sym)]));
                 (self.m.function(*t).ret_ty, Some(sym))
             }
             Callee::Ext(e) => {
                 let sym = SymRef::Ext(e.index() as u32);
                 self.calls.push(sym);
-                self.insts.push(MInst::new(Opcode::Call, vec![MOperand::Sym(sym)]));
+                self.insts
+                    .push(MInst::new(Opcode::Call, vec![MOperand::Sym(sym)]));
                 (self.m.external(*e).ret_ty, Some(sym))
             }
             Callee::Indirect(p) => {
                 let r = self.read_int(p, SCRATCH1);
-                self.insts.push(MInst::new(Opcode::CallInd, vec![MOperand::Reg(r)]));
-                (dst.map(|d| self.f.locals[d.index()]).unwrap_or(Type::Void), None)
+                self.insts
+                    .push(MInst::new(Opcode::CallInd, vec![MOperand::Reg(r)]));
+                (
+                    dst.map(|d| self.f.locals[d.index()]).unwrap_or(Type::Void),
+                    None,
+                )
             }
         };
         let _ = sym;
@@ -395,7 +471,13 @@ impl<'m> FnLowering<'m> {
         alloca_offsets: &HashMap<(usize, usize), i32>,
     ) {
         match inst {
-            Inst::Bin { op, ty, dst, lhs, rhs } => {
+            Inst::Bin {
+                op,
+                ty,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 if ty.is_float() {
                     let rl = self.read_float(lhs, XMM0);
                     if rl != XMM0 {
@@ -412,8 +494,10 @@ impl<'m> FnLowering<'m> {
                         BinOp::FDiv => Opcode::Divsd,
                         _ => unreachable!("int op on float type"),
                     };
-                    self.insts
-                        .push(MInst::new(opc, vec![MOperand::FReg(XMM0), MOperand::FReg(rr)]));
+                    self.insts.push(MInst::new(
+                        opc,
+                        vec![MOperand::FReg(XMM0), MOperand::FReg(rr)],
+                    ));
                     self.write_float(*dst, XMM0);
                     return;
                 }
@@ -443,14 +527,17 @@ impl<'m> FnLowering<'m> {
                     BinOp::AShr => Opcode::Sar,
                     _ => unreachable!("float op on int type"),
                 };
-                self.insts.push(MInst::new(opc, vec![MOperand::Reg(SCRATCH1), rhs_op]));
+                self.insts
+                    .push(MInst::new(opc, vec![MOperand::Reg(SCRATCH1), rhs_op]));
                 self.write_int(*dst, SCRATCH1);
             }
             Inst::Un { op, ty, dst, src } => {
                 if ty.is_float() {
                     let r = self.read_float(src, XMM0);
-                    self.insts
-                        .push(MInst::new(Opcode::Xorps, vec![MOperand::FReg(r), MOperand::FReg(r)]));
+                    self.insts.push(MInst::new(
+                        Opcode::Xorps,
+                        vec![MOperand::FReg(r), MOperand::FReg(r)],
+                    ));
                     self.write_float(*dst, r);
                     return;
                 }
@@ -466,10 +553,17 @@ impl<'m> FnLowering<'m> {
                     UnOp::Not => Opcode::Not,
                     UnOp::FNeg => unreachable!("fneg on int"),
                 };
-                self.insts.push(MInst::new(opc, vec![MOperand::Reg(SCRATCH1)]));
+                self.insts
+                    .push(MInst::new(opc, vec![MOperand::Reg(SCRATCH1)]));
                 self.write_int(*dst, SCRATCH1);
             }
-            Inst::Cmp { ty, dst, lhs, rhs, pred } => {
+            Inst::Cmp {
+                ty,
+                dst,
+                lhs,
+                rhs,
+                pred,
+            } => {
                 if ty.is_float() {
                     let rl = self.read_float(lhs, XMM0);
                     let rr = self.read_float(rhs, FSCRATCH);
@@ -483,23 +577,35 @@ impl<'m> FnLowering<'m> {
                         Some(Const::Int { value, .. }) => MOperand::Imm(value),
                         _ => MOperand::Reg(self.read_int(rhs, SCRATCH2)),
                     };
-                    self.insts.push(MInst::new(Opcode::Cmp, vec![MOperand::Reg(rl), rhs_op]));
+                    self.insts
+                        .push(MInst::new(Opcode::Cmp, vec![MOperand::Reg(rl), rhs_op]));
                 }
                 let _ = pred;
-                self.insts.push(MInst::new(Opcode::Setcc, vec![MOperand::Reg(SCRATCH1)]));
+                self.insts
+                    .push(MInst::new(Opcode::Setcc, vec![MOperand::Reg(SCRATCH1)]));
                 self.write_int(*dst, SCRATCH1);
             }
-            Inst::Select { ty, dst, cond, on_true, on_false } => {
+            Inst::Select {
+                ty,
+                dst,
+                cond,
+                on_true,
+                on_false,
+            } => {
                 if ty.is_float() {
                     // Lower via two moves + cmov-equivalent on the bits.
                     let rf = self.read_float(on_false, XMM0);
                     self.write_float(*dst, rf);
                     let rc = self.read_int(cond, SCRATCH1);
-                    self.insts
-                        .push(MInst::new(Opcode::Test, vec![MOperand::Reg(rc), MOperand::Reg(rc)]));
+                    self.insts.push(MInst::new(
+                        Opcode::Test,
+                        vec![MOperand::Reg(rc), MOperand::Reg(rc)],
+                    ));
                     let rt = self.read_float(on_true, FSCRATCH);
-                    self.insts
-                        .push(MInst::new(Opcode::Cmov, vec![MOperand::FReg(XMM0), MOperand::FReg(rt)]));
+                    self.insts.push(MInst::new(
+                        Opcode::Cmov,
+                        vec![MOperand::FReg(XMM0), MOperand::FReg(rt)],
+                    ));
                     self.write_float(*dst, XMM0);
                     return;
                 }
@@ -511,8 +617,10 @@ impl<'m> FnLowering<'m> {
                     ));
                 }
                 let rc = self.read_int(cond, SCRATCH2);
-                self.insts
-                    .push(MInst::new(Opcode::Test, vec![MOperand::Reg(rc), MOperand::Reg(rc)]));
+                self.insts.push(MInst::new(
+                    Opcode::Test,
+                    vec![MOperand::Reg(rc), MOperand::Reg(rc)],
+                ));
                 let rt = self.read_int(on_true, SCRATCH2);
                 self.insts.push(MInst::new(
                     Opcode::Cmov,
@@ -540,7 +648,13 @@ impl<'m> FnLowering<'m> {
                     }
                 }
             }
-            Inst::Cast { kind, dst, src, from, to } => {
+            Inst::Cast {
+                kind,
+                dst,
+                src,
+                from,
+                to,
+            } => {
                 let opc = match kind {
                     CastKind::Trunc | CastKind::PtrToInt | CastKind::IntToPtr => Opcode::Mov,
                     CastKind::ZExt => Opcode::Movzx,
@@ -561,20 +675,26 @@ impl<'m> FnLowering<'m> {
                     }
                     (true, false) => {
                         let r = self.read_float(src, XMM0);
-                        self.insts
-                            .push(MInst::new(opc, vec![MOperand::Reg(SCRATCH1), MOperand::FReg(r)]));
+                        self.insts.push(MInst::new(
+                            opc,
+                            vec![MOperand::Reg(SCRATCH1), MOperand::FReg(r)],
+                        ));
                         self.write_int(*dst, SCRATCH1);
                     }
                     (false, true) => {
                         let r = self.read_int(src, SCRATCH1);
-                        self.insts
-                            .push(MInst::new(opc, vec![MOperand::FReg(XMM0), MOperand::Reg(r)]));
+                        self.insts.push(MInst::new(
+                            opc,
+                            vec![MOperand::FReg(XMM0), MOperand::Reg(r)],
+                        ));
                         self.write_float(*dst, XMM0);
                     }
                     (true, true) => {
                         let r = self.read_float(src, XMM0);
-                        self.insts
-                            .push(MInst::new(opc, vec![MOperand::FReg(XMM0), MOperand::FReg(r)]));
+                        self.insts.push(MInst::new(
+                            opc,
+                            vec![MOperand::FReg(XMM0), MOperand::FReg(r)],
+                        ));
                         self.write_float(*dst, XMM0);
                     }
                 }
@@ -584,13 +704,25 @@ impl<'m> FnLowering<'m> {
                 if ty.is_float() {
                     self.insts.push(MInst::new(
                         Opcode::Movsd,
-                        vec![MOperand::FReg(XMM0), MOperand::Mem { base: ra, offset: 0 }],
+                        vec![
+                            MOperand::FReg(XMM0),
+                            MOperand::Mem {
+                                base: ra,
+                                offset: 0,
+                            },
+                        ],
                     ));
                     self.write_float(*dst, XMM0);
                 } else {
                     self.insts.push(MInst::new(
                         Opcode::Load,
-                        vec![MOperand::Reg(SCRATCH2), MOperand::Mem { base: ra, offset: 0 }],
+                        vec![
+                            MOperand::Reg(SCRATCH2),
+                            MOperand::Mem {
+                                base: ra,
+                                offset: 0,
+                            },
+                        ],
                     ));
                     self.write_int(*dst, SCRATCH2);
                 }
@@ -601,13 +733,25 @@ impl<'m> FnLowering<'m> {
                     let rv = self.read_float(value, XMM0);
                     self.insts.push(MInst::new(
                         Opcode::Movsd,
-                        vec![MOperand::Mem { base: ra, offset: 0 }, MOperand::FReg(rv)],
+                        vec![
+                            MOperand::Mem {
+                                base: ra,
+                                offset: 0,
+                            },
+                            MOperand::FReg(rv),
+                        ],
                     ));
                 } else {
                     let rv = self.read_int(value, SCRATCH2);
                     self.insts.push(MInst::new(
                         Opcode::Store,
-                        vec![MOperand::Mem { base: ra, offset: 0 }, MOperand::Reg(rv)],
+                        vec![
+                            MOperand::Mem {
+                                base: ra,
+                                offset: 0,
+                            },
+                            MOperand::Reg(rv),
+                        ],
                     ));
                 }
             }
@@ -615,7 +759,13 @@ impl<'m> FnLowering<'m> {
                 let off = alloca_offsets[&(bi, ii)];
                 self.insts.push(MInst::new(
                     Opcode::Lea,
-                    vec![MOperand::Reg(SCRATCH1), MOperand::Mem { base: RBP, offset: off }],
+                    vec![
+                        MOperand::Reg(SCRATCH1),
+                        MOperand::Mem {
+                            base: RBP,
+                            offset: off,
+                        },
+                    ],
                 ));
                 self.write_int(*dst, SCRATCH1);
             }
@@ -626,7 +776,10 @@ impl<'m> FnLowering<'m> {
                         Opcode::Lea,
                         vec![
                             MOperand::Reg(SCRATCH1),
-                            MOperand::Mem { base: rb, offset: value as i32 },
+                            MOperand::Mem {
+                                base: rb,
+                                offset: value as i32,
+                            },
                         ],
                     ));
                     self.write_int(*dst, SCRATCH1);
@@ -651,7 +804,10 @@ impl<'m> FnLowering<'m> {
             Inst::FuncAddr { dst, func } => {
                 self.insts.push(MInst::new(
                     Opcode::Lea,
-                    vec![MOperand::Reg(SCRATCH1), MOperand::Sym(SymRef::Func(func.index() as u32))],
+                    vec![
+                        MOperand::Reg(SCRATCH1),
+                        MOperand::Sym(SymRef::Func(func.index() as u32)),
+                    ],
                 ));
                 self.write_int(*dst, SCRATCH1);
             }
@@ -671,30 +827,51 @@ impl<'m> FnLowering<'m> {
     fn lower_term(&mut self, term: &Term) {
         match term {
             Term::Jump(t) => {
-                self.insts
-                    .push(MInst::new(Opcode::Jmp, vec![MOperand::Label(t.index() as u32)]));
+                self.insts.push(MInst::new(
+                    Opcode::Jmp,
+                    vec![MOperand::Label(t.index() as u32)],
+                ));
             }
-            Term::Branch { cond, then_bb, else_bb } => {
+            Term::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 let rc = self.read_int(cond, SCRATCH1);
-                self.insts
-                    .push(MInst::new(Opcode::Test, vec![MOperand::Reg(rc), MOperand::Reg(rc)]));
-                self.insts
-                    .push(MInst::new(Opcode::Jcc, vec![MOperand::Label(then_bb.index() as u32)]));
-                self.insts
-                    .push(MInst::new(Opcode::Jmp, vec![MOperand::Label(else_bb.index() as u32)]));
+                self.insts.push(MInst::new(
+                    Opcode::Test,
+                    vec![MOperand::Reg(rc), MOperand::Reg(rc)],
+                ));
+                self.insts.push(MInst::new(
+                    Opcode::Jcc,
+                    vec![MOperand::Label(then_bb.index() as u32)],
+                ));
+                self.insts.push(MInst::new(
+                    Opcode::Jmp,
+                    vec![MOperand::Label(else_bb.index() as u32)],
+                ));
             }
-            Term::Switch { value, cases, default, .. } => {
+            Term::Switch {
+                value,
+                cases,
+                default,
+                ..
+            } => {
                 let rv = self.read_int(value, SCRATCH1);
                 for (cv, t) in cases {
                     self.insts.push(MInst::new(
                         Opcode::Cmp,
                         vec![MOperand::Reg(rv), MOperand::Imm(*cv)],
                     ));
-                    self.insts
-                        .push(MInst::new(Opcode::Jcc, vec![MOperand::Label(t.index() as u32)]));
+                    self.insts.push(MInst::new(
+                        Opcode::Jcc,
+                        vec![MOperand::Label(t.index() as u32)],
+                    ));
                 }
-                self.insts
-                    .push(MInst::new(Opcode::Jmp, vec![MOperand::Label(default.index() as u32)]));
+                self.insts.push(MInst::new(
+                    Opcode::Jmp,
+                    vec![MOperand::Label(default.index() as u32)],
+                ));
             }
             Term::Ret(v) => {
                 if let Some(v) = v {
@@ -723,13 +900,22 @@ impl<'m> FnLowering<'m> {
                         vec![MOperand::Reg(17), MOperand::Imm(self.frame_size as i64)],
                     ));
                 }
-                self.insts.push(MInst::new(Opcode::Pop, vec![MOperand::Reg(RBP)]));
+                self.insts
+                    .push(MInst::new(Opcode::Pop, vec![MOperand::Reg(RBP)]));
                 self.insts.push(MInst::new(Opcode::Ret, vec![]));
             }
-            Term::Invoke { dst, callee, args, normal, .. } => {
+            Term::Invoke {
+                dst,
+                callee,
+                args,
+                normal,
+                ..
+            } => {
                 self.lower_call(*dst, callee, args);
-                self.insts
-                    .push(MInst::new(Opcode::Jmp, vec![MOperand::Label(normal.index() as u32)]));
+                self.insts.push(MInst::new(
+                    Opcode::Jmp,
+                    vec![MOperand::Label(normal.index() as u32)],
+                ));
             }
             Term::Unreachable => {
                 self.insts.push(MInst::new(Opcode::Nop, vec![]));
@@ -758,7 +944,12 @@ mod tests {
         for _ in 0..8 {
             args.push(callee.add_param(Type::I64));
         }
-        let s = callee.bin(BinOp::Add, Type::I64, Operand::local(args[0]), Operand::local(args[7]));
+        let s = callee.bin(
+            BinOp::Add,
+            Type::I64,
+            Operand::local(args[0]),
+            Operand::local(args[7]),
+        );
         callee.ret(Some(Operand::local(s)));
         let cid = m.push_function(callee.finish());
 
@@ -770,7 +961,12 @@ mod tests {
         let fpi = main.cast(CastKind::PtrToInt, Operand::local(fp), Type::Ptr, Type::I64);
         let t = main.new_block();
         let e = main.new_block();
-        let c = main.cmp(CmpPred::Sgt, Type::I64, Operand::local(fpi), Operand::const_int(Type::I64, 0));
+        let c = main.cmp(
+            CmpPred::Sgt,
+            Type::I64,
+            Operand::local(fpi),
+            Operand::const_int(Type::I64, 0),
+        );
         main.branch(Operand::local(c), t, e);
         main.switch_to(t);
         main.ret(Some(Operand::local(r)));
@@ -799,7 +995,10 @@ mod tests {
         let b = lower_module(&m);
         let h = opcode_histogram(&b);
         // 2 args beyond the 6 register slots + prologue pushes.
-        assert!(h[&Opcode::Push] >= 2 + 2, "stack-passed arguments visible: {h:?}");
+        assert!(
+            h[&Opcode::Push] >= 2 + 2,
+            "stack-passed arguments visible: {h:?}"
+        );
     }
 
     #[test]
@@ -838,7 +1037,10 @@ mod tests {
         let fid = m.push_function(f.finish());
         m.push_global(khaos_ir::Global {
             name: "tbl".into(),
-            init: vec![GInit::FuncPtr { func: fid, addend: 12 }],
+            init: vec![GInit::FuncPtr {
+                func: fid,
+                addend: 12,
+            }],
             align: 8,
             exported: false,
         });
@@ -853,8 +1055,18 @@ mod tests {
         let mut f = FunctionBuilder::new("fsum", Type::F64);
         let a = f.add_param(Type::F64);
         let b_ = f.add_param(Type::F64);
-        let s = f.bin(BinOp::FAdd, Type::F64, Operand::local(a), Operand::local(b_));
-        let d = f.bin(BinOp::FDiv, Type::F64, Operand::local(s), Operand::const_float(Type::F64, 2.0));
+        let s = f.bin(
+            BinOp::FAdd,
+            Type::F64,
+            Operand::local(a),
+            Operand::local(b_),
+        );
+        let d = f.bin(
+            BinOp::FDiv,
+            Type::F64,
+            Operand::local(s),
+            Operand::const_float(Type::F64, 2.0),
+        );
         f.ret(Some(Operand::local(d)));
         m.push_function(f.finish());
         let b = lower_module(&m);

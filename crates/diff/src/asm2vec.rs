@@ -29,7 +29,11 @@ pub struct Asm2Vec {
 
 impl Default for Asm2Vec {
     fn default() -> Self {
-        Asm2Vec { walks: 8, walk_len: 16, seed: 0xA52 }
+        Asm2Vec {
+            walks: 8,
+            walk_len: 16,
+            seed: 0xA52,
+        }
     }
 }
 
@@ -53,7 +57,11 @@ fn embed_function(f: &BinFunction, walks: u32, walk_len: u32, seed: u64) -> Vec<
     for w in 0..walks {
         // Walks start at the entry (like Asm2Vec's edge-sampled sequences)
         // and at rotating offsets for coverage.
-        let mut cur = if f.blocks.len() > 1 { (w as usize) % f.blocks.len() } else { 0 };
+        let mut cur = if f.blocks.len() > 1 {
+            (w as usize) % f.blocks.len()
+        } else {
+            0
+        };
         let mut sequence: Vec<&str> = Vec::new();
         for _ in 0..walk_len {
             for t in &per_block[cur] {
@@ -94,6 +102,14 @@ fn embed_function(f: &BinFunction, walks: u32, walk_len: u32, seed: u64) -> Vec<
 impl Differ for Asm2Vec {
     fn name(&self) -> &'static str {
         "Asm2Vec"
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        (self.walks as u64)
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(self.walk_len as u64)
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(self.seed)
     }
 
     fn embed(&self, bin: &Binary) -> Vec<Vec<f64>> {

@@ -6,7 +6,8 @@
 //! basic-block count, edge count, call-site count, degree in the call
 //! graph — refine the rest.
 
-use crate::Differ;
+use crate::engine::EmbeddingCache;
+use crate::{Differ, SimilarityMatrix};
 use khaos_binary::{BinFunction, Binary};
 
 /// BinDiff stand-in. See the module docs.
@@ -43,7 +44,11 @@ fn name_similarity(a: &BinFunction, b: &BinFunction) -> Option<f64> {
     if na == nb {
         return Some(1.0);
     }
-    let common = na.bytes().zip(nb.bytes()).take_while(|(x, y)| x == y).count();
+    let common = na
+        .bytes()
+        .zip(nb.bytes())
+        .take_while(|(x, y)| x == y)
+        .count();
     let denom = na.len().max(nb.len());
     if common >= 5 && denom > 0 {
         Some(common as f64 / denom as f64)
@@ -52,13 +57,38 @@ fn name_similarity(a: &BinFunction, b: &BinFunction) -> Option<f64> {
     }
 }
 
+impl BinDiff {
+    /// One similarity cell: structural closeness fused with name
+    /// similarity when names are available and honoured.
+    fn pair_similarity(
+        &self,
+        fa: &BinFunction,
+        qf: &[f64; 4],
+        fb: &BinFunction,
+        tf: &[f64; 4],
+    ) -> f64 {
+        let structural = structural_similarity(qf, tf);
+        match (self.ignore_names, name_similarity(fa, fb)) {
+            (false, Some(ns)) => 0.5 * ns + 0.5 * structural,
+            _ => structural * 0.8, // name info unavailable
+        }
+    }
+}
+
 impl Differ for BinDiff {
     fn name(&self) -> &'static str {
         "BinDiff"
     }
 
+    fn config_fingerprint(&self) -> u64 {
+        self.ignore_names as u64
+    }
+
     fn embed(&self, bin: &Binary) -> Vec<Vec<f64>> {
-        bin.functions.iter().map(|f| fingerprint(f).to_vec()).collect()
+        bin.functions
+            .iter()
+            .map(|f| fingerprint(f).to_vec())
+            .collect()
     }
 
     fn similarity_matrix(&self, query: &Binary, target: &Binary) -> Vec<Vec<f64>> {
@@ -73,16 +103,38 @@ impl Differ for BinDiff {
                     .functions
                     .iter()
                     .enumerate()
-                    .map(|(j, fb)| {
-                        let structural = structural_similarity(&qf[i], &tf[j]);
-                        match (self.ignore_names, name_similarity(fa, fb)) {
-                            (false, Some(ns)) => 0.5 * ns + 0.5 * structural,
-                            _ => structural * 0.8, // name info unavailable
-                        }
-                    })
+                    .map(|(j, fb)| self.pair_similarity(fa, &qf[i], fb, &tf[j]))
                     .collect()
             })
             .collect()
+    }
+
+    /// BinDiff's similarity is symbol + structural-fingerprint matching,
+    /// not an embedding dot product, so the batched path computes the
+    /// flat matrix directly (parallel rows) rather than going through
+    /// the embedding cache; the per-function fingerprints it needs are
+    /// four counters — cheaper to recompute than to cache.
+    fn batched_similarity_keyed(
+        &self,
+        query: &Binary,
+        target: &Binary,
+        _cache: &EmbeddingCache,
+        _query_fingerprint: u64,
+        _target_fingerprint: u64,
+    ) -> SimilarityMatrix {
+        let qf: Vec<[f64; 4]> = query.functions.iter().map(fingerprint).collect();
+        let tf: Vec<[f64; 4]> = target.functions.iter().map(fingerprint).collect();
+        let (q, t) = (query.functions.len(), target.functions.len());
+        let mut data = vec![0.0f64; q * t];
+        if t > 0 {
+            khaos_par::par_chunks_mut(&mut data, t, |i, row| {
+                let fa = &query.functions[i];
+                for (j, slot) in row.iter_mut().enumerate() {
+                    *slot = self.pair_similarity(fa, &qf[i], &target.functions[j], &tf[j]);
+                }
+            });
+        }
+        SimilarityMatrix::from_flat(q, t, data)
     }
 }
 
@@ -94,19 +146,33 @@ impl Differ for BinDiff {
 /// exists on one side (`sepFunc`s after fission, dead originals after
 /// fusion) pulls the score down.
 pub fn binary_similarity(tool: &dyn Differ, query: &Binary, target: &Binary) -> f64 {
+    binary_similarity_with(tool, query, target, EmbeddingCache::global())
+}
+
+/// [`binary_similarity`] against an explicit embedding cache.
+pub fn binary_similarity_with(
+    tool: &dyn Differ,
+    query: &Binary,
+    target: &Binary,
+    cache: &EmbeddingCache,
+) -> f64 {
     if query.functions.is_empty() || target.functions.is_empty() {
         return 0.0;
     }
-    let matrix = tool.similarity_matrix(query, target);
+    let matrix = cache.matrix_for(tool, query, target);
     let mut edges: Vec<(f64, usize, usize)> = Vec::new();
-    for (i, row) in matrix.iter().enumerate() {
-        for (j, s) in row.iter().enumerate() {
+    for i in 0..matrix.rows() {
+        for (j, s) in matrix.row(i).iter().enumerate() {
             if *s > 0.0 {
                 edges.push((*s, i, j));
             }
         }
     }
-    edges.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then((a.1, a.2).cmp(&(b.1, b.2))));
+    edges.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("finite")
+            .then((a.1, a.2).cmp(&(b.1, b.2)))
+    });
     let mut q_used = vec![false; query.functions.len()];
     let mut t_used = vec![false; target.functions.len()];
     let mut matched = 0.0;

@@ -229,13 +229,18 @@ fn scan_block(b: &BinBlock, vec: &mut [f64], chain_lens: &mut Vec<u32>) -> Block
 fn embed_function(f: &BinFunction) -> Vec<f64> {
     let mut vec = vec![0.0; EMB_DIM];
     let mut chain_lens: Vec<u32> = Vec::new();
-    let summaries: Vec<BlockSummary> =
-        f.blocks.iter().map(|b| scan_block(b, &mut vec, &mut chain_lens)).collect();
+    let summaries: Vec<BlockSummary> = f
+        .blocks
+        .iter()
+        .map(|b| scan_block(b, &mut vec, &mut chain_lens))
+        .collect();
 
     // One-hop inter-block join: defs flowing into successors' exposed uses.
     for (bi, b) in f.blocks.iter().enumerate() {
         for &s in &b.succs {
-            let Some(succ) = summaries.get(s as usize) else { continue };
+            let Some(succ) = summaries.get(s as usize) else {
+                continue;
+            };
             for (r, dclass) in &summaries[bi].out_defs {
                 if let Some(uclass) = succ.exposed_uses.get(r) {
                     add_token(&mut vec, &format!("xdf:{dclass}->{uclass}"), 0.5);
@@ -310,6 +315,10 @@ impl Differ for DataFlowDiff {
         "DataFlowDiff"
     }
 
+    fn config_fingerprint(&self) -> u64 {
+        self.callee_weight.to_bits()
+    }
+
     fn embed(&self, bin: &Binary) -> Vec<Vec<f64>> {
         bin.functions.iter().map(embed_function).collect()
     }
@@ -343,6 +352,37 @@ impl Differ for DataFlowDiff {
             })
             .collect()
     }
+
+    /// Batched form of the asymmetric two-view matching above: one
+    /// matrix per target view (raw, callee-propagated) from cached
+    /// normalized embeddings, merged elementwise. Clamping commutes
+    /// with the elementwise max, so this matches the legacy path.
+    fn batched_similarity_keyed(
+        &self,
+        query: &khaos_binary::Binary,
+        target: &khaos_binary::Binary,
+        cache: &crate::EmbeddingCache,
+        query_fingerprint: u64,
+        target_fingerprint: u64,
+    ) -> crate::SimilarityMatrix {
+        use crate::SimilarityMatrix;
+        let cfg = self.config_fingerprint();
+        let qe = cache.get_or_embed((self.name(), cfg, query_fingerprint), || self.embed(query));
+        let te = cache.get_or_embed((self.name(), cfg, target_fingerprint), || {
+            self.embed(target)
+        });
+        let mut m = SimilarityMatrix::from_embeddings(&qe, &te);
+        if self.callee_weight != 0.0 {
+            // Propagated view, derived from the (already normalized)
+            // raw target rows and cached under its own tool name.
+            let tp = cache.get_or_embed(("DataFlowDiff#prop", cfg, target_fingerprint), || {
+                let t_raw: Vec<Vec<f64>> = (0..te.len()).map(|i| te.row(i).to_vec()).collect();
+                propagate(target, &t_raw, self.callee_weight)
+            });
+            m.merge_max(&SimilarityMatrix::from_embeddings(&qe, &tp));
+        }
+        m
+    }
 }
 
 #[cfg(test)]
@@ -368,7 +408,13 @@ mod tests {
 
         let st = inst(
             Opcode::Store,
-            vec![MOperand::Mem { base: 5, offset: -8 }, MOperand::Reg(3)],
+            vec![
+                MOperand::Mem {
+                    base: 5,
+                    offset: -8,
+                },
+                MOperand::Reg(3),
+            ],
         );
         assert_eq!(def_of(&st), None);
         assert_eq!(reads_of(&st), vec![5, 3], "store reads base and value");
@@ -432,7 +478,10 @@ mod tests {
         let e1 = t.embed(&b);
         let e2 = t.embed(&doubled);
         let sim = cosine(&e1[0], &e2[0]);
-        assert!(sim > 0.95, "doubling the body barely moves the direction: {sim}");
+        assert!(
+            sim > 0.95,
+            "doubling the body barely moves the direction: {sim}"
+        );
     }
 
     #[test]
@@ -441,12 +490,24 @@ mod tests {
         let mk = |with_reload: bool| {
             let mut insts = vec![inst(
                 Opcode::Store,
-                vec![MOperand::Mem { base: 5, offset: -16 }, MOperand::Reg(1)],
+                vec![
+                    MOperand::Mem {
+                        base: 5,
+                        offset: -16,
+                    },
+                    MOperand::Reg(1),
+                ],
             )];
             if with_reload {
                 insts.push(inst(
                     Opcode::Load,
-                    vec![MOperand::Reg(2), MOperand::Mem { base: 5, offset: -16 }],
+                    vec![
+                        MOperand::Reg(2),
+                        MOperand::Mem {
+                            base: 5,
+                            offset: -16,
+                        },
+                    ],
                 ));
             }
             insts.push(inst(Opcode::Ret, vec![]));
@@ -454,9 +515,16 @@ mod tests {
                 name: "t".into(),
                 functions: vec![BinFunction {
                     name: Some("f".into()),
-                    provenance: BinProvenance { origins: vec!["f".into()], annotations: vec![] },
+                    provenance: BinProvenance {
+                        origins: vec!["f".into()],
+                        annotations: vec![],
+                    },
                     exported: false,
-                    blocks: vec![BinBlock { insts, succs: vec![], calls: vec![] }],
+                    blocks: vec![BinBlock {
+                        insts,
+                        succs: vec![],
+                        calls: vec![],
+                    }],
                 }],
                 relocations: vec![],
                 externals: vec![],

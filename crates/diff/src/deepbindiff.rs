@@ -8,8 +8,9 @@
 //! as the paper observes, the embedding *encodes the control-flow graph
 //! and the call graph*, both of which Khaos rewrites.
 
+use crate::engine::{EmbeddingCache, FunctionEmbeddings, SimilarityMatrix};
 use crate::tokens::block_tokens;
-use crate::vector::{add_token, cosine, EMB_DIM};
+use crate::vector::{add_token, EMB_DIM};
 use khaos_binary::{Binary, SymRef};
 
 /// DeepBinDiff stand-in. See the module docs.
@@ -111,6 +112,36 @@ impl DeepBinDiff {
     pub fn name(&self) -> &'static str {
         "DeepBinDiff"
     }
+
+    /// Configuration fingerprint for the embedding cache.
+    pub fn config_fingerprint(&self) -> u64 {
+        self.decay.to_bits()
+    }
+
+    /// Global block ids in the order [`DeepBinDiff::embed_blocks`]
+    /// emits them (function-major, then block index).
+    pub fn block_ids(bin: &Binary) -> Vec<BlockId> {
+        let mut ids = Vec::new();
+        for (fi, f) in bin.functions.iter().enumerate() {
+            for bi in 0..f.blocks.len() {
+                ids.push((fi, bi));
+            }
+        }
+        ids
+    }
+
+    /// Block embeddings as a cached, normalized flat table (rows in
+    /// [`DeepBinDiff::block_ids`] order).
+    pub fn cached_block_embeddings(
+        &self,
+        bin: &Binary,
+        cache: &EmbeddingCache,
+    ) -> std::sync::Arc<FunctionEmbeddings> {
+        cache.get_or_embed(
+            EmbeddingCache::key("DeepBinDiff", self.config_fingerprint(), bin),
+            || self.embed_blocks(bin).into_iter().map(|(_, v)| v).collect(),
+        )
+    }
 }
 
 /// The paper's §4.2 judgment for DeepBinDiff: each *query block's* top-1
@@ -118,34 +149,35 @@ impl DeepBinDiff {
 /// correspond under the provenance ground truth — even if the blocks
 /// themselves are not truly corresponding.
 pub fn deepbindiff_precision_at_1(tool: &DeepBinDiff, baseline: &Binary, obf: &Binary) -> f64 {
-    let qe = tool.embed_blocks(baseline);
-    let te = tool.embed_blocks(obf);
+    let cache = EmbeddingCache::global();
+    let qe = tool.cached_block_embeddings(baseline, cache);
+    let te = tool.cached_block_embeddings(obf, cache);
     if qe.is_empty() || te.is_empty() {
         return 0.0;
     }
+    let q_ids = DeepBinDiff::block_ids(baseline);
+    let t_ids = DeepBinDiff::block_ids(obf);
+    // Raw (unclamped) cosine, as the legacy per-pair loop used; the
+    // first maximum wins on ties, matching the `s > best` scan.
+    let matrix = SimilarityMatrix::from_embeddings_signed(&qe, &te);
     let mut success = 0usize;
-    for (qid, qv) in &qe {
-        let mut best: Option<(f64, BlockId)> = None;
-        for (tid, tv) in &te {
-            let s = cosine(qv, tv);
-            if best.map(|(bs, _)| s > bs).unwrap_or(true) {
-                best = Some((s, *tid));
-            }
-        }
-        let (_, (tfi, _)) = best.expect("non-empty target");
+    for (qi, qid) in q_ids.iter().enumerate() {
+        let best = matrix.argmax_row(qi).expect("non-empty target");
+        let (tfi, _) = t_ids[best];
         let qf = &baseline.functions[qid.0];
         let tf = &obf.functions[tfi];
         if crate::metrics::origins_match(&qf.provenance, &tf.provenance) {
             success += 1;
         }
     }
-    success as f64 / qe.len() as f64
+    success as f64 / q_ids.len() as f64
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::testutil::small_binary;
+    use crate::vector::cosine;
 
     #[test]
     fn self_diff_is_perfect() {

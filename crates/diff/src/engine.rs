@@ -1,0 +1,639 @@
+//! The batched similarity engine.
+//!
+//! The paper's §4.2 protocol (`Precision@1`, `escape@k`, whole-binary
+//! similarity) is the hot loop of every figure this repo reproduces,
+//! and it is a textbook one-to-many function-search workload: embed
+//! both binaries once, then answer many ranked queries against the same
+//! candidate pool. This module provides the batched primitives the
+//! metrics layer runs on:
+//!
+//! * [`FunctionEmbeddings`] — per-function embeddings in a single flat
+//!   row-major buffer, **L2-normalized at construction**. The
+//!   normalization invariant makes cosine similarity a pure dot
+//!   product: no per-pair norms, no per-pair `sqrt`.
+//! * [`SimilarityMatrix`] — the full query×target similarity matrix in
+//!   flat storage, built once per binary pair with parallel rows
+//!   (`khaos-par`), with `O(T)` ranked retrieval ([`SimilarityMatrix::top_k`]
+//!   via partial selection, [`SimilarityMatrix::argmax_row`]) instead
+//!   of full sorts.
+//! * [`EmbeddingCache`] — a bounded, thread-safe cache keyed by
+//!   `(tool name, tool configuration, binary fingerprint)` so
+//!   `precision_at_1`, `rank_of_true_match`, `escape_at_k` and
+//!   `binary_similarity` share embeddings instead of each re-embedding
+//!   the same binaries from scratch.
+//!
+//! The legacy per-pair path ([`crate::Differ::similarity_matrix`],
+//! [`crate::cosine`]) is kept intact as the reference implementation;
+//! equivalence of the two paths to 1e-12 is asserted by this module's
+//! tests and `tests/batched_engine.rs` at the workspace root.
+
+use khaos_binary::Binary;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Per-function embeddings in flat row-major storage, each row
+/// L2-normalized at construction (all-zero rows stay all-zero).
+///
+/// With every row unit-length, `cosine(a, b) == dot(a, b)` — the
+/// per-pair square roots and norm recomputations of the legacy
+/// [`crate::cosine`] path disappear from the inner loop.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FunctionEmbeddings {
+    n: usize,
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl FunctionEmbeddings {
+    /// Flattens and normalizes per-function embedding rows.
+    ///
+    /// # Panics
+    /// Panics when rows have inconsistent dimensionality.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        let n = rows.len();
+        let dim = rows.first().map(Vec::len).unwrap_or(0);
+        let mut data = Vec::with_capacity(n * dim);
+        for row in &rows {
+            assert_eq!(row.len(), dim, "ragged embedding rows");
+            data.extend_from_slice(row);
+        }
+        let mut e = FunctionEmbeddings { n, dim, data };
+        e.normalize_rows();
+        e
+    }
+
+    fn normalize_rows(&mut self) {
+        if self.dim == 0 {
+            return;
+        }
+        for row in self.data.chunks_mut(self.dim) {
+            let norm: f64 = row.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for x in row {
+                    *x /= norm;
+                }
+            }
+        }
+    }
+
+    /// Number of functions (rows).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The normalized embedding of function `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// A query×target similarity matrix in flat row-major storage, built
+/// once per binary pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimilarityMatrix {
+    q: usize,
+    t: usize,
+    data: Vec<f64>,
+}
+
+impl SimilarityMatrix {
+    /// Builds the matrix from normalized embeddings; similarities are
+    /// clamped into `[0, 1]`, mirroring the legacy
+    /// [`crate::Differ::similarity_matrix`] default. Rows are computed
+    /// in parallel.
+    pub fn from_embeddings(qe: &FunctionEmbeddings, te: &FunctionEmbeddings) -> Self {
+        Self::build(qe, te, true)
+    }
+
+    /// As [`SimilarityMatrix::from_embeddings`] but without the clamp
+    /// at zero — raw cosine in `[-1, 1]`, used by the block-granularity
+    /// DeepBinDiff judgment whose legacy path never clamped.
+    pub fn from_embeddings_signed(qe: &FunctionEmbeddings, te: &FunctionEmbeddings) -> Self {
+        Self::build(qe, te, false)
+    }
+
+    fn build(qe: &FunctionEmbeddings, te: &FunctionEmbeddings, clamp: bool) -> Self {
+        // An empty side has dimensionality 0 by construction; the
+        // matrix is then a degenerate q×0 / 0×t shape (rank queries
+        // return `None`, exactly as the legacy path behaved), so the
+        // dimension invariant only binds when both sides have rows.
+        if !qe.is_empty() && !te.is_empty() {
+            assert_eq!(
+                qe.dim(),
+                te.dim(),
+                "query and target embeddings must share a dimensionality"
+            );
+        }
+        let (q, t) = (qe.len(), te.len());
+        let mut data = vec![0.0f64; q * t];
+        if t > 0 && q > 0 {
+            khaos_par::par_chunks_mut(&mut data, t, |i, row| {
+                let qr = qe.row(i);
+                for (j, slot) in row.iter_mut().enumerate() {
+                    let s = dot(qr, te.row(j));
+                    *slot = if clamp { s.max(0.0) } else { s };
+                }
+            });
+        }
+        SimilarityMatrix { q, t, data }
+    }
+
+    /// Wraps an already-computed flat matrix (used by tools whose
+    /// similarity is not an embedding dot product, e.g. BinDiff's
+    /// symbol matching).
+    ///
+    /// # Panics
+    /// Panics when `data.len() != q * t`.
+    pub fn from_flat(q: usize, t: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), q * t, "flat matrix shape mismatch");
+        SimilarityMatrix { q, t, data }
+    }
+
+    /// Number of query rows.
+    pub fn rows(&self) -> usize {
+        self.q
+    }
+
+    /// Number of target columns.
+    pub fn cols(&self) -> usize {
+        self.t
+    }
+
+    /// Row view for query function `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.t..(i + 1) * self.t]
+    }
+
+    /// Similarity between query `i` and target `j`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.t + j]
+    }
+
+    /// Index of the best candidate for query `i`; the **first** maximum
+    /// wins on ties (lowest index), matching the legacy argmax loops.
+    /// `None` when there are no candidates.
+    pub fn argmax_row(&self, i: usize) -> Option<usize> {
+        let row = self.row(i);
+        let mut best = 0usize;
+        let mut best_s = f64::MIN;
+        if row.is_empty() {
+            return None;
+        }
+        for (j, &s) in row.iter().enumerate() {
+            if s > best_s {
+                best_s = s;
+                best = j;
+            }
+        }
+        Some(best)
+    }
+
+    /// The `k` best candidates for query `i` in ranked order
+    /// (descending similarity, ties broken by lower index — the exact
+    /// order [`crate::rank_of_true_match`] ranks in), found by partial
+    /// selection instead of a full sort: `O(T + k log k)` rather than
+    /// `O(T log T)`.
+    pub fn top_k(&self, i: usize, k: usize) -> Vec<(usize, f64)> {
+        let row = self.row(i);
+        let k = k.min(row.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let rank_order = |&a: &usize, &b: &usize| {
+            row[b]
+                .partial_cmp(&row[a])
+                .expect("finite sims")
+                .then(a.cmp(&b))
+        };
+        let mut idx: Vec<usize> = (0..row.len()).collect();
+        if k < idx.len() {
+            idx.select_nth_unstable_by(k - 1, rank_order);
+            idx.truncate(k);
+        }
+        idx.sort_unstable_by(rank_order);
+        idx.into_iter().map(|j| (j, row[j])).collect()
+    }
+
+    /// 1-based rank of the best-ranked target accepted by `is_match`,
+    /// under the same ordering as [`SimilarityMatrix::top_k`], or
+    /// `None` when no target matches. Runs in `O(T)` — no sort.
+    pub fn rank_of_first_match(
+        &self,
+        i: usize,
+        mut is_match: impl FnMut(usize) -> bool,
+    ) -> Option<usize> {
+        let row = self.row(i);
+        // The matching candidate that sorts earliest: maximum
+        // similarity, ties broken by lower index (first win).
+        let mut best: Option<(f64, usize)> = None;
+        for (j, &s) in row.iter().enumerate() {
+            if is_match(j) && best.map(|(bs, _)| s > bs).unwrap_or(true) {
+                best = Some((s, j));
+            }
+        }
+        let (ms, mj) = best?;
+        let ahead = row
+            .iter()
+            .enumerate()
+            .filter(|&(j, &s)| s > ms || (s == ms && j < mj))
+            .count();
+        Some(ahead + 1)
+    }
+
+    /// Elementwise maximum with a same-shaped matrix (the best-of-two-
+    /// views matching of `DataFlowDiff`).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn merge_max(&mut self, other: &SimilarityMatrix) {
+        assert_eq!(
+            (self.q, self.t),
+            (other.q, other.t),
+            "matrix shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            if *b > *a {
+                *a = *b;
+            }
+        }
+    }
+
+    /// Copies into the legacy nested-`Vec` representation.
+    pub fn to_nested(&self) -> Vec<Vec<f64>> {
+        (0..self.q).map(|i| self.row(i).to_vec()).collect()
+    }
+}
+
+/// Cache key: tool identity (name + configuration fingerprint) and
+/// binary fingerprint.
+type CacheKey = (&'static str, u64, u64);
+
+/// Hit/miss counters of an [`EmbeddingCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to embed.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// Matrix cache key: tool identity plus both binaries' fingerprints.
+type MatrixKey = (&'static str, u64, u64, u64);
+
+/// Shared FIFO insert-with-eviction for the cache's two bounded maps.
+/// Re-inserting an existing key replaces the value without touching
+/// the eviction order.
+fn insert_bounded<K: std::hash::Hash + Eq + Copy, V>(
+    map: &mut HashMap<K, Arc<V>>,
+    order: &mut std::collections::VecDeque<K>,
+    capacity: usize,
+    key: K,
+    value: Arc<V>,
+) {
+    if !map.contains_key(&key) {
+        while map.len() >= capacity {
+            match order.pop_front() {
+                Some(old) => {
+                    map.remove(&old);
+                }
+                None => break,
+            }
+        }
+        order.push_back(key);
+    }
+    map.insert(key, value);
+}
+
+struct CacheInner {
+    map: HashMap<CacheKey, Arc<FunctionEmbeddings>>,
+    /// Insertion order for FIFO eviction.
+    order: std::collections::VecDeque<CacheKey>,
+    matrices: HashMap<MatrixKey, Arc<SimilarityMatrix>>,
+    matrix_order: std::collections::VecDeque<MatrixKey>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A bounded, thread-safe embedding cache keyed by
+/// `(tool name, tool configuration fingerprint, binary fingerprint)`.
+///
+/// All metric entry points share one process-wide instance
+/// ([`EmbeddingCache::global`]), so a Figure-8 sweep that scores five
+/// tools × four metrics over the same binary pair embeds each
+/// `(tool, binary)` combination exactly once. Entries are evicted FIFO
+/// past the capacity bound.
+pub struct EmbeddingCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl EmbeddingCache {
+    /// A cache holding at most `capacity` embedding tables (and the
+    /// same number of similarity matrices).
+    pub fn new(capacity: usize) -> Self {
+        EmbeddingCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: std::collections::VecDeque::new(),
+                matrices: HashMap::new(),
+                matrix_order: std::collections::VecDeque::new(),
+                hits: 0,
+                misses: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The process-wide cache the metric wrappers use.
+    pub fn global() -> &'static EmbeddingCache {
+        static GLOBAL: OnceLock<EmbeddingCache> = OnceLock::new();
+        GLOBAL.get_or_init(|| EmbeddingCache::new(256))
+    }
+
+    /// Looks up the embeddings for `key`, calling `embed` on a miss.
+    ///
+    /// The embedding runs outside the lock: concurrent metric calls on
+    /// different binaries never serialize on each other's embedding
+    /// work (a racing duplicate insert is tolerated — last write wins,
+    /// both values are identical by determinism of the tools).
+    pub fn get_or_embed(
+        &self,
+        key: CacheKey,
+        embed: impl FnOnce() -> Vec<Vec<f64>>,
+    ) -> Arc<FunctionEmbeddings> {
+        {
+            let mut inner = self.inner.lock().expect("embedding cache poisoned");
+            if let Some(hit) = inner.map.get(&key) {
+                let hit = Arc::clone(hit);
+                inner.hits += 1;
+                return hit;
+            }
+            inner.misses += 1;
+        }
+        let value = Arc::new(FunctionEmbeddings::from_rows(embed()));
+        let mut inner = self.inner.lock().expect("embedding cache poisoned");
+        let CacheInner { map, order, .. } = &mut *inner;
+        insert_bounded(map, order, self.capacity, key, Arc::clone(&value));
+        value
+    }
+
+    /// The similarity matrix for a `(tool, query, target)` triple,
+    /// computed at most once per cache residency — the "matrix produced
+    /// once per binary pair" half of the engine. All metric wrappers
+    /// route through this, so `precision_at_1` + `escape@k` +
+    /// `binary_similarity` over the same pair share one matrix.
+    pub fn matrix_for(
+        &self,
+        tool: &dyn crate::Differ,
+        query: &Binary,
+        target: &Binary,
+    ) -> Arc<SimilarityMatrix> {
+        let key: MatrixKey = (
+            tool.name(),
+            tool.config_fingerprint(),
+            query.fingerprint(),
+            target.fingerprint(),
+        );
+        {
+            let mut inner = self.inner.lock().expect("embedding cache poisoned");
+            if let Some(hit) = inner.matrices.get(&key) {
+                let hit = Arc::clone(hit);
+                inner.hits += 1;
+                return hit;
+            }
+            inner.misses += 1;
+        }
+        // Built outside the lock; embeddings come from this same cache,
+        // reusing the fingerprints already computed for the matrix key.
+        let value = Arc::new(tool.batched_similarity_keyed(query, target, self, key.2, key.3));
+        let mut inner = self.inner.lock().expect("embedding cache poisoned");
+        let CacheInner {
+            matrices,
+            matrix_order,
+            ..
+        } = &mut *inner;
+        insert_bounded(
+            matrices,
+            matrix_order,
+            self.capacity,
+            key,
+            Arc::clone(&value),
+        );
+        value
+    }
+
+    /// Cache effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("embedding cache poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len(),
+        }
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("embedding cache poisoned");
+        inner.map.clear();
+        inner.order.clear();
+        inner.matrices.clear();
+        inner.matrix_order.clear();
+    }
+
+    /// The cache key for a differ/binary combination.
+    pub fn key(name: &'static str, config_fingerprint: u64, bin: &Binary) -> CacheKey {
+        (name, config_fingerprint, bin.fingerprint())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::small_binary;
+    use crate::vector::cosine;
+    use crate::Differ;
+
+    #[test]
+    fn rows_are_unit_or_zero() {
+        let e =
+            FunctionEmbeddings::from_rows(vec![vec![3.0, 4.0], vec![0.0, 0.0], vec![-2.0, 0.0]]);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.dim(), 2);
+        let norm = |r: &[f64]| r.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm(e.row(0)) - 1.0).abs() < 1e-15);
+        assert_eq!(norm(e.row(1)), 0.0);
+        assert!((norm(e.row(2)) - 1.0).abs() < 1e-15);
+        assert_eq!(e.row(2), &[-1.0, 0.0]);
+    }
+
+    #[test]
+    fn matrix_matches_per_pair_cosine() {
+        let rows_a = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![0.0, 0.0, 0.0],
+            vec![-1.0, 0.5, 2.0],
+        ];
+        let rows_b = vec![vec![2.0, 4.0, 6.0], vec![1.0, -1.0, 0.0]];
+        let qe = FunctionEmbeddings::from_rows(rows_a.clone());
+        let te = FunctionEmbeddings::from_rows(rows_b.clone());
+        let m = SimilarityMatrix::from_embeddings(&qe, &te);
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        for (i, ra) in rows_a.iter().enumerate() {
+            for (j, rb) in rows_b.iter().enumerate() {
+                let want = cosine(ra, rb).max(0.0);
+                assert!(
+                    (m.get(i, j) - want).abs() <= 1e-12,
+                    "({i},{j}): {} vs {}",
+                    m.get(i, j),
+                    want
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signed_matrix_keeps_negative_cosines() {
+        let qe = FunctionEmbeddings::from_rows(vec![vec![1.0, 0.0]]);
+        let te = FunctionEmbeddings::from_rows(vec![vec![-1.0, 0.0]]);
+        assert_eq!(SimilarityMatrix::from_embeddings(&qe, &te).get(0, 0), 0.0);
+        assert!((SimilarityMatrix::from_embeddings_signed(&qe, &te).get(0, 0) + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn top_k_agrees_with_full_sort_including_ties() {
+        // Row engineered with duplicates: ties must break by lower index.
+        let row = vec![0.5, 0.9, 0.5, 0.9, 0.1, 0.9, 0.0];
+        let m = SimilarityMatrix::from_flat(1, row.len(), row.clone());
+        let mut full: Vec<usize> = (0..row.len()).collect();
+        full.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap().then(a.cmp(&b)));
+        for k in 0..=row.len() + 2 {
+            let got: Vec<usize> = m.top_k(0, k).into_iter().map(|(j, _)| j).collect();
+            let want: Vec<usize> = full.iter().copied().take(k).collect();
+            assert_eq!(got, want, "k={k}");
+        }
+        // Sanity on the tie order itself.
+        assert_eq!(
+            m.top_k(0, 4)
+                .into_iter()
+                .map(|(j, _)| j)
+                .collect::<Vec<_>>(),
+            vec![1, 3, 5, 0]
+        );
+    }
+
+    #[test]
+    fn rank_of_first_match_equals_sorted_position() {
+        let row = vec![0.5, 0.9, 0.5, 0.9, 0.1, 0.9, 0.0];
+        let m = SimilarityMatrix::from_flat(1, row.len(), row.clone());
+        let mut order: Vec<usize> = (0..row.len()).collect();
+        order.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap().then(a.cmp(&b)));
+        // For every single-candidate predicate, the O(T) rank must equal
+        // the full-sort position.
+        for target in 0..row.len() {
+            let want = order.iter().position(|&j| j == target).unwrap() + 1;
+            assert_eq!(
+                m.rank_of_first_match(0, |j| j == target),
+                Some(want),
+                "target {target}"
+            );
+        }
+        // Multi-candidate predicate: the earliest-sorted match counts.
+        assert_eq!(m.rank_of_first_match(0, |j| j == 0 || j == 3), Some(2));
+        assert_eq!(m.rank_of_first_match(0, |_| false), None);
+    }
+
+    #[test]
+    fn empty_sides_yield_degenerate_matrices_not_panics() {
+        let some = FunctionEmbeddings::from_rows(vec![vec![1.0, 0.0], vec![0.5, 0.5]]);
+        let none = FunctionEmbeddings::from_rows(vec![]);
+        let m = SimilarityMatrix::from_embeddings(&some, &none);
+        assert_eq!((m.rows(), m.cols()), (2, 0));
+        assert_eq!(m.rank_of_first_match(0, |_| true), None);
+        assert!(m.top_k(0, 5).is_empty());
+        let m = SimilarityMatrix::from_embeddings(&none, &some);
+        assert_eq!((m.rows(), m.cols()), (0, 2));
+    }
+
+    #[test]
+    fn escape_is_total_when_target_binary_is_empty() {
+        // The legacy path returned rank None -> escape 1.0 for an
+        // empty candidate pool; the batched path must not panic.
+        let mut marked = small_binary("e");
+        marked.functions[0]
+            .provenance
+            .annotations
+            .push("vulnerable".into());
+        let mut empty = small_binary("e2");
+        empty.functions.clear();
+        let tool = crate::Safe::default();
+        assert_eq!(crate::escape_at_k(&tool, &marked, &empty, 10), 1.0);
+        assert_eq!(crate::rank_of_true_match(&tool, &marked, &empty, 0), None);
+    }
+
+    #[test]
+    fn argmax_first_max_wins() {
+        let m = SimilarityMatrix::from_flat(1, 4, vec![0.3, 0.7, 0.7, 0.2]);
+        assert_eq!(m.argmax_row(0), Some(1));
+        let empty = SimilarityMatrix::from_flat(1, 0, vec![]);
+        assert_eq!(empty.argmax_row(0), None);
+    }
+
+    #[test]
+    fn cache_hits_and_evicts() {
+        let cache = EmbeddingCache::new(2);
+        let bin = small_binary("c");
+        let tool = crate::Safe::default();
+        let k1 = EmbeddingCache::key(tool.name(), tool.config_fingerprint(), &bin);
+        let a = cache.get_or_embed(k1, || tool.embed(&bin));
+        let b = cache.get_or_embed(k1, || panic!("must be cached"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        // Two more keys evict the first (capacity 2, FIFO).
+        cache.get_or_embed(("x", 0, 1), || vec![vec![1.0]]);
+        cache.get_or_embed(("x", 0, 2), || vec![vec![1.0]]);
+        assert_eq!(cache.stats().entries, 2);
+        cache.get_or_embed(k1, || tool.embed(&bin));
+        assert_eq!(
+            cache.stats().misses,
+            4,
+            "first key was evicted and re-embedded"
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_observable_changes_only() {
+        let a = small_binary("f");
+        let mut renamed = a.clone();
+        renamed.functions[0].name = Some("other".into());
+        assert_ne!(a.fingerprint(), renamed.fingerprint());
+        let mut annotated = a.clone();
+        annotated.functions[0]
+            .provenance
+            .annotations
+            .push("vulnerable".into());
+        assert_eq!(
+            a.fingerprint(),
+            annotated.fingerprint(),
+            "ground truth is invisible to tools"
+        );
+    }
+}

@@ -16,24 +16,61 @@
 //! pairing success through provenance ground truth ([`origins_match`]),
 //! `Precision@1` ([`precision_at_1`]), whole-binary BinDiff similarity
 //! ([`binary_similarity`]) and `escape@k` ([`escape_at_k`]).
+//!
+//! ## The batched similarity engine
+//!
+//! All metric entry points run on the [`engine`]'s batched path:
+//!
+//! * embeddings live in [`FunctionEmbeddings`] — one flat row-major
+//!   buffer, **L2-normalized once at construction**, so cosine is a
+//!   pure dot product in the inner loop (no per-pair `sqrt`/norms);
+//! * each binary pair yields one [`SimilarityMatrix`] (flat storage,
+//!   parallel row construction via `khaos-par`, `top_k` by partial
+//!   selection, `O(T)` rank queries) shared by every metric that needs
+//!   it — `escape@k` in particular ranks *all* vulnerable queries
+//!   against a single matrix;
+//! * embeddings are memoized in the process-wide [`EmbeddingCache`],
+//!   keyed by `(tool name, tool config fingerprint,`
+//!   [`khaos_binary::Binary::fingerprint`]`)`, so a sweep scoring many
+//!   metrics over the same pair embeds each side exactly once.
+//!
+//! **When to use which API:** existing `Differ`-taking signatures
+//! ([`precision_at_1`], [`escape_at_k`], [`rank_of_true_match`],
+//! [`binary_similarity`]) are thin wrappers over the batched engine and
+//! remain the convenient entry points; reach for
+//! [`Differ::batched_similarity`] plus the matrix accessors when you
+//! need several metrics from one pair or ranked retrieval, and for
+//! [`escape_profile`] when you need `escape@k` at several `k`. The
+//! legacy per-pair [`Differ::similarity_matrix`] default is kept
+//! unchanged as the *reference implementation*; the equivalence of the
+//! two paths (to 1e-12) is pinned by `engine` unit tests and the
+//! `batched_engine` integration suite.
 
 mod asm2vec;
 mod bindiff;
 mod dataflow;
 mod deepbindiff;
+pub mod engine;
 mod metrics;
+pub mod reference;
 mod safe;
 mod tokens;
 mod vector;
 mod vulseeker;
 
 pub use asm2vec::Asm2Vec;
-pub use bindiff::{binary_similarity, BinDiff};
+pub use bindiff::{binary_similarity, binary_similarity_with, BinDiff};
 pub use dataflow::DataFlowDiff;
 pub use deepbindiff::{deepbindiff_precision_at_1, DeepBinDiff};
-pub use metrics::{escape_at_k, origins_match, precision_at_1, rank_of_true_match};
+pub use engine::{CacheStats, EmbeddingCache, FunctionEmbeddings, SimilarityMatrix};
+pub use metrics::{
+    escape_at_k, escape_profile, escape_profile_with, origins_match, precision_at_1,
+    precision_at_1_with, rank_of_true_match, rank_of_true_match_in,
+};
 pub use safe::Safe;
-pub use tokens::{block_class_tokens, block_tokens, function_class_stream, function_token_stream, opcode_class};
+pub use tokens::{
+    block_class_tokens, block_tokens, function_class_stream, function_token_stream, opcode_class,
+};
 pub use vector::{cosine, hash_token, Dim, EMB_DIM};
 pub use vulseeker::VulSeeker;
 
@@ -44,6 +81,11 @@ use khaos_binary::Binary;
 /// Implementations compute a per-function embedding; similarity defaults
 /// to cosine. [`BinDiff`] overrides the matrix to use symbol names, as the
 /// real tool does on un-stripped binaries.
+///
+/// [`Differ::similarity_matrix`] is the legacy per-pair reference path;
+/// the metrics layer runs on [`Differ::batched_similarity`], which
+/// normalizes embeddings once, caches them per binary, and builds the
+/// flat matrix with parallel rows.
 pub trait Differ {
     /// Tool name as used in the paper's figures.
     fn name(&self) -> &'static str;
@@ -51,14 +93,68 @@ pub trait Differ {
     /// Per-function embeddings for a binary.
     fn embed(&self, bin: &Binary) -> Vec<Vec<f64>>;
 
+    /// Fingerprint of the tool's configuration, distinguishing cache
+    /// entries of differently-parameterized instances of the same tool.
+    /// Tools with knobs must override this to hash every knob.
+    fn config_fingerprint(&self) -> u64 {
+        0
+    }
+
     /// Similarity matrix: `matrix[i][j]` is the similarity in `[0, 1]`
     /// between function `i` of `query` and function `j` of `target`.
+    ///
+    /// This is the legacy per-pair reference path (quadratic in
+    /// redundant norm work); use [`Differ::batched_similarity`] in
+    /// anything performance-sensitive.
     fn similarity_matrix(&self, query: &Binary, target: &Binary) -> Vec<Vec<f64>> {
         let qa = self.embed(query);
         let tb = self.embed(target);
         qa.iter()
             .map(|q| tb.iter().map(|t| cosine(q, t).max(0.0)).collect())
             .collect()
+    }
+
+    /// Batched similarity matrix: embeddings are fetched through
+    /// `cache` (embedding each side at most once per process for
+    /// deterministic tools), normalized once, and combined with
+    /// parallel dot-product rows. Matches
+    /// [`Differ::similarity_matrix`] to 1e-12.
+    fn batched_similarity(
+        &self,
+        query: &Binary,
+        target: &Binary,
+        cache: &EmbeddingCache,
+    ) -> SimilarityMatrix {
+        self.batched_similarity_keyed(
+            query,
+            target,
+            cache,
+            query.fingerprint(),
+            target.fingerprint(),
+        )
+    }
+
+    /// As [`Differ::batched_similarity`], with the two binaries'
+    /// fingerprints supplied by the caller. [`EmbeddingCache::matrix_for`]
+    /// already fingerprints both sides for its own key and passes the
+    /// values through here — fingerprinting is a whole-binary pass,
+    /// expensive enough that paying it twice per lookup is measurable.
+    /// Tools overriding the batched path should override **this**
+    /// method (and ignore the fingerprints if they don't use `cache`).
+    fn batched_similarity_keyed(
+        &self,
+        query: &Binary,
+        target: &Binary,
+        cache: &EmbeddingCache,
+        query_fingerprint: u64,
+        target_fingerprint: u64,
+    ) -> SimilarityMatrix {
+        let cfg = self.config_fingerprint();
+        let qe = cache.get_or_embed((self.name(), cfg, query_fingerprint), || self.embed(query));
+        let te = cache.get_or_embed((self.name(), cfg, target_fingerprint), || {
+            self.embed(target)
+        });
+        SimilarityMatrix::from_embeddings(&qe, &te)
     }
 }
 
@@ -102,12 +198,27 @@ pub(crate) mod testutil {
         a.copy_to(acc, Operand::const_int(Type::I64, 0));
         a.jump(h);
         a.switch_to(h);
-        let c = a.cmp(CmpPred::Slt, Type::I64, Operand::local(i), Operand::local(p));
+        let c = a.cmp(
+            CmpPred::Slt,
+            Type::I64,
+            Operand::local(i),
+            Operand::local(p),
+        );
         a.branch(Operand::local(c), body, exit);
         a.switch_to(body);
-        let na = a.bin(BinOp::Add, Type::I64, Operand::local(acc), Operand::local(i));
+        let na = a.bin(
+            BinOp::Add,
+            Type::I64,
+            Operand::local(acc),
+            Operand::local(i),
+        );
         a.copy_to(acc, Operand::local(na));
-        let ni = a.bin(BinOp::Add, Type::I64, Operand::local(i), Operand::const_int(Type::I64, 1));
+        let ni = a.bin(
+            BinOp::Add,
+            Type::I64,
+            Operand::local(i),
+            Operand::const_int(Type::I64, 1),
+        );
         a.copy_to(i, Operand::local(ni));
         a.jump(h);
         a.switch_to(exit);
@@ -119,20 +230,42 @@ pub(crate) mod testutil {
         let q = b.add_param(Type::I64);
         let t = b.new_block();
         let e = b.new_block();
-        let x = b.bin(BinOp::Xor, Type::I64, Operand::local(q), Operand::const_int(Type::I64, 0xff));
-        let c2 = b.cmp(CmpPred::Sgt, Type::I64, Operand::local(x), Operand::const_int(Type::I64, 64));
+        let x = b.bin(
+            BinOp::Xor,
+            Type::I64,
+            Operand::local(q),
+            Operand::const_int(Type::I64, 0xff),
+        );
+        let c2 = b.cmp(
+            CmpPred::Sgt,
+            Type::I64,
+            Operand::local(x),
+            Operand::const_int(Type::I64, 64),
+        );
         b.branch(Operand::local(c2), t, e);
         b.switch_to(t);
-        let s = b.bin(BinOp::Shl, Type::I64, Operand::local(x), Operand::const_int(Type::I64, 2));
+        let s = b.bin(
+            BinOp::Shl,
+            Type::I64,
+            Operand::local(x),
+            Operand::const_int(Type::I64, 2),
+        );
         b.ret(Some(Operand::local(s)));
         b.switch_to(e);
-        let r = b.bin(BinOp::And, Type::I64, Operand::local(x), Operand::const_int(Type::I64, 31));
+        let r = b.bin(
+            BinOp::And,
+            Type::I64,
+            Operand::local(x),
+            Operand::const_int(Type::I64, 31),
+        );
         b.ret(Some(Operand::local(r)));
         let beta = m.push_function(b.finish());
 
         // main calls both.
         let mut mn = FunctionBuilder::new("main", Type::I64);
-        let r1 = mn.call(alpha, Type::I64, vec![Operand::const_int(Type::I64, 9)]).unwrap();
+        let r1 = mn
+            .call(alpha, Type::I64, vec![Operand::const_int(Type::I64, 9)])
+            .unwrap();
         let r2 = mn.call(beta, Type::I64, vec![Operand::local(r1)]).unwrap();
         mn.ret(Some(Operand::local(r2)));
         m.push_function(mn.finish());
@@ -156,9 +289,17 @@ mod tests {
         for tool in all_differs() {
             let m = tool.similarity_matrix(&b, &b);
             for (i, row) in m.iter().enumerate() {
-                let best =
-                    row.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
-                assert_eq!(best.0, i, "{}: function {i} should match itself", tool.name());
+                let best = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap();
+                assert_eq!(
+                    best.0,
+                    i,
+                    "{}: function {i} should match itself",
+                    tool.name()
+                );
                 assert!(*best.1 > 0.99, "{}: self-similarity ~1.0", tool.name());
             }
         }

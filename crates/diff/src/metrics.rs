@@ -1,6 +1,15 @@
 //! Evaluation metrics — the paper's §4.2 protocol.
+//!
+//! Every metric runs on the batched similarity engine
+//! ([`crate::engine`]): the similarity matrix for a binary pair is
+//! computed **once** (with cached, pre-normalized embeddings) and all
+//! rank queries are answered against it. The seed implementation
+//! rebuilt the full matrix per call — `escape@k` even rebuilt it per
+//! vulnerable query function — which made the §4.2 inner loop
+//! quadratic in redundant work.
 
-use crate::Differ;
+use crate::engine::EmbeddingCache;
+use crate::{Differ, SimilarityMatrix};
 use khaos_binary::{BinProvenance, Binary};
 
 /// The relaxed pairing-success judgment: a query (pre-obfuscation)
@@ -8,26 +17,34 @@ use khaos_binary::{BinProvenance, Binary};
 /// intersect — an `oriFunc` matches any of its `sepFunc`s, its `remFunc`,
 /// or any `fusFunc` it participates in.
 pub fn origins_match(query: &BinProvenance, candidate: &BinProvenance) -> bool {
-    query.origins.iter().any(|o| candidate.origins.iter().any(|c| c == o))
+    query
+        .origins
+        .iter()
+        .any(|o| candidate.origins.iter().any(|c| c == o))
 }
 
 /// `Precision@1`: the ratio of query functions whose top-ranked candidate
 /// is a true (relaxed) match.
 pub fn precision_at_1(tool: &dyn Differ, baseline: &Binary, obf: &Binary) -> f64 {
+    precision_at_1_with(tool, baseline, obf, EmbeddingCache::global())
+}
+
+/// [`precision_at_1`] against an explicit embedding cache.
+pub fn precision_at_1_with(
+    tool: &dyn Differ,
+    baseline: &Binary,
+    obf: &Binary,
+    cache: &EmbeddingCache,
+) -> f64 {
     if baseline.functions.is_empty() || obf.functions.is_empty() {
         return 0.0;
     }
-    let matrix = tool.similarity_matrix(baseline, obf);
+    let matrix = cache.matrix_for(tool, baseline, obf);
     let mut hits = 0usize;
-    for (i, row) in matrix.iter().enumerate() {
-        let mut best = 0usize;
-        let mut best_s = f64::MIN;
-        for (j, s) in row.iter().enumerate() {
-            if *s > best_s {
-                best_s = *s;
-                best = j;
-            }
-        }
+    for i in 0..matrix.rows() {
+        let best = matrix
+            .argmax_row(i)
+            .expect("non-empty target checked above");
         if origins_match(
             &baseline.functions[i].provenance,
             &obf.functions[best].provenance,
@@ -38,29 +55,63 @@ pub fn precision_at_1(tool: &dyn Differ, baseline: &Binary, obf: &Binary) -> f64
     hits as f64 / baseline.functions.len() as f64
 }
 
+/// 1-based rank of the first true match for query `qi` in `matrix`'s
+/// candidate ranking (descending similarity, ties by lower index), or
+/// `None` when no candidate matches at all.
+pub fn rank_of_true_match_in(
+    matrix: &SimilarityMatrix,
+    baseline: &Binary,
+    obf: &Binary,
+    qi: usize,
+) -> Option<usize> {
+    let qprov = &baseline.functions[qi].provenance;
+    matrix.rank_of_first_match(qi, |j| origins_match(qprov, &obf.functions[j].provenance))
+}
+
 /// 1-based rank of the first true match for query function `qi` in the
 /// candidate ranking, or `None` when no candidate matches at all.
+///
+/// Convenience wrapper that builds (or fetches from cache) the matrix
+/// for one query; rank many queries via [`rank_of_true_match_in`] on a
+/// shared [`SimilarityMatrix`] instead.
 pub fn rank_of_true_match(
     tool: &dyn Differ,
     baseline: &Binary,
     obf: &Binary,
     qi: usize,
 ) -> Option<usize> {
-    let matrix = tool.similarity_matrix(baseline, obf);
-    let row = &matrix[qi];
-    let mut order: Vec<usize> = (0..row.len()).collect();
-    order.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite sims").then(a.cmp(&b)));
-    let qprov = &baseline.functions[qi].provenance;
-    order
-        .iter()
-        .position(|&j| origins_match(qprov, &obf.functions[j].provenance))
-        .map(|p| p + 1)
+    let matrix = EmbeddingCache::global().matrix_for(tool, baseline, obf);
+    rank_of_true_match_in(&matrix, baseline, obf, qi)
 }
 
 /// `escape@k` over the vulnerable functions of the baseline binary: the
 /// fraction whose true match ranks *worse* than `k` (higher = better
 /// hiding). Functions are "vulnerable" when annotated as such.
 pub fn escape_at_k(tool: &dyn Differ, baseline: &Binary, obf: &Binary, k: usize) -> f64 {
+    escape_profile(tool, baseline, obf, &[k])[0]
+}
+
+/// `escape@k` at several `k` thresholds from **one** similarity matrix
+/// and one rank pass per vulnerable query — the batched form of
+/// [`escape_at_k`] (the seed implementation rebuilt the full matrix for
+/// every vulnerable query of every threshold).
+pub fn escape_profile(
+    tool: &dyn Differ,
+    baseline: &Binary,
+    obf: &Binary,
+    ks: &[usize],
+) -> Vec<f64> {
+    escape_profile_with(tool, baseline, obf, ks, EmbeddingCache::global())
+}
+
+/// [`escape_profile`] against an explicit embedding cache.
+pub fn escape_profile_with(
+    tool: &dyn Differ,
+    baseline: &Binary,
+    obf: &Binary,
+    ks: &[usize],
+    cache: &EmbeddingCache,
+) -> Vec<f64> {
     let vulnerable: Vec<usize> = baseline
         .functions
         .iter()
@@ -69,16 +120,25 @@ pub fn escape_at_k(tool: &dyn Differ, baseline: &Binary, obf: &Binary, k: usize)
         .map(|(i, _)| i)
         .collect();
     if vulnerable.is_empty() {
-        return 0.0;
+        return vec![0.0; ks.len()];
     }
-    let escaped = vulnerable
+    let matrix = cache.matrix_for(tool, baseline, obf);
+    let ranks: Vec<Option<usize>> = vulnerable
         .iter()
-        .filter(|&&qi| match rank_of_true_match(tool, baseline, obf, qi) {
-            Some(r) => r > k,
-            None => true,
+        .map(|&qi| rank_of_true_match_in(&matrix, baseline, obf, qi))
+        .collect();
+    ks.iter()
+        .map(|&k| {
+            let escaped = ranks
+                .iter()
+                .filter(|r| match r {
+                    Some(r) => *r > k,
+                    None => true,
+                })
+                .count();
+            escaped as f64 / vulnerable.len() as f64
         })
-        .count();
-    escaped as f64 / vulnerable.len() as f64
+        .collect()
 }
 
 #[cfg(test)]
@@ -102,7 +162,10 @@ mod tests {
         let fused = prov(&["log", "cal_file"]);
         let other = prov(&["memcpy"]);
         assert!(origins_match(&ori, &sep));
-        assert!(origins_match(&ori, &fused), "fusFunc matches either constituent");
+        assert!(
+            origins_match(&ori, &fused),
+            "fusFunc matches either constituent"
+        );
         assert!(!origins_match(&ori, &other));
     }
 
@@ -137,7 +200,10 @@ mod tests {
         assert_eq!(escape_at_k(&tool, &b, &b, 1), 0.0);
         // Mark alpha vulnerable: identity diff ranks it first => no escape.
         let mut marked = b.clone();
-        marked.functions[0].provenance.annotations.push("vulnerable".into());
+        marked.functions[0]
+            .provenance
+            .annotations
+            .push("vulnerable".into());
         assert_eq!(escape_at_k(&tool, &marked, &b, 1), 0.0);
     }
 
@@ -145,7 +211,10 @@ mod tests {
     fn escape_when_function_disappears() {
         let b = small_binary("m");
         let mut marked = b.clone();
-        marked.functions[0].provenance.annotations.push("vulnerable".into());
+        marked.functions[0]
+            .provenance
+            .annotations
+            .push("vulnerable".into());
         // Obfuscated binary whose provenance no longer mentions alpha.
         let mut hidden = b.clone();
         for f in &mut hidden.functions {

@@ -20,7 +20,9 @@ pub struct Safe {
 
 impl Default for Safe {
     fn default() -> Self {
-        Safe { position_period: 24 }
+        Safe {
+            position_period: 24,
+        }
     }
 }
 
@@ -29,12 +31,15 @@ impl Differ for Safe {
         "SAFE"
     }
 
+    fn config_fingerprint(&self) -> u64 {
+        self.position_period as u64
+    }
+
     fn embed(&self, bin: &Binary) -> Vec<Vec<f64>> {
         // Corpus-level token frequencies give the attention weights
         // (inverse-frequency emphasis, as learned attention tends to).
         let mut df: HashMap<String, f64> = HashMap::new();
-        let streams: Vec<Vec<String>> =
-            bin.functions.iter().map(function_class_stream).collect();
+        let streams: Vec<Vec<String>> = bin.functions.iter().map(function_class_stream).collect();
         for s in &streams {
             for t in s {
                 *df.entry(t.clone()).or_insert(0.0) += 1.0;

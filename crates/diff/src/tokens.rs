@@ -112,23 +112,24 @@ mod tests {
 
     #[test]
     fn tokens_normalize_operands() {
-        let i = MInst::new(
-            Opcode::Add,
-            vec![MOperand::Reg(3), MOperand::Imm(5)],
-        );
+        let i = MInst::new(Opcode::Add, vec![MOperand::Reg(3), MOperand::Imm(5)]);
         assert_eq!(inst_token(&i), "add reg,imm8");
-        let j = MInst::new(
-            Opcode::Add,
-            vec![MOperand::Reg(9), MOperand::Imm(77)],
+        let j = MInst::new(Opcode::Add, vec![MOperand::Reg(9), MOperand::Imm(77)]);
+        assert_eq!(
+            inst_token(&i),
+            inst_token(&j),
+            "register ids are abstracted"
         );
-        assert_eq!(inst_token(&i), inst_token(&j), "register ids are abstracted");
     }
 
     #[test]
     fn immediates_bucketed() {
         let z = MInst::new(Opcode::MovImm, vec![MOperand::Reg(0), MOperand::Imm(0)]);
         let small = MInst::new(Opcode::MovImm, vec![MOperand::Reg(0), MOperand::Imm(-5)]);
-        let big = MInst::new(Opcode::MovImm, vec![MOperand::Reg(0), MOperand::Imm(100000)]);
+        let big = MInst::new(
+            Opcode::MovImm,
+            vec![MOperand::Reg(0), MOperand::Imm(100000)],
+        );
         assert_eq!(inst_token(&z), "mov reg,imm0");
         assert_eq!(inst_token(&small), "mov reg,imm8");
         assert_eq!(inst_token(&big), "mov reg,imm32");

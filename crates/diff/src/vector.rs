@@ -38,7 +38,12 @@ pub fn add_token(vec: &mut [f64], token: &str, weight: f64) {
 }
 
 /// Cosine similarity; 0.0 when either vector is all-zero.
+///
+/// Both vectors must have the same length — `zip` would otherwise
+/// silently truncate to the shorter one and quietly skew every
+/// similarity built on top.
 pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "cosine over mismatched dimensions");
     let mut dot = 0.0;
     let mut na = 0.0;
     let mut nb = 0.0;

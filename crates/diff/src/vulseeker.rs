@@ -45,12 +45,22 @@ fn features(f: &BinFunction) -> [f64; FEAT] {
                 | Opcode::Subsd
                 | Opcode::Mulsd
                 | Opcode::Divsd => arith += 1.0,
-                Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Not | Opcode::Shl | Opcode::Shr | Opcode::Sar | Opcode::Xorps => {
-                    logic += 1.0
-                }
-                Opcode::Mov | Opcode::MovImm | Opcode::Load | Opcode::Store | Opcode::Movsd | Opcode::Movsx | Opcode::Movzx | Opcode::Lea => {
-                    transfer += 1.0
-                }
+                Opcode::And
+                | Opcode::Or
+                | Opcode::Xor
+                | Opcode::Not
+                | Opcode::Shl
+                | Opcode::Shr
+                | Opcode::Sar
+                | Opcode::Xorps => logic += 1.0,
+                Opcode::Mov
+                | Opcode::MovImm
+                | Opcode::Load
+                | Opcode::Store
+                | Opcode::Movsd
+                | Opcode::Movsx
+                | Opcode::Movzx
+                | Opcode::Lea => transfer += 1.0,
                 Opcode::Call | Opcode::CallInd => calls += 1.0,
                 Opcode::Jcc | Opcode::Cmp | Opcode::Test | Opcode::Ucomisd => cond += 1.0,
                 _ => {}
@@ -77,6 +87,13 @@ fn normalize(v: &mut [f64]) {
 impl Differ for VulSeeker {
     fn name(&self) -> &'static str {
         "VulSeeker"
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        match self.hops {
+            Some(h) => 1 + h as u64,
+            None => 0,
+        }
     }
 
     fn embed(&self, bin: &Binary) -> Vec<Vec<f64>> {
@@ -150,7 +167,11 @@ mod tests {
         let tool = VulSeeker::default();
         let m = tool.similarity_matrix(&b, &b);
         for (i, row) in m.iter().enumerate() {
-            let best = row.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap();
+            let best = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap();
             assert_eq!(best.0, i);
         }
     }
@@ -168,7 +189,10 @@ mod tests {
         let moved = tool.embed(&cut);
         // alpha's embedding changes because its caller edge vanished.
         let drift = crate::cosine(&base[0], &moved[0]);
-        assert!(drift < 0.999999, "call-graph dependence must be visible, got {drift}");
+        assert!(
+            drift < 0.999999,
+            "call-graph dependence must be visible, got {drift}"
+        );
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! # khaos-par — scoped-thread data parallelism
+//!
+//! A small, dependency-free rayon stand-in for the offline build
+//! environment. Work is fanned out over `std::thread::scope` with
+//! dynamic block scheduling (an atomic cursor over fixed-size index
+//! blocks), so uneven task costs — obfuscating a `gcc`-sized module vs
+//! a `cat`-sized one — still balance across cores.
+//!
+//! * [`par_map`] / [`par_map_slice`] — order-preserving parallel maps;
+//! * [`par_chunks_mut`] — parallel in-place fill of disjoint chunks of
+//!   a flat buffer (the similarity-matrix row loop);
+//! * [`max_threads`] — the worker count, overridable with the
+//!   `KHAOS_THREADS` environment variable (`KHAOS_THREADS=1` forces
+//!   fully sequential execution, useful for profiling and debugging).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Set while this thread is a khaos-par worker: nested `par_*`
+    /// calls then run sequentially instead of spawning another full
+    /// complement of threads (which would oversubscribe to ~cores²
+    /// when an experiment fan-out reaches the engine's parallel
+    /// matrix rows).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True on threads spawned by this crate's parallel helpers. Nested
+/// parallel calls detect this and degrade to sequential execution, so
+/// total concurrency stays at one level of [`max_threads`].
+pub fn is_worker_thread() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// Runs `f` with this thread marked as a worker.
+fn as_worker<T>(f: impl FnOnce() -> T) -> T {
+    IN_WORKER.with(|w| w.set(true));
+    let out = f();
+    IN_WORKER.with(|w| w.set(false));
+    out
+}
+
+/// Number of worker threads to use: `KHAOS_THREADS` when set, otherwise
+/// the machine's available parallelism.
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("KHAOS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Sequential-or-parallel decision: tiny workloads are not worth the
+/// thread spawn overhead, and nested calls from inside a worker run
+/// sequentially (see [`is_worker_thread`]).
+fn effective_threads(n: usize) -> usize {
+    if n < 2 || is_worker_thread() {
+        return 1;
+    }
+    max_threads().min(n)
+}
+
+/// Parallel, order-preserving map over `0..n`.
+///
+/// Spawns scoped workers that claim fixed-size index blocks from an
+/// atomic cursor; results are reassembled in index order. Falls back to
+/// a plain loop when `n` is small or one thread is available.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = effective_threads(n);
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    // Block size: ~4 blocks per worker bounds scheduling overhead while
+    // keeping enough blocks for balance.
+    let block = (n / (threads * 4)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                as_worker(|| loop {
+                    let start = cursor.fetch_add(block, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + block).min(n);
+                    let part: Vec<T> = (start..end).map(&f).collect();
+                    done.lock()
+                        .expect("par_map worker panicked")
+                        .push((start, part));
+                })
+            });
+        }
+    });
+    let mut parts = done.into_inner().expect("par_map worker panicked");
+    parts.sort_unstable_by_key(|(start, _)| *start);
+    let mut out = Vec::with_capacity(n);
+    for (_, part) in parts {
+        out.extend(part);
+    }
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
+/// Parallel, order-preserving map over a slice.
+pub fn par_map_slice<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    par_map(items.len(), |i| f(&items[i]))
+}
+
+/// Splits `data` into consecutive `chunk_len`-sized chunks and fills
+/// them in parallel; `f` receives each chunk's index and contents.
+///
+/// This is the flat-matrix row loop: `data` is the `rows × chunk_len`
+/// storage and chunk `i` is row `i`.
+///
+/// # Panics
+/// Panics when `chunk_len` is zero.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let threads = effective_threads(n_chunks);
+    if threads == 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let chunks: Mutex<Vec<(usize, &mut [T])>> =
+        Mutex::new(data.chunks_mut(chunk_len).enumerate().rev().collect());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                as_worker(|| loop {
+                    // Claim a batch of rows per lock acquisition.
+                    let mut batch = Vec::new();
+                    {
+                        let mut q = chunks.lock().expect("par_chunks_mut worker panicked");
+                        for _ in 0..4 {
+                            match q.pop() {
+                                Some(item) => batch.push(item),
+                                None => break,
+                            }
+                        }
+                    }
+                    if batch.is_empty() {
+                        break;
+                    }
+                    for (i, chunk) in batch {
+                        f(i, chunk);
+                    }
+                })
+            });
+        }
+    });
+}
+
+/// Runs two closures, potentially in parallel, and returns both results.
+pub fn join<A, B, FA, FB>(fa: FA, fb: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    if max_threads() == 1 || is_worker_thread() {
+        return (fa(), fb());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(|| as_worker(fb));
+        let a = fa();
+        let b = hb.join().expect("join closure panicked");
+        (a, b)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_parallelism_degrades_to_sequential() {
+        assert!(!is_worker_thread(), "test thread is not a worker");
+        // Inner par_map calls from inside workers must still produce
+        // correct results — and must observe the worker flag so they
+        // do not spawn a second level of threads.
+        let outer = par_map(8, |i| {
+            let inner = par_map(50, |j| i * 50 + j);
+            let flag_seen = if max_threads() > 1 {
+                is_worker_thread()
+            } else {
+                true
+            };
+            (inner.iter().sum::<usize>(), flag_seen)
+        });
+        for (i, (sum, flag_seen)) in outer.iter().enumerate() {
+            let want: usize = (0..50).map(|j| i * 50 + j).sum();
+            assert_eq!(*sum, want);
+            assert!(flag_seen, "worker {i} did not see the nesting flag");
+        }
+        assert!(!is_worker_thread(), "flag must reset after the fan-out");
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v = par_map(1000, |i| i * 2);
+        assert_eq!(v.len(), 1000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * 2);
+        }
+    }
+
+    #[test]
+    fn par_map_handles_edges() {
+        assert_eq!(par_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn par_map_slice_matches_sequential() {
+        let items: Vec<u64> = (0..313).collect();
+        let got = par_map_slice(&items, |x| x * x);
+        let want: Vec<u64> = items.iter().map(|x| x * x).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_chunks_mut_fills_rows() {
+        let rows = 57;
+        let cols = 13;
+        let mut data = vec![0usize; rows * cols];
+        par_chunks_mut(&mut data, cols, |i, chunk| {
+            assert_eq!(chunk.len(), cols);
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = i * cols + j;
+            }
+        });
+        for (k, x) in data.iter().enumerate() {
+            assert_eq!(*x, k);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_ragged_tail() {
+        let mut data = vec![0u32; 10];
+        par_chunks_mut(&mut data, 4, |i, chunk| {
+            for x in chunk.iter_mut() {
+                *x = i as u32 + 1;
+            }
+        });
+        assert_eq!(data, vec![1, 1, 1, 1, 2, 2, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+}

@@ -1,0 +1,297 @@
+//! In-tree stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this shim keeps
+//! the workspace's benches compiling and *measuring*: `b.iter(..)` runs
+//! a warm-up, then times `sample_size` samples and reports the mean,
+//! min and max wall-clock time per iteration in a criterion-flavoured
+//! line. Statistical analysis, plotting and history comparison are out
+//! of scope.
+//!
+//! Set `KHAOS_BENCH_JSON=<path>` to additionally write every recorded
+//! measurement as a JSON array (used by the repo's perf-trajectory
+//! artifacts, e.g. `BENCH_similarity.json`).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One recorded measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+}
+
+/// Identifies a parameterized benchmark (subset of
+/// `criterion::BenchmarkId`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Times a single benchmark body (subset of `criterion::Bencher`).
+pub struct Bencher {
+    samples: usize,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Runs `f` through warm-up plus timed samples, recording
+    /// per-iteration wall-clock statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed run (and a cheap calibration probe).
+        let probe_start = Instant::now();
+        black_box(f());
+        let probe = probe_start.elapsed();
+        // Batch very fast bodies so timer resolution does not dominate.
+        let batch = if probe < Duration::from_micros(5) {
+            64
+        } else {
+            1
+        };
+        let mut mean_acc = 0.0f64;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = 0.0f64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            mean_acc += ns;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+        }
+        self.result = Some(Measurement {
+            id: String::new(),
+            mean_ns: mean_acc / self.samples as f64,
+            min_ns,
+            max_ns,
+            samples: self.samples,
+        });
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one(
+    measurements: &mut Vec<Measurement>,
+    samples: usize,
+    id: String,
+    run: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples,
+        result: None,
+    };
+    run(&mut b);
+    if let Some(mut m) = b.result {
+        m.id = id;
+        println!(
+            "{:<50} time: [{} {} {}]",
+            m.id,
+            human(m.min_ns),
+            human(m.mean_ns),
+            human(m.max_ns)
+        );
+        measurements.push(m);
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            samples: 10,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&mut self.measurements, 10, id.to_string(), |b| f(b));
+        self
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Writes the recorded measurements as a JSON array.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let mut out = String::from("[\n");
+        for (i, m) in self.measurements.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}}}{}\n",
+                m.id.replace('"', "'"),
+                m.mean_ns,
+                m.min_ns,
+                m.max_ns,
+                m.samples,
+                if i + 1 < self.measurements.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(path, out)
+    }
+
+    /// Honours `KHAOS_BENCH_JSON` when set (called by `criterion_main!`).
+    pub fn finalize(&self) {
+        if let Ok(path) = std::env::var("KHAOS_BENCH_JSON") {
+            if let Err(e) = self.write_json(&path) {
+                eprintln!("failed to write {path}: {e}");
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks (subset of
+/// `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().0);
+        run_one(&mut self.parent.measurements, self.samples, id, |b| f(b));
+        self
+    }
+
+    /// Benchmarks a function against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.0);
+        run_one(&mut self.parent.measurements, self.samples, id, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (statistics flushing is a no-op in the shim).
+    pub fn finish(self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Declares a group of benchmark functions (subset of the real macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` (subset of the real macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("busy", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+            g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+                b.iter(|| (0..n).product::<u64>())
+            });
+            g.finish();
+        }
+        c.bench_function("top", |b| b.iter(|| 1 + 1));
+        let ms = c.measurements();
+        assert_eq!(ms.len(), 3);
+        assert_eq!(ms[0].id, "g/busy");
+        assert_eq!(ms[1].id, "g/param/7");
+        assert!(ms.iter().all(|m| m.mean_ns > 0.0 && m.min_ns <= m.mean_ns));
+    }
+
+    #[test]
+    fn json_is_written() {
+        let mut c = Criterion::default();
+        c.bench_function("j", |b| b.iter(|| 2 * 2));
+        let path = std::env::temp_dir().join("criterion_shim_test.json");
+        c.write_json(path.to_str().unwrap()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"id\": \"j\""));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,198 @@
+//! In-tree stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this shim
+//! implements the subset of proptest this workspace uses: the
+//! [`proptest!`] macro over `arg in strategy` bindings, range and
+//! [`any`] strategies, `prop_assert!`/`prop_assert_eq!`, and a
+//! [`ProptestConfig`] with a `cases` knob. Sampling is deterministic:
+//! the RNG is seeded from the test's name, so failures reproduce
+//! without a persistence file. Shrinking is not implemented — a failing
+//! case panics with its case index instead.
+
+use rand::{Rng, RngCore, SeedableRng, StdRng};
+
+/// Configuration for a `proptest!` block (subset of the real struct).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases to run per test.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented, so
+    /// this knob has no effect.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// The deterministic test RNG handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds the RNG from a test name (FNV-1a), so each test gets a
+    /// stable, independent stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A source of values for one `arg in strategy` binding.
+pub trait Strategy {
+    /// The sampled value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Marker strategy produced by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// The `any::<T>()` strategy: any value of `T`.
+pub fn any<T>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Asserts a condition inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Declares deterministic property tests over `arg in strategy`
+/// bindings (subset of the real macro's grammar).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Prelude matching `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// Bindings sample within their strategies.
+        #[test]
+        fn ranges_bind(a in 0u64..10, b in 2usize..=4, c in any::<bool>()) {
+            prop_assert!(a < 10);
+            prop_assert!((2..=4).contains(&b));
+            prop_assert_eq!(c as u8 <= 1, true);
+        }
+    }
+
+    proptest! {
+        /// Default config runs too.
+        #[test]
+        fn default_config(x in 1i64..100) {
+            prop_assert!((1..100).contains(&x));
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use rand::RngCore;
+        let mut a = super::TestRng::for_test("t");
+        let mut b = super::TestRng::for_test("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,193 @@
+//! Equivalence suite for the batched similarity engine: on a real
+//! obfuscated pair, the batched path (cached normalized embeddings +
+//! flat dot-product matrix) must reproduce the legacy per-pair cosine
+//! path to 1e-12 for every differ, and the metric wrappers must agree
+//! with their from-scratch definitions.
+
+use khaos::diff::{
+    binary_similarity, escape_at_k, escape_profile, origins_match, precision_at_1,
+    rank_of_true_match, Asm2Vec, BinDiff, DataFlowDiff, Differ, EmbeddingCache, Safe, VulSeeker,
+};
+use khaos::obfuscate::{KhaosContext, KhaosMode};
+use khaos::opt::{optimize, OptOptions};
+use khaos::prelude::*;
+use khaos::workloads::{generate, ProgramProfile};
+use khaos_binary::Binary;
+
+fn obfuscated_pair(seed: u64, mode: KhaosMode) -> (Binary, Binary) {
+    let profile = ProgramProfile {
+        name: format!("engine_eq_{seed}"),
+        functions: 14,
+        constructs: 3,
+        seed,
+        ..ProgramProfile::default()
+    };
+    let mut base = generate(&profile);
+    optimize(&mut base, &OptOptions::baseline());
+    let mut obf = base.clone();
+    let mut ctx = KhaosContext::new(seed ^ 0xC60);
+    mode.apply(&mut obf, &mut ctx).expect("obfuscation");
+    optimize(&mut obf, &OptOptions::baseline());
+    (lower_module(&base), lower_module(&obf))
+}
+
+fn five_tools() -> Vec<Box<dyn Differ>> {
+    vec![
+        Box::new(BinDiff::default()),
+        Box::new(VulSeeker::default()),
+        Box::new(Asm2Vec::default()),
+        Box::new(Safe::default()),
+        Box::new(DataFlowDiff::default()),
+    ]
+}
+
+#[test]
+fn batched_matrix_matches_per_pair_path_for_all_tools() {
+    for (seed, mode) in [(7, KhaosMode::FuFiAll), (21, KhaosMode::Fission), (33, KhaosMode::Fusion)]
+    {
+        let (base_bin, obf_bin) = obfuscated_pair(seed, mode);
+        let cache = EmbeddingCache::new(16);
+        for tool in five_tools() {
+            let legacy = tool.similarity_matrix(&base_bin, &obf_bin);
+            let batched = tool.batched_similarity(&base_bin, &obf_bin, &cache);
+            assert_eq!(batched.rows(), legacy.len(), "{}", tool.name());
+            for (i, row) in legacy.iter().enumerate() {
+                assert_eq!(batched.row(i).len(), row.len(), "{}", tool.name());
+                for (j, &want) in row.iter().enumerate() {
+                    let got = batched.get(i, j);
+                    assert!(
+                        (got - want).abs() <= 1e-12,
+                        "{} seed {seed} ({i},{j}): batched {got} vs legacy {want}",
+                        tool.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cached_and_uncached_batched_matrices_agree() {
+    let (base_bin, obf_bin) = obfuscated_pair(11, KhaosMode::FuFiOri);
+    let cache = EmbeddingCache::new(16);
+    for tool in five_tools() {
+        let cold = tool.batched_similarity(&base_bin, &obf_bin, &EmbeddingCache::new(2));
+        let via_cache = cache.matrix_for(tool.as_ref(), &base_bin, &obf_bin);
+        let again = cache.matrix_for(tool.as_ref(), &base_bin, &obf_bin);
+        assert_eq!(*via_cache, *again, "{}: cache must be stable", tool.name());
+        for i in 0..cold.rows() {
+            for j in 0..cold.cols() {
+                assert!(
+                    (cold.get(i, j) - via_cache.get(i, j)).abs() <= 1e-12,
+                    "{} ({i},{j})",
+                    tool.name()
+                );
+            }
+        }
+    }
+}
+
+// The frozen seed semantics live in `khaos_diff::reference`, shared
+// with `benches/bench_similarity.rs` so the equivalence suite and the
+// speedup bench pin the same reference.
+use khaos::diff::reference::reference_rank_of_true_match as seed_rank;
+
+#[test]
+fn metric_wrappers_match_seed_semantics() {
+    let (mut base_bin, obf_bin) = obfuscated_pair(17, KhaosMode::FuFiAll);
+    for f in base_bin.functions.iter_mut().step_by(3) {
+        f.provenance.annotations.push("vulnerable".into());
+    }
+    for tool in five_tools() {
+        // Ranks for every query function.
+        for qi in 0..base_bin.functions.len() {
+            assert_eq!(
+                rank_of_true_match(tool.as_ref(), &base_bin, &obf_bin, qi),
+                seed_rank(tool.as_ref(), &base_bin, &obf_bin, qi),
+                "{} rank qi={qi}",
+                tool.name()
+            );
+        }
+        // escape@k from the single-matrix path vs the per-query seed
+        // definition, across thresholds.
+        let vulnerable: Vec<usize> = base_bin
+            .functions
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.provenance.annotations.iter().any(|a| a == "vulnerable"))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!vulnerable.is_empty());
+        let ks = [1usize, 5, 10, 50];
+        let profile = escape_profile(tool.as_ref(), &base_bin, &obf_bin, &ks);
+        for (k, got) in ks.iter().zip(&profile) {
+            let escaped = vulnerable
+                .iter()
+                .filter(|&&qi| match seed_rank(tool.as_ref(), &base_bin, &obf_bin, qi) {
+                    Some(r) => r > *k,
+                    None => true,
+                })
+                .count();
+            let want = escaped as f64 / vulnerable.len() as f64;
+            assert!(
+                (got - want).abs() <= 1e-12,
+                "{} escape@{k}: {got} vs {want}",
+                tool.name()
+            );
+            assert!(
+                (escape_at_k(tool.as_ref(), &base_bin, &obf_bin, *k) - want).abs() <= 1e-12,
+                "{} escape_at_k@{k}",
+                tool.name()
+            );
+        }
+        // Precision@1 against a hand argmax over the legacy matrix.
+        let legacy = tool.similarity_matrix(&base_bin, &obf_bin);
+        let mut hits = 0usize;
+        for (i, row) in legacy.iter().enumerate() {
+            let mut best = 0;
+            let mut best_s = f64::MIN;
+            for (j, s) in row.iter().enumerate() {
+                if *s > best_s {
+                    best_s = *s;
+                    best = j;
+                }
+            }
+            if origins_match(
+                &base_bin.functions[i].provenance,
+                &obf_bin.functions[best].provenance,
+            ) {
+                hits += 1;
+            }
+        }
+        let want = hits as f64 / base_bin.functions.len() as f64;
+        let got = precision_at_1(tool.as_ref(), &base_bin, &obf_bin);
+        assert!((got - want).abs() <= 1e-12, "{} precision", tool.name());
+    }
+}
+
+#[test]
+fn binary_similarity_is_stable_across_repeat_calls() {
+    let (base_bin, obf_bin) = obfuscated_pair(29, KhaosMode::Fission);
+    for tool in five_tools() {
+        let a = binary_similarity(tool.as_ref(), &base_bin, &obf_bin);
+        let b = binary_similarity(tool.as_ref(), &base_bin, &obf_bin);
+        assert_eq!(a, b, "{}", tool.name());
+        assert!((0.0..=1.0 + 1e-9).contains(&a), "{}: {a}", tool.name());
+    }
+}
+
+#[test]
+fn embedding_cache_shares_across_metrics() {
+    let (mut base_bin, obf_bin) = obfuscated_pair(41, KhaosMode::FuFiAll);
+    base_bin.functions[0].provenance.annotations.push("vulnerable".into());
+    let tool = Safe::default();
+    let before = EmbeddingCache::global().stats();
+    let _ = precision_at_1(&tool, &base_bin, &obf_bin);
+    let _ = escape_at_k(&tool, &base_bin, &obf_bin, 10);
+    let _ = binary_similarity(&tool, &base_bin, &obf_bin);
+    let after = EmbeddingCache::global().stats();
+    // Three metric calls over the same pair: at most one matrix build +
+    // two embeddings can miss; the rest must be hits.
+    assert!(after.misses - before.misses <= 3, "{before:?} -> {after:?}");
+    assert!(after.hits > before.hits, "{before:?} -> {after:?}");
+}
