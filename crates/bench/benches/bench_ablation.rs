@@ -3,14 +3,18 @@
 //! and deep fusion.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use khaos_bench::{build_baseline, measure_cycles, SEED};
-use khaos_core::{KhaosContext, KhaosMode, KhaosOptions};
+use khaos_bench::{build_baseline, khaos_atom, measure_cycles, SEED};
+use khaos_core::{KhaosMode, KhaosOptions};
+use khaos_pass::{PassCtx, Pipeline};
 use khaos_workloads::spec2006;
 
 fn apply_with(base: &khaos_ir::Module, mode: KhaosMode, options: KhaosOptions) -> khaos_ir::Module {
     let mut m = base.clone();
-    let mut ctx = KhaosContext::with_options(SEED, options);
-    mode.apply(&mut m, &mut ctx).expect("ablation build");
+    let mut ctx = PassCtx::with_options(SEED, options);
+    Pipeline::parse(khaos_atom(mode))
+        .expect("ablation spec")
+        .run(&mut m, &mut ctx)
+        .expect("ablation build");
     m
 }
 

@@ -5,12 +5,13 @@
 //! measured notes.
 
 use crate::harness::{
-    build_at, build_baseline, build_config, geomean, geomean_ratio, khaos_apply, measure_cycles,
-    overhead_pct, par_fan_out, prepare_baselines, BuildConfig, SEED,
+    build_at, build_baseline, build_binary, build_config, geomean, geomean_ratio, khaos_apply,
+    khaos_atom, measure_cycles, overhead_pct, par_fan_out, prepare_baselines, run_spec,
+    BuildConfig, SEED,
 };
 use khaos_binary::{histogram_distance, lower_module, opcode_histogram};
 use khaos_bintuner::BinTuner;
-use khaos_core::{FissionStats, FusionStats, KhaosContext, KhaosMode};
+use khaos_core::{FissionStats, FusionStats, KhaosMode};
 use khaos_diff::{
     binary_similarity, deepbindiff_precision_at_1, escape_profile, precision_at_1, Asm2Vec,
     BinDiff, DeepBinDiff, Differ, Safe, VulSeeker,
@@ -156,8 +157,7 @@ pub fn fig8(scope: Scope) {
     });
     for cfg in configs {
         let per_program = par_fan_out(&prepared, |(base, base_bin)| {
-            let obf = build_config(base, cfg);
-            let obf_bin = lower_module(&obf);
+            let obf_bin = build_binary(base, cfg);
             [
                 binary_similarity(&BinDiff::default(), base_bin, &obf_bin),
                 precision_at_1(&VulSeeker::default(), base_bin, &obf_bin),
@@ -326,8 +326,7 @@ pub fn fig10(_scope: Scope) {
         .collect();
     let cells: Vec<Vec<[f64; 3]>> = par_fan_out(&grid, |&(ci, pi)| {
         let (base_bin, base) = &prepared[pi];
-        let obf = build_config(base, configs[ci].1);
-        let obf_bin = lower_module(&obf);
+        let obf_bin = build_binary(base, configs[ci].1);
         tools
             .iter()
             .map(|(_, tool)| {
@@ -399,7 +398,7 @@ pub fn fig11(scope: Scope) {
             .iter()
             .map(|(_, cfg)| {
                 let obf_bin = match cfg {
-                    Some(c) => lower_module(&build_config(&base, *c)),
+                    Some(c) => build_binary(&base, *c),
                     None => {
                         BinTuner {
                             budget: 8,
@@ -552,12 +551,13 @@ pub fn ablations(scope: Scope) {
         let mut ohs = Vec::new();
         let mut fi = FissionStats::default();
         let mut fu = FusionStats::default();
+        let pipeline = khaos_pass::Pipeline::parse(khaos_atom(mode)).expect("ablation spec");
         let results = par_fan_out(&programs, |src| {
             let base = build_baseline(src);
             let base_cycles = measure_cycles(&base);
             let mut m = base.clone();
-            let mut ctx = KhaosContext::with_options(SEED, options.clone());
-            mode.apply(&mut m, &mut ctx).expect("ablation build");
+            let mut ctx = khaos_pass::PassCtx::with_options(SEED, options.clone());
+            pipeline.run(&mut m, &mut ctx).expect("ablation build");
             let oh = overhead_pct(base_cycles, measure_cycles(&m));
             (oh, ctx.fission_stats, ctx.fusion_stats)
         });
@@ -706,10 +706,7 @@ pub fn ext_arity(scope: Scope) {
             let base = build_baseline(src);
             let base_cycles = measure_cycles(&base);
             let base_bin = lower_module(&base);
-            let mut m = base.clone();
-            let mut ctx = KhaosContext::new(SEED);
-            khaos_core::fufi_n(&mut m, &mut ctx, arity).expect("fufi_n build");
-            khaos_opt::optimize(&mut m, &khaos_opt::OptOptions::baseline());
+            let (m, _) = run_spec(&base, &format!("fufi_n(arity={arity}) | O2+lto"), SEED);
             let oh = overhead_pct(base_cycles, measure_cycles(&m));
             let obf_bin = lower_module(&m);
             (
@@ -766,8 +763,7 @@ pub fn ext_dataflow(scope: Scope) {
     });
     for cfg in configs {
         let per_program = par_fan_out(&prepared, |(base_bin, base)| {
-            let obf = build_config(base, cfg);
-            let obf_bin = lower_module(&obf);
+            let obf_bin = build_binary(base, cfg);
             tools
                 .iter()
                 .map(|(_, tool)| precision_at_1(tool.as_ref(), base_bin, &obf_bin))
@@ -812,8 +808,7 @@ pub fn ext_stripped(scope: Scope) {
         let results = par_fan_out(&programs, |src| {
             let base = build_baseline(src);
             let base_bin = lower_module(&base);
-            let obf = build_config(&base, cfg);
-            let obf_bin = lower_module(&obf);
+            let obf_bin = build_binary(&base, cfg);
             let mut stripped = obf_bin.clone();
             stripped.strip();
             [

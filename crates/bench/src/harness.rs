@@ -1,17 +1,53 @@
 //! Shared experiment plumbing: build pipelines, measurement, statistics,
 //! and the parallel fan-out helpers the experiment drivers use to spread
 //! build-config × workload × tool grids across cores.
+//!
+//! Every module the drivers evaluate is built through a
+//! [`khaos_pass::Pipeline`]: [`BuildConfig`] is a thin name → spec
+//! table, and the historical helpers ([`build_baseline`],
+//! [`khaos_apply`], [`obfuscate_ollvm`], …) are wrappers over
+//! [`run_spec`]. Binaries built for diffing carry the pipeline's
+//! fingerprint as build provenance (see [`build_binary`]), so the
+//! process-wide `khaos-diff` embedding cache is safely shared across
+//! drivers that rebuild the same (program, pipeline) pair.
 
-use khaos_core::{KhaosContext, KhaosMode};
+use khaos_binary::{lower_module, Binary};
+use khaos_core::KhaosMode;
 use khaos_ir::Module;
 use khaos_ollvm::OllvmMode;
-use khaos_opt::{optimize, OptLevel, OptOptions};
+use khaos_opt::OptLevel;
+use khaos_pass::{PassCtx, Pipeline, VerifyPolicy};
 use khaos_vm::{run_with_config, RunConfig};
 
 /// The obfuscation seed used across all experiments (determinism).
 pub const SEED: u64 = 0xC60_2023;
 
-/// One build configuration evaluated in the figures.
+/// The spec atom of a Khaos mode (the obfuscation half of its build
+/// pipeline).
+pub fn khaos_atom(mode: KhaosMode) -> &'static str {
+    match mode {
+        KhaosMode::Fission => "fission",
+        KhaosMode::Fusion => "fusion",
+        KhaosMode::FuFiSep => "fufi_sep",
+        KhaosMode::FuFiOri => "fufi_ori",
+        KhaosMode::FuFiAll => "fufi_all",
+    }
+}
+
+/// The spec atom of an O-LLVM mode.
+pub fn ollvm_atom(mode: OllvmMode) -> String {
+    match mode {
+        OllvmMode::Sub(r) if r >= 1.0 => "sub".into(),
+        OllvmMode::Bog(r) if r >= 1.0 => "bog".into(),
+        OllvmMode::Fla(r) if r >= 1.0 => "fla".into(),
+        OllvmMode::Sub(r) => format!("sub(ratio={r})"),
+        OllvmMode::Bog(r) => format!("bog(ratio={r})"),
+        OllvmMode::Fla(r) => format!("fla(ratio={r})"),
+    }
+}
+
+/// One build configuration evaluated in the figures — a *name* for a
+/// pipeline spec ([`BuildConfig::spec`]), nothing more.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum BuildConfig {
     /// Un-obfuscated baseline at `O2 + LTO` (the paper's baseline).
@@ -32,6 +68,33 @@ impl BuildConfig {
         }
     }
 
+    /// The pipeline spec applied **on top of the optimized baseline**:
+    /// the obfuscation atom followed by the rest of the compiler
+    /// pipeline (`O2+lto` again), or the empty (identity) pipeline for
+    /// the baseline itself.
+    pub fn spec(&self) -> String {
+        match self {
+            BuildConfig::Baseline => String::new(),
+            BuildConfig::Ollvm(m) => format!("{} | O2+lto", ollvm_atom(*m)),
+            BuildConfig::Khaos(m) => format!("{} | O2+lto", khaos_atom(*m)),
+        }
+    }
+
+    /// The parsed pipeline for [`BuildConfig::spec`].
+    pub fn pipeline(&self) -> Pipeline {
+        let spec = self.spec();
+        Pipeline::parse(&spec).unwrap_or_else(|e| panic!("config spec `{spec}`: {e}"))
+    }
+
+    /// The build-provenance fingerprint of this configuration
+    /// ([`Pipeline::fingerprint`] of [`BuildConfig::spec`]). Distinct
+    /// configurations — including the same transform at different
+    /// knobs, e.g. `Fla(0.1)` vs `Fla(1.0)` — have distinct
+    /// fingerprints.
+    pub fn fingerprint(&self) -> u64 {
+        self.pipeline().fingerprint()
+    }
+
     /// The eight obfuscated configurations of Figure 8/11, in order.
     pub fn figure8_set() -> Vec<BuildConfig> {
         let mut v: Vec<BuildConfig> = OllvmMode::STANDARD
@@ -43,19 +106,35 @@ impl BuildConfig {
     }
 }
 
+/// Runs a pipeline spec over a clone of `src` with a fresh context
+/// seeded `seed`, verifying after every pass — at least as strict as
+/// the legacy entry points, which verified right after the obfuscation
+/// transform so an invalid module failed loudly *before* the `O2+lto`
+/// re-optimization could reshape the evidence. Returns the built
+/// module and the context (Table-2 statistics).
+///
+/// # Panics
+/// Panics when the spec does not parse or the pipeline produces invalid
+/// IR — both are harness bugs, surfaced loudly.
+pub fn run_spec(src: &Module, spec: &str, seed: u64) -> (Module, PassCtx) {
+    let pipeline = Pipeline::parse(spec).unwrap_or_else(|e| panic!("spec `{spec}`: {e}"));
+    let mut m = src.clone();
+    let mut ctx = PassCtx::new(seed).with_verify(VerifyPolicy::AfterEach);
+    pipeline
+        .run(&mut m, &mut ctx)
+        .unwrap_or_else(|e| panic!("pipeline `{spec}` on {}: {e}", src.name));
+    (m, ctx)
+}
+
 /// Optimizes a freshly-generated module at the paper's baseline level
 /// (`O2` with LTO).
 pub fn build_baseline(src: &Module) -> Module {
-    let mut m = src.clone();
-    optimize(&mut m, &OptOptions::baseline());
-    m
+    run_spec(src, "O2+lto", SEED).0
 }
 
 /// Builds at an explicit optimization level without LTO (Figure 9 axes).
 pub fn build_at(src: &Module, level: OptLevel) -> Module {
-    let mut m = src.clone();
-    optimize(&mut m, &OptOptions::level(level));
-    m
+    run_spec(src, level.name(), SEED).0
 }
 
 /// Applies a Khaos mode to an already-optimized module, followed by the
@@ -64,13 +143,8 @@ pub fn build_at(src: &Module, level: OptLevel) -> Module {
 /// inliner runs over the restructured code — thinned `remFunc`s get
 /// inlined into their callers and disappear (the paper's negative
 /// overhead cases), while `sepFunc`s/`fusFunc`s are pinned `noinline`.
-pub fn khaos_apply(baseline: &Module, mode: KhaosMode, seed: u64) -> (Module, KhaosContext) {
-    let mut m = baseline.clone();
-    let mut ctx = KhaosContext::new(seed);
-    mode.apply(&mut m, &mut ctx)
-        .expect("khaos obfuscation produced invalid IR");
-    optimize(&mut m, &OptOptions::baseline());
-    (m, ctx)
+pub fn khaos_apply(baseline: &Module, mode: KhaosMode, seed: u64) -> (Module, PassCtx) {
+    run_spec(baseline, &format!("{} | O2+lto", khaos_atom(mode)), seed)
 }
 
 /// Applies the N-way fusion extension (arity 2–4) at the same pipeline
@@ -79,30 +153,30 @@ pub fn khaos_apply(baseline: &Module, mode: KhaosMode, seed: u64) -> (Module, Kh
 /// # Panics
 /// Panics when the arity is outside `2..=4` or the transform produces
 /// invalid IR (both are harness bugs, surfaced loudly).
-pub fn khaos_apply_nway(baseline: &Module, arity: usize, seed: u64) -> (Module, KhaosContext) {
-    let mut m = baseline.clone();
-    let mut ctx = KhaosContext::new(seed);
-    khaos_core::fusion_n(&mut m, &mut ctx, arity).expect("n-way fusion produced invalid IR");
-    optimize(&mut m, &OptOptions::baseline());
-    (m, ctx)
+pub fn khaos_apply_nway(baseline: &Module, arity: usize, seed: u64) -> (Module, PassCtx) {
+    // `fusion_n`, not `fusion(arity=..)`: the sweep must hold the N-way
+    // group-building driver fixed across arity 2..=4 (at arity 2 the
+    // pairwise `fusion` atom is a different pairing algorithm).
+    run_spec(baseline, &format!("fusion_n(arity={arity}) | O2+lto"), seed)
 }
 
 /// Applies an O-LLVM mode to an already-optimized module (same pipeline
 /// position and post-pass optimization as Khaos).
 pub fn obfuscate_ollvm(baseline: &Module, mode: OllvmMode, seed: u64) -> Module {
-    let mut m = baseline.clone();
-    mode.apply(&mut m, seed);
-    optimize(&mut m, &OptOptions::baseline());
-    m
+    run_spec(baseline, &format!("{} | O2+lto", ollvm_atom(mode)), seed).0
 }
 
 /// Builds the module for `config` from an optimized baseline.
 pub fn build_config(baseline: &Module, config: BuildConfig) -> Module {
-    match config {
-        BuildConfig::Baseline => baseline.clone(),
-        BuildConfig::Ollvm(m) => obfuscate_ollvm(baseline, m, SEED),
-        BuildConfig::Khaos(m) => khaos_apply(baseline, m, SEED).0,
-    }
+    run_spec(baseline, &config.spec(), SEED).0
+}
+
+/// Builds and lowers `config`, stamping the binary with the pipeline's
+/// fingerprint as build provenance — the form the diffing drivers feed
+/// to `khaos-diff`, whose embedding cache keys on the provenance-mixed
+/// binary fingerprint.
+pub fn build_binary(baseline: &Module, config: BuildConfig) -> Binary {
+    lower_module(&build_config(baseline, config)).with_build_provenance(config.fingerprint())
 }
 
 /// Simulated runtime of a module in cycles.
@@ -198,9 +272,35 @@ mod tests {
     }
 
     #[test]
-    fn build_config_names() {
+    fn build_config_names_and_specs() {
         assert_eq!(BuildConfig::Khaos(KhaosMode::FuFiOri).name(), "FuFi.ori");
         assert_eq!(BuildConfig::figure8_set().len(), 8);
+        assert_eq!(
+            BuildConfig::Khaos(KhaosMode::FuFiOri).spec(),
+            "fufi_ori | O2+lto"
+        );
+        assert_eq!(
+            BuildConfig::Ollvm(OllvmMode::Fla(0.1)).spec(),
+            "fla(ratio=0.1) | O2+lto"
+        );
+        assert_eq!(BuildConfig::Baseline.spec(), "");
+        // Specs in the table all parse.
+        for cfg in BuildConfig::figure8_set() {
+            cfg.pipeline();
+        }
+    }
+
+    #[test]
+    fn distinct_configs_distinct_fingerprints() {
+        let mut seen = std::collections::HashMap::new();
+        let mut all = BuildConfig::figure8_set();
+        all.push(BuildConfig::Baseline);
+        all.push(BuildConfig::Ollvm(OllvmMode::Fla(1.0)));
+        for cfg in all {
+            if let Some(other) = seen.insert(cfg.fingerprint(), cfg) {
+                panic!("{:?} and {:?} share a fingerprint", cfg, other);
+            }
+        }
     }
 
     #[test]
@@ -210,5 +310,16 @@ mod tests {
         assert_eq!(measure_cycles(&base), measure_cycles(&base));
         let (obf, _) = khaos_apply(&base, KhaosMode::FuFiOri, SEED);
         let _ = measure_cycles(&obf); // must not fault
+    }
+
+    #[test]
+    fn build_binary_stamps_provenance() {
+        let src = coreutils_program("ls", 1);
+        let base = build_baseline(&src);
+        let cfg = BuildConfig::Khaos(KhaosMode::Fission);
+        let bin = build_binary(&base, cfg);
+        assert_eq!(bin.build_provenance, cfg.fingerprint());
+        let other = build_binary(&base, BuildConfig::Ollvm(OllvmMode::Sub(1.0)));
+        assert_ne!(bin.build_provenance, other.build_provenance);
     }
 }

@@ -324,9 +324,24 @@ pub struct Binary {
     pub externals: Vec<ExtSym>,
     /// True when symbol names have been removed.
     pub stripped: bool,
+    /// Build provenance: the fingerprint of the pass pipeline that
+    /// produced this binary (`khaos_pass::Pipeline::fingerprint`), or 0
+    /// when unknown. Mixed into [`Binary::fingerprint`], so cache
+    /// entries keyed on the fingerprint are partitioned by build
+    /// configuration — a warm `khaos-diff` embedding cache can be
+    /// shared across experiment drivers that rebuild the same
+    /// (program, pipeline) pair without any risk of cross-build
+    /// aliasing.
+    pub build_provenance: u64,
 }
 
 impl Binary {
+    /// Stamps the build provenance (builder style); see
+    /// [`Binary::build_provenance`].
+    pub fn with_build_provenance(mut self, fingerprint: u64) -> Self {
+        self.build_provenance = fingerprint;
+        self
+    }
     /// Removes all symbol names (diffing must then work structurally).
     pub fn strip(&mut self) {
         self.stripped = true;
@@ -353,6 +368,7 @@ impl Binary {
     pub fn fingerprint(&self) -> u64 {
         let mut h = Mix::new();
         h.bytes(self.name.as_bytes());
+        h.u64(self.build_provenance);
         h.u64(self.stripped as u64);
         h.u64(self.functions.len() as u64);
         for f in &self.functions {
@@ -530,6 +546,7 @@ mod tests {
         }
         insts.push(MInst::new(Opcode::Ret, vec![]));
         Binary {
+            build_provenance: 0,
             name: "t".into(),
             functions: vec![BinFunction {
                 name: Some("f".into()),

@@ -83,6 +83,7 @@ pub fn lower_module(m: &Module) -> Binary {
         relocations,
         externals,
         stripped: false,
+        build_provenance: 0,
     }
 }
 

@@ -10,15 +10,77 @@
 //! hill-climbing loop (BinTuner's genetic search collapses to this at our
 //! scale), scoring candidates by BinDiff similarity against the `-O0`
 //! build, exactly as the original tool does.
+//!
+//! The search space is *pipelines*: every [`TunerConfig`] is a
+//! declarative generator of a [`khaos_pass::Pipeline`]
+//! ([`TunerConfig::pipeline`]), candidate mutation is pipeline mutation,
+//! and the winning candidate's spec and fingerprint come back in the
+//! [`TunedResult`] as build provenance.
 
 use khaos_binary::{lower_module, Binary};
 use khaos_diff::{binary_similarity, BinDiff};
 use khaos_ir::Module;
-use khaos_opt::{constprop, cse, dce, dfe, inline, mem2reg, simplifycfg};
+use khaos_pass::{InlinePass, PassCtx, Pipeline, ScalarKind, ScalarPass, VerifyPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
 
-/// One point in the option space.
+/// Errors constructing tuner configurations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TunerError {
+    /// A pipeline repetition count outside [`Rounds::MIN`]..=[`Rounds::MAX`].
+    RoundsOutOfRange(u8),
+}
+
+impl fmt::Display for TunerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TunerError::RoundsOutOfRange(n) => write!(
+                f,
+                "rounds {n} outside the supported range {}..={}",
+                Rounds::MIN.get(),
+                Rounds::MAX.get()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TunerError {}
+
+/// Number of pipeline repetitions, valid by construction (1–3).
+///
+/// The range used to be enforced by a silent `clamp(1, 3)` inside
+/// `TunerConfig::apply`, which would quietly rewrite out-of-range search
+/// candidates; now an out-of-range count is a constructor [`TunerError`]
+/// and every held value is valid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Rounds(u8);
+
+impl Rounds {
+    /// The minimum (single application).
+    pub const MIN: Rounds = Rounds(1);
+    /// The maximum repetition count the search explores.
+    pub const MAX: Rounds = Rounds(3);
+
+    /// Validates a repetition count.
+    ///
+    /// # Errors
+    /// [`TunerError::RoundsOutOfRange`] outside `1..=3`.
+    pub fn new(n: u8) -> Result<Rounds, TunerError> {
+        if (Self::MIN.0..=Self::MAX.0).contains(&n) {
+            Ok(Rounds(n))
+        } else {
+            Err(TunerError::RoundsOutOfRange(n))
+        }
+    }
+
+    /// The validated count.
+    pub fn get(self) -> u8 {
+        self.0
+    }
+}
+
+/// One point in the option space — a declarative pipeline generator.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TunerConfig {
     /// mem2reg on/off.
@@ -35,8 +97,8 @@ pub struct TunerConfig {
     pub inline_threshold: usize,
     /// Dead-function elimination (the LTO effect).
     pub lto: bool,
-    /// Number of pipeline repetitions (1–3).
-    pub rounds: u8,
+    /// Number of pipeline repetitions.
+    pub rounds: Rounds,
 }
 
 impl TunerConfig {
@@ -50,43 +112,52 @@ impl TunerConfig {
             simplifycfg: false,
             inline_threshold: 0,
             lto: false,
-            rounds: 1,
+            rounds: Rounds::MIN,
         }
     }
 
-    /// Applies this configuration's pipeline to a module.
-    pub fn apply(&self, m: &mut Module) {
-        for _ in 0..self.rounds.clamp(1, 3) {
-            for f in &mut m.functions {
-                if self.mem2reg {
-                    mem2reg::run_function(f);
-                }
-                if self.constprop {
-                    constprop::run_function(f);
-                }
-                if self.cse {
-                    cse::run_function(f);
-                }
-                if self.dce {
-                    dce::run_function(f);
-                }
-                if self.simplifycfg {
-                    simplifycfg::run_function(f);
+    /// The pipeline this configuration denotes: `rounds` repetitions of
+    /// the enabled scalar passes plus the inliner, then `dfe` under
+    /// LTO. The spec round-trips through `khaos_pass::Pipeline::parse`.
+    pub fn pipeline(&self) -> Pipeline {
+        let mut b = Pipeline::builder();
+        for _ in 0..self.rounds.get() {
+            for (enabled, kind) in [
+                (self.mem2reg, ScalarKind::Mem2Reg),
+                (self.constprop, ScalarKind::ConstProp),
+                (self.cse, ScalarKind::Cse),
+                (self.dce, ScalarKind::Dce),
+                (self.simplifycfg, ScalarKind::SimplifyCfg),
+            ] {
+                if enabled {
+                    b = b.pass(ScalarPass { kind });
                 }
             }
             if self.inline_threshold > 0 {
-                inline::run_module(
-                    m,
-                    &inline::InlineOptions {
-                        threshold: self.inline_threshold,
-                        allow_exported: self.lto,
-                    },
-                );
+                b = b.pass(InlinePass {
+                    threshold: self.inline_threshold,
+                    exported: self.lto,
+                });
             }
         }
         if self.lto {
-            dfe::run_module(m);
+            b = b.pass(khaos_pass::DfePass);
         }
+        b.build()
+    }
+
+    /// Build-provenance fingerprint of [`TunerConfig::pipeline`].
+    pub fn fingerprint(&self) -> u64 {
+        self.pipeline().fingerprint()
+    }
+
+    /// Applies this configuration's pipeline to a module (compatibility
+    /// wrapper over [`TunerConfig::pipeline`]).
+    pub fn apply(&self, m: &mut Module) {
+        let mut ctx = PassCtx::new(0).with_verify(VerifyPolicy::Never);
+        self.pipeline()
+            .run(m, &mut ctx)
+            .expect("tuner pipelines contain no fallible passes");
     }
 
     fn mutate(&self, rng: &mut StdRng) -> Self {
@@ -99,7 +170,10 @@ impl TunerConfig {
             4 => c.simplifycfg = !c.simplifycfg,
             5 => c.inline_threshold = [0usize, 16, 48, 96, 160][rng.gen_range(0..5)],
             6 => c.lto = !c.lto,
-            _ => c.rounds = rng.gen_range(1..=3),
+            _ => {
+                c.rounds = Rounds::new(rng.gen_range(Rounds::MIN.get()..=Rounds::MAX.get()))
+                    .expect("sampled within the valid range")
+            }
         }
         c
     }
@@ -113,7 +187,8 @@ impl TunerConfig {
             simplifycfg: rng.gen_bool(0.5),
             inline_threshold: [0usize, 16, 48, 96, 160][rng.gen_range(0..5)],
             lto: rng.gen_bool(0.5),
-            rounds: rng.gen_range(1..=3),
+            rounds: Rounds::new(rng.gen_range(Rounds::MIN.get()..=Rounds::MAX.get()))
+                .expect("sampled within the valid range"),
         }
     }
 }
@@ -123,12 +198,16 @@ impl TunerConfig {
 pub struct TunedResult {
     /// The best configuration found.
     pub config: TunerConfig,
+    /// The best configuration's pipeline spec (round-trippable through
+    /// `khaos_pass::Pipeline::parse`).
+    pub spec: String,
     /// Its BinDiff similarity against the `-O0` reference (lower = more
     /// different = better for BinTuner).
     pub similarity_vs_o0: f64,
     /// The tuned module.
     pub module: Module,
-    /// The tuned binary.
+    /// The tuned binary, stamped with the winning pipeline's
+    /// fingerprint as build provenance.
     pub binary: Binary,
     /// Candidate evaluations spent.
     pub evaluations: usize,
@@ -145,13 +224,18 @@ pub struct BinTuner {
 
 impl Default for BinTuner {
     fn default() -> Self {
-        BinTuner { budget: 24, seed: 0xB17 }
+        BinTuner {
+            budget: 24,
+            seed: 0xB17,
+        }
     }
 }
 
 impl BinTuner {
     /// Runs the search on `source` (an unoptimized module), maximising
-    /// difference against its `-O0` build.
+    /// difference against its `-O0` build. Candidates are pipeline
+    /// mutations ([`TunerConfig::mutate`] flips one pipeline knob);
+    /// each candidate builds through its generated pipeline.
     pub fn tune(&self, source: &Module) -> TunedResult {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let differ = BinDiff::default();
@@ -160,7 +244,7 @@ impl BinTuner {
         let evaluate = |cfg: &TunerConfig| -> (f64, Module, Binary) {
             let mut m = source.clone();
             cfg.apply(&mut m);
-            let bin = lower_module(&m);
+            let bin = lower_module(&m).with_build_provenance(cfg.fingerprint());
             let sim = binary_similarity(&differ, &baseline, &bin);
             (sim, m, bin)
         };
@@ -186,6 +270,7 @@ impl BinTuner {
         }
         TunedResult {
             config: best_cfg,
+            spec: best_cfg.pipeline().to_string(),
             similarity_vs_o0: best_sim,
             module: best_mod,
             binary: best_bin,
@@ -202,11 +287,18 @@ mod tests {
     #[test]
     fn search_reduces_similarity_vs_o0() {
         let src = coreutils_program("cat", 3);
-        let tuner = BinTuner { budget: 12, seed: 1 };
+        let tuner = BinTuner {
+            budget: 12,
+            seed: 1,
+        };
         let result = tuner.tune(&src);
         // Identity config would give 1.0; the search must find something
         // meaningfully different.
-        assert!(result.similarity_vs_o0 < 0.999, "got {}", result.similarity_vs_o0);
+        assert!(
+            result.similarity_vs_o0 < 0.999,
+            "got {}",
+            result.similarity_vs_o0
+        );
         assert_eq!(result.evaluations, 12);
         khaos_ir::verify::assert_valid(&result.module);
     }
@@ -215,9 +307,16 @@ mod tests {
     fn tuned_module_preserves_behaviour() {
         let src = coreutils_program("wc", 7);
         let want = khaos_vm::run_to_completion(&src, &[5]).unwrap();
-        let result = BinTuner { budget: 10, seed: 2 }.tune(&src);
+        let result = BinTuner {
+            budget: 10,
+            seed: 2,
+        }
+        .tune(&src);
         let got = khaos_vm::run_to_completion(&result.module, &[5]).unwrap();
-        assert_eq!(want.output, got.output, "optimization must preserve behaviour");
+        assert_eq!(
+            want.output, got.output,
+            "optimization must preserve behaviour"
+        );
         assert_eq!(want.exit_code, got.exit_code);
     }
 
@@ -236,5 +335,64 @@ mod tests {
         let mut m = src.clone();
         TunerConfig::o0().apply(&mut m);
         assert_eq!(m, src);
+        assert!(TunerConfig::o0().pipeline().is_empty());
+    }
+
+    #[test]
+    fn rounds_validate_instead_of_clamping() {
+        assert_eq!(Rounds::new(0), Err(TunerError::RoundsOutOfRange(0)));
+        assert_eq!(Rounds::new(4), Err(TunerError::RoundsOutOfRange(4)));
+        assert_eq!(Rounds::new(2).unwrap().get(), 2);
+        assert_eq!(Rounds::MIN.get(), 1);
+        assert_eq!(Rounds::MAX.get(), 3);
+    }
+
+    #[test]
+    fn config_denotes_a_roundtrippable_pipeline() {
+        let cfg = TunerConfig {
+            mem2reg: true,
+            constprop: true,
+            cse: false,
+            dce: true,
+            simplifycfg: true,
+            inline_threshold: 96,
+            lto: true,
+            rounds: Rounds::new(2).unwrap(),
+        };
+        let p = cfg.pipeline();
+        assert_eq!(
+            p.to_string(),
+            "mem2reg | constprop | dce | simplifycfg | \
+             inline(threshold=96,exported=true) | mem2reg | constprop | dce | simplifycfg | \
+             inline(threshold=96,exported=true) | dfe"
+        );
+        let reparsed = Pipeline::parse(&p.to_string()).unwrap();
+        assert_eq!(reparsed, p);
+        assert_eq!(reparsed.fingerprint(), cfg.fingerprint());
+        // Distinct configs, distinct provenance.
+        let mut other = cfg;
+        other.rounds = Rounds::MIN;
+        assert_ne!(other.fingerprint(), cfg.fingerprint());
+    }
+
+    #[test]
+    fn apply_matches_pipeline_run() {
+        let src = coreutils_program("sort", 12);
+        let cfg = TunerConfig {
+            mem2reg: true,
+            constprop: true,
+            cse: true,
+            dce: true,
+            simplifycfg: true,
+            inline_threshold: 48,
+            lto: true,
+            rounds: Rounds::new(3).unwrap(),
+        };
+        let mut a = src.clone();
+        cfg.apply(&mut a);
+        let mut b = src.clone();
+        let mut ctx = PassCtx::new(0).with_verify(VerifyPolicy::Never);
+        cfg.pipeline().run(&mut b, &mut ctx).unwrap();
+        assert_eq!(a, b);
     }
 }

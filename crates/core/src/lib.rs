@@ -22,6 +22,17 @@
 //! All randomness (fusion pairing) flows from the seed in
 //! [`KhaosContext`]; obfuscation is fully deterministic.
 //!
+//! ## Building through pipelines
+//!
+//! The primary interface to these transforms is the `khaos-pass`
+//! pipeline API: each entry point has an adapter pass and a spec atom
+//! (`fission`, `fusion(arity=3)`, `fufi_all`, …), so a whole build is
+//! one declarative, fingerprinted `Pipeline` — e.g.
+//! `"fufi_all | O2+lto"` — sharing a single seeded `PassCtx` RNG
+//! stream. The free functions below remain as thin compatibility
+//! wrappers and are seed-equivalent to the adapters (byte-identical
+//! printed modules for the same seed).
+//!
 //! ```
 //! use khaos_core::{fission, KhaosContext};
 //! use khaos_ir::{builder::FunctionBuilder, Module, Operand, Type, CmpPred, BinOp};
@@ -132,12 +143,29 @@ impl KhaosContext {
 
     /// A context with explicit options.
     pub fn with_options(seed: u64, options: KhaosOptions) -> Self {
+        Self::from_rng(StdRng::seed_from_u64(seed), options)
+    }
+
+    /// A context over an externally-owned RNG stream. This is the hook
+    /// the `khaos-pass` pipeline adapters use: a pipeline threads **one**
+    /// seeded stream through every pass, lending it to each transform in
+    /// turn, so a pass sequence consumes randomness exactly as the
+    /// monolithic legacy entry points did.
+    pub fn from_rng(rng: StdRng, options: KhaosOptions) -> Self {
         KhaosContext {
-            rng: StdRng::seed_from_u64(seed),
+            rng,
             options,
             fission_stats: FissionStats::default(),
             fusion_stats: FusionStats::default(),
         }
+    }
+
+    /// Decomposes the context into its RNG stream and the collected
+    /// statistics — the counterpart of [`KhaosContext::from_rng`] for
+    /// handing the stream (and the Table-2 counters) back to a pipeline
+    /// context.
+    pub fn into_parts(self) -> (StdRng, FissionStats, FusionStats) {
+        (self.rng, self.fission_stats, self.fusion_stats)
     }
 }
 

@@ -512,6 +512,7 @@ mod tests {
             }
             insts.push(inst(Opcode::Ret, vec![]));
             Binary {
+                build_provenance: 0,
                 name: "t".into(),
                 functions: vec![BinFunction {
                     name: Some("f".into()),

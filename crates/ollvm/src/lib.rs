@@ -17,6 +17,13 @@
 //! boundary, call graph position or parameter list — which is exactly why
 //! modern binary diffing sees through them and why Khaos doesn't work
 //! this way.
+//!
+//! The primary interface is the `khaos-pass` pipeline API: the spec
+//! atoms `sub`, `bog` and `fla` (each with a `ratio` argument, e.g.
+//! `fla(ratio=0.1)`) wrap these transforms behind the one `Pass` trait
+//! and draw from the pipeline's single seeded RNG stream.
+//! [`OllvmMode::apply`] remains as a compatibility wrapper and is
+//! seed-equivalent to the one-atom pipeline.
 
 mod bogus;
 mod flatten;
@@ -39,7 +46,20 @@ pub struct OllvmContext {
 impl OllvmContext {
     /// Creates a deterministic context.
     pub fn new(seed: u64) -> Self {
-        OllvmContext { rng: StdRng::seed_from_u64(seed) }
+        Self::from_rng(StdRng::seed_from_u64(seed))
+    }
+
+    /// A context over an externally-owned RNG stream — the hook the
+    /// `khaos-pass` pipeline adapters use to lend their single seeded
+    /// stream to each baseline transform in turn.
+    pub fn from_rng(rng: StdRng) -> Self {
+        OllvmContext { rng }
+    }
+
+    /// Hands the RNG stream back (counterpart of
+    /// [`OllvmContext::from_rng`]).
+    pub fn into_rng(self) -> StdRng {
+        self.rng
     }
 }
 

@@ -18,6 +18,13 @@
 //!
 //! The driver is [`optimize`] with [`OptLevel`] `O0`–`O3` and an `lto`
 //! switch, mirroring the paper's `O2 + LTO` baseline.
+//!
+//! Through the `khaos-pass` pipeline API every pass here is a spec
+//! atom (`mem2reg`, `inline(threshold=96)`, `dfe`, …) and [`optimize`]
+//! is the family of macro-pipeline atoms `O0`..`O3` with an optional
+//! `+lto` suffix — `"fufi_all | O2+lto"` is the paper's whole build in
+//! one declarative, fingerprinted spec. The functions here remain the
+//! implementation the adapters call.
 
 pub mod constprop;
 pub mod cse;

@@ -1,0 +1,108 @@
+//! The stable hasher behind [`crate::Pipeline::fingerprint`].
+
+use std::hash::Hasher;
+
+/// A 64-bit FNV-1a hasher with an explicitly little-endian integer
+/// encoding.
+///
+/// [`std::collections::hash_map::DefaultHasher`] is documented as
+/// unstable across Rust releases and `Hasher`'s default integer methods
+/// feed native-endian bytes, so neither can back a fingerprint that is
+/// meant to key caches and label build artifacts reproducibly. This
+/// hasher is fixed forever: FNV-1a over bytes, multi-byte integers
+/// widened to `u64` and written little-endian.
+#[derive(Clone, Debug)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fingerprint(Self::OFFSET)
+    }
+
+    /// The digest so far (same value [`Hasher::finish`] returns).
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for Fingerprint {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 = (self.0 ^ u64::from(*b)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u8(&mut self, i: u8) {
+        self.write(&[i]);
+    }
+
+    fn write_u16(&mut self, i: u16) {
+        self.write(&u64::from(i).to_le_bytes());
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write(&u64::from(i).to_le_bytes());
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.write(&(i as u64).to_le_bytes());
+    }
+
+    fn write_i64(&mut self, i: i64) {
+        self.write(&i.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_digests() {
+        // The encoding is part of the public fingerprint contract:
+        // these exact values must never change.
+        let mut h = Fingerprint::new();
+        assert_eq!(h.finish(), 0xcbf29ce484222325, "offset basis");
+        h.write(b"fission");
+        assert_eq!(h.finish(), 0xd7aa2e77064cd9a0, "fnv1a(\"fission\")");
+    }
+
+    #[test]
+    fn integers_widen_to_le_u64() {
+        let mut a = Fingerprint::new();
+        a.write_u32(7);
+        let mut b = Fingerprint::new();
+        b.write_u64(7);
+        let mut c = Fingerprint::new();
+        c.write_usize(7);
+        assert_eq!(a.finish(), b.finish());
+        assert_eq!(b.finish(), c.finish());
+    }
+
+    #[test]
+    fn order_sensitive() {
+        let mut a = Fingerprint::new();
+        a.write(b"ab");
+        let mut b = Fingerprint::new();
+        b.write(b"ba");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

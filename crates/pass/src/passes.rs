@@ -1,0 +1,668 @@
+//! Adapter passes wrapping every existing transform behind the one
+//! [`Pass`] trait.
+//!
+//! Each adapter drives the *same* underlying implementation as the
+//! legacy entry point it shadows (`khaos_core::fission`,
+//! `khaos_ollvm::substitution`, `khaos_opt::optimize`, …) over the
+//! [`PassCtx`]'s single RNG stream, so a one-atom pipeline is
+//! byte-identical to the legacy call for the same seed (pinned by
+//! `tests/seed_equivalence.rs`). Verification is left to the pipeline's
+//! [`crate::VerifyPolicy`] — adapters never self-verify.
+
+use crate::{Pass, PassCtx, PassError, PassReport};
+use khaos_core::KhaosOptions;
+use khaos_ir::{Function, Module, ProvKind};
+use khaos_opt::{inline, OptLevel, OptOptions};
+use std::fmt;
+use std::hash::Hasher;
+
+fn not_trampoline(f: &Function) -> bool {
+    f.provenance.kind != ProvKind::Trampoline
+}
+
+fn sep_or_original(f: &Function) -> bool {
+    matches!(f.provenance.kind, ProvKind::Sep | ProvKind::Original)
+}
+
+/// The fission primitive (paper §3.2): every eligible function is
+/// separated into `sepFunc`s and a `remFunc`. Spec atom: `fission`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FissionPass;
+
+impl fmt::Display for FissionPass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fission")
+    }
+}
+
+impl Pass for FissionPass {
+    fn fingerprint(&self, h: &mut dyn Hasher) {
+        h.write(b"fission");
+    }
+
+    fn run(&self, m: &mut Module, ctx: &mut PassCtx) -> Result<PassReport, PassError> {
+        PassReport::capture(self.name(), m, |m| {
+            ctx.lend_khaos(None, |k| khaos_core::fission::run(m, k));
+            Ok(())
+        })
+    }
+}
+
+/// The fusion primitive (paper §3.3): eligible functions are randomly
+/// aggregated into `fusFunc`s. Spec atom: `fusion`, with `arity` (2–4,
+/// default 2; >2 selects the N-way extension) and `deep` (deep fusion
+/// of innocuous blocks; defaults to the context's option).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FusionPass {
+    /// Constituents per `fusFunc` (2–4; the §A.1 tag-bit budget).
+    pub arity: usize,
+    /// Per-pass override of [`KhaosOptions::deep_fusion`].
+    pub deep: Option<bool>,
+}
+
+impl Default for FusionPass {
+    fn default() -> Self {
+        FusionPass {
+            arity: 2,
+            deep: None,
+        }
+    }
+}
+
+impl fmt::Display for FusionPass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fusion")?;
+        write_args(
+            f,
+            &[
+                ("arity", (self.arity != 2).then(|| self.arity.to_string())),
+                ("deep", self.deep.map(|d| d.to_string())),
+            ],
+        )
+    }
+}
+
+impl Pass for FusionPass {
+    fn fingerprint(&self, h: &mut dyn Hasher) {
+        h.write(b"fusion");
+        h.write_usize(self.arity);
+        h.write_u8(match self.deep {
+            None => 2,
+            Some(false) => 0,
+            Some(true) => 1,
+        });
+    }
+
+    fn run(&self, m: &mut Module, ctx: &mut PassCtx) -> Result<PassReport, PassError> {
+        check_arity(self.arity, "fusion")?;
+        let options = self.deep.map(|deep| KhaosOptions {
+            deep_fusion: deep,
+            ..ctx.options.clone()
+        });
+        let arity = self.arity;
+        PassReport::capture(self.name(), m, |m| {
+            ctx.lend_khaos(options, |k| {
+                if arity == 2 {
+                    khaos_core::fusion::run(m, k, not_trampoline);
+                } else {
+                    khaos_core::fusion::nway::run_n(m, k, arity, not_trampoline);
+                }
+            });
+            Ok(())
+        })
+    }
+}
+
+fn check_arity(arity: usize, pass: &str) -> Result<(), PassError> {
+    if (2..=khaos_core::fusion::MAX_ARITY).contains(&arity) {
+        Ok(())
+    } else {
+        Err(PassError::Unsupported {
+            pass: pass.into(),
+            detail: format!("arity {arity} outside the supported range 2..=4"),
+        })
+    }
+}
+
+/// The N-way fusion extension driver at any arity, exactly the legacy
+/// `khaos_core::fusion_n` entry point — including arity 2, where the
+/// N-way group-building algorithm pairs differently than the pairwise
+/// [`FusionPass`]. Spec atom: `fusion_n` with `arity` (2–4, default 2).
+///
+/// (`fusion(arity=k)` at `k >= 3` runs the same driver; this atom
+/// exists so arity sweeps can hold the *driver* fixed across
+/// `arity = 2..=4`, as the `ext-arity` experiment requires.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FusionNPass {
+    /// Constituents per `fusFunc` (2–4).
+    pub arity: usize,
+}
+
+impl Default for FusionNPass {
+    fn default() -> Self {
+        FusionNPass { arity: 2 }
+    }
+}
+
+impl fmt::Display for FusionNPass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fusion_n")?;
+        write_args(
+            f,
+            &[("arity", (self.arity != 2).then(|| self.arity.to_string()))],
+        )
+    }
+}
+
+impl Pass for FusionNPass {
+    fn fingerprint(&self, h: &mut dyn Hasher) {
+        h.write(b"fusion_n");
+        h.write_usize(self.arity);
+    }
+
+    fn run(&self, m: &mut Module, ctx: &mut PassCtx) -> Result<PassReport, PassError> {
+        check_arity(self.arity, "fusion_n")?;
+        let arity = self.arity;
+        PassReport::capture(self.name(), m, |m| {
+            ctx.lend_khaos(None, |k| {
+                khaos_core::fusion::nway::run_n(m, k, arity, not_trampoline);
+            });
+            Ok(())
+        })
+    }
+}
+
+/// Which functions the fusion half of a FuFi combination may touch
+/// (paper §3.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FufiKind {
+    /// Fuse only the `sepFunc`s fission created.
+    Sep,
+    /// Fuse only functions fission left untouched.
+    Ori,
+    /// Fuse `sepFunc`s and untouched originals uniformly.
+    All,
+}
+
+impl FufiKind {
+    fn atom(self) -> &'static str {
+        match self {
+            FufiKind::Sep => "fufi_sep",
+            FufiKind::Ori => "fufi_ori",
+            FufiKind::All => "fufi_all",
+        }
+    }
+}
+
+/// A FuFi combination: fission, then pairwise fusion over the
+/// [`FufiKind`] selection. Spec atoms: `fufi_sep`, `fufi_ori`,
+/// `fufi_all`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FufiPass {
+    /// The fusion selection.
+    pub kind: FufiKind,
+}
+
+impl fmt::Display for FufiPass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind.atom())
+    }
+}
+
+impl Pass for FufiPass {
+    fn fingerprint(&self, h: &mut dyn Hasher) {
+        h.write(self.kind.atom().as_bytes());
+    }
+
+    fn run(&self, m: &mut Module, ctx: &mut PassCtx) -> Result<PassReport, PassError> {
+        let kind = self.kind;
+        PassReport::capture(self.name(), m, |m| {
+            ctx.lend_khaos(None, |k| {
+                khaos_core::fission::run(m, k);
+                match kind {
+                    FufiKind::Sep => {
+                        khaos_core::fusion::run(m, k, |f| f.provenance.kind == ProvKind::Sep)
+                    }
+                    FufiKind::Ori => {
+                        khaos_core::fusion::run(m, k, |f| f.provenance.kind == ProvKind::Original)
+                    }
+                    FufiKind::All => khaos_core::fusion::run(m, k, sep_or_original),
+                }
+            });
+            Ok(())
+        })
+    }
+}
+
+/// FuFi.all at a chosen N-way fusion arity (the `fufi_n` extension):
+/// fission, then N-way fusion over `sepFunc`s and untouched originals.
+/// Spec atom: `fufi_n` with `arity` (2–4, default 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FufiNPass {
+    /// Constituents per `fusFunc` (2–4).
+    pub arity: usize,
+}
+
+impl Default for FufiNPass {
+    fn default() -> Self {
+        FufiNPass { arity: 2 }
+    }
+}
+
+impl fmt::Display for FufiNPass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fufi_n")?;
+        write_args(
+            f,
+            &[("arity", (self.arity != 2).then(|| self.arity.to_string()))],
+        )
+    }
+}
+
+impl Pass for FufiNPass {
+    fn fingerprint(&self, h: &mut dyn Hasher) {
+        h.write(b"fufi_n");
+        h.write_usize(self.arity);
+    }
+
+    fn run(&self, m: &mut Module, ctx: &mut PassCtx) -> Result<PassReport, PassError> {
+        check_arity(self.arity, "fufi_n")?;
+        let arity = self.arity;
+        PassReport::capture(self.name(), m, |m| {
+            ctx.lend_khaos(None, |k| {
+                khaos_core::fission::run(m, k);
+                khaos_core::fusion::nway::run_n(m, k, arity, sep_or_original);
+            });
+            Ok(())
+        })
+    }
+}
+
+/// Which O-LLVM baseline transform an [`OllvmPass`] applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OllvmKind {
+    /// Instruction substitution (**Sub**).
+    Sub,
+    /// Bogus control flow (**Bog**).
+    Bog,
+    /// Control-flow flattening (**Fla**).
+    Fla,
+}
+
+impl OllvmKind {
+    fn atom(self) -> &'static str {
+        match self {
+            OllvmKind::Sub => "sub",
+            OllvmKind::Bog => "bog",
+            OllvmKind::Fla => "fla",
+        }
+    }
+}
+
+/// An O-LLVM baseline transform at a ratio of functions/instructions
+/// (paper §2.2). Spec atoms: `sub`, `bog`, `fla`, each with `ratio`
+/// (0–1, default 1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OllvmPass {
+    /// Which transform.
+    pub kind: OllvmKind,
+    /// Application ratio in `[0, 1]`.
+    pub ratio: f64,
+}
+
+impl OllvmPass {
+    /// A transform at full ratio.
+    pub fn full(kind: OllvmKind) -> Self {
+        OllvmPass { kind, ratio: 1.0 }
+    }
+}
+
+impl fmt::Display for OllvmPass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind.atom())?;
+        write_args(
+            f,
+            &[("ratio", (self.ratio < 1.0).then(|| self.ratio.to_string()))],
+        )
+    }
+}
+
+impl Pass for OllvmPass {
+    fn fingerprint(&self, h: &mut dyn Hasher) {
+        h.write(self.kind.atom().as_bytes());
+        h.write_u64(self.ratio.to_bits());
+    }
+
+    fn run(&self, m: &mut Module, ctx: &mut PassCtx) -> Result<PassReport, PassError> {
+        if !(0.0..=1.0).contains(&self.ratio) {
+            return Err(PassError::Unsupported {
+                pass: self.kind.atom().into(),
+                detail: format!("ratio {} outside [0, 1]", self.ratio),
+            });
+        }
+        let (kind, ratio) = (self.kind, self.ratio);
+        PassReport::capture(self.name(), m, |m| {
+            ctx.lend_ollvm(|o| match kind {
+                OllvmKind::Sub => khaos_ollvm::substitution(m, o, ratio),
+                OllvmKind::Bog => khaos_ollvm::bogus_control_flow(m, o, ratio),
+                OllvmKind::Fla => khaos_ollvm::flattening(m, o, ratio),
+            });
+            Ok(())
+        })
+    }
+}
+
+/// One scalar cleanup pass applied function-by-function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScalarKind {
+    /// Alloca promotion.
+    Mem2Reg,
+    /// Constant/copy propagation and folding.
+    ConstProp,
+    /// Local common-subexpression elimination.
+    Cse,
+    /// Liveness-based dead code elimination.
+    Dce,
+    /// CFG simplification.
+    SimplifyCfg,
+}
+
+impl ScalarKind {
+    fn atom(self) -> &'static str {
+        match self {
+            ScalarKind::Mem2Reg => "mem2reg",
+            ScalarKind::ConstProp => "constprop",
+            ScalarKind::Cse => "cse",
+            ScalarKind::Dce => "dce",
+            ScalarKind::SimplifyCfg => "simplifycfg",
+        }
+    }
+
+    fn run_function(self, f: &mut Function) {
+        match self {
+            ScalarKind::Mem2Reg => {
+                khaos_opt::mem2reg::run_function(f);
+            }
+            ScalarKind::ConstProp => {
+                khaos_opt::constprop::run_function(f);
+            }
+            ScalarKind::Cse => {
+                khaos_opt::cse::run_function(f);
+            }
+            ScalarKind::Dce => {
+                khaos_opt::dce::run_function(f);
+            }
+            ScalarKind::SimplifyCfg => {
+                khaos_opt::simplifycfg::run_function(f);
+            }
+        }
+    }
+}
+
+/// A single `khaos-opt` scalar pass over every function. Spec atoms:
+/// `mem2reg`, `constprop`, `cse`, `dce`, `simplifycfg`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScalarPass {
+    /// Which scalar pass.
+    pub kind: ScalarKind,
+}
+
+impl fmt::Display for ScalarPass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind.atom())
+    }
+}
+
+impl Pass for ScalarPass {
+    fn fingerprint(&self, h: &mut dyn Hasher) {
+        h.write(self.kind.atom().as_bytes());
+    }
+
+    fn run(&self, m: &mut Module, _ctx: &mut PassCtx) -> Result<PassReport, PassError> {
+        let kind = self.kind;
+        PassReport::capture(self.name(), m, |m| {
+            for f in &mut m.functions {
+                kind.run_function(f);
+            }
+            Ok(())
+        })
+    }
+}
+
+/// Bottom-up inlining. Spec atom: `inline` with `threshold`
+/// (instruction count, default 48) and `exported` (inline across
+/// module boundaries, default false).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InlinePass {
+    /// Inliner cost threshold (instructions).
+    pub threshold: usize,
+    /// Allow inlining exported functions (the LTO effect).
+    pub exported: bool,
+}
+
+impl Default for InlinePass {
+    fn default() -> Self {
+        InlinePass {
+            threshold: 48,
+            exported: false,
+        }
+    }
+}
+
+impl fmt::Display for InlinePass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inline")?;
+        write_args(
+            f,
+            &[
+                (
+                    "threshold",
+                    (self.threshold != 48).then(|| self.threshold.to_string()),
+                ),
+                ("exported", self.exported.then(|| "true".to_string())),
+            ],
+        )
+    }
+}
+
+impl Pass for InlinePass {
+    fn fingerprint(&self, h: &mut dyn Hasher) {
+        h.write(b"inline");
+        h.write_usize(self.threshold);
+        h.write_u8(self.exported as u8);
+    }
+
+    fn run(&self, m: &mut Module, _ctx: &mut PassCtx) -> Result<PassReport, PassError> {
+        let opts = inline::InlineOptions {
+            threshold: self.threshold,
+            allow_exported: self.exported,
+        };
+        PassReport::capture(self.name(), m, |m| {
+            inline::run_module(m, &opts);
+            Ok(())
+        })
+    }
+}
+
+/// Dead internal function elimination (the LTO effect). Spec atom:
+/// `dfe`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DfePass;
+
+impl fmt::Display for DfePass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dfe")
+    }
+}
+
+impl Pass for DfePass {
+    fn fingerprint(&self, h: &mut dyn Hasher) {
+        h.write(b"dfe");
+    }
+
+    fn run(&self, m: &mut Module, _ctx: &mut PassCtx) -> Result<PassReport, PassError> {
+        PassReport::capture(self.name(), m, |m| {
+            khaos_opt::dfe::run_module(m);
+            Ok(())
+        })
+    }
+}
+
+/// An `-O` macro-pipeline, exactly [`khaos_opt::optimize`]. Spec atoms:
+/// `O0`..`O3`, with an optional `+lto` suffix and an `inline` threshold
+/// override, e.g. `O2+lto`, `O3(inline=96)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OptPass {
+    /// Optimization level.
+    pub level: OptLevel,
+    /// Link-time optimization.
+    pub lto: bool,
+    /// Inliner threshold override.
+    pub inline_threshold: Option<usize>,
+}
+
+impl OptPass {
+    /// The paper's baseline: `O2+lto`.
+    pub fn baseline() -> Self {
+        OptPass {
+            level: OptLevel::O2,
+            lto: true,
+            inline_threshold: None,
+        }
+    }
+
+    /// A bare level without LTO.
+    pub fn level(level: OptLevel) -> Self {
+        OptPass {
+            level,
+            lto: false,
+            inline_threshold: None,
+        }
+    }
+}
+
+impl fmt::Display for OptPass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.level.name())?;
+        if self.lto {
+            write!(f, "+lto")?;
+        }
+        write_args(
+            f,
+            &[("inline", self.inline_threshold.map(|t| t.to_string()))],
+        )
+    }
+}
+
+impl Pass for OptPass {
+    fn fingerprint(&self, h: &mut dyn Hasher) {
+        h.write(self.level.name().as_bytes());
+        h.write_u8(self.lto as u8);
+        match self.inline_threshold {
+            None => h.write_u8(0),
+            Some(t) => {
+                h.write_u8(1);
+                h.write_usize(t);
+            }
+        }
+    }
+
+    fn run(&self, m: &mut Module, _ctx: &mut PassCtx) -> Result<PassReport, PassError> {
+        let opts = OptOptions {
+            level: self.level,
+            lto: self.lto,
+            inline_threshold: self.inline_threshold,
+        };
+        PassReport::capture(self.name(), m, |m| {
+            khaos_opt::optimize(m, &opts);
+            Ok(())
+        })
+    }
+}
+
+/// Renders `(k=v,...)` for the `Some` arguments, or nothing when all
+/// are `None` — the shared canonical-form helper.
+fn write_args(f: &mut fmt::Formatter<'_>, args: &[(&str, Option<String>)]) -> fmt::Result {
+    let mut open = false;
+    for (key, value) in args {
+        if let Some(v) = value {
+            write!(f, "{}{key}={v}", if open { "," } else { "(" })?;
+            open = true;
+        }
+    }
+    if open {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pipeline;
+
+    #[test]
+    fn canonical_atoms_omit_defaults() {
+        assert_eq!(FusionPass::default().to_string(), "fusion");
+        assert_eq!(
+            FusionPass {
+                arity: 3,
+                deep: Some(false)
+            }
+            .to_string(),
+            "fusion(arity=3,deep=false)"
+        );
+        assert_eq!(FufiNPass { arity: 4 }.to_string(), "fufi_n(arity=4)");
+        assert_eq!(OllvmPass::full(OllvmKind::Sub).to_string(), "sub");
+        assert_eq!(
+            OllvmPass {
+                kind: OllvmKind::Fla,
+                ratio: 0.1
+            }
+            .to_string(),
+            "fla(ratio=0.1)"
+        );
+        assert_eq!(OptPass::baseline().to_string(), "O2+lto");
+        assert_eq!(OptPass::level(OptLevel::O1).to_string(), "O1");
+        assert_eq!(
+            InlinePass {
+                threshold: 96,
+                exported: true
+            }
+            .to_string(),
+            "inline(threshold=96,exported=true)"
+        );
+        assert_eq!(InlinePass::default().to_string(), "inline");
+    }
+
+    #[test]
+    fn out_of_domain_knobs_error() {
+        let mut m = Module::new("m");
+        let mut ctx = PassCtx::new(1);
+        let e = FusionPass {
+            arity: 5,
+            deep: None,
+        }
+        .run(&mut m, &mut ctx)
+        .unwrap_err();
+        assert!(matches!(e, PassError::Unsupported { .. }), "{e}");
+        let e = OllvmPass {
+            kind: OllvmKind::Bog,
+            ratio: 1.5,
+        }
+        .run(&mut m, &mut ctx)
+        .unwrap_err();
+        assert!(matches!(e, PassError::Unsupported { .. }), "{e}");
+    }
+
+    #[test]
+    fn distinct_knobs_distinct_fingerprints() {
+        let fp = |spec: &str| Pipeline::parse(spec).unwrap().fingerprint();
+        assert_ne!(fp("fla(ratio=0.1)"), fp("fla(ratio=1)"));
+        assert_ne!(fp("fusion"), fp("fusion(deep=false)"));
+        assert_ne!(fp("fusion"), fp("fusion(arity=3)"));
+        assert_ne!(fp("O2"), fp("O2+lto"));
+        assert_ne!(fp("sub"), fp("bog"));
+        assert_ne!(fp("inline"), fp("inline(threshold=96)"));
+    }
+}

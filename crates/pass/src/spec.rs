@@ -1,0 +1,303 @@
+//! The textual pipeline spec grammar: `|`-separated atoms, each
+//! `name` or `name(key=value,...)`. Parsing is the inverse of the
+//! passes' canonical `Display` — `Pipeline::parse(p.to_string()) == p`.
+
+use crate::passes::{
+    DfePass, FissionPass, FufiKind, FufiNPass, FufiPass, FusionNPass, FusionPass, InlinePass,
+    OllvmKind, OllvmPass, OptPass, ScalarKind, ScalarPass,
+};
+use crate::Pass;
+use khaos_opt::OptLevel;
+use std::fmt;
+
+/// A pipeline spec failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    /// What went wrong, mentioning the offending atom.
+    pub message: String,
+}
+
+impl SpecError {
+    fn new(message: impl Into<String>) -> Self {
+        SpecError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pipeline spec error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+pub(crate) fn parse_pipeline(spec: &str) -> Result<Vec<Box<dyn Pass>>, SpecError> {
+    if spec.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    spec.split('|').map(parse_atom).collect()
+}
+
+/// One `key=value` argument.
+struct Arg<'a> {
+    key: &'a str,
+    value: &'a str,
+    used: bool,
+}
+
+fn parse_atom(atom: &str) -> Result<Box<dyn Pass>, SpecError> {
+    let atom = atom.trim();
+    let (head, mut args) = split_args(atom)?;
+    if head.is_empty() {
+        return Err(SpecError::new("empty atom (stray `|`?)"));
+    }
+
+    let pass: Box<dyn Pass> = match head {
+        "fission" => Box::new(FissionPass),
+        "fusion" => Box::new(FusionPass {
+            arity: take_arity(&mut args, head)?,
+            deep: take_bool(&mut args, "deep", head)?,
+        }),
+        "fusion_n" => Box::new(FusionNPass {
+            arity: take_arity(&mut args, head)?,
+        }),
+        "fufi_sep" => Box::new(FufiPass {
+            kind: FufiKind::Sep,
+        }),
+        "fufi_ori" => Box::new(FufiPass {
+            kind: FufiKind::Ori,
+        }),
+        "fufi_all" => Box::new(FufiPass {
+            kind: FufiKind::All,
+        }),
+        "fufi_n" => Box::new(FufiNPass {
+            arity: take_arity(&mut args, head)?,
+        }),
+        "sub" | "bog" | "fla" => {
+            let kind = match head {
+                "sub" => OllvmKind::Sub,
+                "bog" => OllvmKind::Bog,
+                _ => OllvmKind::Fla,
+            };
+            let ratio = take_f64(&mut args, "ratio", head)?.unwrap_or(1.0);
+            if !(0.0..=1.0).contains(&ratio) {
+                return Err(SpecError::new(format!(
+                    "`{head}`: ratio {ratio} outside [0, 1]"
+                )));
+            }
+            Box::new(OllvmPass { kind, ratio })
+        }
+        "mem2reg" => scalar(ScalarKind::Mem2Reg),
+        "constprop" => scalar(ScalarKind::ConstProp),
+        "cse" => scalar(ScalarKind::Cse),
+        "dce" => scalar(ScalarKind::Dce),
+        "simplifycfg" => scalar(ScalarKind::SimplifyCfg),
+        "inline" => Box::new(InlinePass {
+            threshold: take_usize(&mut args, "threshold", head)?.unwrap_or(48),
+            exported: take_bool(&mut args, "exported", head)?.unwrap_or(false),
+        }),
+        "dfe" => Box::new(DfePass),
+        _ => parse_opt_level(head, &mut args)?,
+    };
+
+    if let Some(unused) = args.iter().find(|a| !a.used) {
+        return Err(SpecError::new(format!(
+            "`{head}` does not take an argument `{}`",
+            unused.key
+        )));
+    }
+    Ok(pass)
+}
+
+fn scalar(kind: ScalarKind) -> Box<dyn Pass> {
+    Box::new(ScalarPass { kind })
+}
+
+fn parse_opt_level<'a>(head: &'a str, args: &mut [Arg<'a>]) -> Result<Box<dyn Pass>, SpecError> {
+    let (level_str, lto) = match head.strip_suffix("+lto") {
+        Some(l) => (l, true),
+        None => (head, false),
+    };
+    let level = match level_str {
+        "O0" => OptLevel::O0,
+        "O1" => OptLevel::O1,
+        "O2" => OptLevel::O2,
+        "O3" => OptLevel::O3,
+        _ => return Err(SpecError::new(format!("unknown pass `{head}`"))),
+    };
+    Ok(Box::new(OptPass {
+        level,
+        lto,
+        inline_threshold: take_usize(args, "inline", head)?,
+    }))
+}
+
+/// Fusion arity, validated against the §A.1 tag-bit domain at parse
+/// time so a parsed pipeline never fails on ranges the grammar could
+/// have caught.
+fn take_arity(args: &mut [Arg<'_>], head: &str) -> Result<usize, SpecError> {
+    let arity = take_usize(args, "arity", head)?.unwrap_or(2);
+    if (2..=4).contains(&arity) {
+        Ok(arity)
+    } else {
+        Err(SpecError::new(format!(
+            "`{head}`: arity {arity} outside the supported range 2..=4"
+        )))
+    }
+}
+
+fn split_args(atom: &str) -> Result<(&str, Vec<Arg<'_>>), SpecError> {
+    let Some(open) = atom.find('(') else {
+        return Ok((atom, Vec::new()));
+    };
+    let Some(stripped) = atom[open..]
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+    else {
+        return Err(SpecError::new(format!(
+            "malformed argument list in `{atom}` (expected `name(key=value,...)`)"
+        )));
+    };
+    let head = atom[..open].trim_end();
+    let mut args = Vec::new();
+    for part in stripped.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err(SpecError::new(format!("empty argument in `{atom}`")));
+        }
+        let Some((key, value)) = part.split_once('=') else {
+            return Err(SpecError::new(format!(
+                "argument `{part}` in `{atom}` is not `key=value`"
+            )));
+        };
+        args.push(Arg {
+            key: key.trim(),
+            value: value.trim(),
+            used: false,
+        });
+    }
+    Ok((head, args))
+}
+
+fn take<'a>(args: &mut [Arg<'a>], key: &str) -> Option<&'a str> {
+    args.iter_mut().find(|a| a.key == key && !a.used).map(|a| {
+        a.used = true;
+        a.value
+    })
+}
+
+fn take_usize(args: &mut [Arg<'_>], key: &str, head: &str) -> Result<Option<usize>, SpecError> {
+    take(args, key)
+        .map(|v| {
+            v.parse()
+                .map_err(|_| SpecError::new(format!("`{head}`: `{key}={v}` is not an integer")))
+        })
+        .transpose()
+}
+
+fn take_f64(args: &mut [Arg<'_>], key: &str, head: &str) -> Result<Option<f64>, SpecError> {
+    take(args, key)
+        .map(|v| {
+            v.parse()
+                .map_err(|_| SpecError::new(format!("`{head}`: `{key}={v}` is not a number")))
+        })
+        .transpose()
+}
+
+fn take_bool(args: &mut [Arg<'_>], key: &str, head: &str) -> Result<Option<bool>, SpecError> {
+    take(args, key)
+        .map(|v| match v {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            _ => Err(SpecError::new(format!(
+                "`{head}`: `{key}={v}` is not `true`/`false`"
+            ))),
+        })
+        .transpose()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Pipeline;
+
+    fn roundtrip(spec: &str) -> String {
+        Pipeline::parse(spec).unwrap().to_string()
+    }
+
+    #[test]
+    fn canonicalizes_whitespace_and_defaults() {
+        assert_eq!(
+            roundtrip("  fission |fusion( arity=2 , deep=false ) |  O2+lto "),
+            "fission | fusion(deep=false) | O2+lto"
+        );
+        assert_eq!(roundtrip("sub(ratio=1)"), "sub");
+        assert_eq!(roundtrip("fla(ratio=0.1)"), "fla(ratio=0.1)");
+        assert_eq!(roundtrip("inline(threshold=48)"), "inline");
+        assert_eq!(roundtrip("O3(inline=96)"), "O3(inline=96)");
+    }
+
+    #[test]
+    fn every_atom_parses() {
+        for atom in [
+            "fission",
+            "fusion",
+            "fusion(arity=3)",
+            "fusion(arity=4,deep=true)",
+            "fusion_n",
+            "fusion_n(arity=2)",
+            "fusion_n(arity=4)",
+            "fufi_sep",
+            "fufi_ori",
+            "fufi_all",
+            "fufi_n",
+            "fufi_n(arity=3)",
+            "sub",
+            "bog",
+            "fla",
+            "sub(ratio=0.25)",
+            "mem2reg",
+            "constprop",
+            "cse",
+            "dce",
+            "simplifycfg",
+            "inline",
+            "inline(threshold=16,exported=true)",
+            "dfe",
+            "O0",
+            "O1",
+            "O2",
+            "O3",
+            "O2+lto",
+            "O3+lto(inline=24)",
+        ] {
+            let p = Pipeline::parse(atom).unwrap_or_else(|e| panic!("{atom}: {e}"));
+            assert_eq!(p.len(), 1, "{atom}");
+            // Round-trip through the canonical form.
+            let canon = p.to_string();
+            assert_eq!(Pipeline::parse(&canon).unwrap(), p, "{atom} vs {canon}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "warp",
+            "fission(x=1)",
+            "fusion(arity=5)",
+            "fusion(arity=two)",
+            "fufi_n(arity=1)",
+            "sub(ratio=1.5)",
+            "sub(ratio=-0.1)",
+            "fla(ratio)",
+            "inline(exported=yes)",
+            "O4",
+            "O2+pgo",
+            "fusion(arity=2",
+            "fission | | fusion",
+        ] {
+            assert!(Pipeline::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Pins the compatibility contract of the pipeline redesign: every
+//! adapter pass produces a **byte-identical printed module** to the
+//! legacy entry point it wraps, for the same seed — including
+//! multi-pass sequences (the legacy `obfuscate_ollvm`/`khaos_apply`
+//! shapes) and the collected Table-2 statistics.
+
+use khaos_core::{KhaosContext, KhaosMode};
+use khaos_ir::printer::print_module;
+use khaos_ir::Module;
+use khaos_ollvm::OllvmMode;
+use khaos_opt::{optimize, OptLevel, OptOptions};
+use khaos_pass::{PassCtx, Pipeline};
+use khaos_workloads::{coreutils_program, spec2006};
+
+const SEED: u64 = 0xC60_2023;
+
+fn programs() -> Vec<Module> {
+    let mut v = vec![
+        spec2006().swap_remove(3), // 429.mcf stand-in
+        coreutils_program("cat", 6),
+        coreutils_program("sort", 77),
+    ];
+    // The paper's pipeline position: obfuscation runs over the
+    // already-optimized module.
+    for m in &mut v {
+        optimize(m, &OptOptions::baseline());
+    }
+    v
+}
+
+fn pipeline_build(base: &Module, spec: &str, seed: u64) -> (Module, PassCtx) {
+    let mut m = base.clone();
+    let pipeline = Pipeline::parse(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+    let (_, ctx) = pipeline
+        .run_seeded(&mut m, seed)
+        .unwrap_or_else(|e| panic!("{spec}: {e}"));
+    (m, ctx)
+}
+
+#[test]
+fn khaos_entry_points_match_their_adapters() {
+    type Legacy = fn(&mut Module, &mut KhaosContext) -> Result<(), khaos_core::KhaosError>;
+    let cases: Vec<(&str, Legacy)> = vec![
+        ("fission", khaos_core::fission),
+        ("fusion", khaos_core::fusion),
+        ("fufi_sep", khaos_core::fufi_sep),
+        ("fufi_ori", khaos_core::fufi_ori),
+        ("fufi_all", khaos_core::fufi_all),
+    ];
+    for base in programs() {
+        for (spec, legacy) in &cases {
+            let mut want = base.clone();
+            let mut kctx = KhaosContext::new(SEED);
+            legacy(&mut want, &mut kctx).unwrap();
+
+            let (got, pctx) = pipeline_build(&base, spec, SEED);
+            assert_eq!(
+                print_module(&want),
+                print_module(&got),
+                "{}: `{spec}` diverged from the legacy entry point",
+                base.name
+            );
+            assert_eq!(
+                kctx.fission_stats, pctx.fission_stats,
+                "{}: `{spec}` fission stats diverged",
+                base.name
+            );
+            assert_eq!(
+                kctx.fusion_stats, pctx.fusion_stats,
+                "{}: `{spec}` fusion stats diverged",
+                base.name
+            );
+        }
+    }
+}
+
+#[test]
+fn nway_entry_points_match_their_adapters() {
+    for base in programs().into_iter().take(2) {
+        // The `fusion_n` atom is the N-way driver at *every* arity —
+        // including 2, where the pairwise `fusion` atom is a different
+        // pairing algorithm.
+        for arity in 2..=4usize {
+            let mut want = base.clone();
+            let mut kctx = KhaosContext::new(SEED);
+            khaos_core::fusion_n(&mut want, &mut kctx, arity).unwrap();
+            let (got, _) = pipeline_build(&base, &format!("fusion_n(arity={arity})"), SEED);
+            assert_eq!(print_module(&want), print_module(&got), "fusion_n({arity})");
+        }
+        // `fusion(arity=k)` at k >= 3 runs the same N-way driver.
+        for arity in 3..=4usize {
+            let mut want = base.clone();
+            let mut kctx = KhaosContext::new(SEED);
+            khaos_core::fusion_n(&mut want, &mut kctx, arity).unwrap();
+            let (got, _) = pipeline_build(&base, &format!("fusion(arity={arity})"), SEED);
+            assert_eq!(
+                print_module(&want),
+                print_module(&got),
+                "fusion(arity={arity})"
+            );
+        }
+        for arity in 2..=4usize {
+            let mut want = base.clone();
+            let mut kctx = KhaosContext::new(SEED);
+            khaos_core::fufi_n(&mut want, &mut kctx, arity).unwrap();
+            let (got, _) = pipeline_build(&base, &format!("fufi_n(arity={arity})"), SEED);
+            assert_eq!(print_module(&want), print_module(&got), "fufi_n({arity})");
+        }
+    }
+}
+
+#[test]
+fn ollvm_modes_match_their_adapters() {
+    let cases = [
+        ("sub", OllvmMode::Sub(1.0)),
+        ("bog", OllvmMode::Bog(1.0)),
+        ("fla(ratio=0.1)", OllvmMode::Fla(0.1)),
+        ("fla", OllvmMode::Fla(1.0)),
+        ("sub(ratio=0.5)", OllvmMode::Sub(0.5)),
+    ];
+    for base in programs() {
+        for (spec, mode) in cases {
+            let mut want = base.clone();
+            mode.apply(&mut want, SEED);
+            let (got, _) = pipeline_build(&base, spec, SEED);
+            assert_eq!(
+                print_module(&want),
+                print_module(&got),
+                "{}: `{spec}` diverged from OllvmMode::apply",
+                base.name
+            );
+        }
+    }
+}
+
+#[test]
+fn optimize_matches_the_opt_macro_pass() {
+    for src in [spec2006().swap_remove(3), coreutils_program("wc", 7)] {
+        for (spec, opts) in [
+            ("O2+lto", OptOptions::baseline()),
+            ("O0", OptOptions::level(OptLevel::O0)),
+            ("O1", OptOptions::level(OptLevel::O1)),
+            ("O2", OptOptions::level(OptLevel::O2)),
+            ("O3", OptOptions::level(OptLevel::O3)),
+            (
+                "O3+lto(inline=24)",
+                OptOptions {
+                    level: OptLevel::O3,
+                    lto: true,
+                    inline_threshold: Some(24),
+                },
+            ),
+        ] {
+            let mut want = src.clone();
+            optimize(&mut want, &opts);
+            let (got, _) = pipeline_build(&src, spec, SEED);
+            assert_eq!(
+                print_module(&want),
+                print_module(&got),
+                "{}: `{spec}` diverged from optimize()",
+                src.name
+            );
+        }
+    }
+}
+
+#[test]
+fn composite_pipelines_match_legacy_build_shapes() {
+    // The two shapes every experiment driver used to hand-wire:
+    // obfuscate-then-reoptimize for O-LLVM and Khaos builds.
+    for base in programs() {
+        // legacy `obfuscate_ollvm`
+        let mut want = base.clone();
+        OllvmMode::Sub(1.0).apply(&mut want, SEED);
+        optimize(&mut want, &OptOptions::baseline());
+        let (got, _) = pipeline_build(&base, "sub | O2+lto", SEED);
+        assert_eq!(print_module(&want), print_module(&got), "{}", base.name);
+
+        // legacy `khaos_apply_nway` — arity 2 must stay on the N-way
+        // driver, not silently degrade to pairwise fusion.
+        for arity in 2..=4usize {
+            let mut want = base.clone();
+            let mut kctx = KhaosContext::new(SEED);
+            khaos_core::fusion_n(&mut want, &mut kctx, arity).unwrap();
+            optimize(&mut want, &OptOptions::baseline());
+            let (got, _) =
+                pipeline_build(&base, &format!("fusion_n(arity={arity}) | O2+lto"), SEED);
+            assert_eq!(
+                print_module(&want),
+                print_module(&got),
+                "{}: fusion_n(arity={arity}) | O2+lto",
+                base.name
+            );
+        }
+
+        // legacy `khaos_apply`
+        for mode in KhaosMode::ALL {
+            let mut want = base.clone();
+            let mut kctx = KhaosContext::new(SEED);
+            mode.apply(&mut want, &mut kctx).unwrap();
+            optimize(&mut want, &OptOptions::baseline());
+            let atom = match mode {
+                KhaosMode::Fission => "fission",
+                KhaosMode::Fusion => "fusion",
+                KhaosMode::FuFiSep => "fufi_sep",
+                KhaosMode::FuFiOri => "fufi_ori",
+                KhaosMode::FuFiAll => "fufi_all",
+            };
+            let (got, _) = pipeline_build(&base, &format!("{atom} | O2+lto"), SEED);
+            assert_eq!(
+                print_module(&want),
+                print_module(&got),
+                "{}: {atom} | O2+lto",
+                base.name
+            );
+        }
+    }
+}
+
+#[test]
+fn pipelines_preserve_behaviour() {
+    let base = &programs()[1];
+    let want = khaos_vm::run_to_completion(base, &[3, 7]).unwrap();
+    for spec in [
+        "fufi_all | O2+lto",
+        "sub | bog | O2",
+        "fission | fla(ratio=0.1) | O2+lto",
+    ] {
+        let (m, _) = pipeline_build(base, spec, SEED);
+        let got = khaos_vm::run_to_completion(&m, &[3, 7]).unwrap();
+        assert_eq!(want.output, got.output, "{spec}");
+        assert_eq!(want.exit_code, got.exit_code, "{spec}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property test for the spec grammar: `parse(display(p)) == p` over
+//! generated pipelines, with equal fingerprints and a stable canonical
+//! form (display is a fixpoint of parse∘display).
+
+use khaos_opt::OptLevel;
+use khaos_pass::{
+    DfePass, FissionPass, FufiKind, FufiNPass, FufiPass, FusionNPass, FusionPass, InlinePass,
+    OllvmKind, OllvmPass, OptPass, Pipeline, ScalarKind, ScalarPass,
+};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn random_pipeline(seed: u64, len: usize) -> Pipeline {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = Pipeline::new();
+    for _ in 0..len {
+        match rng.gen_range(0..11u8) {
+            0 => p.push(Box::new(FissionPass)),
+            1 => p.push(Box::new(FusionPass {
+                arity: rng.gen_range(2..=4),
+                deep: [None, Some(true), Some(false)][rng.gen_range(0..3usize)],
+            })),
+            2 => p.push(Box::new(FufiPass {
+                kind: [FufiKind::Sep, FufiKind::Ori, FufiKind::All][rng.gen_range(0..3usize)],
+            })),
+            3 => p.push(Box::new(FufiNPass {
+                arity: rng.gen_range(2..=4),
+            })),
+            4 => p.push(Box::new(OllvmPass {
+                kind: [OllvmKind::Sub, OllvmKind::Bog, OllvmKind::Fla][rng.gen_range(0..3usize)],
+                // Any representable ratio in [0, 1]: Display renders the
+                // shortest round-tripping decimal, so parse recovers the
+                // exact bits.
+                ratio: rng.gen_range(0..=1000u32) as f64 / 1000.0,
+            })),
+            5 => p.push(Box::new(ScalarPass {
+                kind: [
+                    ScalarKind::Mem2Reg,
+                    ScalarKind::ConstProp,
+                    ScalarKind::Cse,
+                    ScalarKind::Dce,
+                    ScalarKind::SimplifyCfg,
+                ][rng.gen_range(0..5usize)],
+            })),
+            6 => p.push(Box::new(InlinePass {
+                threshold: [0usize, 16, 48, 96, 160][rng.gen_range(0..5usize)],
+                exported: rng.gen_bool(0.5),
+            })),
+            7 => p.push(Box::new(DfePass)),
+            8 => p.push(Box::new(FusionNPass {
+                arity: rng.gen_range(2..=4),
+            })),
+            _ => p.push(Box::new(OptPass {
+                level: OptLevel::ALL[rng.gen_range(0..4usize)],
+                lto: rng.gen_bool(0.5),
+                inline_threshold: if rng.gen_bool(0.3) {
+                    Some(rng.gen_range(1..200usize))
+                } else {
+                    None
+                },
+            })),
+        }
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parse_display_roundtrip(seed in any::<u64>(), len in 0usize..7) {
+        let p = random_pipeline(seed, len);
+        let rendered = p.to_string();
+        let reparsed = Pipeline::parse(&rendered)
+            .unwrap_or_else(|e| panic!("`{rendered}` failed to reparse: {e}"));
+        prop_assert_eq!(&reparsed, &p);
+        prop_assert_eq!(reparsed.fingerprint(), p.fingerprint());
+        // The canonical form is a fixpoint.
+        prop_assert_eq!(reparsed.to_string(), rendered);
+        prop_assert_eq!(reparsed.len(), len);
+    }
+
+    #[test]
+    fn distinct_specs_distinct_fingerprints(seed in any::<u64>()) {
+        // Two independently generated non-identical pipelines must not
+        // collide (a smoke test of fingerprint injectivity over the
+        // grammar; exact-collision probability is negligible).
+        let a = random_pipeline(seed, 3);
+        let b = random_pipeline(seed ^ 0x9E3779B97F4A7C15, 3);
+        if a != b {
+            prop_assert_ne!(a.fingerprint(), b.fingerprint());
+        }
+    }
+}
+
+#[test]
+fn fingerprint_contract_is_pinned() {
+    // The fingerprint keys persistent artifacts (cache keys, bench
+    // provenance); a change here is a breaking change of that contract
+    // and must be deliberate.
+    let p = Pipeline::parse("fission | fusion(arity=2,deep=false) | O2+lto").unwrap();
+    assert_eq!(p.to_string(), "fission | fusion(deep=false) | O2+lto");
+    let again = Pipeline::parse(&p.to_string()).unwrap();
+    assert_eq!(p.fingerprint(), again.fingerprint());
+}

@@ -120,6 +120,12 @@ macro_rules! prop_assert_eq {
     ($($t:tt)*) => { assert_eq!($($t)*) };
 }
 
+/// Asserts inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
 /// Declares deterministic property tests over `arg in strategy`
 /// bindings (subset of the real macro's grammar).
 #[macro_export]
@@ -161,7 +167,9 @@ macro_rules! __proptest_fns {
 
 /// Prelude matching `proptest::prelude`.
 pub mod prelude {
-    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
 }
 
 #[cfg(test)]

@@ -15,23 +15,25 @@
 
 use khaos::binary::lower_module;
 use khaos::diff::{extended_differs, precision_at_1};
-use khaos::obfuscate::{KhaosContext, KhaosMode};
-use khaos::opt::{optimize, OptOptions};
+use khaos::pass::{PassCtx, Pipeline};
 use khaos::workloads;
 
 fn main() {
     // The attacker's reference: the open-source library at O2+LTO.
     let mut reference = workloads::tiii().swap_remove(3); // openssl stand-in
     println!("program: {} ({} functions)", reference.name, reference.functions.len());
-    optimize(&mut reference, &OptOptions::baseline());
+    Pipeline::parse("O2+lto")
+        .unwrap()
+        .run(&mut reference, &mut PassCtx::new(0xC60))
+        .expect("baseline build");
     let reference_bin = lower_module(&reference);
 
     // The defender's shipped binary: Khaos FuFi.all + rest of pipeline.
+    let pipeline = Pipeline::parse("fufi_all | O2+lto").expect("spec parses");
     let mut shipped = reference.clone();
-    let mut ctx = KhaosContext::new(0xC60);
-    KhaosMode::FuFiAll.apply(&mut shipped, &mut ctx).expect("obfuscation");
-    optimize(&mut shipped, &OptOptions::baseline());
-    let shipped_bin = lower_module(&shipped);
+    let mut ctx = PassCtx::new(0xC60);
+    pipeline.run(&mut shipped, &mut ctx).expect("obfuscation");
+    let shipped_bin = lower_module(&shipped).with_build_provenance(pipeline.fingerprint());
     let mut stripped_bin = shipped_bin.clone();
     stripped_bin.strip();
 

@@ -11,14 +11,28 @@ use khaos::diff::{
     binary_similarity, deepbindiff_precision_at_1, precision_at_1, Asm2Vec, BinDiff, DeepBinDiff,
     Safe, VulSeeker,
 };
-use khaos::obfuscate::{KhaosContext, KhaosMode};
-use khaos::ollvm::OllvmMode;
-use khaos::opt::{optimize, OptOptions};
+use khaos::pass::{PassCtx, Pipeline};
 use khaos::workloads;
+
+/// The eight obfuscated configurations: paper legend name → the build
+/// pipeline applied on top of the optimized baseline.
+const CONFIGS: [(&str, &str); 8] = [
+    ("Sub", "sub | O2+lto"),
+    ("Bog", "bog | O2+lto"),
+    ("Fla-10", "fla(ratio=0.1) | O2+lto"),
+    ("Fission", "fission | O2+lto"),
+    ("Fusion", "fusion | O2+lto"),
+    ("FuFi.sep", "fufi_sep | O2+lto"),
+    ("FuFi.ori", "fufi_ori | O2+lto"),
+    ("FuFi.all", "fufi_all | O2+lto"),
+];
 
 fn main() {
     let mut base = workloads::spec2006().swap_remove(3); // 429.mcf stand-in
-    optimize(&mut base, &OptOptions::baseline());
+    Pipeline::parse("O2+lto")
+        .unwrap()
+        .run(&mut base, &mut PassCtx::new(0xC60))
+        .expect("baseline build");
     let base_bin = lower_module(&base);
     println!("program: {} ({} functions)\n", base.name, base.functions.len());
 
@@ -27,23 +41,13 @@ fn main() {
         "config", "BinDiff", "VulSeeker", "Asm2Vec", "SAFE", "DeepBinDiff"
     );
 
-    let mut rows: Vec<(String, khaos_ir::Module)> = Vec::new();
-    for mode in [OllvmMode::Sub(1.0), OllvmMode::Bog(1.0), OllvmMode::Fla(0.1)] {
-        let mut m = base.clone();
-        mode.apply(&mut m, 0xC60);
-        optimize(&mut m, &OptOptions::baseline());
-        rows.push((mode.name(), m));
-    }
-    for mode in KhaosMode::ALL {
-        let mut m = base.clone();
-        let mut ctx = KhaosContext::new(0xC60);
-        mode.apply(&mut m, &mut ctx).expect("khaos");
-        optimize(&mut m, &OptOptions::baseline());
-        rows.push((mode.name().to_string(), m));
-    }
-
-    for (name, module) in rows {
-        let obf_bin = lower_module(&module);
+    for (name, spec) in CONFIGS {
+        let pipeline = Pipeline::parse(spec).expect("spec parses");
+        let mut module = base.clone();
+        pipeline
+            .run(&mut module, &mut PassCtx::new(0xC60))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let obf_bin = lower_module(&module).with_build_provenance(pipeline.fingerprint());
         println!(
             "{:<10} {:>9.3} {:>11.3} {:>9.3} {:>7.3} {:>13.3}",
             name,

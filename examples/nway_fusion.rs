@@ -15,7 +15,7 @@
 //! cargo run --release --example nway_fusion
 //! ```
 
-use khaos::obfuscate::{fusion_n, KhaosContext};
+use khaos::pass::{PassCtx, Pipeline};
 use khaos::vm::run_to_completion;
 use khaos_ir::builder::FunctionBuilder;
 use khaos_ir::printer::print_module;
@@ -92,8 +92,11 @@ fn main() {
     }
     println!("exit code: {}\n", before.exit_code);
 
-    let mut ctx = KhaosContext::new(0xC60);
-    fusion_n(&mut m, &mut ctx, 4).expect("arity-4 fusion");
+    let mut ctx = PassCtx::new(0xC60);
+    Pipeline::parse("fusion_n(arity=4)")
+        .unwrap()
+        .run(&mut m, &mut ctx)
+        .expect("arity-4 fusion");
 
     let after = run_to_completion(&m, &[]).expect("fused build runs");
     println!("== after arity-4 fusion: {} functions ==", m.functions.len());

@@ -1,12 +1,17 @@
-//! Quickstart: build a small program, obfuscate it with Khaos, and watch
-//! behaviour stay identical while the code restructures.
+//! Quickstart: build a small program, obfuscate it through a Khaos
+//! build *pipeline*, and watch behaviour stay identical while the code
+//! restructures.
+//!
+//! Pipelines are first-class data: a spec string parses into a
+//! `Pipeline`, runs over one seeded `PassCtx`, reports per-pass timing
+//! and IR deltas, and carries a stable fingerprint (the build
+//! provenance the diffing cache keys on).
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use khaos::obfuscate::{fufi_all, KhaosContext};
-use khaos::opt::{optimize, OptOptions};
+use khaos::pass::{PassCtx, Pipeline};
 use khaos::vm::run_to_completion;
 use khaos_ir::builder::FunctionBuilder;
 use khaos_ir::printer::print_module;
@@ -72,17 +77,25 @@ fn build_demo() -> Module {
 
 fn main() {
     let mut module = build_demo();
-    optimize(&mut module, &OptOptions::baseline());
+
+    // The vendor's compiler: the paper baseline, as a one-atom pipeline.
+    Pipeline::parse("O2+lto")
+        .unwrap()
+        .run(&mut module, &mut PassCtx::new(0xC60))
+        .expect("baseline build");
 
     println!("=== before obfuscation ===");
     println!("{}", print_module(&module));
     let before = run_to_completion(&module, &[]).expect("baseline runs");
     println!("output: {:?}, exit: {}, cycles: {}\n", before.output, before.exit_code, before.cycles);
 
-    let mut ctx = KhaosContext::new(0xC60);
-    fufi_all(&mut module, &mut ctx).expect("obfuscation");
+    // The shipped build: Khaos FuFi.all in the middle-end, then the
+    // rest of the compiler pipeline. One spec string describes it all.
+    let pipeline = Pipeline::parse("fufi_all | O2+lto").expect("spec parses");
+    let mut ctx = PassCtx::new(0xC60);
+    let report = pipeline.run(&mut module, &mut ctx).expect("obfuscation");
 
-    println!("=== after Khaos FuFi.all ===");
+    println!("=== after `{pipeline}` ===");
     println!("{}", print_module(&module));
     let after = run_to_completion(&module, &[]).expect("obfuscated runs");
     println!("output: {:?}, exit: {}, cycles: {}", after.output, after.exit_code, after.cycles);
@@ -95,4 +108,11 @@ fn main() {
         "runtime overhead: {:+.1}%",
         (after.cycles as f64 / before.cycles as f64 - 1.0) * 100.0
     );
+
+    // The pipeline is data: it reports what each pass did, round-trips
+    // through its spec, and fingerprints its configuration (the build
+    // provenance `khaos-diff`'s embedding cache keys on).
+    println!("\n{report}");
+    assert_eq!(Pipeline::parse(&pipeline.to_string()).unwrap(), pipeline);
+    println!("build provenance fingerprint: {:016x}", pipeline.fingerprint());
 }

@@ -1,24 +1,27 @@
 //! `khaos-obf` — command-line obfuscator for textual KIR modules.
 //!
 //! ```text
-//! khaos-obf <mode> [--seed N] [--arity K] [--o2] [--run] [--stats]
-//!                  [input.kir|--demo NAME]
+//! khaos-obf <mode|spec> [--seed N] [--arity K] [--o2] [--run] [--stats]
+//!                       [--report] [input.kir|--demo NAME]
 //!
 //!   mode     fission | fusion | fusion-n | fufi-sep | fufi-ori | fufi-all |
 //!            sub | bog | fla | fla-10
+//!   spec     any khaos-pass pipeline spec, e.g. "fission | fusion(arity=3)"
 //!   --arity  constituents per fusFunc for `fusion-n` (2–4, default 3)
 //!   --demo   use a generated workload program instead of a file
 //!   --o2     run the O2+LTO pipeline before and after obfuscation
 //!   --run    execute baseline and obfuscated builds and diff the output
 //!   --stats  print fission/fusion statistics
+//!   --report print the per-pass timing / IR-delta report
 //! ```
 //!
-//! The obfuscated module is printed to stdout in the same textual format,
-//! so pipelines compose: `khaos-obf fufi-all a.kir > a_obf.kir`.
+//! Everything builds through a `khaos-pass` pipeline: the legacy mode
+//! names are aliases for one-atom specs, and any full spec is accepted
+//! in their place. The obfuscated module is printed to stdout in the
+//! same textual format, so shell pipelines compose:
+//! `khaos-obf fufi-all a.kir > a_obf.kir`.
 
-use khaos::obfuscate::{fusion_n, KhaosContext, KhaosMode};
-use khaos::ollvm::OllvmMode;
-use khaos::opt::{optimize, OptOptions};
+use khaos::pass::{PassCtx, Pipeline};
 use khaos::vm::run_to_completion;
 use khaos_ir::{parser, printer, Module};
 use std::process::ExitCode;
@@ -30,6 +33,7 @@ struct Args {
     o2: bool,
     run: bool,
     stats: bool,
+    report: bool,
     input: Option<String>,
     demo: Option<String>,
 }
@@ -42,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
         o2: false,
         run: false,
         stats: false,
+        report: false,
         input: None,
         demo: None,
     };
@@ -64,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
             "--o2" => args.o2 = true,
             "--run" => args.run = true,
             "--stats" => args.stats = true,
+            "--report" => args.report = true,
             "--demo" => args.demo = Some(it.next().ok_or("--demo needs a program name")?),
             _ if args.mode.is_empty() => args.mode = a,
             _ if args.input.is_none() => args.input = Some(a),
@@ -71,7 +77,7 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     if args.mode.is_empty() {
-        return Err("missing <mode>".into());
+        return Err("missing <mode|spec>".into());
     }
     Ok(args)
 }
@@ -85,14 +91,28 @@ fn load_module(args: &Args) -> Result<Module, String> {
     parser::parse_module(&text).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Maps a legacy mode name to its pipeline spec; anything else is
+/// treated as a raw spec.
+fn mode_spec(mode: &str, arity: usize) -> String {
+    match mode {
+        "fission" | "fusion" | "sub" | "bog" | "fla" => mode.into(),
+        "fusion-n" => format!("fusion_n(arity={arity})"),
+        "fufi-sep" => "fufi_sep".into(),
+        "fufi-ori" => "fufi_ori".into(),
+        "fufi-all" => "fufi_all".into(),
+        "fla-10" => "fla(ratio=0.1)".into(),
+        raw => raw.into(),
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("khaos-obf: {e}");
             eprintln!(
-                "usage: khaos-obf <fission|fusion|fusion-n|fufi-sep|fufi-ori|fufi-all|sub|bog|fla|fla-10> \
-                 [--seed N] [--arity K] [--o2] [--run] [--stats] [input.kir | --demo NAME]"
+                "usage: khaos-obf <fission|fusion|fusion-n|fufi-sep|fufi-ori|fufi-all|sub|bog|fla|fla-10|SPEC> \
+                 [--seed N] [--arity K] [--o2] [--run] [--stats] [--report] [input.kir | --demo NAME]"
             );
             return ExitCode::from(2);
         }
@@ -109,48 +129,42 @@ fn main() -> ExitCode {
         eprintln!("khaos-obf: input does not verify: {}", errs[0]);
         return ExitCode::FAILURE;
     }
-    if args.o2 {
-        optimize(&mut module, &OptOptions::baseline());
-    }
-    let baseline = module.clone();
 
-    let mut ctx = KhaosContext::new(args.seed);
-    enum Transform {
-        Khaos(KhaosMode),
-        NwayFusion,
-        Ollvm(OllvmMode),
-    }
-    let transform = match args.mode.as_str() {
-        "fission" => Transform::Khaos(KhaosMode::Fission),
-        "fusion" => Transform::Khaos(KhaosMode::Fusion),
-        "fusion-n" => Transform::NwayFusion,
-        "fufi-sep" => Transform::Khaos(KhaosMode::FuFiSep),
-        "fufi-ori" => Transform::Khaos(KhaosMode::FuFiOri),
-        "fufi-all" => Transform::Khaos(KhaosMode::FuFiAll),
-        "sub" => Transform::Ollvm(OllvmMode::Sub(1.0)),
-        "bog" => Transform::Ollvm(OllvmMode::Bog(1.0)),
-        "fla" => Transform::Ollvm(OllvmMode::Fla(1.0)),
-        "fla-10" => Transform::Ollvm(OllvmMode::Fla(0.1)),
-        other => {
-            eprintln!("khaos-obf: unknown mode `{other}`");
+    let mut spec = mode_spec(&args.mode, args.arity);
+    let pipeline = match Pipeline::parse(&spec) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("khaos-obf: {e}");
             return ExitCode::from(2);
         }
     };
-    let applied = match transform {
-        Transform::Khaos(m) => m.apply(&mut module, &mut ctx),
-        Transform::NwayFusion => fusion_n(&mut module, &mut ctx, args.arity),
-        Transform::Ollvm(m) => {
-            m.apply(&mut module, args.seed);
-            Ok(())
+    if args.o2 {
+        // The paper's pipeline position: obfuscation in the middle-end,
+        // between the baseline optimization and a final re-optimization.
+        let baseline_build = Pipeline::parse("O2+lto").expect("static spec");
+        if let Err(e) = baseline_build.run(&mut module, &mut PassCtx::new(args.seed)) {
+            eprintln!("khaos-obf: baseline build failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        spec = format!("{pipeline} | O2+lto");
+    }
+    let pipeline = match Pipeline::parse(&spec) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("khaos-obf: {e}");
+            return ExitCode::from(2);
         }
     };
-    if let Err(e) = applied {
-        eprintln!("khaos-obf: {e}");
-        return ExitCode::FAILURE;
-    }
-    if args.o2 {
-        optimize(&mut module, &OptOptions::baseline());
-    }
+    let baseline = module.clone();
+
+    let mut ctx = PassCtx::new(args.seed);
+    let report = match pipeline.run(&mut module, &mut ctx) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("khaos-obf: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     if args.run {
         let want = run_to_completion(&baseline, &[]);
@@ -193,6 +207,9 @@ fn main() -> ExitCode {
             ctx.fusion_stats.avg_innocuous(),
             ctx.fusion_stats.trampolines,
         );
+    }
+    if args.report {
+        eprint!("{report}");
     }
 
     print!("{}", printer::print_module(&module));

@@ -2,8 +2,13 @@
 //!
 //! Re-exports the whole Khaos reproduction (CGO 2023): the KIR compiler
 //! substrate, the optimizer, the fission/fusion obfuscator, the O-LLVM and
-//! BinTuner baselines, the synthetic binary codegen, the five binary
-//! diffing techniques, the benchmark workloads and the execution VM.
+//! BinTuner baselines, the unified `khaos-pass` build-pipeline API, the
+//! synthetic binary codegen, the five binary diffing techniques, the
+//! benchmark workloads and the execution VM.
+//!
+//! Builds are declarative pipelines: `khaos::pass::Pipeline::parse(
+//! "fufi_all | O2+lto")` is the paper's shipped configuration, with
+//! per-pass reports and a stable provenance fingerprint.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 //!
@@ -29,6 +34,7 @@ pub use khaos_diff as diff;
 pub use khaos_ir as ir;
 pub use khaos_ollvm as ollvm;
 pub use khaos_opt as opt;
+pub use khaos_pass as pass;
 pub use khaos_vm as vm;
 pub use khaos_workloads as workloads;
 
@@ -38,5 +44,6 @@ pub mod prelude {
     pub use khaos_core::{KhaosContext, KhaosOptions};
     pub use khaos_ir::{Module, Type};
     pub use khaos_opt::{optimize, OptLevel, OptOptions};
+    pub use khaos_pass::{Pass, PassCtx, Pipeline, VerifyPolicy};
     pub use khaos_vm::run_to_completion;
 }
