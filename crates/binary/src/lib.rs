@@ -13,6 +13,22 @@
 //! * block structure and terminators survive, so CFG features shift with
 //!   fission/fusion exactly as the paper describes.
 //!
+//! ## The flat operand-pool layout
+//!
+//! Instruction operands live in **one flat per-function pool**
+//! ([`BinFunction::operand_pool`]); an [`MInst`] is a 12-byte
+//! `{opcode, operand_range}` record whose [`OperandRange`] indexes that
+//! pool. Every hot consumer — [`Binary::fingerprint`], the `khaos-diff`
+//! embedding walks — iterates operands as one contiguous slice per
+//! instruction instead of chasing a heap `Vec` per instruction, which is
+//! what makes cold fingerprint+embed scale with memory bandwidth rather
+//! than allocator traffic. Construction goes through
+//! [`MInst::alloc`] (or [`BinBlock::push_inst`]); reading goes through
+//! [`MInst::operands`] with the owning function's pool; printing goes
+//! through [`MInst::display`], whose output is byte-for-byte the format
+//! of the original nested layout (pinned, together with the
+//! [`Binary::fingerprint`] digests, by `tests/layout_equivalence.rs`).
+//!
 //! [`opcode_histogram`] and [`histogram_distance`] implement the Figure 11
 //! metric.
 
@@ -203,26 +219,76 @@ pub enum MOperand {
     Label(u32),
 }
 
-/// One machine instruction.
-#[derive(Clone, Debug, PartialEq)]
-pub struct MInst {
-    /// Opcode.
-    pub opcode: Opcode,
-    /// Operands, destination first.
-    pub operands: Vec<MOperand>,
+/// Half-open index range into a function's operand pool
+/// ([`BinFunction::operand_pool`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OperandRange {
+    /// First operand index in the pool.
+    pub start: u32,
+    /// Number of operands.
+    pub len: u32,
 }
 
-impl MInst {
-    /// Constructs an instruction.
-    pub fn new(opcode: Opcode, operands: Vec<MOperand>) -> Self {
-        MInst { opcode, operands }
+impl OperandRange {
+    /// The empty range (an operand-less instruction).
+    pub const EMPTY: OperandRange = OperandRange { start: 0, len: 0 };
+
+    /// The pool indices covered.
+    #[inline]
+    pub fn as_range(self) -> std::ops::Range<usize> {
+        self.start as usize..(self.start + self.len) as usize
     }
 }
 
-impl fmt::Display for MInst {
+/// One machine instruction: an opcode plus a range into the owning
+/// function's flat operand pool. 12 bytes, `Copy` — the instruction
+/// stream of a function is one contiguous allocation regardless of how
+/// many operands its instructions carry.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MInst {
+    /// Opcode.
+    pub opcode: Opcode,
+    /// Operand slice in the function's pool, destination first.
+    pub operand_range: OperandRange,
+}
+
+impl MInst {
+    /// Constructs an instruction, appending its operands to `pool`.
+    pub fn alloc(pool: &mut Vec<MOperand>, opcode: Opcode, operands: &[MOperand]) -> Self {
+        let start = pool.len() as u32;
+        pool.extend_from_slice(operands);
+        MInst {
+            opcode,
+            operand_range: OperandRange {
+                start,
+                len: operands.len() as u32,
+            },
+        }
+    }
+
+    /// The instruction's operands, destination first.
+    #[inline]
+    pub fn operands<'p>(&self, pool: &'p [MOperand]) -> &'p [MOperand] {
+        &pool[self.operand_range.as_range()]
+    }
+
+    /// Renders the instruction against its pool; output is byte-for-byte
+    /// the `Display` format of the original nested-operand layout.
+    pub fn display<'a>(&'a self, pool: &'a [MOperand]) -> InstDisplay<'a> {
+        InstDisplay { inst: self, pool }
+    }
+}
+
+/// [`fmt::Display`] adapter returned by [`MInst::display`].
+pub struct InstDisplay<'a> {
+    inst: &'a MInst,
+    pool: &'a [MOperand],
+}
+
+impl fmt::Display for InstDisplay<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.opcode.mnemonic())?;
-        for (i, o) in self.operands.iter().enumerate() {
+        write!(f, "{}", self.inst.opcode.mnemonic())?;
+        for (i, o) in self.inst.operands(self.pool).iter().enumerate() {
             let sep = if i == 0 { " " } else { ", " };
             match o {
                 MOperand::Reg(r) => write!(f, "{sep}r{r}")?,
@@ -240,7 +306,7 @@ impl fmt::Display for MInst {
 }
 
 /// A machine basic block.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub struct BinBlock {
     /// Instructions in order.
     pub insts: Vec<MInst>,
@@ -248,6 +314,14 @@ pub struct BinBlock {
     pub succs: Vec<u32>,
     /// Direct call targets made from this block.
     pub calls: Vec<SymRef>,
+}
+
+impl BinBlock {
+    /// Appends an instruction, allocating its operands in `pool` (the
+    /// owning function's [`BinFunction::operand_pool`]).
+    pub fn push_inst(&mut self, pool: &mut Vec<MOperand>, opcode: Opcode, operands: &[MOperand]) {
+        self.insts.push(MInst::alloc(pool, opcode, operands));
+    }
 }
 
 /// Function lineage carried into the binary (the diffing ground truth;
@@ -271,6 +345,9 @@ pub struct BinFunction {
     pub exported: bool,
     /// Machine blocks; index 0 is the entry.
     pub blocks: Vec<BinBlock>,
+    /// The flat operand pool every [`MInst::operand_range`] of this
+    /// function's blocks indexes into.
+    pub operand_pool: Vec<MOperand>,
 }
 
 impl BinFunction {
@@ -365,6 +442,12 @@ impl Binary {
     /// excluded — it is evaluation ground truth the tools never see, so
     /// binaries differing only in annotations still share cache
     /// entries.
+    ///
+    /// The digest is **layout-independent by construction**: it hashes
+    /// the logical `(opcode, operands)` stream, so it is byte-for-byte
+    /// the digest the nested-`Vec` seed layout produced (pinned by
+    /// `tests/layout_equivalence.rs`) and every embedding-cache key
+    /// minted before the operand-pool refactor stays valid.
     pub fn fingerprint(&self) -> u64 {
         let mut h = Mix::new();
         h.bytes(self.name.as_bytes());
@@ -381,6 +464,7 @@ impl Binary {
             }
             h.u64(f.exported as u64);
             h.u64(f.blocks.len() as u64);
+            let pool = f.operand_pool.as_slice();
             for b in &f.blocks {
                 // All three lengths in one fold: every warm metric
                 // call pays this hash, so folds are budgeted tightly.
@@ -393,7 +477,9 @@ impl Binary {
                 // FNV-1a-style multiply chain (register-resident — the
                 // four-lane Mix state is indexed dynamically and lives
                 // in memory, too slow for the per-instruction loop),
-                // folded into the mixer once per block.
+                // folded into the mixer once per block. Operands come
+                // straight off the contiguous pool slice: no per-
+                // instruction pointer chase.
                 let mut acc: u64 = 0xcbf29ce484222325;
                 for i in &b.insts {
                     // One chain step per instruction: opcode plus every
@@ -401,7 +487,7 @@ impl Binary {
                     // position, all cheap ALU ops. Instruction order is
                     // captured by the chain.
                     let mut w = i.opcode as u64;
-                    for (k, o) in i.operands.iter().enumerate() {
+                    for (k, o) in i.operands(pool).iter().enumerate() {
                         let enc = match o {
                             MOperand::Reg(r) => (1 << 56) | *r as u64,
                             MOperand::FReg(r) => (2 << 56) | *r as u64,
@@ -534,17 +620,21 @@ mod tests {
     use super::*;
 
     fn tiny_binary(extra_adds: usize) -> Binary {
-        let mut insts = vec![MInst::new(
+        let mut pool = Vec::new();
+        let mut blk = BinBlock::default();
+        blk.push_inst(
+            &mut pool,
             Opcode::MovImm,
-            vec![MOperand::Reg(0), MOperand::Imm(1)],
-        )];
+            &[MOperand::Reg(0), MOperand::Imm(1)],
+        );
         for _ in 0..extra_adds {
-            insts.push(MInst::new(
+            blk.push_inst(
+                &mut pool,
                 Opcode::Add,
-                vec![MOperand::Reg(0), MOperand::Imm(1)],
-            ));
+                &[MOperand::Reg(0), MOperand::Imm(1)],
+            );
         }
-        insts.push(MInst::new(Opcode::Ret, vec![]));
+        blk.push_inst(&mut pool, Opcode::Ret, &[]);
         Binary {
             build_provenance: 0,
             name: "t".into(),
@@ -555,11 +645,8 @@ mod tests {
                     annotations: vec![],
                 },
                 exported: false,
-                blocks: vec![BinBlock {
-                    insts,
-                    succs: vec![],
-                    calls: vec![],
-                }],
+                blocks: vec![blk],
+                operand_pool: pool,
             }],
             relocations: vec![],
             externals: vec![],
@@ -597,9 +684,11 @@ mod tests {
 
     #[test]
     fn inst_display() {
-        let i = MInst::new(
+        let mut pool = Vec::new();
+        let i = MInst::alloc(
+            &mut pool,
             Opcode::Load,
-            vec![
+            &[
                 MOperand::Reg(1),
                 MOperand::Mem {
                     base: 5,
@@ -607,6 +696,33 @@ mod tests {
                 },
             ],
         );
-        assert_eq!(i.to_string(), "mov.ld r1, [r5-8]");
+        assert_eq!(i.display(&pool).to_string(), "mov.ld r1, [r5-8]");
+    }
+
+    #[test]
+    fn operand_pool_roundtrip() {
+        let mut pool = Vec::new();
+        let a = MInst::alloc(
+            &mut pool,
+            Opcode::Add,
+            &[MOperand::Reg(1), MOperand::Imm(2)],
+        );
+        let r = MInst::alloc(&mut pool, Opcode::Ret, &[]);
+        assert_eq!(a.operands(&pool), &[MOperand::Reg(1), MOperand::Imm(2)]);
+        assert!(r.operands(&pool).is_empty());
+        assert_eq!(pool.len(), 2);
+        assert_eq!(a.operand_range.as_range(), 0..2);
+    }
+
+    #[test]
+    fn fingerprint_ignores_pool_packing() {
+        // The same logical instruction stream hashed from a pool with
+        // dead padding between ranges must produce the same digest:
+        // the fingerprint reads ranges, never the raw pool layout.
+        let b = tiny_binary(1);
+        let mut padded = b.clone();
+        let f = &mut padded.functions[0];
+        f.operand_pool.push(MOperand::Imm(999)); // dead tail entry
+        assert_eq!(b.fingerprint(), padded.fingerprint());
     }
 }

@@ -52,7 +52,13 @@ struct FnLowering<'m> {
     f: &'m Function,
     places: Vec<Place>,
     frame_size: i32,
+    /// The function-wide flat operand pool (becomes
+    /// [`BinFunction::operand_pool`]); [`FnLowering::emit`] allocates
+    /// every instruction's operands here.
+    pool: Vec<MOperand>,
+    /// Instructions of the block currently being lowered.
     insts: Vec<MInst>,
+    /// Call sites of the block currently being lowered.
     calls: Vec<SymRef>,
 }
 
@@ -149,28 +155,28 @@ fn lower_function(m: &Module, f: &Function) -> BinFunction {
     }
 
     let mut blocks = Vec::with_capacity(f.blocks.len());
+    // One lowering context per function: the operand pool (and the
+    // place assignment) spans all blocks, so block loops below only
+    // drain `insts`/`calls` into the finished `BinBlock`s.
+    let mut lw = FnLowering {
+        m,
+        f,
+        places,
+        frame_size,
+        pool: Vec::new(),
+        insts: Vec::new(),
+        calls: Vec::new(),
+    };
     for (bi, b) in f.blocks.iter().enumerate() {
-        let mut lw = FnLowering {
-            m,
-            f,
-            places: places.clone(),
-            frame_size,
-            insts: Vec::new(),
-            calls: Vec::new(),
-        };
         if bi == 0 {
             // Prologue.
-            lw.insts
-                .push(MInst::new(Opcode::Push, vec![MOperand::Reg(RBP)]));
-            lw.insts.push(MInst::new(
-                Opcode::Mov,
-                vec![MOperand::Reg(RBP), MOperand::Reg(17)],
-            ));
+            lw.emit(Opcode::Push, &[MOperand::Reg(RBP)]);
+            lw.emit(Opcode::Mov, &[MOperand::Reg(RBP), MOperand::Reg(17)]);
             if frame_size > 0 {
-                lw.insts.push(MInst::new(
+                lw.emit(
                     Opcode::Sub,
-                    vec![MOperand::Reg(17), MOperand::Imm(frame_size as i64)],
-                ));
+                    &[MOperand::Reg(17), MOperand::Imm(frame_size as i64)],
+                );
             }
             // Spill incoming register arguments that live in memory, move
             // those that live in registers.
@@ -197,28 +203,24 @@ fn lower_function(m: &Module, f: &Function) -> BinFunction {
                 };
                 let Some(src) = src else { continue }; // stack args already in memory
                 match lw.places[i] {
-                    Place::Reg(r) => lw
-                        .insts
-                        .push(MInst::new(Opcode::Mov, vec![MOperand::Reg(r), src])),
-                    Place::FReg(r) => lw
-                        .insts
-                        .push(MInst::new(Opcode::Movsd, vec![MOperand::FReg(r), src])),
+                    Place::Reg(r) => lw.emit(Opcode::Mov, &[MOperand::Reg(r), src]),
+                    Place::FReg(r) => lw.emit(Opcode::Movsd, &[MOperand::FReg(r), src]),
                     Place::Slot(off) => {
                         let op = if is_float {
                             Opcode::Movsd
                         } else {
                             Opcode::Store
                         };
-                        lw.insts.push(MInst::new(
+                        lw.emit(
                             op,
-                            vec![
+                            &[
                                 MOperand::Mem {
                                     base: RBP,
                                     offset: off,
                                 },
                                 src,
                             ],
-                        ));
+                        );
                     }
                 }
             }
@@ -230,9 +232,9 @@ fn lower_function(m: &Module, f: &Function) -> BinFunction {
         b.term.for_each_successor(|s| succs.push(s.index() as u32));
         lw.lower_term(&b.term);
         blocks.push(BinBlock {
-            insts: lw.insts,
+            insts: std::mem::take(&mut lw.insts),
             succs,
-            calls: lw.calls,
+            calls: std::mem::take(&mut lw.calls),
         });
     }
 
@@ -244,10 +246,18 @@ fn lower_function(m: &Module, f: &Function) -> BinFunction {
         },
         exported: f.linkage == Linkage::Exported,
         blocks,
+        operand_pool: lw.pool,
     }
 }
 
 impl<'m> FnLowering<'m> {
+    /// Appends one instruction, allocating its operands in the
+    /// function's flat pool.
+    fn emit(&mut self, opcode: Opcode, operands: &[MOperand]) {
+        self.insts
+            .push(MInst::alloc(&mut self.pool, opcode, operands));
+    }
+
     fn place(&self, l: LocalId) -> Place {
         self.places[l.index()]
     }
@@ -262,16 +272,16 @@ impl<'m> FnLowering<'m> {
             Operand::Local(l) => match self.place(*l) {
                 Place::Reg(r) => r,
                 Place::Slot(off) => {
-                    self.insts.push(MInst::new(
+                    self.emit(
                         Opcode::Load,
-                        vec![
+                        &[
                             MOperand::Reg(scratch),
                             MOperand::Mem {
                                 base: RBP,
                                 offset: off,
                             },
                         ],
-                    ));
+                    );
                     scratch
                 }
                 Place::FReg(_) => unreachable!("int read of float local"),
@@ -282,10 +292,7 @@ impl<'m> FnLowering<'m> {
                     Const::Null => 0,
                     Const::Float { .. } => unreachable!("int read of float const"),
                 };
-                self.insts.push(MInst::new(
-                    Opcode::MovImm,
-                    vec![MOperand::Reg(scratch), MOperand::Imm(v)],
-                ));
+                self.emit(Opcode::MovImm, &[MOperand::Reg(scratch), MOperand::Imm(v)]);
                 scratch
             }
         }
@@ -297,16 +304,16 @@ impl<'m> FnLowering<'m> {
             Operand::Local(l) => match self.place(*l) {
                 Place::FReg(r) => r,
                 Place::Slot(off) => {
-                    self.insts.push(MInst::new(
+                    self.emit(
                         Opcode::Movsd,
-                        vec![
+                        &[
                             MOperand::FReg(scratch),
                             MOperand::Mem {
                                 base: RBP,
                                 offset: off,
                             },
                         ],
-                    ));
+                    );
                     scratch
                 }
                 Place::Reg(_) => unreachable!("float read of int local"),
@@ -317,14 +324,14 @@ impl<'m> FnLowering<'m> {
                     _ => unreachable!("float read of int const"),
                 };
                 // movabs + movq in real life; model as MovImm + Movsd.
-                self.insts.push(MInst::new(
+                self.emit(
                     Opcode::MovImm,
-                    vec![MOperand::Reg(SCRATCH2), MOperand::Imm(bits)],
-                ));
-                self.insts.push(MInst::new(
+                    &[MOperand::Reg(SCRATCH2), MOperand::Imm(bits)],
+                );
+                self.emit(
                     Opcode::Movsd,
-                    vec![MOperand::FReg(scratch), MOperand::Reg(SCRATCH2)],
-                ));
+                    &[MOperand::FReg(scratch), MOperand::Reg(SCRATCH2)],
+                );
                 scratch
             }
         }
@@ -335,22 +342,19 @@ impl<'m> FnLowering<'m> {
         match self.place(dst) {
             Place::Reg(r) => {
                 if r != src_reg {
-                    self.insts.push(MInst::new(
-                        Opcode::Mov,
-                        vec![MOperand::Reg(r), MOperand::Reg(src_reg)],
-                    ));
+                    self.emit(Opcode::Mov, &[MOperand::Reg(r), MOperand::Reg(src_reg)]);
                 }
             }
-            Place::Slot(off) => self.insts.push(MInst::new(
+            Place::Slot(off) => self.emit(
                 Opcode::Store,
-                vec![
+                &[
                     MOperand::Mem {
                         base: RBP,
                         offset: off,
                     },
                     MOperand::Reg(src_reg),
                 ],
-            )),
+            ),
             Place::FReg(_) => unreachable!("int write to float local"),
         }
     }
@@ -359,22 +363,19 @@ impl<'m> FnLowering<'m> {
         match self.place(dst) {
             Place::FReg(r) => {
                 if r != src_reg {
-                    self.insts.push(MInst::new(
-                        Opcode::Movsd,
-                        vec![MOperand::FReg(r), MOperand::FReg(src_reg)],
-                    ));
+                    self.emit(Opcode::Movsd, &[MOperand::FReg(r), MOperand::FReg(src_reg)]);
                 }
             }
-            Place::Slot(off) => self.insts.push(MInst::new(
+            Place::Slot(off) => self.emit(
                 Opcode::Movsd,
-                vec![
+                &[
                     MOperand::Mem {
                         base: RBP,
                         offset: off,
                     },
                     MOperand::FReg(src_reg),
                 ],
-            )),
+            ),
             Place::Reg(_) => unreachable!("float write to int local"),
         }
     }
@@ -392,31 +393,29 @@ impl<'m> FnLowering<'m> {
             if is_float {
                 if float_used < 6 {
                     let r = self.read_float(a, FSCRATCH);
-                    self.insts.push(MInst::new(
+                    self.emit(
                         Opcode::Movsd,
-                        vec![
+                        &[
                             MOperand::FReg(FARG_BASE + float_used as u8),
                             MOperand::FReg(r),
                         ],
-                    ));
+                    );
                     float_used += 1;
                 } else {
                     let r = self.read_float(a, FSCRATCH);
-                    self.insts
-                        .push(MInst::new(Opcode::Push, vec![MOperand::FReg(r)]));
+                    self.emit(Opcode::Push, &[MOperand::FReg(r)]);
                     pushed += 1;
                 }
             } else if int_used < INT_ARG_SLOTS {
                 let r = self.read_int(a, SCRATCH1);
-                self.insts.push(MInst::new(
+                self.emit(
                     Opcode::Mov,
-                    vec![MOperand::Reg(ARG_BASE + int_used as u8), MOperand::Reg(r)],
-                ));
+                    &[MOperand::Reg(ARG_BASE + int_used as u8), MOperand::Reg(r)],
+                );
                 int_used += 1;
             } else {
                 let r = self.read_int(a, SCRATCH1);
-                self.insts
-                    .push(MInst::new(Opcode::Push, vec![MOperand::Reg(r)]));
+                self.emit(Opcode::Push, &[MOperand::Reg(r)]);
                 pushed += 1;
             }
         }
@@ -425,21 +424,18 @@ impl<'m> FnLowering<'m> {
             Callee::Direct(t) => {
                 let sym = SymRef::Func(t.index() as u32);
                 self.calls.push(sym);
-                self.insts
-                    .push(MInst::new(Opcode::Call, vec![MOperand::Sym(sym)]));
+                self.emit(Opcode::Call, &[MOperand::Sym(sym)]);
                 (self.m.function(*t).ret_ty, Some(sym))
             }
             Callee::Ext(e) => {
                 let sym = SymRef::Ext(e.index() as u32);
                 self.calls.push(sym);
-                self.insts
-                    .push(MInst::new(Opcode::Call, vec![MOperand::Sym(sym)]));
+                self.emit(Opcode::Call, &[MOperand::Sym(sym)]);
                 (self.m.external(*e).ret_ty, Some(sym))
             }
             Callee::Indirect(p) => {
                 let r = self.read_int(p, SCRATCH1);
-                self.insts
-                    .push(MInst::new(Opcode::CallInd, vec![MOperand::Reg(r)]));
+                self.emit(Opcode::CallInd, &[MOperand::Reg(r)]);
                 (
                     dst.map(|d| self.f.locals[d.index()]).unwrap_or(Type::Void),
                     None,
@@ -449,10 +445,10 @@ impl<'m> FnLowering<'m> {
         let _ = sym;
         // Stack cleanup.
         if pushed > 0 {
-            self.insts.push(MInst::new(
+            self.emit(
                 Opcode::Add,
-                vec![MOperand::Reg(17), MOperand::Imm(pushed as i64 * 8)],
-            ));
+                &[MOperand::Reg(17), MOperand::Imm(pushed as i64 * 8)],
+            );
         }
         // Result.
         if let Some(d) = dst {
@@ -482,10 +478,7 @@ impl<'m> FnLowering<'m> {
                 if ty.is_float() {
                     let rl = self.read_float(lhs, XMM0);
                     if rl != XMM0 {
-                        self.insts.push(MInst::new(
-                            Opcode::Movsd,
-                            vec![MOperand::FReg(XMM0), MOperand::FReg(rl)],
-                        ));
+                        self.emit(Opcode::Movsd, &[MOperand::FReg(XMM0), MOperand::FReg(rl)]);
                     }
                     let rr = self.read_float(rhs, FSCRATCH);
                     let opc = match op {
@@ -495,19 +488,13 @@ impl<'m> FnLowering<'m> {
                         BinOp::FDiv => Opcode::Divsd,
                         _ => unreachable!("int op on float type"),
                     };
-                    self.insts.push(MInst::new(
-                        opc,
-                        vec![MOperand::FReg(XMM0), MOperand::FReg(rr)],
-                    ));
+                    self.emit(opc, &[MOperand::FReg(XMM0), MOperand::FReg(rr)]);
                     self.write_float(*dst, XMM0);
                     return;
                 }
                 let rl = self.read_int(lhs, SCRATCH1);
                 if rl != SCRATCH1 {
-                    self.insts.push(MInst::new(
-                        Opcode::Mov,
-                        vec![MOperand::Reg(SCRATCH1), MOperand::Reg(rl)],
-                    ));
+                    self.emit(Opcode::Mov, &[MOperand::Reg(SCRATCH1), MOperand::Reg(rl)]);
                 }
                 // Immediate form when rhs is constant (realistic encoding).
                 let rhs_op = match rhs.as_const() {
@@ -528,34 +515,26 @@ impl<'m> FnLowering<'m> {
                     BinOp::AShr => Opcode::Sar,
                     _ => unreachable!("float op on int type"),
                 };
-                self.insts
-                    .push(MInst::new(opc, vec![MOperand::Reg(SCRATCH1), rhs_op]));
+                self.emit(opc, &[MOperand::Reg(SCRATCH1), rhs_op]);
                 self.write_int(*dst, SCRATCH1);
             }
             Inst::Un { op, ty, dst, src } => {
                 if ty.is_float() {
                     let r = self.read_float(src, XMM0);
-                    self.insts.push(MInst::new(
-                        Opcode::Xorps,
-                        vec![MOperand::FReg(r), MOperand::FReg(r)],
-                    ));
+                    self.emit(Opcode::Xorps, &[MOperand::FReg(r), MOperand::FReg(r)]);
                     self.write_float(*dst, r);
                     return;
                 }
                 let r = self.read_int(src, SCRATCH1);
                 if r != SCRATCH1 {
-                    self.insts.push(MInst::new(
-                        Opcode::Mov,
-                        vec![MOperand::Reg(SCRATCH1), MOperand::Reg(r)],
-                    ));
+                    self.emit(Opcode::Mov, &[MOperand::Reg(SCRATCH1), MOperand::Reg(r)]);
                 }
                 let opc = match op {
                     UnOp::Neg => Opcode::Neg,
                     UnOp::Not => Opcode::Not,
                     UnOp::FNeg => unreachable!("fneg on int"),
                 };
-                self.insts
-                    .push(MInst::new(opc, vec![MOperand::Reg(SCRATCH1)]));
+                self.emit(opc, &[MOperand::Reg(SCRATCH1)]);
                 self.write_int(*dst, SCRATCH1);
             }
             Inst::Cmp {
@@ -568,22 +547,17 @@ impl<'m> FnLowering<'m> {
                 if ty.is_float() {
                     let rl = self.read_float(lhs, XMM0);
                     let rr = self.read_float(rhs, FSCRATCH);
-                    self.insts.push(MInst::new(
-                        Opcode::Ucomisd,
-                        vec![MOperand::FReg(rl), MOperand::FReg(rr)],
-                    ));
+                    self.emit(Opcode::Ucomisd, &[MOperand::FReg(rl), MOperand::FReg(rr)]);
                 } else {
                     let rl = self.read_int(lhs, SCRATCH1);
                     let rhs_op = match rhs.as_const() {
                         Some(Const::Int { value, .. }) => MOperand::Imm(value),
                         _ => MOperand::Reg(self.read_int(rhs, SCRATCH2)),
                     };
-                    self.insts
-                        .push(MInst::new(Opcode::Cmp, vec![MOperand::Reg(rl), rhs_op]));
+                    self.emit(Opcode::Cmp, &[MOperand::Reg(rl), rhs_op]);
                 }
                 let _ = pred;
-                self.insts
-                    .push(MInst::new(Opcode::Setcc, vec![MOperand::Reg(SCRATCH1)]));
+                self.emit(Opcode::Setcc, &[MOperand::Reg(SCRATCH1)]);
                 self.write_int(*dst, SCRATCH1);
             }
             Inst::Select {
@@ -598,35 +572,20 @@ impl<'m> FnLowering<'m> {
                     let rf = self.read_float(on_false, XMM0);
                     self.write_float(*dst, rf);
                     let rc = self.read_int(cond, SCRATCH1);
-                    self.insts.push(MInst::new(
-                        Opcode::Test,
-                        vec![MOperand::Reg(rc), MOperand::Reg(rc)],
-                    ));
+                    self.emit(Opcode::Test, &[MOperand::Reg(rc), MOperand::Reg(rc)]);
                     let rt = self.read_float(on_true, FSCRATCH);
-                    self.insts.push(MInst::new(
-                        Opcode::Cmov,
-                        vec![MOperand::FReg(XMM0), MOperand::FReg(rt)],
-                    ));
+                    self.emit(Opcode::Cmov, &[MOperand::FReg(XMM0), MOperand::FReg(rt)]);
                     self.write_float(*dst, XMM0);
                     return;
                 }
                 let rf = self.read_int(on_false, SCRATCH1);
                 if rf != SCRATCH1 {
-                    self.insts.push(MInst::new(
-                        Opcode::Mov,
-                        vec![MOperand::Reg(SCRATCH1), MOperand::Reg(rf)],
-                    ));
+                    self.emit(Opcode::Mov, &[MOperand::Reg(SCRATCH1), MOperand::Reg(rf)]);
                 }
                 let rc = self.read_int(cond, SCRATCH2);
-                self.insts.push(MInst::new(
-                    Opcode::Test,
-                    vec![MOperand::Reg(rc), MOperand::Reg(rc)],
-                ));
+                self.emit(Opcode::Test, &[MOperand::Reg(rc), MOperand::Reg(rc)]);
                 let rt = self.read_int(on_true, SCRATCH2);
-                self.insts.push(MInst::new(
-                    Opcode::Cmov,
-                    vec![MOperand::Reg(SCRATCH1), MOperand::Reg(rt)],
-                ));
+                self.emit(Opcode::Cmov, &[MOperand::Reg(SCRATCH1), MOperand::Reg(rt)]);
                 self.write_int(*dst, SCRATCH1);
             }
             Inst::Copy { ty, dst, src } => {
@@ -636,10 +595,10 @@ impl<'m> FnLowering<'m> {
                 } else {
                     match src.as_const() {
                         Some(Const::Int { value, .. }) => {
-                            self.insts.push(MInst::new(
+                            self.emit(
                                 Opcode::MovImm,
-                                vec![MOperand::Reg(SCRATCH1), MOperand::Imm(value)],
-                            ));
+                                &[MOperand::Reg(SCRATCH1), MOperand::Imm(value)],
+                            );
                             self.write_int(*dst, SCRATCH1);
                         }
                         _ => {
@@ -668,34 +627,22 @@ impl<'m> FnLowering<'m> {
                 match (from.is_float(), to.is_float()) {
                     (false, false) => {
                         let r = self.read_int(src, SCRATCH1);
-                        self.insts.push(MInst::new(
-                            opc,
-                            vec![MOperand::Reg(SCRATCH1), MOperand::Reg(r)],
-                        ));
+                        self.emit(opc, &[MOperand::Reg(SCRATCH1), MOperand::Reg(r)]);
                         self.write_int(*dst, SCRATCH1);
                     }
                     (true, false) => {
                         let r = self.read_float(src, XMM0);
-                        self.insts.push(MInst::new(
-                            opc,
-                            vec![MOperand::Reg(SCRATCH1), MOperand::FReg(r)],
-                        ));
+                        self.emit(opc, &[MOperand::Reg(SCRATCH1), MOperand::FReg(r)]);
                         self.write_int(*dst, SCRATCH1);
                     }
                     (false, true) => {
                         let r = self.read_int(src, SCRATCH1);
-                        self.insts.push(MInst::new(
-                            opc,
-                            vec![MOperand::FReg(XMM0), MOperand::Reg(r)],
-                        ));
+                        self.emit(opc, &[MOperand::FReg(XMM0), MOperand::Reg(r)]);
                         self.write_float(*dst, XMM0);
                     }
                     (true, true) => {
                         let r = self.read_float(src, XMM0);
-                        self.insts.push(MInst::new(
-                            opc,
-                            vec![MOperand::FReg(XMM0), MOperand::FReg(r)],
-                        ));
+                        self.emit(opc, &[MOperand::FReg(XMM0), MOperand::FReg(r)]);
                         self.write_float(*dst, XMM0);
                     }
                 }
@@ -703,28 +650,28 @@ impl<'m> FnLowering<'m> {
             Inst::Load { ty, dst, addr } => {
                 let ra = self.read_int(addr, SCRATCH1);
                 if ty.is_float() {
-                    self.insts.push(MInst::new(
+                    self.emit(
                         Opcode::Movsd,
-                        vec![
+                        &[
                             MOperand::FReg(XMM0),
                             MOperand::Mem {
                                 base: ra,
                                 offset: 0,
                             },
                         ],
-                    ));
+                    );
                     self.write_float(*dst, XMM0);
                 } else {
-                    self.insts.push(MInst::new(
+                    self.emit(
                         Opcode::Load,
-                        vec![
+                        &[
                             MOperand::Reg(SCRATCH2),
                             MOperand::Mem {
                                 base: ra,
                                 offset: 0,
                             },
                         ],
-                    ));
+                    );
                     self.write_int(*dst, SCRATCH2);
                 }
             }
@@ -732,94 +679,88 @@ impl<'m> FnLowering<'m> {
                 let ra = self.read_int(addr, SCRATCH1);
                 if ty.is_float() {
                     let rv = self.read_float(value, XMM0);
-                    self.insts.push(MInst::new(
+                    self.emit(
                         Opcode::Movsd,
-                        vec![
+                        &[
                             MOperand::Mem {
                                 base: ra,
                                 offset: 0,
                             },
                             MOperand::FReg(rv),
                         ],
-                    ));
+                    );
                 } else {
                     let rv = self.read_int(value, SCRATCH2);
-                    self.insts.push(MInst::new(
+                    self.emit(
                         Opcode::Store,
-                        vec![
+                        &[
                             MOperand::Mem {
                                 base: ra,
                                 offset: 0,
                             },
                             MOperand::Reg(rv),
                         ],
-                    ));
+                    );
                 }
             }
             Inst::Alloca { dst, .. } => {
                 let off = alloca_offsets[&(bi, ii)];
-                self.insts.push(MInst::new(
+                self.emit(
                     Opcode::Lea,
-                    vec![
+                    &[
                         MOperand::Reg(SCRATCH1),
                         MOperand::Mem {
                             base: RBP,
                             offset: off,
                         },
                     ],
-                ));
+                );
                 self.write_int(*dst, SCRATCH1);
             }
             Inst::PtrAdd { dst, base, offset } => match offset.as_const() {
                 Some(Const::Int { value, .. }) => {
                     let rb = self.read_int(base, SCRATCH1);
-                    self.insts.push(MInst::new(
+                    self.emit(
                         Opcode::Lea,
-                        vec![
+                        &[
                             MOperand::Reg(SCRATCH1),
                             MOperand::Mem {
                                 base: rb,
                                 offset: value as i32,
                             },
                         ],
-                    ));
+                    );
                     self.write_int(*dst, SCRATCH1);
                 }
                 _ => {
                     let rb = self.read_int(base, SCRATCH1);
                     if rb != SCRATCH1 {
-                        self.insts.push(MInst::new(
-                            Opcode::Mov,
-                            vec![MOperand::Reg(SCRATCH1), MOperand::Reg(rb)],
-                        ));
+                        self.emit(Opcode::Mov, &[MOperand::Reg(SCRATCH1), MOperand::Reg(rb)]);
                     }
                     let ro = self.read_int(offset, SCRATCH2);
-                    self.insts.push(MInst::new(
-                        Opcode::Add,
-                        vec![MOperand::Reg(SCRATCH1), MOperand::Reg(ro)],
-                    ));
+                    self.emit(Opcode::Add, &[MOperand::Reg(SCRATCH1), MOperand::Reg(ro)]);
                     self.write_int(*dst, SCRATCH1);
                 }
             },
             Inst::Call { dst, callee, args } => self.lower_call(*dst, callee, args),
             Inst::FuncAddr { dst, func } => {
-                self.insts.push(MInst::new(
+                self.emit(
                     Opcode::Lea,
-                    vec![
+                    &[
                         MOperand::Reg(SCRATCH1),
                         MOperand::Sym(SymRef::Func(func.index() as u32)),
                     ],
-                ));
+                );
                 self.write_int(*dst, SCRATCH1);
             }
             Inst::GlobalAddr { dst, global } => {
-                self.insts.push(MInst::new(
+                self.emit(
                     Opcode::Lea,
-                    vec![
+                    &[
                         MOperand::Reg(SCRATCH1),
                         MOperand::Sym(SymRef::Global(global.index() as u32)),
                     ],
-                ));
+                );
                 self.write_int(*dst, SCRATCH1);
             }
         }
@@ -828,10 +769,7 @@ impl<'m> FnLowering<'m> {
     fn lower_term(&mut self, term: &Term) {
         match term {
             Term::Jump(t) => {
-                self.insts.push(MInst::new(
-                    Opcode::Jmp,
-                    vec![MOperand::Label(t.index() as u32)],
-                ));
+                self.emit(Opcode::Jmp, &[MOperand::Label(t.index() as u32)]);
             }
             Term::Branch {
                 cond,
@@ -839,18 +777,9 @@ impl<'m> FnLowering<'m> {
                 else_bb,
             } => {
                 let rc = self.read_int(cond, SCRATCH1);
-                self.insts.push(MInst::new(
-                    Opcode::Test,
-                    vec![MOperand::Reg(rc), MOperand::Reg(rc)],
-                ));
-                self.insts.push(MInst::new(
-                    Opcode::Jcc,
-                    vec![MOperand::Label(then_bb.index() as u32)],
-                ));
-                self.insts.push(MInst::new(
-                    Opcode::Jmp,
-                    vec![MOperand::Label(else_bb.index() as u32)],
-                ));
+                self.emit(Opcode::Test, &[MOperand::Reg(rc), MOperand::Reg(rc)]);
+                self.emit(Opcode::Jcc, &[MOperand::Label(then_bb.index() as u32)]);
+                self.emit(Opcode::Jmp, &[MOperand::Label(else_bb.index() as u32)]);
             }
             Term::Switch {
                 value,
@@ -860,50 +789,34 @@ impl<'m> FnLowering<'m> {
             } => {
                 let rv = self.read_int(value, SCRATCH1);
                 for (cv, t) in cases {
-                    self.insts.push(MInst::new(
-                        Opcode::Cmp,
-                        vec![MOperand::Reg(rv), MOperand::Imm(*cv)],
-                    ));
-                    self.insts.push(MInst::new(
-                        Opcode::Jcc,
-                        vec![MOperand::Label(t.index() as u32)],
-                    ));
+                    self.emit(Opcode::Cmp, &[MOperand::Reg(rv), MOperand::Imm(*cv)]);
+                    self.emit(Opcode::Jcc, &[MOperand::Label(t.index() as u32)]);
                 }
-                self.insts.push(MInst::new(
-                    Opcode::Jmp,
-                    vec![MOperand::Label(default.index() as u32)],
-                ));
+                self.emit(Opcode::Jmp, &[MOperand::Label(default.index() as u32)]);
             }
             Term::Ret(v) => {
                 if let Some(v) = v {
                     if self.f.ret_ty.is_float() {
                         let r = self.read_float(v, XMM0);
                         if r != XMM0 {
-                            self.insts.push(MInst::new(
-                                Opcode::Movsd,
-                                vec![MOperand::FReg(XMM0), MOperand::FReg(r)],
-                            ));
+                            self.emit(Opcode::Movsd, &[MOperand::FReg(XMM0), MOperand::FReg(r)]);
                         }
                     } else {
                         let r = self.read_int(v, RAX);
                         if r != RAX {
-                            self.insts.push(MInst::new(
-                                Opcode::Mov,
-                                vec![MOperand::Reg(RAX), MOperand::Reg(r)],
-                            ));
+                            self.emit(Opcode::Mov, &[MOperand::Reg(RAX), MOperand::Reg(r)]);
                         }
                     }
                 }
                 // Epilogue.
                 if self.frame_size > 0 {
-                    self.insts.push(MInst::new(
+                    self.emit(
                         Opcode::Add,
-                        vec![MOperand::Reg(17), MOperand::Imm(self.frame_size as i64)],
-                    ));
+                        &[MOperand::Reg(17), MOperand::Imm(self.frame_size as i64)],
+                    );
                 }
-                self.insts
-                    .push(MInst::new(Opcode::Pop, vec![MOperand::Reg(RBP)]));
-                self.insts.push(MInst::new(Opcode::Ret, vec![]));
+                self.emit(Opcode::Pop, &[MOperand::Reg(RBP)]);
+                self.emit(Opcode::Ret, &[]);
             }
             Term::Invoke {
                 dst,
@@ -913,13 +826,10 @@ impl<'m> FnLowering<'m> {
                 ..
             } => {
                 self.lower_call(*dst, callee, args);
-                self.insts.push(MInst::new(
-                    Opcode::Jmp,
-                    vec![MOperand::Label(normal.index() as u32)],
-                ));
+                self.emit(Opcode::Jmp, &[MOperand::Label(normal.index() as u32)]);
             }
             Term::Unreachable => {
-                self.insts.push(MInst::new(Opcode::Nop, vec![]));
+                self.emit(Opcode::Nop, &[]);
             }
         }
     }
@@ -1024,7 +934,7 @@ mod tests {
             .iter()
             .filter(|i| {
                 matches!(i.opcode, Opcode::Mov | Opcode::Store)
-                    && matches!(i.operands.get(1), Some(MOperand::Reg(r)) if (ARG_BASE..ARG_BASE + 6).contains(r))
+                    && matches!(i.operands(&helper.operand_pool).get(1), Some(MOperand::Reg(r)) if (ARG_BASE..ARG_BASE + 6).contains(r))
             })
             .count();
         assert_eq!(prologue_movs, 6);

@@ -1,0 +1,146 @@
+//! Seed-equivalence pins for the flat operand-pool layout.
+//!
+//! The operand-pool refactor changed how `MInst` *stores* operands
+//! (ranges into `BinFunction::operand_pool` instead of a `Vec` per
+//! instruction) but must not change anything the diffing tools — or the
+//! `khaos-diff` embedding cache — can observe. Two observables are
+//! pinned here against digests captured from the **seed layout** (the
+//! nested-`Vec` representation, commit `471c5e6`), for every workload
+//! suite this repo evaluates on:
+//!
+//! * `Binary::fingerprint()` — every embedding-cache key minted before
+//!   the refactor must stay valid, so the digest must be byte-for-byte
+//!   identical;
+//! * `MInst::display(pool)` — the printed instruction stream feeds
+//!   human-facing dumps and must render exactly what the old
+//!   `Display for MInst` rendered.
+//!
+//! If either constant changes, treat it as a **cache-key-breaking
+//! event** (like `Pipeline::fingerprint` changes): it means the layout
+//! refactor leaked into observable behaviour.
+
+use khaos_binary::lower_module;
+use khaos_ir::Module;
+
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// (fingerprint chain, display chain, instruction count) over a suite:
+/// FNV-1a over each lowered binary's fingerprint LE bytes, and over
+/// every instruction's rendered text + `\n` in layout order.
+fn suite_digests(modules: &[Module]) -> (u64, u64, usize) {
+    let mut fp_chain: u64 = 0xcbf29ce484222325;
+    let mut disp_chain: u64 = 0xcbf29ce484222325;
+    let mut insts = 0usize;
+    let mut line = String::new();
+    for m in modules {
+        let b = lower_module(m);
+        fp_chain = fnv(fp_chain, &b.fingerprint().to_le_bytes());
+        for f in &b.functions {
+            for blk in &f.blocks {
+                for i in &blk.insts {
+                    use std::fmt::Write;
+                    line.clear();
+                    write!(line, "{}", i.display(&f.operand_pool)).expect("write to String");
+                    disp_chain = fnv(disp_chain, line.as_bytes());
+                    disp_chain = fnv(disp_chain, b"\n");
+                    insts += 1;
+                }
+            }
+        }
+    }
+    (fp_chain, disp_chain, insts)
+}
+
+/// Digests captured from the seed (nested-operand) layout. Columns:
+/// suite, fingerprint chain, display chain, instruction count.
+const SEED_DIGESTS: [(&str, u64, u64, usize); 4] = [
+    ("spec2006", 0xae15c74d094a50d4, 0x1ea503a56b32a337, 156169),
+    ("spec2017", 0x85884207956f96df, 0x53861c169c1d2641, 262208),
+    ("coreutils", 0x4d463b1da74c9e95, 0x10f99f62834e239e, 303810),
+    ("tiii", 0x873d96ea08c3c021, 0x49cb0e0b164ccfe1, 274319),
+];
+
+fn check_suite(name: &str, modules: &[Module]) {
+    let (fp, disp, insts) = suite_digests(modules);
+    let (_, want_fp, want_disp, want_insts) = *SEED_DIGESTS
+        .iter()
+        .find(|(n, ..)| *n == name)
+        .expect("suite has a pinned digest");
+    assert_eq!(
+        insts, want_insts,
+        "{name}: instruction count drifted from the seed lowering"
+    );
+    assert_eq!(
+        fp, want_fp,
+        "{name}: Binary::fingerprint() digests changed — embedding-cache keys broken"
+    );
+    assert_eq!(
+        disp, want_disp,
+        "{name}: MInst display output changed across the operand-pool refactor"
+    );
+}
+
+#[test]
+fn spec2006_fingerprints_and_display_match_seed() {
+    check_suite("spec2006", &khaos_workloads::spec2006());
+}
+
+#[test]
+fn spec2017_fingerprints_and_display_match_seed() {
+    check_suite("spec2017", &khaos_workloads::spec2017());
+}
+
+#[test]
+fn coreutils_fingerprints_and_display_match_seed() {
+    check_suite("coreutils", &khaos_workloads::coreutils());
+}
+
+#[test]
+fn tiii_fingerprints_and_display_match_seed() {
+    check_suite("tiii", &khaos_workloads::tiii());
+}
+
+/// The pool layout itself must be tight for the lowered suites: every
+/// instruction's range in bounds, ranges non-overlapping and in
+/// emission order within a function (the lowering allocates
+/// append-only), so traversal really is a forward scan of one
+/// contiguous buffer.
+#[test]
+fn lowered_pools_are_dense_and_ordered() {
+    for m in khaos_workloads::tiii() {
+        let b = lower_module(&m);
+        for f in &b.functions {
+            let mut cursor = 0u32;
+            let mut covered = 0usize;
+            for blk in &f.blocks {
+                for i in &blk.insts {
+                    let r = i.operand_range;
+                    assert!(
+                        r.start >= cursor,
+                        "{}: ranges out of emission order",
+                        m.name
+                    );
+                    assert!(
+                        (r.start + r.len) as usize <= f.operand_pool.len(),
+                        "{}: range out of bounds",
+                        m.name
+                    );
+                    cursor = r.start + r.len;
+                    covered += r.len as usize;
+                }
+            }
+            assert_eq!(
+                covered,
+                f.operand_pool.len(),
+                "{}: pool has dead entries after lowering",
+                m.name
+            );
+        }
+    }
+}

@@ -12,7 +12,7 @@
 //! wholesale.
 
 use crate::tokens::block_class_tokens;
-use crate::vector::{add_token, EMB_DIM};
+use crate::vector::{TokenHasher, EMB_DIM};
 use crate::Differ;
 use khaos_binary::{BinFunction, Binary};
 
@@ -52,7 +52,25 @@ fn embed_function(f: &BinFunction, walks: u32, walk_len: u32, seed: u64) -> Vec<
     if f.blocks.is_empty() {
         return v;
     }
-    let per_block: Vec<Vec<String>> = f.blocks.iter().map(block_class_tokens).collect();
+    // Tokens are hashed once per block into resumable states: the
+    // unigram contribution is a table lookup, and each n-gram resumes
+    // from its prefix's state, hashing only the `"|" + next-token`
+    // suffix — identical, bit for bit, to hashing the seed path's
+    // `format!("{a}|{b}")` strings, minus both the heap allocation and
+    // the re-hash of the shared prefix.
+    let per_block: Vec<Vec<(String, TokenHasher)>> = f
+        .blocks
+        .iter()
+        .map(|b| {
+            block_class_tokens(b, &f.operand_pool)
+                .into_iter()
+                .map(|t| {
+                    let h = TokenHasher::new().feed(&t);
+                    (t, h)
+                })
+                .collect()
+        })
+        .collect();
     let mut rng = seed ^ 0x9e3779b97f4a7c15;
     for w in 0..walks {
         // Walks start at the entry (like Asm2Vec's edge-sampled sequences)
@@ -62,7 +80,7 @@ fn embed_function(f: &BinFunction, walks: u32, walk_len: u32, seed: u64) -> Vec<
         } else {
             0
         };
-        let mut sequence: Vec<&str> = Vec::new();
+        let mut sequence: Vec<&(String, TokenHasher)> = Vec::new();
         for _ in 0..walk_len {
             for t in &per_block[cur] {
                 sequence.push(t);
@@ -78,14 +96,17 @@ fn embed_function(f: &BinFunction, walks: u32, walk_len: u32, seed: u64) -> Vec<
         }
         // n-gram accumulation (PV-DM context windows).
         for i in 0..sequence.len() {
-            add_token(&mut v, sequence[i], 1.0);
+            let (_, ha) = sequence[i];
+            ha.add_to(&mut v, 1.0);
             if i + 1 < sequence.len() {
-                let bg = format!("{}|{}", sequence[i], sequence[i + 1]);
-                add_token(&mut v, &bg, 0.5);
-            }
-            if i + 2 < sequence.len() {
-                let tg = format!("{}|{}|{}", sequence[i], sequence[i + 1], sequence[i + 2]);
-                add_token(&mut v, &tg, 0.25);
+                let bigram = ha.feed("|").feed(&sequence[i + 1].0);
+                bigram.add_to(&mut v, 0.5);
+                if i + 2 < sequence.len() {
+                    bigram
+                        .feed("|")
+                        .feed(&sequence[i + 2].0)
+                        .add_to(&mut v, 0.25);
+                }
             }
         }
     }
@@ -148,13 +169,9 @@ mod tests {
         let b = small_binary("a");
         let mut renamed = b.clone();
         for f in &mut renamed.functions {
-            for blk in &mut f.blocks {
-                for i in &mut blk.insts {
-                    for o in &mut i.operands {
-                        if let khaos_binary::MOperand::Reg(r) = o {
-                            *o = khaos_binary::MOperand::Reg(r.wrapping_add(1));
-                        }
-                    }
+            for o in &mut f.operand_pool {
+                if let khaos_binary::MOperand::Reg(r) = o {
+                    *o = khaos_binary::MOperand::Reg(r.wrapping_add(1));
                 }
             }
         }

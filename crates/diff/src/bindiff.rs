@@ -136,6 +136,53 @@ impl Differ for BinDiff {
         }
         SimilarityMatrix::from_flat(q, t, data)
     }
+
+    /// Streaming scorer matching the batched matrix cell for cell: one
+    /// `pair_similarity` evaluation per query/candidate, over the same
+    /// precomputed four-counter fingerprints.
+    fn row_scorer_keyed<'a>(
+        &'a self,
+        query: &'a Binary,
+        target: &'a Binary,
+        _cache: &EmbeddingCache,
+        _query_fingerprint: u64,
+        _target_fingerprint: u64,
+    ) -> Box<dyn crate::engine::RowScore + 'a> {
+        Box::new(BinDiffScorer {
+            tool: self,
+            query,
+            target,
+            qf: query.functions.iter().map(fingerprint).collect(),
+            tf: target.functions.iter().map(fingerprint).collect(),
+        })
+    }
+}
+
+/// [`crate::engine::RowScore`] over BinDiff's symbol + structural
+/// matching.
+struct BinDiffScorer<'a> {
+    tool: &'a BinDiff,
+    query: &'a Binary,
+    target: &'a Binary,
+    qf: Vec<[f64; 4]>,
+    tf: Vec<[f64; 4]>,
+}
+
+impl crate::engine::RowScore for BinDiffScorer<'_> {
+    fn rows(&self) -> usize {
+        self.query.functions.len()
+    }
+    fn cols(&self) -> usize {
+        self.target.functions.len()
+    }
+    fn score(&self, qi: usize, j: usize) -> f64 {
+        self.tool.pair_similarity(
+            &self.query.functions[qi],
+            &self.qf[qi],
+            &self.target.functions[j],
+            &self.tf[j],
+        )
+    }
 }
 
 /// The whole-binary similarity score in `[0, 1]` that Figure 9 plots.

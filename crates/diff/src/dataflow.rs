@@ -105,10 +105,10 @@ fn reg_key(o: &MOperand) -> Option<u16> {
 
 /// The registers an instruction reads (destination excluded where the
 /// opcode overwrites it; two-address ALU ops read their destination too).
-fn reads_of(inst: &khaos_binary::MInst) -> Vec<u16> {
+fn reads_of(inst: &khaos_binary::MInst, pool: &[MOperand]) -> Vec<u16> {
     let mut rs = Vec::new();
     let dest_written = writes_dest(inst.opcode);
-    for (i, o) in inst.operands.iter().enumerate() {
+    for (i, o) in inst.operands(pool).iter().enumerate() {
         match o {
             MOperand::Reg(_) | MOperand::FReg(_) => {
                 // Two-address semantics: ALU destinations are read-modify-
@@ -144,14 +144,14 @@ fn reads_of(inst: &khaos_binary::MInst) -> Vec<u16> {
 
 /// The register an instruction defines, if any. Calls clobber the return
 /// register (`r0` in our ABI).
-fn def_of(inst: &khaos_binary::MInst) -> Option<u16> {
+fn def_of(inst: &khaos_binary::MInst, pool: &[MOperand]) -> Option<u16> {
     if matches!(inst.opcode, Opcode::Call | Opcode::CallInd) {
         return Some(0);
     }
     if !writes_dest(inst.opcode) {
         return None;
     }
-    inst.operands.first().and_then(reg_key)
+    inst.operands(pool).first().and_then(reg_key)
 }
 
 /// Per-block data-flow summary for the one-hop inter-block join.
@@ -163,7 +163,12 @@ struct BlockSummary {
 }
 
 /// Emits this block's intra-block edges into `vec` and returns its summary.
-fn scan_block(b: &BinBlock, vec: &mut [f64], chain_lens: &mut Vec<u32>) -> BlockSummary {
+fn scan_block(
+    b: &BinBlock,
+    pool: &[MOperand],
+    vec: &mut [f64],
+    chain_lens: &mut Vec<u32>,
+) -> BlockSummary {
     // reg -> (class of def, chain length so far)
     let mut last_def: HashMap<u16, (&'static str, u32)> = HashMap::new();
     let mut exposed: HashMap<u16, &'static str> = HashMap::new();
@@ -171,7 +176,7 @@ fn scan_block(b: &BinBlock, vec: &mut [f64], chain_lens: &mut Vec<u32>) -> Block
     for inst in &b.insts {
         let uclass = opcode_class(inst.opcode);
         let mut depth_in: u32 = 0;
-        for r in reads_of(inst) {
+        for r in reads_of(inst, pool) {
             match last_def.get(&r) {
                 Some((dclass, depth)) => {
                     add_token(vec, &format!("df:{dclass}->{uclass}"), 1.0);
@@ -189,7 +194,7 @@ fn scan_block(b: &BinBlock, vec: &mut [f64], chain_lens: &mut Vec<u32>) -> Block
         if inst.opcode == Opcode::Store {
             add_token(vec, "df:memwrite", 0.25);
         }
-        if let Some(d) = def_of(inst) {
+        if let Some(d) = def_of(inst, pool) {
             let depth = depth_in + 1;
             if inst.opcode == Opcode::Ret {
                 continue;
@@ -204,12 +209,12 @@ fn scan_block(b: &BinBlock, vec: &mut [f64], chain_lens: &mut Vec<u32>) -> Block
     for inst in &b.insts {
         match inst.opcode {
             Opcode::Store => {
-                if let Some(MOperand::Mem { base, offset }) = inst.operands.first() {
+                if let Some(MOperand::Mem { base, offset }) = inst.operands(pool).first() {
                     stores.insert((*base, *offset), "store");
                 }
             }
             Opcode::Load => {
-                if let Some(MOperand::Mem { base, offset }) = inst.operands.get(1) {
+                if let Some(MOperand::Mem { base, offset }) = inst.operands(pool).get(1) {
                     if stores.contains_key(&(*base, *offset)) {
                         add_token(vec, "df:st->ld", 1.0);
                     }
@@ -232,7 +237,7 @@ fn embed_function(f: &BinFunction) -> Vec<f64> {
     let summaries: Vec<BlockSummary> = f
         .blocks
         .iter()
-        .map(|b| scan_block(b, &mut vec, &mut chain_lens))
+        .map(|b| scan_block(b, &f.operand_pool, &mut vec, &mut chain_lens))
         .collect();
 
     // One-hop inter-block join: defs flowing into successors' exposed uses.
@@ -310,6 +315,27 @@ fn propagate(bin: &Binary, raw: &[Vec<f64>], weight: f64) -> Vec<Vec<f64>> {
     out
 }
 
+impl DataFlowDiff {
+    /// The callee-propagated target view, derived from the (already
+    /// normalized) raw target rows and cached under its own tool name.
+    /// The single source of the `"DataFlowDiff#prop"` cache entry —
+    /// both the batched matrix and the streaming scorer fetch through
+    /// here, so the two paths can never diverge on what the key holds.
+    fn propagated_target(
+        &self,
+        cache: &crate::EmbeddingCache,
+        te: &crate::FunctionEmbeddings,
+        target: &Binary,
+        target_fingerprint: u64,
+    ) -> std::sync::Arc<crate::FunctionEmbeddings> {
+        let cfg = self.config_fingerprint();
+        cache.get_or_embed(("DataFlowDiff#prop", cfg, target_fingerprint), || {
+            let t_raw: Vec<Vec<f64>> = (0..te.len()).map(|i| te.row(i).to_vec()).collect();
+            propagate(target, &t_raw, self.callee_weight)
+        })
+    }
+}
+
 impl Differ for DataFlowDiff {
     fn name(&self) -> &'static str {
         "DataFlowDiff"
@@ -373,15 +399,60 @@ impl Differ for DataFlowDiff {
         });
         let mut m = SimilarityMatrix::from_embeddings(&qe, &te);
         if self.callee_weight != 0.0 {
-            // Propagated view, derived from the (already normalized)
-            // raw target rows and cached under its own tool name.
-            let tp = cache.get_or_embed(("DataFlowDiff#prop", cfg, target_fingerprint), || {
-                let t_raw: Vec<Vec<f64>> = (0..te.len()).map(|i| te.row(i).to_vec()).collect();
-                propagate(target, &t_raw, self.callee_weight)
-            });
+            let tp = self.propagated_target(cache, &te, target, target_fingerprint);
             m.merge_max(&SimilarityMatrix::from_embeddings(&qe, &tp));
         }
         m
+    }
+
+    /// Streaming form of the two-view matching: per cell, the max of
+    /// the raw and callee-propagated clamped dot products — exactly the
+    /// `merge_max` of the two matrices the batched path builds.
+    fn row_scorer_keyed<'a>(
+        &'a self,
+        query: &'a khaos_binary::Binary,
+        target: &'a khaos_binary::Binary,
+        cache: &crate::EmbeddingCache,
+        query_fingerprint: u64,
+        target_fingerprint: u64,
+    ) -> Box<dyn crate::engine::RowScore + 'a> {
+        use crate::engine::EmbedScorer;
+        let cfg = self.config_fingerprint();
+        let qe = cache.get_or_embed((self.name(), cfg, query_fingerprint), || self.embed(query));
+        let te = cache.get_or_embed((self.name(), cfg, target_fingerprint), || {
+            self.embed(target)
+        });
+        if self.callee_weight == 0.0 {
+            return Box::new(EmbedScorer::new(qe, te, true));
+        }
+        let tp = self.propagated_target(cache, &te, target, target_fingerprint);
+        Box::new(TwoViewScorer {
+            raw: EmbedScorer::new(std::sync::Arc::clone(&qe), te, true),
+            propagated: EmbedScorer::new(qe, tp, true),
+        })
+    }
+}
+
+/// Best-of-two-views [`crate::engine::RowScore`]: raw vs
+/// callee-propagated target embeddings.
+struct TwoViewScorer {
+    raw: crate::engine::EmbedScorer,
+    propagated: crate::engine::EmbedScorer,
+}
+
+impl crate::engine::RowScore for TwoViewScorer {
+    fn rows(&self) -> usize {
+        crate::engine::RowScore::rows(&self.raw)
+    }
+    fn cols(&self) -> usize {
+        crate::engine::RowScore::cols(&self.raw)
+    }
+    fn score(&self, qi: usize, j: usize) -> f64 {
+        crate::engine::RowScore::score(&self.raw, qi, j).max(crate::engine::RowScore::score(
+            &self.propagated,
+            qi,
+            j,
+        ))
     }
 }
 
@@ -392,23 +463,37 @@ mod tests {
     use crate::vector::cosine;
     use khaos_binary::{MInst, SymRef};
 
-    fn inst(opcode: Opcode, operands: Vec<MOperand>) -> MInst {
-        MInst::new(opcode, operands)
-    }
-
     #[test]
     fn def_use_roles() {
-        let add = inst(Opcode::Add, vec![MOperand::Reg(1), MOperand::Reg(2)]);
-        assert_eq!(def_of(&add), Some(1));
-        assert_eq!(reads_of(&add), vec![1, 2], "two-address add reads its dest");
+        let mut pool = Vec::new();
+        let add = MInst::alloc(
+            &mut pool,
+            Opcode::Add,
+            &[MOperand::Reg(1), MOperand::Reg(2)],
+        );
+        assert_eq!(def_of(&add, &pool), Some(1));
+        assert_eq!(
+            reads_of(&add, &pool),
+            vec![1, 2],
+            "two-address add reads its dest"
+        );
 
-        let mv = inst(Opcode::Mov, vec![MOperand::Reg(1), MOperand::Reg(2)]);
-        assert_eq!(def_of(&mv), Some(1));
-        assert_eq!(reads_of(&mv), vec![2], "mov overwrites without reading");
+        let mv = MInst::alloc(
+            &mut pool,
+            Opcode::Mov,
+            &[MOperand::Reg(1), MOperand::Reg(2)],
+        );
+        assert_eq!(def_of(&mv, &pool), Some(1));
+        assert_eq!(
+            reads_of(&mv, &pool),
+            vec![2],
+            "mov overwrites without reading"
+        );
 
-        let st = inst(
+        let st = MInst::alloc(
+            &mut pool,
             Opcode::Store,
-            vec![
+            &[
                 MOperand::Mem {
                     base: 5,
                     offset: -8,
@@ -416,18 +501,31 @@ mod tests {
                 MOperand::Reg(3),
             ],
         );
-        assert_eq!(def_of(&st), None);
-        assert_eq!(reads_of(&st), vec![5, 3], "store reads base and value");
+        assert_eq!(def_of(&st, &pool), None);
+        assert_eq!(
+            reads_of(&st, &pool),
+            vec![5, 3],
+            "store reads base and value"
+        );
 
-        let call = inst(Opcode::Call, vec![MOperand::Sym(SymRef::Func(0))]);
-        assert_eq!(def_of(&call), Some(0), "call clobbers the return register");
+        let call = MInst::alloc(&mut pool, Opcode::Call, &[MOperand::Sym(SymRef::Func(0))]);
+        assert_eq!(
+            def_of(&call, &pool),
+            Some(0),
+            "call clobbers the return register"
+        );
     }
 
     #[test]
     fn float_registers_are_distinct_slots() {
-        let a = inst(Opcode::Addsd, vec![MOperand::FReg(1), MOperand::FReg(2)]);
-        assert_eq!(def_of(&a), Some(0x101));
-        assert_eq!(reads_of(&a), vec![0x101, 0x102]);
+        let mut pool = Vec::new();
+        let a = MInst::alloc(
+            &mut pool,
+            Opcode::Addsd,
+            &[MOperand::FReg(1), MOperand::FReg(2)],
+        );
+        assert_eq!(def_of(&a, &pool), Some(0x101));
+        assert_eq!(reads_of(&a, &pool), vec![0x101, 0x102]);
     }
 
     #[test]
@@ -488,29 +586,33 @@ mod tests {
     fn store_load_dependence_detected() {
         use khaos_binary::{BinBlock, BinFunction, BinProvenance};
         let mk = |with_reload: bool| {
-            let mut insts = vec![inst(
+            let mut pool = Vec::new();
+            let mut blk = BinBlock::default();
+            blk.push_inst(
+                &mut pool,
                 Opcode::Store,
-                vec![
+                &[
                     MOperand::Mem {
                         base: 5,
                         offset: -16,
                     },
                     MOperand::Reg(1),
                 ],
-            )];
+            );
             if with_reload {
-                insts.push(inst(
+                blk.push_inst(
+                    &mut pool,
                     Opcode::Load,
-                    vec![
+                    &[
                         MOperand::Reg(2),
                         MOperand::Mem {
                             base: 5,
                             offset: -16,
                         },
                     ],
-                ));
+                );
             }
-            insts.push(inst(Opcode::Ret, vec![]));
+            blk.push_inst(&mut pool, Opcode::Ret, &[]);
             Binary {
                 build_provenance: 0,
                 name: "t".into(),
@@ -521,11 +623,8 @@ mod tests {
                         annotations: vec![],
                     },
                     exported: false,
-                    blocks: vec![BinBlock {
-                        insts,
-                        succs: vec![],
-                        calls: vec![],
-                    }],
+                    blocks: vec![blk],
+                    operand_pool: pool,
                 }],
                 relocations: vec![],
                 externals: vec![],

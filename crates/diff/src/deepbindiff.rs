@@ -75,8 +75,9 @@ impl DeepBinDiff {
         // Own token features.
         let mut own: Vec<Vec<f64>> = Vec::with_capacity(n);
         for &(fi, bi) in &ids {
+            let f = &bin.functions[fi];
             let mut v = vec![0.0; EMB_DIM];
-            for t in block_tokens(&bin.functions[fi].blocks[bi]) {
+            for t in block_tokens(&f.blocks[bi], &f.operand_pool) {
                 add_token(&mut v, &t, 1.0);
             }
             own.push(v);

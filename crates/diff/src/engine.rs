@@ -21,11 +21,19 @@
 //!   `precision_at_1`, `rank_of_true_match`, `escape_at_k` and
 //!   `binary_similarity` share embeddings instead of each re-embedding
 //!   the same binaries from scratch.
+//! * the **streaming rank layer** — [`dot_blocked`] (the 8-wide
+//!   blocked kernel both the matrix build and the scorers run on),
+//!   [`RowScore`] (per-tool cell scorers over cached embeddings),
+//!   [`StreamingTopK`] (`O(k)`-memory ranked selection) and the
+//!   [`stream_top_k`]/[`stream_rank_of_first_match`] drivers. Rank-only
+//!   metrics use these to answer `top_k`, `rank_of_true_match` and
+//!   `escape_profile` without ever allocating the `Q×T` matrix.
 //!
 //! The legacy per-pair path ([`crate::Differ::similarity_matrix`],
 //! [`crate::cosine`]) is kept intact as the reference implementation;
-//! equivalence of the two paths to 1e-12 is asserted by this module's
-//! tests and `tests/batched_engine.rs` at the workspace root.
+//! equivalence of every path — per-pair, batched matrix, streaming —
+//! to 1e-12 is asserted by this module's tests and
+//! `tests/batched_engine.rs` at the workspace root.
 
 use khaos_binary::Binary;
 use std::collections::HashMap;
@@ -97,9 +105,41 @@ impl FunctionEmbeddings {
     }
 }
 
+/// Naive scalar dot product: the reference semantics the blocked
+/// kernel is pinned against (1e-12) by `tests/batched_engine.rs`.
 #[inline]
-fn dot(a: &[f64], b: &[f64]) -> f64 {
+pub fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot over mismatched dimensions");
     a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// 8-wide blocked dot product with a scalar tail.
+///
+/// Eight independent accumulators let the CPU overlap the FP adds
+/// (the scalar loop serializes on one accumulator's add latency);
+/// rows come from the flat row-major [`FunctionEmbeddings`] buffer, so
+/// the loads stream. Reassociation changes the rounding order, which is
+/// why equivalence to [`dot_scalar`] is pinned at 1e-12, not bitwise.
+///
+/// Like [`crate::cosine`], the blocked entry point debug-asserts equal
+/// lengths — `zip` would otherwise silently truncate to the shorter
+/// side and quietly skew every similarity built on top.
+#[inline]
+pub fn dot_blocked(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot over mismatched dimensions");
+    let mut acc = [0.0f64; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for k in 0..8 {
+            acc[k] += xa[k] * xb[k];
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7])) + tail
 }
 
 /// A query×target similarity matrix in flat row-major storage, built
@@ -145,7 +185,7 @@ impl SimilarityMatrix {
             khaos_par::par_chunks_mut(&mut data, t, |i, row| {
                 let qr = qe.row(i);
                 for (j, slot) in row.iter_mut().enumerate() {
-                    let s = dot(qr, te.row(j));
+                    let s = dot_blocked(qr, te.row(j));
                     *slot = if clamp { s.max(0.0) } else { s };
                 }
             });
@@ -235,24 +275,9 @@ impl SimilarityMatrix {
     pub fn rank_of_first_match(
         &self,
         i: usize,
-        mut is_match: impl FnMut(usize) -> bool,
+        is_match: impl FnMut(usize) -> bool,
     ) -> Option<usize> {
-        let row = self.row(i);
-        // The matching candidate that sorts earliest: maximum
-        // similarity, ties broken by lower index (first win).
-        let mut best: Option<(f64, usize)> = None;
-        for (j, &s) in row.iter().enumerate() {
-            if is_match(j) && best.map(|(bs, _)| s > bs).unwrap_or(true) {
-                best = Some((s, j));
-            }
-        }
-        let (ms, mj) = best?;
-        let ahead = row
-            .iter()
-            .enumerate()
-            .filter(|&(j, &s)| s > ms || (s == ms && j < mj))
-            .count();
-        Some(ahead + 1)
+        rank_of_first_match_in_row(self.row(i), is_match)
     }
 
     /// Elementwise maximum with a same-shaped matrix (the best-of-two-
@@ -279,6 +304,223 @@ impl SimilarityMatrix {
     }
 }
 
+/// 1-based rank of the best-ranked candidate accepted by `is_match`
+/// in one similarity row (descending similarity, ties broken by lower
+/// index), or `None` when nothing matches. Shared by the matrix path
+/// ([`SimilarityMatrix::rank_of_first_match`]) and the streaming path
+/// ([`stream_rank_of_first_match`]), so both rank under one pinned
+/// tie-break.
+pub fn rank_of_first_match_in_row(
+    row: &[f64],
+    mut is_match: impl FnMut(usize) -> bool,
+) -> Option<usize> {
+    // The matching candidate that sorts earliest: maximum
+    // similarity, ties broken by lower index (first win).
+    let mut best: Option<(f64, usize)> = None;
+    for (j, &s) in row.iter().enumerate() {
+        if is_match(j) && best.map(|(bs, _)| s > bs).unwrap_or(true) {
+            best = Some((s, j));
+        }
+    }
+    let (ms, mj) = best?;
+    let ahead = row
+        .iter()
+        .enumerate()
+        .filter(|&(j, &s)| s > ms || (s == ms && j < mj))
+        .count();
+    Some(ahead + 1)
+}
+
+/// Bounded top-`k` selection over a stream of `(index, score)`
+/// candidates, keeping the same ranked order as
+/// [`SimilarityMatrix::top_k`] (descending score, ties broken by lower
+/// index) in `O(k)` memory — the selection half of the rank-only path
+/// that never materializes a similarity matrix.
+///
+/// Internally a binary min-heap under the rank order: the root is the
+/// *worst* retained candidate, so each offer is `O(1)` when it does not
+/// make the cut and `O(log k)` when it does.
+#[derive(Clone, Debug)]
+pub struct StreamingTopK {
+    k: usize,
+    heap: Vec<(f64, usize)>,
+}
+
+/// `a` ranks strictly worse than `b`: lower score, or equal score with
+/// higher index.
+#[inline]
+fn ranks_worse(a: (f64, usize), b: (f64, usize)) -> bool {
+    a.0 < b.0 || (a.0 == b.0 && a.1 > b.1)
+}
+
+impl StreamingTopK {
+    /// A selector retaining the `k` best candidates.
+    pub fn new(k: usize) -> Self {
+        StreamingTopK {
+            k,
+            heap: Vec::with_capacity(k.min(1024)),
+        }
+    }
+
+    /// Number of candidates currently retained.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing has been retained (also when `k == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Offers one candidate.
+    pub fn offer(&mut self, index: usize, score: f64) {
+        if self.k == 0 {
+            return;
+        }
+        let cand = (score, index);
+        if self.heap.len() < self.k {
+            self.heap.push(cand);
+            // Sift up.
+            let mut i = self.heap.len() - 1;
+            while i > 0 {
+                let parent = (i - 1) / 2;
+                if ranks_worse(self.heap[i], self.heap[parent]) {
+                    self.heap.swap(i, parent);
+                    i = parent;
+                } else {
+                    break;
+                }
+            }
+            return;
+        }
+        if !ranks_worse(cand, self.heap[0]) {
+            // Strictly better than the worst retained: replace + sift down.
+            self.heap[0] = cand;
+            let mut i = 0;
+            loop {
+                let (l, r) = (2 * i + 1, 2 * i + 2);
+                let mut worst = i;
+                if l < self.heap.len() && ranks_worse(self.heap[l], self.heap[worst]) {
+                    worst = l;
+                }
+                if r < self.heap.len() && ranks_worse(self.heap[r], self.heap[worst]) {
+                    worst = r;
+                }
+                if worst == i {
+                    break;
+                }
+                self.heap.swap(i, worst);
+                i = worst;
+            }
+        }
+    }
+
+    /// The retained candidates in ranked order (descending score, ties
+    /// by lower index) — exactly the order [`SimilarityMatrix::top_k`]
+    /// returns.
+    pub fn into_ranked(self) -> Vec<(usize, f64)> {
+        let mut v: Vec<(usize, f64)> = self.heap.into_iter().map(|(s, j)| (j, s)).collect();
+        v.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite sims")
+                .then(a.0.cmp(&b.0))
+        });
+        v
+    }
+}
+
+/// One side of the rank-only streaming path: similarity of a query
+/// function against target candidates, computed cell by cell instead of
+/// as a materialized `Q×T` matrix. Implementations must score exactly
+/// what the tool's batched [`SimilarityMatrix`] would hold at `(qi, j)`
+/// (the streaming/matrix equivalence is pinned by
+/// `tests/batched_engine.rs`).
+pub trait RowScore {
+    /// Number of query functions.
+    fn rows(&self) -> usize;
+    /// Number of target candidates.
+    fn cols(&self) -> usize;
+    /// Similarity of query `qi` vs target `j`.
+    fn score(&self, qi: usize, j: usize) -> f64;
+
+    /// Writes query `qi`'s full similarity row into `out` (reused
+    /// scratch, `O(T)` — the only buffer the rank path ever allocates).
+    fn fill_row(&self, qi: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.cols());
+        for j in 0..self.cols() {
+            out.push(self.score(qi, j));
+        }
+    }
+}
+
+/// The default [`RowScore`]: blocked dot products over two normalized
+/// embedding tables, clamped at zero exactly like
+/// [`SimilarityMatrix::from_embeddings`].
+pub struct EmbedScorer {
+    qe: Arc<FunctionEmbeddings>,
+    te: Arc<FunctionEmbeddings>,
+    clamp: bool,
+}
+
+impl EmbedScorer {
+    /// Builds the scorer; panics when both sides are non-empty with
+    /// mismatched dimensionalities (mirroring the matrix constructor).
+    pub fn new(qe: Arc<FunctionEmbeddings>, te: Arc<FunctionEmbeddings>, clamp: bool) -> Self {
+        if !qe.is_empty() && !te.is_empty() {
+            assert_eq!(
+                qe.dim(),
+                te.dim(),
+                "query and target embeddings must share a dimensionality"
+            );
+        }
+        EmbedScorer { qe, te, clamp }
+    }
+}
+
+impl RowScore for EmbedScorer {
+    fn rows(&self) -> usize {
+        self.qe.len()
+    }
+    fn cols(&self) -> usize {
+        self.te.len()
+    }
+    #[inline]
+    fn score(&self, qi: usize, j: usize) -> f64 {
+        let s = dot_blocked(self.qe.row(qi), self.te.row(j));
+        if self.clamp {
+            s.max(0.0)
+        } else {
+            s
+        }
+    }
+}
+
+/// Streaming [`SimilarityMatrix::top_k`]: the `k` best candidates for
+/// query `qi` in ranked order, computed in `O(k)` extra memory from a
+/// [`RowScore`] — no matrix, no full row.
+pub fn stream_top_k(scorer: &dyn RowScore, qi: usize, k: usize) -> Vec<(usize, f64)> {
+    let mut sel = StreamingTopK::new(k);
+    for j in 0..scorer.cols() {
+        sel.offer(j, scorer.score(qi, j));
+    }
+    sel.into_ranked()
+}
+
+/// Streaming [`SimilarityMatrix::rank_of_first_match`]: computes one
+/// similarity row into `scratch` (reused across queries) and ranks in
+/// it — `O(T)` memory for arbitrarily many queries, instead of the
+/// `O(Q×T)` matrix.
+pub fn stream_rank_of_first_match(
+    scorer: &dyn RowScore,
+    qi: usize,
+    scratch: &mut Vec<f64>,
+    is_match: impl FnMut(usize) -> bool,
+) -> Option<usize> {
+    scorer.fill_row(qi, scratch);
+    rank_of_first_match_in_row(scratch, is_match)
+}
+
 /// Cache key: tool identity (name + configuration fingerprint) and
 /// binary fingerprint.
 type CacheKey = (&'static str, u64, u64);
@@ -290,8 +532,13 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to embed.
     pub misses: u64,
-    /// Entries currently resident.
+    /// Embedding tables currently resident.
     pub entries: usize,
+    /// Similarity matrices currently resident. The rank-only metric
+    /// path (`escape_profile` on an unseen pair, the streaming rank
+    /// helpers) must never grow this — asserted by
+    /// `tests/batched_engine.rs`.
+    pub matrix_entries: usize,
 }
 
 /// Matrix cache key: tool identity plus both binaries' fingerprints.
@@ -439,6 +686,33 @@ impl EmbeddingCache {
         value
     }
 
+    /// The similarity matrix for a `(tool, query, target)` triple **if
+    /// it is already resident** — never builds one. The rank-only
+    /// metric path uses this to reuse a matrix some earlier metric
+    /// already paid for, falling back to the streaming scorer (which
+    /// never allocates `Q×T`) when nothing is cached. A hit counts in
+    /// [`EmbeddingCache::stats`]; a miss is not charged (nothing is
+    /// embedded or built on this path).
+    pub fn peek_matrix(
+        &self,
+        tool: &dyn crate::Differ,
+        query_fingerprint: u64,
+        target_fingerprint: u64,
+    ) -> Option<Arc<SimilarityMatrix>> {
+        let key: MatrixKey = (
+            tool.name(),
+            tool.config_fingerprint(),
+            query_fingerprint,
+            target_fingerprint,
+        );
+        let mut inner = self.inner.lock().expect("embedding cache poisoned");
+        let hit = inner.matrices.get(&key).map(Arc::clone);
+        if hit.is_some() {
+            inner.hits += 1;
+        }
+        hit
+    }
+
     /// Cache effectiveness counters.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().expect("embedding cache poisoned");
@@ -446,6 +720,7 @@ impl EmbeddingCache {
             hits: inner.hits,
             misses: inner.misses,
             entries: inner.map.len(),
+            matrix_entries: inner.matrices.len(),
         }
     }
 
@@ -482,6 +757,53 @@ mod tests {
         assert_eq!(norm(e.row(1)), 0.0);
         assert!((norm(e.row(2)) - 1.0).abs() < 1e-15);
         assert_eq!(e.row(2), &[-1.0, 0.0]);
+    }
+
+    /// The length debug-assert of [`crate::cosine`] fires in the
+    /// blocked kernel entry point too — mismatched dimensions must not
+    /// silently truncate in either path.
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        should_panic(expected = "dot over mismatched dimensions")
+    )]
+    fn blocked_dot_asserts_equal_lengths() {
+        if !cfg!(debug_assertions) {
+            // Release builds compile the assert out; nothing to check.
+            return;
+        }
+        let _ = dot_blocked(&[1.0, 2.0, 3.0], &[1.0, 2.0]);
+    }
+
+    /// Same guard on the scalar reference kernel.
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        should_panic(expected = "dot over mismatched dimensions")
+    )]
+    fn scalar_dot_asserts_equal_lengths() {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let _ = dot_scalar(&[1.0; 9], &[1.0; 8]);
+    }
+
+    #[test]
+    fn streaming_top_k_is_deterministic_on_ties() {
+        // Pinned tie-break: equal scores rank by lower index, exactly
+        // like SimilarityMatrix::top_k.
+        let row = [0.5, 0.9, 0.5, 0.9, 0.1, 0.9, 0.0];
+        let mut sel = StreamingTopK::new(4);
+        for (j, &s) in row.iter().enumerate() {
+            sel.offer(j, s);
+        }
+        let got: Vec<usize> = sel.into_ranked().into_iter().map(|(j, _)| j).collect();
+        assert_eq!(got, vec![1, 3, 5, 0]);
+        // k = 0 retains nothing.
+        let mut empty = StreamingTopK::new(0);
+        empty.offer(0, 1.0);
+        assert!(empty.is_empty());
+        assert!(empty.into_ranked().is_empty());
     }
 
     #[test]

@@ -21,14 +21,27 @@
 //!
 //! All metric entry points run on the [`engine`]'s batched path:
 //!
+//! * the tools walk `khaos-binary`'s **flat operand-pool layout**
+//!   (instruction operands live in one contiguous
+//!   `BinFunction::operand_pool` slice per function, reached through
+//!   [`khaos_binary::MInst::operands`]) — cold fingerprint+embed is
+//!   bandwidth-bound, not allocator-bound, and the n-gram embedders
+//!   hash token fragments through resumable [`TokenHasher`] states
+//!   instead of `format!`-ing every n-gram;
 //! * embeddings live in [`FunctionEmbeddings`] — one flat row-major
 //!   buffer, **L2-normalized once at construction**, so cosine is a
-//!   pure dot product in the inner loop (no per-pair `sqrt`/norms);
+//!   pure dot product in the inner loop (no per-pair `sqrt`/norms),
+//!   computed by the 8-wide [`dot_blocked`] kernel (scalar-reference
+//!   equivalence pinned at 1e-12);
 //! * each binary pair yields one [`SimilarityMatrix`] (flat storage,
 //!   parallel row construction via `khaos-par`, `top_k` by partial
 //!   selection, `O(T)` rank queries) shared by every metric that needs
-//!   it — `escape@k` in particular ranks *all* vulnerable queries
-//!   against a single matrix;
+//!   it;
+//! * **rank-only queries never materialize that matrix**: `escape@k`
+//!   and the `*_streaming` rank metrics run on a per-tool [`RowScore`]
+//!   scorer — one `O(T)` row of similarities at a time (or `O(k)` via
+//!   [`StreamingTopK`] for ranked retrieval), off the same cached
+//!   embeddings, so 1000+-function binaries rank memory-flat;
 //! * embeddings are memoized in the process-wide [`EmbeddingCache`],
 //!   keyed by `(tool name, tool config fingerprint,`
 //!   [`khaos_binary::Binary::fingerprint`]`)`, so a sweep scoring many
@@ -37,14 +50,19 @@
 //! **When to use which API:** existing `Differ`-taking signatures
 //! ([`precision_at_1`], [`escape_at_k`], [`rank_of_true_match`],
 //! [`binary_similarity`]) are thin wrappers over the batched engine and
-//! remain the convenient entry points; reach for
-//! [`Differ::batched_similarity`] plus the matrix accessors when you
-//! need several metrics from one pair or ranked retrieval, and for
-//! [`escape_profile`] when you need `escape@k` at several `k`. The
+//! remain the convenient entry points; [`escape_profile`] answers
+//! `escape@k` at several `k` from one rank pass, reusing a cached
+//! matrix when some other metric already built one and streaming
+//! otherwise. Reach for [`Differ::batched_similarity`] plus the matrix
+//! accessors when several metrics need one pair, and for
+//! [`Differ::row_scorer`] / [`engine::stream_top_k`] /
+//! [`escape_profile_streaming`] / [`rank_of_true_match_streaming`] when
+//! ranks are all you need and the matrix should never be allocated. The
 //! legacy per-pair [`Differ::similarity_matrix`] default is kept
-//! unchanged as the *reference implementation*; the equivalence of the
-//! two paths (to 1e-12) is pinned by `engine` unit tests and the
-//! `batched_engine` integration suite.
+//! unchanged as the *reference implementation*; the equivalence of all
+//! paths — per-pair vs batched matrix vs streaming — to 1e-12 is
+//! pinned by `engine` unit tests and the `batched_engine` integration
+//! suite.
 
 mod asm2vec;
 mod bindiff;
@@ -62,16 +80,24 @@ pub use asm2vec::Asm2Vec;
 pub use bindiff::{binary_similarity, binary_similarity_with, BinDiff};
 pub use dataflow::DataFlowDiff;
 pub use deepbindiff::{deepbindiff_precision_at_1, DeepBinDiff};
-pub use engine::{CacheStats, EmbeddingCache, FunctionEmbeddings, SimilarityMatrix};
+pub use engine::{
+    dot_blocked, CacheStats, EmbeddingCache, FunctionEmbeddings, RowScore, SimilarityMatrix,
+    StreamingTopK,
+};
 pub use metrics::{
-    escape_at_k, escape_profile, escape_profile_with, origins_match, precision_at_1,
-    precision_at_1_with, rank_of_true_match, rank_of_true_match_in,
+    escape_at_k, escape_profile, escape_profile_streaming, escape_profile_with, origins_match,
+    precision_at_1, precision_at_1_with, rank_of_true_match, rank_of_true_match_in,
+    rank_of_true_match_streaming,
 };
 pub use safe::Safe;
 pub use tokens::{
     block_class_tokens, block_tokens, function_class_stream, function_token_stream, opcode_class,
+    operand_class,
 };
-pub use vector::{cosine, hash_token, Dim, EMB_DIM};
+pub use vector::{
+    add_token, add_token_parts, cosine, hash_sign, hash_sign_parts, hash_token, hash_token_parts,
+    Dim, TokenHasher, EMB_DIM,
+};
 pub use vulseeker::VulSeeker;
 
 use khaos_binary::Binary;
@@ -155,6 +181,49 @@ pub trait Differ {
             self.embed(target)
         });
         SimilarityMatrix::from_embeddings(&qe, &te)
+    }
+
+    /// A streaming row scorer for the pair: scores any `(qi, j)` cell
+    /// on demand, holding `O(1)` state beyond the cached embeddings —
+    /// the rank-only metrics ([`escape_profile`],
+    /// [`rank_of_true_match_streaming`], [`engine::stream_top_k`]) run
+    /// on this instead of materializing the `Q×T`
+    /// [`SimilarityMatrix`]. Must score exactly what
+    /// [`Differ::batched_similarity_keyed`]'s matrix holds (pinned by
+    /// `tests/batched_engine.rs`); tools overriding the batched matrix
+    /// must override this too.
+    fn row_scorer_keyed<'a>(
+        &'a self,
+        query: &'a Binary,
+        target: &'a Binary,
+        cache: &EmbeddingCache,
+        query_fingerprint: u64,
+        target_fingerprint: u64,
+    ) -> Box<dyn engine::RowScore + 'a> {
+        let cfg = self.config_fingerprint();
+        let qe = cache.get_or_embed((self.name(), cfg, query_fingerprint), || self.embed(query));
+        let te = cache.get_or_embed((self.name(), cfg, target_fingerprint), || {
+            self.embed(target)
+        });
+        let _ = (query, target);
+        Box::new(engine::EmbedScorer::new(qe, te, true))
+    }
+
+    /// As [`Differ::row_scorer_keyed`], fingerprinting both sides
+    /// itself.
+    fn row_scorer<'a>(
+        &'a self,
+        query: &'a Binary,
+        target: &'a Binary,
+        cache: &EmbeddingCache,
+    ) -> Box<dyn engine::RowScore + 'a> {
+        self.row_scorer_keyed(
+            query,
+            target,
+            cache,
+            query.fingerprint(),
+            target.fingerprint(),
+        )
     }
 }
 

@@ -8,7 +8,7 @@
 //! vulnerable query function — which made the §4.2 inner loop
 //! quadratic in redundant work.
 
-use crate::engine::EmbeddingCache;
+use crate::engine::{stream_rank_of_first_match, EmbeddingCache};
 use crate::{Differ, SimilarityMatrix};
 use khaos_binary::{BinProvenance, Binary};
 
@@ -73,7 +73,9 @@ pub fn rank_of_true_match_in(
 ///
 /// Convenience wrapper that builds (or fetches from cache) the matrix
 /// for one query; rank many queries via [`rank_of_true_match_in`] on a
-/// shared [`SimilarityMatrix`] instead.
+/// shared [`SimilarityMatrix`] instead, or via
+/// [`rank_of_true_match_streaming`] when no matrix should be built at
+/// all.
 pub fn rank_of_true_match(
     tool: &dyn Differ,
     baseline: &Binary,
@@ -82,6 +84,26 @@ pub fn rank_of_true_match(
 ) -> Option<usize> {
     let matrix = EmbeddingCache::global().matrix_for(tool, baseline, obf);
     rank_of_true_match_in(&matrix, baseline, obf, qi)
+}
+
+/// [`rank_of_true_match`] on the streaming path: scores query `qi`
+/// against the candidates row-wise off cached embeddings and ranks in
+/// that single `O(T)` row — the full `Q×T` [`SimilarityMatrix`] is
+/// never allocated. Equivalent to the matrix path (pinned by
+/// `tests/batched_engine.rs`).
+pub fn rank_of_true_match_streaming(
+    tool: &dyn Differ,
+    baseline: &Binary,
+    obf: &Binary,
+    qi: usize,
+    cache: &EmbeddingCache,
+) -> Option<usize> {
+    let scorer = tool.row_scorer(baseline, obf, cache);
+    let qprov = &baseline.functions[qi].provenance;
+    let mut scratch = Vec::new();
+    stream_rank_of_first_match(scorer.as_ref(), qi, &mut scratch, |j| {
+        origins_match(qprov, &obf.functions[j].provenance)
+    })
 }
 
 /// `escape@k` over the vulnerable functions of the baseline binary: the
@@ -105,6 +127,14 @@ pub fn escape_profile(
 }
 
 /// [`escape_profile`] against an explicit embedding cache.
+///
+/// Rank-only: when the pair's similarity matrix is already resident
+/// (some earlier metric paid for it), ranks are answered from it; when
+/// it is not, the ranks stream off the tool's [`crate::RowScore`] —
+/// one `O(T)` row per vulnerable query, cached embeddings, and **no
+/// `Q×T` matrix allocation ever** (on large binaries with few
+/// vulnerable functions this is also far less dot-product work than a
+/// matrix build).
 pub fn escape_profile_with(
     tool: &dyn Differ,
     baseline: &Binary,
@@ -122,11 +152,68 @@ pub fn escape_profile_with(
     if vulnerable.is_empty() {
         return vec![0.0; ks.len()];
     }
-    let matrix = cache.matrix_for(tool, baseline, obf);
+    let qfp = baseline.fingerprint();
+    let tfp = obf.fingerprint();
+    let ranks: Vec<Option<usize>> = match cache.peek_matrix(tool, qfp, tfp) {
+        Some(matrix) => vulnerable
+            .iter()
+            .map(|&qi| rank_of_true_match_in(&matrix, baseline, obf, qi))
+            .collect(),
+        None => {
+            let scorer = tool.row_scorer_keyed(baseline, obf, cache, qfp, tfp);
+            let mut scratch = Vec::new();
+            vulnerable
+                .iter()
+                .map(|&qi| {
+                    let qprov = &baseline.functions[qi].provenance;
+                    stream_rank_of_first_match(scorer.as_ref(), qi, &mut scratch, |j| {
+                        origins_match(qprov, &obf.functions[j].provenance)
+                    })
+                })
+                .collect()
+        }
+    };
+    escape_from_ranks(&ranks, ks)
+}
+
+/// [`escape_profile`] forced onto the streaming path: never touches a
+/// cached matrix, never builds one. The memory guarantee is
+/// unconditional (`O(T)` scratch regardless of how many thresholds or
+/// queries), at the cost of re-scoring even when a matrix is resident.
+pub fn escape_profile_streaming(
+    tool: &dyn Differ,
+    baseline: &Binary,
+    obf: &Binary,
+    ks: &[usize],
+    cache: &EmbeddingCache,
+) -> Vec<f64> {
+    let vulnerable: Vec<usize> = baseline
+        .functions
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.provenance.annotations.iter().any(|a| a == "vulnerable"))
+        .map(|(i, _)| i)
+        .collect();
+    if vulnerable.is_empty() {
+        return vec![0.0; ks.len()];
+    }
+    let scorer = tool.row_scorer(baseline, obf, cache);
+    let mut scratch = Vec::new();
     let ranks: Vec<Option<usize>> = vulnerable
         .iter()
-        .map(|&qi| rank_of_true_match_in(&matrix, baseline, obf, qi))
+        .map(|&qi| {
+            let qprov = &baseline.functions[qi].provenance;
+            stream_rank_of_first_match(scorer.as_ref(), qi, &mut scratch, |j| {
+                origins_match(qprov, &obf.functions[j].provenance)
+            })
+        })
         .collect();
+    escape_from_ranks(&ranks, ks)
+}
+
+/// Escape fractions at each threshold from per-query ranks (`None` =
+/// the query has no true match anywhere, which always escapes).
+fn escape_from_ranks(ranks: &[Option<usize>], ks: &[usize]) -> Vec<f64> {
     ks.iter()
         .map(|&k| {
             let escaped = ranks
@@ -136,7 +223,7 @@ pub fn escape_profile_with(
                     None => true,
                 })
                 .count();
-            escaped as f64 / vulnerable.len() as f64
+            escaped as f64 / ranks.len() as f64
         })
         .collect()
 }

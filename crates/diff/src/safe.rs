@@ -6,7 +6,7 @@
 //! attention-style emphasis (rarer tokens weigh more than filler moves).
 
 use crate::tokens::function_class_stream;
-use crate::vector::{add_token, EMB_DIM};
+use crate::vector::{TokenHasher, EMB_DIM};
 use crate::Differ;
 use khaos_binary::Binary;
 use std::collections::HashMap;
@@ -38,14 +38,20 @@ impl Differ for Safe {
     fn embed(&self, bin: &Binary) -> Vec<Vec<f64>> {
         // Corpus-level token frequencies give the attention weights
         // (inverse-frequency emphasis, as learned attention tends to).
-        let mut df: HashMap<String, f64> = HashMap::new();
+        // Each distinct token is hashed once into a resumable state;
+        // per-occurrence work is then a lookup plus the 3-byte phase
+        // suffix — identical, bit for bit, to the seed's
+        // `format!("{t}#p{phase}")` hashing.
         let streams: Vec<Vec<String>> = bin.functions.iter().map(function_class_stream).collect();
+        let mut df: HashMap<&str, (f64, TokenHasher)> = HashMap::new();
         for s in &streams {
             for t in s {
-                *df.entry(t.clone()).or_insert(0.0) += 1.0;
+                df.entry(t.as_str())
+                    .or_insert_with(|| (0.0, TokenHasher::new().feed(t)))
+                    .0 += 1.0;
             }
         }
-        let total: f64 = df.values().sum::<f64>().max(1.0);
+        let total: f64 = df.values().map(|(c, _)| c).sum::<f64>().max(1.0);
 
         streams
             .iter()
@@ -53,12 +59,13 @@ impl Differ for Safe {
                 let mut v = vec![0.0; EMB_DIM];
                 let n = s.len().max(1) as f64;
                 for (i, t) in s.iter().enumerate() {
-                    let attention = (total / (1.0 + df[t])).ln().max(0.1);
+                    let (count, h) = df[t.as_str()];
+                    let attention = (total / (1.0 + count)).ln().max(0.1);
                     // Position bucket: early/mid/late phases of the body.
+                    const PHASES: [&str; 4] = ["#p0", "#p1", "#p2", "#p3"];
                     let phase = (i / self.position_period) % 4;
-                    let positional = format!("{t}#p{phase}");
-                    add_token(&mut v, t, attention / n);
-                    add_token(&mut v, &positional, 0.5 * attention / n);
+                    h.add_to(&mut v, attention / n);
+                    h.feed(PHASES[phase]).add_to(&mut v, 0.5 * attention / n);
                 }
                 let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
                 if norm > 0.0 {

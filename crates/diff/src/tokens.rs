@@ -3,6 +3,11 @@
 //! Operands are normalized to classes — the standard preprocessing of
 //! Asm2Vec/SAFE/DeepBinDiff (concrete registers and addresses carry no
 //! cross-binary signal; immediates are bucketed).
+//!
+//! Instructions store their operands as ranges into the owning
+//! function's flat [`khaos_binary::BinFunction::operand_pool`], so the
+//! per-instruction tokenizers take the pool alongside the instruction;
+//! the function-level streams resolve it themselves.
 
 use khaos_binary::{BinBlock, BinFunction, MInst, MOperand, Opcode, SymRef};
 
@@ -42,24 +47,35 @@ pub fn opcode_class(op: Opcode) -> &'static str {
     }
 }
 
-/// Semantic-class token of an instruction, e.g. `"arith reg,imm8"`.
-pub fn inst_class_token(i: &MInst) -> String {
-    let mut s = String::from(opcode_class(i.opcode));
-    for (k, o) in i.operands.iter().enumerate() {
+/// Shared body of [`inst_token`]/[`inst_class_token`]: head word plus
+/// comma-joined operand classes.
+fn token_with_head(head: &str, i: &MInst, pool: &[MOperand]) -> String {
+    let ops = i.operands(pool);
+    let mut s = String::with_capacity(head.len() + 7 * ops.len());
+    s.push_str(head);
+    for (k, o) in ops.iter().enumerate() {
         s.push(if k == 0 { ' ' } else { ',' });
         s.push_str(operand_class(o));
     }
     s
 }
 
+/// Semantic-class token of an instruction, e.g. `"arith reg,imm8"`.
+pub fn inst_class_token(i: &MInst, pool: &[MOperand]) -> String {
+    token_with_head(opcode_class(i.opcode), i, pool)
+}
+
 /// Class tokens of one block (used by the learned-model stand-ins).
-pub fn block_class_tokens(b: &BinBlock) -> Vec<String> {
-    b.insts.iter().map(inst_class_token).collect()
+pub fn block_class_tokens(b: &BinBlock, pool: &[MOperand]) -> Vec<String> {
+    b.insts.iter().map(|i| inst_class_token(i, pool)).collect()
 }
 
 /// The linear class-token stream of a function.
 pub fn function_class_stream(f: &BinFunction) -> Vec<String> {
-    f.blocks.iter().flat_map(block_class_tokens).collect()
+    f.blocks
+        .iter()
+        .flat_map(|b| block_class_tokens(b, &f.operand_pool))
+        .collect()
 }
 
 /// Normalizes one operand to a token fragment.
@@ -86,23 +102,21 @@ pub fn operand_class(o: &MOperand) -> &'static str {
 }
 
 /// Normalized token of a whole instruction, e.g. `"add reg,imm8"`.
-pub fn inst_token(i: &MInst) -> String {
-    let mut s = String::from(i.opcode.mnemonic());
-    for (k, o) in i.operands.iter().enumerate() {
-        s.push(if k == 0 { ' ' } else { ',' });
-        s.push_str(operand_class(o));
-    }
-    s
+pub fn inst_token(i: &MInst, pool: &[MOperand]) -> String {
+    token_with_head(i.opcode.mnemonic(), i, pool)
 }
 
 /// Tokens of one block.
-pub fn block_tokens(b: &BinBlock) -> Vec<String> {
-    b.insts.iter().map(inst_token).collect()
+pub fn block_tokens(b: &BinBlock, pool: &[MOperand]) -> Vec<String> {
+    b.insts.iter().map(|i| inst_token(i, pool)).collect()
 }
 
 /// The linear token stream of a function (layout order).
 pub fn function_token_stream(f: &BinFunction) -> Vec<String> {
-    f.blocks.iter().flat_map(block_tokens).collect()
+    f.blocks
+        .iter()
+        .flat_map(|b| block_tokens(b, &f.operand_pool))
+        .collect()
 }
 
 #[cfg(test)]
@@ -112,33 +126,53 @@ mod tests {
 
     #[test]
     fn tokens_normalize_operands() {
-        let i = MInst::new(Opcode::Add, vec![MOperand::Reg(3), MOperand::Imm(5)]);
-        assert_eq!(inst_token(&i), "add reg,imm8");
-        let j = MInst::new(Opcode::Add, vec![MOperand::Reg(9), MOperand::Imm(77)]);
+        let mut pool = Vec::new();
+        let i = MInst::alloc(
+            &mut pool,
+            Opcode::Add,
+            &[MOperand::Reg(3), MOperand::Imm(5)],
+        );
+        assert_eq!(inst_token(&i, &pool), "add reg,imm8");
+        let j = MInst::alloc(
+            &mut pool,
+            Opcode::Add,
+            &[MOperand::Reg(9), MOperand::Imm(77)],
+        );
         assert_eq!(
-            inst_token(&i),
-            inst_token(&j),
+            inst_token(&i, &pool),
+            inst_token(&j, &pool),
             "register ids are abstracted"
         );
     }
 
     #[test]
     fn immediates_bucketed() {
-        let z = MInst::new(Opcode::MovImm, vec![MOperand::Reg(0), MOperand::Imm(0)]);
-        let small = MInst::new(Opcode::MovImm, vec![MOperand::Reg(0), MOperand::Imm(-5)]);
-        let big = MInst::new(
+        let mut pool = Vec::new();
+        let z = MInst::alloc(
+            &mut pool,
             Opcode::MovImm,
-            vec![MOperand::Reg(0), MOperand::Imm(100000)],
+            &[MOperand::Reg(0), MOperand::Imm(0)],
         );
-        assert_eq!(inst_token(&z), "mov reg,imm0");
-        assert_eq!(inst_token(&small), "mov reg,imm8");
-        assert_eq!(inst_token(&big), "mov reg,imm32");
+        let small = MInst::alloc(
+            &mut pool,
+            Opcode::MovImm,
+            &[MOperand::Reg(0), MOperand::Imm(-5)],
+        );
+        let big = MInst::alloc(
+            &mut pool,
+            Opcode::MovImm,
+            &[MOperand::Reg(0), MOperand::Imm(100000)],
+        );
+        assert_eq!(inst_token(&z, &pool), "mov reg,imm0");
+        assert_eq!(inst_token(&small, &pool), "mov reg,imm8");
+        assert_eq!(inst_token(&big, &pool), "mov reg,imm32");
     }
 
     #[test]
     fn symbol_classes_differ() {
-        let c1 = MInst::new(Opcode::Call, vec![MOperand::Sym(SymRef::Func(4))]);
-        let c2 = MInst::new(Opcode::Call, vec![MOperand::Sym(SymRef::Ext(0))]);
-        assert_ne!(inst_token(&c1), inst_token(&c2));
+        let mut pool = Vec::new();
+        let c1 = MInst::alloc(&mut pool, Opcode::Call, &[MOperand::Sym(SymRef::Func(4))]);
+        let c2 = MInst::alloc(&mut pool, Opcode::Call, &[MOperand::Sym(SymRef::Ext(0))]);
+        assert_ne!(inst_token(&c1, &pool), inst_token(&c2, &pool));
     }
 }

@@ -37,6 +37,95 @@ pub fn add_token(vec: &mut [f64], token: &str, weight: f64) {
     vec[d] += weight * hash_sign(token);
 }
 
+/// [`hash_token`] of the concatenation of `parts`, streamed through a
+/// [`TokenHasher`] — no intermediate `String`.
+/// `hash_token_parts(&[a, "|", b]) == hash_token(&format!("{a}|{b}"))`,
+/// bit for bit.
+pub fn hash_token_parts(parts: &[&str]) -> Dim {
+    parts
+        .iter()
+        .fold(TokenHasher::new(), |h, p| h.feed(p))
+        .dim()
+}
+
+/// [`hash_sign`] of the concatenation of `parts` (streamed, identical
+/// to hashing the concatenated string).
+pub fn hash_sign_parts(parts: &[&str]) -> f64 {
+    parts
+        .iter()
+        .fold(TokenHasher::new(), |h, p| h.feed(p))
+        .sign()
+}
+
+/// [`add_token`] for a token given as concatenated fragments.
+pub fn add_token_parts(vec: &mut [f64], parts: &[&str], weight: f64) {
+    parts
+        .iter()
+        .fold(TokenHasher::new(), |h, p| h.feed(p))
+        .add_to(vec, weight);
+}
+
+/// Resumable token-hash state: both the position ([`hash_token`]) and
+/// sign ([`hash_sign`]) chains are byte-streaming, so the state after a
+/// prefix can be cloned and extended with a suffix. The n-gram
+/// embedders exploit this twice: per-token states are computed once per
+/// block (unigram adds become table lookups), and a trigram resumes
+/// from the bigram's state — only the `"|" + next` suffix is hashed.
+/// `TokenHasher::new().feed(a).feed(b)` is bit-identical to hashing the
+/// concatenated string.
+#[derive(Clone, Copy, Debug)]
+pub struct TokenHasher {
+    fnv: u64,
+    sign: u64,
+}
+
+impl Default for TokenHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TokenHasher {
+    /// The state of the empty token.
+    pub fn new() -> Self {
+        TokenHasher {
+            fnv: 0xcbf29ce484222325,
+            sign: 0x9e3779b97f4a7c15,
+        }
+    }
+
+    /// Extends the state with a fragment (builder style).
+    pub fn feed(mut self, fragment: &str) -> Self {
+        for b in fragment.as_bytes() {
+            self.fnv ^= *b as u64;
+            self.fnv = self.fnv.wrapping_mul(0x100000001b3);
+            self.sign = self.sign.rotate_left(9) ^ (*b as u64);
+            self.sign = self.sign.wrapping_mul(0xff51afd7ed558ccd);
+        }
+        self
+    }
+
+    /// The embedding dimension of the bytes fed so far.
+    pub fn dim(&self) -> Dim {
+        (self.fnv % EMB_DIM as u64) as usize
+    }
+
+    /// The sign of the bytes fed so far.
+    pub fn sign(&self) -> f64 {
+        if self.sign & 1 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Adds `weight` at this state's dimension with its sign —
+    /// [`add_token`] of the accumulated fragments.
+    pub fn add_to(&self, vec: &mut [f64], weight: f64) {
+        vec[self.dim()] += weight * self.sign();
+    }
+}
+
 /// Cosine similarity; 0.0 when either vector is all-zero.
 ///
 /// Both vectors must have the same length — `zip` would otherwise
@@ -80,6 +169,30 @@ mod tests {
         assert_eq!(cosine(&a, &c), 0.0, "zero vector = 0");
         let d = [-1.0, -2.0, -3.0];
         assert!((cosine(&a, &d) + 1.0).abs() < 1e-12, "opposite = -1");
+    }
+
+    #[test]
+    fn streamed_parts_match_concatenated_string() {
+        let cases: [&[&str]; 4] = [
+            &["mov reg,imm8"],
+            &["alu reg,reg", "|", "jump loc"],
+            &["a", "|", "b", "|", "c"],
+            &["call fnsym", "#p3"],
+        ];
+        for parts in cases {
+            let joined = parts.concat();
+            assert_eq!(hash_token_parts(parts), hash_token(&joined), "{joined}");
+            assert_eq!(hash_sign_parts(parts), hash_sign(&joined), "{joined}");
+            let mut a = vec![0.0; EMB_DIM];
+            let mut b = vec![0.0; EMB_DIM];
+            add_token_parts(&mut a, parts, 0.5);
+            add_token(&mut b, &joined, 0.5);
+            assert_eq!(a, b, "{joined}");
+            // The resumable state agrees fragment-by-fragment too.
+            let h = parts.iter().fold(TokenHasher::new(), |h, p| h.feed(p));
+            assert_eq!(h.dim(), hash_token(&joined), "{joined}");
+            assert_eq!(h.sign(), hash_sign(&joined), "{joined}");
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ fn features(f: &BinFunction) -> [f64; FEAT] {
     let mut cond = 0.0;
     let mut consts = 0.0;
     let mut total = 0.0;
+    let pool = f.operand_pool.as_slice();
     for b in &f.blocks {
         for i in &b.insts {
             total += 1.0;
@@ -65,7 +66,7 @@ fn features(f: &BinFunction) -> [f64; FEAT] {
                 Opcode::Jcc | Opcode::Cmp | Opcode::Test | Opcode::Ucomisd => cond += 1.0,
                 _ => {}
             }
-            for o in &i.operands {
+            for o in i.operands(pool) {
                 if matches!(o, khaos_binary::MOperand::Imm(_)) {
                     consts += 1.0;
                 }

@@ -114,6 +114,20 @@ macro_rules! prop_assert {
     ($($t:tt)*) => { assert!($($t)*) };
 }
 
+/// Skips the current case when `cond` does not hold (the real crate
+/// rejects and resamples; this shim simply moves to the next case —
+/// with deterministic per-test streams that is the same set of
+/// surviving cases on every run). Must be used inside a [`proptest!`]
+/// body, where the case loop is in scope.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
 /// Asserts equality inside a proptest case.
 #[macro_export]
 macro_rules! prop_assert_eq {
@@ -168,7 +182,8 @@ macro_rules! __proptest_fns {
 /// Prelude matching `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
     };
 }
 
@@ -193,6 +208,13 @@ mod tests {
         #[test]
         fn default_config(x in 1i64..100) {
             prop_assert!((1..100).contains(&x));
+        }
+
+        /// `prop_assume!` filters cases instead of failing them.
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
         }
     }
 

@@ -5,8 +5,10 @@
 //! with their from-scratch definitions.
 
 use khaos::diff::{
-    binary_similarity, escape_at_k, escape_profile, origins_match, precision_at_1,
-    rank_of_true_match, Asm2Vec, BinDiff, DataFlowDiff, Differ, EmbeddingCache, Safe, VulSeeker,
+    binary_similarity, dot_blocked, escape_at_k, escape_profile, escape_profile_streaming,
+    escape_profile_with, origins_match, precision_at_1, rank_of_true_match,
+    rank_of_true_match_streaming, Asm2Vec, BinDiff, DataFlowDiff, Differ, EmbeddingCache, Safe,
+    StreamingTopK, VulSeeker,
 };
 use khaos::obfuscate::{KhaosContext, KhaosMode};
 use khaos::opt::{optimize, OptOptions};
@@ -174,6 +176,273 @@ fn binary_similarity_is_stable_across_repeat_calls() {
         assert_eq!(a, b, "{}", tool.name());
         assert!((0.0..=1.0 + 1e-9).contains(&a), "{}: {a}", tool.name());
     }
+}
+
+// ---------------------------------------------------------------------
+// Streaming path: blocked dot products, StreamingTopK and the rank-only
+// metrics must agree with the frozen reference semantics.
+// ---------------------------------------------------------------------
+
+use khaos::diff::engine::{dot_scalar, stream_top_k};
+use khaos::diff::reference::reference_escape_at_k as seed_escape;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random f64 in [-1, 1) from a seed-indexed
+/// xorshift stream (the proptest shim samples integers; floats are
+/// derived so cases stay reproducible).
+fn rand_vec(seed: u64, len: usize) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // 53 uniform bits over [0, 1), mapped to [-1, 1).
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// The 8-wide blocked kernel agrees with the scalar reference dot
+    /// product to 1e-12 on random vectors of every tail shape.
+    #[test]
+    fn blocked_dot_matches_scalar(seed in any::<u64>(), dim in 0usize..96) {
+        let a = rand_vec(seed ^ 0xA, dim);
+        let b = rand_vec(seed ^ 0xB, dim);
+        prop_assert!((dot_blocked(&a, &b) - dot_scalar(&a, &b)).abs() <= 1e-12);
+    }
+
+    /// `StreamingTopK` over a random row agrees exactly with the frozen
+    /// full-sort ranking (descending score, ties by lower index) for
+    /// every k — including duplicate scores, which the quantization
+    /// below makes frequent.
+    #[test]
+    fn streaming_top_k_matches_full_sort(seed in any::<u64>(), t in 0usize..80, k in 0usize..90) {
+        // Quantize to force score ties; skip the degenerate k=0-and-
+        // empty-row combination only when both are zero (nothing to
+        // check either way).
+        prop_assume!(t > 0 || k > 0);
+        let row: Vec<f64> = rand_vec(seed, t)
+            .into_iter()
+            .map(|x| (x * 8.0).round() / 8.0)
+            .collect();
+        let mut sel = StreamingTopK::new(k);
+        for (j, &s) in row.iter().enumerate() {
+            sel.offer(j, s);
+        }
+        let got: Vec<usize> = sel.into_ranked().into_iter().map(|(j, _)| j).collect();
+        let mut want: Vec<usize> = (0..t).collect();
+        want.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap().then(a.cmp(&b)));
+        want.truncate(k);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Streaming rank/top-k over random embedding sets agree with the
+    /// materialized `SimilarityMatrix` built from the same rows.
+    #[test]
+    fn streaming_agrees_with_matrix_on_random_embeddings(
+        seed in any::<u64>(),
+        q in 1usize..12,
+        t in 1usize..24,
+        dim in 1usize..40,
+    ) {
+        use khaos::diff::engine::{EmbedScorer, FunctionEmbeddings, RowScore};
+        use khaos::diff::SimilarityMatrix;
+        use std::sync::Arc;
+        let qe = Arc::new(FunctionEmbeddings::from_rows(
+            (0..q).map(|i| rand_vec(seed ^ (i as u64) << 8, dim)).collect(),
+        ));
+        let te = Arc::new(FunctionEmbeddings::from_rows(
+            (0..t).map(|j| rand_vec(seed ^ 0x5eed ^ (j as u64) << 20, dim)).collect(),
+        ));
+        let matrix = SimilarityMatrix::from_embeddings(&qe, &te);
+        let scorer = EmbedScorer::new(Arc::clone(&qe), Arc::clone(&te), true);
+        for qi in 0..q {
+            for j in 0..t {
+                prop_assert_eq!(scorer.score(qi, j), matrix.get(qi, j));
+            }
+            let k = 1 + (seed as usize % t);
+            let got = stream_top_k(&scorer, qi, k);
+            prop_assert_eq!(got, matrix.top_k(qi, k));
+        }
+    }
+}
+
+#[test]
+fn streaming_metrics_match_seed_semantics_for_all_tools() {
+    let (mut base_bin, obf_bin) = obfuscated_pair(53, KhaosMode::FuFiAll);
+    for f in base_bin.functions.iter_mut().step_by(4) {
+        f.provenance.annotations.push("vulnerable".into());
+    }
+    let ks = [1usize, 3, 10, 50, 10_000];
+    for tool in five_tools() {
+        let cache = EmbeddingCache::new(16);
+        // Forced-streaming escape against the frozen per-query seed path.
+        let profile = escape_profile_streaming(tool.as_ref(), &base_bin, &obf_bin, &ks, &cache);
+        for (k, got) in ks.iter().zip(&profile) {
+            let want = seed_escape(tool.as_ref(), &base_bin, &obf_bin, *k);
+            assert!(
+                (got - want).abs() <= 1e-12,
+                "{} escape@{k}: {got} vs {want}",
+                tool.name()
+            );
+        }
+        // Streaming ranks against the seed full-sort ranks.
+        for qi in 0..base_bin.functions.len() {
+            assert_eq!(
+                rank_of_true_match_streaming(tool.as_ref(), &base_bin, &obf_bin, qi, &cache),
+                seed_rank(tool.as_ref(), &base_bin, &obf_bin, qi),
+                "{} rank qi={qi}",
+                tool.name()
+            );
+        }
+        // Streaming top-k against the matrix's partial selection,
+        // including the k > T overhang.
+        let scorer = tool.row_scorer(&base_bin, &obf_bin, &cache);
+        let matrix = tool.batched_similarity(&base_bin, &obf_bin, &cache);
+        for qi in (0..base_bin.functions.len()).step_by(5) {
+            for k in [1, 4, obf_bin.functions.len() + 7] {
+                assert_eq!(
+                    stream_top_k(scorer.as_ref(), qi, k),
+                    matrix.top_k(qi, k),
+                    "{} top_k qi={qi} k={k}",
+                    tool.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rank_only_queries_never_build_a_matrix() {
+    let (mut base_bin, obf_bin) = obfuscated_pair(59, KhaosMode::Fission);
+    base_bin.functions[0]
+        .provenance
+        .annotations
+        .push("vulnerable".into());
+    for tool in five_tools() {
+        let cache = EmbeddingCache::new(16);
+        let _ = escape_profile_with(tool.as_ref(), &base_bin, &obf_bin, &[1, 10, 50], &cache);
+        let _ = escape_profile_streaming(tool.as_ref(), &base_bin, &obf_bin, &[1, 10], &cache);
+        let _ = rank_of_true_match_streaming(tool.as_ref(), &base_bin, &obf_bin, 0, &cache);
+        assert_eq!(
+            cache.stats().matrix_entries,
+            0,
+            "{}: rank-only metrics must not materialize a Q×T matrix",
+            tool.name()
+        );
+        // Once some other metric pays for the matrix, the escape
+        // wrapper reuses it (and still agrees with itself).
+        let via_stream = escape_profile_with(tool.as_ref(), &base_bin, &obf_bin, &[1, 10], &cache);
+        let _ = khaos::diff::precision_at_1_with(tool.as_ref(), &base_bin, &obf_bin, &cache);
+        assert_eq!(cache.stats().matrix_entries, 1, "{}", tool.name());
+        let via_matrix = escape_profile_with(tool.as_ref(), &base_bin, &obf_bin, &[1, 10], &cache);
+        assert_eq!(via_stream, via_matrix, "{}", tool.name());
+    }
+}
+
+#[test]
+fn escape_profile_edge_cases() {
+    let tool = Asm2Vec::default();
+
+    // k larger than the candidate pool: a query with any true match has
+    // rank <= T <= k, so only match-less queries escape.
+    let (mut base_bin, obf_bin) = obfuscated_pair(61, KhaosMode::Fusion);
+    for f in base_bin.functions.iter_mut() {
+        f.provenance.annotations.push("vulnerable".into());
+    }
+    let t = obf_bin.functions.len();
+    let cache = EmbeddingCache::new(16);
+    let matchless = base_bin
+        .functions
+        .iter()
+        .filter(|f| {
+            !obf_bin
+                .functions
+                .iter()
+                .any(|c| origins_match(&f.provenance, &c.provenance))
+        })
+        .count();
+    let want = matchless as f64 / base_bin.functions.len() as f64;
+    for profile in [
+        escape_profile_with(&tool, &base_bin, &obf_bin, &[t, t + 1, 10 * t], &cache),
+        escape_profile_streaming(&tool, &base_bin, &obf_bin, &[t, t + 1, 10 * t], &cache),
+    ] {
+        for got in profile {
+            assert!((got - want).abs() <= 1e-12, "k >= T escape: {got} vs {want}");
+        }
+    }
+
+    // Single-function binaries: rank is 1 when provenances intersect
+    // (escape 0 at every k >= 1), and None when they don't (escape 1).
+    let mut solo = small_solo_binary("solo");
+    solo.functions[0]
+        .provenance
+        .annotations
+        .push("vulnerable".into());
+    assert_eq!(
+        escape_profile_streaming(&tool, &solo, &solo, &[1, 2], &EmbeddingCache::new(4)),
+        vec![0.0, 0.0]
+    );
+    let mut foreign = solo.clone();
+    foreign.functions[0].provenance.origins = vec!["elsewhere".into()];
+    assert_eq!(
+        escape_profile_streaming(&tool, &solo, &foreign, &[1, 2], &EmbeddingCache::new(4)),
+        vec![1.0, 1.0]
+    );
+
+    // Tied similarity scores: the pinned tie-break is "lower candidate
+    // index ranks first". With two identical candidates ahead of the
+    // true match, a clone of the query at index 0 and the true match at
+    // index 2 give deterministic rank 3 on both paths.
+    let solo_clean = {
+        let mut b = solo.clone();
+        b.functions[0].provenance.annotations.clear();
+        b
+    };
+    let mut tied = solo_clean.clone();
+    let mut decoy = solo_clean.functions[0].clone();
+    decoy.provenance.origins = vec!["decoy".into()];
+    tied.functions = vec![
+        decoy.clone(),
+        decoy,
+        {
+            let mut t = solo_clean.functions[0].clone();
+            t.provenance.origins = solo.functions[0].provenance.origins.clone();
+            t
+        },
+    ];
+    let cache = EmbeddingCache::new(4);
+    assert_eq!(
+        rank_of_true_match_streaming(&tool, &solo, &tied, 0, &cache),
+        Some(3),
+        "two identical decoys at lower indices rank ahead deterministically"
+    );
+    assert_eq!(
+        escape_profile_streaming(&tool, &solo, &tied, &[1, 2, 3], &cache),
+        vec![1.0, 1.0, 0.0]
+    );
+    assert_eq!(
+        escape_profile_with(&tool, &solo, &tied, &[1, 2, 3], &cache),
+        vec![1.0, 1.0, 0.0]
+    );
+}
+
+/// A one-function binary for the degenerate-shape cases.
+fn small_solo_binary(name: &str) -> Binary {
+    let profile = ProgramProfile {
+        name: name.into(),
+        functions: 1,
+        constructs: 1,
+        seed: 5,
+        ..ProgramProfile::default()
+    };
+    let mut bin = lower_module(&generate(&profile));
+    bin.functions.truncate(1);
+    bin
 }
 
 #[test]
