@@ -326,11 +326,23 @@ pub fn fig10(_scope: Scope) {
         .collect();
     let cells: Vec<Vec<[f64; 3]>> = par_fan_out(&grid, |&(ci, pi)| {
         let (base_bin, base) = &prepared[pi];
-        let obf_bin = build_binary(base, configs[ci].1);
+        let (cfg_name, cfg) = &configs[ci];
+        let obf_bin = build_binary(base, *cfg);
         tools
             .iter()
-            .map(|(_, tool)| {
+            .map(|(tool_name, tool)| {
                 let profile = escape_profile(tool.as_ref(), base_bin, &obf_bin, &KS);
+                // Durable per-cell result, keyed by the build pipeline's
+                // fingerprint (no-op without KHAOS_STORE).
+                crate::harness::persist_metrics(
+                    &format!("fig10/{}/{cfg_name}/{tool_name}", base_bin.name),
+                    cfg.fingerprint(),
+                    &[
+                        ("escape@1", profile[0]),
+                        ("escape@10", profile[1]),
+                        ("escape@50", profile[2]),
+                    ],
+                );
                 [profile[0], profile[1], profile[2]]
             })
             .collect()

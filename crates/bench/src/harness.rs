@@ -10,14 +10,28 @@
 //! fingerprint as build provenance (see [`build_binary`]), so the
 //! process-wide `khaos-diff` embedding cache is safely shared across
 //! drivers that rebuild the same (program, pipeline) pair.
+//!
+//! ## Persistent artifacts
+//!
+//! When the `KHAOS_STORE` environment variable names a directory, the
+//! whole harness runs against that persistent artifact store
+//! ([`artifact_store`]): the embedding cache behind every metric call
+//! tiers memory → disk → compute (so fig6–fig11/table2 sweeps
+//! warm-start across processes), [`run_spec`] persists each build's
+//! [`khaos_pass::PipelineReport`] keyed by the pipeline's fingerprint,
+//! and drivers can attach metric results to the same keys via
+//! [`persist_metrics`]. Store writes are atomic renames, so concurrent
+//! [`par_fan_out`] workers share one store safely.
 
 use khaos_binary::{lower_module, Binary};
 use khaos_core::KhaosMode;
 use khaos_ir::Module;
 use khaos_ollvm::OllvmMode;
 use khaos_opt::OptLevel;
-use khaos_pass::{PassCtx, Pipeline, VerifyPolicy};
+use khaos_pass::{PassCtx, Pipeline, PipelineReport, VerifyPolicy};
+use khaos_store::{Store, StoredReport};
 use khaos_vm::{run_with_config, RunConfig};
+use std::sync::Arc;
 
 /// The obfuscation seed used across all experiments (determinism).
 pub const SEED: u64 = 0xC60_2023;
@@ -106,12 +120,54 @@ impl BuildConfig {
     }
 }
 
+/// The artifact store configured by `KHAOS_STORE`, shared with the
+/// process-wide `khaos-diff` embedding cache (whose disk tier it is).
+/// `None` when no store is configured — every persistence helper in
+/// this module is then a no-op.
+pub fn artifact_store() -> Option<Arc<Store>> {
+    // Routing through the cache (rather than `Store::from_env`
+    // directly) keeps exactly one `Store` per process and ensures the
+    // disk tier is attached before the first metric call.
+    khaos_diff::EmbeddingCache::global().store()
+}
+
+/// Converts a pipeline report into its persistent form, stamped with
+/// the subject it was measured on (a thin re-export of
+/// [`StoredReport::from_pipeline`] so drivers only need `khaos-bench`).
+pub fn stored_report(subject: &str, report: &PipelineReport) -> StoredReport {
+    StoredReport::from_pipeline(subject, report)
+}
+
+/// Persists metric results for a build, keyed by the pipeline's
+/// fingerprint, the experiment seed and a free-form subject (program
+/// name, experiment cell, …). No-op without a configured store; store
+/// errors are swallowed — persistence must never fail an experiment.
+pub fn persist_metrics(subject: &str, pipeline_fingerprint: u64, metrics: &[(&str, f64)]) {
+    if let Some(store) = artifact_store() {
+        let report = StoredReport {
+            spec: String::new(),
+            pipeline: pipeline_fingerprint,
+            seed: SEED,
+            subject: subject.to_string(),
+            total_micros: 0,
+            passes: Vec::new(),
+            metrics: metrics.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+        };
+        let _ = store.put_report(&report);
+    }
+}
+
 /// Runs a pipeline spec over a clone of `src` with a fresh context
 /// seeded `seed`, verifying after every pass — at least as strict as
 /// the legacy entry points, which verified right after the obfuscation
 /// transform so an invalid module failed loudly *before* the `O2+lto`
 /// re-optimization could reshape the evidence. Returns the built
 /// module and the context (Table-2 statistics).
+///
+/// With an [`artifact_store`] configured, the run's
+/// [`khaos_pass::PipelineReport`] is persisted keyed by
+/// `(pipeline fingerprint, seed, program name)` — every build any
+/// driver performs leaves a durable timing/IR-delta record.
 ///
 /// # Panics
 /// Panics when the spec does not parse or the pipeline produces invalid
@@ -120,9 +176,12 @@ pub fn run_spec(src: &Module, spec: &str, seed: u64) -> (Module, PassCtx) {
     let pipeline = Pipeline::parse(spec).unwrap_or_else(|e| panic!("spec `{spec}`: {e}"));
     let mut m = src.clone();
     let mut ctx = PassCtx::new(seed).with_verify(VerifyPolicy::AfterEach);
-    pipeline
+    let report = pipeline
         .run(&mut m, &mut ctx)
         .unwrap_or_else(|e| panic!("pipeline `{spec}` on {}: {e}", src.name));
+    if let Some(store) = artifact_store() {
+        let _ = store.put_report(&stored_report(&src.name, &report));
+    }
     (m, ctx)
 }
 

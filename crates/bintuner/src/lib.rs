@@ -268,6 +268,24 @@ impl BinTuner {
                 best_bin = bin;
             }
         }
+        // With a persistent store configured (KHAOS_STORE), record the
+        // winning configuration as an experiment artifact keyed by its
+        // pipeline fingerprint — a later sweep can read which spec won
+        // for this program without re-running the search.
+        if let Some(store) = khaos_diff::EmbeddingCache::global().store() {
+            let _ = store.put_report(&khaos_store::StoredReport {
+                spec: best_cfg.pipeline().to_string(),
+                pipeline: best_cfg.fingerprint(),
+                seed: self.seed,
+                subject: format!("bintuner/{}", source.name),
+                total_micros: 0,
+                passes: Vec::new(),
+                metrics: vec![
+                    ("similarity_vs_o0".into(), best_sim),
+                    ("evaluations".into(), evaluations as f64),
+                ],
+            });
+        }
         TunedResult {
             config: best_cfg,
             spec: best_cfg.pipeline().to_string(),

@@ -20,7 +20,11 @@
 //!   `(tool name, tool configuration, binary fingerprint)` so
 //!   `precision_at_1`, `rank_of_true_match`, `escape_at_k` and
 //!   `binary_similarity` share embeddings instead of each re-embedding
-//!   the same binaries from scratch.
+//!   the same binaries from scratch. With a persistent `khaos-store`
+//!   attached (the `KHAOS_STORE` environment variable for the global
+//!   instance), lookups tier **memory → disk → compute** and artifacts
+//!   survive the process — cross-process sweeps and CI runs warm-start,
+//!   served bit-identical to a fresh computation.
 //! * the **streaming rank layer** — [`dot_blocked`] (the 8-wide
 //!   blocked kernel both the matrix build and the scorers run on),
 //!   [`RowScore`] (per-tool cell scorers over cached embeddings),
@@ -103,6 +107,39 @@ impl FunctionEmbeddings {
     pub fn row(&self, i: usize) -> &[f64] {
         &self.data[i * self.dim..(i + 1) * self.dim]
     }
+
+    /// The whole flat row-major buffer — the exact bytes the disk tier
+    /// persists (`khaos-store` round-trips raw f64 bits).
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Rewraps a flat buffer of **already normalized** rows without
+    /// renormalizing — the disk-tier load path. Renormalizing here
+    /// would divide by a norm of ~1.0 and could perturb low bits, which
+    /// would break the pinned guarantee that disk-served embeddings are
+    /// bit-identical to freshly computed ones.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != n * dim`.
+    pub fn from_flat_normalized(n: usize, dim: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * dim, "flat embedding shape mismatch");
+        FunctionEmbeddings { n, dim, data }
+    }
+}
+
+/// Descending score comparison for ranked selection: standard IEEE
+/// comparison when the pair is ordered — so `-0.0` ties `+0.0` and
+/// falls through to the lower-index tie-break, exactly the seed's
+/// `partial_cmp` semantics — with a [`f64::total_cmp`] fallback when a
+/// NaN is involved, so a NaN produced by a buggy scorer degrades to a
+/// deterministic rank (positive NaN above `+inf`, negative NaN below
+/// `-inf`) instead of panicking mid-rank. This is a valid total
+/// ordering: the only pairs `total_cmp` would order differently are
+/// `±0.0`, and those are already handled as equal by the ordered arm.
+#[inline]
+fn cmp_scores_desc(a: f64, b: f64) -> std::cmp::Ordering {
+    b.partial_cmp(&a).unwrap_or_else(|| b.total_cmp(&a))
 }
 
 /// Naive scalar dot product: the reference semantics the blocked
@@ -248,18 +285,19 @@ impl SimilarityMatrix {
     /// order [`crate::rank_of_true_match`] ranks in), found by partial
     /// selection instead of a full sort: `O(T + k log k)` rather than
     /// `O(T log T)`.
+    ///
+    /// Scores are ordered by the NaN-total [`cmp_scores_desc`]
+    /// ordering, so a NaN produced by a buggy scorer degrades
+    /// deterministically (positive NaN ranks above `+inf`, negative NaN
+    /// below `-inf`) instead of panicking mid-rank, while ordered
+    /// scores keep the seed's exact tie-break (`-0.0` ties `+0.0`).
     pub fn top_k(&self, i: usize, k: usize) -> Vec<(usize, f64)> {
         let row = self.row(i);
         let k = k.min(row.len());
         if k == 0 {
             return Vec::new();
         }
-        let rank_order = |&a: &usize, &b: &usize| {
-            row[b]
-                .partial_cmp(&row[a])
-                .expect("finite sims")
-                .then(a.cmp(&b))
-        };
+        let rank_order = |&a: &usize, &b: &usize| cmp_scores_desc(row[a], row[b]).then(a.cmp(&b));
         let mut idx: Vec<usize> = (0..row.len()).collect();
         if k < idx.len() {
             idx.select_nth_unstable_by(k - 1, rank_order);
@@ -301,6 +339,11 @@ impl SimilarityMatrix {
     /// Copies into the legacy nested-`Vec` representation.
     pub fn to_nested(&self) -> Vec<Vec<f64>> {
         (0..self.q).map(|i| self.row(i).to_vec()).collect()
+    }
+
+    /// The whole flat row-major buffer — what the disk tier persists.
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
     }
 }
 
@@ -347,10 +390,13 @@ pub struct StreamingTopK {
 }
 
 /// `a` ranks strictly worse than `b`: lower score, or equal score with
-/// higher index.
+/// higher index — under the same NaN-total [`cmp_scores_desc`] order
+/// the ranked sorts use, so the candidates [`StreamingTopK`] *retains*
+/// under capacity pressure match [`SimilarityMatrix::top_k`] even when
+/// a buggy scorer emits NaN.
 #[inline]
 fn ranks_worse(a: (f64, usize), b: (f64, usize)) -> bool {
-    a.0 < b.0 || (a.0 == b.0 && a.1 > b.1)
+    cmp_scores_desc(a.0, b.0).then(a.1.cmp(&b.1)) == std::cmp::Ordering::Greater
 }
 
 impl StreamingTopK {
@@ -417,14 +463,11 @@ impl StreamingTopK {
 
     /// The retained candidates in ranked order (descending score, ties
     /// by lower index) — exactly the order [`SimilarityMatrix::top_k`]
-    /// returns.
+    /// returns. NaN scores sort under the same NaN-total ordering as
+    /// `top_k` ([`cmp_scores_desc`]): deterministic, never a panic.
     pub fn into_ranked(self) -> Vec<(usize, f64)> {
         let mut v: Vec<(usize, f64)> = self.heap.into_iter().map(|(s, j)| (j, s)).collect();
-        v.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("finite sims")
-                .then(a.0.cmp(&b.0))
-        });
+        v.sort_unstable_by(|a, b| cmp_scores_desc(a.1, b.1).then(a.0.cmp(&b.0)));
         v
     }
 }
@@ -528,9 +571,10 @@ type CacheKey = (&'static str, u64, u64);
 /// Hit/miss counters of an [`EmbeddingCache`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the in-memory tier.
     pub hits: u64,
-    /// Lookups that had to embed.
+    /// Lookups the memory tier could not answer (served by disk or
+    /// computed).
     pub misses: u64,
     /// Embedding tables currently resident.
     pub entries: usize,
@@ -539,6 +583,20 @@ pub struct CacheStats {
     /// helpers) must never grow this — asserted by
     /// `tests/batched_engine.rs`.
     pub matrix_entries: usize,
+    /// Memory misses answered by the disk tier (an attached
+    /// `khaos-store`). Disk-served artifacts are bit-identical to
+    /// freshly computed ones — pinned by `crates/store` tests and
+    /// `tests/store_e2e.rs`.
+    pub disk_hits: u64,
+    /// Memory misses the disk tier could not answer either (the
+    /// artifact was then computed). Zero when no store is attached.
+    pub disk_misses: u64,
+    /// Records successfully written to the disk tier.
+    pub disk_writes: u64,
+    /// Embedding tables actually computed by calling the tool's
+    /// `embed` — the recomputation counter a warm-start sweep asserts
+    /// to be zero on its second run.
+    pub embeds_computed: u64,
 }
 
 /// Matrix cache key: tool identity plus both binaries' fingerprints.
@@ -574,8 +632,14 @@ struct CacheInner {
     order: std::collections::VecDeque<CacheKey>,
     matrices: HashMap<MatrixKey, Arc<SimilarityMatrix>>,
     matrix_order: std::collections::VecDeque<MatrixKey>,
+    /// The disk tier, when attached (memory → disk → compute).
+    store: Option<Arc<khaos_store::Store>>,
     hits: u64,
     misses: u64,
+    disk_hits: u64,
+    disk_misses: u64,
+    disk_writes: u64,
+    embeds_computed: u64,
 }
 
 /// A bounded, thread-safe embedding cache keyed by
@@ -586,6 +650,20 @@ struct CacheInner {
 /// tools × four metrics over the same binary pair embeds each
 /// `(tool, binary)` combination exactly once. Entries are evicted FIFO
 /// past the capacity bound.
+///
+/// ## The disk tier
+///
+/// With a `khaos-store` attached ([`EmbeddingCache::attach_store`], or
+/// the `KHAOS_STORE` environment variable for the global instance),
+/// lookups go **memory → disk → compute**: a memory miss first tries
+/// the persistent store, and freshly computed artifacts are written
+/// back, so sweeps warm-start across processes and CI runs. The tier an
+/// artifact is served from is unobservable in the values: disk records
+/// round-trip raw f64 bits and the load path never renormalizes, so
+/// memory-served, disk-served and recomputed results are
+/// **bit-identical** (pinned by `crates/store/tests/roundtrip.rs` and
+/// `tests/store_e2e.rs`). Disk I/O errors degrade to cache misses —
+/// a broken disk never fails a metric call.
 pub struct EmbeddingCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
@@ -601,30 +679,62 @@ impl EmbeddingCache {
                 order: std::collections::VecDeque::new(),
                 matrices: HashMap::new(),
                 matrix_order: std::collections::VecDeque::new(),
+                store: None,
                 hits: 0,
                 misses: 0,
+                disk_hits: 0,
+                disk_misses: 0,
+                disk_writes: 0,
+                embeds_computed: 0,
             }),
             capacity: capacity.max(1),
         }
     }
 
-    /// The process-wide cache the metric wrappers use.
+    /// The process-wide cache the metric wrappers use. When the
+    /// `KHAOS_STORE` environment variable names a directory, the
+    /// persistent store there is attached as the disk tier.
     pub fn global() -> &'static EmbeddingCache {
         static GLOBAL: OnceLock<EmbeddingCache> = OnceLock::new();
-        GLOBAL.get_or_init(|| EmbeddingCache::new(256))
+        GLOBAL.get_or_init(|| {
+            let cache = EmbeddingCache::new(256);
+            if let Some(store) = khaos_store::Store::from_env() {
+                cache.attach_store(store);
+            }
+            cache
+        })
     }
 
-    /// Looks up the embeddings for `key`, calling `embed` on a miss.
+    /// Attaches a persistent store as the disk tier (replacing any
+    /// previous one). Existing in-memory entries are kept; they will be
+    /// written through lazily as they are recomputed, not eagerly.
+    pub fn attach_store(&self, store: Arc<khaos_store::Store>) {
+        self.inner.lock().expect("embedding cache poisoned").store = Some(store);
+    }
+
+    /// The attached disk tier, if any.
+    pub fn store(&self) -> Option<Arc<khaos_store::Store>> {
+        self.inner
+            .lock()
+            .expect("embedding cache poisoned")
+            .store
+            .clone()
+    }
+
+    /// Looks up the embeddings for `key`: memory, then the attached
+    /// disk store, then `embed`.
     ///
-    /// The embedding runs outside the lock: concurrent metric calls on
-    /// different binaries never serialize on each other's embedding
-    /// work (a racing duplicate insert is tolerated — last write wins,
-    /// both values are identical by determinism of the tools).
+    /// The disk probe and the embedding both run outside the lock:
+    /// concurrent metric calls on different binaries never serialize on
+    /// each other's embedding work (a racing duplicate insert is
+    /// tolerated — last write wins, both values are identical by
+    /// determinism of the tools).
     pub fn get_or_embed(
         &self,
         key: CacheKey,
         embed: impl FnOnce() -> Vec<Vec<f64>>,
     ) -> Arc<FunctionEmbeddings> {
+        let store;
         {
             let mut inner = self.inner.lock().expect("embedding cache poisoned");
             if let Some(hit) = inner.map.get(&key) {
@@ -633,9 +743,42 @@ impl EmbeddingCache {
                 return hit;
             }
             inner.misses += 1;
+            store = inner.store.clone();
+        }
+        let disk_key = khaos_store::EmbKey {
+            tool: key.0,
+            config: key.1,
+            binary: key.2,
+        };
+        if let Some(store) = &store {
+            if let Ok(Some(table)) = store.get_embeddings(&disk_key) {
+                let value = Arc::new(FunctionEmbeddings::from_flat_normalized(
+                    table.rows as usize,
+                    table.dim as usize,
+                    table.data,
+                ));
+                let mut inner = self.inner.lock().expect("embedding cache poisoned");
+                inner.disk_hits += 1;
+                let CacheInner { map, order, .. } = &mut *inner;
+                insert_bounded(map, order, self.capacity, key, Arc::clone(&value));
+                return value;
+            }
         }
         let value = Arc::new(FunctionEmbeddings::from_rows(embed()));
+        let wrote = store.as_ref().is_some_and(|store| {
+            store
+                .put_embeddings(
+                    &disk_key,
+                    khaos_store::TableView::new(value.len(), value.dim(), value.as_flat()),
+                )
+                .is_ok()
+        });
         let mut inner = self.inner.lock().expect("embedding cache poisoned");
+        inner.embeds_computed += 1;
+        if store.is_some() {
+            inner.disk_misses += 1;
+            inner.disk_writes += wrote as u64;
+        }
         let CacheInner { map, order, .. } = &mut *inner;
         insert_bounded(map, order, self.capacity, key, Arc::clone(&value));
         value
@@ -645,7 +788,10 @@ impl EmbeddingCache {
     /// computed at most once per cache residency — the "matrix produced
     /// once per binary pair" half of the engine. All metric wrappers
     /// route through this, so `precision_at_1` + `escape@k` +
-    /// `binary_similarity` over the same pair share one matrix.
+    /// `binary_similarity` over the same pair share one matrix. With a
+    /// disk tier attached, matrices persist and reload across processes
+    /// exactly like embedding tables (bit-identical, flat buffer in and
+    /// out).
     pub fn matrix_for(
         &self,
         tool: &dyn crate::Differ,
@@ -658,6 +804,7 @@ impl EmbeddingCache {
             query.fingerprint(),
             target.fingerprint(),
         );
+        let store;
         {
             let mut inner = self.inner.lock().expect("embedding cache poisoned");
             if let Some(hit) = inner.matrices.get(&key) {
@@ -666,11 +813,54 @@ impl EmbeddingCache {
                 return hit;
             }
             inner.misses += 1;
+            store = inner.store.clone();
+        }
+        let disk_key = khaos_store::MatKey {
+            tool: key.0,
+            config: key.1,
+            query: key.2,
+            target: key.3,
+        };
+        if let Some(store) = &store {
+            if let Ok(Some(table)) = store.get_matrix(&disk_key) {
+                let value = Arc::new(SimilarityMatrix::from_flat(
+                    table.rows as usize,
+                    table.dim as usize,
+                    table.data,
+                ));
+                let mut inner = self.inner.lock().expect("embedding cache poisoned");
+                inner.disk_hits += 1;
+                let CacheInner {
+                    matrices,
+                    matrix_order,
+                    ..
+                } = &mut *inner;
+                insert_bounded(
+                    matrices,
+                    matrix_order,
+                    self.capacity,
+                    key,
+                    Arc::clone(&value),
+                );
+                return value;
+            }
         }
         // Built outside the lock; embeddings come from this same cache,
         // reusing the fingerprints already computed for the matrix key.
         let value = Arc::new(tool.batched_similarity_keyed(query, target, self, key.2, key.3));
+        let wrote = store.as_ref().is_some_and(|store| {
+            store
+                .put_matrix(
+                    &disk_key,
+                    khaos_store::TableView::new(value.rows(), value.cols(), value.as_flat()),
+                )
+                .is_ok()
+        });
         let mut inner = self.inner.lock().expect("embedding cache poisoned");
+        if store.is_some() {
+            inner.disk_misses += 1;
+            inner.disk_writes += wrote as u64;
+        }
         let CacheInner {
             matrices,
             matrix_order,
@@ -687,12 +877,15 @@ impl EmbeddingCache {
     }
 
     /// The similarity matrix for a `(tool, query, target)` triple **if
-    /// it is already resident** — never builds one. The rank-only
-    /// metric path uses this to reuse a matrix some earlier metric
-    /// already paid for, falling back to the streaming scorer (which
-    /// never allocates `Q×T`) when nothing is cached. A hit counts in
-    /// [`EmbeddingCache::stats`]; a miss is not charged (nothing is
-    /// embedded or built on this path).
+    /// it is already resident in memory** — never builds one and never
+    /// probes the disk tier (the rank-only path must stay free of both
+    /// `Q×T` allocation and disk I/O; streaming off cached embeddings
+    /// is cheaper than deserializing a full matrix it would use once).
+    /// The rank-only metric path uses this to reuse a matrix some
+    /// earlier metric already paid for, falling back to the streaming
+    /// scorer (which never allocates `Q×T`) when nothing is cached. A
+    /// hit counts in [`EmbeddingCache::stats`]; a miss is not charged
+    /// (nothing is embedded or built on this path).
     pub fn peek_matrix(
         &self,
         tool: &dyn crate::Differ,
@@ -721,6 +914,10 @@ impl EmbeddingCache {
             misses: inner.misses,
             entries: inner.map.len(),
             matrix_entries: inner.matrices.len(),
+            disk_hits: inner.disk_hits,
+            disk_misses: inner.disk_misses,
+            disk_writes: inner.disk_writes,
+            embeds_computed: inner.embeds_computed,
         }
     }
 
@@ -939,6 +1136,136 @@ mod tests {
             4,
             "first key was evicted and re-embedded"
         );
+    }
+
+    #[test]
+    fn top_k_and_streaming_degrade_deterministically_on_nan() {
+        // A NaN score must not panic mid-rank; under the NaN-total
+        // order a positive NaN ranks above +inf, deterministically,
+        // and a negative NaN below -inf.
+        let row = vec![0.5, f64::NAN, 0.9, 0.5, -f64::NAN, 0.7];
+        let m = SimilarityMatrix::from_flat(1, row.len(), row.clone());
+        let want = vec![1usize, 2, 5, 0, 3, 4];
+        let got: Vec<usize> = m.top_k(0, row.len()).into_iter().map(|(j, _)| j).collect();
+        assert_eq!(got, want);
+        // StreamingTopK matches the matrix ranking at every k —
+        // including under capacity pressure (k < len), where the
+        // retention decision itself must honour the NaN-total order,
+        // not just the final sort.
+        for k in 0..=row.len() {
+            let mut sel = StreamingTopK::new(k);
+            for (j, &s) in row.iter().enumerate() {
+                sel.offer(j, s);
+            }
+            let ranked: Vec<usize> = sel.into_ranked().into_iter().map(|(j, _)| j).collect();
+            let matrix: Vec<usize> = m.top_k(0, k).into_iter().map(|(j, _)| j).collect();
+            assert_eq!(ranked, matrix, "k={k}");
+            assert_eq!(ranked, want[..k], "k={k}");
+        }
+    }
+
+    #[test]
+    fn fifo_eviction_order_under_capacity_pressure() {
+        // Capacity 2; keys arrive 1, 2, 3, so 1 must be the evictee
+        // (oldest insertion), then touching 2 must NOT save it from
+        // being evicted by 4 — the order is insertion, not recency.
+        let cache = EmbeddingCache::new(2);
+        let (k1, k2, k3, k4) = (("t", 0, 1), ("t", 0, 2), ("t", 0, 3), ("t", 0, 4));
+        let embed = || vec![vec![1.0, 2.0]];
+        cache.get_or_embed(k1, embed);
+        cache.get_or_embed(k2, embed);
+        cache.get_or_embed(k3, embed); // evicts k1
+        cache.get_or_embed(k2, || panic!("k2 must still be resident"));
+        cache.get_or_embed(k4, embed); // evicts k2 despite the recent hit
+        cache.get_or_embed(k3, || panic!("k3 must still be resident"));
+        cache.get_or_embed(k4, || panic!("k4 must still be resident"));
+        let mut evicted = false;
+        cache.get_or_embed(k2, || {
+            evicted = true;
+            vec![vec![1.0, 2.0]]
+        });
+        assert!(evicted, "k2 was evicted FIFO despite being hit after k3");
+    }
+
+    #[test]
+    fn cache_stats_stay_consistent_across_evictions() {
+        let cache = EmbeddingCache::new(2);
+        let embed = || vec![vec![3.0, 4.0]];
+        for round in 0..3u64 {
+            for b in 0..4u64 {
+                cache.get_or_embed(("t", 0, b), embed);
+            }
+            let s = cache.stats();
+            assert!(s.entries <= 2, "entries bounded by capacity: {s:?}");
+            assert_eq!(
+                s.hits + s.misses,
+                (round + 1) * 4,
+                "every lookup is either a hit or a miss: {s:?}"
+            );
+            // No disk tier attached: disk counters must stay zero and
+            // every miss must have computed.
+            assert_eq!((s.disk_hits, s.disk_misses, s.disk_writes), (0, 0, 0));
+            assert_eq!(s.embeds_computed, s.misses, "{s:?}");
+        }
+        // Capacity 2 over a 4-key working set, FIFO: every lookup
+        // misses (the working set never fits).
+        assert_eq!(cache.stats().misses, 12);
+        // Re-inserting a resident key must not inflate `entries`.
+        cache.get_or_embed(("t", 0, 3), || panic!("resident"));
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn disk_tier_round_trips_bit_identical_and_counts() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "khaos-engine-disk-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(khaos_store::Store::open(&dir).expect("store opens"));
+
+        let bin = small_binary("disk");
+        let tool = crate::Safe::default();
+        let key = EmbeddingCache::key(tool.name(), tool.config_fingerprint(), &bin);
+
+        // Process 1: cold — computes and writes through.
+        let first = EmbeddingCache::new(8);
+        first.attach_store(Arc::clone(&store));
+        let computed = first.get_or_embed(key, || tool.embed(&bin));
+        let s = first.stats();
+        assert_eq!((s.disk_hits, s.disk_misses, s.disk_writes), (0, 1, 1));
+        assert_eq!(s.embeds_computed, 1);
+
+        // "Process 2": a fresh cache over the same store — disk hit,
+        // nothing recomputed, bits identical.
+        let second = EmbeddingCache::new(8);
+        second.attach_store(Arc::clone(&store));
+        let loaded = second.get_or_embed(key, || panic!("must come from disk"));
+        let s = second.stats();
+        assert_eq!((s.disk_hits, s.disk_misses), (1, 0));
+        assert_eq!(s.embeds_computed, 0);
+        assert_eq!(
+            (loaded.len(), loaded.dim()),
+            (computed.len(), computed.dim())
+        );
+        for (a, b) in loaded.as_flat().iter().zip(computed.as_flat()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "disk round trip is bit-exact");
+        }
+
+        // Matrices take the same tiered path.
+        let m1 = first.matrix_for(&tool, &bin, &bin);
+        let third = EmbeddingCache::new(8);
+        third.attach_store(Arc::clone(&store));
+        let m2 = third.matrix_for(&tool, &bin, &bin);
+        assert_eq!(third.stats().disk_hits, 1, "matrix served from disk");
+        assert_eq!(third.stats().embeds_computed, 0);
+        for (a, b) in m2.as_flat().iter().zip(m1.as_flat()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).expect("scratch dir removed");
     }
 
     #[test]

@@ -41,12 +41,34 @@ fn as_worker<T>(f: impl FnOnce() -> T) -> T {
     out
 }
 
-/// Number of worker threads to use: `KHAOS_THREADS` when set, otherwise
-/// the machine's available parallelism.
+/// Parses a `KHAOS_THREADS` override: trimmed integer, clamped to at
+/// least one worker. `None` when the value does not parse (the caller
+/// falls back to the machine's parallelism).
+fn parse_thread_override(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().map(|n| n.max(1))
+}
+
+/// Warns — once per process — that a `KHAOS_THREADS` value was ignored.
+/// A silently ignored override is worse than no override: a profiling
+/// run the user believes is single-threaded would quietly fan out.
+fn warn_bad_thread_override(raw: &str) {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "khaos-par: ignoring unparseable KHAOS_THREADS value `{raw}` \
+             (want a positive integer); using available parallelism"
+        );
+    });
+}
+
+/// Number of worker threads to use: `KHAOS_THREADS` when set and
+/// parseable (a bad value warns once and is ignored), otherwise the
+/// machine's available parallelism.
 pub fn max_threads() -> usize {
     if let Ok(v) = std::env::var("KHAOS_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+        match parse_thread_override(&v) {
+            Some(n) => return n,
+            None => warn_bad_thread_override(&v),
         }
     }
     std::thread::available_parallelism()
@@ -215,6 +237,31 @@ mod tests {
             assert!(flag_seen, "worker {i} did not see the nesting flag");
         }
         assert!(!is_worker_thread(), "flag must reset after the fan-out");
+    }
+
+    #[test]
+    fn thread_override_parsing_and_fallback() {
+        // Parseable values win (clamped to >= 1 worker).
+        assert_eq!(parse_thread_override("8"), Some(8));
+        assert_eq!(parse_thread_override("  4 "), Some(4));
+        assert_eq!(parse_thread_override("0"), Some(1), "zero clamps to one");
+        // Unparseable values are rejected — max_threads then falls back.
+        for bad in ["", "eight", "-2", "3.5", "1x"] {
+            assert_eq!(parse_thread_override(bad), None, "`{bad}`");
+        }
+        // The fallback path end-to-end: with an unparseable override in
+        // the environment, max_threads must ignore it (warning once)
+        // and report the machine's parallelism, never zero. Other tests
+        // in this binary that race this env var at worst also take the
+        // fallback, which is the default behaviour anyway.
+        std::env::set_var("KHAOS_THREADS", "not-a-number");
+        let fallback = max_threads();
+        std::env::remove_var("KHAOS_THREADS");
+        let machine = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(fallback, machine, "bad override must fall back");
+        assert!(fallback >= 1);
     }
 
     #[test]

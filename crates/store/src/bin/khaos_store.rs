@@ -1,0 +1,186 @@
+//! `khaos-store` — inspect and maintain an artifact store directory.
+//!
+//! ```text
+//! khaos-store <stats|ls|verify|gc> [--max-bytes N] [DIR]
+//!
+//!   stats          record counts and byte totals per section
+//!   ls             every record with its decoded key
+//!   verify         integrity-check every record (exit 1 on damage)
+//!   gc             shrink to --max-bytes, deleting oldest records first
+//!   DIR            store directory; defaults to $KHAOS_STORE
+//! ```
+
+use khaos_store::Store;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    max_bytes: Option<u64>,
+    dir: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        command: String::new(),
+        max_bytes: None,
+        dir: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max-bytes" => {
+                let v = it.next().ok_or("--max-bytes needs a byte count")?;
+                args.max_bytes = Some(parse_bytes(&v)?);
+            }
+            _ if args.command.is_empty() => args.command = a,
+            _ if args.dir.is_none() => args.dir = Some(a),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if args.command.is_empty() {
+        return Err("missing command".into());
+    }
+    Ok(args)
+}
+
+/// Parses `N`, `Nk`, `Nm`, `Ng` (binary multiples).
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    let (digits, mult) = match s.as_bytes().last() {
+        Some(b'k') | Some(b'K') => (&s[..s.len() - 1], 1u64 << 10),
+        Some(b'm') | Some(b'M') => (&s[..s.len() - 1], 1 << 20),
+        Some(b'g') | Some(b'G') => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(mult))
+        .ok_or_else(|| format!("`{s}` is not a byte count (try 500m, 2g, 1048576)"))
+}
+
+fn human(bytes: u64) -> String {
+    match bytes {
+        b if b >= 1 << 30 => format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64),
+        b if b >= 1 << 20 => format!("{:.2} MiB", b as f64 / (1u64 << 20) as f64),
+        b if b >= 1 << 10 => format!("{:.2} KiB", b as f64 / (1u64 << 10) as f64),
+        b => format!("{b} B"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("khaos-store: {e}");
+            eprintln!("usage: khaos-store <stats|ls|verify|gc> [--max-bytes N] [DIR]");
+            return ExitCode::from(2);
+        }
+    };
+    let dir = match args.dir.or_else(|| std::env::var("KHAOS_STORE").ok()) {
+        Some(d) if !d.trim().is_empty() => d,
+        _ => {
+            eprintln!("khaos-store: no store directory (pass DIR or set KHAOS_STORE)");
+            return ExitCode::from(2);
+        }
+    };
+    let store = match Store::open(&dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("khaos-store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = match args.command.as_str() {
+        "stats" => cmd_stats(&store),
+        "ls" => cmd_ls(&store),
+        "verify" => cmd_verify(&store),
+        "gc" => match args.max_bytes {
+            Some(max) => cmd_gc(&store, max),
+            None => {
+                eprintln!("khaos-store: gc needs --max-bytes");
+                return ExitCode::from(2);
+            }
+        },
+        other => {
+            eprintln!("khaos-store: unknown command `{other}`");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("khaos-store: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_stats(store: &Store) -> std::io::Result<ExitCode> {
+    let s = store.stats()?;
+    println!("store: {}", store.root().display());
+    println!("{:<12} {:>8} {:>12}", "section", "records", "bytes");
+    for (name, sec) in [
+        ("embeddings", s.embeddings),
+        ("matrices", s.matrices),
+        ("reports", s.reports),
+    ] {
+        println!("{:<12} {:>8} {:>12}", name, sec.records, human(sec.bytes));
+    }
+    println!(
+        "{:<12} {:>8} {:>12}",
+        "total",
+        s.total_records(),
+        human(s.total_bytes())
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_ls(store: &Store) -> std::io::Result<ExitCode> {
+    for r in store.ls()? {
+        println!(
+            "{:<4} {:<22} {:>12}  {}",
+            r.section,
+            r.file,
+            human(r.bytes),
+            r.key.as_deref().unwrap_or("<undecodable>")
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_verify(store: &Store) -> std::io::Result<ExitCode> {
+    let issues = store.verify()?;
+    let stats = store.stats()?;
+    if issues.is_empty() {
+        println!(
+            "ok: {} records, {} — all checksums, addresses and shapes verify",
+            stats.total_records(),
+            human(stats.total_bytes())
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    for i in &issues {
+        println!("BAD {:<28} {}", i.file, i.reason);
+    }
+    println!(
+        "{} of {} records damaged",
+        issues.len(),
+        stats.total_records()
+    );
+    Ok(ExitCode::FAILURE)
+}
+
+fn cmd_gc(store: &Store, max_bytes: u64) -> std::io::Result<ExitCode> {
+    let g = store.gc(max_bytes)?;
+    println!(
+        "gc: scanned {} records, deleted {} (oldest first): {} -> {} (target {})",
+        g.scanned,
+        g.deleted,
+        human(g.bytes_before),
+        human(g.bytes_after),
+        human(max_bytes)
+    );
+    Ok(ExitCode::SUCCESS)
+}

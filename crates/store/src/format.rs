@@ -1,0 +1,468 @@
+//! The on-disk record format: encoding, decoding, checksumming.
+//!
+//! Every record is one self-describing file (see the crate-level docs
+//! for the byte-exact layout). This module owns the little-endian
+//! encoder/decoder pair and the FNV-1a checksum both sides share; the
+//! [`crate::Store`] layer never touches raw bytes directly.
+
+use crate::{FlatTable, StoredPass, StoredReport, StoredShape, TableView};
+
+/// First four bytes of every record file.
+pub const MAGIC: [u8; 4] = *b"KHST";
+
+/// Format version written into (and required of) every record and the
+/// store's `FORMAT` stamp. **Bumping this is a cache-invalidating
+/// event**: readers refuse records of any other version, so every
+/// artifact is recomputed and rewritten.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Record kind tag: a per-binary embedding table.
+pub const KIND_EMBEDDINGS: u8 = 1;
+/// Record kind tag: a query×target similarity matrix.
+pub const KIND_MATRIX: u8 = 2;
+/// Record kind tag: a pipeline/experiment report.
+pub const KIND_REPORT: u8 = 3;
+
+/// FNV-1a over a byte slice — the record checksum (and the hash behind
+/// content-addressed file names).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Little-endian record encoder.
+pub(crate) struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub(crate) fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Raw IEEE-754 bits: the byte-exact round trip the store pins.
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Length-prefixed UTF-8 (u32 length + bytes).
+    pub(crate) fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    pub(crate) fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends the FNV-1a checksum of everything written so far and
+    /// returns the finished record bytes.
+    pub(crate) fn finish(mut self) -> Vec<u8> {
+        let sum = fnv1a(&self.buf);
+        self.buf.extend_from_slice(&sum.to_le_bytes());
+        self.buf
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Little-endian record decoder; every accessor fails loudly (with a
+/// reason string the `verify` path surfaces) instead of reading out of
+/// bounds.
+pub(crate) struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("truncated record: wanted {n} bytes at offset {}", self.pos))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "non-UTF-8 string field".to_string())
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn offset(&self) -> usize {
+        self.pos
+    }
+}
+
+/// A decoded record key, owned (as read back from disk).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OwnedKey {
+    /// Embedding-table key.
+    Emb {
+        /// Differ name.
+        tool: String,
+        /// Differ configuration fingerprint.
+        config: u64,
+        /// `Binary::fingerprint` of the embedded binary.
+        binary: u64,
+    },
+    /// Similarity-matrix key.
+    Mat {
+        /// Differ name.
+        tool: String,
+        /// Differ configuration fingerprint.
+        config: u64,
+        /// Query-side binary fingerprint.
+        query: u64,
+        /// Target-side binary fingerprint.
+        target: u64,
+    },
+    /// Report key.
+    Rep {
+        /// `Pipeline::fingerprint` of the build that was measured.
+        pipeline: u64,
+        /// Obfuscation seed of the run.
+        seed: u64,
+        /// Free-form subject (program name, experiment cell, …).
+        subject: String,
+    },
+}
+
+impl std::fmt::Display for OwnedKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OwnedKey::Emb {
+                tool,
+                config,
+                binary,
+            } => write!(f, "emb {tool} cfg={config:016x} bin={binary:016x}"),
+            OwnedKey::Mat {
+                tool,
+                config,
+                query,
+                target,
+            } => write!(
+                f,
+                "mat {tool} cfg={config:016x} q={query:016x} t={target:016x}"
+            ),
+            OwnedKey::Rep {
+                pipeline,
+                seed,
+                subject,
+            } => write!(f, "rep pipeline={pipeline:016x} seed={seed:#x} `{subject}`"),
+        }
+    }
+}
+
+/// A decoded record payload.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Payload {
+    Table(FlatTable),
+    Report(StoredReport),
+}
+
+/// A fully decoded, checksum-verified record.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Record {
+    pub kind: u8,
+    pub key: OwnedKey,
+    pub payload: Payload,
+}
+
+/// Encodes the key block of an embedding record (also the bytes the
+/// content address is derived from, prefixed with the kind tag).
+pub(crate) fn key_bytes_emb(tool: &str, config: u64, binary: u64) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.str(tool);
+    e.u64(config);
+    e.u64(binary);
+    e.into_bytes()
+}
+
+/// Encodes the key block of a matrix record.
+pub(crate) fn key_bytes_mat(tool: &str, config: u64, query: u64, target: u64) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.str(tool);
+    e.u64(config);
+    e.u64(query);
+    e.u64(target);
+    e.into_bytes()
+}
+
+/// Encodes the key block of a report record.
+pub(crate) fn key_bytes_rep(pipeline: u64, seed: u64, subject: &str) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(pipeline);
+    e.u64(seed);
+    e.str(subject);
+    e.into_bytes()
+}
+
+fn payload_bytes_table(table: TableView<'_>) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(table.rows);
+    e.u64(table.dim);
+    for &v in table.data {
+        e.f64(v);
+    }
+    e.into_bytes()
+}
+
+fn payload_bytes_report(r: &StoredReport) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.str(&r.spec);
+    e.u64(r.total_micros);
+    e.u32(r.passes.len() as u32);
+    for p in &r.passes {
+        e.str(&p.pass);
+        e.u64(p.micros);
+        for s in [&p.before, &p.after] {
+            e.u64(s.functions);
+            e.u64(s.blocks);
+            e.u64(s.insts);
+        }
+    }
+    e.u32(r.metrics.len() as u32);
+    for (name, value) in &r.metrics {
+        e.str(name);
+        e.f64(*value);
+    }
+    e.into_bytes()
+}
+
+/// Assembles one complete record: header, key block, length-prefixed
+/// payload, trailing checksum.
+pub(crate) fn encode_record(kind: u8, key_bytes: &[u8], payload: &[u8]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.bytes(&MAGIC);
+    e.u32(FORMAT_VERSION);
+    e.u8(kind);
+    e.bytes(key_bytes);
+    e.u64(payload.len() as u64);
+    e.bytes(payload);
+    e.finish()
+}
+
+/// Encodes an embedding-table record.
+pub(crate) fn encode_embeddings(tool: &str, config: u64, binary: u64, t: TableView<'_>) -> Vec<u8> {
+    encode_record(
+        KIND_EMBEDDINGS,
+        &key_bytes_emb(tool, config, binary),
+        &payload_bytes_table(t),
+    )
+}
+
+/// Encodes a similarity-matrix record.
+pub(crate) fn encode_matrix(
+    tool: &str,
+    config: u64,
+    query: u64,
+    target: u64,
+    t: TableView<'_>,
+) -> Vec<u8> {
+    encode_record(
+        KIND_MATRIX,
+        &key_bytes_mat(tool, config, query, target),
+        &payload_bytes_table(t),
+    )
+}
+
+/// Encodes a report record.
+pub(crate) fn encode_report(r: &StoredReport) -> Vec<u8> {
+    encode_record(
+        KIND_REPORT,
+        &key_bytes_rep(r.pipeline, r.seed, &r.subject),
+        &payload_bytes_report(r),
+    )
+}
+
+fn decode_table(payload: &[u8]) -> Result<FlatTable, String> {
+    let mut d = Dec::new(payload);
+    let rows = d.u64()?;
+    let dim = d.u64()?;
+    let cells = rows
+        .checked_mul(dim)
+        .filter(|&c| c as usize * 8 == d.remaining())
+        .ok_or_else(|| {
+            format!(
+                "table shape {rows}x{dim} disagrees with payload ({} bytes left)",
+                d.remaining()
+            )
+        })?;
+    let mut data = Vec::with_capacity(cells as usize);
+    for _ in 0..cells {
+        data.push(d.f64()?);
+    }
+    Ok(FlatTable { rows, dim, data })
+}
+
+fn decode_report(
+    payload: &[u8],
+    pipeline: u64,
+    seed: u64,
+    subject: String,
+) -> Result<StoredReport, String> {
+    let mut d = Dec::new(payload);
+    let spec = d.str()?;
+    let total_micros = d.u64()?;
+    let n_passes = d.u32()?;
+    let mut passes = Vec::with_capacity(n_passes.min(1 << 16) as usize);
+    for _ in 0..n_passes {
+        let pass = d.str()?;
+        let micros = d.u64()?;
+        let mut shapes = [StoredShape::default(), StoredShape::default()];
+        for s in &mut shapes {
+            s.functions = d.u64()?;
+            s.blocks = d.u64()?;
+            s.insts = d.u64()?;
+        }
+        let [before, after] = shapes;
+        passes.push(StoredPass {
+            pass,
+            micros,
+            before,
+            after,
+        });
+    }
+    let n_metrics = d.u32()?;
+    let mut metrics = Vec::with_capacity(n_metrics.min(1 << 16) as usize);
+    for _ in 0..n_metrics {
+        let name = d.str()?;
+        let value = d.f64()?;
+        metrics.push((name, value));
+    }
+    if d.remaining() != 0 {
+        return Err(format!("{} trailing payload bytes", d.remaining()));
+    }
+    Ok(StoredReport {
+        spec,
+        pipeline,
+        seed,
+        subject,
+        total_micros,
+        passes,
+        metrics,
+    })
+}
+
+/// Decodes and fully validates one record file: magic, format version,
+/// checksum, key block, payload shape. Errors carry a human-readable
+/// reason (surfaced by `khaos-store verify`).
+pub(crate) fn decode_record(bytes: &[u8]) -> Result<Record, String> {
+    if bytes.len() < MAGIC.len() + 4 + 1 + 8 + 8 {
+        return Err(format!("file too short ({} bytes)", bytes.len()));
+    }
+    let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+    let want = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+    let have = fnv1a(body);
+    if want != have {
+        return Err(format!(
+            "checksum mismatch: stored {want:016x}, computed {have:016x}"
+        ));
+    }
+    let mut d = Dec::new(body);
+    let magic = [d.u8()?, d.u8()?, d.u8()?, d.u8()?];
+    if magic != MAGIC {
+        return Err(format!("bad magic {magic:02x?}"));
+    }
+    let version = d.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(format!(
+            "format version {version}, this build reads {FORMAT_VERSION} \
+             (a version bump invalidates the store)"
+        ));
+    }
+    let kind = d.u8()?;
+    let key = match kind {
+        KIND_EMBEDDINGS => OwnedKey::Emb {
+            tool: d.str()?,
+            config: d.u64()?,
+            binary: d.u64()?,
+        },
+        KIND_MATRIX => OwnedKey::Mat {
+            tool: d.str()?,
+            config: d.u64()?,
+            query: d.u64()?,
+            target: d.u64()?,
+        },
+        KIND_REPORT => OwnedKey::Rep {
+            pipeline: d.u64()?,
+            seed: d.u64()?,
+            subject: d.str()?,
+        },
+        _ => return Err(format!("unknown record kind {kind}")),
+    };
+    let payload_len = d.u64()? as usize;
+    if payload_len != d.remaining() {
+        return Err(format!(
+            "payload length {payload_len} disagrees with file ({} bytes after header)",
+            d.remaining()
+        ));
+    }
+    let payload_start = d.offset();
+    let payload = &body[payload_start..];
+    let payload = match &key {
+        OwnedKey::Emb { .. } | OwnedKey::Mat { .. } => Payload::Table(decode_table(payload)?),
+        OwnedKey::Rep {
+            pipeline,
+            seed,
+            subject,
+        } => Payload::Report(decode_report(payload, *pipeline, *seed, subject.clone())?),
+    };
+    Ok(Record { kind, key, payload })
+}
+
+/// The content address (file stem) of a record: FNV-1a over the kind
+/// tag plus the encoded key block, rendered as 16 hex digits. The key
+/// fields are themselves content fingerprints, so equal addresses mean
+/// equal artifacts (up to 64-bit collision odds).
+pub(crate) fn address(kind: u8, key_bytes: &[u8]) -> String {
+    let mut all = Vec::with_capacity(1 + key_bytes.len());
+    all.push(kind);
+    all.extend_from_slice(key_bytes);
+    format!("{:016x}", fnv1a(&all))
+}

@@ -1,0 +1,1016 @@
+//! # khaos-store — persistent content-addressed artifact store
+//!
+//! The evaluation protocol (§4.2 of the paper) re-runs the same differs
+//! over the same obfuscated binaries across many configurations; the
+//! per-binary analysis artifacts — embedding tables, similarity
+//! matrices, pipeline reports — are deterministic functions of content
+//! fingerprints the rest of the workspace already computes
+//! (`Binary::fingerprint`, per-tool `config_fingerprint`,
+//! `Pipeline::fingerprint`). This crate makes those artifacts durable:
+//! an on-disk store that outlives the process, so sweeps and CI bench
+//! runs warm-start instead of re-embedding everything from scratch.
+//!
+//! The store is the **disk tier** under `khaos_diff::EmbeddingCache`
+//! (memory → disk → compute); set the `KHAOS_STORE` environment
+//! variable to a directory to enable it process-wide. Artifacts served
+//! from disk are **bit-identical** to freshly computed ones — payloads
+//! round-trip raw IEEE-754 bits, never a decimal rendering.
+//!
+//! ## Directory layout
+//!
+//! ```text
+//! <root>/FORMAT        "khaos-store 1\n" — refuse directories of any other version
+//! <root>/tmp/          staging area for atomic renames
+//! <root>/emb/<addr>.khs   per-binary embedding tables
+//! <root>/mat/<addr>.khs   query×target similarity matrices
+//! <root>/rep/<addr>.khs   pipeline / experiment reports
+//! ```
+//!
+//! `<addr>` is the content address: 16 hex digits of FNV-1a over the
+//! record's kind tag + encoded key block. Keys are built from content
+//! fingerprints, so the addressing is content addressing one hash
+//! removed.
+//!
+//! ## Record format (version 1, all integers little-endian)
+//!
+//! ```text
+//! magic            4 bytes   "KHST"
+//! format version   u32       1
+//! kind             u8        1 = embeddings, 2 = matrix, 3 = report
+//! key block        kind-specific, see below
+//! payload length   u64       bytes of payload that follow
+//! payload          kind-specific, see below
+//! checksum         u64       FNV-1a over every preceding byte
+//! ```
+//!
+//! Key blocks (strings are u32 length + UTF-8 bytes):
+//!
+//! * embeddings: `tool: str`, `config: u64`, `binary: u64`
+//! * matrix:     `tool: str`, `config: u64`, `query: u64`, `target: u64`
+//! * report:     `pipeline: u64`, `seed: u64`, `subject: str`
+//!
+//! Payloads:
+//!
+//! * embeddings / matrix: `rows: u64`, `dim: u64`, then `rows × dim`
+//!   f64 values stored as raw bit patterns (`f64::to_bits`, LE) — the
+//!   byte-exact round trip the store's tests pin;
+//! * report: `spec: str`, `total_micros: u64`, pass count (u32) and
+//!   per-pass `{atom: str, micros: u64, before/after shape: 3×u64}`,
+//!   then metric count (u32) and per-metric `{name: str, value: f64
+//!   bits}`.
+//!
+//! **A format-version bump is a cache-invalidating event**: readers
+//! refuse both records and whole store directories of any other
+//! version, exactly like a `Binary::fingerprint` digest change
+//! invalidates the in-memory cache keys.
+//!
+//! ## Concurrency
+//!
+//! Writers serialize the full record in memory, write it to
+//! `tmp/<pid>-<counter>.part`, and `rename(2)` it into place — readers
+//! only ever observe complete records, so any number of `par_fan_out`
+//! workers (or separate processes) can share one store without
+//! coordination. Mutating maintenance ([`Store::gc`]) takes an
+//! exclusive lock file (`gc.lock`, created with `O_EXCL`; stale locks
+//! older than ten minutes are stolen) so two collectors never race.
+
+mod format;
+
+pub use format::{
+    fnv1a, OwnedKey, FORMAT_VERSION, KIND_EMBEDDINGS, KIND_MATRIX, KIND_REPORT, MAGIC,
+};
+
+use format::{Payload, Record};
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, SystemTime};
+
+/// A flat row-major f64 table — the wire form of both embedding tables
+/// (`rows` functions × `dim` features) and similarity matrices (`rows`
+/// queries × `dim` targets). `data` round-trips bit-exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlatTable {
+    /// Row count.
+    pub rows: u64,
+    /// Row width.
+    pub dim: u64,
+    /// `rows * dim` values, row-major.
+    pub data: Vec<f64>,
+}
+
+impl FlatTable {
+    /// Wraps a flat buffer; panics when the shape disagrees with the
+    /// data length (a caller bug, surfaced loudly before it hits disk).
+    pub fn new(rows: usize, dim: usize, data: Vec<f64>) -> Self {
+        assert_eq!(rows * dim, data.len(), "flat table shape mismatch");
+        FlatTable {
+            rows: rows as u64,
+            dim: dim as u64,
+            data,
+        }
+    }
+
+    /// Borrowed view of this table (the write-side form).
+    pub fn view(&self) -> TableView<'_> {
+        TableView {
+            rows: self.rows,
+            dim: self.dim,
+            data: &self.data,
+        }
+    }
+}
+
+/// Borrowed view of a flat row-major f64 table — what the write paths
+/// take, so persisting an embedding table or matrix never clones its
+/// buffer (the encoder serializes straight from the slice).
+#[derive(Clone, Copy, Debug)]
+pub struct TableView<'a> {
+    /// Row count.
+    pub rows: u64,
+    /// Row width.
+    pub dim: u64,
+    /// `rows * dim` values, row-major.
+    pub data: &'a [f64],
+}
+
+impl<'a> TableView<'a> {
+    /// Wraps a flat buffer; panics when the shape disagrees with the
+    /// data length (a caller bug, surfaced loudly before it hits disk).
+    pub fn new(rows: usize, dim: usize, data: &'a [f64]) -> Self {
+        assert_eq!(rows * dim, data.len(), "flat table shape mismatch");
+        TableView {
+            rows: rows as u64,
+            dim: dim as u64,
+            data,
+        }
+    }
+}
+
+/// IR shape snapshot inside a stored report (functions/blocks/insts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoredShape {
+    /// Function count.
+    pub functions: u64,
+    /// Basic-block count.
+    pub blocks: u64,
+    /// Instruction count.
+    pub insts: u64,
+}
+
+/// One pass of a stored pipeline report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoredPass {
+    /// Canonical spec atom of the pass.
+    pub pass: String,
+    /// Wall-clock duration in microseconds.
+    pub micros: u64,
+    /// Module shape before the pass.
+    pub before: StoredShape,
+    /// Module shape after the pass.
+    pub after: StoredShape,
+}
+
+/// A persisted experiment artifact: what one pipeline run did to one
+/// subject, plus any metric results measured on the outcome. Keyed by
+/// `(pipeline fingerprint, seed, subject)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredReport {
+    /// Canonical pipeline spec.
+    pub spec: String,
+    /// `Pipeline::fingerprint()` of the spec.
+    pub pipeline: u64,
+    /// Obfuscation seed of the run.
+    pub seed: u64,
+    /// What was built/measured (program name, experiment cell, …).
+    pub subject: String,
+    /// Total pipeline wall-clock in microseconds.
+    pub total_micros: u64,
+    /// Per-pass timing and IR deltas, in execution order.
+    pub passes: Vec<StoredPass>,
+    /// Named metric results (escape@k, similarity, overhead, …).
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl StoredReport {
+    /// Converts a [`khaos_pass::PipelineReport`] into its persistent
+    /// form, stamped with the subject (program name, experiment cell,
+    /// …) it was measured on — the one conversion every driver
+    /// (`khaos-bench`, `khaos-obf`, BinTuner) shares. Metrics start
+    /// empty; push onto [`StoredReport::metrics`] before
+    /// [`Store::put_report`] to attach results.
+    pub fn from_pipeline(subject: &str, report: &khaos_pass::PipelineReport) -> StoredReport {
+        let shape = |s: &khaos_pass::IrShape| StoredShape {
+            functions: s.functions as u64,
+            blocks: s.blocks as u64,
+            insts: s.insts as u64,
+        };
+        StoredReport {
+            spec: report.spec.clone(),
+            pipeline: report.fingerprint,
+            seed: report.seed,
+            subject: subject.to_string(),
+            total_micros: report.total.as_micros() as u64,
+            passes: report
+                .passes
+                .iter()
+                .map(|p| StoredPass {
+                    pass: p.pass.clone(),
+                    micros: p.duration.as_micros() as u64,
+                    before: shape(&p.before),
+                    after: shape(&p.after),
+                })
+                .collect(),
+            metrics: Vec::new(),
+        }
+    }
+}
+
+/// Lookup key of an embedding-table record — the same
+/// `(tool name, config fingerprint, binary fingerprint)` tuple the
+/// in-memory embedding cache keys on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EmbKey<'a> {
+    /// Differ name.
+    pub tool: &'a str,
+    /// Differ configuration fingerprint.
+    pub config: u64,
+    /// `Binary::fingerprint` of the embedded binary.
+    pub binary: u64,
+}
+
+/// Lookup key of a similarity-matrix record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MatKey<'a> {
+    /// Differ name.
+    pub tool: &'a str,
+    /// Differ configuration fingerprint.
+    pub config: u64,
+    /// Query-side binary fingerprint.
+    pub query: u64,
+    /// Target-side binary fingerprint.
+    pub target: u64,
+}
+
+/// Lookup key of a report record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ReportKey<'a> {
+    /// `Pipeline::fingerprint()` of the build.
+    pub pipeline: u64,
+    /// Obfuscation seed of the run.
+    pub seed: u64,
+    /// Free-form subject string.
+    pub subject: &'a str,
+}
+
+/// Record counts and byte totals of one store section.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SectionStats {
+    /// Number of record files.
+    pub records: u64,
+    /// Their total size in bytes.
+    pub bytes: u64,
+}
+
+/// Aggregate [`Store::stats`] over the three sections.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// The `emb/` section.
+    pub embeddings: SectionStats,
+    /// The `mat/` section.
+    pub matrices: SectionStats,
+    /// The `rep/` section.
+    pub reports: SectionStats,
+}
+
+impl StoreStats {
+    /// Total record count across sections.
+    pub fn total_records(&self) -> u64 {
+        self.embeddings.records + self.matrices.records + self.reports.records
+    }
+
+    /// Total bytes across sections.
+    pub fn total_bytes(&self) -> u64 {
+        self.embeddings.bytes + self.matrices.bytes + self.reports.bytes
+    }
+}
+
+/// One record as listed by [`Store::ls`].
+#[derive(Clone, Debug)]
+pub struct RecordInfo {
+    /// Section directory name (`emb`/`mat`/`rep`).
+    pub section: &'static str,
+    /// File name inside the section.
+    pub file: String,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Last-modified time, when the filesystem reports one.
+    pub modified: Option<SystemTime>,
+    /// Human-readable key, or `None` when the record does not decode.
+    pub key: Option<String>,
+}
+
+/// One problem found by [`Store::verify`].
+#[derive(Clone, Debug)]
+pub struct VerifyIssue {
+    /// `section/file` of the offending record.
+    pub file: String,
+    /// What is wrong with it.
+    pub reason: String,
+}
+
+/// What one [`Store::gc`] run did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcSummary {
+    /// Records examined.
+    pub scanned: u64,
+    /// Records deleted (oldest-first).
+    pub deleted: u64,
+    /// Store size before collection.
+    pub bytes_before: u64,
+    /// Store size after collection.
+    pub bytes_after: u64,
+}
+
+const FORMAT_FILE: &str = "FORMAT";
+const TMP_DIR: &str = "tmp";
+const GC_LOCK: &str = "gc.lock";
+/// Lock files older than this are assumed to be left over from a
+/// crashed collector and are stolen.
+const STALE_LOCK: Duration = Duration::from_secs(600);
+
+/// The three record sections, in `(name, kind)` order.
+const SECTIONS: [(&str, u8); 3] = [
+    ("emb", KIND_EMBEDDINGS),
+    ("mat", KIND_MATRIX),
+    ("rep", KIND_REPORT),
+];
+
+/// A content-addressed artifact store rooted at one directory. Cheap to
+/// clone behind an `Arc`; all operations take `&self`.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+}
+
+/// Exclusive store-maintenance lock; the lock file is removed on drop.
+#[derive(Debug)]
+pub struct StoreLock {
+    path: PathBuf,
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+impl Store {
+    /// Opens (creating if necessary) a store directory. Fails with
+    /// `InvalidData` when the directory was written by a different
+    /// format version — a version bump invalidates the whole store by
+    /// design; delete the directory to rebuild it.
+    pub fn open(root: impl AsRef<Path>) -> io::Result<Store> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(root.join(TMP_DIR))?;
+        for (section, _) in SECTIONS {
+            fs::create_dir_all(root.join(section))?;
+        }
+        let store = Store { root };
+        let stamp = store.root.join(FORMAT_FILE);
+        let want = format!("khaos-store {FORMAT_VERSION}\n");
+        match fs::read_to_string(&stamp) {
+            Ok(have) if have == want => {}
+            Ok(have) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{}: store format `{}` but this build writes `{}`; a format-version \
+                         bump invalidates every record — delete the directory to rebuild it",
+                        store.root.display(),
+                        have.trim(),
+                        want.trim()
+                    ),
+                ));
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                store.write_atomic(&stamp, want.as_bytes())?;
+            }
+            Err(e) => return Err(e),
+        }
+        Ok(store)
+    }
+
+    /// The store configured by the `KHAOS_STORE` environment variable,
+    /// opened once per process. `None` when the variable is unset,
+    /// empty, or the directory cannot be opened (a warning is printed
+    /// once — a broken disk cache must never fail the workload).
+    pub fn from_env() -> Option<Arc<Store>> {
+        static ENV_STORE: OnceLock<Option<Arc<Store>>> = OnceLock::new();
+        ENV_STORE
+            .get_or_init(|| {
+                let dir = std::env::var("KHAOS_STORE")
+                    .ok()
+                    .filter(|s| !s.trim().is_empty())?;
+                match Store::open(&dir) {
+                    Ok(s) => Some(Arc::new(s)),
+                    Err(e) => {
+                        eprintln!(
+                            "khaos-store: cannot open `{dir}`: {e}; continuing without a disk cache"
+                        );
+                        None
+                    }
+                }
+            })
+            .clone()
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Serializes to a staging file, then atomically renames into
+    /// place. Readers never observe a partial record.
+    fn write_atomic(&self, dest: &Path, bytes: &[u8]) -> io::Result<()> {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let unique = format!(
+            "{}-{}.part",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        let tmp = self.root.join(TMP_DIR).join(unique);
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, dest).inspect_err(|_| {
+            let _ = fs::remove_file(&tmp);
+        })
+    }
+
+    fn record_path(&self, section: &str, kind: u8, key_bytes: &[u8]) -> PathBuf {
+        self.root
+            .join(section)
+            .join(format!("{}.khs", format::address(kind, key_bytes)))
+    }
+
+    /// Persists an embedding table (zero-copy from the borrowed view).
+    pub fn put_embeddings(&self, key: &EmbKey, table: TableView<'_>) -> io::Result<()> {
+        assert_eq!(
+            table.rows * table.dim,
+            table.data.len() as u64,
+            "flat table shape mismatch"
+        );
+        let kb = format::key_bytes_emb(key.tool, key.config, key.binary);
+        let bytes = format::encode_embeddings(key.tool, key.config, key.binary, table);
+        self.write_atomic(&self.record_path("emb", KIND_EMBEDDINGS, &kb), &bytes)
+    }
+
+    /// Loads an embedding table; `Ok(None)` on a miss **or** on a
+    /// corrupt/foreign record (a damaged disk cache degrades to a cache
+    /// miss, never to an error — `khaos-store verify` reports the
+    /// damage explicitly).
+    pub fn get_embeddings(&self, key: &EmbKey) -> io::Result<Option<FlatTable>> {
+        let kb = format::key_bytes_emb(key.tool, key.config, key.binary);
+        let want = OwnedKey::Emb {
+            tool: key.tool.to_string(),
+            config: key.config,
+            binary: key.binary,
+        };
+        self.get_table(self.record_path("emb", KIND_EMBEDDINGS, &kb), &want)
+    }
+
+    /// Persists a similarity matrix (zero-copy from the borrowed view).
+    pub fn put_matrix(&self, key: &MatKey, table: TableView<'_>) -> io::Result<()> {
+        assert_eq!(
+            table.rows * table.dim,
+            table.data.len() as u64,
+            "flat table shape mismatch"
+        );
+        let kb = format::key_bytes_mat(key.tool, key.config, key.query, key.target);
+        let bytes = format::encode_matrix(key.tool, key.config, key.query, key.target, table);
+        self.write_atomic(&self.record_path("mat", KIND_MATRIX, &kb), &bytes)
+    }
+
+    /// Loads a similarity matrix (same miss semantics as
+    /// [`Store::get_embeddings`]).
+    pub fn get_matrix(&self, key: &MatKey) -> io::Result<Option<FlatTable>> {
+        let kb = format::key_bytes_mat(key.tool, key.config, key.query, key.target);
+        let want = OwnedKey::Mat {
+            tool: key.tool.to_string(),
+            config: key.config,
+            query: key.query,
+            target: key.target,
+        };
+        self.get_table(self.record_path("mat", KIND_MATRIX, &kb), &want)
+    }
+
+    fn get_table(&self, path: PathBuf, want: &OwnedKey) -> io::Result<Option<FlatTable>> {
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        match format::decode_record(&bytes) {
+            Ok(Record {
+                key,
+                payload: Payload::Table(t),
+                ..
+            }) if key == *want => Ok(Some(t)),
+            // Corrupt record or a 64-bit address collision with a
+            // different key: both degrade to a miss.
+            _ => Ok(None),
+        }
+    }
+
+    /// Persists a report, keyed by its
+    /// `(pipeline fingerprint, seed, subject)`.
+    pub fn put_report(&self, report: &StoredReport) -> io::Result<()> {
+        let kb = format::key_bytes_rep(report.pipeline, report.seed, &report.subject);
+        let bytes = format::encode_report(report);
+        self.write_atomic(&self.record_path("rep", KIND_REPORT, &kb), &bytes)
+    }
+
+    /// Loads a report (same miss semantics as [`Store::get_embeddings`]).
+    pub fn get_report(&self, key: &ReportKey) -> io::Result<Option<StoredReport>> {
+        let kb = format::key_bytes_rep(key.pipeline, key.seed, key.subject);
+        let path = self.record_path("rep", KIND_REPORT, &kb);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        match format::decode_record(&bytes) {
+            Ok(Record {
+                payload: Payload::Report(r),
+                ..
+            }) if r.pipeline == key.pipeline && r.seed == key.seed && r.subject == key.subject => {
+                Ok(Some(r))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn section_files(&self, section: &str) -> io::Result<Vec<(PathBuf, fs::Metadata)>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(self.root.join(section))? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("khs") {
+                out.push((path, entry.metadata()?));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    /// Record counts and byte totals per section.
+    pub fn stats(&self) -> io::Result<StoreStats> {
+        let mut stats = StoreStats::default();
+        for (section, _) in SECTIONS {
+            let mut s = SectionStats::default();
+            for (_, meta) in self.section_files(section)? {
+                s.records += 1;
+                s.bytes += meta.len();
+            }
+            match section {
+                "emb" => stats.embeddings = s,
+                "mat" => stats.matrices = s,
+                _ => stats.reports = s,
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Lists every record with its decoded key (or `None` when the file
+    /// does not decode).
+    pub fn ls(&self) -> io::Result<Vec<RecordInfo>> {
+        let mut out = Vec::new();
+        for (section, _) in SECTIONS {
+            for (path, meta) in self.section_files(section)? {
+                let key = fs::read(&path)
+                    .ok()
+                    .and_then(|b| format::decode_record(&b).ok())
+                    .map(|r| r.key.to_string());
+                out.push(RecordInfo {
+                    section,
+                    file: path
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_default(),
+                    bytes: meta.len(),
+                    modified: meta.modified().ok(),
+                    key,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Integrity-checks every record: magic, format version, checksum,
+    /// payload shape, and that the file name matches the content
+    /// address of the key stored inside. Returns the issues found
+    /// (empty = clean).
+    pub fn verify(&self) -> io::Result<Vec<VerifyIssue>> {
+        let mut issues = Vec::new();
+        for (section, kind) in SECTIONS {
+            for (path, _) in self.section_files(section)? {
+                let name = format!(
+                    "{section}/{}",
+                    path.file_name()
+                        .map(|n| n.to_string_lossy())
+                        .unwrap_or_default()
+                );
+                let bytes = match fs::read(&path) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        issues.push(VerifyIssue {
+                            file: name,
+                            reason: format!("unreadable: {e}"),
+                        });
+                        continue;
+                    }
+                };
+                let record = match format::decode_record(&bytes) {
+                    Ok(r) => r,
+                    Err(reason) => {
+                        issues.push(VerifyIssue { file: name, reason });
+                        continue;
+                    }
+                };
+                if record.kind != kind {
+                    issues.push(VerifyIssue {
+                        file: name,
+                        reason: format!("kind {} record filed under `{section}/`", record.kind),
+                    });
+                    continue;
+                }
+                let want_stem = match &record.key {
+                    OwnedKey::Emb {
+                        tool,
+                        config,
+                        binary,
+                    } => format::address(kind, &format::key_bytes_emb(tool, *config, *binary)),
+                    OwnedKey::Mat {
+                        tool,
+                        config,
+                        query,
+                        target,
+                    } => format::address(
+                        kind,
+                        &format::key_bytes_mat(tool, *config, *query, *target),
+                    ),
+                    OwnedKey::Rep {
+                        pipeline,
+                        seed,
+                        subject,
+                    } => format::address(kind, &format::key_bytes_rep(*pipeline, *seed, subject)),
+                };
+                let stem = path
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                if stem != want_stem {
+                    issues.push(VerifyIssue {
+                        file: name,
+                        reason: format!(
+                            "file name does not match content address {want_stem} of key `{}`",
+                            record.key
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(issues)
+    }
+
+    /// Takes the exclusive maintenance lock (used by [`Store::gc`]).
+    /// Lock files older than ten minutes are assumed stale (a crashed
+    /// collector) and stolen.
+    pub fn lock_exclusive(&self) -> io::Result<StoreLock> {
+        let path = self.root.join(GC_LOCK);
+        for attempt in 0..2 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = writeln!(f, "{}", std::process::id());
+                    return Ok(StoreLock { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists && attempt == 0 => {
+                    let stale = fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|m| m.elapsed().ok())
+                        .is_some_and(|age| age > STALE_LOCK);
+                    if stale {
+                        let _ = fs::remove_file(&path);
+                    } else {
+                        return Err(io::Error::new(
+                            io::ErrorKind::WouldBlock,
+                            format!("{} is held by another maintainer", path.display()),
+                        ));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::WouldBlock,
+            "could not acquire the store lock",
+        ))
+    }
+
+    /// Shrinks the store to at most `max_bytes` of records by deleting
+    /// the **oldest** records first (modification time, ties broken by
+    /// file name for determinism). Also sweeps staging files older than
+    /// the stale-lock horizon. Holds the exclusive lock for the whole
+    /// collection.
+    pub fn gc(&self, max_bytes: u64) -> io::Result<GcSummary> {
+        let _lock = self.lock_exclusive()?;
+        // Leftover staging files from crashed writers.
+        for entry in fs::read_dir(self.root.join(TMP_DIR))? {
+            let entry = entry?;
+            let old = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|m| m.elapsed().ok())
+                .is_some_and(|age| age > STALE_LOCK);
+            if old {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        let mut files: Vec<(PathBuf, u64, SystemTime)> = Vec::new();
+        for (section, _) in SECTIONS {
+            for (path, meta) in self.section_files(section)? {
+                let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                files.push((path, meta.len(), mtime));
+            }
+        }
+        let bytes_before: u64 = files.iter().map(|(_, len, _)| len).sum();
+        let mut summary = GcSummary {
+            scanned: files.len() as u64,
+            deleted: 0,
+            bytes_before,
+            bytes_after: bytes_before,
+        };
+        files.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        for (path, len, _) in files {
+            if summary.bytes_after <= max_bytes {
+                break;
+            }
+            fs::remove_file(&path)?;
+            summary.deleted += 1;
+            summary.bytes_after -= len;
+        }
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "khaos-store-unit-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn table(rows: usize, dim: usize, salt: u64) -> FlatTable {
+        let data: Vec<f64> = (0..rows * dim)
+            .map(|i| ((i as u64 ^ salt) as f64).sin())
+            .collect();
+        FlatTable::new(rows, dim, data)
+    }
+
+    #[test]
+    fn embeddings_round_trip_bit_exact() {
+        let dir = scratch("emb");
+        let store = Store::open(&dir).unwrap();
+        // Values chosen to exercise non-trivial bit patterns, including
+        // a negative zero and a subnormal.
+        let mut t = table(5, 7, 0x5eed);
+        t.data[0] = -0.0;
+        t.data[1] = f64::MIN_POSITIVE / 2.0;
+        let key = EmbKey {
+            tool: "Asm2Vec",
+            config: 0xA5A5,
+            binary: 0xB00B5,
+        };
+        assert_eq!(store.get_embeddings(&key).unwrap(), None);
+        store.put_embeddings(&key, t.view()).unwrap();
+        let back = store.get_embeddings(&key).unwrap().expect("hit");
+        assert_eq!((back.rows, back.dim), (t.rows, t.dim));
+        for (a, b) in back.data.iter().zip(&t.data) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bit-exact round trip");
+        }
+        // A different key is a miss, not the same record.
+        let other = EmbKey {
+            binary: 0xB00B6,
+            ..key
+        };
+        assert_eq!(store.get_embeddings(&other).unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn matrix_and_report_round_trip() {
+        let dir = scratch("matrep");
+        let store = Store::open(&dir).unwrap();
+        let m = table(3, 4, 0xC0FFEE);
+        let mkey = MatKey {
+            tool: "SAFE",
+            config: 1,
+            query: 2,
+            target: 3,
+        };
+        store.put_matrix(&mkey, m.view()).unwrap();
+        assert_eq!(store.get_matrix(&mkey).unwrap().as_ref(), Some(&m));
+
+        let report = StoredReport {
+            spec: "fission | O2+lto".into(),
+            pipeline: 0xF1,
+            seed: 0xC60,
+            subject: "400.perlbench".into(),
+            total_micros: 1234,
+            passes: vec![StoredPass {
+                pass: "fission".into(),
+                micros: 900,
+                before: StoredShape {
+                    functions: 10,
+                    blocks: 40,
+                    insts: 400,
+                },
+                after: StoredShape {
+                    functions: 23,
+                    blocks: 61,
+                    insts: 470,
+                },
+            }],
+            metrics: vec![("escape@1".into(), 0.75), ("overhead%".into(), -2.5)],
+        };
+        store.put_report(&report).unwrap();
+        let back = store
+            .get_report(&ReportKey {
+                pipeline: 0xF1,
+                seed: 0xC60,
+                subject: "400.perlbench",
+            })
+            .unwrap()
+            .expect("hit");
+        assert_eq!(back, report);
+        // Same pipeline, different subject: distinct record.
+        assert_eq!(
+            store
+                .get_report(&ReportKey {
+                    pipeline: 0xF1,
+                    seed: 0xC60,
+                    subject: "401.bzip2",
+                })
+                .unwrap(),
+            None
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewrite_replaces_in_place() {
+        let dir = scratch("rewrite");
+        let store = Store::open(&dir).unwrap();
+        let key = EmbKey {
+            tool: "t",
+            config: 0,
+            binary: 0,
+        };
+        store.put_embeddings(&key, table(2, 2, 1).view()).unwrap();
+        store.put_embeddings(&key, table(2, 2, 2).view()).unwrap();
+        assert_eq!(store.stats().unwrap().embeddings.records, 1);
+        assert_eq!(store.get_embeddings(&key).unwrap().unwrap(), table(2, 2, 2));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_records_degrade_to_misses_and_verify_reports_them() {
+        let dir = scratch("corrupt");
+        let store = Store::open(&dir).unwrap();
+        let key = EmbKey {
+            tool: "t",
+            config: 7,
+            binary: 9,
+        };
+        store.put_embeddings(&key, table(2, 3, 3).view()).unwrap();
+        assert!(store.verify().unwrap().is_empty(), "clean store verifies");
+        // Flip one payload byte: checksum breaks.
+        let (path, _) = store.section_files("emb").unwrap().pop().unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            store.get_embeddings(&key).unwrap(),
+            None,
+            "corruption is a miss, not an error"
+        );
+        let issues = store.verify().unwrap();
+        assert_eq!(issues.len(), 1);
+        assert!(
+            issues[0].reason.contains("checksum"),
+            "{}",
+            issues[0].reason
+        );
+        // A renamed (mis-addressed) record is caught too.
+        store.put_embeddings(&key, table(2, 3, 3).view()).unwrap();
+        let (path, _) = store.section_files("emb").unwrap().pop().unwrap();
+        let moved = path.with_file_name("0000000000000000.khs");
+        fs::rename(&path, &moved).unwrap();
+        let issues = store.verify().unwrap();
+        assert_eq!(issues.len(), 1);
+        assert!(
+            issues[0].reason.contains("content address"),
+            "{}",
+            issues[0].reason
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_deletes_oldest_first_under_lock() {
+        let dir = scratch("gc");
+        let store = Store::open(&dir).unwrap();
+        for i in 0..4u64 {
+            let key = EmbKey {
+                tool: "t",
+                config: 0,
+                binary: i,
+            };
+            store.put_embeddings(&key, table(4, 8, i).view()).unwrap();
+            // Distinct mtimes so the oldest-first order is deterministic
+            // even on coarse-grained filesystems.
+            let (path, _) = store
+                .section_files("emb")
+                .unwrap()
+                .into_iter()
+                .max_by_key(|(_, m)| m.modified().unwrap())
+                .unwrap();
+            let t = SystemTime::UNIX_EPOCH + Duration::from_secs(1_000_000 + i * 100);
+            let f = fs::OpenOptions::new().write(true).open(&path).unwrap();
+            f.set_modified(t).unwrap();
+        }
+        let before = store.stats().unwrap();
+        assert_eq!(before.embeddings.records, 4);
+        let keep = before.total_bytes() / 2;
+        let summary = store.gc(keep).unwrap();
+        assert_eq!(summary.scanned, 4);
+        assert!(summary.deleted >= 2, "{summary:?}");
+        assert!(summary.bytes_after <= keep);
+        // The newest records survive.
+        assert!(store
+            .get_embeddings(&EmbKey {
+                tool: "t",
+                config: 0,
+                binary: 3
+            })
+            .unwrap()
+            .is_some());
+        assert!(store
+            .get_embeddings(&EmbKey {
+                tool: "t",
+                config: 0,
+                binary: 0
+            })
+            .unwrap()
+            .is_none());
+        // The lock is released after gc.
+        let lock = store.lock_exclusive().unwrap();
+        // And held locks block a second taker.
+        assert_eq!(
+            store.lock_exclusive().unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+        drop(lock);
+        assert!(store.lock_exclusive().is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_format_version_is_refused() {
+        let dir = scratch("version");
+        {
+            let _ = Store::open(&dir).unwrap();
+        }
+        fs::write(dir.join("FORMAT"), "khaos-store 999\n").unwrap();
+        let err = Store::open(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("format-version"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,145 @@
+//! Round-trip pins for the disk tier: embeddings and similarity
+//! matrices served from a `khaos-store` must be **bit-identical** (not
+//! just 1e-12-close) to freshly computed ones, for all five differs.
+
+use khaos_binary::lower_module;
+use khaos_diff::{extended_differs, EmbeddingCache, FunctionEmbeddings};
+use khaos_store::{EmbKey, MatKey, Store, TableView};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "khaos-store-rt-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// All five tools (the paper's four function-granularity tools plus
+/// DataFlowDiff) over a pair of distinct workload binaries.
+#[test]
+fn embeddings_round_trip_bit_identical_for_all_five_differs() {
+    let dir = scratch("emb5");
+    let store = Store::open(&dir).expect("store opens");
+    let a = lower_module(&khaos_workloads::coreutils_program("cat", 6));
+    let b = lower_module(&khaos_workloads::coreutils_program("sort", 9));
+    let differs = extended_differs();
+    assert_eq!(differs.len(), 5);
+    for tool in &differs {
+        for bin in [&a, &b] {
+            let fresh = FunctionEmbeddings::from_rows(tool.embed(bin));
+            let key = EmbKey {
+                tool: tool.name(),
+                config: tool.config_fingerprint(),
+                binary: bin.fingerprint(),
+            };
+            store
+                .put_embeddings(
+                    &key,
+                    TableView::new(fresh.len(), fresh.dim(), fresh.as_flat()),
+                )
+                .expect("write");
+            let back = store.get_embeddings(&key).expect("read").expect("hit");
+            assert_eq!(
+                (back.rows as usize, back.dim as usize),
+                (fresh.len(), fresh.dim()),
+                "{}",
+                tool.name()
+            );
+            assert_eq!(
+                bits(&back.data),
+                bits(fresh.as_flat()),
+                "{}: disk round trip must be bit-identical",
+                tool.name()
+            );
+        }
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The cache-tier view of the same guarantee: a fresh
+/// [`EmbeddingCache`] over a warmed store serves embeddings *and*
+/// matrices whose every bit equals the cold computation's, for all
+/// five differs — whether an artifact came from memory, disk, or was
+/// recomputed is unobservable.
+#[test]
+fn cache_disk_tier_is_bit_identical_for_all_five_differs() {
+    let dir = scratch("tier5");
+    let store = Arc::new(Store::open(&dir).expect("store opens"));
+    let query = lower_module(&khaos_workloads::coreutils_program("ls", 3));
+    let target = lower_module(&khaos_workloads::coreutils_program("wc", 5));
+
+    for tool in extended_differs() {
+        // Cold: no store — the pure computation.
+        let reference = tool.batched_similarity(&query, &target, &EmbeddingCache::new(8));
+
+        // Warm the store from one process-alike...
+        let writer = EmbeddingCache::new(8);
+        writer.attach_store(Arc::clone(&store));
+        let written = writer.matrix_for(tool.as_ref(), &query, &target);
+        assert_eq!(
+            bits(written.as_flat()),
+            bits(reference.as_flat()),
+            "{}: write-through path must not perturb the matrix",
+            tool.name()
+        );
+
+        // ...and serve from another with zero recomputation.
+        let reader = EmbeddingCache::new(8);
+        reader.attach_store(Arc::clone(&store));
+        let served = reader.matrix_for(tool.as_ref(), &query, &target);
+        let stats = reader.stats();
+        assert_eq!(
+            stats.embeds_computed,
+            0,
+            "{}: nothing may be re-embedded on a warm store",
+            tool.name()
+        );
+        assert!(stats.disk_hits >= 1, "{}: {stats:?}", tool.name());
+        assert_eq!(
+            bits(served.as_flat()),
+            bits(reference.as_flat()),
+            "{}: disk-served matrix must be bit-identical to computed",
+            tool.name()
+        );
+
+        // Embeddings reload bit-identically too (matrix hits can skip
+        // them entirely, so probe them directly).
+        let kq = EmbKey {
+            tool: tool.name(),
+            config: tool.config_fingerprint(),
+            binary: query.fingerprint(),
+        };
+        let cold = FunctionEmbeddings::from_rows(tool.embed(&query));
+        if let Some(back) = store.get_embeddings(&kq).expect("read") {
+            assert_eq!(bits(&back.data), bits(cold.as_flat()), "{}", tool.name());
+        }
+    }
+
+    // Sanity: the matrix records are addressable by their keys.
+    for tool in extended_differs() {
+        let key = MatKey {
+            tool: tool.name(),
+            config: tool.config_fingerprint(),
+            query: query.fingerprint(),
+            target: target.fingerprint(),
+        };
+        assert!(
+            store.get_matrix(&key).expect("read").is_some(),
+            "{}: matrix record exists",
+            tool.name()
+        );
+    }
+    assert!(store.verify().expect("verify").is_empty());
+    fs::remove_dir_all(&dir).unwrap();
+}

@@ -211,6 +211,19 @@ fn main() -> ExitCode {
     if args.report {
         eprint!("{report}");
     }
+    // With KHAOS_STORE configured, the report becomes a durable
+    // experiment artifact keyed by the pipeline's fingerprint.
+    if let Some(store) = khaos::store::Store::from_env() {
+        let stored = khaos::store::StoredReport::from_pipeline(&module.name, &report);
+        match store.put_report(&stored) {
+            Ok(()) => eprintln!(
+                "khaos-obf: report persisted to {} (pipeline {:016x})",
+                store.root().display(),
+                report.fingerprint
+            ),
+            Err(e) => eprintln!("khaos-obf: could not persist report: {e}"),
+        }
+    }
 
     print!("{}", printer::print_module(&module));
     ExitCode::SUCCESS
