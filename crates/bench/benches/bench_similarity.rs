@@ -575,6 +575,110 @@ fn bench_similarity(c: &mut Criterion) {
         streaming_ns / 1e6
     );
 
+    // -----------------------------------------------------------------
+    // Parallel streaming rank path: the same rank-only escape with
+    // EVERY query function vulnerable (the widest row fan-out the pair
+    // offers), multi-threaded vs KHAOS_THREADS=1. The ranked output is
+    // hard-asserted bit-identical between the two — indices and score
+    // bits — at a forced thread count of 7, so the equivalence claim is
+    // exercised even on single-core machines; the ≥2× wall-clock bar is
+    // enforced wherever the hardware can physically parallelize.
+    // -----------------------------------------------------------------
+    let mut all_vuln = base_bin.clone();
+    for f in all_vuln.functions.iter_mut() {
+        f.provenance.annotations.push("vulnerable".into());
+    }
+    let par_cache = EmbeddingCache::new(8);
+    let _ = khaos_diff::escape_profile_streaming(&a2v, &all_vuln, &obf_bin, &KS, &par_cache);
+    let queries: Vec<usize> = (0..all_vuln.functions.len()).collect();
+
+    // An operator-provided KHAOS_THREADS cap is restored after every
+    // forced setting below — the bench must not erase an explicit
+    // constraint for the rest of the process.
+    let prior_threads = std::env::var("KHAOS_THREADS").ok();
+    let restore_threads = || match &prior_threads {
+        Some(v) => std::env::set_var("KHAOS_THREADS", v),
+        None => std::env::remove_var("KHAOS_THREADS"),
+    };
+
+    // Bit-equivalence first (KHAOS_THREADS=1 vs a forced 7 workers).
+    let ranked_at = |threads: &str| {
+        std::env::set_var("KHAOS_THREADS", threads);
+        let scorer = a2v.row_scorer(&all_vuln, &obf_bin, &par_cache);
+        let ranked = khaos_diff::par_stream_top_k_rows(scorer.as_ref(), &queries, 50);
+        let escape =
+            khaos_diff::escape_profile_streaming(&a2v, &all_vuln, &obf_bin, &KS, &par_cache);
+        restore_threads();
+        (ranked, escape)
+    };
+    let (seq_ranked, seq_escape) = ranked_at("1");
+    let (par_ranked, par_escape) = ranked_at("7");
+    let mut ranked_bits_equal = seq_ranked.len() == par_ranked.len();
+    for (ra, rb) in seq_ranked.iter().zip(&par_ranked) {
+        ranked_bits_equal &= ra.len() == rb.len()
+            && ra
+                .iter()
+                .zip(rb)
+                .all(|(&(ja, sa), &(jb, sb))| ja == jb && sa.to_bits() == sb.to_bits());
+    }
+    ranked_bits_equal &= seq_escape
+        .iter()
+        .zip(&par_escape)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(
+        ranked_bits_equal,
+        "parallel streaming rank output diverged from KHAOS_THREADS=1 — \
+         ranked indices/score bits must be thread-count-independent"
+    );
+
+    // Then the wall-clock comparison: forced single thread vs the
+    // worker count the process would otherwise use (the operator's
+    // KHAOS_THREADS cap when set, machine parallelism otherwise).
+    std::env::set_var("KHAOS_THREADS", "1");
+    let (par_seq_ns, seq_v) = time_ns(5, || {
+        khaos_diff::escape_profile_streaming(&a2v, &all_vuln, &obf_bin, &KS, &par_cache)
+            .iter()
+            .sum()
+    });
+    restore_threads();
+    let threads = khaos_par::max_threads();
+    let (par_mt_ns, par_v) = time_ns(5, || {
+        khaos_diff::escape_profile_streaming(&a2v, &all_vuln, &obf_bin, &KS, &par_cache)
+            .iter()
+            .sum()
+    });
+    assert_eq!(
+        seq_v.to_bits(),
+        par_v.to_bits(),
+        "timed escape values must agree between thread counts"
+    );
+    let par_speedup = par_seq_ns / par_mt_ns;
+    println!(
+        "# parallel streaming: {} rows, escape@{{1,10,50}} {:.3} ms (1 thread) -> {:.3} ms \
+         ({threads} threads), {par_speedup:.2}x (bar: >= 2x on multi-core), bit-equal: {ranked_bits_equal}",
+        queries.len(),
+        par_seq_ns / 1e6,
+        par_mt_ns / 1e6,
+    );
+    // The ≥2× bar binds only where the hardware has real headroom: a
+    // one-core container cannot honestly speed up wall-clock, and a
+    // loaded 4-vCPU CI runner measures too noisily over 5 iterations to
+    // gate on — the bit-equivalence assert above is the correctness
+    // gate everywhere; the wall-clock bar is a perf-regression tripwire
+    // for hosts with ≥8 workers.
+    if threads >= 8 {
+        assert!(
+            par_speedup >= 2.0,
+            "parallel streaming regression: only {par_speedup:.2}x over KHAOS_THREADS=1 \
+             with {threads} workers (bar: >= 2x)"
+        );
+    } else {
+        println!(
+            "# parallel streaming: {threads} worker(s) — wall-clock bar not binding \
+             (needs >= 8 workers); ranked bit-equivalence is the gate here"
+        );
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"escape_profile_fig10\",\n  \"functions\": {},\n  \"vulnerable\": {},\n  \
          \"ks\": [1, 10, 50],\n  \"worst_speedup\": {:.2},\n  \"tools\": [\n{}\n  ],\n  \
@@ -582,7 +686,11 @@ fn bench_similarity(c: &mut Criterion) {
          \"seed_nested_ns\": {:.0}, \"pooled_flat_ns\": {:.0}, \"speedup\": {:.2}, \
          \"digests_equal\": {digests_equal}, \"embeddings_equal\": {embeddings_equal}}},\n  \
          \"streaming\": {{\"what\": \"rank-only escape@{{1,10,50}}, warm embeddings, no matrix\", \
-         \"escape_ns\": {:.0}, \"matrix_entries_after\": {stream_matrices}}}\n}}\n",
+         \"escape_ns\": {:.0}, \"matrix_entries_after\": {stream_matrices}}},\n  \
+         \"parallel_streaming\": {{\"what\": \"row-parallel rank-only escape@{{1,10,50}}, all {} \
+         functions vulnerable, multi-thread vs KHAOS_THREADS=1\", \"threads\": {threads}, \
+         \"single_thread_ns\": {:.0}, \"multi_thread_ns\": {:.0}, \"speedup\": {par_speedup:.2}, \
+         \"ranked_bits_equal\": {ranked_bits_equal}}}\n}}\n",
         base_bin.functions.len(),
         base_bin
             .functions
@@ -595,6 +703,9 @@ fn bench_similarity(c: &mut Criterion) {
         layout_pooled_ns,
         layout_speedup,
         streaming_ns,
+        queries.len(),
+        par_seq_ns,
+        par_mt_ns,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_similarity.json");
     std::fs::write(path, json).expect("write BENCH_similarity.json");

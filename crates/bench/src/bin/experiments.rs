@@ -1,27 +1,78 @@
 //! `experiments` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] <fig6|fig7|fig8|fig9|fig10|fig11|table1|table2|table3|ablations
+//! experiments [--quick] [--shard i/n] <fig6|fig7|fig8|fig9|fig10|fig11
+//!                        |table1|table2|table3|ablations
 //!                        |ext-arity|ext-dataflow|ext-stripped|all>
+//! experiments [--quick] fig10-merge DIR...
 //! ```
 //!
 //! The `ext-*` targets are extension experiments beyond the paper's
 //! evaluation: the N-way fusion arity sweep, the §5 data-flow-diffing
 //! prediction, and stripped-binary BinDiff.
+//!
+//! `--shard i/n` (or the `KHAOS_SHARD=i/n` environment variable) runs
+//! this process as shard `i` of `n`: grid-shaped experiments measure
+//! only their deterministic share of the flattened work grid, so `n`
+//! processes — or machines sharing nothing but store directories —
+//! split a sweep. Shard runs should set `KHAOS_STORE` so each cell is
+//! persisted; `fig10-merge DIR...` then reassembles the complete
+//! Figure-10 grid from any union of shard stores (and fails, listing
+//! every missing cell, when the union is incomplete).
 
 use khaos_bench::experiments::{self, Scope};
+use khaos_bench::ShardSpec;
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scope = if quick { Scope::Quick } else { Scope::Full };
-    let targets: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
-    let targets: Vec<&str> = if targets.is_empty() || targets.contains(&"all") {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => {}
+            "--shard" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                let shard = match ShardSpec::parse(v) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("experiments: --shard {e}");
+                        std::process::exit(2);
+                    }
+                };
+                // One mechanism for every driver: the flag writes the
+                // same variable the harness reads (KHAOS_SHARD).
+                std::env::set_var("KHAOS_SHARD", shard.to_string());
+            }
+            other if other.starts_with("--") => {
+                eprintln!("experiments: unknown flag `{other}`");
+                std::process::exit(2);
+            }
+            other => positional.push(other),
+        }
+    }
+
+    // `fig10-merge` consumes the remaining positionals as store dirs.
+    if positional.first() == Some(&"fig10-merge") {
+        let dirs: Vec<String> = positional[1..].iter().map(|s| s.to_string()).collect();
+        let dirs = if dirs.is_empty() {
+            match std::env::var("KHAOS_STORE") {
+                Ok(d) if !d.trim().is_empty() => vec![d],
+                _ => {
+                    eprintln!("experiments: fig10-merge needs store DIRs (or KHAOS_STORE)");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            dirs
+        };
+        let complete = experiments::fig10_report(scope, &dirs);
+        std::process::exit(if complete { 0 } else { 1 });
+    }
+
+    let targets: Vec<&str> = if positional.is_empty() || positional.contains(&"all") {
         vec![
             "table1",
             "table2",
@@ -38,10 +89,23 @@ fn main() {
             "ext-stripped",
         ]
     } else {
-        targets
+        positional
     };
 
+    // Only the grid-shaped drivers shard (see ROADMAP: the aggregate
+    // targets need per-cell persistence first). A sharded run of any
+    // other target would duplicate its full cost on every shard, so
+    // say so loudly instead of letting it pass as a smaller sweep.
+    const SHARDED_TARGETS: [&str; 4] = ["fig6", "fig8", "fig10", "fig11"];
+    let shard = khaos_bench::active_shard();
     for t in targets {
+        if !shard.is_full() && !SHARDED_TARGETS.contains(&t) {
+            eprintln!(
+                "experiments: WARNING: `{t}` does not shard — shard {shard} runs it in FULL \
+                 (every shard duplicates this cost; sharded targets: {})",
+                SHARDED_TARGETS.join(", ")
+            );
+        }
         let start = Instant::now();
         match t {
             "fig6" => experiments::fig6(scope),
@@ -60,7 +124,7 @@ fn main() {
             other => {
                 eprintln!("unknown experiment `{other}`");
                 eprintln!(
-                    "usage: experiments [--quick] <fig6..fig11|table1..table3|ablations|ext-arity|ext-dataflow|ext-stripped|all>"
+                    "usage: experiments [--quick] [--shard i/n] <fig6..fig11|table1..table3|ablations|ext-arity|ext-dataflow|ext-stripped|all>\n       experiments [--quick] fig10-merge DIR..."
                 );
                 std::process::exit(2);
             }

@@ -5,9 +5,9 @@
 //! measured notes.
 
 use crate::harness::{
-    build_at, build_baseline, build_binary, build_config, geomean, geomean_ratio, khaos_apply,
-    khaos_atom, measure_cycles, overhead_pct, par_fan_out, prepare_baselines, run_spec,
-    BuildConfig, SEED,
+    active_shard, artifact_store, build_at, build_baseline, build_binary, build_config, geomean,
+    geomean_ratio, khaos_apply, khaos_atom, measure_cycles, overhead_pct, par_fan_out,
+    persist_metrics_to, prepare_baselines, run_spec, BuildConfig, ShardSpec, SEED,
 };
 use khaos_binary::{histogram_distance, lower_module, opcode_histogram};
 use khaos_bintuner::BinTuner;
@@ -19,6 +19,7 @@ use khaos_diff::{
 use khaos_ir::Module;
 use khaos_ollvm::OllvmMode;
 use khaos_opt::OptLevel;
+use khaos_store::{ReportKey, Store};
 use khaos_workloads::{coreutils, spec2006, spec2017, tiii, TIII_CVES};
 
 /// Scope knob: `--quick` trims the program sets so a laptop run finishes
@@ -48,6 +49,24 @@ fn t2_programs(scope: Scope) -> Vec<Module> {
     v
 }
 
+/// Applies the active shard to a flattened work list, announcing the
+/// partial coverage; un-sharded runs pass through untouched. Sharded
+/// figure runs print their shard's rows only — aggregate rows
+/// (GEOMEAN/averages) then cover the shard, not the suite, which the
+/// note makes explicit.
+fn shard_select<T>(shard: ShardSpec, what: &str, items: Vec<T>) -> Vec<T> {
+    if shard.is_full() {
+        return items;
+    }
+    let total = items.len();
+    let owned = shard.select(items);
+    println!(
+        "# shard {shard}: measuring {} of {total} {what} (aggregates cover this shard only)",
+        owned.len()
+    );
+    owned
+}
+
 /// **Figure 6** — runtime overhead of the five Khaos modes on the SPEC
 /// CPU 2006/2017 stand-ins, per program plus geometric means.
 pub fn fig6(scope: Scope) {
@@ -57,7 +76,7 @@ pub fn fig6(scope: Scope) {
         "program", "Fission", "Fusion", "FuFi.sep", "FuFi.ori", "FuFi.all"
     );
     let mut per_mode: Vec<Vec<f64>> = vec![Vec::new(); KhaosMode::ALL.len()];
-    let programs = t1_programs(scope);
+    let programs = shard_select(active_shard(), "T-I programs", t1_programs(scope));
     // One worker per program: baseline + the five mode builds.
     let rows = par_fan_out(&programs, |src| {
         let base = build_baseline(src);
@@ -140,6 +159,7 @@ pub fn fig8(scope: Scope) {
     let configs = BuildConfig::figure8_set();
     let mut programs = t1_programs(scope);
     programs.extend(t2_programs(scope));
+    let programs = shard_select(active_shard(), "T-I + T-II programs", programs);
 
     print!("{:<10}", "config");
     for t in ["BinDiff", "VulSeeker", "Asm2Vec", "SAFE", "DeepBinDiff"] {
@@ -290,94 +310,411 @@ pub fn fig9(scope: Scope) {
     println!("# paper: Khaos scores well below BinTuner at every level; BinTuner overhead 30.35%");
 }
 
-/// **Figure 10** — escape@1/10/50 of the T-III vulnerable functions under
-/// each obfuscation (Fla at 100% here, as in the paper).
-pub fn fig10(_scope: Scope) {
-    println!("# Figure 10: escape ratio of vulnerable functions (T-III)");
-    let configs: Vec<(String, BuildConfig)> = vec![
+/// The escape thresholds of Figure 10 (the paper's `escape@{1,10,50}`).
+pub const FIG10_KS: [usize; 3] = [1, 10, 50];
+
+/// The six obfuscation configurations of Figure 10, in row order
+/// (Fla at 100% here, as in the paper).
+pub fn fig10_configs() -> Vec<(String, BuildConfig)> {
+    vec![
         ("Sub".into(), BuildConfig::Ollvm(OllvmMode::Sub(1.0))),
         ("Bog".into(), BuildConfig::Ollvm(OllvmMode::Bog(1.0))),
         ("Fla".into(), BuildConfig::Ollvm(OllvmMode::Fla(1.0))),
         ("FuFi.sep".into(), BuildConfig::Khaos(KhaosMode::FuFiSep)),
         ("FuFi.ori".into(), BuildConfig::Khaos(KhaosMode::FuFiOri)),
         ("FuFi.all".into(), BuildConfig::Khaos(KhaosMode::FuFiAll)),
-    ];
-    let tools: Vec<(&str, Box<dyn Differ + Sync>)> = vec![
+    ]
+}
+
+/// The three learning-based tools Figure 10 evaluates, in column order.
+fn fig10_tools() -> Vec<(&'static str, Box<dyn Differ + Sync>)> {
+    vec![
         ("VulSeeker", Box::new(VulSeeker::default())),
         ("Asm2Vec", Box::new(Asm2Vec::default())),
         ("SAFE", Box::new(Safe::default())),
-    ];
-    let programs = tiii();
-    const KS: [usize; 3] = [1, 10, 50];
+    ]
+}
 
-    // Build each (config, program) pair once and rank each tool's
-    // vulnerable queries against one shared similarity matrix for all
-    // three escape thresholds (the seed rebuilt binaries and matrices
-    // per (config, tool, k, query)).
-    let prepared: Vec<_> = par_fan_out(&programs, |src| {
-        let base = build_baseline(src);
-        (lower_module(&base), base)
-    });
+/// The T-III programs of Figure 10; `--quick` trims the suite so the
+/// sharding end-to-end tests stay cheap.
+fn fig10_programs(scope: Scope) -> Vec<Module> {
+    let mut v = tiii();
+    if scope == Scope::Quick {
+        v.truncate(2);
+    }
+    v
+}
+
+/// The `khaos-store` report subject of one Figure-10 cell — together
+/// with the config pipeline's fingerprint and [`SEED`] this is the
+/// cell's complete `ReportKey`, so any process that knows the grid can
+/// query (or check for) the cell without recomputing anything.
+pub fn fig10_subject(program: &str, config: &str, tool: &str) -> String {
+    format!("fig10/{program}/{config}/{tool}")
+}
+
+/// One measured Figure-10 cell: the escape profile of `tool` on
+/// `program` built under `config`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig10Cell {
+    /// Program name (T-III member).
+    pub program: String,
+    /// Configuration display name (Figure-10 row).
+    pub config: String,
+    /// Differ name (Figure-10 column).
+    pub tool: &'static str,
+    /// `Pipeline::fingerprint()` of the configuration's build spec —
+    /// the report keyspace the cell persists under.
+    pub pipeline: u64,
+    /// `escape@{1,10,50}` ([`FIG10_KS`]).
+    pub escape: [f64; 3],
+}
+
+impl Fig10Cell {
+    /// The cell's store subject (same form as [`Fig10CellKey::subject`]).
+    pub fn subject(&self) -> String {
+        fig10_subject(&self.program, &self.config, self.tool)
+    }
+}
+
+/// The identity of one expected Figure-10 cell (no measurement) — what
+/// the merge layer checks a union of shard stores against.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig10CellKey {
+    /// Program name.
+    pub program: String,
+    /// Configuration display name.
+    pub config: String,
+    /// Differ name.
+    pub tool: &'static str,
+    /// Configuration pipeline fingerprint.
+    pub pipeline: u64,
+}
+
+impl Fig10CellKey {
+    /// The cell's store subject.
+    pub fn subject(&self) -> String {
+        fig10_subject(&self.program, &self.config, self.tool)
+    }
+}
+
+/// Every cell of the Figure-10 grid in canonical order (the flattened
+/// `config × program` grid of [`fig10_cells`], tools innermost) —
+/// the completeness contract [`fig10_merge`] enforces.
+pub fn fig10_expected(scope: Scope) -> Vec<Fig10CellKey> {
+    let configs = fig10_configs();
+    let tools = fig10_tools();
+    let programs = fig10_programs(scope);
+    let mut out = Vec::new();
+    for (config, cfg) in &configs {
+        for program in &programs {
+            for (tool, _) in &tools {
+                out.push(Fig10CellKey {
+                    program: program.name.clone(),
+                    config: config.clone(),
+                    tool,
+                    pipeline: cfg.fingerprint(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Measures `shard`'s share of the Figure-10 grid, returning its cells
+/// in canonical grid order and persisting each into `store` (when
+/// given) under the cell's `ReportKey`.
+///
+/// The shard partitions the **flattened `config × program` grid** —
+/// the expensive unit is one obfuscated build, shared by all three
+/// tools, so tools stay inside the cell. Every cell is a deterministic
+/// function of `(program, config, seed)` alone: any shard of any
+/// process computes bit-identical values for the cells it owns, which
+/// is what lets [`fig10_merge`] reassemble a grid from machines that
+/// never shared memory (pinned by `tests/shard_e2e.rs`).
+pub fn fig10_cells(scope: Scope, shard: ShardSpec, store: Option<&Store>) -> Vec<Fig10Cell> {
+    let configs = fig10_configs();
+    let tools = fig10_tools();
+    let programs = fig10_programs(scope);
+
     // One flat (config × program) grid: a single fan-out level keeps
     // concurrency at ~core count instead of multiplying config workers
-    // by program workers.
+    // by program workers — and gives the shard its index space. The
+    // shard is applied *before* the baseline builds so a shard only
+    // pays for the programs its cells actually touch.
     let grid: Vec<(usize, usize)> = (0..configs.len())
-        .flat_map(|ci| (0..prepared.len()).map(move |pi| (ci, pi)))
+        .flat_map(|ci| (0..programs.len()).map(move |pi| (ci, pi)))
         .collect();
-    let cells: Vec<Vec<[f64; 3]>> = par_fan_out(&grid, |&(ci, pi)| {
-        let (base_bin, base) = &prepared[pi];
+    let grid = shard.select(grid);
+    // Baselines are shared by every config row touching the program;
+    // build each distinct program of the owned cells exactly once.
+    // (Baselines are deterministic per program, so building a subset
+    // yields the same binaries the full run would — cell values stay
+    // shard-independent.)
+    let needed: Vec<usize> = {
+        let mut v: Vec<usize> = grid.iter().map(|&(_, pi)| pi).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let prepared: Vec<_> = par_fan_out(&needed, |&pi| {
+        let base = build_baseline(&programs[pi]);
+        (lower_module(&base), base)
+    });
+    let cells: Vec<Vec<Fig10Cell>> = par_fan_out(&grid, |&(ci, pi)| {
+        let slot = needed.binary_search(&pi).expect("pi collected from grid");
+        let (base_bin, base) = &prepared[slot];
         let (cfg_name, cfg) = &configs[ci];
         let obf_bin = build_binary(base, *cfg);
         tools
             .iter()
             .map(|(tool_name, tool)| {
-                let profile = escape_profile(tool.as_ref(), base_bin, &obf_bin, &KS);
+                let profile = escape_profile(tool.as_ref(), base_bin, &obf_bin, &FIG10_KS);
+                let cell = Fig10Cell {
+                    program: base_bin.name.clone(),
+                    config: cfg_name.clone(),
+                    tool: tool_name,
+                    pipeline: cfg.fingerprint(),
+                    escape: [profile[0], profile[1], profile[2]],
+                };
                 // Durable per-cell result, keyed by the build pipeline's
-                // fingerprint (no-op without KHAOS_STORE).
-                crate::harness::persist_metrics(
-                    &format!("fig10/{}/{cfg_name}/{tool_name}", base_bin.name),
-                    cfg.fingerprint(),
-                    &[
-                        ("escape@1", profile[0]),
-                        ("escape@10", profile[1]),
-                        ("escape@50", profile[2]),
-                    ],
-                );
-                [profile[0], profile[1], profile[2]]
+                // fingerprint (no-op without a store).
+                if let Some(store) = store {
+                    persist_metrics_to(
+                        store,
+                        &cell.subject(),
+                        cell.pipeline,
+                        &[
+                            ("escape@1", cell.escape[0]),
+                            ("escape@10", cell.escape[1]),
+                            ("escape@50", cell.escape[2]),
+                        ],
+                    );
+                }
+                cell
             })
             .collect()
     });
-    // avg[config][tool][k]
-    let avg: Vec<Vec<[f64; 3]>> = (0..configs.len())
-        .map(|ci| {
-            (0..tools.len())
-                .map(|t| {
-                    let mut acc = [0.0f64; 3];
-                    for pi in 0..prepared.len() {
-                        let scores = &cells[ci * prepared.len() + pi];
-                        for (a, s) in acc.iter_mut().zip(scores[t]) {
-                            *a += s;
-                        }
-                    }
-                    acc.map(|a| a / prepared.len().max(1) as f64)
-                })
-                .collect()
-        })
-        .collect();
+    cells.into_iter().flatten().collect()
+}
 
-    for (ki, k) in KS.iter().enumerate() {
+/// First-seen-order dedup — the row/column orders of the printed
+/// tables, derived from the cells themselves.
+fn uniq<T: PartialEq>(items: impl Iterator<Item = T>) -> Vec<T> {
+    let mut v = Vec::new();
+    for x in items {
+        if !v.contains(&x) {
+            v.push(x);
+        }
+    }
+    v
+}
+
+/// Prints the Figure-10 tables (one per threshold, config rows × tool
+/// columns, averaged over programs) from a complete cell grid. The
+/// header names the grid's actual dimensions — a merge run at a
+/// different scope than the shards (e.g. `--quick fig10-merge` over
+/// full-scope stores) is then visibly a truncated grid, not silently a
+/// smaller Figure 10.
+fn fig10_print_tables(cells: &[Fig10Cell]) {
+    let programs = uniq(cells.iter().map(|c| c.program.as_str()));
+    println!(
+        "# grid: {} cells over {} program(s): {}",
+        cells.len(),
+        programs.len(),
+        programs.join(", ")
+    );
+    let configs = uniq(cells.iter().map(|c| c.config.as_str()));
+    let tools = uniq(cells.iter().map(|c| c.tool));
+    for (ki, k) in FIG10_KS.iter().enumerate() {
         println!("\n## escape@{k}");
         print!("{:<10}", "config");
-        for (t, _) in &tools {
+        for t in &tools {
             print!(" {t:>10}");
         }
         println!();
-        for ((name, _), tool_avgs) in configs.iter().zip(&avg) {
-            print!("{name:<10}");
-            for tool_avg in tool_avgs {
-                print!(" {:>10.2}", tool_avg[ki]);
+        for config in &configs {
+            print!("{config:<10}");
+            for tool in &tools {
+                let scores: Vec<f64> = cells
+                    .iter()
+                    .filter(|c| c.config == *config && c.tool == *tool)
+                    .map(|c| c.escape[ki])
+                    .collect();
+                let avg = scores.iter().sum::<f64>() / scores.len().max(1) as f64;
+                print!(" {avg:>10.2}");
             }
             println!();
+        }
+    }
+}
+
+/// **Figure 10** — escape@1/10/50 of the T-III vulnerable functions under
+/// each obfuscation. Honours the active shard (`KHAOS_SHARD` /
+/// `--shard i/n`): a sharded run measures only its share of the
+/// `config × program` grid, persists the cells into `KHAOS_STORE`, and
+/// prints them row-wise; `experiments fig10-merge <DIR...>` reassembles
+/// the full tables from any union of shard stores.
+pub fn fig10(scope: Scope) {
+    println!("# Figure 10: escape ratio of vulnerable functions (T-III)");
+    let shard = active_shard();
+    let store = artifact_store();
+    if !shard.is_full() && store.is_none() {
+        println!(
+            "# WARNING: sharded run without KHAOS_STORE — cells will be printed but \
+             not persisted, so fig10-merge cannot reassemble this shard"
+        );
+    }
+    let cells = fig10_cells(scope, shard, store.as_deref());
+    if shard.is_full() {
+        fig10_print_tables(&cells);
+        return;
+    }
+    println!(
+        "# shard {shard}: {} of {} cells (merge with `experiments fig10-merge <store-dirs>`)",
+        cells.len(),
+        fig10_expected(scope).len()
+    );
+    println!(
+        "{:<16} {:<10} {:<10} {:>9} {:>9} {:>9}",
+        "program", "config", "tool", "escape@1", "escape@10", "escape@50"
+    );
+    for c in &cells {
+        println!(
+            "{:<16} {:<10} {:<10} {:>9.2} {:>9.2} {:>9.2}",
+            c.program, c.config, c.tool, c.escape[0], c.escape[1], c.escape[2]
+        );
+    }
+}
+
+/// Reassembles the complete Figure-10 grid from any union of shard
+/// stores (earlier stores win on duplicate cells, though duplicates are
+/// bit-identical by determinism). Returns the cells in canonical grid
+/// order, or — when any expected cell is missing from every store — an
+/// `Err` listing each missing cell precisely (subject + pipeline
+/// fingerprint), so an operator can see exactly which shard never ran
+/// or never persisted.
+pub fn fig10_merge(scope: Scope, stores: &[&Store]) -> Result<Vec<Fig10Cell>, Vec<String>> {
+    fig10_merge_expected(&fig10_expected(scope), stores)
+}
+
+/// [`fig10_merge`] against an already-computed expected grid (the
+/// merge CLI computes the grid once and reuses it for its header and
+/// missing-cell accounting — regenerating it re-synthesizes the whole
+/// T-III suite).
+fn fig10_merge_expected(
+    expected: &[Fig10CellKey],
+    stores: &[&Store],
+) -> Result<Vec<Fig10Cell>, Vec<String>> {
+    let mut cells = Vec::new();
+    let mut missing = Vec::new();
+    for key in expected {
+        let subject = key.subject();
+        let report_key = ReportKey {
+            pipeline: key.pipeline,
+            seed: SEED,
+            subject: &subject,
+        };
+        // A store I/O failure is not "the shard never ran" — keep the
+        // distinction so the operator fixes the store instead of
+        // re-running an expensive shard sweep. (Corrupt records decode
+        // to `Ok(None)` by design; `khaos-store verify` names those.)
+        let mut found = None;
+        let mut read_errors = Vec::new();
+        for s in stores {
+            match s.get_report(&report_key) {
+                Ok(Some(r)) => {
+                    found = Some(r);
+                    break;
+                }
+                Ok(None) => {}
+                Err(e) => read_errors.push(format!("{}: {e}", s.root().display())),
+            }
+        }
+        let Some(report) = found else {
+            missing.push(if read_errors.is_empty() {
+                format!(
+                    "{subject} (pipeline {:016x}, seed {:#x})",
+                    key.pipeline, SEED
+                )
+            } else {
+                // Name every failing store, not just the last — the
+                // operator should fix them all in one pass.
+                format!(
+                    "{subject} (store read error — cell may exist: {})",
+                    read_errors.join("; ")
+                )
+            });
+            continue;
+        };
+        let metric = |name: &str| {
+            report
+                .metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        match (metric("escape@1"), metric("escape@10"), metric("escape@50")) {
+            (Some(e1), Some(e10), Some(e50)) => cells.push(Fig10Cell {
+                program: key.program.clone(),
+                config: key.config.clone(),
+                tool: key.tool,
+                pipeline: key.pipeline,
+                escape: [e1, e10, e50],
+            }),
+            _ => missing.push(format!(
+                "{subject} (record present but missing escape@{{1,10,50}} metrics)"
+            )),
+        }
+    }
+    if missing.is_empty() {
+        Ok(cells)
+    } else {
+        Err(missing)
+    }
+}
+
+/// `experiments fig10-merge DIR...` — reassembles and prints the full
+/// Figure-10 tables from a union of shard stores, or lists every
+/// missing cell and fails. Returns whether the grid was complete.
+pub fn fig10_report(scope: Scope, store_dirs: &[String]) -> bool {
+    // One grid generation serves the header, the merge and the
+    // missing-cell accounting.
+    let expected = fig10_expected(scope);
+    println!("# Figure 10 (merged from {} store(s))", store_dirs.len());
+    println!(
+        "# scope: {scope:?} — expecting {} cells; match the shards' --quick flag, or a \
+         full-scope store merges into a silently smaller grid",
+        expected.len()
+    );
+    let mut stores = Vec::new();
+    for dir in store_dirs {
+        // Merging must never conjure a store: a typo'd path is an
+        // error, not an empty store whose every cell reads as missing.
+        match Store::open_existing(dir) {
+            Ok(s) => stores.push(s),
+            Err(e) => {
+                println!("# cannot open store `{dir}`: {e}");
+                return false;
+            }
+        }
+    }
+    let refs: Vec<&Store> = stores.iter().collect();
+    match fig10_merge_expected(&expected, &refs) {
+        Ok(cells) => {
+            fig10_print_tables(&cells);
+            true
+        }
+        Err(missing) => {
+            println!(
+                "# INCOMPLETE GRID: {} of {} cells missing:",
+                missing.len(),
+                expected.len()
+            );
+            for m in &missing {
+                println!("#   missing {m}");
+            }
+            false
         }
     }
 }
@@ -400,7 +737,7 @@ pub fn fig11(scope: Scope) {
             .iter()
             .map(|m| (m.name().to_string(), Some(BuildConfig::Khaos(*m)))),
     );
-    let programs = t1_programs(scope);
+    let programs = shard_select(active_shard(), "T-I programs", t1_programs(scope));
 
     // Fan out per program; each worker builds every configuration.
     let rows = par_fan_out(&programs, |src| {

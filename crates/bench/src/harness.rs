@@ -28,6 +28,7 @@ use khaos_core::KhaosMode;
 use khaos_ir::Module;
 use khaos_ollvm::OllvmMode;
 use khaos_opt::OptLevel;
+pub use khaos_par::ShardSpec;
 use khaos_pass::{PassCtx, Pipeline, PipelineReport, VerifyPolicy};
 use khaos_store::{Store, StoredReport};
 use khaos_vm::{run_with_config, RunConfig};
@@ -144,17 +145,42 @@ pub fn stored_report(subject: &str, report: &PipelineReport) -> StoredReport {
 /// errors are swallowed — persistence must never fail an experiment.
 pub fn persist_metrics(subject: &str, pipeline_fingerprint: u64, metrics: &[(&str, f64)]) {
     if let Some(store) = artifact_store() {
-        let report = StoredReport {
-            spec: String::new(),
-            pipeline: pipeline_fingerprint,
-            seed: SEED,
-            subject: subject.to_string(),
-            total_micros: 0,
-            passes: Vec::new(),
-            metrics: metrics.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
-        };
-        let _ = store.put_report(&report);
+        persist_metrics_to(&store, subject, pipeline_fingerprint, metrics);
     }
+}
+
+/// [`persist_metrics`] into an explicit store — the form the sharded
+/// drivers use so tests can target scratch stores without touching the
+/// process-wide `KHAOS_STORE` state. Store errors are swallowed here
+/// too: persistence must never fail an experiment.
+pub fn persist_metrics_to(
+    store: &Store,
+    subject: &str,
+    pipeline_fingerprint: u64,
+    metrics: &[(&str, f64)],
+) {
+    let report = StoredReport {
+        spec: String::new(),
+        pipeline: pipeline_fingerprint,
+        seed: SEED,
+        subject: subject.to_string(),
+        total_micros: 0,
+        passes: Vec::new(),
+        metrics: metrics.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+    };
+    let _ = store.put_report(&report);
+}
+
+/// The shard this process runs as: `KHAOS_SHARD=i/n` when set (the
+/// experiment binaries' `--shard i/n` flag writes the same variable),
+/// [`ShardSpec::FULL`] otherwise.
+///
+/// # Panics
+/// Panics on a malformed `KHAOS_SHARD` value — a shard silently
+/// degrading to the full grid would redo every cell on every machine of
+/// a sharded sweep, so the harness fails loudly instead.
+pub fn active_shard() -> ShardSpec {
+    ShardSpec::from_env().unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Runs a pipeline spec over a clone of `src` with a fresh context

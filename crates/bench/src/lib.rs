@@ -9,8 +9,8 @@ pub mod experiments;
 pub mod harness;
 
 pub use harness::{
-    artifact_store, build_at, build_baseline, build_binary, build_config, geomean, geomean_ratio,
-    khaos_apply, khaos_apply_nway, khaos_atom, measure_cycles, obfuscate_ollvm, ollvm_atom,
-    overhead_pct, par_fan_out, persist_metrics, prepare_baselines, run_spec, stored_report,
-    BuildConfig, SEED,
+    active_shard, artifact_store, build_at, build_baseline, build_binary, build_config, geomean,
+    geomean_ratio, khaos_apply, khaos_apply_nway, khaos_atom, measure_cycles, obfuscate_ollvm,
+    ollvm_atom, overhead_pct, par_fan_out, persist_metrics, persist_metrics_to, prepare_baselines,
+    run_spec, stored_report, BuildConfig, ShardSpec, SEED,
 };

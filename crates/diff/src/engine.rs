@@ -470,6 +470,27 @@ impl StreamingTopK {
         v.sort_unstable_by(|a, b| cmp_scores_desc(a.1, b.1).then(a.0.cmp(&b.0)));
         v
     }
+
+    /// Absorbs every candidate retained by `other`, keeping this
+    /// selector's capacity `k` — the combining step of the parallel
+    /// streaming path, where each worker selects over a disjoint block
+    /// of candidate indices and the blocks are merged afterwards.
+    ///
+    /// The retained *set* is offer-order-independent: retention
+    /// decisions compare candidates under the total
+    /// `(score descending, index ascending)` order ([`cmp_scores_desc`]
+    /// then index), so the survivors of any merge sequence are exactly
+    /// the true top `k` of the union — including the documented
+    /// tie-breaks (`-0.0` ties `+0.0` and falls to the lower index; NaN
+    /// ranks deterministically). [`StreamingTopK::into_ranked`] then
+    /// sorts the survivors, so merged output is bit-identical to a
+    /// single sequential scan (pinned by this module's tests and the
+    /// `batched_engine` suite).
+    pub fn merge(&mut self, other: StreamingTopK) {
+        for (s, j) in other.heap {
+            self.offer(j, s);
+        }
+    }
 }
 
 /// One side of the rank-only streaming path: similarity of a query
@@ -478,7 +499,13 @@ impl StreamingTopK {
 /// what the tool's batched [`SimilarityMatrix`] would hold at `(qi, j)`
 /// (the streaming/matrix equivalence is pinned by
 /// `tests/batched_engine.rs`).
-pub trait RowScore {
+///
+/// Scorers are `Sync`: scoring is a pure read of the pair's cached
+/// embeddings/fingerprints, and the parallel rank drivers
+/// ([`par_stream_top_k_rows`], [`par_stream_ranks`]) share one scorer
+/// across `khaos-par` workers — each query row is independent, so the
+/// streaming metrics parallelize across rows without any per-row setup.
+pub trait RowScore: Sync {
     /// Number of query functions.
     fn rows(&self) -> usize;
     /// Number of target candidates.
@@ -539,15 +566,95 @@ impl RowScore for EmbedScorer {
     }
 }
 
+/// Candidate-count threshold below which [`stream_top_k`] scans
+/// sequentially: a few thousand dot products finish faster than a
+/// thread spawn, and the blocked path's result is identical anyway.
+const STREAM_PAR_MIN_COLS: usize = 8192;
+
 /// Streaming [`SimilarityMatrix::top_k`]: the `k` best candidates for
-/// query `qi` in ranked order, computed in `O(k)` extra memory from a
-/// [`RowScore`] — no matrix, no full row.
+/// query `qi` in ranked order, computed in `O(k)` extra memory per
+/// worker from a [`RowScore`] — no matrix, no full row.
+///
+/// On wide candidate pools the scan parallelizes over contiguous
+/// column blocks ([`stream_top_k_blocks`]); output is bit-identical to
+/// the sequential scan at any `KHAOS_THREADS` (and inside a `khaos-par`
+/// worker — the row-parallel drivers — the nested fan-out degrades to
+/// sequential).
 pub fn stream_top_k(scorer: &dyn RowScore, qi: usize, k: usize) -> Vec<(usize, f64)> {
+    let cols = scorer.cols();
+    if cols < STREAM_PAR_MIN_COLS {
+        let mut sel = StreamingTopK::new(k);
+        for j in 0..cols {
+            sel.offer(j, scorer.score(qi, j));
+        }
+        return sel.into_ranked();
+    }
+    stream_top_k_blocks(
+        scorer,
+        qi,
+        k,
+        cols.div_ceil(khaos_par::max_threads() * 4).max(1),
+    )
+}
+
+/// [`stream_top_k`] with an explicit column block size: workers select
+/// each block's top `k` independently ([`StreamingTopK`] per block) and
+/// the per-block selectors are merged ([`StreamingTopK::merge`]) —
+/// the retained set equals the true top `k` of the whole row under the
+/// pinned total order, so the ranked result is **bit-identical** to the
+/// sequential scan for every block size and thread count (pinned by
+/// this module's tests and `tests/batched_engine.rs`).
+pub fn stream_top_k_blocks(
+    scorer: &dyn RowScore,
+    qi: usize,
+    k: usize,
+    block: usize,
+) -> Vec<(usize, f64)> {
+    assert!(block > 0, "block size must be positive");
+    let cols = scorer.cols();
+    let n_blocks = cols.div_ceil(block);
     let mut sel = StreamingTopK::new(k);
-    for j in 0..scorer.cols() {
-        sel.offer(j, scorer.score(qi, j));
+    for part in khaos_par::par_map(n_blocks, |b| {
+        let mut part = StreamingTopK::new(k);
+        for j in b * block..((b + 1) * block).min(cols) {
+            part.offer(j, scorer.score(qi, j));
+        }
+        part
+    }) {
+        sel.merge(part);
     }
     sel.into_ranked()
+}
+
+/// Row-parallel [`stream_top_k`]: ranks many query rows concurrently
+/// (each row is an independent scan — the §4.2 fan-out axis the paper's
+/// protocol exposes), returning one ranked candidate list per entry of
+/// `rows`, in input order. Bit-identical to calling [`stream_top_k`]
+/// sequentially per row at any `KHAOS_THREADS`.
+pub fn par_stream_top_k_rows(
+    scorer: &dyn RowScore,
+    rows: &[usize],
+    k: usize,
+) -> Vec<Vec<(usize, f64)>> {
+    khaos_par::par_map(rows.len(), |i| stream_top_k(scorer, rows[i], k))
+}
+
+/// Row-parallel [`stream_rank_of_first_match`]: computes the 1-based
+/// rank of the first `is_match(qi, j)`-accepted candidate for every
+/// query in `rows`, in input order. Each `khaos-par` worker reuses one
+/// `O(T)` scratch row ([`khaos_par::par_map_with`]), so memory stays
+/// `O(threads × T)` for arbitrarily many queries. Bit-identical to the
+/// sequential loop at any `KHAOS_THREADS` (pinned by
+/// `tests/batched_engine.rs`).
+pub fn par_stream_ranks(
+    scorer: &dyn RowScore,
+    rows: &[usize],
+    is_match: impl Fn(usize, usize) -> bool + Sync,
+) -> Vec<Option<usize>> {
+    khaos_par::par_map_with(rows.len(), Vec::new, |scratch, i| {
+        let qi = rows[i];
+        stream_rank_of_first_match(scorer, qi, scratch, |j| is_match(qi, j))
+    })
 }
 
 /// Streaming [`SimilarityMatrix::rank_of_first_match`]: computes one
@@ -1001,6 +1108,101 @@ mod tests {
         empty.offer(0, 1.0);
         assert!(empty.is_empty());
         assert!(empty.into_ranked().is_empty());
+    }
+
+    /// Satellite regression for the parallel path's combining step:
+    /// merging per-block heaps must preserve the documented tie-break —
+    /// `-0.0` ties `+0.0`, equal scores rank by lower index — even when
+    /// the duplicates straddle the merge boundary, and must equal a
+    /// single sequential scan bit for bit.
+    #[test]
+    fn streaming_top_k_merge_preserves_tie_break_across_boundaries() {
+        // Duplicate scores placed so every tie spans the block split:
+        // 0.9 at {1, 6}, 0.5 at {2, 5}, and a -0.0/+0.0 pair at {3, 4}.
+        let row = [0.1, 0.9, 0.5, -0.0, 0.0, 0.5, 0.9, -1.0];
+        for split in 0..=row.len() {
+            for k in 0..=row.len() + 1 {
+                // Sequential reference.
+                let mut seq = StreamingTopK::new(k);
+                for (j, &s) in row.iter().enumerate() {
+                    seq.offer(j, s);
+                }
+                let want = seq.into_ranked();
+                // Two per-block selectors merged at `split`.
+                let mut left = StreamingTopK::new(k);
+                for (j, &s) in row.iter().enumerate().take(split) {
+                    left.offer(j, s);
+                }
+                let mut right = StreamingTopK::new(k);
+                for (j, &s) in row.iter().enumerate().skip(split) {
+                    right.offer(j, s);
+                }
+                left.merge(right);
+                let got = left.into_ranked();
+                assert_eq!(got.len(), want.len(), "split={split} k={k}");
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.0, w.0, "split={split} k={k}: index order diverged");
+                    assert_eq!(
+                        g.1.to_bits(),
+                        w.1.to_bits(),
+                        "split={split} k={k}: score bits diverged (±0.0 must survive merge)"
+                    );
+                }
+            }
+        }
+        // The ±0.0 tie itself: +0.0 at index 4 must NOT outrank -0.0 at
+        // index 3 (they compare equal; the lower index wins), and each
+        // keeps its own sign bit through the merge.
+        let mut a = StreamingTopK::new(2);
+        a.offer(3, -0.0);
+        let mut b = StreamingTopK::new(2);
+        b.offer(4, 0.0);
+        a.merge(b);
+        let ranked = a.into_ranked();
+        assert_eq!(ranked[0].0, 3);
+        assert_eq!(ranked[0].1.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(ranked[1].0, 4);
+        assert_eq!(ranked[1].1.to_bits(), 0.0f64.to_bits());
+    }
+
+    /// The block-parallel scan is bit-identical to the sequential one
+    /// for every block size, including NaN rows (the NaN-total order
+    /// governs retention in every block).
+    #[test]
+    fn stream_top_k_blocks_matches_sequential_for_all_block_sizes() {
+        let row = vec![0.5, f64::NAN, 0.9, 0.5, -0.0, 0.0, -f64::NAN, 0.7, 0.9];
+        let m = SimilarityMatrix::from_flat(1, row.len(), row.clone());
+        struct MatScorer(SimilarityMatrix);
+        impl RowScore for MatScorer {
+            fn rows(&self) -> usize {
+                self.0.rows()
+            }
+            fn cols(&self) -> usize {
+                self.0.cols()
+            }
+            fn score(&self, qi: usize, j: usize) -> f64 {
+                self.0.get(qi, j)
+            }
+        }
+        let scorer = MatScorer(m.clone());
+        for k in 0..=row.len() + 1 {
+            let want = stream_top_k(&scorer, 0, k);
+            for block in 1..=row.len() + 1 {
+                let got = stream_top_k_blocks(&scorer, 0, k, block);
+                assert_eq!(got.len(), want.len(), "k={k} block={block}");
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(
+                        (g.0, g.1.to_bits()),
+                        (w.0, w.1.to_bits()),
+                        "k={k} block={block}"
+                    );
+                }
+            }
+            // And both agree with the matrix's partial selection.
+            let matrix: Vec<usize> = m.top_k(0, k).into_iter().map(|(j, _)| j).collect();
+            let streamed: Vec<usize> = want.iter().map(|&(j, _)| j).collect();
+            assert_eq!(streamed, matrix, "k={k}");
+        }
     }
 
     #[test]

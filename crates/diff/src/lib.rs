@@ -81,13 +81,13 @@ pub use bindiff::{binary_similarity, binary_similarity_with, BinDiff};
 pub use dataflow::DataFlowDiff;
 pub use deepbindiff::{deepbindiff_precision_at_1, DeepBinDiff};
 pub use engine::{
-    dot_blocked, CacheStats, EmbeddingCache, FunctionEmbeddings, RowScore, SimilarityMatrix,
-    StreamingTopK,
+    dot_blocked, par_stream_ranks, par_stream_top_k_rows, stream_top_k, stream_top_k_blocks,
+    CacheStats, EmbeddingCache, FunctionEmbeddings, RowScore, SimilarityMatrix, StreamingTopK,
 };
 pub use metrics::{
     escape_at_k, escape_profile, escape_profile_streaming, escape_profile_with, origins_match,
     precision_at_1, precision_at_1_with, rank_of_true_match, rank_of_true_match_in,
-    rank_of_true_match_streaming,
+    rank_of_true_match_streaming, ranks_of_true_match_streaming,
 };
 pub use safe::Safe;
 pub use tokens::{

@@ -8,9 +8,20 @@
 //! vulnerable query function — which made the §4.2 inner loop
 //! quadratic in redundant work.
 
-use crate::engine::{stream_rank_of_first_match, EmbeddingCache};
+use crate::engine::{par_stream_ranks, stream_rank_of_first_match, EmbeddingCache};
 use crate::{Differ, SimilarityMatrix};
 use khaos_binary::{BinProvenance, Binary};
+
+/// Indices of the query binary's `vulnerable`-annotated functions —
+/// the Figure-10 query set.
+fn vulnerable_indices(bin: &Binary) -> Vec<usize> {
+    bin.functions
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.provenance.annotations.iter().any(|a| a == "vulnerable"))
+        .map(|(i, _)| i)
+        .collect()
+}
 
 /// The relaxed pairing-success judgment: a query (pre-obfuscation)
 /// function pairs successfully with a candidate when their origin sets
@@ -106,6 +117,29 @@ pub fn rank_of_true_match_streaming(
     })
 }
 
+/// [`rank_of_true_match_streaming`] for many query functions at once,
+/// parallelized across query rows (each row is an independent `O(T)`
+/// scan — the embarrassingly parallel axis of the §4.2 protocol).
+/// Returns one rank per entry of `queries`, in input order,
+/// bit-identical to per-query sequential calls at any `KHAOS_THREADS`
+/// (pinned by `tests/batched_engine.rs`). Memory stays
+/// `O(threads × T)`: each worker reuses one scratch row.
+pub fn ranks_of_true_match_streaming(
+    tool: &dyn Differ,
+    baseline: &Binary,
+    obf: &Binary,
+    queries: &[usize],
+    cache: &EmbeddingCache,
+) -> Vec<Option<usize>> {
+    let scorer = tool.row_scorer(baseline, obf, cache);
+    par_stream_ranks(scorer.as_ref(), queries, |qi, j| {
+        origins_match(
+            &baseline.functions[qi].provenance,
+            &obf.functions[j].provenance,
+        )
+    })
+}
+
 /// `escape@k` over the vulnerable functions of the baseline binary: the
 /// fraction whose true match ranks *worse* than `k` (higher = better
 /// hiding). Functions are "vulnerable" when annotated as such.
@@ -134,7 +168,9 @@ pub fn escape_profile(
 /// one `O(T)` row per vulnerable query, cached embeddings, and **no
 /// `Q×T` matrix allocation ever** (on large binaries with few
 /// vulnerable functions this is also far less dot-product work than a
-/// matrix build).
+/// matrix build). The streaming rank pass runs **in parallel across
+/// vulnerable query rows** ([`par_stream_ranks`]), bit-identical to the
+/// sequential scan at any `KHAOS_THREADS`.
 pub fn escape_profile_with(
     tool: &dyn Differ,
     baseline: &Binary,
@@ -142,13 +178,7 @@ pub fn escape_profile_with(
     ks: &[usize],
     cache: &EmbeddingCache,
 ) -> Vec<f64> {
-    let vulnerable: Vec<usize> = baseline
-        .functions
-        .iter()
-        .enumerate()
-        .filter(|(_, f)| f.provenance.annotations.iter().any(|a| a == "vulnerable"))
-        .map(|(i, _)| i)
-        .collect();
+    let vulnerable = vulnerable_indices(baseline);
     if vulnerable.is_empty() {
         return vec![0.0; ks.len()];
     }
@@ -161,16 +191,12 @@ pub fn escape_profile_with(
             .collect(),
         None => {
             let scorer = tool.row_scorer_keyed(baseline, obf, cache, qfp, tfp);
-            let mut scratch = Vec::new();
-            vulnerable
-                .iter()
-                .map(|&qi| {
-                    let qprov = &baseline.functions[qi].provenance;
-                    stream_rank_of_first_match(scorer.as_ref(), qi, &mut scratch, |j| {
-                        origins_match(qprov, &obf.functions[j].provenance)
-                    })
-                })
-                .collect()
+            par_stream_ranks(scorer.as_ref(), &vulnerable, |qi, j| {
+                origins_match(
+                    &baseline.functions[qi].provenance,
+                    &obf.functions[j].provenance,
+                )
+            })
         }
     };
     escape_from_ranks(&ranks, ks)
@@ -178,8 +204,12 @@ pub fn escape_profile_with(
 
 /// [`escape_profile`] forced onto the streaming path: never touches a
 /// cached matrix, never builds one. The memory guarantee is
-/// unconditional (`O(T)` scratch regardless of how many thresholds or
-/// queries), at the cost of re-scoring even when a matrix is resident.
+/// unconditional (`O(threads × T)` scratch regardless of how many
+/// thresholds or queries), at the cost of re-scoring even when a matrix
+/// is resident. Vulnerable query rows rank **in parallel**
+/// ([`par_stream_ranks`]; each worker reuses one scratch row),
+/// bit-identical to the sequential scan at any `KHAOS_THREADS` (pinned
+/// by `tests/batched_engine.rs`).
 pub fn escape_profile_streaming(
     tool: &dyn Differ,
     baseline: &Binary,
@@ -187,27 +217,11 @@ pub fn escape_profile_streaming(
     ks: &[usize],
     cache: &EmbeddingCache,
 ) -> Vec<f64> {
-    let vulnerable: Vec<usize> = baseline
-        .functions
-        .iter()
-        .enumerate()
-        .filter(|(_, f)| f.provenance.annotations.iter().any(|a| a == "vulnerable"))
-        .map(|(i, _)| i)
-        .collect();
+    let vulnerable = vulnerable_indices(baseline);
     if vulnerable.is_empty() {
         return vec![0.0; ks.len()];
     }
-    let scorer = tool.row_scorer(baseline, obf, cache);
-    let mut scratch = Vec::new();
-    let ranks: Vec<Option<usize>> = vulnerable
-        .iter()
-        .map(|&qi| {
-            let qprov = &baseline.functions[qi].provenance;
-            stream_rank_of_first_match(scorer.as_ref(), qi, &mut scratch, |j| {
-                origins_match(qprov, &obf.functions[j].provenance)
-            })
-        })
-        .collect();
+    let ranks = ranks_of_true_match_streaming(tool, baseline, obf, &vulnerable, cache);
     escape_from_ranks(&ranks, ks)
 }
 

@@ -7,11 +7,20 @@
 //! a `cat`-sized one — still balance across cores.
 //!
 //! * [`par_map`] / [`par_map_slice`] — order-preserving parallel maps;
+//! * [`par_map_with`] — an order-preserving parallel map with one
+//!   reusable scratch value per worker (the streaming rank path's
+//!   per-row similarity buffer);
 //! * [`par_chunks_mut`] — parallel in-place fill of disjoint chunks of
 //!   a flat buffer (the similarity-matrix row loop);
 //! * [`max_threads`] — the worker count, overridable with the
 //!   `KHAOS_THREADS` environment variable (`KHAOS_THREADS=1` forces
 //!   fully sequential execution, useful for profiling and debugging).
+//!
+//! Beyond threads, the crate also carries the *cross-process* half of
+//! the work-partitioning story: [`ShardSpec`] deterministically splits
+//! a flattened work grid across cooperating processes/machines
+//! (`KHAOS_SHARD=i/n`), the coarse-grained analogue of the in-process
+//! block scheduling above.
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -132,6 +141,60 @@ where
     out
 }
 
+/// Parallel, order-preserving map over `0..n` with one reusable
+/// scratch value per worker.
+///
+/// `init` builds each worker's scratch once; `f` receives it mutably
+/// for every index the worker claims. The streaming rank path uses this
+/// for its per-row similarity buffer: one `O(T)` allocation per worker
+/// instead of one per query row. Results come back in index order, and
+/// because `f(scratch, i)` must not let the scratch influence the
+/// output value (it is scratch, not state), the result is identical to
+/// the sequential map at any thread count.
+pub fn par_map_with<S, T, I, F>(n: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let threads = effective_threads(n);
+    if threads == 1 {
+        let mut scratch = init();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
+    }
+    let block = (n / (threads * 4)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                as_worker(|| {
+                    let mut scratch = init();
+                    loop {
+                        let start = cursor.fetch_add(block, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + block).min(n);
+                        let part: Vec<T> = (start..end).map(|i| f(&mut scratch, i)).collect();
+                        done.lock()
+                            .expect("par_map_with worker panicked")
+                            .push((start, part));
+                    }
+                })
+            });
+        }
+    });
+    let mut parts = done.into_inner().expect("par_map_with worker panicked");
+    parts.sort_unstable_by_key(|(start, _)| *start);
+    let mut out = Vec::with_capacity(n);
+    for (_, part) in parts {
+        out.extend(part);
+    }
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
 /// Parallel, order-preserving map over a slice.
 pub fn par_map_slice<I, T, F>(items: &[I], f: F) -> Vec<T>
 where
@@ -210,6 +273,130 @@ where
         let b = hb.join().expect("join closure panicked");
         (a, b)
     })
+}
+
+/// One shard of a deterministically partitioned work grid: this
+/// process owns every flat index `i` with `i % count == index`.
+///
+/// This is the cross-process analogue of the crate's thread fan-out:
+/// experiment drivers flatten their `config × program` grids to a flat
+/// index space, and `n` cooperating processes (or machines) each run
+/// with a distinct `ShardSpec` (`KHAOS_SHARD=i/n`, or `--shard i/n` on
+/// the experiment binaries). The partition laws the rest of the
+/// workspace relies on (pinned by `tests/shard_e2e.rs`):
+///
+/// * **exact cover** — for any `n`, the shards `0/n .. n-1/n` own every
+///   flat index exactly once (no index is dropped or duplicated);
+/// * **order preservation** — each shard visits its owned indices in
+///   ascending flat order, so per-shard output is a deterministic
+///   subsequence of the unsharded run;
+/// * **round-robin balance** — ownership interleaves (`i % n`), so
+///   heterogeneous item costs (a `gcc`-sized program next to a
+///   `cat`-sized one) spread across shards instead of clustering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ShardSpec {
+    index: usize,
+    count: usize,
+}
+
+impl ShardSpec {
+    /// The degenerate single-shard spec owning the whole grid — what
+    /// un-sharded runs use.
+    pub const FULL: ShardSpec = ShardSpec { index: 0, count: 1 };
+
+    /// A shard `index/count`; errors unless `index < count` and
+    /// `count >= 1`.
+    pub fn new(index: usize, count: usize) -> Result<ShardSpec, String> {
+        if count == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} out of range for {count} shard(s) (want 0..{count})"
+            ));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// Parses the canonical `i/n` form (`0/4`, `3/4`, …).
+    pub fn parse(s: &str) -> Result<ShardSpec, String> {
+        let (i, n) = s
+            .trim()
+            .split_once('/')
+            .ok_or_else(|| format!("`{s}` is not a shard spec (want `i/n`, e.g. `0/4`)"))?;
+        let parse = |part: &str, what: &str| {
+            part.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("`{s}`: {what} `{part}` is not a non-negative integer"))
+        };
+        ShardSpec::new(parse(i, "shard index")?, parse(n, "shard count")?)
+    }
+
+    /// The shard named by the `KHAOS_SHARD` environment variable, or
+    /// [`ShardSpec::FULL`] when the variable is unset or empty. A
+    /// malformed value is an error, never a silent fallback — a shard
+    /// quietly becoming `0/1` would redo (and re-persist) the whole
+    /// grid on every machine of a sharded sweep.
+    pub fn from_env() -> Result<ShardSpec, String> {
+        match std::env::var("KHAOS_SHARD") {
+            Ok(v) if !v.trim().is_empty() => {
+                ShardSpec::parse(&v).map_err(|e| format!("KHAOS_SHARD: {e}"))
+            }
+            _ => Ok(ShardSpec::FULL),
+        }
+    }
+
+    /// This shard's index (`0..count`).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Total number of shards in the partition.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// True for the degenerate single-shard spec (the whole grid).
+    pub fn is_full(&self) -> bool {
+        self.count == 1
+    }
+
+    /// True when this shard owns flat grid index `i`.
+    pub fn owns(&self, i: usize) -> bool {
+        i % self.count == self.index
+    }
+
+    /// True when this shard owns a hash-identified work item (used
+    /// where items have stable identities but no natural grid index,
+    /// e.g. `khaos-obf --shard` partitioning by module-name hash).
+    pub fn owns_hash(&self, h: u64) -> bool {
+        (h % self.count as u64) as usize == self.index
+    }
+
+    /// The flat indices of `0..n` this shard owns, ascending.
+    pub fn indices(&self, n: usize) -> impl Iterator<Item = usize> + '_ {
+        (self.index..n).step_by(self.count)
+    }
+
+    /// Filters a flattened work grid down to this shard's items,
+    /// preserving order (ownership is by position in `items`).
+    pub fn select<T>(&self, items: Vec<T>) -> Vec<T> {
+        if self.is_full() {
+            return items;
+        }
+        items
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| self.owns(*i))
+            .map(|(_, x)| x)
+            .collect()
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
 }
 
 #[cfg(test)]
@@ -319,5 +506,74 @@ mod tests {
         let (a, b) = join(|| 1 + 1, || "x".to_string());
         assert_eq!(a, 2);
         assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn par_map_with_matches_sequential_and_reuses_scratch() {
+        // The scratch is a reusable buffer; the output must not depend
+        // on what a previous index left in it.
+        let got = par_map_with(513, Vec::<usize>::new, |scratch, i| {
+            scratch.push(i); // deliberately dirty the scratch
+            i * 3
+        });
+        let want: Vec<usize> = (0..513).map(|i| i * 3).collect();
+        assert_eq!(got, want);
+        assert_eq!(par_map_with(0, || (), |_, i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn shard_parse_display_round_trip_and_rejects_bad_specs() {
+        for (i, n) in [(0, 1), (0, 2), (1, 2), (6, 7)] {
+            let s = ShardSpec::new(i, n).unwrap();
+            assert_eq!(ShardSpec::parse(&s.to_string()).unwrap(), s);
+            assert_eq!((s.index(), s.count()), (i, n));
+        }
+        assert!(ShardSpec::FULL.is_full());
+        assert!(!ShardSpec::new(0, 2).unwrap().is_full());
+        for bad in ["", "3", "a/b", "1/0", "2/2", "5/4", "-1/2", "1/2/3"] {
+            assert!(ShardSpec::parse(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn shards_exactly_cover_any_grid() {
+        for n in 1usize..8 {
+            for len in [0usize, 1, 2, 7, 64, 101] {
+                let mut seen = vec![0u32; len];
+                for index in 0..n {
+                    let shard = ShardSpec::new(index, n).unwrap();
+                    let mut last = None;
+                    for i in shard.indices(len) {
+                        assert!(shard.owns(i));
+                        assert!(last.map(|l| l < i).unwrap_or(true), "ascending order");
+                        last = Some(i);
+                        seen[i] += 1;
+                    }
+                }
+                assert!(
+                    seen.iter().all(|&c| c == 1),
+                    "{n} shards over {len} items must cover each index exactly once"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_select_preserves_order_and_partitions() {
+        let items: Vec<u32> = (0..11).collect();
+        let a = ShardSpec::new(0, 3).unwrap().select(items.clone());
+        let b = ShardSpec::new(1, 3).unwrap().select(items.clone());
+        let c = ShardSpec::new(2, 3).unwrap().select(items.clone());
+        assert_eq!(a, vec![0, 3, 6, 9]);
+        assert_eq!(b, vec![1, 4, 7, 10]);
+        assert_eq!(c, vec![2, 5, 8]);
+        assert_eq!(ShardSpec::FULL.select(items.clone()), items);
+        // owns_hash partitions the hash space the same way.
+        for h in 0u64..32 {
+            let owners = (0..3)
+                .filter(|&i| ShardSpec::new(i, 3).unwrap().owns_hash(h))
+                .count();
+            assert_eq!(owners, 1, "hash {h} must have exactly one owner");
+        }
     }
 }

@@ -1,13 +1,18 @@
 //! `khaos-store` — inspect and maintain an artifact store directory.
 //!
 //! ```text
-//! khaos-store <stats|ls|verify|gc> [--max-bytes N] [DIR]
+//! khaos-store <stats|ls|verify|gc|cat|report> [--max-bytes N] [ARGS] [DIR...]
 //!
 //!   stats          record counts and byte totals per section
 //!   ls             every record with its decoded key
 //!   verify         integrity-check every record (exit 1 on damage)
 //!   gc             shrink to --max-bytes, deleting oldest records first
-//!   DIR            store directory; defaults to $KHAOS_STORE
+//!   cat ADDR       decode one record (content address or section/file)
+//!   report         every report record with its metrics, across one or
+//!                  more store directories (the shard-merge query view)
+//!   DIR            store directory; defaults to $KHAOS_STORE.
+//!                  `report` accepts several DIRs and reads their union
+//!                  (first store wins on duplicate keys).
 //! ```
 
 use khaos_store::Store;
@@ -16,14 +21,15 @@ use std::process::ExitCode;
 struct Args {
     command: String,
     max_bytes: Option<u64>,
-    dir: Option<String>,
+    /// Positional arguments after the command (needle and/or DIRs).
+    positional: Vec<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         command: String::new(),
         max_bytes: None,
-        dir: None,
+        positional: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -33,8 +39,7 @@ fn parse_args() -> Result<Args, String> {
                 args.max_bytes = Some(parse_bytes(&v)?);
             }
             _ if args.command.is_empty() => args.command = a,
-            _ if args.dir.is_none() => args.dir = Some(a),
-            other => return Err(format!("unexpected argument `{other}`")),
+            _ => args.positional.push(a),
         }
     }
     if args.command.is_empty() {
@@ -68,23 +73,62 @@ fn human(bytes: u64) -> String {
     }
 }
 
+const USAGE: &str =
+    "usage: khaos-store <stats|ls|verify|gc|cat|report> [--max-bytes N] [ADDR] [DIR...]";
+
+/// Resolves the store directories of a command: the given positionals,
+/// or `$KHAOS_STORE` when none were passed.
+fn resolve_dirs(positional: &[String]) -> Result<Vec<String>, String> {
+    if !positional.is_empty() {
+        return Ok(positional.to_vec());
+    }
+    match std::env::var("KHAOS_STORE") {
+        Ok(d) if !d.trim().is_empty() => Ok(vec![d]),
+        _ => Err("no store directory (pass DIR or set KHAOS_STORE)".into()),
+    }
+}
+
+fn open_all(dirs: &[String]) -> std::io::Result<Vec<Store>> {
+    // Inspection/maintenance never creates a store: a typo'd DIR must
+    // be an error, not a fresh empty store that "verifies clean" or
+    // reports every record missing.
+    dirs.iter().map(Store::open_existing).collect()
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("khaos-store: {e}");
-            eprintln!("usage: khaos-store <stats|ls|verify|gc> [--max-bytes N] [DIR]");
+            eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     };
-    let dir = match args.dir.or_else(|| std::env::var("KHAOS_STORE").ok()) {
-        Some(d) if !d.trim().is_empty() => d,
-        _ => {
-            eprintln!("khaos-store: no store directory (pass DIR or set KHAOS_STORE)");
+
+    // `cat` consumes its first positional as the record needle; every
+    // other positional (all commands) is a store directory.
+    let mut positional = args.positional;
+    let needle = if args.command == "cat" {
+        if positional.is_empty() {
+            eprintln!("khaos-store: cat needs a record address (16 hex digits or section/file)");
+            return ExitCode::from(2);
+        }
+        Some(positional.remove(0))
+    } else {
+        None
+    };
+    if args.command != "report" && positional.len() > 1 {
+        eprintln!("khaos-store: {} takes at most one DIR", args.command);
+        return ExitCode::from(2);
+    }
+    let dirs = match resolve_dirs(&positional) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("khaos-store: {e}");
             return ExitCode::from(2);
         }
     };
-    let store = match Store::open(&dir) {
+    let stores = match open_all(&dirs) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("khaos-store: {e}");
@@ -93,11 +137,13 @@ fn main() -> ExitCode {
     };
 
     let result = match args.command.as_str() {
-        "stats" => cmd_stats(&store),
-        "ls" => cmd_ls(&store),
-        "verify" => cmd_verify(&store),
+        "stats" => cmd_stats(&stores[0]),
+        "ls" => cmd_ls(&stores[0]),
+        "verify" => cmd_verify(&stores[0]),
+        "cat" => cmd_cat(&stores[0], needle.as_deref().expect("checked above")),
+        "report" => cmd_report(&stores),
         "gc" => match args.max_bytes {
-            Some(max) => cmd_gc(&store, max),
+            Some(max) => cmd_gc(&stores[0], max),
             None => {
                 eprintln!("khaos-store: gc needs --max-bytes");
                 return ExitCode::from(2);
@@ -105,6 +151,7 @@ fn main() -> ExitCode {
         },
         other => {
             eprintln!("khaos-store: unknown command `{other}`");
+            eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     };
@@ -115,6 +162,57 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn cmd_cat(store: &Store, needle: &str) -> std::io::Result<ExitCode> {
+    match store.cat(needle)? {
+        Some(dump) => {
+            print!("{dump}");
+            Ok(ExitCode::SUCCESS)
+        }
+        None => {
+            eprintln!(
+                "khaos-store: no record `{needle}` in {}",
+                store.root().display()
+            );
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn cmd_report(stores: &[Store]) -> std::io::Result<ExitCode> {
+    // Union across stores, first store wins on duplicate keys —
+    // exactly the precedence the shard-merge layer uses.
+    let mut seen = std::collections::HashSet::new();
+    let mut all = Vec::new();
+    for store in stores {
+        for r in store.reports()? {
+            if seen.insert((r.subject.clone(), r.pipeline, r.seed)) {
+                all.push(r);
+            }
+        }
+    }
+    all.sort_by(|a, b| (&a.subject, a.pipeline, a.seed).cmp(&(&b.subject, b.pipeline, b.seed)));
+    for r in &all {
+        let metrics: Vec<String> = r.metrics.iter().map(|(n, v)| format!("{n}={v}")).collect();
+        println!(
+            "{:<44} pipeline={:016x} seed={:#x} {}",
+            r.subject,
+            r.pipeline,
+            r.seed,
+            if metrics.is_empty() {
+                format!("spec=`{}` total={}us", r.spec, r.total_micros)
+            } else {
+                metrics.join(" ")
+            }
+        );
+    }
+    println!(
+        "{} report record(s) across {} store(s)",
+        all.len(),
+        stores.len()
+    );
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_stats(store: &Store) -> std::io::Result<ExitCode> {

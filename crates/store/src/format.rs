@@ -324,9 +324,16 @@ fn decode_table(payload: &[u8]) -> Result<FlatTable, String> {
     let mut d = Dec::new(payload);
     let rows = d.u64()?;
     let dim = d.u64()?;
+    // Checked all the way through: a forged shape like rows=2^61 must
+    // come back as a decode error (verify/cat name damage, lookups
+    // degrade to misses), never wrap into a passing comparison and
+    // panic in `with_capacity`.
     let cells = rows
         .checked_mul(dim)
-        .filter(|&c| c as usize * 8 == d.remaining())
+        .filter(|&c| {
+            c.checked_mul(8)
+                .is_some_and(|bytes| bytes == d.remaining() as u64)
+        })
         .ok_or_else(|| {
             format!(
                 "table shape {rows}x{dim} disagrees with payload ({} bytes left)",

@@ -312,6 +312,79 @@ pub struct RecordInfo {
     pub key: Option<String>,
 }
 
+/// One fully decoded record, as returned by [`Store::cat`] — the
+/// single-record inspection the `khaos-store cat` subcommand prints.
+#[derive(Clone, Debug)]
+pub struct RecordDump {
+    /// Section directory name (`emb`/`mat`/`rep`).
+    pub section: &'static str,
+    /// File name inside the section.
+    pub file: String,
+    /// The decoded key.
+    pub key: OwnedKey,
+    /// The decoded payload.
+    pub payload: PayloadDump,
+}
+
+/// Decoded payload of a [`RecordDump`].
+#[derive(Clone, Debug)]
+pub enum PayloadDump {
+    /// An embedding table or similarity matrix.
+    Table(FlatTable),
+    /// A pipeline/experiment report.
+    Report(StoredReport),
+}
+
+impl std::fmt::Display for RecordDump {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}/{}", self.section, self.file)?;
+        writeln!(f, "key: {}", self.key)?;
+        match &self.payload {
+            PayloadDump::Table(t) => {
+                writeln!(f, "payload: {}x{} f64 table", t.rows, t.dim)?;
+                for (i, row) in t.data.chunks(t.dim.max(1) as usize).take(4).enumerate() {
+                    write!(f, "  row {i}:")?;
+                    for v in row.iter().take(8) {
+                        write!(f, " {v:.6}")?;
+                    }
+                    if row.len() > 8 {
+                        write!(f, " … ({} more)", row.len() - 8)?;
+                    }
+                    writeln!(f)?;
+                }
+                if t.rows > 4 {
+                    writeln!(f, "  … ({} more rows)", t.rows - 4)?;
+                }
+            }
+            PayloadDump::Report(r) => {
+                writeln!(
+                    f,
+                    "payload: report `{}` spec=`{}` total={}us",
+                    r.subject, r.spec, r.total_micros
+                )?;
+                for p in &r.passes {
+                    writeln!(
+                        f,
+                        "  pass {:<14} {:>8}us  {}f/{}b/{}i -> {}f/{}b/{}i",
+                        p.pass,
+                        p.micros,
+                        p.before.functions,
+                        p.before.blocks,
+                        p.before.insts,
+                        p.after.functions,
+                        p.after.blocks,
+                        p.after.insts
+                    )?;
+                }
+                for (name, value) in &r.metrics {
+                    writeln!(f, "  metric {name} = {value}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// One problem found by [`Store::verify`].
 #[derive(Clone, Debug)]
 pub struct VerifyIssue {
@@ -401,6 +474,34 @@ impl Store {
             Err(e) => return Err(e),
         }
         Ok(store)
+    }
+
+    /// Opens a directory that must already be a store — the
+    /// inspection/merge-side entry point ([`Store::open`] is for
+    /// writers: it creates the tree, which would turn a typo'd path in
+    /// `khaos-store report` or a shard merge into a freshly created
+    /// empty store that misreads as "every cell missing"). The `FORMAT`
+    /// stamp is the store marker: requiring it keeps read-only commands
+    /// from silently converting some other existing directory into a
+    /// store by planting section dirs and a stamp inside it.
+    pub fn open_existing(root: impl AsRef<Path>) -> io::Result<Store> {
+        let root = root.as_ref();
+        if !root.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{}: no such store directory", root.display()),
+            ));
+        }
+        if !root.join(FORMAT_FILE).is_file() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "{}: not a khaos-store directory (no {FORMAT_FILE} stamp)",
+                    root.display()
+                ),
+            ));
+        }
+        Store::open(root)
     }
 
     /// The store configured by the `KHAOS_STORE` environment variable,
@@ -549,6 +650,87 @@ impl Store {
             }
             _ => Ok(None),
         }
+    }
+
+    /// Decodes every report record in the store, sorted by
+    /// `(subject, pipeline, seed)` for deterministic output — the query
+    /// side of the report keyspace (shard merge tooling and
+    /// `khaos-store report` run on this). Records that fail to decode
+    /// are skipped here; [`Store::verify`] is the tool that names them.
+    pub fn reports(&self) -> io::Result<Vec<StoredReport>> {
+        let mut out = Vec::new();
+        for (path, _) in self.section_files("rep")? {
+            if let Ok(bytes) = fs::read(&path) {
+                if let Ok(Record {
+                    payload: Payload::Report(r),
+                    ..
+                }) = format::decode_record(&bytes)
+                {
+                    out.push(r);
+                }
+            }
+        }
+        out.sort_by(|a, b| (&a.subject, a.pipeline, a.seed).cmp(&(&b.subject, b.pipeline, b.seed)));
+        Ok(out)
+    }
+
+    /// Decodes one record named by `needle` — a bare 16-hex-digit
+    /// content address, an address with the `.khs` extension, or a
+    /// `section/file` path — searching all three sections. `Ok(None)`
+    /// when no such file exists; a file that exists but does not decode
+    /// is an `InvalidData` error carrying the decoder's reason (unlike
+    /// the `get_*` lookups, inspection must name damage, not mask it).
+    pub fn cat(&self, needle: &str) -> io::Result<Option<RecordDump>> {
+        let (sections, stem): (Vec<&'static str>, &str) = match needle.split_once('/') {
+            Some((section, file)) => {
+                let section = SECTIONS
+                    .iter()
+                    .map(|(s, _)| *s)
+                    .find(|s| *s == section)
+                    .ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            format!("unknown section `{section}` (want emb, mat or rep)"),
+                        )
+                    })?;
+                (vec![section], file)
+            }
+            None => (SECTIONS.iter().map(|(s, _)| *s).collect(), needle),
+        };
+        // The store only ever writes flat `<hex>.khs` names; a needle
+        // smuggling path separators or `..` would otherwise read files
+        // outside the store root.
+        if stem.contains(['/', '\\']) || stem.contains("..") {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("`{needle}` is not a record name (want a content address or section/file)"),
+            ));
+        }
+        let file = format!("{}.khs", stem.trim_end_matches(".khs"));
+        for section in sections {
+            let path = self.root.join(section).join(&file);
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            let record = format::decode_record(&bytes).map_err(|reason| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{section}/{file}: {reason}"),
+                )
+            })?;
+            return Ok(Some(RecordDump {
+                section,
+                file,
+                key: record.key,
+                payload: match record.payload {
+                    Payload::Table(t) => PayloadDump::Table(t),
+                    Payload::Report(r) => PayloadDump::Report(r),
+                },
+            }));
+        }
+        Ok(None)
     }
 
     fn section_files(&self, section: &str) -> io::Result<Vec<(PathBuf, fs::Metadata)>> {
@@ -998,6 +1180,47 @@ mod tests {
         );
         drop(lock);
         assert!(store.lock_exclusive().is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A forged record declaring an absurd table shape — with a valid
+    /// checksum, which is a plain FNV-1a anyone can recompute — must
+    /// decode to an error (lookup: miss; verify/cat: named damage),
+    /// never reach `Vec::with_capacity` and panic.
+    #[test]
+    fn forged_huge_shape_is_a_decode_error_not_a_panic() {
+        let dir = scratch("forge");
+        let store = Store::open(&dir).unwrap();
+        let key = EmbKey {
+            tool: "t",
+            config: 1,
+            binary: 2,
+        };
+        store.put_embeddings(&key, table(2, 2, 9).view()).unwrap();
+        let (path, _) = store.section_files("emb").unwrap().pop().unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // Record layout: 9-byte header, 21-byte emb key block ("t" as
+        // 4+1 length-prefixed UTF-8, two u64s), u64 payload length,
+        // then the payload's `rows` u64 — patch it to 2^61 and restamp
+        // the trailing checksum so only the shape check can object.
+        let rows_off = 9 + 21 + 8;
+        bytes[rows_off..rows_off + 8].copy_from_slice(&(1u64 << 61).to_le_bytes());
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&sum);
+        fs::write(&path, &bytes).unwrap();
+
+        assert_eq!(
+            store.get_embeddings(&key).unwrap(),
+            None,
+            "forged shape degrades to a miss"
+        );
+        let issues = store.verify().unwrap();
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].reason.contains("shape"), "{}", issues[0].reason);
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let err = store.cat(&stem).unwrap_err();
+        assert!(err.to_string().contains("shape"), "{err}");
         fs::remove_dir_all(&dir).unwrap();
     }
 

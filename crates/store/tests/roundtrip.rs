@@ -1,10 +1,14 @@
 //! Round-trip pins for the disk tier: embeddings and similarity
 //! matrices served from a `khaos-store` must be **bit-identical** (not
-//! just 1e-12-close) to freshly computed ones, for all five differs.
+//! just 1e-12-close) to freshly computed ones, for all five differs —
+//! and report records (the shard-merge keyspace) must round-trip their
+//! metric payloads with the same bit-exactness.
 
 use khaos_binary::lower_module;
 use khaos_diff::{extended_differs, EmbeddingCache, FunctionEmbeddings};
-use khaos_store::{EmbKey, MatKey, Store, TableView};
+use khaos_store::{
+    EmbKey, MatKey, PayloadDump, ReportKey, Store, StoredPass, StoredReport, StoredShape, TableView,
+};
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -141,5 +145,161 @@ fn cache_disk_tier_is_bit_identical_for_all_five_differs() {
         );
     }
     assert!(store.verify().expect("verify").is_empty());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A report whose metric payload exercises hostile f64 bit patterns:
+/// signed zeros, a subnormal, infinities and both NaN signs.
+fn hostile_report(subject: &str) -> StoredReport {
+    StoredReport {
+        spec: "fufi_all | O2+lto".into(),
+        pipeline: 0xDEAD_BEEF_0123,
+        seed: 0xC60_2023,
+        subject: subject.into(),
+        total_micros: 31_337,
+        passes: vec![StoredPass {
+            pass: "fufi_all".into(),
+            micros: 29_000,
+            before: StoredShape {
+                functions: 210,
+                blocks: 800,
+                insts: 9001,
+            },
+            after: StoredShape {
+                functions: 390,
+                blocks: 1210,
+                insts: 11_854,
+            },
+        }],
+        metrics: vec![
+            ("escape@1".into(), 0.75),
+            ("zero".into(), 0.0),
+            ("neg_zero".into(), -0.0),
+            ("subnormal".into(), f64::MIN_POSITIVE / 8.0),
+            ("inf".into(), f64::INFINITY),
+            ("neg_inf".into(), f64::NEG_INFINITY),
+            ("nan".into(), f64::NAN),
+            ("neg_nan".into(), -f64::NAN),
+        ],
+    }
+}
+
+/// Report metric payloads survive put/get **bit-exactly** — the
+/// guarantee the shard-merge layer leans on when it reassembles a
+/// fig10 grid from records other processes wrote.
+#[test]
+fn report_metric_payloads_round_trip_bit_exactly() {
+    let dir = scratch("rep-bits");
+    let store = Store::open(&dir).expect("store opens");
+    let report = hostile_report("fig10/jerryscript/FuFi.all/SAFE");
+    store.put_report(&report).expect("write");
+    let back = store
+        .get_report(&ReportKey {
+            pipeline: report.pipeline,
+            seed: report.seed,
+            subject: &report.subject,
+        })
+        .expect("read")
+        .expect("hit");
+    // Everything except the metric values compares structurally…
+    assert_eq!(back.spec, report.spec);
+    assert_eq!(back.subject, report.subject);
+    assert_eq!(back.total_micros, report.total_micros);
+    assert_eq!(back.passes, report.passes);
+    assert_eq!(back.metrics.len(), report.metrics.len());
+    // …and the metric values compare by bits (`==` would wave through a
+    // 0.0/-0.0 swap and reject identical NaNs).
+    for ((na, va), (nb, vb)) in back.metrics.iter().zip(&report.metrics) {
+        assert_eq!(na, nb);
+        assert_eq!(
+            va.to_bits(),
+            vb.to_bits(),
+            "{na}: report metric must round-trip bit-exactly"
+        );
+    }
+    // The decoded `reports()` view and `cat` agree with `get_report`.
+    let all = store.reports().expect("reports decode");
+    assert_eq!(all.len(), 1);
+    assert_eq!(
+        all[0]
+            .metrics
+            .iter()
+            .map(|(_, v)| v.to_bits())
+            .collect::<Vec<_>>(),
+        report
+            .metrics
+            .iter()
+            .map(|(_, v)| v.to_bits())
+            .collect::<Vec<_>>()
+    );
+    let (path, _) = store_rep_file(&store);
+    let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+    match store
+        .cat(&stem)
+        .expect("cat reads")
+        .expect("cat hits")
+        .payload
+    {
+        PayloadDump::Report(r) => assert_eq!(r.subject, report.subject),
+        other => panic!("report record decoded as {other:?}"),
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The single report file of a one-record store.
+fn store_rep_file(store: &Store) -> (PathBuf, u64) {
+    let mut files: Vec<_> = fs::read_dir(store.root().join("rep"))
+        .expect("rep dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().map(|x| x == "khs").unwrap_or(false))
+        .map(|e| (e.path(), e.metadata().map(|m| m.len()).unwrap_or(0)))
+        .collect();
+    assert_eq!(files.len(), 1, "exactly one report record expected");
+    files.pop().unwrap()
+}
+
+/// `verify` catches a corrupted report record — and the lookup path
+/// degrades it to a miss rather than serving damaged metrics.
+#[test]
+fn verify_catches_a_corrupted_report_record() {
+    let dir = scratch("rep-corrupt");
+    let store = Store::open(&dir).expect("store opens");
+    let report = hostile_report("fig10/quickjs/Sub/Asm2Vec");
+    store.put_report(&report).expect("write");
+    assert!(store.verify().expect("verify").is_empty(), "clean at first");
+
+    // Flip one byte in the middle of the metric payload.
+    let (path, len) = store_rep_file(&store);
+    let mut bytes = fs::read(&path).expect("read record");
+    assert_eq!(bytes.len() as u64, len);
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    fs::write(&path, &bytes).expect("corrupt record");
+
+    let issues = store.verify().expect("verify runs");
+    assert_eq!(issues.len(), 1, "damage must be reported");
+    assert!(
+        issues[0].reason.contains("checksum"),
+        "reason names the checksum: {}",
+        issues[0].reason
+    );
+    assert!(issues[0].file.starts_with("rep/"), "{}", issues[0].file);
+    // Damaged records are invisible to the query layer (a miss, not a
+    // wrong answer), and `cat` — the inspection tool — names the damage
+    // instead of masking it.
+    assert_eq!(
+        store
+            .get_report(&ReportKey {
+                pipeline: report.pipeline,
+                seed: report.seed,
+                subject: &report.subject,
+            })
+            .expect("read"),
+        None
+    );
+    assert!(store.reports().expect("reports").is_empty());
+    let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+    let err = store.cat(&stem).expect_err("cat must surface damage");
+    assert!(err.to_string().contains("checksum"), "{err}");
     fs::remove_dir_all(&dir).unwrap();
 }

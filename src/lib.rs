@@ -34,6 +34,7 @@ pub use khaos_diff as diff;
 pub use khaos_ir as ir;
 pub use khaos_ollvm as ollvm;
 pub use khaos_opt as opt;
+pub use khaos_par as par;
 pub use khaos_pass as pass;
 pub use khaos_store as store;
 pub use khaos_vm as vm;

@@ -7,8 +7,8 @@
 use khaos::diff::{
     binary_similarity, dot_blocked, escape_at_k, escape_profile, escape_profile_streaming,
     escape_profile_with, origins_match, precision_at_1, rank_of_true_match,
-    rank_of_true_match_streaming, Asm2Vec, BinDiff, DataFlowDiff, Differ, EmbeddingCache, Safe,
-    StreamingTopK, VulSeeker,
+    rank_of_true_match_streaming, ranks_of_true_match_streaming, Asm2Vec, BinDiff, DataFlowDiff,
+    Differ, EmbeddingCache, Safe, StreamingTopK, VulSeeker,
 };
 use khaos::obfuscate::{KhaosContext, KhaosMode};
 use khaos::opt::{optimize, OptOptions};
@@ -443,6 +443,185 @@ fn small_solo_binary(name: &str) -> Binary {
     let mut bin = lower_module(&generate(&profile));
     bin.functions.truncate(1);
     bin
+}
+
+// ---------------------------------------------------------------------
+// Parallel streaming rank path: at any KHAOS_THREADS the row-parallel
+// drivers must produce bit-identical ranked output — indices AND score
+// bits — to the sequential scan, for real tool scorers and for
+// synthetic rows engineered with ties and NaNs.
+// ---------------------------------------------------------------------
+
+use khaos::diff::{par_stream_ranks, par_stream_top_k_rows, stream_top_k_blocks};
+
+/// Runs `f` under each `KHAOS_THREADS` value and returns the results,
+/// restoring the variable's prior value afterwards (so an outer
+/// `KHAOS_THREADS=1 cargo test` run — CI's sequential leg — keeps its
+/// setting for every other test). A process-wide lock serializes the
+/// two tests that mutate the variable: without it their save/restore
+/// pairs can interleave and "restore" a forced value as the prior one.
+/// Inside the lock the env var only changes scheduling, never values —
+/// every influenced path is pinned bit-deterministic.
+fn at_thread_counts<T>(counts: &[&str], f: impl Fn() -> T) -> Vec<T> {
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prior = std::env::var("KHAOS_THREADS").ok();
+    let out = counts
+        .iter()
+        .map(|t| {
+            std::env::set_var("KHAOS_THREADS", t);
+            f()
+        })
+        .collect();
+    match prior {
+        Some(v) => std::env::set_var("KHAOS_THREADS", v),
+        None => std::env::remove_var("KHAOS_THREADS"),
+    }
+    out
+}
+
+fn assert_ranked_bits_equal(a: &[Vec<(usize, f64)>], b: &[Vec<(usize, f64)>], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: row count");
+    for (row, (ra, rb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ra.len(), rb.len(), "{what}: row {row} length");
+        for ((ja, sa), (jb, sb)) in ra.iter().zip(rb) {
+            assert_eq!(ja, jb, "{what}: row {row} index order");
+            assert_eq!(
+                sa.to_bits(),
+                sb.to_bits(),
+                "{what}: row {row} score bits"
+            );
+        }
+    }
+}
+
+/// Satellite: parallel-vs-sequential streaming rank equivalence for all
+/// five differs — ranked indices, score bits, per-query ranks and
+/// escape profiles identical under KHAOS_THREADS ∈ {1, 2, 7}.
+#[test]
+fn parallel_streaming_matches_sequential_for_all_five_differs() {
+    let (mut base_bin, obf_bin) = obfuscated_pair(67, KhaosMode::FuFiAll);
+    for f in base_bin.functions.iter_mut().step_by(3) {
+        f.provenance.annotations.push("vulnerable".into());
+    }
+    let queries: Vec<usize> = (0..base_bin.functions.len()).collect();
+    let ks = [1usize, 10, 50];
+    for tool in five_tools() {
+        let cache = EmbeddingCache::new(16);
+        let runs = at_thread_counts(&["1", "2", "7"], || {
+            let scorer = tool.row_scorer(&base_bin, &obf_bin, &cache);
+            (
+                par_stream_top_k_rows(scorer.as_ref(), &queries, 7),
+                ranks_of_true_match_streaming(tool.as_ref(), &base_bin, &obf_bin, &queries, &cache),
+                escape_profile_streaming(tool.as_ref(), &base_bin, &obf_bin, &ks, &cache),
+            )
+        });
+        let (ref_topk, ref_ranks, ref_escape) = &runs[0];
+        // The KHAOS_THREADS=1 leg equals the per-query sequential calls.
+        for (qi, want) in ref_ranks.iter().enumerate() {
+            assert_eq!(
+                rank_of_true_match_streaming(tool.as_ref(), &base_bin, &obf_bin, qi, &cache),
+                *want,
+                "{} qi={qi}: batch ranks must equal per-query calls",
+                tool.name()
+            );
+        }
+        for (threads, (topk, ranks, escape)) in ["1", "2", "7"].iter().zip(&runs).skip(1) {
+            assert_ranked_bits_equal(
+                ref_topk,
+                topk,
+                &format!("{} KHAOS_THREADS={threads} top-k", tool.name()),
+            );
+            assert_eq!(ranks, ref_ranks, "{} KHAOS_THREADS={threads}", tool.name());
+            assert_eq!(
+                escape.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                ref_escape.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{} KHAOS_THREADS={threads} escape bits",
+                tool.name()
+            );
+        }
+    }
+}
+
+/// A [`khaos::diff::RowScore`] over an explicit flat matrix — the
+/// synthetic-input harness for the determinism proptests.
+struct FlatScorer {
+    q: usize,
+    t: usize,
+    data: Vec<f64>,
+}
+
+impl khaos::diff::RowScore for FlatScorer {
+    fn rows(&self) -> usize {
+        self.q
+    }
+    fn cols(&self) -> usize {
+        self.t
+    }
+    fn score(&self, qi: usize, j: usize) -> f64 {
+        self.data[qi * self.t + j]
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Parallel row/block drivers are bit-identical to the sequential
+    /// scan under KHAOS_THREADS ∈ {1, 2, 7} on synthetic score grids
+    /// with engineered ties (quantization), signed zeros and NaNs.
+    #[test]
+    fn parallel_streaming_is_deterministic_on_ties_and_nans(
+        seed in any::<u64>(),
+        q in 1usize..6,
+        t in 1usize..48,
+        k in 0usize..12,
+    ) {
+        let mut data: Vec<f64> = rand_vec(seed, q * t)
+            .into_iter()
+            .map(|x| (x * 4.0).round() / 4.0)
+            .collect();
+        // Inject hostile scores deterministically: signed zeros and
+        // both NaN signs, scattered by the seed.
+        for (i, x) in data.iter_mut().enumerate() {
+            match (seed as usize + i) % 11 {
+                0 => *x = 0.0,
+                1 => *x = -0.0,
+                2 => *x = f64::NAN,
+                3 => *x = -f64::NAN,
+                _ => {}
+            }
+        }
+        let scorer = FlatScorer { q, t, data };
+        let queries: Vec<usize> = (0..q).collect();
+        let is_match = |qi: usize, j: usize| (j + qi) % 3 == 0;
+        let runs = at_thread_counts(&["1", "2", "7"], || {
+            let topk = par_stream_top_k_rows(&scorer, &queries, k);
+            let blocked: Vec<_> = (0..q)
+                .map(|qi| stream_top_k_blocks(&scorer, qi, k, 5))
+                .collect();
+            let ranks = par_stream_ranks(&scorer, &queries, is_match);
+            (topk, blocked, ranks)
+        });
+        let (ref_topk, ref_blocked, ref_ranks) = &runs[0];
+        // The sequential reference: StreamingTopK offered row-by-row.
+        // (Compared by bits — `==` would reject NaN ties that are in
+        // fact identical.)
+        let seq: Vec<Vec<(usize, f64)>> = (0..q)
+            .map(|qi| {
+                let mut sel = StreamingTopK::new(k);
+                for j in 0..t {
+                    sel.offer(j, scorer.data[qi * t + j]);
+                }
+                sel.into_ranked()
+            })
+            .collect();
+        assert_ranked_bits_equal(ref_topk, &seq, "proptest vs sequential");
+        for (topk, blocked, ranks) in &runs[1..] {
+            assert_ranked_bits_equal(ref_topk, topk, "proptest top-k");
+            assert_ranked_bits_equal(ref_blocked, blocked, "proptest blocked top-k");
+            prop_assert_eq!(ranks, ref_ranks);
+        }
+    }
 }
 
 #[test]

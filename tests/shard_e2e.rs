@@ -1,0 +1,179 @@
+//! End-to-end pins for the shard-aware experiment runner.
+//!
+//! Two laws are pinned here:
+//!
+//! 1. **Partition laws** — for any shard count `n`, the shards
+//!    `0/n .. n-1/n` are a permutation-free exact cover of the
+//!    unsharded grid: every flat index is owned by exactly one shard,
+//!    each shard visits its indices in ascending order, and selecting a
+//!    concrete item list per shard re-concatenates (by index) to the
+//!    original list.
+//! 2. **Merge fidelity** — a Figure-10 grid produced by two sharded
+//!    runs persisting into one `khaos-store` and reassembled with
+//!    `fig10_merge` is **cell-for-cell bit-identical** to the
+//!    single-process run, and a store missing a shard is refused with a
+//!    precise listing of every missing cell.
+
+use khaos_bench::experiments::{fig10_cells, fig10_expected, fig10_merge, Fig10Cell, Scope};
+use khaos_bench::ShardSpec;
+use khaos_store::Store;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "khaos-shard-e2e-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Partition law: for random grids and any `n`, the union of shards
+    /// `0/n .. n-1/n` is a permutation-free exact cover of the grid.
+    #[test]
+    fn shards_are_a_permutation_free_exact_cover(len in 0usize..200, n in 1usize..9) {
+        let grid: Vec<usize> = (0..len).collect();
+        let mut owners = vec![0u32; len];
+        let mut reassembled: Vec<Option<usize>> = vec![None; len];
+        for index in 0..n {
+            let shard = ShardSpec::new(index, n).expect("valid shard");
+            let picked = shard.select(grid.clone());
+            // Each shard's picks ascend (no permutation within a shard)...
+            for w in picked.windows(2) {
+                prop_assert!(w[0] < w[1], "shard {}/{} out of order", index, n);
+            }
+            // ...and agree with owns()/indices().
+            let via_indices: Vec<usize> = shard.indices(len).collect();
+            prop_assert_eq!(&picked, &via_indices);
+            for i in picked {
+                prop_assert!(shard.owns(i));
+                owners[i] += 1;
+                reassembled[i] = Some(i);
+            }
+        }
+        // Exact cover: every index owned exactly once, nothing dropped,
+        // nothing duplicated, and putting each shard's items back at
+        // their flat indices reproduces the grid exactly.
+        prop_assert!(owners.iter().all(|&c| c == 1));
+        let reassembled: Vec<usize> = reassembled.into_iter().map(|x| x.expect("covered")).collect();
+        prop_assert_eq!(reassembled, grid);
+    }
+}
+
+fn assert_cells_bit_identical(a: &[Fig10Cell], b: &[Fig10Cell], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: cell count");
+    for (ca, cb) in a.iter().zip(b) {
+        assert_eq!(
+            (&ca.program, &ca.config, ca.tool, ca.pipeline),
+            (&cb.program, &cb.config, cb.tool, cb.pipeline),
+            "{what}: cell identity/order"
+        );
+        for (ea, eb) in ca.escape.iter().zip(&cb.escape) {
+            assert_eq!(
+                ea.to_bits(),
+                eb.to_bits(),
+                "{what}: {}/{}/{} escape bits",
+                ca.program,
+                ca.config,
+                ca.tool
+            );
+        }
+    }
+}
+
+/// The acceptance pin: a fig10 grid produced by two sharded runs into
+/// one `khaos-store`, then merged, is cell-for-cell identical to the
+/// single-process run.
+#[test]
+fn two_shards_into_one_store_merge_to_the_single_process_grid() {
+    let dir = scratch("merge");
+    let store = Store::open(&dir).expect("store opens");
+
+    // The single-process reference grid (no store involved).
+    let reference = fig10_cells(Scope::Quick, ShardSpec::FULL, None);
+    let expected = fig10_expected(Scope::Quick);
+    assert_eq!(reference.len(), expected.len(), "reference grid is complete");
+    assert!(reference.len() >= 12, "grid large enough to mean something");
+
+    // "Process" A and "process" B: complementary shards persisting into
+    // one shared store (the CI smoke runs the same flow as two real
+    // processes; here the separation is per-call state).
+    let a = fig10_cells(Scope::Quick, ShardSpec::new(0, 2).unwrap(), Some(&store));
+    let b = fig10_cells(Scope::Quick, ShardSpec::new(1, 2).unwrap(), Some(&store));
+    assert_eq!(a.len() + b.len(), reference.len(), "shards cover the grid");
+    assert!(!a.is_empty() && !b.is_empty(), "both shards own cells");
+
+    // The merged grid is complete and bit-identical to the reference.
+    let merged = fig10_merge(Scope::Quick, &[&store]).expect("union of both shards is complete");
+    assert_cells_bit_identical(&merged, &reference, "merged vs single-process");
+
+    // Each shard's own cells also match the reference values directly
+    // (shard-independence of the cell computation).
+    for cell in a.iter().chain(&b) {
+        let want = reference
+            .iter()
+            .find(|c| {
+                (&c.program, &c.config, c.tool) == (&cell.program, &cell.config, cell.tool)
+            })
+            .expect("cell exists in reference");
+        for (ea, eb) in cell.escape.iter().zip(&want.escape) {
+            assert_eq!(ea.to_bits(), eb.to_bits(), "shard cell vs reference");
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The refusal half: a store holding only one shard must be rejected
+/// with a precise listing of exactly the other shard's cells.
+#[test]
+fn merge_refuses_an_incomplete_grid_listing_every_missing_cell() {
+    let dir = scratch("partial");
+    let store = Store::open(&dir).expect("store opens");
+    let only = fig10_cells(Scope::Quick, ShardSpec::new(0, 2).unwrap(), Some(&store));
+
+    let missing = match fig10_merge(Scope::Quick, &[&store]) {
+        Ok(_) => panic!("half a grid must not merge"),
+        Err(m) => m,
+    };
+    let expected = fig10_expected(Scope::Quick);
+    assert_eq!(
+        missing.len(),
+        expected.len() - only.len(),
+        "exactly the absent shard's cells are reported"
+    );
+    // Every reported line names a real expected cell that shard 0 does
+    // not own, precisely (subject + pipeline fingerprint).
+    for line in &missing {
+        let key = expected
+            .iter()
+            .find(|k| line.starts_with(&k.subject()))
+            .unwrap_or_else(|| panic!("`{line}` names no expected cell"));
+        assert!(
+            line.contains(&format!("{:016x}", key.pipeline)),
+            "`{line}` must carry the pipeline fingerprint"
+        );
+        assert!(
+            !only.iter().any(|c| c.subject() == key.subject()),
+            "`{line}` was reported missing but shard 0 persisted it"
+        );
+    }
+
+    // An empty extra store changes nothing; adding a store with the
+    // complementary shard completes the union.
+    let dir2 = scratch("partial2");
+    let store2 = Store::open(&dir2).expect("second store opens");
+    assert!(fig10_merge(Scope::Quick, &[&store, &store2]).is_err());
+    fig10_cells(Scope::Quick, ShardSpec::new(1, 2).unwrap(), Some(&store2));
+    let merged =
+        fig10_merge(Scope::Quick, &[&store, &store2]).expect("union across two stores merges");
+    assert_eq!(merged.len(), expected.len());
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&dir2).unwrap();
+}
