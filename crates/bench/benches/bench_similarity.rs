@@ -6,17 +6,25 @@
 //! Writes `BENCH_similarity.json` at the repository root with the
 //! baseline-vs-batched timings so future PRs can track the perf
 //! trajectory. The acceptance bar for this engine is a ≥10× speedup on
-//! `escape@k`; the JSON records the measured factor per tool.
+//! `escape@k`; the JSON records the measured factor per tool, plus a
+//! `kernels` section (which SIMD dispatch won, per-kernel ns/dot and
+//! speedup over the naive scalar loop, with a hard forced-scalar-vs-
+//! dispatched ranked-bit-equivalence gate) and a `quantized` section
+//! (int8 shortlist scan cost per candidate, bytes per function, and
+//! the recall-1.0-after-exact-re-rank gate).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use khaos_bench::{build_baseline, khaos_apply, SEED};
 use khaos_binary::{lower_module, Binary};
 use khaos_core::KhaosMode;
+use khaos_diff::engine::{dot_scalar, stream_top_k, EmbedScorer, FunctionEmbeddings};
+use khaos_diff::kernels::{self, KernelKind};
 use khaos_diff::{
-    escape_at_k, escape_profile_with, Asm2Vec, BinDiff, DataFlowDiff, Differ, EmbeddingCache, Safe,
-    VulSeeker,
+    escape_at_k, escape_profile_with, stream_top_k_quantized, Asm2Vec, BinDiff, DataFlowDiff,
+    Differ, EmbeddingCache, QuantizedEmbeddings, Safe, VulSeeker, QUANT_SHORTLIST_FACTOR,
 };
 use khaos_workloads::{generate, ProgramProfile};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A 200-function baseline/obfuscated pair with every tenth function
@@ -679,6 +687,227 @@ fn bench_similarity(c: &mut Criterion) {
         );
     }
 
+    // -----------------------------------------------------------------
+    // Runtime-dispatched dot kernels: per-kernel ns/dot on real
+    // embedding rows vs the naive scalar loop, plus a hard bitwise
+    // equivalence gate — the dispatched ranked output (forced scalar vs
+    // whatever dispatch picked) must match bit for bit, mirroring the
+    // KHAOS_THREADS gate above.
+    // -----------------------------------------------------------------
+    let qe = Arc::new(FunctionEmbeddings::from_rows(a2v.embed(&base_bin)));
+    let te = Arc::new(FunctionEmbeddings::from_rows(a2v.embed(&obf_bin)));
+    let n_dots = (qe.len() * te.len()) as f64;
+    let scan_f64 = |dot: &dyn Fn(&[f64], &[f64]) -> f64| {
+        let mut acc = 0.0;
+        for i in 0..qe.len() {
+            let q = qe.row(i);
+            for j in 0..te.len() {
+                acc += dot(q, te.row(j));
+            }
+        }
+        acc
+    };
+    let (naive_total_ns, _naive_v) = time_ns(3, || scan_f64(&dot_scalar));
+    let naive_dot_ns = naive_total_ns / n_dots;
+    // The bitwise reference is the *blocked* scalar kernel — the naive
+    // sequential sum above rounds differently and is only the speedup
+    // baseline; every dispatched kernel replicates the blocked
+    // reduction exactly.
+    let blocked_ref = scan_f64(&|a, b| {
+        kernels::table_for(KernelKind::Scalar)
+            .expect("scalar table")
+            .dot(a, b)
+    });
+    let active = kernels::active();
+    let available = kernels::available();
+    let mut kernel_entries = Vec::new();
+    let mut best_speedup = 0.0f64;
+    println!(
+        "# kernels: dispatch picked {} of [{}], naive dot_scalar {naive_dot_ns:.1} ns/dot (dim {})",
+        active.name(),
+        available
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+        qe.dim()
+    );
+    for kind in &available {
+        let table = kernels::table_for(*kind).expect("available kernel has a table");
+        let (total_ns, v) = time_ns(3, || scan_f64(&|a, b| table.dot(a, b)));
+        assert_eq!(
+            v.to_bits(),
+            blocked_ref.to_bits(),
+            "{}: every dispatched kernel must reproduce the blocked scalar \
+             reduction bit for bit; the timed totals diverged",
+            kind.name()
+        );
+        let ns_per_dot = total_ns / n_dots;
+        let speedup = naive_dot_ns / ns_per_dot;
+        if *kind != KernelKind::Scalar {
+            best_speedup = best_speedup.max(speedup);
+        }
+        println!(
+            "#   {:<7} {ns_per_dot:>7.1} ns/dot  {speedup:>5.2}x vs dot_scalar",
+            kind.name()
+        );
+        kernel_entries.push(format!(
+            "      {{\"kind\": \"{}\", \"ns_per_dot\": {ns_per_dot:.1}, \
+             \"speedup_vs_dot_scalar\": {speedup:.2}}}",
+            kind.name()
+        ));
+    }
+    if available.contains(&KernelKind::Avx2) {
+        assert!(
+            best_speedup >= 1.5,
+            "SIMD kernel regression: best dispatched f64 dot only {best_speedup:.2}x \
+             over dot_scalar on an AVX2-capable host (bar: >= 1.5x)"
+        );
+    }
+
+    // Forced-scalar vs dispatched ranked output, bit for bit.
+    let kernel_ranked_at = |kind: Option<KernelKind>| {
+        kernels::force_kernel(kind);
+        let scorer = a2v.row_scorer(&all_vuln, &obf_bin, &par_cache);
+        let ranked = khaos_diff::par_stream_top_k_rows(scorer.as_ref(), &queries, 50);
+        let escape =
+            khaos_diff::escape_profile_streaming(&a2v, &all_vuln, &obf_bin, &KS, &par_cache);
+        kernels::force_kernel(None);
+        (ranked, escape)
+    };
+    let (scalar_ranked, scalar_escape) = kernel_ranked_at(Some(KernelKind::Scalar));
+    let (auto_ranked, auto_escape) = kernel_ranked_at(None);
+    let mut kernel_bits_equal = scalar_ranked.len() == auto_ranked.len();
+    for (ra, rb) in scalar_ranked.iter().zip(&auto_ranked) {
+        kernel_bits_equal &= ra.len() == rb.len()
+            && ra
+                .iter()
+                .zip(rb)
+                .all(|(&(ja, sa), &(jb, sb))| ja == jb && sa.to_bits() == sb.to_bits());
+    }
+    kernel_bits_equal &= scalar_escape
+        .iter()
+        .zip(&auto_escape)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(
+        kernel_bits_equal,
+        "dispatched kernel ranked output diverged from forced-scalar — \
+         ranked indices/score bits must be dispatch-independent"
+    );
+    println!(
+        "# kernels: forced-scalar vs dispatched ({}) ranked output bit-equal: {kernel_bits_equal}",
+        active.name()
+    );
+
+    // -----------------------------------------------------------------
+    // Quantized shortlist tier: int8 candidate scan vs the exact f64
+    // scan, per candidate, plus the recall gate — shortlist + exact
+    // re-rank must reproduce the exact top-k bit for bit at the fig10
+    // thresholds.
+    // -----------------------------------------------------------------
+    let qq = QuantizedEmbeddings::from_embeddings(&qe);
+    let tq = QuantizedEmbeddings::from_embeddings(&te);
+    let (approx_total_ns, _) = time_ns(3, || {
+        let mut acc = 0.0;
+        for i in 0..qq.len() {
+            qq.approx_scan(i, &tq, |_, s| acc += s);
+        }
+        acc
+    });
+    let (disp_total_ns, _) = time_ns(3, || scan_f64(&khaos_diff::dot));
+    let approx_ns = approx_total_ns / n_dots;
+    let disp_ns = disp_total_ns / n_dots;
+    let quant_speedup_scalar = naive_dot_ns / approx_ns;
+    let quant_speedup_disp = disp_ns / approx_ns;
+    println!(
+        "# quantized: approx scan {approx_ns:.1} ns/candidate vs f64 scalar {naive_dot_ns:.1} \
+         ({quant_speedup_scalar:.2}x, bar: >= 4x with SIMD) / dispatched {disp_ns:.1} \
+         ({quant_speedup_disp:.2}x); {} bytes/function vs {} f64",
+        qq.bytes_per_function(),
+        qe.dim() * 8
+    );
+    if available.contains(&KernelKind::Avx2) {
+        assert!(
+            quant_speedup_scalar >= 4.0,
+            "quantized scan regression: int8 candidate scan only {quant_speedup_scalar:.2}x \
+             over the scalar f64 scan on a SIMD host (bar: >= 4x)"
+        );
+    }
+    // Recall + bit-identity of the re-ranked shortlist at the fig10
+    // thresholds, over every query row.
+    let exact_scorer = EmbedScorer::new(Arc::clone(&qe), Arc::clone(&te), true);
+    let mut recalls = Vec::new();
+    let mut rerank_bits_equal = true;
+    for &k in &KS {
+        let mut hit = 0usize;
+        let mut want = 0usize;
+        for qi in 0..qe.len() {
+            let exact = stream_top_k(&exact_scorer, qi, k);
+            let approx = stream_top_k_quantized(
+                &qq,
+                &tq,
+                &exact_scorer,
+                qi,
+                k,
+                QUANT_SHORTLIST_FACTOR,
+                true,
+            );
+            rerank_bits_equal &= approx.len() == exact.len()
+                && approx
+                    .iter()
+                    .zip(&exact)
+                    .all(|(&(ja, sa), &(jb, sb))| ja == jb && sa.to_bits() == sb.to_bits());
+            want += exact.len();
+            let exact_set: std::collections::HashSet<usize> =
+                exact.iter().map(|&(j, _)| j).collect();
+            hit += approx.iter().filter(|(j, _)| exact_set.contains(j)).count();
+        }
+        recalls.push(hit as f64 / want.max(1) as f64);
+    }
+    assert!(
+        rerank_bits_equal && recalls.iter().all(|&r| r == 1.0),
+        "quantized shortlist (factor {QUANT_SHORTLIST_FACTOR}) failed the recall gate: \
+         recall@{{1,10,50}} = {recalls:?}, rerank bit-equal: {rerank_bits_equal}"
+    );
+    println!(
+        "# quantized: shortlist factor {QUANT_SHORTLIST_FACTOR}, recall@{{1,10,50}} = \
+         [{:.2}, {:.2}, {:.2}], re-ranked output bit-equal: {rerank_bits_equal}",
+        recalls[0], recalls[1], recalls[2]
+    );
+
+    let kernels_json = format!(
+        "  \"kernels\": {{\"what\": \"runtime-dispatched f64 dot on real {}-dim embedding rows, \
+         {} dots per pass\", \"active\": \"{}\", \"available\": [{}], \
+         \"dot_scalar_ns\": {naive_dot_ns:.1}, \"per_kernel\": [\n{}\n    ], \
+         \"ranked_bits_equal_scalar_vs_dispatched\": {kernel_bits_equal}}}",
+        qe.dim(),
+        n_dots as u64,
+        active.name(),
+        available
+            .iter()
+            .map(|k| format!("\"{}\"", k.name()))
+            .collect::<Vec<_>>()
+            .join(", "),
+        kernel_entries.join(",\n"),
+    );
+    let quant_json = format!(
+        "  \"quantized\": {{\"what\": \"int8 shortlist scan vs exact f64 scan, per candidate, \
+         + recall of shortlist factor {QUANT_SHORTLIST_FACTOR} after exact re-rank\", \
+         \"approx_scan_ns_per_candidate\": {approx_ns:.1}, \
+         \"f64_scalar_scan_ns_per_candidate\": {naive_dot_ns:.1}, \
+         \"f64_dispatched_scan_ns_per_candidate\": {disp_ns:.1}, \
+         \"speedup_vs_scalar_scan\": {quant_speedup_scalar:.2}, \
+         \"speedup_vs_dispatched_scan\": {quant_speedup_disp:.2}, \
+         \"bytes_per_function\": {}, \"f64_bytes_per_function\": {}, \
+         \"recall_at_1\": {:.2}, \"recall_at_10\": {:.2}, \"recall_at_50\": {:.2}, \
+         \"rerank_bits_equal\": {rerank_bits_equal}}}",
+        qq.bytes_per_function(),
+        qe.dim() * 8,
+        recalls[0],
+        recalls[1],
+        recalls[2],
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"escape_profile_fig10\",\n  \"functions\": {},\n  \"vulnerable\": {},\n  \
          \"ks\": [1, 10, 50],\n  \"worst_speedup\": {:.2},\n  \"tools\": [\n{}\n  ],\n  \
@@ -690,7 +919,7 @@ fn bench_similarity(c: &mut Criterion) {
          \"parallel_streaming\": {{\"what\": \"row-parallel rank-only escape@{{1,10,50}}, all {} \
          functions vulnerable, multi-thread vs KHAOS_THREADS=1\", \"threads\": {threads}, \
          \"single_thread_ns\": {:.0}, \"multi_thread_ns\": {:.0}, \"speedup\": {par_speedup:.2}, \
-         \"ranked_bits_equal\": {ranked_bits_equal}}}\n}}\n",
+         \"ranked_bits_equal\": {ranked_bits_equal}}},\n{kernels_json},\n{quant_json}\n}}\n",
         base_bin.functions.len(),
         base_bin
             .functions

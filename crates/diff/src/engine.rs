@@ -25,13 +25,34 @@
 //!   instance), lookups tier **memory → disk → compute** and artifacts
 //!   survive the process — cross-process sweeps and CI runs warm-start,
 //!   served bit-identical to a fresh computation.
-//! * the **streaming rank layer** — [`dot_blocked`] (the 8-wide
-//!   blocked kernel both the matrix build and the scorers run on),
-//!   [`RowScore`] (per-tool cell scorers over cached embeddings),
-//!   [`StreamingTopK`] (`O(k)`-memory ranked selection) and the
+//! * the **streaming rank layer** — [`RowScore`] (per-tool cell
+//!   scorers over cached embeddings), [`StreamingTopK`]
+//!   (`O(k)`-memory ranked selection) and the
 //!   [`stream_top_k`]/[`stream_rank_of_first_match`] drivers. Rank-only
 //!   metrics use these to answer `top_k`, `rank_of_true_match` and
 //!   `escape_profile` without ever allocating the `Q×T` matrix.
+//!
+//! # Dot-product dispatch
+//!
+//! Every dot in this module — the matrix build, [`EmbedScorer`], the
+//! streaming top-k scans — goes through **one checked entry point**,
+//! [`crate::kernels::dot`], which dispatches to an explicit
+//! `std::arch` kernel chosen once per process: AVX-512, AVX2 or the
+//! portable 8-wide blocked kernel ([`dot_blocked`] delegates to the
+//! same implementation). The choice comes from
+//! `is_x86_feature_detected!` cached in a `OnceLock`, and the
+//! **`KHAOS_SIMD={auto,scalar,avx2,avx512}`** environment variable
+//! overrides it so every variant runs on one host (CI runs tier-1
+//! under `scalar` and `auto`). All f64 variants are **bit-identical**
+//! — they compute the same blocked reduction, deliberately without
+//! FMA — so ranked artifacts never depend on the dispatch choice; see
+//! [`crate::kernels`] for the full contract. The int8 quantized tier
+//! ([`crate::quant::QuantizedEmbeddings`],
+//! [`crate::quant::stream_top_k_quantized`]) sits on the same
+//! dispatch via its integer-exact `dot_i8` kernels, and
+//! [`EmbeddingCache::get_or_quantize`] gives it the same
+//! memory → disk → compute tiering (counted separately by the
+//! `quant_*` fields of [`CacheStats`]).
 //!
 //! The legacy per-pair path ([`crate::Differ::similarity_matrix`],
 //! [`crate::cosine`]) is kept intact as the reference implementation;
@@ -138,7 +159,7 @@ impl FunctionEmbeddings {
 /// ordering: the only pairs `total_cmp` would order differently are
 /// `±0.0`, and those are already handled as equal by the ordered arm.
 #[inline]
-fn cmp_scores_desc(a: f64, b: f64) -> std::cmp::Ordering {
+pub(crate) fn cmp_scores_desc(a: f64, b: f64) -> std::cmp::Ordering {
     b.partial_cmp(&a).unwrap_or_else(|| b.total_cmp(&a))
 }
 
@@ -150,7 +171,10 @@ pub fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
-/// 8-wide blocked dot product with a scalar tail.
+/// 8-wide blocked dot product with a scalar tail — the portable
+/// kernel, now shared with the SIMD dispatch layer (this is exactly
+/// [`crate::kernels`]' `Scalar` variant, and the AVX2/AVX-512 kernels
+/// replicate its reduction bit-for-bit).
 ///
 /// Eight independent accumulators let the CPU overlap the FP adds
 /// (the scalar loop serializes on one accumulator's add latency);
@@ -164,19 +188,7 @@ pub fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
 #[inline]
 pub fn dot_blocked(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "dot over mismatched dimensions");
-    let mut acc = [0.0f64; 8];
-    let mut ca = a.chunks_exact(8);
-    let mut cb = b.chunks_exact(8);
-    for (xa, xb) in (&mut ca).zip(&mut cb) {
-        for k in 0..8 {
-            acc[k] += xa[k] * xb[k];
-        }
-    }
-    let mut tail = 0.0;
-    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
-        tail += x * y;
-    }
-    ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7])) + tail
+    crate::kernels::raw::dot_blocked(a, b)
 }
 
 /// A query×target similarity matrix in flat row-major storage, built
@@ -222,7 +234,7 @@ impl SimilarityMatrix {
             khaos_par::par_chunks_mut(&mut data, t, |i, row| {
                 let qr = qe.row(i);
                 for (j, slot) in row.iter_mut().enumerate() {
-                    let s = dot_blocked(qr, te.row(j));
+                    let s = crate::kernels::dot(qr, te.row(j));
                     *slot = if clamp { s.max(0.0) } else { s };
                 }
             });
@@ -557,7 +569,7 @@ impl RowScore for EmbedScorer {
     }
     #[inline]
     fn score(&self, qi: usize, j: usize) -> f64 {
-        let s = dot_blocked(self.qe.row(qi), self.te.row(j));
+        let s = crate::kernels::dot(self.qe.row(qi), self.te.row(j));
         if self.clamp {
             s.max(0.0)
         } else {
@@ -704,6 +716,18 @@ pub struct CacheStats {
     /// `embed` — the recomputation counter a warm-start sweep asserts
     /// to be zero on its second run.
     pub embeds_computed: u64,
+    /// Quantized tables currently resident (the int8 tier's own FIFO
+    /// map, bounded by the same capacity).
+    pub quant_entries: usize,
+    /// Quantized-tier lookups answered from memory. Quantized traffic
+    /// is counted separately from the f64 counters above so a
+    /// shortlist-heavy workload can't masquerade as f64 cache health.
+    pub quant_hits: u64,
+    /// Quantized-tier memory misses (served by disk, derived from the
+    /// f64 tier, or quantized fresh).
+    pub quant_misses: u64,
+    /// Quantized records successfully written to the disk tier.
+    pub quant_writes: u64,
 }
 
 /// Matrix cache key: tool identity plus both binaries' fingerprints.
@@ -739,6 +763,8 @@ struct CacheInner {
     order: std::collections::VecDeque<CacheKey>,
     matrices: HashMap<MatrixKey, Arc<SimilarityMatrix>>,
     matrix_order: std::collections::VecDeque<MatrixKey>,
+    quant: HashMap<CacheKey, Arc<crate::quant::QuantizedEmbeddings>>,
+    quant_order: std::collections::VecDeque<CacheKey>,
     /// The disk tier, when attached (memory → disk → compute).
     store: Option<Arc<khaos_store::Store>>,
     hits: u64,
@@ -747,6 +773,9 @@ struct CacheInner {
     disk_misses: u64,
     disk_writes: u64,
     embeds_computed: u64,
+    quant_hits: u64,
+    quant_misses: u64,
+    quant_writes: u64,
 }
 
 /// A bounded, thread-safe embedding cache keyed by
@@ -786,6 +815,8 @@ impl EmbeddingCache {
                 order: std::collections::VecDeque::new(),
                 matrices: HashMap::new(),
                 matrix_order: std::collections::VecDeque::new(),
+                quant: HashMap::new(),
+                quant_order: std::collections::VecDeque::new(),
                 store: None,
                 hits: 0,
                 misses: 0,
@@ -793,6 +824,9 @@ impl EmbeddingCache {
                 disk_misses: 0,
                 disk_writes: 0,
                 embeds_computed: 0,
+                quant_hits: 0,
+                quant_misses: 0,
+                quant_writes: 0,
             }),
             capacity: capacity.max(1),
         }
@@ -888,6 +922,83 @@ impl EmbeddingCache {
         }
         let CacheInner { map, order, .. } = &mut *inner;
         insert_bounded(map, order, self.capacity, key, Arc::clone(&value));
+        value
+    }
+
+    /// Looks up the **int8 quantized** embeddings for `key`: memory,
+    /// then the attached disk store's quantized records, then derived
+    /// from the f64 tier (which itself tiers memory → disk →
+    /// `embed`). Freshly derived tables are written through to disk.
+    ///
+    /// Quantized traffic is counted separately
+    /// (`quant_hits`/`quant_misses`/`quant_writes` in [`CacheStats`];
+    /// a disk-served quantized record also counts one `disk_hits`).
+    /// Quantization is deterministic and the store round-trips the i8
+    /// codes and per-row scales bit-exactly, so — as with the f64
+    /// tier — the tier a table came from is unobservable.
+    pub fn get_or_quantize(
+        &self,
+        key: CacheKey,
+        embed: impl FnOnce() -> Vec<Vec<f64>>,
+    ) -> Arc<crate::quant::QuantizedEmbeddings> {
+        let store;
+        {
+            let mut inner = self.inner.lock().expect("embedding cache poisoned");
+            if let Some(hit) = inner.quant.get(&key) {
+                let hit = Arc::clone(hit);
+                inner.quant_hits += 1;
+                return hit;
+            }
+            inner.quant_misses += 1;
+            store = inner.store.clone();
+        }
+        let disk_key = khaos_store::EmbKey {
+            tool: key.0,
+            config: key.1,
+            binary: key.2,
+        };
+        if let Some(store) = &store {
+            if let Ok(Some(table)) = store.get_quantized(&disk_key) {
+                let value = Arc::new(crate::quant::QuantizedEmbeddings::from_parts(
+                    table.rows as usize,
+                    table.dim as usize,
+                    table.data,
+                    table.scales,
+                    table.offsets,
+                ));
+                let mut inner = self.inner.lock().expect("embedding cache poisoned");
+                inner.disk_hits += 1;
+                let CacheInner {
+                    quant, quant_order, ..
+                } = &mut *inner;
+                insert_bounded(quant, quant_order, self.capacity, key, Arc::clone(&value));
+                return value;
+            }
+        }
+        // Derive from the f64 tier (shares its memory/disk/compute
+        // path and counters), then write the quantized table through.
+        let base = self.get_or_embed(key, embed);
+        let value = Arc::new(crate::quant::QuantizedEmbeddings::from_embeddings(&base));
+        let wrote = store.as_ref().is_some_and(|store| {
+            store
+                .put_quantized(
+                    &disk_key,
+                    khaos_store::QuantView::new(
+                        value.len(),
+                        value.dim(),
+                        value.scales(),
+                        value.offsets(),
+                        value.codes(),
+                    ),
+                )
+                .is_ok()
+        });
+        let mut inner = self.inner.lock().expect("embedding cache poisoned");
+        inner.quant_writes += wrote as u64;
+        let CacheInner {
+            quant, quant_order, ..
+        } = &mut *inner;
+        insert_bounded(quant, quant_order, self.capacity, key, Arc::clone(&value));
         value
     }
 
@@ -1025,6 +1136,10 @@ impl EmbeddingCache {
             disk_misses: inner.disk_misses,
             disk_writes: inner.disk_writes,
             embeds_computed: inner.embeds_computed,
+            quant_entries: inner.quant.len(),
+            quant_hits: inner.quant_hits,
+            quant_misses: inner.quant_misses,
+            quant_writes: inner.quant_writes,
         }
     }
 
@@ -1035,6 +1150,8 @@ impl EmbeddingCache {
         inner.order.clear();
         inner.matrices.clear();
         inner.matrix_order.clear();
+        inner.quant.clear();
+        inner.quant_order.clear();
     }
 
     /// The cache key for a differ/binary combination.
@@ -1408,6 +1525,9 @@ mod tests {
             // every miss must have computed.
             assert_eq!((s.disk_hits, s.disk_misses, s.disk_writes), (0, 0, 0));
             assert_eq!(s.embeds_computed, s.misses, "{s:?}");
+            // Quantized traffic is counted separately: none yet.
+            assert_eq!((s.quant_hits, s.quant_misses, s.quant_writes), (0, 0, 0));
+            assert_eq!(s.quant_entries, 0, "{s:?}");
         }
         // Capacity 2 over a 4-key working set, FIFO: every lookup
         // misses (the working set never fits).
@@ -1415,6 +1535,38 @@ mod tests {
         // Re-inserting a resident key must not inflate `entries`.
         cache.get_or_embed(("t", 0, 3), || panic!("resident"));
         assert_eq!(cache.stats().entries, 2);
+
+        // The quantized tier keeps its own FIFO map and counters under
+        // the same capacity bound, and never perturbs the f64 side's
+        // hit/miss totals.
+        let f64_lookups = cache.stats().hits + cache.stats().misses;
+        for round in 0..3u64 {
+            for b in 0..4u64 {
+                cache.get_or_quantize(("t", 0, b), embed);
+            }
+            let s = cache.stats();
+            assert!(s.quant_entries <= 2, "quant FIFO bounded: {s:?}");
+            assert_eq!(
+                s.quant_hits + s.quant_misses,
+                (round + 1) * 4,
+                "every quant lookup is either a hit or a miss: {s:?}"
+            );
+            assert_eq!(s.quant_writes, 0, "no disk tier, no quant writes: {s:?}");
+        }
+        // Every quant miss derived through the f64 tier (one
+        // get_or_embed each), so the f64 counters moved by exactly the
+        // quant-miss count — quantized traffic is visible there only
+        // as the derivations it caused, never double-counted.
+        let s = cache.stats();
+        assert_eq!(s.quant_misses, 12, "{s:?}");
+        assert_eq!(s.hits + s.misses, f64_lookups + s.quant_misses, "{s:?}");
+        // A resident quant key hits without touching the f64 tier.
+        let before = cache.stats();
+        cache.get_or_quantize(("t", 0, 3), || panic!("quant-resident"));
+        let after = cache.stats();
+        assert_eq!(after.quant_hits, before.quant_hits + 1);
+        assert_eq!(after.hits + after.misses, before.hits + before.misses);
+        assert_eq!(after.quant_entries, 2);
     }
 
     #[test]
@@ -1467,6 +1619,28 @@ mod tests {
         for (a, b) in m2.as_flat().iter().zip(m1.as_flat()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+
+        // The quantized tier rides the same store: derive + write
+        // through once, then a fresh cache serves the table from disk
+        // — i8 codes and per-row scales bit-exact, nothing recomputed.
+        let q1 = first.get_or_quantize(key, || panic!("f64 table is resident"));
+        let s = first.stats();
+        assert_eq!((s.quant_hits, s.quant_misses, s.quant_writes), (0, 1, 1));
+        let fourth = EmbeddingCache::new(8);
+        fourth.attach_store(Arc::clone(&store));
+        let q2 = fourth.get_or_quantize(key, || panic!("must come from disk"));
+        let s = fourth.stats();
+        assert_eq!((s.quant_hits, s.quant_misses, s.quant_writes), (0, 1, 0));
+        assert_eq!(s.embeds_computed, 0, "disk-served, not re-derived: {s:?}");
+        assert!(s.disk_hits >= 1, "{s:?}");
+        assert_eq!(q2.codes(), q1.codes(), "i8 payload round trip");
+        for (a, b) in q2.scales().iter().zip(q1.scales()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "scales round trip bit-exactly");
+        }
+        for (a, b) in q2.offsets().iter().zip(q1.offsets()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "offsets round trip bit-exactly");
+        }
+        assert_eq!(*q1, *q2, "derived qsums and shape agree");
         std::fs::remove_dir_all(&dir).expect("scratch dir removed");
     }
 

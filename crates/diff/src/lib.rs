@@ -31,8 +31,15 @@
 //! * embeddings live in [`FunctionEmbeddings`] — one flat row-major
 //!   buffer, **L2-normalized once at construction**, so cosine is a
 //!   pure dot product in the inner loop (no per-pair `sqrt`/norms),
-//!   computed by the 8-wide [`dot_blocked`] kernel (scalar-reference
+//!   computed through the [`kernels`] dispatch layer — explicit
+//!   AVX-512/AVX2 `std::arch` kernels selected once at runtime
+//!   (`KHAOS_SIMD` overrides), every variant **bit-identical** to the
+//!   portable 8-wide [`dot_blocked`] kernel (naive-scalar-reference
 //!   equivalence pinned at 1e-12);
+//! * an **int8 quantized tier** ([`QuantizedEmbeddings`], ~7× smaller
+//!   rows, integer-exact `dot_i8` kernels) generates shortlists that
+//!   [`stream_top_k_quantized`] re-ranks exactly, bit-identical to the
+//!   f64 streaming path at recall 1.0;
 //! * each binary pair yields one [`SimilarityMatrix`] (flat storage,
 //!   parallel row construction via `khaos-par`, `top_k` by partial
 //!   selection, `O(T)` rank queries) shared by every metric that needs
@@ -69,7 +76,9 @@ mod bindiff;
 mod dataflow;
 mod deepbindiff;
 pub mod engine;
+pub mod kernels;
 mod metrics;
+pub mod quant;
 pub mod reference;
 mod safe;
 mod tokens;
@@ -84,10 +93,14 @@ pub use engine::{
     dot_blocked, par_stream_ranks, par_stream_top_k_rows, stream_top_k, stream_top_k_blocks,
     CacheStats, EmbeddingCache, FunctionEmbeddings, RowScore, SimilarityMatrix, StreamingTopK,
 };
+pub use kernels::{dot, dot_i8, KernelKind};
 pub use metrics::{
     escape_at_k, escape_profile, escape_profile_streaming, escape_profile_with, origins_match,
     precision_at_1, precision_at_1_with, rank_of_true_match, rank_of_true_match_in,
     rank_of_true_match_streaming, ranks_of_true_match_streaming,
+};
+pub use quant::{
+    stream_top_k_quantized, QuantizedEmbeddings, QUANT_SHORTLIST_FACTOR, QUANT_SHORTLIST_MIN,
 };
 pub use safe::Safe;
 pub use tokens::{

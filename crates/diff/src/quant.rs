@@ -1,0 +1,411 @@
+//! The int8 scalar-quantized embedding tier.
+//!
+//! A normalized embedding row costs `dim × 8` bytes in f64. Production
+//! vector search (the corpus-index scenario in ROADMAP item 1) keeps a
+//! quantized copy instead: [`QuantizedEmbeddings`] stores each row as
+//! `dim` i8 codes plus a per-row `(scale, offset)` affine pair —
+//! `x̂ = q · scale + offset` — so a function costs `dim + 16` bytes
+//! (~7.1× smaller at the 128-dim rows used here, the "8× more
+//! functions per GB" layout).
+//!
+//! The quantized tier is a *candidate generator*, never a scorer of
+//! record: [`stream_top_k_quantized`] scans approximate dots over the
+//! i8 codes (via the dispatched [`crate::kernels::dot_i8`]) to
+//! shortlist `max(c·k, QUANT_SHORTLIST_MIN)` candidates, then
+//! re-ranks the shortlist with the
+//! exact f64 scorer and the pinned `(score desc, index asc)` order.
+//! Whenever the shortlist contains the true top-k (the recall gates
+//! pin `recall@{1,10,50} = 1.0` on the fig10 workload), the ranked
+//! output is **bit-identical** to the exact streaming path — same
+//! scores, same tie-breaks, same bits.
+//!
+//! Quantization is deterministic (round-to-nearest on finite inputs,
+//! exact for constant rows) and the i8 dot is integer-exact, so the
+//! approximate scan itself is bit-identical across SIMD dispatch
+//! choices, thread counts and cache tiers — the same invariant the
+//! f64 path keeps.
+
+use crate::engine::{cmp_scores_desc, FunctionEmbeddings, RowScore, StreamingTopK};
+use crate::kernels;
+
+/// Default shortlist factor `c`: [`stream_top_k_quantized`] scans for
+/// `c·k` candidates before the exact re-rank.
+pub const QUANT_SHORTLIST_FACTOR: usize = 4;
+
+/// Shortlist floor: the shortlist never holds fewer than this many
+/// candidates (capped at the column count). At small `k` the `c·k`
+/// budget is tighter than the quantization error — on the
+/// 200-function bench pair a 4-candidate shortlist at `k = 1` loses
+/// the true top-1 behind near-ties — so small queries widen to the
+/// floor while large `k` keeps the linear `c·k` budget.
+pub const QUANT_SHORTLIST_MIN: usize = 32;
+
+/// Per-function embeddings quantized to one i8 code per dimension
+/// with a per-row affine `(scale, offset)` pair.
+///
+/// Codes live in `[-127, 127]` (the symmetric range; `-128` is never
+/// emitted so negation is always exact), with
+/// `scale = (max - min) / 254` and `offset = min + 127 · scale` per
+/// row. Degenerate rows (`max == min`, including all-zero rows) store
+/// `scale = 0` and decode exactly. The per-row code sums are cached so
+/// an approximate dot needs only the integer code dot:
+///
+/// `dot̂(i, j) = sᵢsⱼ · Σqᵢqⱼ + sᵢoⱼ · Σqᵢ + sⱼoᵢ · Σqⱼ + d·oᵢoⱼ`
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantizedEmbeddings {
+    n: usize,
+    dim: usize,
+    data: Vec<i8>,
+    scales: Vec<f64>,
+    offsets: Vec<f64>,
+    /// Per-row Σq, cached for the offset-correction terms.
+    qsums: Vec<i64>,
+}
+
+impl QuantizedEmbeddings {
+    /// Quantizes normalized embeddings row by row.
+    pub fn from_embeddings(e: &FunctionEmbeddings) -> Self {
+        let (n, dim) = (e.len(), e.dim());
+        let mut data = Vec::with_capacity(n * dim);
+        let mut scales = Vec::with_capacity(n);
+        let mut offsets = Vec::with_capacity(n);
+        for i in 0..n {
+            let row = e.row(i);
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &x in row {
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+            // `lo`/`hi` are never NaN (f64::min/max skip NaN inputs),
+            // so `hi <= lo` covers constant, empty and all-NaN rows.
+            if hi <= lo {
+                // Constant (or empty) row: decode is exactly `offset`.
+                let offset = if dim == 0 || !lo.is_finite() { 0.0 } else { lo };
+                scales.push(0.0);
+                offsets.push(offset);
+                data.extend(std::iter::repeat_n(0i8, dim));
+                continue;
+            }
+            let scale = (hi - lo) / 254.0;
+            let offset = lo + 127.0 * scale;
+            scales.push(scale);
+            offsets.push(offset);
+            for &x in row {
+                let q = ((x - lo) / scale).round() - 127.0;
+                data.push(q.clamp(-127.0, 127.0) as i8);
+            }
+        }
+        Self::from_parts(n, dim, data, scales, offsets)
+    }
+
+    /// Rewraps raw quantized parts — the disk-tier load path. Code
+    /// sums are integer-derived, so recomputing them here cannot
+    /// perturb anything: a store round trip is bit-identical.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    pub fn from_parts(
+        n: usize,
+        dim: usize,
+        data: Vec<i8>,
+        scales: Vec<f64>,
+        offsets: Vec<f64>,
+    ) -> Self {
+        assert_eq!(data.len(), n * dim, "quantized code shape mismatch");
+        assert_eq!(scales.len(), n, "one scale per row");
+        assert_eq!(offsets.len(), n, "one offset per row");
+        let qsums = data
+            .chunks(dim.max(1))
+            .map(|row| row.iter().map(|&q| q as i64).sum())
+            .take(n)
+            .collect::<Vec<i64>>();
+        let qsums = if dim == 0 { vec![0; n] } else { qsums };
+        QuantizedEmbeddings {
+            n,
+            dim,
+            data,
+            scales,
+            offsets,
+            qsums,
+        }
+    }
+
+    /// Number of functions (rows).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The i8 codes of row `i`.
+    pub fn row_codes(&self, i: usize) -> &[i8] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The whole flat code buffer (store I/O).
+    pub fn codes(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Per-row scales (store I/O).
+    pub fn scales(&self) -> &[f64] {
+        &self.scales
+    }
+
+    /// Per-row offsets (store I/O).
+    pub fn offsets(&self) -> &[f64] {
+        &self.offsets
+    }
+
+    /// Bytes one function costs in this tier (codes + scale + offset),
+    /// vs. `dim × 8` for the f64 row.
+    pub fn bytes_per_function(&self) -> usize {
+        self.dim + 16
+    }
+
+    /// Decodes row `i` back to f64 — lossy by at most `scale/2` per
+    /// element (the proptest gate in `tests/batched_engine.rs`).
+    pub fn decode_row(&self, i: usize) -> Vec<f64> {
+        let (s, o) = (self.scales[i], self.offsets[i]);
+        self.row_codes(i)
+            .iter()
+            .map(|&q| q as f64 * s + o)
+            .collect()
+    }
+
+    /// Approximate dot between row `i` of `self` and row `j` of
+    /// `other`, expanded from the integer code dot plus the cached
+    /// code sums. Deterministic and dispatch-independent: the code dot
+    /// is integer-exact and the f64 correction is a fixed expression.
+    #[inline]
+    pub fn approx_dot(&self, i: usize, other: &QuantizedEmbeddings, j: usize) -> f64 {
+        debug_assert_eq!(self.dim, other.dim, "dot over mismatched dimensions");
+        let qdot = kernels::dot_i8(self.row_codes(i), other.row_codes(j)) as f64;
+        let (si, oi, sum_i) = (self.scales[i], self.offsets[i], self.qsums[i] as f64);
+        let (sj, oj, sum_j) = (other.scales[j], other.offsets[j], other.qsums[j] as f64);
+        si * sj * qdot + si * oj * sum_i + sj * oi * sum_j + self.dim as f64 * oi * oj
+    }
+
+    /// Calls `f(j, score)` with the approximate score of query row `i`
+    /// against **every** row of `other`, in index order — the
+    /// shortlist scan, with the kernel table and the row-`i` affine
+    /// terms hoisted out of the inner loop. Scores are bit-identical
+    /// to per-call [`Self::approx_dot`] (same expression, same order;
+    /// only the dispatch lookup is amortized).
+    #[inline]
+    pub fn approx_scan(
+        &self,
+        i: usize,
+        other: &QuantizedEmbeddings,
+        mut f: impl FnMut(usize, f64),
+    ) {
+        debug_assert_eq!(self.dim, other.dim, "dot over mismatched dimensions");
+        let table = kernels::active_table();
+        let qi = self.row_codes(i);
+        let (si, oi, sum_i) = (self.scales[i], self.offsets[i], self.qsums[i] as f64);
+        let dim_f = self.dim as f64;
+        for j in 0..other.len() {
+            let qdot = table.dot_i8(qi, other.row_codes(j)) as f64;
+            let (sj, oj, sum_j) = (other.scales[j], other.offsets[j], other.qsums[j] as f64);
+            f(
+                j,
+                si * sj * qdot + si * oj * sum_i + sj * oi * sum_j + dim_f * oi * oj,
+            );
+        }
+    }
+}
+
+/// Ranked top-`k` for query row `qi`: shortlist
+/// `max(factor·k, QUANT_SHORTLIST_MIN)` candidates by quantized
+/// approximate score, then score **only the shortlist** with the
+/// exact f64 scorer and re-rank under the pinned
+/// `(score desc, index asc)` order.
+///
+/// `clamp` must mirror the exact scorer's clamp-at-zero so approximate
+/// and exact scores tie the same way (a clamped exact path breaks
+/// zero-score ties by index; the approximate scan must shortlist those
+/// same lowest indices, not the "least negative" raw dots).
+///
+/// Whenever the shortlist covers the true top-k — guaranteed when
+/// `factor·k ≥ cols`, and pinned at recall 1.0 on the fig10 workload —
+/// the result is bit-identical to [`crate::engine::stream_top_k`].
+pub fn stream_top_k_quantized(
+    qq: &QuantizedEmbeddings,
+    tq: &QuantizedEmbeddings,
+    exact: &dyn RowScore,
+    qi: usize,
+    k: usize,
+    factor: usize,
+    clamp: bool,
+) -> Vec<(usize, f64)> {
+    assert_eq!(exact.rows(), qq.len(), "query shape mismatch");
+    assert_eq!(exact.cols(), tq.len(), "target shape mismatch");
+    let cols = tq.len();
+    if k == 0 || cols == 0 {
+        return Vec::new();
+    }
+    let cap = k
+        .saturating_mul(factor.max(1))
+        .max(QUANT_SHORTLIST_MIN)
+        .min(cols);
+    let mut shortlist = StreamingTopK::new(cap);
+    qq.approx_scan(qi, tq, |j, s| {
+        shortlist.offer(j, if clamp { s.max(0.0) } else { s });
+    });
+    let mut out: Vec<(usize, f64)> = shortlist
+        .into_ranked()
+        .into_iter()
+        .map(|(j, _)| (j, exact.score(qi, j)))
+        .collect();
+    out.sort_unstable_by(|x, y| cmp_scores_desc(x.1, y.1).then(x.0.cmp(&y.0)));
+    out.truncate(k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{stream_top_k, EmbedScorer};
+    use std::sync::Arc;
+
+    fn rand_rows(seed: u64, n: usize, dim: usize) -> Vec<Vec<f64>> {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..n)
+            .map(|_| {
+                (0..dim)
+                    .map(|_| {
+                        s ^= s << 13;
+                        s ^= s >> 7;
+                        s ^= s << 17;
+                        (s >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_error_stays_within_half_scale() {
+        let e = FunctionEmbeddings::from_rows(rand_rows(5, 13, 37));
+        let q = QuantizedEmbeddings::from_embeddings(&e);
+        for i in 0..e.len() {
+            let back = q.decode_row(i);
+            let bound = q.scales()[i] * 0.5 * (1.0 + 1e-9) + 1e-15;
+            for (x, y) in e.row(i).iter().zip(&back) {
+                assert!(
+                    (x - y).abs() <= bound,
+                    "row {i}: |{x} - {y}| > scale/2 = {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_and_empty_rows_decode_exactly() {
+        let e = FunctionEmbeddings::from_rows(vec![vec![0.0; 16], vec![3.0; 16]]);
+        let q = QuantizedEmbeddings::from_embeddings(&e);
+        for i in 0..2 {
+            assert_eq!(q.scales()[i], 0.0);
+            assert_eq!(q.decode_row(i), e.row(i), "row {i} must be lossless");
+        }
+        let empty = QuantizedEmbeddings::from_embeddings(&FunctionEmbeddings::from_rows(vec![]));
+        assert!(empty.is_empty());
+        assert_eq!(empty.bytes_per_function(), 16);
+    }
+
+    #[test]
+    fn approx_dot_is_bit_identical_across_kernel_variants() {
+        let e = FunctionEmbeddings::from_rows(rand_rows(9, 6, 128));
+        let q = QuantizedEmbeddings::from_embeddings(&e);
+        // The integer code dot is exact under any kernel, and the f64
+        // correction terms don't depend on dispatch — pin it directly
+        // against every available table.
+        for kind in crate::kernels::available() {
+            let table = crate::kernels::table_for(kind).unwrap();
+            for i in 0..q.len() {
+                for j in 0..q.len() {
+                    let qdot = table.dot_i8(q.row_codes(i), q.row_codes(j));
+                    let reference = crate::kernels::table_for(crate::kernels::KernelKind::Scalar)
+                        .unwrap()
+                        .dot_i8(q.row_codes(i), q.row_codes(j));
+                    assert_eq!(qdot, reference, "{} ({i},{j})", kind.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_shortlist_reproduces_exact_stream_bitwise() {
+        let qe = Arc::new(FunctionEmbeddings::from_rows(rand_rows(31, 9, 64)));
+        let te = Arc::new(FunctionEmbeddings::from_rows(rand_rows(32, 23, 64)));
+        let qq = QuantizedEmbeddings::from_embeddings(&qe);
+        let tq = QuantizedEmbeddings::from_embeddings(&te);
+        let scorer = EmbedScorer::new(Arc::clone(&qe), Arc::clone(&te), true);
+        for qi in 0..qe.len() {
+            for k in [1usize, 3, 23, 100] {
+                // factor·k ≥ cols ⇒ the shortlist is the whole row and
+                // bit-identity is unconditional.
+                let got = stream_top_k_quantized(&qq, &tq, &scorer, qi, k, 30, true);
+                let want = stream_top_k(&scorer, qi, k);
+                assert_eq!(got.len(), want.len(), "qi={qi} k={k}");
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.0, w.0, "qi={qi} k={k}: index order");
+                    assert_eq!(g.1.to_bits(), w.1.to_bits(), "qi={qi} k={k}: score bits");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ties_and_degenerate_shapes_match_exact_path() {
+        // Identical rows everywhere: every score ties, so ranking is
+        // pure index tie-breaking — the hardest case for a shortlist.
+        let row = vec![1.0; 32];
+        let qe = Arc::new(FunctionEmbeddings::from_rows(vec![row.clone(); 2]));
+        let te = Arc::new(FunctionEmbeddings::from_rows(vec![row; 7]));
+        let qq = QuantizedEmbeddings::from_embeddings(&qe);
+        let tq = QuantizedEmbeddings::from_embeddings(&te);
+        let scorer = EmbedScorer::new(Arc::clone(&qe), Arc::clone(&te), true);
+        for k in [1usize, 5, 7, 50] {
+            let got = stream_top_k_quantized(&qq, &tq, &scorer, 0, k, 1, true);
+            let want = stream_top_k(&scorer, 0, k);
+            assert_eq!(got, want, "k={k}: tied scores break by lowest index");
+        }
+        // Single-function target and k > T.
+        let te1 = Arc::new(FunctionEmbeddings::from_rows(rand_rows(77, 1, 32)));
+        let tq1 = QuantizedEmbeddings::from_embeddings(&te1);
+        let s1 = EmbedScorer::new(Arc::clone(&qe), Arc::clone(&te1), true);
+        assert_eq!(
+            stream_top_k_quantized(&qq, &tq1, &s1, 1, 50, 4, true),
+            stream_top_k(&s1, 1, 50)
+        );
+        // k = 0 and empty target are empty.
+        assert!(stream_top_k_quantized(&qq, &tq, &scorer, 0, 0, 4, true).is_empty());
+        let te0 = Arc::new(FunctionEmbeddings::from_rows(vec![]));
+        let tq0 = QuantizedEmbeddings::from_embeddings(&te0);
+        let s0 = EmbedScorer::new(Arc::clone(&qe), Arc::clone(&te0), true);
+        assert!(stream_top_k_quantized(&qq, &tq0, &s0, 0, 5, 4, true).is_empty());
+    }
+
+    #[test]
+    fn store_shaped_parts_round_trip_identically() {
+        let e = FunctionEmbeddings::from_rows(rand_rows(41, 5, 48));
+        let q = QuantizedEmbeddings::from_embeddings(&e);
+        let back = QuantizedEmbeddings::from_parts(
+            q.len(),
+            q.dim(),
+            q.codes().to_vec(),
+            q.scales().to_vec(),
+            q.offsets().to_vec(),
+        );
+        assert_eq!(q, back, "parts round trip rebuilds the same tier");
+    }
+}

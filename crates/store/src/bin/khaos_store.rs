@@ -223,6 +223,7 @@ fn cmd_stats(store: &Store) -> std::io::Result<ExitCode> {
         ("embeddings", s.embeddings),
         ("matrices", s.matrices),
         ("reports", s.reports),
+        ("quantized", s.quantized),
     ] {
         println!("{:<12} {:>8} {:>12}", name, sec.records, human(sec.bytes));
     }

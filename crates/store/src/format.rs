@@ -5,7 +5,7 @@
 //! encoder/decoder pair and the FNV-1a checksum both sides share; the
 //! [`crate::Store`] layer never touches raw bytes directly.
 
-use crate::{FlatTable, StoredPass, StoredReport, StoredShape, TableView};
+use crate::{FlatTable, QuantTable, QuantView, StoredPass, StoredReport, StoredShape, TableView};
 
 /// First four bytes of every record file.
 pub const MAGIC: [u8; 4] = *b"KHST";
@@ -14,7 +14,13 @@ pub const MAGIC: [u8; 4] = *b"KHST";
 /// store's `FORMAT` stamp. **Bumping this is a cache-invalidating
 /// event**: readers refuse records of any other version, so every
 /// artifact is recomputed and rewritten.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: v1 — embeddings/matrices/reports; v2 — adds quantized
+/// embedding records (kind 4, the `qnt/` section). The bump to 2 was
+/// deliberate: v1 stores predate the quantized tier and are fully
+/// recomputable, and stamping the version forward keeps the "one
+/// store, one format" invariant simple (no per-record version skew).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Record kind tag: a per-binary embedding table.
 pub const KIND_EMBEDDINGS: u8 = 1;
@@ -22,6 +28,9 @@ pub const KIND_EMBEDDINGS: u8 = 1;
 pub const KIND_MATRIX: u8 = 2;
 /// Record kind tag: a pipeline/experiment report.
 pub const KIND_REPORT: u8 = 3;
+/// Record kind tag: a per-binary int8 quantized embedding table
+/// (format v2).
+pub const KIND_QUANT: u8 = 4;
 
 /// FNV-1a over a byte slice — the record checksum (and the hash behind
 /// content-addressed file names).
@@ -170,6 +179,17 @@ pub enum OwnedKey {
         /// Free-form subject (program name, experiment cell, …).
         subject: String,
     },
+    /// Quantized-embedding key — the same `(tool, config, binary)`
+    /// triple as [`OwnedKey::Emb`]; the kind tag keeps the content
+    /// addresses disjoint.
+    Quant {
+        /// Differ name.
+        tool: String,
+        /// Differ configuration fingerprint.
+        config: u64,
+        /// `Binary::fingerprint` of the embedded binary.
+        binary: u64,
+    },
 }
 
 impl std::fmt::Display for OwnedKey {
@@ -194,6 +214,11 @@ impl std::fmt::Display for OwnedKey {
                 seed,
                 subject,
             } => write!(f, "rep pipeline={pipeline:016x} seed={seed:#x} `{subject}`"),
+            OwnedKey::Quant {
+                tool,
+                config,
+                binary,
+            } => write!(f, "qnt {tool} cfg={config:016x} bin={binary:016x}"),
         }
     }
 }
@@ -203,6 +228,7 @@ impl std::fmt::Display for OwnedKey {
 pub(crate) enum Payload {
     Table(FlatTable),
     Report(StoredReport),
+    Quant(QuantTable),
 }
 
 /// A fully decoded, checksum-verified record.
@@ -249,6 +275,23 @@ fn payload_bytes_table(table: TableView<'_>) -> Vec<u8> {
     for &v in table.data {
         e.f64(v);
     }
+    e.into_bytes()
+}
+
+/// Quantized-table payload: shape, per-row f64 scales and offsets
+/// (raw bits, byte-exact), then the i8 codes as one raw byte run.
+fn payload_bytes_quant(q: QuantView<'_>) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(q.rows);
+    e.u64(q.dim);
+    for &s in q.scales {
+        e.f64(s);
+    }
+    for &o in q.offsets {
+        e.f64(o);
+    }
+    // i8 → u8 is a bijection on bytes; decode casts back losslessly.
+    e.bytes(unsafe { std::slice::from_raw_parts(q.data.as_ptr() as *const u8, q.data.len()) });
     e.into_bytes()
 }
 
@@ -311,6 +354,15 @@ pub(crate) fn encode_matrix(
     )
 }
 
+/// Encodes a quantized-embedding record.
+pub(crate) fn encode_quantized(tool: &str, config: u64, binary: u64, q: QuantView<'_>) -> Vec<u8> {
+    encode_record(
+        KIND_QUANT,
+        &key_bytes_emb(tool, config, binary),
+        &payload_bytes_quant(q),
+    )
+}
+
 /// Encodes a report record.
 pub(crate) fn encode_report(r: &StoredReport) -> Vec<u8> {
     encode_record(
@@ -345,6 +397,47 @@ fn decode_table(payload: &[u8]) -> Result<FlatTable, String> {
         data.push(d.f64()?);
     }
     Ok(FlatTable { rows, dim, data })
+}
+
+fn decode_quant(payload: &[u8]) -> Result<QuantTable, String> {
+    let mut d = Dec::new(payload);
+    let rows = d.u64()?;
+    let dim = d.u64()?;
+    // Same checked-shape discipline as `decode_table`: per-row scale +
+    // offset (8 bytes each) plus rows·dim code bytes must equal the
+    // remaining payload exactly, with no overflow en route.
+    let codes = rows
+        .checked_mul(dim)
+        .filter(|&c| {
+            rows.checked_mul(16)
+                .and_then(|meta| meta.checked_add(c))
+                .is_some_and(|bytes| bytes == d.remaining() as u64)
+        })
+        .ok_or_else(|| {
+            format!(
+                "quantized shape {rows}x{dim} disagrees with payload ({} bytes left)",
+                d.remaining()
+            )
+        })?;
+    let mut scales = Vec::with_capacity(rows as usize);
+    for _ in 0..rows {
+        scales.push(d.f64()?);
+    }
+    let mut offsets = Vec::with_capacity(rows as usize);
+    for _ in 0..rows {
+        offsets.push(d.f64()?);
+    }
+    let mut data = Vec::with_capacity(codes as usize);
+    for _ in 0..codes {
+        data.push(d.u8()? as i8);
+    }
+    Ok(QuantTable {
+        rows,
+        dim,
+        scales,
+        offsets,
+        data,
+    })
 }
 
 fn decode_report(
@@ -441,6 +534,11 @@ pub(crate) fn decode_record(bytes: &[u8]) -> Result<Record, String> {
             seed: d.u64()?,
             subject: d.str()?,
         },
+        KIND_QUANT => OwnedKey::Quant {
+            tool: d.str()?,
+            config: d.u64()?,
+            binary: d.u64()?,
+        },
         _ => return Err(format!("unknown record kind {kind}")),
     };
     let payload_len = d.u64()? as usize;
@@ -454,6 +552,7 @@ pub(crate) fn decode_record(bytes: &[u8]) -> Result<Record, String> {
     let payload = &body[payload_start..];
     let payload = match &key {
         OwnedKey::Emb { .. } | OwnedKey::Mat { .. } => Payload::Table(decode_table(payload)?),
+        OwnedKey::Quant { .. } => Payload::Quant(decode_quant(payload)?),
         OwnedKey::Rep {
             pipeline,
             seed,

@@ -19,11 +19,12 @@
 //! ## Directory layout
 //!
 //! ```text
-//! <root>/FORMAT        "khaos-store 1\n" — refuse directories of any other version
+//! <root>/FORMAT        "khaos-store 2\n" — refuse directories of any other version
 //! <root>/tmp/          staging area for atomic renames
 //! <root>/emb/<addr>.khs   per-binary embedding tables
 //! <root>/mat/<addr>.khs   query×target similarity matrices
 //! <root>/rep/<addr>.khs   pipeline / experiment reports
+//! <root>/qnt/<addr>.khs   per-binary int8 quantized embedding tables
 //! ```
 //!
 //! `<addr>` is the content address: 16 hex digits of FNV-1a over the
@@ -31,12 +32,13 @@
 //! fingerprints, so the addressing is content addressing one hash
 //! removed.
 //!
-//! ## Record format (version 1, all integers little-endian)
+//! ## Record format (version 2, all integers little-endian)
 //!
 //! ```text
 //! magic            4 bytes   "KHST"
-//! format version   u32       1
-//! kind             u8        1 = embeddings, 2 = matrix, 3 = report
+//! format version   u32       2
+//! kind             u8        1 = embeddings, 2 = matrix, 3 = report,
+//!                            4 = quantized embeddings
 //! key block        kind-specific, see below
 //! payload length   u64       bytes of payload that follow
 //! payload          kind-specific, see below
@@ -48,6 +50,8 @@
 //! * embeddings: `tool: str`, `config: u64`, `binary: u64`
 //! * matrix:     `tool: str`, `config: u64`, `query: u64`, `target: u64`
 //! * report:     `pipeline: u64`, `seed: u64`, `subject: str`
+//! * quantized:  `tool: str`, `config: u64`, `binary: u64` (the
+//!   embedding key; the kind tag keeps the addresses disjoint)
 //!
 //! Payloads:
 //!
@@ -57,12 +61,17 @@
 //! * report: `spec: str`, `total_micros: u64`, pass count (u32) and
 //!   per-pass `{atom: str, micros: u64, before/after shape: 3×u64}`,
 //!   then metric count (u32) and per-metric `{name: str, value: f64
-//!   bits}`.
+//!   bits}`;
+//! * quantized: `rows: u64`, `dim: u64`, `rows` per-row scales then
+//!   `rows` per-row offsets (f64 bits), then `rows × dim` i8 codes as
+//!   raw bytes — i8 payload and scales round-trip bit-exactly.
 //!
 //! **A format-version bump is a cache-invalidating event**: readers
 //! refuse both records and whole store directories of any other
 //! version, exactly like a `Binary::fingerprint` digest change
-//! invalidates the in-memory cache keys.
+//! invalidates the in-memory cache keys. Version 2 (the quantized
+//! record kind) was such a bump: v1 directories are refused and
+//! recompute from scratch under a fresh stamp.
 //!
 //! ## Concurrency
 //!
@@ -77,7 +86,7 @@
 mod format;
 
 pub use format::{
-    fnv1a, OwnedKey, FORMAT_VERSION, KIND_EMBEDDINGS, KIND_MATRIX, KIND_REPORT, MAGIC,
+    fnv1a, OwnedKey, FORMAT_VERSION, KIND_EMBEDDINGS, KIND_MATRIX, KIND_QUANT, KIND_REPORT, MAGIC,
 };
 
 use format::{Payload, Record};
@@ -144,6 +153,77 @@ impl<'a> TableView<'a> {
         TableView {
             rows: rows as u64,
             dim: dim as u64,
+            data,
+        }
+    }
+}
+
+/// An owned int8 quantized embedding table — the wire form of
+/// `khaos_diff::quant::QuantizedEmbeddings` (`rows` functions × `dim`
+/// i8 codes, one `(scale, offset)` f64 pair per row). Codes and the
+/// f64 fields round-trip bit-exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantTable {
+    /// Row count.
+    pub rows: u64,
+    /// Row width (codes per function).
+    pub dim: u64,
+    /// Per-row quantization scales (`rows` values).
+    pub scales: Vec<f64>,
+    /// Per-row affine offsets (`rows` values).
+    pub offsets: Vec<f64>,
+    /// `rows * dim` i8 codes, row-major.
+    pub data: Vec<i8>,
+}
+
+impl QuantTable {
+    /// Borrowed view of this table (the write-side form).
+    pub fn view(&self) -> QuantView<'_> {
+        QuantView {
+            rows: self.rows,
+            dim: self.dim,
+            scales: &self.scales,
+            offsets: &self.offsets,
+            data: &self.data,
+        }
+    }
+}
+
+/// Borrowed view of a quantized embedding table — what
+/// [`Store::put_quantized`] takes, serialized straight from the
+/// slices.
+#[derive(Clone, Copy, Debug)]
+pub struct QuantView<'a> {
+    /// Row count.
+    pub rows: u64,
+    /// Row width (codes per function).
+    pub dim: u64,
+    /// Per-row quantization scales (`rows` values).
+    pub scales: &'a [f64],
+    /// Per-row affine offsets (`rows` values).
+    pub offsets: &'a [f64],
+    /// `rows * dim` i8 codes, row-major.
+    pub data: &'a [i8],
+}
+
+impl<'a> QuantView<'a> {
+    /// Wraps borrowed quantized parts; panics on shape mismatches (a
+    /// caller bug, surfaced loudly before it hits disk).
+    pub fn new(
+        rows: usize,
+        dim: usize,
+        scales: &'a [f64],
+        offsets: &'a [f64],
+        data: &'a [i8],
+    ) -> Self {
+        assert_eq!(rows * dim, data.len(), "quantized table shape mismatch");
+        assert_eq!(scales.len(), rows, "one scale per row");
+        assert_eq!(offsets.len(), rows, "one offset per row");
+        QuantView {
+            rows: rows as u64,
+            dim: dim as u64,
+            scales,
+            offsets,
             data,
         }
     }
@@ -274,7 +354,7 @@ pub struct SectionStats {
     pub bytes: u64,
 }
 
-/// Aggregate [`Store::stats`] over the three sections.
+/// Aggregate [`Store::stats`] over the four sections.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// The `emb/` section.
@@ -283,17 +363,22 @@ pub struct StoreStats {
     pub matrices: SectionStats,
     /// The `rep/` section.
     pub reports: SectionStats,
+    /// The `qnt/` section (int8 quantized embedding tables).
+    pub quantized: SectionStats,
 }
 
 impl StoreStats {
     /// Total record count across sections.
     pub fn total_records(&self) -> u64 {
-        self.embeddings.records + self.matrices.records + self.reports.records
+        self.embeddings.records
+            + self.matrices.records
+            + self.reports.records
+            + self.quantized.records
     }
 
     /// Total bytes across sections.
     pub fn total_bytes(&self) -> u64 {
-        self.embeddings.bytes + self.matrices.bytes + self.reports.bytes
+        self.embeddings.bytes + self.matrices.bytes + self.reports.bytes + self.quantized.bytes
     }
 }
 
@@ -333,6 +418,8 @@ pub enum PayloadDump {
     Table(FlatTable),
     /// A pipeline/experiment report.
     Report(StoredReport),
+    /// An int8 quantized embedding table.
+    Quant(QuantTable),
 }
 
 impl std::fmt::Display for RecordDump {
@@ -380,6 +467,27 @@ impl std::fmt::Display for RecordDump {
                     writeln!(f, "  metric {name} = {value}")?;
                 }
             }
+            PayloadDump::Quant(q) => {
+                writeln!(f, "payload: {}x{} i8 quantized table", q.rows, q.dim)?;
+                for (i, row) in q.data.chunks(q.dim.max(1) as usize).take(4).enumerate() {
+                    write!(
+                        f,
+                        "  row {i}: scale={:.6e} offset={:.6e} codes:",
+                        q.scales.get(i).copied().unwrap_or(0.0),
+                        q.offsets.get(i).copied().unwrap_or(0.0)
+                    )?;
+                    for v in row.iter().take(8) {
+                        write!(f, " {v}")?;
+                    }
+                    if row.len() > 8 {
+                        write!(f, " … ({} more)", row.len() - 8)?;
+                    }
+                    writeln!(f)?;
+                }
+                if q.rows > 4 {
+                    writeln!(f, "  … ({} more rows)", q.rows - 4)?;
+                }
+            }
         }
         Ok(())
     }
@@ -414,11 +522,12 @@ const GC_LOCK: &str = "gc.lock";
 /// crashed collector and are stolen.
 const STALE_LOCK: Duration = Duration::from_secs(600);
 
-/// The three record sections, in `(name, kind)` order.
-const SECTIONS: [(&str, u8); 3] = [
+/// The four record sections, in `(name, kind)` order.
+const SECTIONS: [(&str, u8); 4] = [
     ("emb", KIND_EMBEDDINGS),
     ("mat", KIND_MATRIX),
     ("rep", KIND_REPORT),
+    ("qnt", KIND_QUANT),
 ];
 
 /// A content-addressed artifact store rooted at one directory. Cheap to
@@ -624,6 +733,41 @@ impl Store {
         }
     }
 
+    /// Persists an int8 quantized embedding table under the embedding
+    /// key (kind 4, the `qnt/` section — the content addresses stay
+    /// disjoint from the f64 table's).
+    pub fn put_quantized(&self, key: &EmbKey, table: QuantView<'_>) -> io::Result<()> {
+        let kb = format::key_bytes_emb(key.tool, key.config, key.binary);
+        let bytes = format::encode_quantized(key.tool, key.config, key.binary, table);
+        self.write_atomic(&self.record_path("qnt", KIND_QUANT, &kb), &bytes)
+    }
+
+    /// Loads a quantized embedding table (same miss semantics as
+    /// [`Store::get_embeddings`]: damage degrades to a miss; the i8
+    /// codes and per-row scales round-trip bit-exactly on a hit).
+    pub fn get_quantized(&self, key: &EmbKey) -> io::Result<Option<QuantTable>> {
+        let kb = format::key_bytes_emb(key.tool, key.config, key.binary);
+        let want = OwnedKey::Quant {
+            tool: key.tool.to_string(),
+            config: key.config,
+            binary: key.binary,
+        };
+        let path = self.record_path("qnt", KIND_QUANT, &kb);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        match format::decode_record(&bytes) {
+            Ok(Record {
+                key,
+                payload: Payload::Quant(q),
+                ..
+            }) if key == want => Ok(Some(q)),
+            _ => Ok(None),
+        }
+    }
+
     /// Persists a report, keyed by its
     /// `(pipeline fingerprint, seed, subject)`.
     pub fn put_report(&self, report: &StoredReport) -> io::Result<()> {
@@ -690,7 +834,7 @@ impl Store {
                     .ok_or_else(|| {
                         io::Error::new(
                             io::ErrorKind::InvalidInput,
-                            format!("unknown section `{section}` (want emb, mat or rep)"),
+                            format!("unknown section `{section}` (want emb, mat, rep or qnt)"),
                         )
                     })?;
                 (vec![section], file)
@@ -727,6 +871,7 @@ impl Store {
                 payload: match record.payload {
                     Payload::Table(t) => PayloadDump::Table(t),
                     Payload::Report(r) => PayloadDump::Report(r),
+                    Payload::Quant(q) => PayloadDump::Quant(q),
                 },
             }));
         }
@@ -758,6 +903,7 @@ impl Store {
             match section {
                 "emb" => stats.embeddings = s,
                 "mat" => stats.matrices = s,
+                "qnt" => stats.quantized = s,
                 _ => stats.reports = s,
             }
         }
@@ -847,6 +993,11 @@ impl Store {
                         seed,
                         subject,
                     } => format::address(kind, &format::key_bytes_rep(*pipeline, *seed, subject)),
+                    OwnedKey::Quant {
+                        tool,
+                        config,
+                        binary,
+                    } => format::address(kind, &format::key_bytes_emb(tool, *config, *binary)),
                 };
                 let stem = path
                     .file_stem()

@@ -5,9 +5,10 @@
 //! metric payloads with the same bit-exactness.
 
 use khaos_binary::lower_module;
-use khaos_diff::{extended_differs, EmbeddingCache, FunctionEmbeddings};
+use khaos_diff::{extended_differs, EmbeddingCache, FunctionEmbeddings, QuantizedEmbeddings};
 use khaos_store::{
-    EmbKey, MatKey, PayloadDump, ReportKey, Store, StoredPass, StoredReport, StoredShape, TableView,
+    EmbKey, MatKey, PayloadDump, QuantView, ReportKey, Store, StoredPass, StoredReport,
+    StoredShape, TableView,
 };
 use std::fs;
 use std::path::PathBuf;
@@ -145,6 +146,167 @@ fn cache_disk_tier_is_bit_identical_for_all_five_differs() {
         );
     }
     assert!(store.verify().expect("verify").is_empty());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Quantized tables (store format v2's `qnt` section) round-trip
+/// bit-exactly for all five differs: every i8 code, and the per-row
+/// scale/offset f64s compared by bits.
+#[test]
+fn quantized_records_round_trip_bit_identical_for_all_five_differs() {
+    let dir = scratch("qnt5");
+    let store = Store::open(&dir).expect("store opens");
+    let a = lower_module(&khaos_workloads::coreutils_program("cat", 6));
+    let b = lower_module(&khaos_workloads::coreutils_program("sort", 9));
+    for tool in &extended_differs() {
+        for bin in [&a, &b] {
+            let emb = FunctionEmbeddings::from_rows(tool.embed(bin));
+            let q = QuantizedEmbeddings::from_embeddings(&emb);
+            let key = EmbKey {
+                tool: tool.name(),
+                config: tool.config_fingerprint(),
+                binary: bin.fingerprint(),
+            };
+            store
+                .put_quantized(
+                    &key,
+                    QuantView::new(q.len(), q.dim(), q.scales(), q.offsets(), q.codes()),
+                )
+                .expect("write");
+            let back = store.get_quantized(&key).expect("read").expect("hit");
+            assert_eq!(
+                (back.rows as usize, back.dim as usize),
+                (q.len(), q.dim()),
+                "{}",
+                tool.name()
+            );
+            assert_eq!(back.data, q.codes(), "{}: i8 codes", tool.name());
+            assert_eq!(bits(&back.scales), bits(q.scales()), "{}", tool.name());
+            assert_eq!(bits(&back.offsets), bits(q.offsets()), "{}", tool.name());
+            // Reconstructing from the wire parts reproduces the table
+            // exactly — derived row sums included.
+            let rebuilt = QuantizedEmbeddings::from_parts(
+                back.rows as usize,
+                back.dim as usize,
+                back.data.clone(),
+                back.scales.clone(),
+                back.offsets.clone(),
+            );
+            assert_eq!(rebuilt, q, "{}", tool.name());
+        }
+    }
+    // A quantized record shares its EmbKey with the f64 record but not
+    // its address: writing the f64 table must not collide.
+    let tool = &extended_differs()[0];
+    let emb = FunctionEmbeddings::from_rows(tool.embed(&a));
+    let key = EmbKey {
+        tool: tool.name(),
+        config: tool.config_fingerprint(),
+        binary: a.fingerprint(),
+    };
+    store
+        .put_embeddings(&key, TableView::new(emb.len(), emb.dim(), emb.as_flat()))
+        .expect("write emb alongside qnt");
+    assert!(store.get_embeddings(&key).expect("read").is_some());
+    assert!(store.get_quantized(&key).expect("read").is_some());
+    assert!(store.verify().expect("verify").is_empty());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `verify` catches a corrupted quantized record, the lookup path
+/// degrades it to a miss, and `cat` names the damage.
+#[test]
+fn verify_catches_a_corrupted_quantized_record() {
+    let dir = scratch("qnt-corrupt");
+    let store = Store::open(&dir).expect("store opens");
+    let module = lower_module(&khaos_workloads::coreutils_program("wc", 5));
+    let tool = &extended_differs()[2];
+    let emb = FunctionEmbeddings::from_rows(tool.embed(&module));
+    let q = QuantizedEmbeddings::from_embeddings(&emb);
+    let key = EmbKey {
+        tool: tool.name(),
+        config: tool.config_fingerprint(),
+        binary: module.fingerprint(),
+    };
+    store
+        .put_quantized(
+            &key,
+            QuantView::new(q.len(), q.dim(), q.scales(), q.offsets(), q.codes()),
+        )
+        .expect("write");
+    assert!(store.verify().expect("verify").is_empty(), "clean at first");
+
+    let mut files: Vec<PathBuf> = fs::read_dir(store.root().join("qnt"))
+        .expect("qnt dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().map(|x| x == "khs").unwrap_or(false))
+        .collect();
+    assert_eq!(files.len(), 1, "exactly one quantized record expected");
+    let path = files.pop().unwrap();
+    let mut bytes = fs::read(&path).expect("read record");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    fs::write(&path, &bytes).expect("corrupt record");
+
+    let issues = store.verify().expect("verify runs");
+    assert_eq!(issues.len(), 1, "damage must be reported");
+    assert!(
+        issues[0].reason.contains("checksum"),
+        "reason names the checksum: {}",
+        issues[0].reason
+    );
+    assert!(issues[0].file.starts_with("qnt/"), "{}", issues[0].file);
+    assert_eq!(
+        store.get_quantized(&key).expect("read"),
+        None,
+        "damaged quantized records degrade to a miss"
+    );
+    let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+    let err = store.cat(&stem).expect_err("cat must surface damage");
+    assert!(err.to_string().contains("checksum"), "{err}");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `cat` decodes a quantized record into its dump form.
+#[test]
+fn cat_decodes_a_quantized_record() {
+    let dir = scratch("qnt-cat");
+    let store = Store::open(&dir).expect("store opens");
+    let module = lower_module(&khaos_workloads::coreutils_program("ls", 3));
+    let tool = &extended_differs()[4];
+    let emb = FunctionEmbeddings::from_rows(tool.embed(&module));
+    let q = QuantizedEmbeddings::from_embeddings(&emb);
+    let key = EmbKey {
+        tool: tool.name(),
+        config: tool.config_fingerprint(),
+        binary: module.fingerprint(),
+    };
+    store
+        .put_quantized(
+            &key,
+            QuantView::new(q.len(), q.dim(), q.scales(), q.offsets(), q.codes()),
+        )
+        .expect("write");
+    let file = fs::read_dir(store.root().join("qnt"))
+        .expect("qnt dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().map(|x| x == "khs").unwrap_or(false))
+        .expect("one quantized record");
+    let stem = file.file_stem().unwrap().to_string_lossy().into_owned();
+    match store
+        .cat(&stem)
+        .expect("cat reads")
+        .expect("cat hits")
+        .payload
+    {
+        PayloadDump::Quant(t) => {
+            assert_eq!((t.rows as usize, t.dim as usize), (q.len(), q.dim()));
+            assert_eq!(t.data, q.codes());
+        }
+        other => panic!("quantized record decoded as {other:?}"),
+    }
     fs::remove_dir_all(&dir).unwrap();
 }
 

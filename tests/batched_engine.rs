@@ -624,6 +624,203 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Runtime-dispatched kernels: forcing each available kernel (scalar,
+// AVX2, AVX-512 where the host has them) must leave every artifact —
+// similarity matrices and ranked streaming output — bit-identical.
+// The dispatch decision is a pure speed knob, never an accuracy knob.
+// ---------------------------------------------------------------------
+
+use khaos::diff::engine::{EmbedScorer, FunctionEmbeddings};
+use khaos::diff::kernels::{self, KernelKind};
+use khaos::diff::{stream_top_k_quantized, QuantizedEmbeddings, QUANT_SHORTLIST_FACTOR};
+use std::sync::Arc;
+
+/// Runs `f` once under each available kernel and returns the results,
+/// restoring auto dispatch afterwards. A process-wide lock serializes
+/// kernel-forcing tests (the forced kernel is process-global state —
+/// harmless to concurrent tests only *because* every kernel is pinned
+/// bit-identical, which is exactly what these tests prove).
+fn at_each_kernel<T>(f: impl Fn(KernelKind) -> T) -> Vec<(KernelKind, T)> {
+    static KERNEL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let out = kernels::available()
+        .into_iter()
+        .map(|k| {
+            kernels::force_kernel(Some(k));
+            (k, f(k))
+        })
+        .collect();
+    kernels::force_kernel(None);
+    out
+}
+
+/// Satellite: every forced kernel reproduces the scalar kernel's
+/// matrices and ranked top-k bit-for-bit for all five differs on a
+/// real obfuscated pair. Fresh caches per kernel, so nothing is served
+/// from a matrix computed under a different dispatch choice.
+#[test]
+fn forced_kernels_are_bit_identical_for_all_five_differs() {
+    let (base_bin, obf_bin) = obfuscated_pair(71, KhaosMode::FuFiAll);
+    for tool in five_tools() {
+        let queries: Vec<usize> = (0..base_bin.functions.len()).collect();
+        let runs = at_each_kernel(|_| {
+            let cache = EmbeddingCache::new(16);
+            let matrix = tool.batched_similarity(&base_bin, &obf_bin, &cache);
+            let bits: Vec<u64> = matrix.as_flat().iter().map(|x| x.to_bits()).collect();
+            let scorer = tool.row_scorer(&base_bin, &obf_bin, &cache);
+            let ranked = par_stream_top_k_rows(scorer.as_ref(), &queries, 10);
+            (bits, ranked)
+        });
+        let (ref_kind, (ref_bits, ref_ranked)) = &runs[0];
+        assert_eq!(*ref_kind, KernelKind::Scalar, "scalar is always available");
+        for (kind, (bits, ranked)) in &runs[1..] {
+            assert_eq!(
+                bits,
+                ref_bits,
+                "{} under {}: matrix must be bit-identical to scalar",
+                tool.name(),
+                kind.name()
+            );
+            assert_ranked_bits_equal(
+                ref_ranked,
+                ranked,
+                &format!("{} kernel {}", tool.name(), kind.name()),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Quantized shortlist: int8 candidate scan + exact re-rank must hand
+// back the exact path's ranked output bit-for-bit, with recall 1.0 at
+// every fig10 threshold, for all five differs.
+// ---------------------------------------------------------------------
+
+/// Satellite: on the fig10-style workload, `stream_top_k_quantized`
+/// with the default shortlist factor reproduces the exact
+/// `stream_top_k` output — indices AND score bits — at k ∈ {1, 10, 50}
+/// for every query of every differ, which pins recall@{1,10,50} = 1.0
+/// after re-ranking.
+#[test]
+fn quantized_shortlist_reranks_to_exact_top_k_for_all_five_differs() {
+    let (base_bin, obf_bin) = obfuscated_pair(79, KhaosMode::FuFiAll);
+    for tool in five_tools() {
+        let qe = Arc::new(FunctionEmbeddings::from_rows(tool.embed(&base_bin)));
+        let te = Arc::new(FunctionEmbeddings::from_rows(tool.embed(&obf_bin)));
+        let qq = QuantizedEmbeddings::from_embeddings(&qe);
+        let tq = QuantizedEmbeddings::from_embeddings(&te);
+        // The quantized rows cost dim + 16 bytes against 8·dim exact —
+        // a real saving for any row wider than two f64s.
+        assert_eq!(qq.bytes_per_function(), qe.dim() + 16, "{}", tool.name());
+        if qe.dim() > 2 {
+            assert!(
+                qq.bytes_per_function() < qe.dim() * 8,
+                "{}: quantized rows must be smaller than f64 rows",
+                tool.name()
+            );
+        }
+        let scorer = EmbedScorer::new(Arc::clone(&qe), Arc::clone(&te), true);
+        for qi in 0..qe.len() {
+            for k in [1usize, 10, 50] {
+                let exact = stream_top_k(&scorer, qi, k);
+                let approx = stream_top_k_quantized(
+                    &qq,
+                    &tq,
+                    &scorer,
+                    qi,
+                    k,
+                    QUANT_SHORTLIST_FACTOR,
+                    true,
+                );
+                // recall@k over the exact top-k index set…
+                let exact_set: std::collections::HashSet<usize> =
+                    exact.iter().map(|&(j, _)| j).collect();
+                let hit = approx.iter().filter(|(j, _)| exact_set.contains(j)).count();
+                assert_eq!(
+                    hit,
+                    exact_set.len(),
+                    "{} qi={qi} k={k}: recall after re-rank must be 1.0",
+                    tool.name()
+                );
+                // …and the stronger pin: bit-identical ranked output.
+                assert_eq!(approx.len(), exact.len(), "{} qi={qi} k={k}", tool.name());
+                for ((ja, sa), (jb, sb)) in approx.iter().zip(&exact) {
+                    assert_eq!(ja, jb, "{} qi={qi} k={k}: index order", tool.name());
+                    assert_eq!(
+                        sa.to_bits(),
+                        sb.to_bits(),
+                        "{} qi={qi} k={k}: score bits",
+                        tool.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Satellite: int8 quantization reconstructs every coordinate to
+    /// within half a quantization step of its row scale.
+    #[test]
+    fn quantization_round_trip_error_is_within_half_scale(
+        seed in any::<u64>(),
+        n in 1usize..10,
+        dim in 0usize..80,
+    ) {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| rand_vec(seed ^ (i as u64).wrapping_mul(0x9E37), dim))
+            .collect();
+        let e = FunctionEmbeddings::from_rows(rows);
+        let q = QuantizedEmbeddings::from_embeddings(&e);
+        for i in 0..e.len() {
+            let back = q.decode_row(i);
+            let bound = q.scales()[i] * 0.5 * (1.0 + 1e-9) + 1e-15;
+            for (x, y) in e.row(i).iter().zip(&back) {
+                prop_assert!(
+                    (x - y).abs() <= bound,
+                    "row {}: |{} - {}| > scale/2 = {}", i, x, y, bound
+                );
+            }
+        }
+    }
+
+    /// Exact re-rank over a full-coverage shortlist is bit-identical to
+    /// `stream_top_k` on random embeddings — ties, k > T and
+    /// single-candidate shapes included.
+    #[test]
+    fn quantized_full_shortlist_is_bit_identical_to_exact(
+        seed in any::<u64>(),
+        q in 1usize..6,
+        t in 1usize..24,
+        dim in 1usize..32,
+        k in 0usize..30,
+    ) {
+        let qe = Arc::new(FunctionEmbeddings::from_rows(
+            (0..q).map(|i| rand_vec(seed ^ (i as u64) << 9, dim)).collect(),
+        ));
+        let te = Arc::new(FunctionEmbeddings::from_rows(
+            (0..t).map(|j| rand_vec(seed ^ 0xF00 ^ (j as u64) << 21, dim)).collect(),
+        ));
+        let qq = QuantizedEmbeddings::from_embeddings(&qe);
+        let tq = QuantizedEmbeddings::from_embeddings(&te);
+        let scorer = EmbedScorer::new(Arc::clone(&qe), Arc::clone(&te), true);
+        // factor ≥ cols/k ⇒ the shortlist is the whole candidate set,
+        // so the re-rank must equal the exact path exactly.
+        for qi in 0..q {
+            let exact = stream_top_k(&scorer, qi, k);
+            let approx = stream_top_k_quantized(&qq, &tq, &scorer, qi, k, t.max(1), true);
+            prop_assert_eq!(approx.len(), exact.len());
+            for ((ja, sa), (jb, sb)) in approx.iter().zip(&exact) {
+                prop_assert_eq!(ja, jb);
+                prop_assert_eq!(sa.to_bits(), sb.to_bits());
+            }
+        }
+    }
+}
+
 #[test]
 fn embedding_cache_shares_across_metrics() {
     let (mut base_bin, obf_bin) = obfuscated_pair(41, KhaosMode::FuFiAll);
