@@ -23,6 +23,7 @@ use khaos_diff::{
     escape_at_k, escape_profile_with, stream_top_k_quantized, Asm2Vec, BinDiff, DataFlowDiff,
     Differ, EmbeddingCache, QuantizedEmbeddings, Safe, VulSeeker, QUANT_SHORTLIST_FACTOR,
 };
+use khaos_pass::{PassCtx, Pipeline, VerifyPolicy};
 use khaos_workloads::{generate, ProgramProfile};
 use std::sync::Arc;
 use std::time::Instant;
@@ -875,6 +876,60 @@ fn bench_similarity(c: &mut Criterion) {
         recalls[0], recalls[1], recalls[2]
     );
 
+    // -----------------------------------------------------------------
+    // Semantic-audit overhead on the fig10 build path: the same
+    // baseline + FuFiAll builds that produced the bench pair, run with
+    // structural verification only (`AfterEach`, the pre-auditor
+    // policy) vs verification + behavior audit (`AuditAfterEach`, what
+    // `run_spec` now uses). The acceptance bar is < 15% wall-clock
+    // added by the audit.
+    // -----------------------------------------------------------------
+    let audit_src = generate(&ProgramProfile {
+        name: "bench_sim".into(),
+        functions: 460,
+        constructs: 3,
+        ..ProgramProfile::default()
+    });
+    let build_with = |policy: VerifyPolicy| {
+        let mut m = audit_src.clone();
+        let mut ctx = PassCtx::new(SEED).with_verify(policy);
+        Pipeline::parse("O2+lto")
+            .expect("baseline spec")
+            .run(&mut m, &mut ctx)
+            .expect("baseline build");
+        let mut ctx = PassCtx::new(SEED).with_verify(policy);
+        Pipeline::parse("fufi_all | O2+lto")
+            .expect("obfuscation spec")
+            .run(&mut m, &mut ctx)
+            .expect("obfuscated build");
+        m.inst_count() as f64
+    };
+    let (verify_ns, verify_v) = time_ns(3, || build_with(VerifyPolicy::AfterEach));
+    let (audit_ns, audit_v) = time_ns(3, || build_with(VerifyPolicy::AuditAfterEach));
+    assert_eq!(
+        verify_v.to_bits(),
+        audit_v.to_bits(),
+        "the audit policy must not change what gets built"
+    );
+    let audit_overhead_pct = (audit_ns / verify_ns - 1.0) * 100.0;
+    println!(
+        "# audit: fig10 build path {:.2} ms (verify only) -> {:.2} ms (verify + audit), \
+         {audit_overhead_pct:.1}% overhead (bar: < 15%)",
+        verify_ns / 1e6,
+        audit_ns / 1e6
+    );
+    assert!(
+        audit_overhead_pct < 15.0,
+        "semantic audit overhead regression: AuditAfterEach adds {audit_overhead_pct:.1}% \
+         to the fig10 build path (bar: < 15%)"
+    );
+    let audit_json = format!(
+        "  \"audit\": {{\"what\": \"fig10 build path (O2+lto baseline + fufi_all | O2+lto), \
+         VerifyPolicy::AfterEach vs VerifyPolicy::AuditAfterEach\", \
+         \"verify_only_ns\": {verify_ns:.0}, \"verify_plus_audit_ns\": {audit_ns:.0}, \
+         \"overhead_pct\": {audit_overhead_pct:.1}, \"bar_pct\": 15.0}}"
+    );
+
     let kernels_json = format!(
         "  \"kernels\": {{\"what\": \"runtime-dispatched f64 dot on real {}-dim embedding rows, \
          {} dots per pass\", \"active\": \"{}\", \"available\": [{}], \
@@ -919,7 +974,7 @@ fn bench_similarity(c: &mut Criterion) {
          \"parallel_streaming\": {{\"what\": \"row-parallel rank-only escape@{{1,10,50}}, all {} \
          functions vulnerable, multi-thread vs KHAOS_THREADS=1\", \"threads\": {threads}, \
          \"single_thread_ns\": {:.0}, \"multi_thread_ns\": {:.0}, \"speedup\": {par_speedup:.2}, \
-         \"ranked_bits_equal\": {ranked_bits_equal}}},\n{kernels_json},\n{quant_json}\n}}\n",
+         \"ranked_bits_equal\": {ranked_bits_equal}}},\n{kernels_json},\n{quant_json},\n{audit_json}\n}}\n",
         base_bin.functions.len(),
         base_bin
             .functions

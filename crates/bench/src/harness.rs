@@ -184,9 +184,13 @@ pub fn active_shard() -> ShardSpec {
 }
 
 /// Runs a pipeline spec over a clone of `src` with a fresh context
-/// seeded `seed`, verifying after every pass — at least as strict as
-/// the legacy entry points, which verified right after the obfuscation
-/// transform so an invalid module failed loudly *before* the `O2+lto`
+/// seeded `seed`, verifying *and semantically auditing* after every
+/// pass ([`VerifyPolicy::AuditAfterEach`]) — stricter than the legacy
+/// entry points, which only verified structural well-formedness right
+/// after the obfuscation transform: every pass must now also preserve
+/// the module's observable-behavior summary (reachable external calls,
+/// global read/write/escape sets, exported signatures), so a
+/// structurally valid miscompile fails loudly *before* the `O2+lto`
 /// re-optimization could reshape the evidence. Returns the built
 /// module and the context (Table-2 statistics).
 ///
@@ -201,7 +205,7 @@ pub fn active_shard() -> ShardSpec {
 pub fn run_spec(src: &Module, spec: &str, seed: u64) -> (Module, PassCtx) {
     let pipeline = Pipeline::parse(spec).unwrap_or_else(|e| panic!("spec `{spec}`: {e}"));
     let mut m = src.clone();
-    let mut ctx = PassCtx::new(seed).with_verify(VerifyPolicy::AfterEach);
+    let mut ctx = PassCtx::new(seed).with_verify(VerifyPolicy::AuditAfterEach);
     let report = pipeline
         .run(&mut m, &mut ctx)
         .unwrap_or_else(|e| panic!("pipeline `{spec}` on {}: {e}", src.name));

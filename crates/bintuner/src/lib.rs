@@ -153,11 +153,23 @@ impl TunerConfig {
 
     /// Applies this configuration's pipeline to a module (compatibility
     /// wrapper over [`TunerConfig::pipeline`]).
+    ///
+    /// Hot search sweeps skip verification ([`VerifyPolicy::Never`]) —
+    /// tuner pipelines are composed purely of trusted scalar passes. Set
+    /// `KHAOS_AUDIT=1` to run every candidate build under
+    /// [`VerifyPolicy::AuditAfterEach`] instead (structural verification
+    /// plus the semantic observable-behavior audit after each pass), the
+    /// mode to use when bisecting a suspected tuner miscompile.
     pub fn apply(&self, m: &mut Module) {
-        let mut ctx = PassCtx::new(0).with_verify(VerifyPolicy::Never);
+        let verify = if std::env::var_os("KHAOS_AUDIT").is_some_and(|v| v == "1") {
+            VerifyPolicy::AuditAfterEach
+        } else {
+            VerifyPolicy::Never
+        };
+        let mut ctx = PassCtx::new(0).with_verify(verify);
         self.pipeline()
             .run(m, &mut ctx)
-            .expect("tuner pipelines contain no fallible passes");
+            .unwrap_or_else(|e| panic!("tuner pipeline failed: {e}"));
     }
 
     fn mutate(&self, rng: &mut StdRng) -> Self {

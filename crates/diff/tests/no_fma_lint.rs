@@ -1,0 +1,63 @@
+//! Repo-invariant lint: no fused multiply-add in the SIMD kernels.
+//!
+//! The dispatch contract in `kernels.rs` is that every SIMD tier
+//! returns **bit-identical** results to the scalar reference, so the
+//! runtime-selected tier is unobservable in scores. A float FMA
+//! (`vfmadd*`, `_mm*_fmadd_*`) contracts the intermediate rounding
+//! step and breaks that equivalence between machines with and without
+//! FMA units — so those intrinsics are banned from the kernel sources.
+//! Integer multiply-add (`_mm*_madd_epi16` / `vpmaddwd`) is exact and
+//! stays allowed; the lint keys on the `fmadd` substring, which covers
+//! both the intrinsic names and the instruction mnemonics without
+//! matching the integer form.
+
+use std::path::Path;
+
+const BANNED: &str = "fmadd";
+
+fn scan(path: &Path) -> Vec<(usize, String)> {
+    let src =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    src.lines()
+        .enumerate()
+        .filter(|(_, line)| line.to_ascii_lowercase().contains(BANNED))
+        .map(|(i, line)| (i + 1, line.trim().to_string()))
+        .collect()
+}
+
+#[test]
+fn kernels_and_quant_are_fma_free() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut hits = Vec::new();
+    for file in ["kernels.rs", "quant.rs"] {
+        let path = root.join(file);
+        for (line, text) in scan(&path) {
+            hits.push(format!("{file}:{line}: {text}"));
+        }
+    }
+    assert!(
+        hits.is_empty(),
+        "fused multiply-add intrinsics are banned from the SIMD kernels \
+         (they break bit-identical dispatch tiers):\n{}",
+        hits.join("\n")
+    );
+}
+
+/// The lint itself must fire on the patterns it claims to ban — guard
+/// against a silently broken matcher.
+#[test]
+fn lint_matches_banned_spellings() {
+    for spelling in [
+        "_mm256_fmadd_ps(a, b, acc)",
+        "_mm512_fmadd_pd(a, b, acc)",
+        "vfmadd231ps",
+        "x.mul_add(y, acc) // FMADD",
+    ] {
+        assert!(
+            spelling.to_ascii_lowercase().contains(BANNED),
+            "matcher misses `{spelling}`"
+        );
+    }
+    // …and must not flag the exact integer multiply-add.
+    assert!(!"_mm256_madd_epi16(a0, b0)".contains(BANNED));
+}

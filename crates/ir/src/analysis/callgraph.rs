@@ -124,7 +124,13 @@ impl CallGraph {
             }
         }
 
-        CallGraph { callees, callers, address_taken, escaping, has_indirect_call }
+        CallGraph {
+            callees,
+            callers,
+            address_taken,
+            escaping,
+            has_indirect_call,
+        }
     }
 
     /// Functions directly called by `f`.
@@ -255,7 +261,11 @@ mod tests {
         let f = m.push_function(fb.finish());
         // Patch in a self call.
         let fmut = m.function_mut(f);
-        fmut.blocks[0].insts.push(Inst::Call { dst: None, callee: Callee::Direct(f), args: vec![] });
+        fmut.blocks[0].insts.push(Inst::Call {
+            dst: None,
+            callee: Callee::Direct(f),
+            args: vec![],
+        });
         let cg = CallGraph::compute(&m);
         assert!(cg.is_self_recursive(f));
     }

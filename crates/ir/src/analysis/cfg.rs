@@ -50,7 +50,11 @@ impl Cfg {
         for (i, b) in rpo.iter().enumerate() {
             rpo_index[b.index()] = Some(i as u32);
         }
-        Cfg { preds, rpo, rpo_index }
+        Cfg {
+            preds,
+            rpo,
+            rpo_index,
+        }
     }
 
     /// Predecessors of `b` (deduplicated, in discovery order).
@@ -80,7 +84,10 @@ impl Cfg {
 
     /// Number of CFG edges among reachable blocks (with multiplicity).
     pub fn edge_count(&self, f: &Function) -> usize {
-        self.rpo.iter().map(|&b| f.block(b).term.successors().len()).sum()
+        self.rpo
+            .iter()
+            .map(|&b| f.block(b).term.successors().len())
+            .sum()
     }
 }
 
@@ -97,7 +104,12 @@ mod tests {
         let t = b.new_block();
         let e = b.new_block();
         let j = b.new_block();
-        let c = b.cmp(CmpPred::Sgt, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 0));
+        let c = b.cmp(
+            CmpPred::Sgt,
+            Type::I32,
+            Operand::local(p),
+            Operand::const_int(Type::I32, 0),
+        );
         b.branch(Operand::local(c), t, e);
         b.switch_to(t);
         b.jump(j);
@@ -132,7 +144,9 @@ mod tests {
     fn unreachable_blocks_detected() {
         let mut f = diamond();
         // Add a dangling block no one targets.
-        let dead = f.push_block(crate::function::Block::with_term(crate::inst::Term::Ret(None)));
+        let dead = f.push_block(crate::function::Block::with_term(crate::inst::Term::Ret(
+            None,
+        )));
         let cfg = Cfg::compute(&f);
         assert!(!cfg.is_reachable(dead));
         assert_eq!(cfg.reachable_count(), 4);

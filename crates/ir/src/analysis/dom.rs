@@ -73,7 +73,11 @@ impl DomTree {
                 }
             }
         }
-        DomTree { idom, children, entry }
+        DomTree {
+            idom,
+            children,
+            entry,
+        }
     }
 
     /// The immediate dominator of `b` (`None` for the entry and for
@@ -121,7 +125,11 @@ impl DomTree {
     /// i.e. every reachable block other than the entry (paper Algorithm 1,
     /// line 3 removes the function's own tree).
     pub fn candidate_roots(&self, cfg: &Cfg) -> Vec<BlockId> {
-        cfg.rpo().iter().copied().filter(|&b| b != self.entry).collect()
+        cfg.rpo()
+            .iter()
+            .copied()
+            .filter(|&b| b != self.entry)
+            .collect()
     }
 }
 
@@ -142,7 +150,12 @@ mod tests {
         let loop_h = fb.new_block();
         let loop_b = fb.new_block();
         let exit = fb.new_block();
-        let c = fb.cmp(CmpPred::Sgt, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 0));
+        let c = fb.cmp(
+            CmpPred::Sgt,
+            Type::I32,
+            Operand::local(p),
+            Operand::const_int(Type::I32, 0),
+        );
         fb.branch(Operand::local(c), a, b);
         fb.switch_to(a);
         fb.jump(join);
@@ -167,7 +180,11 @@ mod tests {
         assert_eq!(dt.idom(BlockId(0)), None);
         assert_eq!(dt.idom(BlockId(1)), Some(BlockId(0)));
         assert_eq!(dt.idom(BlockId(2)), Some(BlockId(0)));
-        assert_eq!(dt.idom(BlockId(3)), Some(BlockId(0)), "join dominated by entry, not by a/b");
+        assert_eq!(
+            dt.idom(BlockId(3)),
+            Some(BlockId(0)),
+            "join dominated by entry, not by a/b"
+        );
         assert_eq!(dt.idom(BlockId(4)), Some(BlockId(3)));
         assert_eq!(dt.idom(BlockId(5)), Some(BlockId(4)));
         assert_eq!(dt.idom(BlockId(6)), Some(BlockId(4)));
@@ -250,7 +267,12 @@ mod tests {
         let a = fb.new_block();
         let b = fb.new_block();
         let exit = fb.new_block();
-        let c = fb.cmp(CmpPred::Sgt, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 0));
+        let c = fb.cmp(
+            CmpPred::Sgt,
+            Type::I32,
+            Operand::local(p),
+            Operand::const_int(Type::I32, 0),
+        );
         fb.branch(Operand::local(c), a, b);
         fb.switch_to(a);
         fb.branch(Operand::local(c), b, exit);

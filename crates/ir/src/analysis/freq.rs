@@ -96,7 +96,12 @@ mod tests {
         let t = fb.new_block();
         let e = fb.new_block();
         let j = fb.new_block();
-        let c = fb.cmp(CmpPred::Sgt, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 0));
+        let c = fb.cmp(
+            CmpPred::Sgt,
+            Type::I32,
+            Operand::local(p),
+            Operand::const_int(Type::I32, 0),
+        );
         fb.branch(Operand::local(c), t, e);
         fb.switch_to(t);
         fb.jump(j);
@@ -119,7 +124,12 @@ mod tests {
         let h = fb.new_block();
         let body = fb.new_block();
         let exit = fb.new_block();
-        let c = fb.cmp(CmpPred::Sgt, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 0));
+        let c = fb.cmp(
+            CmpPred::Sgt,
+            Type::I32,
+            Operand::local(p),
+            Operand::const_int(Type::I32, 0),
+        );
         fb.jump(h);
         fb.switch_to(h);
         fb.branch(Operand::local(c), body, exit);
@@ -129,8 +139,14 @@ mod tests {
         fb.ret(None);
         let f = fb.finish();
         let bf = analyze(&f);
-        assert!(bf.freq(BlockId(2)) > bf.freq(BlockId(0)), "loop body hotter than entry");
-        assert!(bf.freq(BlockId(2)) > bf.freq(BlockId(3)), "loop body hotter than exit");
+        assert!(
+            bf.freq(BlockId(2)) > bf.freq(BlockId(0)),
+            "loop body hotter than entry"
+        );
+        assert!(
+            bf.freq(BlockId(2)) > bf.freq(BlockId(3)),
+            "loop body hotter than exit"
+        );
         let hot = bf.hottest().unwrap();
         assert!(hot == BlockId(1) || hot == BlockId(2));
     }

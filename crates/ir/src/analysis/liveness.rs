@@ -17,7 +17,35 @@ pub struct LocalSet {
 impl LocalSet {
     /// An empty set sized for `n` locals.
     pub fn new(n: usize) -> Self {
-        LocalSet { bits: vec![0; n.div_ceil(64)] }
+        LocalSet {
+            bits: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// The full set over `n` locals (every id below `n` is a member).
+    /// Trailing bits of the last word are kept clear so `full(n)` equals
+    /// the set built by inserting each local individually.
+    pub fn full(n: usize) -> Self {
+        let mut bits = vec![!0u64; n.div_ceil(64)];
+        if !n.is_multiple_of(64) {
+            if let Some(last) = bits.last_mut() {
+                *last = (1u64 << (n % 64)) - 1;
+            }
+        }
+        LocalSet { bits }
+    }
+
+    /// Intersects `other` into `self`; returns true if `self` changed.
+    pub fn intersect_with(&mut self, other: &LocalSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            let nv = *a & *b;
+            if nv != *a {
+                *a = nv;
+                changed = true;
+            }
+        }
+        changed
     }
 
     /// Inserts `l`; returns true if newly inserted.
@@ -160,7 +188,12 @@ impl Liveness {
                 }
             }
         }
-        Liveness { live_in, live_out, gen, def }
+        Liveness {
+            live_in,
+            live_out,
+            gen,
+            def,
+        }
     }
 
     /// Locals live on entry to `b`.
@@ -217,12 +250,27 @@ mod tests {
         fb.copy_to(sum, Operand::const_int(Type::I32, 0));
         fb.jump(h);
         fb.switch_to(h);
-        let c = fb.cmp(CmpPred::Sgt, Type::I32, Operand::local(i), Operand::const_int(Type::I32, 0));
+        let c = fb.cmp(
+            CmpPred::Sgt,
+            Type::I32,
+            Operand::local(i),
+            Operand::const_int(Type::I32, 0),
+        );
         fb.branch(Operand::local(c), body, exit);
         fb.switch_to(body);
-        let ns = fb.bin(BinOp::Add, Type::I32, Operand::local(sum), Operand::local(i));
+        let ns = fb.bin(
+            BinOp::Add,
+            Type::I32,
+            Operand::local(sum),
+            Operand::local(i),
+        );
         fb.copy_to(sum, Operand::local(ns));
-        let ni = fb.bin(BinOp::Sub, Type::I32, Operand::local(i), Operand::const_int(Type::I32, 1));
+        let ni = fb.bin(
+            BinOp::Sub,
+            Type::I32,
+            Operand::local(i),
+            Operand::const_int(Type::I32, 1),
+        );
         fb.copy_to(i, Operand::local(ni));
         fb.jump(h);
         fb.switch_to(exit);
@@ -254,7 +302,10 @@ mod tests {
         let f = fb.finish();
         let cfg = Cfg::compute(&f);
         let lv = Liveness::compute(&f, &cfg);
-        assert!(!lv.live_in(BlockId(1)).contains(x), "x defined before use in block");
+        assert!(
+            !lv.live_in(BlockId(1)).contains(x),
+            "x defined before use in block"
+        );
         assert!(lv.def_set(BlockId(1)).contains(x));
         assert!(lv.gen_set(BlockId(1)).is_empty());
     }

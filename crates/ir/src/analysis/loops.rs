@@ -72,9 +72,12 @@ impl LoopInfo {
                     }
                 }
             }
-            let blocks: Vec<BlockId> =
-                (0..n).filter(|&i| in_body[i]).map(BlockId::new).collect();
-            loops.push(Loop { header, blocks, depth: 0 });
+            let blocks: Vec<BlockId> = (0..n).filter(|&i| in_body[i]).map(BlockId::new).collect();
+            loops.push(Loop {
+                header,
+                blocks,
+                depth: 0,
+            });
         }
 
         // Depth: number of loops containing each block; loop depth = depth
@@ -101,7 +104,11 @@ impl LoopInfo {
                 }
             }
         }
-        LoopInfo { loops, innermost, depth }
+        LoopInfo {
+            loops,
+            innermost,
+            depth,
+        }
     }
 
     /// All detected loops.
@@ -149,7 +156,12 @@ mod tests {
         let h2 = fb.new_block();
         let body = fb.new_block();
         let exit = fb.new_block();
-        let c = fb.cmp(CmpPred::Sgt, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 0));
+        let c = fb.cmp(
+            CmpPred::Sgt,
+            Type::I32,
+            Operand::local(p),
+            Operand::const_int(Type::I32, 0),
+        );
         fb.jump(h1);
         fb.switch_to(h1);
         fb.branch(Operand::local(c), h2, exit);
@@ -210,7 +222,12 @@ mod tests {
         let p = fb.add_param(Type::I32);
         let h = fb.new_block();
         let exit = fb.new_block();
-        let c = fb.cmp(CmpPred::Sgt, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 0));
+        let c = fb.cmp(
+            CmpPred::Sgt,
+            Type::I32,
+            Operand::local(p),
+            Operand::const_int(Type::I32, 0),
+        );
         fb.jump(h);
         fb.switch_to(h);
         fb.branch(Operand::local(c), h, exit);

@@ -3,6 +3,7 @@
 
 pub mod callgraph;
 pub mod cfg;
+pub mod dataflow;
 pub mod dom;
 pub mod freq;
 pub mod liveness;

@@ -1,0 +1,418 @@
+//! Seeded-miscompile generators for auditing the auditor.
+//!
+//! Each generator injects one class of semantic miscompile into a clone of
+//! a module — a bug [`verify_module`](crate::verify::verify_module) cannot see,
+//! because the mutant stays structurally well-formed. Candidate filtering
+//! is *syntactic* (uniqueness and reachability conditions established
+//! directly on the IR, not by asking the diff under test), so a caught
+//! mutant genuinely exercises the audit machinery:
+//!
+//! - [`MutationClass::DroppedStore`]: every store that may write a chosen
+//!   root-reachable global is removed, so the global leaves the write set.
+//! - [`MutationClass::RetargetedCall`]: the unique direct call to a
+//!   function is rewired to a signature-compatible sibling whose body
+//!   lacks one of the original callee's effects, so that effect leaves
+//!   the closure.
+//! - [`MutationClass::OrphanedBlock`]: a branch arm to a single-predecessor
+//!   block carrying a module-unique effect is folded to the other arm,
+//!   orphaning the block and its effect.
+
+use super::ModuleFacts;
+use crate::analysis::cfg::Cfg;
+use crate::inst::{Callee, Inst, Term};
+use crate::module::Module;
+use std::collections::BTreeSet;
+
+/// The class of semantic miscompile to inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutationClass {
+    /// Remove all stores to one global.
+    DroppedStore,
+    /// Rewire a direct call to a different, signature-compatible callee.
+    RetargetedCall,
+    /// Fold a branch so an effectful block becomes unreachable.
+    OrphanedBlock,
+}
+
+/// One injected miscompile.
+pub struct Mutant {
+    /// The mutated module (still passes `verify_module`).
+    pub module: Module,
+    /// The class injected.
+    pub class: MutationClass,
+    /// What was broken, for test diagnostics.
+    pub description: String,
+}
+
+/// Generates up to `limit` mutants of `class` from `m`. Returns fewer (or
+/// none) when the module offers no candidate meeting the class's
+/// guaranteed-observable conditions.
+pub fn generate(m: &Module, class: MutationClass, limit: usize) -> Vec<Mutant> {
+    match class {
+        MutationClass::DroppedStore => dropped_stores(m, limit),
+        MutationClass::RetargetedCall => retargeted_calls(m, limit),
+        MutationClass::OrphanedBlock => orphaned_blocks(m, limit),
+    }
+}
+
+/// For each root-reachable global with at least one executable store,
+/// produce a mutant with every store that may target it removed. The
+/// pointer analysis converges identically on the mutant (stores define no
+/// locals), so the global is guaranteed to leave the after write set.
+fn dropped_stores(m: &Module, limit: usize) -> Vec<Mutant> {
+    let facts = ModuleFacts::compute(m);
+    let reachable = facts.reachable_from_roots();
+    let mut out = Vec::new();
+    for (gi, g) in m.globals.iter().enumerate() {
+        if out.len() >= limit {
+            break;
+        }
+        // (function, block, inst) sites whose address set may contain gi.
+        let mut sites: Vec<(usize, usize, usize)> = Vec::new();
+        let mut reachable_site = false;
+        for (fi, f) in m.functions.iter().enumerate() {
+            let fx = &facts.fns[fi];
+            for (bi, block) in f.blocks.iter().enumerate() {
+                for (ii, inst) in block.insts.iter().enumerate() {
+                    if let Inst::Store { addr, .. } = inst {
+                        let hits = addr
+                            .as_local()
+                            .map(|l| fx.ptr[l.index()].contains(&gi))
+                            .unwrap_or(false);
+                        if hits {
+                            sites.push((fi, bi, ii));
+                            if reachable.contains(&fi) && fx.exec[bi] {
+                                reachable_site = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !reachable_site {
+            continue;
+        }
+        let mut module = m.clone();
+        for &(fi, bi, ii) in sites.iter().rev() {
+            module.functions[fi].blocks[bi].insts.remove(ii);
+        }
+        out.push(Mutant {
+            module,
+            class: MutationClass::DroppedStore,
+            description: format!("dropped all {} store(s) to @{}", sites.len(), g.name),
+        });
+    }
+    out
+}
+
+/// Ext-call names and global read/write ids appearing in a function's own
+/// executable blocks (no closure) — the syntactic footprint used to prove
+/// a retarget observable.
+fn body_footprint(facts: &ModuleFacts, fi: usize) -> BTreeSet<String> {
+    let fx = &facts.fns[fi];
+    let mut fp = BTreeSet::new();
+    for e in &fx.effects.ext_calls {
+        fp.insert(format!("ext:{e}"));
+    }
+    for r in &fx.effects.global_reads {
+        fp.insert(format!("read:{r}"));
+    }
+    for w in &fx.effects.global_writes {
+        fp.insert(format!("write:{w}"));
+    }
+    fp
+}
+
+/// Rewire the unique direct call to a callee toward a signature-compatible
+/// alternative. Conditions making the miscompile observable by closure
+/// effects: the original callee is called nowhere else and not
+/// address-taken, and its body carries an effect no other function's body
+/// carries — after the retarget that effect has left every closure.
+fn retargeted_calls(m: &Module, limit: usize) -> Vec<Mutant> {
+    let facts = ModuleFacts::compute(m);
+    let reachable = facts.reachable_from_roots();
+    let n = m.functions.len();
+
+    // Direct-call sites per callee, across all executable blocks.
+    let mut call_sites: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); n];
+    for (fi, f) in m.functions.iter().enumerate() {
+        for (bi, block) in f.blocks.iter().enumerate() {
+            if !facts.fns[fi].exec[bi] {
+                continue;
+            }
+            for (ii, inst) in block.insts.iter().enumerate() {
+                if let Inst::Call {
+                    callee: Callee::Direct(c),
+                    ..
+                } = inst
+                {
+                    call_sites[c.index()].push((fi, bi, ii));
+                }
+            }
+            if let Term::Invoke {
+                callee: Callee::Direct(c),
+                ..
+            } = &block.term
+            {
+                call_sites[c.index()].push((fi, bi, usize::MAX));
+            }
+        }
+    }
+    let footprints: Vec<BTreeSet<String>> = (0..n).map(|fi| body_footprint(&facts, fi)).collect();
+
+    let mut out = Vec::new();
+    for c1 in 0..n {
+        if out.len() >= limit {
+            break;
+        }
+        if call_sites[c1].len() != 1 || facts.address_taken.contains(&c1) {
+            continue;
+        }
+        let (fi, bi, ii) = call_sites[c1][0];
+        if !reachable.contains(&fi) {
+            continue;
+        }
+        // An effect unique to c1's body across the whole module.
+        let others: BTreeSet<String> = (0..n)
+            .filter(|&x| x != c1)
+            .flat_map(|x| footprints[x].iter().cloned())
+            .collect();
+        let Some(unique) = footprints[c1].difference(&others).next().cloned() else {
+            continue;
+        };
+        let f1 = &m.functions[c1];
+        let Some(c2) = (0..n).find(|&x| {
+            let f2 = &m.functions[x];
+            x != c1
+                && f2.param_types() == f1.param_types()
+                && f2.ret_ty == f1.ret_ty
+                && f2.variadic == f1.variadic
+        }) else {
+            continue;
+        };
+        let mut module = m.clone();
+        let block = &mut module.functions[fi].blocks[bi];
+        let target = crate::ids::FuncId::new(c2);
+        if ii == usize::MAX {
+            if let Term::Invoke { callee, .. } = &mut block.term {
+                *callee = Callee::Direct(target);
+            }
+        } else if let Inst::Call { callee, .. } = &mut block.insts[ii] {
+            *callee = Callee::Direct(target);
+        }
+        out.push(Mutant {
+            module,
+            class: MutationClass::RetargetedCall,
+            description: format!(
+                "retargeted the only call to `{}` (unique effect {unique}) to `{}`",
+                m.functions[c1].name, m.functions[c2].name
+            ),
+        });
+    }
+    out
+}
+
+/// Fold a branch arm so a single-predecessor block holding a module-unique
+/// effect becomes unreachable. The orphaned effect leaves its function's
+/// summary (executable blocks only) and, being unique, every closure.
+fn orphaned_blocks(m: &Module, limit: usize) -> Vec<Mutant> {
+    let facts = ModuleFacts::compute(m);
+    let reachable = facts.reachable_from_roots();
+
+    // Count effect occurrences per executable block module-wide, so
+    // uniqueness can be established syntactically.
+    let mut occurrences: std::collections::BTreeMap<String, usize> = Default::default();
+    let block_effects = |fi: usize, bi: usize| -> BTreeSet<String> {
+        let f = &m.functions[fi];
+        let fx = &facts.fns[fi];
+        let mut fp = BTreeSet::new();
+        for inst in &f.blocks[bi].insts {
+            match inst {
+                Inst::Store { addr, .. } => {
+                    if let Some(l) = addr.as_local() {
+                        for &g in &fx.ptr[l.index()] {
+                            fp.insert(format!("write:{}", m.globals[g].name));
+                        }
+                    }
+                }
+                Inst::Call {
+                    callee: Callee::Ext(e),
+                    ..
+                } => {
+                    fp.insert(format!("ext:{}", m.externals[e.index()].name));
+                }
+                _ => {}
+            }
+        }
+        if let Term::Invoke {
+            callee: Callee::Ext(e),
+            ..
+        } = &f.blocks[bi].term
+        {
+            fp.insert(format!("ext:{}", m.externals[e.index()].name));
+        }
+        fp
+    };
+    for (fi, f) in m.functions.iter().enumerate() {
+        for bi in 0..f.blocks.len() {
+            if !facts.fns[fi].exec[bi] {
+                continue;
+            }
+            for e in block_effects(fi, bi) {
+                *occurrences.entry(e).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (fi, f) in m.functions.iter().enumerate() {
+        if out.len() >= limit {
+            break;
+        }
+        if !reachable.contains(&fi) {
+            continue;
+        }
+        let cfg = Cfg::compute(f);
+        for (bi, block) in f.blocks.iter().enumerate() {
+            if out.len() >= limit {
+                break;
+            }
+            if !facts.fns[fi].exec[bi] {
+                continue;
+            }
+            let Term::Branch {
+                then_bb, else_bb, ..
+            } = &block.term
+            else {
+                continue;
+            };
+            if then_bb == else_bb {
+                continue;
+            }
+            for (victim, keep) in [(*then_bb, *else_bb), (*else_bb, *then_bb)] {
+                if f.block(victim).is_pad() || cfg.preds(victim).len() != 1 {
+                    continue;
+                }
+                let fx = block_effects(fi, victim.index());
+                let unique = fx.iter().find(|e| occurrences.get(*e) == Some(&1));
+                let Some(unique) = unique else {
+                    continue;
+                };
+                let mut module = m.clone();
+                module.functions[fi].blocks[bi].term = Term::Jump(keep);
+                out.push(Mutant {
+                    module,
+                    class: MutationClass::OrphanedBlock,
+                    description: format!(
+                        "orphaned {victim} of `{}` (unique effect {unique}) by folding the branch in {}",
+                        f.name,
+                        crate::ids::BlockId::new(bi),
+                    ),
+                });
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::ModuleSummary;
+    use crate::builder::FunctionBuilder;
+    use crate::function::Linkage;
+    use crate::inst::Operand;
+    use crate::module::{ExtFunc, Global};
+    use crate::types::Type;
+    use crate::verify::verify_module;
+
+    /// A module offering candidates for all three classes: main branches,
+    /// one arm calls log_a (unique ext call), both arms join; helper_a
+    /// (called once) writes @a; helper_b has the same signature but
+    /// writes @b.
+    fn rich() -> Module {
+        let mut m = Module::new("mutants");
+        let ga = m.push_global(Global::zeroed("glob_a", 8));
+        let gb = m.push_global(Global::zeroed("glob_b", 8));
+        let log_a = m.declare_external(ExtFunc {
+            name: "log_a".to_string(),
+            params: vec![],
+            ret_ty: Type::Void,
+            variadic: false,
+        });
+
+        let mut a = FunctionBuilder::new("helper_a", Type::Void);
+        let pa = a.globaladdr(ga);
+        a.store(
+            Type::I64,
+            Operand::const_int(Type::I64, 1),
+            Operand::local(pa),
+        );
+        a.ret(None);
+        let helper_a = m.push_function(a.finish());
+
+        let mut b = FunctionBuilder::new("helper_b", Type::Void);
+        let pb = b.globaladdr(gb);
+        b.store(
+            Type::I64,
+            Operand::const_int(Type::I64, 2),
+            Operand::local(pb),
+        );
+        b.ret(None);
+        m.push_function(b.finish());
+
+        let mut f = FunctionBuilder::new("main", Type::I64);
+        let flag = f.add_param(Type::I1);
+        let noisy = f.new_block();
+        let joined = f.new_block();
+        f.branch(Operand::local(flag), noisy, joined);
+        f.switch_to(noisy);
+        f.call_ext(log_a, Type::Void, vec![]);
+        f.jump(joined);
+        f.switch_to(joined);
+        f.call(helper_a, Type::Void, vec![]);
+        f.ret(Some(Operand::const_int(Type::I64, 0)));
+        let mut mainf = f.finish();
+        mainf.linkage = Linkage::Exported;
+        m.push_function(mainf);
+        verify_module(&m).expect("rich module is well-formed");
+        m
+    }
+
+    fn assert_all_caught(m: &Module, class: MutationClass) -> usize {
+        let before = ModuleSummary::compute(m);
+        let mutants = generate(m, class, 16);
+        for mt in &mutants {
+            verify_module(&mt.module).unwrap_or_else(|e| {
+                panic!("{}: mutant must stay well-formed: {e:?}", mt.description)
+            });
+            let after = ModuleSummary::compute(&mt.module);
+            let d = ModuleSummary::diff(&before, &after);
+            assert!(!d.is_empty(), "audit missed mutant: {}", mt.description);
+        }
+        mutants.len()
+    }
+
+    #[test]
+    fn dropped_store_mutants_are_caught() {
+        assert!(assert_all_caught(&rich(), MutationClass::DroppedStore) >= 1);
+    }
+
+    #[test]
+    fn retargeted_call_mutants_are_caught() {
+        assert!(assert_all_caught(&rich(), MutationClass::RetargetedCall) >= 1);
+    }
+
+    #[test]
+    fn orphaned_block_mutants_are_caught() {
+        assert!(assert_all_caught(&rich(), MutationClass::OrphanedBlock) >= 1);
+    }
+
+    #[test]
+    fn clean_module_self_diff_reports_nothing() {
+        let m = rich();
+        let s = ModuleSummary::compute(&m);
+        assert!(ModuleSummary::diff(&s, &s).is_empty());
+    }
+}

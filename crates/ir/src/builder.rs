@@ -34,7 +34,11 @@ pub struct FunctionBuilder {
 impl FunctionBuilder {
     /// Starts a new function; the insertion point is the entry block.
     pub fn new(name: impl Into<String>, ret_ty: Type) -> Self {
-        FunctionBuilder { f: Function::new(name, ret_ty), cur: BlockId(0), params_closed: false }
+        FunctionBuilder {
+            f: Function::new(name, ret_ty),
+            cur: BlockId(0),
+            params_closed: false,
+        }
     }
 
     /// Adds a parameter of type `ty`.
@@ -43,7 +47,10 @@ impl FunctionBuilder {
     /// Panics if a non-parameter local has already been created; parameters
     /// must occupy the first local slots.
     pub fn add_param(&mut self, ty: Type) -> LocalId {
-        assert!(!self.params_closed, "parameters must be added before other locals");
+        assert!(
+            !self.params_closed,
+            "parameters must be added before other locals"
+        );
         let id = self.f.new_local(ty);
         self.f.param_count += 1;
         id
@@ -90,7 +97,10 @@ impl FunctionBuilder {
     /// # Panics
     /// Panics if `b` is out of range.
     pub fn switch_to(&mut self, b: BlockId) {
-        assert!(b.index() < self.f.blocks.len(), "switch_to out-of-range block {b}");
+        assert!(
+            b.index() < self.f.blocks.len(),
+            "switch_to out-of-range block {b}"
+        );
         self.cur = b;
     }
 
@@ -115,7 +125,13 @@ impl FunctionBuilder {
     /// Emits a binary operation and returns the destination local.
     pub fn bin(&mut self, op: BinOp, ty: Type, lhs: Operand, rhs: Operand) -> LocalId {
         let dst = self.def(ty);
-        self.push(Inst::Bin { op, ty, dst, lhs, rhs });
+        self.push(Inst::Bin {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        });
         dst
     }
 
@@ -129,14 +145,32 @@ impl FunctionBuilder {
     /// Emits a comparison; the result local has type `i1`.
     pub fn cmp(&mut self, pred: CmpPred, ty: Type, lhs: Operand, rhs: Operand) -> LocalId {
         let dst = self.def(Type::I1);
-        self.push(Inst::Cmp { pred, ty, dst, lhs, rhs });
+        self.push(Inst::Cmp {
+            pred,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        });
         dst
     }
 
     /// Emits a select.
-    pub fn select(&mut self, ty: Type, cond: Operand, on_true: Operand, on_false: Operand) -> LocalId {
+    pub fn select(
+        &mut self,
+        ty: Type,
+        cond: Operand,
+        on_true: Operand,
+        on_false: Operand,
+    ) -> LocalId {
         let dst = self.def(ty);
-        self.push(Inst::Select { ty, dst, cond, on_true, on_false });
+        self.push(Inst::Select {
+            ty,
+            dst,
+            cond,
+            on_true,
+            on_false,
+        });
         dst
     }
 
@@ -156,7 +190,13 @@ impl FunctionBuilder {
     /// Emits a cast.
     pub fn cast(&mut self, kind: CastKind, src: Operand, from: Type, to: Type) -> LocalId {
         let dst = self.def(to);
-        self.push(Inst::Cast { kind, dst, src, from, to });
+        self.push(Inst::Cast {
+            kind,
+            dst,
+            src,
+            from,
+            to,
+        });
         dst
     }
 
@@ -175,7 +215,11 @@ impl FunctionBuilder {
     /// Emits an alloca of `size` bytes.
     pub fn alloca(&mut self, size: u32) -> LocalId {
         let dst = self.def(Type::Ptr);
-        self.push(Inst::Alloca { dst, size, align: 8 });
+        self.push(Inst::Alloca {
+            dst,
+            size,
+            align: 8,
+        });
         dst
     }
 
@@ -188,22 +232,51 @@ impl FunctionBuilder {
 
     /// Emits a direct call; returns the destination local for non-void callees.
     pub fn call(&mut self, func: FuncId, ret_ty: Type, args: Vec<Operand>) -> Option<LocalId> {
-        let dst = if ret_ty == Type::Void { None } else { Some(self.def(ret_ty)) };
-        self.push(Inst::Call { dst, callee: Callee::Direct(func), args });
+        let dst = if ret_ty == Type::Void {
+            None
+        } else {
+            Some(self.def(ret_ty))
+        };
+        self.push(Inst::Call {
+            dst,
+            callee: Callee::Direct(func),
+            args,
+        });
         dst
     }
 
     /// Emits a call to an external function.
     pub fn call_ext(&mut self, ext: ExtId, ret_ty: Type, args: Vec<Operand>) -> Option<LocalId> {
-        let dst = if ret_ty == Type::Void { None } else { Some(self.def(ret_ty)) };
-        self.push(Inst::Call { dst, callee: Callee::Ext(ext), args });
+        let dst = if ret_ty == Type::Void {
+            None
+        } else {
+            Some(self.def(ret_ty))
+        };
+        self.push(Inst::Call {
+            dst,
+            callee: Callee::Ext(ext),
+            args,
+        });
         dst
     }
 
     /// Emits an indirect call through `ptr`.
-    pub fn call_indirect(&mut self, ptr: Operand, ret_ty: Type, args: Vec<Operand>) -> Option<LocalId> {
-        let dst = if ret_ty == Type::Void { None } else { Some(self.def(ret_ty)) };
-        self.push(Inst::Call { dst, callee: Callee::Indirect(ptr), args });
+    pub fn call_indirect(
+        &mut self,
+        ptr: Operand,
+        ret_ty: Type,
+        args: Vec<Operand>,
+    ) -> Option<LocalId> {
+        let dst = if ret_ty == Type::Void {
+            None
+        } else {
+            Some(self.def(ret_ty))
+        };
+        self.push(Inst::Call {
+            dst,
+            callee: Callee::Indirect(ptr),
+            args,
+        });
         dst
     }
 
@@ -237,12 +310,27 @@ impl FunctionBuilder {
 
     /// Terminates the current block with a conditional branch.
     pub fn branch(&mut self, cond: Operand, then_bb: BlockId, else_bb: BlockId) {
-        self.set_term(Term::Branch { cond, then_bb, else_bb });
+        self.set_term(Term::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        });
     }
 
     /// Terminates the current block with a switch.
-    pub fn switch(&mut self, ty: Type, value: Operand, cases: Vec<(i64, BlockId)>, default: BlockId) {
-        self.set_term(Term::Switch { ty, value, cases, default });
+    pub fn switch(
+        &mut self,
+        ty: Type,
+        value: Operand,
+        cases: Vec<(i64, BlockId)>,
+        default: BlockId,
+    ) {
+        self.set_term(Term::Switch {
+            ty,
+            value,
+            cases,
+            default,
+        });
     }
 
     /// Terminates the current block with a return.
@@ -259,8 +347,18 @@ impl FunctionBuilder {
         normal: BlockId,
         unwind: BlockId,
     ) -> Option<LocalId> {
-        let dst = if ret_ty == Type::Void { None } else { Some(self.def(ret_ty)) };
-        self.set_term(Term::Invoke { dst, callee, args, normal, unwind });
+        let dst = if ret_ty == Type::Void {
+            None
+        } else {
+            Some(self.def(ret_ty))
+        };
+        self.set_term(Term::Invoke {
+            dst,
+            callee,
+            args,
+            normal,
+            unwind,
+        });
         dst
     }
 
@@ -283,7 +381,12 @@ mod tests {
     fn builds_straightline_function() {
         let mut b = FunctionBuilder::new("f", Type::I32);
         let p = b.add_param(Type::I32);
-        let r = b.bin(BinOp::Add, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 1));
+        let r = b.bin(
+            BinOp::Add,
+            Type::I32,
+            Operand::local(p),
+            Operand::const_int(Type::I32, 1),
+        );
         b.ret(Some(Operand::local(r)));
         let f = b.finish();
         assert_eq!(f.param_count, 1);
@@ -299,7 +402,12 @@ mod tests {
         let t = b.new_block();
         let e = b.new_block();
         let j = b.new_block();
-        let c = b.cmp(CmpPred::Sgt, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 0));
+        let c = b.cmp(
+            CmpPred::Sgt,
+            Type::I32,
+            Operand::local(p),
+            Operand::const_int(Type::I32, 0),
+        );
         let out = b.new_local(Type::I32);
         b.branch(Operand::local(c), t, e);
         b.switch_to(t);

@@ -30,13 +30,19 @@ impl Const {
     /// # Panics
     /// Panics if `ty` is not a float type.
     pub fn float(ty: Type, value: f64) -> Self {
-        assert!(ty.is_float(), "Const::float requires a float type, got {ty}");
+        assert!(
+            ty.is_float(),
+            "Const::float requires a float type, got {ty}"
+        );
         Const::Float { value, ty }
     }
 
     /// The boolean constant of type `i1`.
     pub fn bool(value: bool) -> Self {
-        Const::Int { value: value as i64, ty: Type::I1 }
+        Const::Int {
+            value: value as i64,
+            ty: Type::I1,
+        }
     }
 
     /// The type of this constant.

@@ -56,7 +56,10 @@ pub enum ProvKind {
 impl Provenance {
     /// Provenance of an unobfuscated function named `name`.
     pub fn original(name: impl Into<String>) -> Self {
-        Provenance { kind: ProvKind::Original, origins: vec![name.into()] }
+        Provenance {
+            kind: ProvKind::Original,
+            origins: vec![name.into()],
+        }
     }
 
     /// True if any of this function's code descends from `origin`.
@@ -79,12 +82,20 @@ pub struct Block {
 impl Block {
     /// A block that falls through to `target`.
     pub fn jump_to(target: BlockId) -> Self {
-        Block { insts: Vec::new(), term: Term::Jump(target), pad: None }
+        Block {
+            insts: Vec::new(),
+            term: Term::Jump(target),
+            pad: None,
+        }
     }
 
     /// A block holding only `term`.
     pub fn with_term(term: Term) -> Self {
-        Block { insts: Vec::new(), term, pad: None }
+        Block {
+            insts: Vec::new(),
+            term,
+            pad: None,
+        }
     }
 
     /// True if this block is a landing pad.
@@ -192,7 +203,10 @@ impl Function {
 
     /// Iterates over `(BlockId, &Block)` pairs.
     pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
-        self.blocks.iter().enumerate().map(|(i, b)| (BlockId::new(i), b))
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId::new(i), b))
     }
 
     /// Total instruction count (including terminators), a cheap size metric

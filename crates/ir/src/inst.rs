@@ -133,7 +133,13 @@ impl BinOp {
     pub fn is_commutative(self) -> bool {
         matches!(
             self,
-            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::FAdd | BinOp::FMul
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::FAdd
+                | BinOp::FMul
         )
     }
 
@@ -356,29 +362,78 @@ pub enum Callee {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Inst {
     /// `dst = op ty lhs, rhs`
-    Bin { op: BinOp, ty: Type, dst: LocalId, lhs: Operand, rhs: Operand },
+    Bin {
+        op: BinOp,
+        ty: Type,
+        dst: LocalId,
+        lhs: Operand,
+        rhs: Operand,
+    },
     /// `dst = op ty src`
-    Un { op: UnOp, ty: Type, dst: LocalId, src: Operand },
+    Un {
+        op: UnOp,
+        ty: Type,
+        dst: LocalId,
+        src: Operand,
+    },
     /// `dst = cmp pred ty lhs, rhs` — `dst` has type `i1`.
-    Cmp { pred: CmpPred, ty: Type, dst: LocalId, lhs: Operand, rhs: Operand },
+    Cmp {
+        pred: CmpPred,
+        ty: Type,
+        dst: LocalId,
+        lhs: Operand,
+        rhs: Operand,
+    },
     /// `dst = select cond, on_true, on_false` (all of type `ty`).
-    Select { ty: Type, dst: LocalId, cond: Operand, on_true: Operand, on_false: Operand },
+    Select {
+        ty: Type,
+        dst: LocalId,
+        cond: Operand,
+        on_true: Operand,
+        on_false: Operand,
+    },
     /// `dst = copy ty src` — register move.
-    Copy { ty: Type, dst: LocalId, src: Operand },
+    Copy {
+        ty: Type,
+        dst: LocalId,
+        src: Operand,
+    },
     /// `dst = cast kind src : from -> to`
-    Cast { kind: CastKind, dst: LocalId, src: Operand, from: Type, to: Type },
+    Cast {
+        kind: CastKind,
+        dst: LocalId,
+        src: Operand,
+        from: Type,
+        to: Type,
+    },
     /// `dst = load ty, addr`
-    Load { ty: Type, dst: LocalId, addr: Operand },
+    Load {
+        ty: Type,
+        dst: LocalId,
+        addr: Operand,
+    },
     /// `store ty value, addr`
-    Store { ty: Type, addr: Operand, value: Operand },
+    Store {
+        ty: Type,
+        addr: Operand,
+        value: Operand,
+    },
     /// `dst = alloca size, align` — reserves `size` bytes in the current
     /// frame and yields the address. Executing the same alloca repeatedly
     /// (e.g. in a loop) yields fresh slots, as in C.
     Alloca { dst: LocalId, size: u32, align: u32 },
     /// `dst = ptradd base, offset` — byte-offset pointer arithmetic.
-    PtrAdd { dst: LocalId, base: Operand, offset: Operand },
+    PtrAdd {
+        dst: LocalId,
+        base: Operand,
+        offset: Operand,
+    },
     /// `dst = call callee(args...)` — `dst` is `None` for void calls.
-    Call { dst: Option<LocalId>, callee: Callee, args: Vec<Operand> },
+    Call {
+        dst: Option<LocalId>,
+        callee: Callee,
+        args: Vec<Operand>,
+    },
     /// `dst = funcaddr @f` — takes the address of a function.
     FuncAddr { dst: LocalId, func: FuncId },
     /// `dst = globaladdr @g` — takes the address of a global.
@@ -432,7 +487,12 @@ impl Inst {
                 f(rhs);
             }
             Inst::Un { src, .. } | Inst::Copy { src, .. } | Inst::Cast { src, .. } => f(src),
-            Inst::Select { cond, on_true, on_false, .. } => {
+            Inst::Select {
+                cond,
+                on_true,
+                on_false,
+                ..
+            } => {
                 f(cond);
                 f(on_true);
                 f(on_false);
@@ -466,7 +526,12 @@ impl Inst {
                 f(rhs);
             }
             Inst::Un { src, .. } | Inst::Copy { src, .. } | Inst::Cast { src, .. } => f(src),
-            Inst::Select { cond, on_true, on_false, .. } => {
+            Inst::Select {
+                cond,
+                on_true,
+                on_false,
+                ..
+            } => {
                 f(cond);
                 f(on_true);
                 f(on_false);
@@ -505,7 +570,9 @@ impl Inst {
             | Inst::PtrAdd { .. }
             | Inst::FuncAddr { .. }
             | Inst::GlobalAddr { .. } => true,
-            Inst::Load { .. } | Inst::Store { .. } | Inst::Alloca { .. } | Inst::Call { .. } => false,
+            Inst::Load { .. } | Inst::Store { .. } | Inst::Alloca { .. } | Inst::Call { .. } => {
+                false
+            }
         }
     }
 }
@@ -516,9 +583,18 @@ pub enum Term {
     /// Unconditional jump.
     Jump(BlockId),
     /// Two-way conditional branch on an `i1` operand.
-    Branch { cond: Operand, then_bb: BlockId, else_bb: BlockId },
+    Branch {
+        cond: Operand,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
     /// Multi-way switch on an integer operand.
-    Switch { ty: Type, value: Operand, cases: Vec<(i64, BlockId)>, default: BlockId },
+    Switch {
+        ty: Type,
+        value: Operand,
+        cases: Vec<(i64, BlockId)>,
+        default: BlockId,
+    },
     /// Function return.
     Ret(Option<Operand>),
     /// A call with an exception edge: control continues at `normal`, or at
@@ -585,7 +661,9 @@ impl Term {
     pub fn for_each_successor(&self, mut f: impl FnMut(BlockId)) {
         match self {
             Term::Jump(t) => f(*t),
-            Term::Branch { then_bb, else_bb, .. } => {
+            Term::Branch {
+                then_bb, else_bb, ..
+            } => {
                 f(*then_bb);
                 f(*else_bb);
             }
@@ -607,7 +685,9 @@ impl Term {
     pub fn for_each_successor_mut(&mut self, mut f: impl FnMut(&mut BlockId)) {
         match self {
             Term::Jump(t) => f(t),
-            Term::Branch { then_bb, else_bb, .. } => {
+            Term::Branch {
+                then_bb, else_bb, ..
+            } => {
                 f(then_bb);
                 f(else_bb);
             }
@@ -639,7 +719,10 @@ mod tests {
 
     #[test]
     fn operand_constructors() {
-        assert_eq!(Operand::const_int(Type::I32, 5).as_const(), Some(Const::int(Type::I32, 5)));
+        assert_eq!(
+            Operand::const_int(Type::I32, 5).as_const(),
+            Some(Const::int(Type::I32, 5))
+        );
         assert_eq!(Operand::local(LocalId(3)).as_local(), Some(LocalId(3)));
         assert_eq!(Operand::zero(Type::Ptr).as_const(), Some(Const::Null));
         let o: Operand = LocalId(1).into();
@@ -651,7 +734,10 @@ mod tests {
         assert!(BinOp::FAdd.is_float_op());
         assert!(!BinOp::Add.is_float_op());
         assert!(BinOp::SDiv.can_trap());
-        assert!(!BinOp::FDiv.can_trap(), "float division yields inf, no trap");
+        assert!(
+            !BinOp::FDiv.can_trap(),
+            "float division yields inf, no trap"
+        );
         assert!(BinOp::Mul.is_commutative());
         assert!(!BinOp::Sub.is_commutative());
     }

@@ -19,6 +19,42 @@
 //! need: CFG utilities, dominator trees, natural loops, static block
 //! frequencies, liveness and the call graph.
 //!
+//! ## The dataflow framework
+//!
+//! [`analysis::dataflow`] provides a generic monotone dataflow solver the
+//! concrete analyses are instances of. An [`analysis::dataflow::Analysis`]
+//! supplies a lattice of per-block states and the solver
+//! ([`analysis::dataflow::solve`]) iterates a worklist seeded in
+//! reverse-postorder (postorder for backward problems) until a fixed
+//! point. The contract an instance must meet:
+//!
+//! * **Lattice.** `join` must be commutative, associative and idempotent;
+//!   `top` is the identity of `join` (full set + intersection for a
+//!   *must* analysis, empty set + union for a *may* analysis).
+//! * **Monotonicity.** `transfer` and `edge` must be monotone: a larger
+//!   input state may never produce a smaller output state.
+//! * **Finite height.** Every ascending chain of states must be finite —
+//!   with the bitset states used here, bounded by the local count.
+//!
+//! Under that contract the solver terminates with the unique least
+//! fixed point; each block is re-processed only when a predecessor's
+//! (successor's, for backward) state changes, so convergence takes
+//! `O(height × edges)` joins in the worst case and one pass over an
+//! acyclic CFG. Shipped instances: reaching definitions, definite
+//! initialisation (and its certainly-uninitialised refinement used by the
+//! verifier), live variables, and dead-assignment/unreachable-block
+//! detection.
+//!
+//! ## The semantic auditor
+//!
+//! [`audit`] distills a module into per-root observable-behavior
+//! summaries (reachable external calls, global read/write/escape sets,
+//! exported signatures) and diffs summaries taken before and after a
+//! transformation, flagging dropped effects as structured
+//! [`audit::AuditDiagnostic`]s — the static net that catches semantic
+//! miscompiles (dropped stores, retargeted calls, orphaned effectful
+//! blocks) which structural verification cannot see.
+//!
 //! ```
 //! use khaos_ir::builder::FunctionBuilder;
 //! use khaos_ir::{Module, Type, Operand, BinOp};
@@ -34,6 +70,7 @@
 //! ```
 
 pub mod analysis;
+pub mod audit;
 pub mod builder;
 pub mod constant;
 pub mod function;
@@ -59,3 +96,4 @@ pub use analysis::dom::DomTree;
 pub use analysis::freq::BlockFreq;
 pub use analysis::liveness::Liveness;
 pub use analysis::loops::LoopInfo;
+pub use audit::{AuditDiagnostic, AuditKind, ModuleSummary};

@@ -53,7 +53,12 @@ pub struct Global {
 impl Global {
     /// A zero-initialised internal global of `size` bytes.
     pub fn zeroed(name: impl Into<String>, size: u32) -> Self {
-        Global { name: name.into(), init: vec![GInit::Zero(size)], align: 8, exported: false }
+        Global {
+            name: name.into(),
+            init: vec![GInit::Zero(size)],
+            align: 8,
+            exported: false,
+        }
     }
 
     /// Total size in bytes.
@@ -93,7 +98,12 @@ pub struct Module {
 impl Module {
     /// Creates an empty module.
     pub fn new(name: impl Into<String>) -> Self {
-        Module { name: name.into(), functions: Vec::new(), globals: Vec::new(), externals: Vec::new() }
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+            globals: Vec::new(),
+            externals: Vec::new(),
+        }
     }
 
     /// Appends a function and returns its id.
@@ -148,7 +158,10 @@ impl Module {
 
     /// Iterates over `(FuncId, &Function)` pairs.
     pub fn iter_functions(&self) -> impl Iterator<Item = (FuncId, &Function)> {
-        self.functions.iter().enumerate().map(|(i, f)| (FuncId::new(i), f))
+        self.functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId::new(i), f))
     }
 
     /// Shared access to a global.
@@ -211,9 +224,15 @@ mod tests {
         let g = Global {
             name: "g".into(),
             init: vec![
-                GInit::Int { value: 1, ty: Type::I32 },
+                GInit::Int {
+                    value: 1,
+                    ty: Type::I32,
+                },
                 GInit::Zero(4),
-                GInit::FuncPtr { func: FuncId(0), addend: 12 },
+                GInit::FuncPtr {
+                    func: FuncId(0),
+                    addend: 12,
+                },
             ],
             align: 8,
             exported: false,

@@ -71,7 +71,13 @@ pub fn parse_module(src: &str) -> PResult<Module> {
         .map(|(i, l)| (i + 1, l.trim()))
         .filter(|(_, l)| !l.is_empty() && !l.starts_with(';'))
         .collect();
-    let mut p = Parser { lines, pos: 0, func_ids, global_ids, ext_ids };
+    let mut p = Parser {
+        lines,
+        pos: 0,
+        func_ids,
+        global_ids,
+        ext_ids,
+    };
     p.module()
 }
 
@@ -90,14 +96,18 @@ impl<'a> Parser<'a> {
     }
 
     fn err<T>(&self, line: usize, msg: impl Into<String>) -> PResult<T> {
-        Err(ParseError { line, message: msg.into() })
+        Err(ParseError {
+            line,
+            message: msg.into(),
+        })
     }
 
     fn module(&mut self) -> PResult<Module> {
         let (ln, first) = self.next_line()?;
-        let name = first
-            .strip_prefix("module ")
-            .ok_or_else(|| ParseError { line: ln, message: "expected `module <name>`".into() })?;
+        let name = first.strip_prefix("module ").ok_or_else(|| ParseError {
+            line: ln,
+            message: "expected `module <name>`".into(),
+        })?;
         let mut m = Module::new(name.trim());
         // Pre-size function slots so ids match the pre-scan.
         while let Some((ln, line)) = self.peek() {
@@ -136,46 +146,71 @@ impl<'a> Parser<'a> {
     fn parse_extern(&self, ln: usize, line: &str) -> PResult<ExtFunc> {
         // extern name(ty, ty, ...) -> ty
         let rest = line.strip_prefix("extern ").expect("caller checked prefix");
-        let open = rest.find('(').ok_or(ParseError { line: ln, message: "expected `(`".into() })?;
-        let close = rest.rfind(')').ok_or(ParseError { line: ln, message: "expected `)`".into() })?;
+        let open = rest.find('(').ok_or(ParseError {
+            line: ln,
+            message: "expected `(`".into(),
+        })?;
+        let close = rest.rfind(')').ok_or(ParseError {
+            line: ln,
+            message: "expected `)`".into(),
+        })?;
         let name = rest[..open].trim().to_string();
         let params_str = &rest[open + 1..close];
         let after = rest[close + 1..].trim();
         let ret_str = after
             .strip_prefix("->")
-            .ok_or(ParseError { line: ln, message: "expected `-> <ty>`".into() })?
+            .ok_or(ParseError {
+                line: ln,
+                message: "expected `-> <ty>`".into(),
+            })?
             .trim();
         let mut params = Vec::new();
         let mut variadic = false;
-        for part in params_str.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        for part in params_str
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+        {
             if part == "..." {
                 variadic = true;
             } else {
                 params.push(self.parse_type(ln, part)?);
             }
         }
-        Ok(ExtFunc { name, params, ret_ty: self.parse_type(ln, ret_str)?, variadic })
+        Ok(ExtFunc {
+            name,
+            params,
+            ret_ty: self.parse_type(ln, ret_str)?,
+            variadic,
+        })
     }
 
     fn parse_global(&mut self, ln: usize, header: &str) -> PResult<Global> {
         // global name align N [exported] {
-        let rest = header.strip_prefix("global ").expect("caller checked prefix");
+        let rest = header
+            .strip_prefix("global ")
+            .expect("caller checked prefix");
         let mut words = rest.split_whitespace();
         let name = words
             .next()
-            .ok_or(ParseError { line: ln, message: "expected global name".into() })?
+            .ok_or(ParseError {
+                line: ln,
+                message: "expected global name".into(),
+            })?
             .to_string();
         let mut align = 8u32;
         let mut exported = false;
         while let Some(w) = words.next() {
             match w {
                 "align" => {
-                    let v = words
-                        .next()
-                        .ok_or(ParseError { line: ln, message: "expected align value".into() })?;
-                    align = v
-                        .parse()
-                        .map_err(|_| ParseError { line: ln, message: "bad align value".into() })?;
+                    let v = words.next().ok_or(ParseError {
+                        line: ln,
+                        message: "expected align value".into(),
+                    })?;
+                    align = v.parse().map_err(|_| ParseError {
+                        line: ln,
+                        message: "bad align value".into(),
+                    })?;
                 }
                 "exported" => exported = true,
                 "{" => break,
@@ -197,8 +232,10 @@ impl<'a> Parser<'a> {
                     }
                     let mut bytes = Vec::with_capacity(hex.len() / 2);
                     for i in (0..hex.len()).step_by(2) {
-                        let b = u8::from_str_radix(&hex[i..i + 2], 16)
-                            .map_err(|_| ParseError { line: ln2, message: "bad hex".into() })?;
+                        let b = u8::from_str_radix(&hex[i..i + 2], 16).map_err(|_| ParseError {
+                            line: ln2,
+                            message: "bad hex".into(),
+                        })?;
                         bytes.push(b);
                     }
                     init.push(GInit::Bytes(bytes));
@@ -206,62 +243,78 @@ impl<'a> Parser<'a> {
                 Some("int") => {
                     let ty = self.parse_type(
                         ln2,
-                        w.next().ok_or(ParseError { line: ln2, message: "expected type".into() })?,
+                        w.next().ok_or(ParseError {
+                            line: ln2,
+                            message: "expected type".into(),
+                        })?,
                     )?;
-                    let v: i64 = w
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .ok_or(ParseError { line: ln2, message: "bad int value".into() })?;
+                    let v: i64 = w.next().and_then(|s| s.parse().ok()).ok_or(ParseError {
+                        line: ln2,
+                        message: "bad int value".into(),
+                    })?;
                     init.push(GInit::Int { value: v, ty });
                 }
                 Some("float") => {
                     let ty = self.parse_type(
                         ln2,
-                        w.next().ok_or(ParseError { line: ln2, message: "expected type".into() })?,
+                        w.next().ok_or(ParseError {
+                            line: ln2,
+                            message: "expected type".into(),
+                        })?,
                     )?;
-                    let v: f64 = w
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .ok_or(ParseError { line: ln2, message: "bad float value".into() })?;
+                    let v: f64 = w.next().and_then(|s| s.parse().ok()).ok_or(ParseError {
+                        line: ln2,
+                        message: "bad float value".into(),
+                    })?;
                     init.push(GInit::Float { value: v, ty });
                 }
                 Some("zero") => {
-                    let n: u32 = w
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .ok_or(ParseError { line: ln2, message: "bad zero size".into() })?;
+                    let n: u32 = w.next().and_then(|s| s.parse().ok()).ok_or(ParseError {
+                        line: ln2,
+                        message: "bad zero size".into(),
+                    })?;
                     init.push(GInit::Zero(n));
                 }
                 Some("funcptr") => {
                     let fname = w
                         .next()
                         .and_then(|s| s.strip_prefix('@'))
-                        .ok_or(ParseError { line: ln2, message: "expected @func".into() })?;
-                    let func = *self
-                        .func_ids
-                        .get(fname)
-                        .ok_or(ParseError { line: ln2, message: format!("unknown func `{fname}`") })?;
+                        .ok_or(ParseError {
+                            line: ln2,
+                            message: "expected @func".into(),
+                        })?;
+                    let func = *self.func_ids.get(fname).ok_or(ParseError {
+                        line: ln2,
+                        message: format!("unknown func `{fname}`"),
+                    })?;
                     // optional "+ N"
                     let mut addend = 0i64;
                     if let Some("+") = w.next() {
-                        addend = w
-                            .next()
-                            .and_then(|s| s.parse().ok())
-                            .ok_or(ParseError { line: ln2, message: "bad addend".into() })?;
+                        addend = w.next().and_then(|s| s.parse().ok()).ok_or(ParseError {
+                            line: ln2,
+                            message: "bad addend".into(),
+                        })?;
                     }
                     init.push(GInit::FuncPtr { func, addend });
                 }
                 other => return self.err(ln2, format!("unknown global init `{other:?}`")),
             }
         }
-        Ok(Global { name, init, align, exported })
+        Ok(Global {
+            name,
+            init,
+            align,
+            exported,
+        })
     }
 
     fn parse_operand(&self, ln: usize, s: &str) -> PResult<Operand> {
         let s = s.trim();
         if let Some(n) = s.strip_prefix('%') {
-            let i: usize =
-                n.parse().map_err(|_| ParseError { line: ln, message: format!("bad local `{s}`") })?;
+            let i: usize = n.parse().map_err(|_| ParseError {
+                line: ln,
+                message: format!("bad local `{s}`"),
+            })?;
             return Ok(Operand::Local(LocalId::new(i)));
         }
         match s {
@@ -271,59 +324,68 @@ impl<'a> Parser<'a> {
             _ => {}
         }
         // ty:value
-        let (ty_s, val_s) = s
-            .split_once(':')
-            .ok_or_else(|| ParseError { line: ln, message: format!("bad operand `{s}`") })?;
+        let (ty_s, val_s) = s.split_once(':').ok_or_else(|| ParseError {
+            line: ln,
+            message: format!("bad operand `{s}`"),
+        })?;
         let ty = self.parse_type(ln, ty_s)?;
         if ty.is_float() {
-            let v: f64 = val_s
-                .parse()
-                .map_err(|_| ParseError { line: ln, message: format!("bad float `{val_s}`") })?;
+            let v: f64 = val_s.parse().map_err(|_| ParseError {
+                line: ln,
+                message: format!("bad float `{val_s}`"),
+            })?;
             Ok(Operand::const_float(ty, v))
         } else {
-            let v: i64 = val_s
-                .parse()
-                .map_err(|_| ParseError { line: ln, message: format!("bad int `{val_s}`") })?;
+            let v: i64 = val_s.parse().map_err(|_| ParseError {
+                line: ln,
+                message: format!("bad int `{val_s}`"),
+            })?;
             Ok(Operand::const_int(ty, v))
         }
     }
 
     fn parse_local(&self, ln: usize, s: &str) -> PResult<LocalId> {
-        let n = s
-            .trim()
-            .strip_prefix('%')
-            .ok_or_else(|| ParseError { line: ln, message: format!("expected local, got `{s}`") })?;
-        let i: usize =
-            n.parse().map_err(|_| ParseError { line: ln, message: format!("bad local `{s}`") })?;
+        let n = s.trim().strip_prefix('%').ok_or_else(|| ParseError {
+            line: ln,
+            message: format!("expected local, got `{s}`"),
+        })?;
+        let i: usize = n.parse().map_err(|_| ParseError {
+            line: ln,
+            message: format!("bad local `{s}`"),
+        })?;
         Ok(LocalId::new(i))
     }
 
     fn parse_block_id(&self, ln: usize, s: &str) -> PResult<BlockId> {
-        let n = s
-            .trim()
-            .strip_prefix("bb")
-            .ok_or_else(|| ParseError { line: ln, message: format!("expected block, got `{s}`") })?;
-        let i: usize =
-            n.parse().map_err(|_| ParseError { line: ln, message: format!("bad block `{s}`") })?;
+        let n = s.trim().strip_prefix("bb").ok_or_else(|| ParseError {
+            line: ln,
+            message: format!("expected block, got `{s}`"),
+        })?;
+        let i: usize = n.parse().map_err(|_| ParseError {
+            line: ln,
+            message: format!("bad block `{s}`"),
+        })?;
         Ok(BlockId::new(i))
     }
 
     fn parse_callee(&self, ln: usize, s: &str) -> PResult<Callee> {
         let s = s.trim();
         if let Some(name) = s.strip_prefix('@') {
-            let id = self
-                .func_ids
-                .get(name)
-                .ok_or_else(|| ParseError { line: ln, message: format!("unknown func `{name}`") })?;
+            let id = self.func_ids.get(name).ok_or_else(|| ParseError {
+                line: ln,
+                message: format!("unknown func `{name}`"),
+            })?;
             Ok(Callee::Direct(*id))
         } else if let Some(name) = s.strip_prefix("ext:") {
-            let id = self
-                .ext_ids
-                .get(name)
-                .ok_or_else(|| ParseError { line: ln, message: format!("unknown extern `{name}`") })?;
+            let id = self.ext_ids.get(name).ok_or_else(|| ParseError {
+                line: ln,
+                message: format!("unknown extern `{name}`"),
+            })?;
             Ok(Callee::Ext(*id))
         } else if s.starts_with('[') && s.ends_with(']') {
-            Ok(Callee::Indirect(self.parse_operand(ln, &s[1..s.len() - 1])?))
+            Ok(Callee::Indirect(
+                self.parse_operand(ln, &s[1..s.len() - 1])?,
+            ))
         } else {
             self.err(ln, format!("bad callee `{s}`"))
         }
@@ -339,12 +401,14 @@ impl<'a> Parser<'a> {
 
     fn parse_call_like(&self, ln: usize, s: &str) -> PResult<(Callee, Vec<Operand>)> {
         // "<callee>(<args>)"
-        let open = s
-            .find('(')
-            .ok_or_else(|| ParseError { line: ln, message: "expected `(` in call".into() })?;
-        let close = s
-            .rfind(')')
-            .ok_or_else(|| ParseError { line: ln, message: "expected `)` in call".into() })?;
+        let open = s.find('(').ok_or_else(|| ParseError {
+            line: ln,
+            message: "expected `(` in call".into(),
+        })?;
+        let close = s.rfind(')').ok_or_else(|| ParseError {
+            line: ln,
+            message: "expected `)` in call".into(),
+        })?;
         let callee = self.parse_callee(ln, &s[..open])?;
         let args = self.parse_args(ln, &s[open + 1..close])?;
         Ok((callee, args))
@@ -353,22 +417,37 @@ impl<'a> Parser<'a> {
     fn parse_function(&mut self, ln: usize, header: &str) -> PResult<Function> {
         // func name(N) -> ty [exported] [variadic] {
         let rest = header.strip_prefix("func ").expect("caller checked prefix");
-        let open = rest.find('(').ok_or(ParseError { line: ln, message: "expected `(`".into() })?;
-        let close = rest.find(')').ok_or(ParseError { line: ln, message: "expected `)`".into() })?;
+        let open = rest.find('(').ok_or(ParseError {
+            line: ln,
+            message: "expected `(`".into(),
+        })?;
+        let close = rest.find(')').ok_or(ParseError {
+            line: ln,
+            message: "expected `)`".into(),
+        })?;
         let name = rest[..open].trim().to_string();
         let param_count: u32 = rest[open + 1..close]
             .trim()
             .parse()
-            .map_err(|_| ParseError { line: ln, message: "bad param count".into() })?;
+            .map_err(|_| ParseError {
+                line: ln,
+                message: "bad param count".into(),
+            })?;
         let after = rest[close + 1..].trim();
         let after = after
             .strip_prefix("->")
-            .ok_or(ParseError { line: ln, message: "expected `->`".into() })?
+            .ok_or(ParseError {
+                line: ln,
+                message: "expected `->`".into(),
+            })?
             .trim();
         let mut words = after.split_whitespace();
         let ret_ty = self.parse_type(
             ln,
-            words.next().ok_or(ParseError { line: ln, message: "expected return type".into() })?,
+            words.next().ok_or(ParseError {
+                line: ln,
+                message: "expected return type".into(),
+            })?,
         )?;
         let mut linkage = Linkage::Internal;
         let mut variadic = false;
@@ -400,7 +479,10 @@ impl<'a> Parser<'a> {
                     Some("trampoline") => ProvKind::Trampoline,
                     other => return self.err(ln2, format!("unknown prov kind `{other:?}`")),
                 };
-                f.provenance = Provenance { kind, origins: w.map(String::from).collect() };
+                f.provenance = Provenance {
+                    kind,
+                    origins: w.map(String::from).collect(),
+                };
             } else if let Some(rest) = line.strip_prefix("annot ") {
                 f.annotations = rest.split_whitespace().map(String::from).collect();
             } else if let Some(rest) = line.strip_prefix("locals") {
@@ -444,9 +526,10 @@ impl<'a> Parser<'a> {
                 cur = Some(b);
                 continue;
             }
-            let block = cur
-                .as_mut()
-                .ok_or(ParseError { line: ln2, message: "instruction before first block".into() })?;
+            let block = cur.as_mut().ok_or(ParseError {
+                line: ln2,
+                message: "instruction before first block".into(),
+            })?;
             if let Some(term) = self.try_parse_term(ln2, line)? {
                 block.term = term;
             } else {
@@ -473,34 +556,58 @@ impl<'a> Parser<'a> {
         }
         if let Some(rest) = line.strip_prefix("switch ") {
             // switch ty value [c -> bb, ...] default bb
-            let open = rest.find('[').ok_or(ParseError { line: ln, message: "expected `[`".into() })?;
-            let close =
-                rest.rfind(']').ok_or(ParseError { line: ln, message: "expected `]`".into() })?;
+            let open = rest.find('[').ok_or(ParseError {
+                line: ln,
+                message: "expected `[`".into(),
+            })?;
+            let close = rest.rfind(']').ok_or(ParseError {
+                line: ln,
+                message: "expected `]`".into(),
+            })?;
             let mut head = rest[..open].split_whitespace();
             let ty = self.parse_type(
                 ln,
-                head.next().ok_or(ParseError { line: ln, message: "expected type".into() })?,
+                head.next().ok_or(ParseError {
+                    line: ln,
+                    message: "expected type".into(),
+                })?,
             )?;
             let value = self.parse_operand(
                 ln,
-                head.next().ok_or(ParseError { line: ln, message: "expected value".into() })?,
+                head.next().ok_or(ParseError {
+                    line: ln,
+                    message: "expected value".into(),
+                })?,
             )?;
             let mut cases = Vec::new();
-            for c in rest[open + 1..close].split(',').map(str::trim).filter(|s| !s.is_empty()) {
-                let (v, t) = c
-                    .split_once("->")
-                    .ok_or(ParseError { line: ln, message: "case needs `->`".into() })?;
-                let v: i64 = v
-                    .trim()
-                    .parse()
-                    .map_err(|_| ParseError { line: ln, message: "bad case value".into() })?;
+            for c in rest[open + 1..close]
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+            {
+                let (v, t) = c.split_once("->").ok_or(ParseError {
+                    line: ln,
+                    message: "case needs `->`".into(),
+                })?;
+                let v: i64 = v.trim().parse().map_err(|_| ParseError {
+                    line: ln,
+                    message: "bad case value".into(),
+                })?;
                 cases.push((v, self.parse_block_id(ln, t)?));
             }
             let def = rest[close + 1..]
                 .trim()
                 .strip_prefix("default")
-                .ok_or(ParseError { line: ln, message: "expected `default`".into() })?;
-            return Ok(Some(Term::Switch { ty, value, cases, default: self.parse_block_id(ln, def)? }));
+                .ok_or(ParseError {
+                    line: ln,
+                    message: "expected `default`".into(),
+                })?;
+            return Ok(Some(Term::Switch {
+                ty,
+                value,
+                cases,
+                default: self.parse_block_id(ln, def)?,
+            }));
         }
         if line == "ret" {
             return Ok(Some(Term::Ret(None)));
@@ -513,20 +620,24 @@ impl<'a> Parser<'a> {
         }
         // [%d =] invoke callee(args) to bbN unwind bbM
         let (dst, body) = match line.split_once('=') {
-            Some((lhs, rhs)) if lhs.trim().starts_with('%') && rhs.trim().starts_with("invoke ") => {
+            Some((lhs, rhs))
+                if lhs.trim().starts_with('%') && rhs.trim().starts_with("invoke ") =>
+            {
                 (Some(self.parse_local(ln, lhs)?), rhs.trim())
             }
             _ => (None, line),
         };
         if let Some(rest) = body.strip_prefix("invoke ") {
-            let to_pos = rest
-                .rfind(" to ")
-                .ok_or(ParseError { line: ln, message: "invoke needs ` to `".into() })?;
+            let to_pos = rest.rfind(" to ").ok_or(ParseError {
+                line: ln,
+                message: "invoke needs ` to `".into(),
+            })?;
             let (callee, args) = self.parse_call_like(ln, &rest[..to_pos])?;
             let tail = &rest[to_pos + 4..];
-            let (normal_s, unwind_s) = tail
-                .split_once("unwind")
-                .ok_or(ParseError { line: ln, message: "invoke needs `unwind`".into() })?;
+            let (normal_s, unwind_s) = tail.split_once("unwind").ok_or(ParseError {
+                line: ln,
+                message: "invoke needs `unwind`".into(),
+            })?;
             return Ok(Some(Term::Invoke {
                 dst,
                 callee,
@@ -542,28 +653,40 @@ impl<'a> Parser<'a> {
         // Void call has no `=`.
         if let Some(rest) = line.strip_prefix("call ") {
             let (callee, args) = self.parse_call_like(ln, rest)?;
-            return Ok(Inst::Call { dst: None, callee, args });
+            return Ok(Inst::Call {
+                dst: None,
+                callee,
+                args,
+            });
         }
         if let Some(rest) = line.strip_prefix("store ") {
             // store ty value, addr
             let mut w = rest.splitn(2, ' ');
             let ty = self.parse_type(
                 ln,
-                w.next().ok_or(ParseError { line: ln, message: "expected type".into() })?,
+                w.next().ok_or(ParseError {
+                    line: ln,
+                    message: "expected type".into(),
+                })?,
             )?;
-            let rest2 = w.next().ok_or(ParseError { line: ln, message: "expected operands".into() })?;
-            let (v, a) = rest2
-                .split_once(',')
-                .ok_or(ParseError { line: ln, message: "store needs value, addr".into() })?;
+            let rest2 = w.next().ok_or(ParseError {
+                line: ln,
+                message: "expected operands".into(),
+            })?;
+            let (v, a) = rest2.split_once(',').ok_or(ParseError {
+                line: ln,
+                message: "store needs value, addr".into(),
+            })?;
             return Ok(Inst::Store {
                 ty,
                 value: self.parse_operand(ln, v)?,
                 addr: self.parse_operand(ln, a)?,
             });
         }
-        let (lhs, rhs) = line
-            .split_once('=')
-            .ok_or_else(|| ParseError { line: ln, message: format!("unrecognised line `{line}`") })?;
+        let (lhs, rhs) = line.split_once('=').ok_or_else(|| ParseError {
+            line: ln,
+            message: format!("unrecognised line `{line}`"),
+        })?;
         let dst = self.parse_local(ln, lhs)?;
         let body = rhs.trim();
         let mut w = body.splitn(2, ' ');
@@ -575,12 +698,19 @@ impl<'a> Parser<'a> {
             let mut ww = rest.splitn(2, ' ');
             let ty = self.parse_type(
                 ln,
-                ww.next().ok_or(ParseError { line: ln, message: "expected type".into() })?,
+                ww.next().ok_or(ParseError {
+                    line: ln,
+                    message: "expected type".into(),
+                })?,
             )?;
-            let ops = ww.next().ok_or(ParseError { line: ln, message: "expected operands".into() })?;
-            let (l, r) = ops
-                .split_once(',')
-                .ok_or(ParseError { line: ln, message: "binop needs two operands".into() })?;
+            let ops = ww.next().ok_or(ParseError {
+                line: ln,
+                message: "expected operands".into(),
+            })?;
+            let (l, r) = ops.split_once(',').ok_or(ParseError {
+                line: ln,
+                message: "binop needs two operands".into(),
+            })?;
             return Ok(Inst::Bin {
                 op,
                 ty,
@@ -589,37 +719,60 @@ impl<'a> Parser<'a> {
                 rhs: self.parse_operand(ln, r)?,
             });
         }
-        if let Some(op) =
-            [UnOp::Neg, UnOp::Not, UnOp::FNeg].iter().find(|u| u.mnemonic() == mnem).copied()
+        if let Some(op) = [UnOp::Neg, UnOp::Not, UnOp::FNeg]
+            .iter()
+            .find(|u| u.mnemonic() == mnem)
+            .copied()
         {
             let mut ww = rest.splitn(2, ' ');
             let ty = self.parse_type(
                 ln,
-                ww.next().ok_or(ParseError { line: ln, message: "expected type".into() })?,
+                ww.next().ok_or(ParseError {
+                    line: ln,
+                    message: "expected type".into(),
+                })?,
             )?;
-            let src =
-                ww.next().ok_or(ParseError { line: ln, message: "expected operand".into() })?;
-            return Ok(Inst::Un { op, ty, dst, src: self.parse_operand(ln, src)? });
+            let src = ww.next().ok_or(ParseError {
+                line: ln,
+                message: "expected operand".into(),
+            })?;
+            return Ok(Inst::Un {
+                op,
+                ty,
+                dst,
+                src: self.parse_operand(ln, src)?,
+            });
         }
         match mnem {
             "cmp" => {
                 let mut ww = rest.splitn(3, ' ');
-                let pred_s =
-                    ww.next().ok_or(ParseError { line: ln, message: "expected pred".into() })?;
+                let pred_s = ww.next().ok_or(ParseError {
+                    line: ln,
+                    message: "expected pred".into(),
+                })?;
                 let pred = CmpPred::ALL
                     .iter()
                     .find(|p| p.mnemonic() == pred_s)
                     .copied()
-                    .ok_or_else(|| ParseError { line: ln, message: format!("bad pred `{pred_s}`") })?;
+                    .ok_or_else(|| ParseError {
+                        line: ln,
+                        message: format!("bad pred `{pred_s}`"),
+                    })?;
                 let ty = self.parse_type(
                     ln,
-                    ww.next().ok_or(ParseError { line: ln, message: "expected type".into() })?,
+                    ww.next().ok_or(ParseError {
+                        line: ln,
+                        message: "expected type".into(),
+                    })?,
                 )?;
-                let ops =
-                    ww.next().ok_or(ParseError { line: ln, message: "expected operands".into() })?;
-                let (l, r) = ops
-                    .split_once(',')
-                    .ok_or(ParseError { line: ln, message: "cmp needs two operands".into() })?;
+                let ops = ww.next().ok_or(ParseError {
+                    line: ln,
+                    message: "expected operands".into(),
+                })?;
+                let (l, r) = ops.split_once(',').ok_or(ParseError {
+                    line: ln,
+                    message: "cmp needs two operands".into(),
+                })?;
                 Ok(Inst::Cmp {
                     pred,
                     ty,
@@ -632,10 +785,15 @@ impl<'a> Parser<'a> {
                 let mut ww = rest.splitn(2, ' ');
                 let ty = self.parse_type(
                     ln,
-                    ww.next().ok_or(ParseError { line: ln, message: "expected type".into() })?,
+                    ww.next().ok_or(ParseError {
+                        line: ln,
+                        message: "expected type".into(),
+                    })?,
                 )?;
-                let ops =
-                    ww.next().ok_or(ParseError { line: ln, message: "expected operands".into() })?;
+                let ops = ww.next().ok_or(ParseError {
+                    line: ln,
+                    message: "expected operands".into(),
+                })?;
                 let parts: Vec<&str> = ops.split(',').map(str::trim).collect();
                 if parts.len() != 3 {
                     return self.err(ln, "select needs three operands");
@@ -652,16 +810,26 @@ impl<'a> Parser<'a> {
                 let mut ww = rest.splitn(2, ' ');
                 let ty = self.parse_type(
                     ln,
-                    ww.next().ok_or(ParseError { line: ln, message: "expected type".into() })?,
+                    ww.next().ok_or(ParseError {
+                        line: ln,
+                        message: "expected type".into(),
+                    })?,
                 )?;
-                let src =
-                    ww.next().ok_or(ParseError { line: ln, message: "expected operand".into() })?;
-                Ok(Inst::Copy { ty, dst, src: self.parse_operand(ln, src)? })
+                let src = ww.next().ok_or(ParseError {
+                    line: ln,
+                    message: "expected operand".into(),
+                })?;
+                Ok(Inst::Copy {
+                    ty,
+                    dst,
+                    src: self.parse_operand(ln, src)?,
+                })
             }
             "load" => {
-                let (ty_s, addr_s) = rest
-                    .split_once(',')
-                    .ok_or(ParseError { line: ln, message: "load needs `ty, addr`".into() })?;
+                let (ty_s, addr_s) = rest.split_once(',').ok_or(ParseError {
+                    line: ln,
+                    message: "load needs `ty, addr`".into(),
+                })?;
                 Ok(Inst::Load {
                     ty: self.parse_type(ln, ty_s.trim())?,
                     dst,
@@ -670,23 +838,24 @@ impl<'a> Parser<'a> {
             }
             "alloca" => {
                 let mut ww = rest.split_whitespace();
-                let size: u32 = ww
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or(ParseError { line: ln, message: "bad alloca size".into() })?;
+                let size: u32 = ww.next().and_then(|s| s.parse().ok()).ok_or(ParseError {
+                    line: ln,
+                    message: "bad alloca size".into(),
+                })?;
                 let mut align = 8;
                 if let Some("align") = ww.next() {
-                    align = ww
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .ok_or(ParseError { line: ln, message: "bad align".into() })?;
+                    align = ww.next().and_then(|s| s.parse().ok()).ok_or(ParseError {
+                        line: ln,
+                        message: "bad align".into(),
+                    })?;
                 }
                 Ok(Inst::Alloca { dst, size, align })
             }
             "ptradd" => {
-                let (b, o) = rest
-                    .split_once(',')
-                    .ok_or(ParseError { line: ln, message: "ptradd needs base, offset".into() })?;
+                let (b, o) = rest.split_once(',').ok_or(ParseError {
+                    line: ln,
+                    message: "ptradd needs base, offset".into(),
+                })?;
                 Ok(Inst::PtrAdd {
                     dst,
                     base: self.parse_operand(ln, b)?,
@@ -695,22 +864,28 @@ impl<'a> Parser<'a> {
             }
             "call" => {
                 let (callee, args) = self.parse_call_like(ln, rest)?;
-                Ok(Inst::Call { dst: Some(dst), callee, args })
+                Ok(Inst::Call {
+                    dst: Some(dst),
+                    callee,
+                    args,
+                })
             }
             "funcaddr" => {
-                let name = rest
-                    .strip_prefix('@')
-                    .ok_or(ParseError { line: ln, message: "expected @func".into() })?;
-                let func = *self
-                    .func_ids
-                    .get(name)
-                    .ok_or_else(|| ParseError { line: ln, message: format!("unknown func `{name}`") })?;
+                let name = rest.strip_prefix('@').ok_or(ParseError {
+                    line: ln,
+                    message: "expected @func".into(),
+                })?;
+                let func = *self.func_ids.get(name).ok_or_else(|| ParseError {
+                    line: ln,
+                    message: format!("unknown func `{name}`"),
+                })?;
                 Ok(Inst::FuncAddr { dst, func })
             }
             "globaladdr" => {
-                let name = rest
-                    .strip_prefix('@')
-                    .ok_or(ParseError { line: ln, message: "expected @global".into() })?;
+                let name = rest.strip_prefix('@').ok_or(ParseError {
+                    line: ln,
+                    message: "expected @global".into(),
+                })?;
                 let global = *self.global_ids.get(name).ok_or_else(|| ParseError {
                     line: ln,
                     message: format!("unknown global `{name}`"),
@@ -733,12 +908,14 @@ impl<'a> Parser<'a> {
                 if let Some(kind) = kinds.iter().find(|k| k.mnemonic() == m).copied() {
                     // Split at the LAST colon: the source operand may be a
                     // typed constant (`i64:0`) containing one itself.
-                    let (src_s, tys) = rest
-                        .rsplit_once(':')
-                        .ok_or(ParseError { line: ln, message: "cast needs `:`".into() })?;
-                    let (from_s, to_s) = tys
-                        .split_once("->")
-                        .ok_or(ParseError { line: ln, message: "cast needs `->`".into() })?;
+                    let (src_s, tys) = rest.rsplit_once(':').ok_or(ParseError {
+                        line: ln,
+                        message: "cast needs `:`".into(),
+                    })?;
+                    let (from_s, to_s) = tys.split_once("->").ok_or(ParseError {
+                        line: ln,
+                        message: "cast needs `->`".into(),
+                    })?;
                     return Ok(Inst::Cast {
                         kind,
                         dst,

@@ -17,7 +17,14 @@ pub fn print_module(m: &Module) -> String {
     for e in &m.externals {
         let params: Vec<String> = e.params.iter().map(|t| t.to_string()).collect();
         let var = if e.variadic { ", ..." } else { "" };
-        let _ = writeln!(s, "extern {}({}{}) -> {}", e.name, params.join(", "), var, e.ret_ty);
+        let _ = writeln!(
+            s,
+            "extern {}({}{}) -> {}",
+            e.name,
+            params.join(", "),
+            var,
+            e.ret_ty
+        );
     }
     for g in &m.globals {
         let exp = if g.exported { " exported" } else { "" };
@@ -60,9 +67,17 @@ pub fn print_function(m: &Module, f: &Function) -> String {
 }
 
 fn print_function_into(s: &mut String, m: &Module, f: &Function) {
-    let exp = if f.linkage == Linkage::Exported { " exported" } else { "" };
+    let exp = if f.linkage == Linkage::Exported {
+        " exported"
+    } else {
+        ""
+    };
     let var = if f.variadic { " variadic" } else { "" };
-    let _ = writeln!(s, "func {}({}) -> {}{}{} {{", f.name, f.param_count, f.ret_ty, exp, var);
+    let _ = writeln!(
+        s,
+        "func {}({}) -> {}{}{} {{",
+        f.name, f.param_count, f.ret_ty, exp, var
+    );
     let kind = match f.provenance.kind {
         ProvKind::Original => "original",
         ProvKind::Sep => "sep",
@@ -103,7 +118,11 @@ fn fmt_operand(o: &Operand) -> String {
         Operand::Local(l) => format!("{l}"),
         Operand::Const(Const::Int { value, ty }) => {
             if *ty == Type::I1 {
-                if *value & 1 == 1 { "true".into() } else { "false".into() }
+                if *value & 1 == 1 {
+                    "true".into()
+                } else {
+                    "false".into()
+                }
             } else {
                 format!("{ty}:{value}")
             }
@@ -129,16 +148,44 @@ fn fmt_args(args: &[Operand]) -> String {
 /// Formats one instruction in parseable syntax.
 pub fn fmt_inst(m: &Module, inst: &Inst) -> String {
     match inst {
-        Inst::Bin { op, ty, dst, lhs, rhs } => {
-            format!("{dst} = {} {ty} {}, {}", op.mnemonic(), fmt_operand(lhs), fmt_operand(rhs))
+        Inst::Bin {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        } => {
+            format!(
+                "{dst} = {} {ty} {}, {}",
+                op.mnemonic(),
+                fmt_operand(lhs),
+                fmt_operand(rhs)
+            )
         }
         Inst::Un { op, ty, dst, src } => {
             format!("{dst} = {} {ty} {}", op.mnemonic(), fmt_operand(src))
         }
-        Inst::Cmp { pred, ty, dst, lhs, rhs } => {
-            format!("{dst} = cmp {} {ty} {}, {}", pred.mnemonic(), fmt_operand(lhs), fmt_operand(rhs))
+        Inst::Cmp {
+            pred,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        } => {
+            format!(
+                "{dst} = cmp {} {ty} {}, {}",
+                pred.mnemonic(),
+                fmt_operand(lhs),
+                fmt_operand(rhs)
+            )
         }
-        Inst::Select { ty, dst, cond, on_true, on_false } => {
+        Inst::Select {
+            ty,
+            dst,
+            cond,
+            on_true,
+            on_false,
+        } => {
             format!(
                 "{dst} = select {ty} {}, {}, {}",
                 fmt_operand(cond),
@@ -147,8 +194,18 @@ pub fn fmt_inst(m: &Module, inst: &Inst) -> String {
             )
         }
         Inst::Copy { ty, dst, src } => format!("{dst} = copy {ty} {}", fmt_operand(src)),
-        Inst::Cast { kind, dst, src, from, to } => {
-            format!("{dst} = {} {} : {from} -> {to}", kind.mnemonic(), fmt_operand(src))
+        Inst::Cast {
+            kind,
+            dst,
+            src,
+            from,
+            to,
+        } => {
+            format!(
+                "{dst} = {} {} : {from} -> {to}",
+                kind.mnemonic(),
+                fmt_operand(src)
+            )
         }
         Inst::Load { ty, dst, addr } => format!("{dst} = load {ty}, {}", fmt_operand(addr)),
         Inst::Store { ty, addr, value } => {
@@ -156,7 +213,11 @@ pub fn fmt_inst(m: &Module, inst: &Inst) -> String {
         }
         Inst::Alloca { dst, size, align } => format!("{dst} = alloca {size} align {align}"),
         Inst::PtrAdd { dst, base, offset } => {
-            format!("{dst} = ptradd {}, {}", fmt_operand(base), fmt_operand(offset))
+            format!(
+                "{dst} = ptradd {}, {}",
+                fmt_operand(base),
+                fmt_operand(offset)
+            )
         }
         Inst::Call { dst, callee, args } => match dst {
             Some(d) => format!("{d} = call {}({})", fmt_callee(m, callee), fmt_args(args)),
@@ -175,21 +236,44 @@ pub fn fmt_inst(m: &Module, inst: &Inst) -> String {
 pub fn fmt_term(m: &Module, term: &Term) -> String {
     match term {
         Term::Jump(t) => format!("jmp {t}"),
-        Term::Branch { cond, then_bb, else_bb } => {
+        Term::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
             format!("br {}, {then_bb}, {else_bb}", fmt_operand(cond))
         }
-        Term::Switch { ty, value, cases, default } => {
+        Term::Switch {
+            ty,
+            value,
+            cases,
+            default,
+        } => {
             let cs: Vec<String> = cases.iter().map(|(v, t)| format!("{v} -> {t}")).collect();
-            format!("switch {ty} {} [{}] default {default}", fmt_operand(value), cs.join(", "))
+            format!(
+                "switch {ty} {} [{}] default {default}",
+                fmt_operand(value),
+                cs.join(", ")
+            )
         }
         Term::Ret(None) => "ret".into(),
         Term::Ret(Some(v)) => format!("ret {}", fmt_operand(v)),
-        Term::Invoke { dst, callee, args, normal, unwind } => {
+        Term::Invoke {
+            dst,
+            callee,
+            args,
+            normal,
+            unwind,
+        } => {
             let head = match dst {
                 Some(d) => format!("{d} = invoke"),
                 None => "invoke".into(),
             };
-            format!("{head} {}({}) to {normal} unwind {unwind}", fmt_callee(m, callee), fmt_args(args))
+            format!(
+                "{head} {}({}) to {normal} unwind {unwind}",
+                fmt_callee(m, callee),
+                fmt_args(args)
+            )
         }
         Term::Unreachable => "unreachable".into(),
     }
@@ -208,10 +292,20 @@ mod tests {
         let p = fb.add_param(Type::I32);
         let t = fb.new_block();
         let e = fb.new_block();
-        let c = fb.cmp(CmpPred::Sgt, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 0));
+        let c = fb.cmp(
+            CmpPred::Sgt,
+            Type::I32,
+            Operand::local(p),
+            Operand::const_int(Type::I32, 0),
+        );
         fb.branch(Operand::local(c), t, e);
         fb.switch_to(t);
-        let r = fb.bin(BinOp::Add, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 1));
+        let r = fb.bin(
+            BinOp::Add,
+            Type::I32,
+            Operand::local(p),
+            Operand::const_int(Type::I32, 1),
+        );
         fb.ret(Some(Operand::local(r)));
         fb.switch_to(e);
         fb.ret(Some(Operand::const_int(Type::I32, 0)));

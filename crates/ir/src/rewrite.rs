@@ -134,8 +134,9 @@ mod tests {
             lhs: Operand::local(LocalId(1)),
             rhs: Operand::local(LocalId(2)),
         };
-        let map: HashMap<_, _> =
-            [(LocalId(0), LocalId(10)), (LocalId(2), LocalId(12))].into_iter().collect();
+        let map: HashMap<_, _> = [(LocalId(0), LocalId(10)), (LocalId(2), LocalId(12))]
+            .into_iter()
+            .collect();
         remap_inst_locals(&mut i, &map);
         assert_eq!(i.def(), Some(LocalId(10)));
         let mut uses = Vec::new();
@@ -149,7 +150,12 @@ mod tests {
         let p = fb.add_param(Type::I32);
         let a = fb.new_block(); // bb1 — will die
         let b = fb.new_block(); // bb2 — survives
-        let c = fb.cmp(CmpPred::Sgt, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 0));
+        let c = fb.cmp(
+            CmpPred::Sgt,
+            Type::I32,
+            Operand::local(p),
+            Operand::const_int(Type::I32, 0),
+        );
         fb.branch(Operand::local(c), b, b);
         fb.switch_to(a);
         fb.jump(b);
@@ -160,7 +166,10 @@ mod tests {
         assert_eq!(f.blocks.len(), 2);
         assert_eq!(map.get(&b), Some(&BlockId(1)));
         // Entry branch must now point at the compacted id.
-        assert_eq!(f.block(BlockId(0)).term.successors(), vec![BlockId(1), BlockId(1)]);
+        assert_eq!(
+            f.block(BlockId(0)).term.successors(),
+            vec![BlockId(1), BlockId(1)]
+        );
     }
 
     #[test]

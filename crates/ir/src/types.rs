@@ -44,7 +44,10 @@ impl Type {
 
     /// Returns `true` for the integer types (including `I1`).
     pub fn is_int(self) -> bool {
-        matches!(self, Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64)
+        matches!(
+            self,
+            Type::I1 | Type::I8 | Type::I16 | Type::I32 | Type::I64
+        )
     }
 
     /// Returns `true` for the float types.
@@ -102,7 +105,11 @@ impl Type {
         if !self.compatible(other) {
             return None;
         }
-        Some(if self.size() >= other.size() { self } else { other })
+        Some(if self.size() >= other.size() {
+            self
+        } else {
+            other
+        })
     }
 }
 
@@ -150,7 +157,10 @@ mod tests {
         assert!(Type::I8.compatible(Type::I64));
         assert!(Type::F32.compatible(Type::F64));
         assert!(Type::Ptr.compatible(Type::Ptr));
-        assert!(!Type::I32.compatible(Type::F32), "int/float loses precision");
+        assert!(
+            !Type::I32.compatible(Type::F32),
+            "int/float loses precision"
+        );
         assert!(!Type::Ptr.compatible(Type::I64));
         assert!(!Type::Void.compatible(Type::Void));
     }

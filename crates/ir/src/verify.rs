@@ -61,7 +61,10 @@ impl<'m> Checker<'m> {
             for init in &g.init {
                 if let GInit::FuncPtr { func, .. } = init {
                     if func.index() >= self.m.functions.len() {
-                        self.err(format!("global `{}` references out-of-range {func}", g.name));
+                        self.err(format!(
+                            "global `{}` references out-of-range {func}",
+                            g.name
+                        ));
                     }
                 }
             }
@@ -127,7 +130,8 @@ impl<'m> Checker<'m> {
                 }
                 let target = &self.m.functions[t.index()];
                 let want = target.param_types().to_vec();
-                let (tname, tret, tvariadic) = (target.name.clone(), target.ret_ty, target.variadic);
+                let (tname, tret, tvariadic) =
+                    (target.name.clone(), target.ret_ty, target.variadic);
                 if !tvariadic && args.len() != want.len() {
                     self.err(format!(
                         "call to `{tname}` passes {} args, expected {}",
@@ -144,7 +148,9 @@ impl<'m> Checker<'m> {
                 for (i, (a, w)) in args.iter().zip(want.iter()).enumerate() {
                     if let Some(t) = self.operand_ty(f, a) {
                         if t != *w {
-                            self.err(format!("arg {i} of call to `{tname}` has type {t}, expected {w}"));
+                            self.err(format!(
+                                "arg {i} of call to `{tname}` has type {t}, expected {w}"
+                            ));
                         }
                     }
                 }
@@ -201,6 +207,7 @@ impl<'m> Checker<'m> {
     }
 
     fn check_function(&mut self, _id: FuncId, f: &Function) {
+        let errs_at_entry = self.errors.len();
         if f.param_count as usize > f.locals.len() {
             self.err("param_count exceeds locals".to_string());
         }
@@ -225,7 +232,9 @@ impl<'m> Checker<'m> {
                     self.check_block_ref(f, *normal);
                     self.check_block_ref(f, *unwind);
                     if unwind.index() < f.blocks.len() && !f.block(*unwind).is_pad() {
-                        self.err(format!("invoke unwind target {unwind} is not a landing pad"));
+                        self.err(format!(
+                            "invoke unwind target {unwind} is not a landing pad"
+                        ));
                     }
                     if normal.index() < f.blocks.len() && f.block(*normal).is_pad() {
                         self.err(format!("invoke normal target {normal} is a landing pad"));
@@ -261,11 +270,53 @@ impl<'m> Checker<'m> {
             self.check_term(f, &block.term);
             self.cur_bb = None;
         }
+
+        // Def-before-use for addresses, dominance-checked with a
+        // reaching-defs fallback
+        // ([`crate::analysis::dataflow::certainly_uninit_uses`]): a local
+        // dereferenced in reachable code (load/store address, indirect
+        // callee) must have at least one definition reaching it. Three
+        // deliberate limits keep this sound for the IR's real programs:
+        // KIR zero-initializes locals, so a maybe-uninit value read is
+        // defined behavior (it reads zero) and stays legal; deep fusion's
+        // ctrl-correlated block merging makes defs stop *dominating*
+        // their uses while every dynamic path still executes them, so
+        // only a use no def reaches on ANY path counts; and fission's
+        // naive (non-data-flow-reduced) extraction passes never-defined
+        // locals as call arguments on purpose (transporting the zero),
+        // so only *address* positions — where the zero faults — are
+        // errors. Runs only when the structural checks above are clean —
+        // the CFG walk indexes successor blocks, which may be out of
+        // range otherwise.
+        if self.errors.len() == errs_at_entry {
+            let cfg = crate::analysis::cfg::Cfg::compute(f);
+            for v in crate::analysis::dataflow::certainly_uninit_uses(f, &cfg) {
+                if !is_address_use(f, &v) {
+                    continue;
+                }
+                self.cur_bb = Some(v.block);
+                let site = match v.inst {
+                    Some(i) => format!("inst {i}"),
+                    None => "terminator".to_string(),
+                };
+                self.err(format!(
+                    "local {} is dereferenced but no definition reaches the use at {site}",
+                    v.local
+                ));
+                self.cur_bb = None;
+            }
+        }
     }
 
     fn check_inst(&mut self, f: &Function, inst: &Inst) {
         match inst {
-            Inst::Bin { op, ty, dst, lhs, rhs } => {
+            Inst::Bin {
+                op,
+                ty,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 if op.is_float_op() != ty.is_float() {
                     self.err(format!("{} on mismatched class {ty}", op.mnemonic()));
                 }
@@ -284,7 +335,13 @@ impl<'m> Checker<'m> {
                 self.expect_operand(f, src, *ty, "src");
                 self.expect_local(f, *dst, *ty, "dst");
             }
-            Inst::Cmp { pred, ty, dst, lhs, rhs } => {
+            Inst::Cmp {
+                pred,
+                ty,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 if pred.is_float_pred() != ty.is_float() {
                     self.err(format!("cmp {} on mismatched class {ty}", pred.mnemonic()));
                 }
@@ -292,7 +349,13 @@ impl<'m> Checker<'m> {
                 self.expect_operand(f, rhs, *ty, "rhs");
                 self.expect_local(f, *dst, Type::I1, "cmp dst");
             }
-            Inst::Select { ty, dst, cond, on_true, on_false } => {
+            Inst::Select {
+                ty,
+                dst,
+                cond,
+                on_true,
+                on_false,
+            } => {
                 self.expect_operand(f, cond, Type::I1, "select cond");
                 self.expect_operand(f, on_true, *ty, "select true arm");
                 self.expect_operand(f, on_false, *ty, "select false arm");
@@ -302,7 +365,13 @@ impl<'m> Checker<'m> {
                 self.expect_operand(f, src, *ty, "copy src");
                 self.expect_local(f, *dst, *ty, "copy dst");
             }
-            Inst::Cast { kind, dst, src, from, to } => {
+            Inst::Cast {
+                kind,
+                dst,
+                src,
+                from,
+                to,
+            } => {
                 self.expect_operand(f, src, *from, "cast src");
                 self.expect_local(f, *dst, *to, "cast dst");
                 let ok = match kind {
@@ -370,12 +439,21 @@ impl<'m> Checker<'m> {
     fn check_term(&mut self, f: &Function, term: &Term) {
         match term {
             Term::Jump(t) => self.check_block_ref(f, *t),
-            Term::Branch { cond, then_bb, else_bb } => {
+            Term::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 self.expect_operand(f, cond, Type::I1, "branch cond");
                 self.check_block_ref(f, *then_bb);
                 self.check_block_ref(f, *else_bb);
             }
-            Term::Switch { ty, value, cases, default } => {
+            Term::Switch {
+                ty,
+                value,
+                cases,
+                default,
+            } => {
                 if !ty.is_int() {
                     self.err(format!("switch on non-integer type {ty}"));
                 }
@@ -395,7 +473,9 @@ impl<'m> Checker<'m> {
                 (Some(_), Type::Void) => self.err("ret value in void function".to_string()),
                 (Some(op), t) => self.expect_operand(f, op, t, "ret value"),
             },
-            Term::Invoke { dst, callee, args, .. } => {
+            Term::Invoke {
+                dst, callee, args, ..
+            } => {
                 self.check_callee_sig(f, callee, args, *dst, true);
             }
             Term::Unreachable => {}
@@ -408,8 +488,36 @@ impl<'m> Checker<'m> {
 /// # Errors
 /// Returns every problem found; an empty `Ok(())` means the module is
 /// well-formed for the VM, the optimizer and the code generator.
+/// True when the flagged use sits in an address position: a load/store
+/// address or an indirect call/invoke target.
+fn is_address_use(f: &Function, v: &crate::analysis::dataflow::UseBeforeInit) -> bool {
+    let block = f.block(v.block);
+    match v.inst {
+        Some(i) => match &block.insts[i] {
+            Inst::Load { addr, .. } | Inst::Store { addr, .. } => addr.as_local() == Some(v.local),
+            Inst::Call {
+                callee: Callee::Indirect(p),
+                ..
+            } => p.as_local() == Some(v.local),
+            _ => false,
+        },
+        None => match &block.term {
+            Term::Invoke {
+                callee: Callee::Indirect(p),
+                ..
+            } => p.as_local() == Some(v.local),
+            _ => false,
+        },
+    }
+}
+
 pub fn verify_module(m: &Module) -> Result<(), Vec<VerifyError>> {
-    let mut c = Checker { m, errors: Vec::new(), cur_fn: None, cur_bb: None };
+    let mut c = Checker {
+        m,
+        errors: Vec::new(),
+        cur_fn: None,
+        cur_bb: None,
+    };
     c.check_module();
     if c.errors.is_empty() {
         Ok(())
@@ -424,7 +532,12 @@ pub fn verify_module(m: &Module) -> Result<(), Vec<VerifyError>> {
 /// Returns the problems found within `f`.
 pub fn verify_function(m: &Module, id: FuncId) -> Result<(), Vec<VerifyError>> {
     let f = m.function(id);
-    let mut c = Checker { m, errors: Vec::new(), cur_fn: Some(f.name.clone()), cur_bb: None };
+    let mut c = Checker {
+        m,
+        errors: Vec::new(),
+        cur_fn: Some(f.name.clone()),
+        cur_bb: None,
+    };
     c.check_function(id, f);
     if c.errors.is_empty() {
         Ok(())
@@ -461,7 +574,12 @@ mod tests {
         let mut m = Module::new("ok");
         let mut fb = FunctionBuilder::new("f", Type::I32);
         let p = fb.add_param(Type::I32);
-        let r = fb.bin(BinOp::Add, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 1));
+        let r = fb.bin(
+            BinOp::Add,
+            Type::I32,
+            Operand::local(p),
+            Operand::const_int(Type::I32, 1),
+        );
         fb.ret(Some(Operand::local(r)));
         m.push_function(fb.finish());
         assert!(verify_module(&m).is_ok());
@@ -472,11 +590,19 @@ mod tests {
         let mut m = Module::new("bad");
         let mut fb = FunctionBuilder::new("f", Type::I32);
         let p = fb.add_param(Type::I64); // wrong width used below
-        let r = fb.bin(BinOp::Add, Type::I32, Operand::local(p), Operand::const_int(Type::I32, 1));
+        let r = fb.bin(
+            BinOp::Add,
+            Type::I32,
+            Operand::local(p),
+            Operand::const_int(Type::I32, 1),
+        );
         fb.ret(Some(Operand::local(r)));
         m.push_function(fb.finish());
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("expected i32")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("expected i32")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -486,7 +612,10 @@ mod tests {
         fb.ret(None);
         m.push_function(fb.finish());
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("ret void")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("ret void")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -501,7 +630,10 @@ mod tests {
         caller.ret(None);
         m.push_function(caller.finish());
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("passes 0 args")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("passes 0 args")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -514,7 +646,10 @@ mod tests {
         f2.ret(None);
         m.push_function(f2.finish());
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("duplicate")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("duplicate")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -527,7 +662,10 @@ mod tests {
         fb.ret(None);
         m.push_function(fb.finish());
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("non-invoke edge")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("non-invoke edge")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -539,7 +677,10 @@ mod tests {
         fb.ret(None);
         m.push_function(fb.finish());
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("invalid cast")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("invalid cast")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -553,6 +694,10 @@ mod tests {
         fb.ret(None);
         m.push_function(fb.finish());
         let errs = verify_module(&m).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("duplicate switch case")), "{errs:?}");
+        assert!(
+            errs.iter()
+                .any(|e| e.message.contains("duplicate switch case")),
+            "{errs:?}"
+        );
     }
 }

@@ -95,6 +95,12 @@ pub enum VerifyPolicy {
     AtEnd,
     /// Never verify (trusted pipelines in hot sweeps).
     Never,
+    /// Verify *and* semantically audit after every pass: each pass's
+    /// output is checked against the observable-behavior summary of its
+    /// input ([`khaos_ir::ModuleSummary`]), so a structurally valid but
+    /// semantically wrong transform (dropped store, retargeted call,
+    /// orphaned effectful block) fails with [`PassError::Audit`].
+    AuditAfterEach,
 }
 
 /// Failure modes of a pipeline run.
@@ -115,6 +121,14 @@ pub enum PassError {
         /// What was out of range.
         detail: String,
     },
+    /// The module's audited observable behavior changed under
+    /// [`VerifyPolicy::AuditAfterEach`]; `pass` names the culprit.
+    Audit {
+        /// The pass after which the audit failed.
+        pass: String,
+        /// Every violation the auditor found.
+        diagnostics: Vec<khaos_ir::AuditDiagnostic>,
+    },
 }
 
 impl fmt::Display for PassError {
@@ -125,6 +139,17 @@ impl fmt::Display for PassError {
             }
             PassError::Unsupported { pass, detail } => {
                 write!(f, "pass `{pass}` unsupported: {detail}")
+            }
+            PassError::Audit { pass, diagnostics } => {
+                write!(
+                    f,
+                    "pass `{pass}` changed observable behavior ({} violation(s)):",
+                    diagnostics.len()
+                )?;
+                for d in diagnostics.iter().take(8) {
+                    write!(f, " {d};")?;
+                }
+                Ok(())
             }
         }
     }
@@ -438,13 +463,33 @@ impl Pipeline {
     pub fn run(&self, m: &mut Module, ctx: &mut PassCtx) -> Result<PipelineReport, PassError> {
         let start = Instant::now();
         let mut reports = Vec::with_capacity(self.passes.len());
+        // Under AuditAfterEach each pass's output summary becomes the next
+        // pass's baseline, so the whole pipeline costs one summary per pass
+        // plus the initial one.
+        let mut summary = match ctx.verify {
+            VerifyPolicy::AuditAfterEach => Some(khaos_ir::ModuleSummary::compute(m)),
+            _ => None,
+        };
         for pass in &self.passes {
             let report = pass.run(m, ctx)?;
-            if ctx.verify == VerifyPolicy::AfterEach {
-                verify_module(m).map_err(|report| PassError::Verify {
-                    pass: pass.name(),
-                    report,
-                })?;
+            match ctx.verify {
+                VerifyPolicy::AfterEach | VerifyPolicy::AuditAfterEach => {
+                    verify_module(m).map_err(|report| PassError::Verify {
+                        pass: pass.name(),
+                        report,
+                    })?;
+                }
+                VerifyPolicy::AtEnd | VerifyPolicy::Never => {}
+            }
+            if let Some(before) = summary.take() {
+                let (after, diagnostics) = khaos_ir::audit::audit_step(&before, m);
+                if !diagnostics.is_empty() {
+                    return Err(PassError::Audit {
+                        pass: pass.name(),
+                        diagnostics,
+                    });
+                }
+                summary = Some(after);
             }
             reports.push(report);
         }
