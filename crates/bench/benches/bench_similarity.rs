@@ -392,6 +392,21 @@ fn time_ns<F: FnMut() -> f64>(iters: u32, mut f: F) -> (f64, f64) {
     (start.elapsed().as_nanos() as f64 / iters as f64, value)
 }
 
+/// Best-of-`rounds` timing: the minimum single-round wall clock plus
+/// the last value. A speedup ratio of two best-of measurements is
+/// robust to scheduler noise in a way a ratio of averages is not —
+/// each side sheds its own worst rounds.
+fn time_ns_best<F: FnMut() -> f64>(rounds: u32, mut f: F) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut value = 0.0;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        value = criterion::black_box(f());
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    (best, value)
+}
+
 fn json_escape_entry(tool: &str, seed_ns: f64, cold_ns: f64, warm_ns: f64, equal: bool) -> String {
     format!(
         "    {{\"tool\": \"{tool}\", \"seed_escape_ns\": {seed_ns:.0}, \
@@ -877,6 +892,219 @@ fn bench_similarity(c: &mut Criterion) {
     );
 
     // -----------------------------------------------------------------
+    // Corpus-scale IVF index tier: a 10k-function corpus, queried
+    // through the coarse quantizer + certified int8 shortlist + exact
+    // re-rank, against the brute-force exact scan. Three gates:
+    // recall@{1,10,50} must be exactly 1.0 at the default nprobe,
+    // the fig10-pair index must reproduce the exact ranking bit for
+    // bit, and escape@k answered through the index must equal the
+    // streaming escape protocol. The ≥5× per-query speedup bar binds
+    // on SIMD hosts (the int8 scan is where the arithmetic savings
+    // come from; a scalar host only saves the margin window).
+    // -----------------------------------------------------------------
+    use khaos_index::{IndexParams, IvfIndex, RowMeta};
+
+    const CORPUS_ROWS: usize = 10_000;
+    const CORPUS_DIM: usize = 64;
+    let corpus_rows: Vec<Vec<f64>> = (0..CORPUS_ROWS)
+        .map(|i| {
+            let cluster = i % 96;
+            (0..CORPUS_DIM)
+                .map(|d| {
+                    let base = (((cluster * 131 + d * 17) % 255) as f64 / 127.5) - 1.0;
+                    let h = (i as u64 ^ 0xC60_2023)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .rotate_left((d % 61) as u32);
+                    base + ((h as f64 / u64::MAX as f64) - 0.5) * 0.5
+                })
+                .collect()
+        })
+        .collect();
+    let corpus_meta: Vec<RowMeta> = (0..CORPUS_ROWS)
+        .map(|i| RowMeta {
+            binary: (i / 64) as u64,
+            function: (i % 64) as u32,
+            name: String::new(),
+        })
+        .collect();
+    let corpus = Arc::new(FunctionEmbeddings::from_rows(corpus_rows));
+    let big_idx = IvfIndex::build(
+        "bench",
+        0,
+        Arc::clone(&corpus),
+        corpus_meta,
+        &IndexParams::default(),
+    );
+    assert!(
+        big_idx.default_nprobe() < big_idx.nlist(),
+        "the 10k corpus must exercise a partial probe (nprobe {} of nlist {})",
+        big_idx.default_nprobe(),
+        big_idx.nlist()
+    );
+
+    // Queries: perturbed corpus rows — near the data manifold, never
+    // exact duplicates.
+    let index_queries: Vec<Vec<f64>> = (0..64usize)
+        .map(|qi| {
+            let row = big_idx.exact_rows().row((qi * 157) % CORPUS_ROWS);
+            row.iter()
+                .enumerate()
+                .map(|(d, &v)| {
+                    let h = (qi as u64)
+                        .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                        .rotate_left((d % 59) as u32);
+                    v + ((h as f64 / u64::MAX as f64) - 0.5) * 0.02
+                })
+                .collect()
+        })
+        .collect();
+    let query_emb = FunctionEmbeddings::from_rows(index_queries.clone());
+    let query_rows: Vec<usize> = (0..query_emb.len()).collect();
+
+    // The recall gate: exactly 1.0 at every fig10 threshold, default
+    // nprobe.
+    let mut index_recalls = Vec::new();
+    for &k in &KS {
+        let r = big_idx.recall_at(&query_emb, &query_rows, k, 0);
+        assert_eq!(
+            r,
+            1.0,
+            "index recall@{k} = {r} at default nprobe {} (nlist {}) on the {CORPUS_ROWS}-row corpus",
+            big_idx.default_nprobe(),
+            big_idx.nlist()
+        );
+        index_recalls.push(r);
+    }
+
+    // Per-query wall clock: brute-force exact scan vs the index at its
+    // default nprobe, same queries, same k, best-of-rounds on both
+    // sides so a noisy scheduler round cannot sink the ratio.
+    const INDEX_K: usize = 50;
+    let (brute_total_ns, brute_v) = time_ns_best(4, || {
+        let mut acc = 0.0;
+        for q in &index_queries {
+            acc += big_idx.brute_top_k(q, INDEX_K)[0].1;
+        }
+        acc
+    });
+    let (index_total_ns, index_v) = time_ns_best(4, || {
+        let mut acc = 0.0;
+        for q in &index_queries {
+            acc += big_idx.query(q, INDEX_K)[0].1;
+        }
+        acc
+    });
+    assert_eq!(
+        brute_v.to_bits(),
+        index_v.to_bits(),
+        "index top-1 scores diverged from brute force on the timed queries"
+    );
+    let brute_query_ns = brute_total_ns / index_queries.len() as f64;
+    let index_query_ns = index_total_ns / index_queries.len() as f64;
+    let index_speedup = brute_query_ns / index_query_ns;
+    println!(
+        "# index: {CORPUS_ROWS} rows dim {CORPUS_DIM}, nlist {} nprobe {}, top-{INDEX_K} \
+         {:.0} ns/query brute -> {:.0} ns/query indexed, {index_speedup:.2}x \
+         (bar: >= 5x on SIMD hosts), recall@{{1,10,50}} = [{:.2}, {:.2}, {:.2}]",
+        big_idx.nlist(),
+        big_idx.default_nprobe(),
+        brute_query_ns,
+        index_query_ns,
+        index_recalls[0],
+        index_recalls[1],
+        index_recalls[2]
+    );
+    if available.contains(&KernelKind::Avx2) {
+        assert!(
+            index_speedup >= 5.0,
+            "index tier regression: only {index_speedup:.2}x over the brute-force scan \
+             at {CORPUS_ROWS} rows on a SIMD host (bar: >= 5x)"
+        );
+    }
+
+    // Bit-identity on the fig10 pair: an index over the obfuscated
+    // binary's embeddings must reproduce the exact ranking bit for bit
+    // (the pair corpus is small enough that the default nprobe covers
+    // every cell — the certified-shortlist contract then guarantees
+    // equality, not approximation).
+    let pair_meta: Vec<RowMeta> = (0..te.len())
+        .map(|j| RowMeta {
+            binary: obf_bin.fingerprint(),
+            function: j as u32,
+            name: obf_bin.functions[j].name.clone().unwrap_or_default(),
+        })
+        .collect();
+    let pair_idx = IvfIndex::build(
+        a2v.name(),
+        a2v.config_fingerprint(),
+        Arc::clone(&te),
+        pair_meta,
+        &IndexParams::default(),
+    );
+    let mut pair_bits_equal = true;
+    for qi in 0..qe.len() {
+        for &k in &KS {
+            let exact = pair_idx.brute_top_k(qe.row(qi), k);
+            let indexed = pair_idx.query(qe.row(qi), k);
+            pair_bits_equal &= indexed.len() == exact.len()
+                && indexed
+                    .iter()
+                    .zip(&exact)
+                    .all(|(&(ja, sa), &(jb, sb))| ja == jb && sa.to_bits() == sb.to_bits());
+        }
+    }
+    assert!(
+        pair_bits_equal,
+        "fig10-pair index ranking diverged from the brute-force scan"
+    );
+
+    // escape@k as a client of the index: identical escape fractions to
+    // the streaming protocol, bit for bit.
+    let vuln_rows: Vec<usize> = base_bin
+        .functions
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.provenance.annotations.iter().any(|a| a == "vulnerable"))
+        .map(|(i, _)| i)
+        .collect();
+    let index_escape = pair_idx.escape_profile(&qe, &vuln_rows, &KS, 0, &|qi, meta| {
+        khaos_diff::origins_match(
+            &base_bin.functions[qi].provenance,
+            &obf_bin.functions[meta.function as usize].provenance,
+        )
+    });
+    let stream_escape =
+        khaos_diff::escape_profile_streaming(&a2v, &base_bin, &obf_bin, &KS, &stream_cache);
+    let escape_via_index_equal = index_escape
+        .iter()
+        .zip(&stream_escape)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(
+        escape_via_index_equal,
+        "escape@k through the index ({index_escape:?}) diverged from the streaming \
+         protocol ({stream_escape:?})"
+    );
+    println!(
+        "# index: fig10 pair ranking bit-equal: {pair_bits_equal}, escape@{{1,10,50}} via \
+         index == streaming: {escape_via_index_equal} ({index_escape:?})"
+    );
+    let index_json = format!(
+        "  \"index\": {{\"what\": \"IVF coarse quantizer + certified int8 shortlist + exact \
+         re-rank vs brute-force scan, {CORPUS_ROWS}-row corpus, top-{INDEX_K} per query\", \
+         \"rows\": {CORPUS_ROWS}, \"dim\": {CORPUS_DIM}, \"nlist\": {}, \"nprobe\": {}, \
+         \"brute_ns_per_query\": {brute_query_ns:.0}, \"index_ns_per_query\": {index_query_ns:.0}, \
+         \"speedup\": {index_speedup:.2}, \
+         \"recall_at_1\": {:.2}, \"recall_at_10\": {:.2}, \"recall_at_50\": {:.2}, \
+         \"fig10_pair_bits_equal\": {pair_bits_equal}, \
+         \"escape_via_index_equals_streaming\": {escape_via_index_equal}}}",
+        big_idx.nlist(),
+        big_idx.default_nprobe(),
+        index_recalls[0],
+        index_recalls[1],
+        index_recalls[2],
+    );
+
+    // -----------------------------------------------------------------
     // Semantic-audit overhead on the fig10 build path: the same
     // baseline + FuFiAll builds that produced the bench pair, run with
     // structural verification only (`AfterEach`, the pre-auditor
@@ -904,8 +1132,24 @@ fn bench_similarity(c: &mut Criterion) {
             .expect("obfuscated build");
         m.inst_count() as f64
     };
-    let (verify_ns, verify_v) = time_ns(3, || build_with(VerifyPolicy::AfterEach));
-    let (audit_ns, audit_v) = time_ns(3, || build_with(VerifyPolicy::AuditAfterEach));
+    // Interleaved best-of-rounds: on a shared host the scheduler
+    // drifts on a timescale comparable to one build, so timing every
+    // verify-only round before every audit round turns that drift
+    // into a systematic bias on the overhead ratio. Alternating the
+    // two policies makes both sides sample the same conditions; each
+    // side then keeps its own best round, like the index ratio above.
+    let mut verify_ns = f64::INFINITY;
+    let mut audit_ns = f64::INFINITY;
+    let mut verify_v = 0.0;
+    let mut audit_v = 0.0;
+    for _ in 0..4 {
+        let (v_ns, v) = time_ns_best(1, || build_with(VerifyPolicy::AfterEach));
+        let (a_ns, a) = time_ns_best(1, || build_with(VerifyPolicy::AuditAfterEach));
+        verify_ns = verify_ns.min(v_ns);
+        audit_ns = audit_ns.min(a_ns);
+        verify_v = v;
+        audit_v = a;
+    }
     assert_eq!(
         verify_v.to_bits(),
         audit_v.to_bits(),
@@ -974,7 +1218,7 @@ fn bench_similarity(c: &mut Criterion) {
          \"parallel_streaming\": {{\"what\": \"row-parallel rank-only escape@{{1,10,50}}, all {} \
          functions vulnerable, multi-thread vs KHAOS_THREADS=1\", \"threads\": {threads}, \
          \"single_thread_ns\": {:.0}, \"multi_thread_ns\": {:.0}, \"speedup\": {par_speedup:.2}, \
-         \"ranked_bits_equal\": {ranked_bits_equal}}},\n{kernels_json},\n{quant_json},\n{audit_json}\n}}\n",
+         \"ranked_bits_equal\": {ranked_bits_equal}}},\n{kernels_json},\n{quant_json},\n{index_json},\n{audit_json}\n}}\n",
         base_bin.functions.len(),
         base_bin
             .functions

@@ -98,6 +98,7 @@ pub struct KernelTable {
     pub kind: KernelKind,
     dot_raw: fn(&[f64], &[f64]) -> f64,
     dot_i8_raw: fn(&[i8], &[i8]) -> i32,
+    scan_i8_raw: fn(&[i8], &[i8], &mut [i32]),
 }
 
 impl KernelTable {
@@ -115,12 +116,28 @@ impl KernelTable {
         debug_assert_eq!(a.len(), b.len(), "dot over mismatched dimensions");
         (self.dot_i8_raw)(a, b)
     }
+
+    /// Row-batched i8 scan: `out[r]` becomes the [`Self::dot_i8`] of
+    /// `q` against the `r`-th row of the packed block `rows`
+    /// (`dim = q.len()`, `out.len()` consecutive rows) — one dispatch
+    /// call for a whole block instead of one per row. Integer adds
+    /// are exact, so every `out[r]` equals the per-row call.
+    #[inline]
+    pub fn scan_i8(&self, q: &[i8], rows: &[i8], out: &mut [i32]) {
+        debug_assert_eq!(
+            rows.len(),
+            q.len() * out.len(),
+            "scan over a mismatched row block"
+        );
+        (self.scan_i8_raw)(q, rows, out)
+    }
 }
 
 static SCALAR_TABLE: KernelTable = KernelTable {
     kind: KernelKind::Scalar,
     dot_raw: raw::dot_blocked,
     dot_i8_raw: raw::dot_i8,
+    scan_i8_raw: raw::scan_i8,
 };
 
 #[cfg(target_arch = "x86_64")]
@@ -128,6 +145,7 @@ static AVX2_TABLE: KernelTable = KernelTable {
     kind: KernelKind::Avx2,
     dot_raw: x86::dot_avx2_safe,
     dot_i8_raw: x86::dot_i8_avx2_safe,
+    scan_i8_raw: x86::scan_i8_avx2_safe,
 };
 
 #[cfg(target_arch = "x86_64")]
@@ -135,6 +153,7 @@ static AVX512_TABLE: KernelTable = KernelTable {
     kind: KernelKind::Avx512,
     dot_raw: x86::dot_avx512_safe,
     dot_i8_raw: x86::dot_i8_avx512_safe,
+    scan_i8_raw: x86::scan_i8_avx512_safe,
 };
 
 /// The table for `kind`, or `None` when this host lacks the features.
@@ -325,6 +344,19 @@ pub(crate) mod raw {
     pub fn tail_dot_i8(a: &[i8], b: &[i8]) -> i32 {
         dot_i8(a, b)
     }
+
+    /// Row-batched i8 scan over a packed row block (`dim = q.len()`):
+    /// one [`dot_i8`] per row, in row order.
+    pub fn scan_i8(q: &[i8], rows: &[i8], out: &mut [i32]) {
+        let dim = q.len();
+        if dim == 0 {
+            out.fill(0);
+            return;
+        }
+        for (o, row) in out.iter_mut().zip(rows.chunks_exact(dim)) {
+            *o = dot_i8(q, row);
+        }
+    }
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -346,6 +378,12 @@ mod x86 {
     }
     pub fn dot_i8_avx512_safe(a: &[i8], b: &[i8]) -> i32 {
         unsafe { dot_i8_avx512(a, b) }
+    }
+    pub fn scan_i8_avx2_safe(q: &[i8], rows: &[i8], out: &mut [i32]) {
+        unsafe { scan_i8_avx2(q, rows, out) }
+    }
+    pub fn scan_i8_avx512_safe(q: &[i8], rows: &[i8], out: &mut [i32]) {
+        unsafe { scan_i8_avx512(q, rows, out) }
     }
 
     /// AVX2 replica of the blocked reduction: `acc0..3` / `acc4..7`
@@ -454,6 +492,40 @@ mod x86 {
         }
         let head = _mm512_reduce_add_epi32(acc);
         head + raw::tail_dot_i8(&a[blocks * 32..n], &b[blocks * 32..n])
+    }
+
+    /// Row-batched AVX2 i8 scan: the whole block loops inside one
+    /// `target_feature` context, so the per-row dot inlines and the
+    /// dispatch call is paid once per block instead of once per row.
+    ///
+    /// # Safety
+    /// Caller must have verified `avx2` is available.
+    #[target_feature(enable = "avx2")]
+    unsafe fn scan_i8_avx2(q: &[i8], rows: &[i8], out: &mut [i32]) {
+        let dim = q.len();
+        if dim == 0 {
+            out.fill(0);
+            return;
+        }
+        for (o, row) in out.iter_mut().zip(rows.chunks_exact(dim)) {
+            *o = unsafe { dot_i8_avx2(q, row) };
+        }
+    }
+
+    /// Row-batched AVX-512 i8 scan (same shape as the AVX2 one).
+    ///
+    /// # Safety
+    /// Caller must have verified `avx512f` **and** `avx512bw`.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    unsafe fn scan_i8_avx512(q: &[i8], rows: &[i8], out: &mut [i32]) {
+        let dim = q.len();
+        if dim == 0 {
+            out.fill(0);
+            return;
+        }
+        for (o, row) in out.iter_mut().zip(rows.chunks_exact(dim)) {
+            *o = unsafe { dot_i8_avx512(q, row) };
+        }
     }
 }
 
@@ -582,6 +654,34 @@ mod tests {
                         table.dot_i8(&a, &b),
                         want,
                         "{} i8 at n={n} seed={seed}",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i8_scan_matches_per_row_dots_across_variants() {
+        for kind in available() {
+            let table = table_for(kind).expect("listed as available");
+            for &dim in &[0usize, 1, 7, 31, 32, 33, 64, 65] {
+                let nrows = 5;
+                let q: Vec<i8> = rand_vec(97, dim)
+                    .iter()
+                    .map(|x| (x * 128.0).floor().clamp(-128.0, 127.0) as i8)
+                    .collect();
+                let rows: Vec<i8> = rand_vec(131, dim * nrows)
+                    .iter()
+                    .map(|x| (x * 128.0).floor().clamp(-128.0, 127.0) as i8)
+                    .collect();
+                let mut got = vec![0i32; nrows];
+                table.scan_i8(&q, &rows, &mut got);
+                for r in 0..nrows {
+                    assert_eq!(
+                        got[r],
+                        SCALAR_TABLE.dot_i8(&q, &rows[r * dim..(r + 1) * dim]),
+                        "{} scan row {r} at dim={dim}",
                         kind.name()
                     );
                 }

@@ -221,6 +221,74 @@ impl QuantizedEmbeddings {
             );
         }
     }
+
+    /// [`Self::approx_scan`] restricted to the given candidate rows of
+    /// `other` — the IVF cell scan (`khaos-index` probes a subset of
+    /// cells, not the whole corpus). Scores are the same fixed
+    /// expression as [`Self::approx_dot`], so a subset scan over all
+    /// rows is bit-identical to the full scan.
+    #[inline]
+    pub fn approx_scan_subset(
+        &self,
+        i: usize,
+        other: &QuantizedEmbeddings,
+        candidates: impl IntoIterator<Item = usize>,
+        mut f: impl FnMut(usize, f64),
+    ) {
+        debug_assert_eq!(self.dim, other.dim, "dot over mismatched dimensions");
+        let table = kernels::active_table();
+        let qi = self.row_codes(i);
+        let (si, oi, sum_i) = (self.scales[i], self.offsets[i], self.qsums[i] as f64);
+        let dim_f = self.dim as f64;
+        for j in candidates {
+            let qdot = table.dot_i8(qi, other.row_codes(j)) as f64;
+            let (sj, oj, sum_j) = (other.scales[j], other.offsets[j], other.qsums[j] as f64);
+            f(
+                j,
+                si * sj * qdot + si * oj * sum_i + sj * oi * sum_j + dim_f * oi * oj,
+            );
+        }
+    }
+
+    /// [`Self::approx_scan_subset`] specialized to one **contiguous**
+    /// row block of `other` — the IVF cell scan, where every probed
+    /// cell is one packed slice of the quant tier. All the block's
+    /// integer dots go through a single dispatched
+    /// [`kernels::KernelTable::scan_i8`] call (`qdots` is caller
+    /// scratch, cleared and resized here so repeated cell scans reuse
+    /// one allocation), and each score is then the same fixed
+    /// expression as [`Self::approx_dot`] in the same order — the
+    /// block scan is bit-identical to the per-row scans.
+    pub fn approx_scan_block(
+        &self,
+        i: usize,
+        other: &QuantizedEmbeddings,
+        rows: std::ops::Range<usize>,
+        qdots: &mut Vec<i32>,
+        mut f: impl FnMut(usize, f64),
+    ) {
+        debug_assert_eq!(self.dim, other.dim, "dot over mismatched dimensions");
+        let table = kernels::active_table();
+        let qi = self.row_codes(i);
+        let (si, oi, sum_i) = (self.scales[i], self.offsets[i], self.qsums[i] as f64);
+        let dim_f = self.dim as f64;
+        qdots.clear();
+        qdots.resize(rows.len(), 0);
+        table.scan_i8(
+            qi,
+            &other.data[rows.start * self.dim..rows.end * self.dim],
+            qdots,
+        );
+        for (off, &qdot) in qdots.iter().enumerate() {
+            let j = rows.start + off;
+            let qdot = qdot as f64;
+            let (sj, oj, sum_j) = (other.scales[j], other.offsets[j], other.qsums[j] as f64);
+            f(
+                j,
+                si * sj * qdot + si * oj * sum_i + sj * oi * sum_j + dim_f * oi * oj,
+            );
+        }
+    }
 }
 
 /// Ranked top-`k` for query row `qi`: shortlist

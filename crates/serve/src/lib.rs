@@ -1,0 +1,476 @@
+//! # khaos-serve — the corpus-search daemon
+//!
+//! A long-lived process that loads every [`khaos_index::IvfIndex`]
+//! segment from a `khaos-store` and answers ranked corpus queries over
+//! a TCP socket. The wire protocol **is** the store record format:
+//! each message is one `KHST` frame (magic, version, kind, length,
+//! payload, FNV-1a checksum) with a wire-only kind in `16..=23` — see
+//! [`protocol`] for the full frame grammar. Reusing the record codec
+//! means scores cross the wire as raw f64 bits: a remote query is
+//! bit-identical to a local [`khaos_index::IvfIndex::query_with`].
+//!
+//! ## Concurrency model
+//!
+//! One reader thread per connection parses frames and answers cheap
+//! requests (ping, stats) inline. Queries are forwarded to a single
+//! dispatcher thread that drains every request waiting in its channel
+//! and executes the burst as **one batch** through
+//! `khaos_par::par_map` — concurrent clients share a blocked scan
+//! instead of contending thread-per-query. Each query's answer depends
+//! only on its own request (the index is immutable and `query_with`
+//! is deterministic), so batching cannot change any response: N
+//! concurrent clients receive byte-identical frames to N serial ones,
+//! at any `KHAOS_THREADS` — the concurrency suite pins this.
+//!
+//! ## Failure behavior
+//!
+//! Malformed input never panics or hangs the daemon: every frame
+//! violation (bad magic, bad version, unknown kind, oversized length
+//! prefix, checksum damage, unparseable payload) is answered with a
+//! structured kind-18 error naming the violation, after which the
+//! connection closes (framing may be lost). Other connections — and
+//! new ones — are unaffected.
+
+pub mod protocol;
+
+use khaos_index::IvfIndex;
+use protocol::{
+    validate_header, FrameError, Hit, IndexInfo, Message, QueryReq, ServerStats, ERR_BAD_DIMS,
+    ERR_BAD_FRAME, ERR_BAD_REQUEST, ERR_UNKNOWN_INDEX, ERR_UNSUPPORTED, FRAME_CHECKSUM_LEN,
+    FRAME_HEADER_LEN,
+};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// How long blocking socket reads wait before re-checking the
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Hard cap on results per query (a hostile `k` must not make the
+/// daemon heap-select the whole corpus).
+pub const MAX_K: u32 = 4096;
+
+struct Shared {
+    indexes: Vec<Arc<IvfIndex>>,
+    queries: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Resolves a query's index: exact `(tool, config)` match, or the
+    /// first index of the tool when `config == 0`.
+    fn resolve(&self, tool: &str, config: u64) -> Option<&Arc<IvfIndex>> {
+        self.indexes
+            .iter()
+            .find(|i| i.tool() == tool && (config == 0 || i.config() == config))
+    }
+
+    fn answer_query(&self, req: &QueryReq) -> Message {
+        let Some(idx) = self.resolve(&req.tool, req.config) else {
+            return Message::Error {
+                code: ERR_UNKNOWN_INDEX,
+                message: format!(
+                    "no index for tool {:?} cfg={:016x} (loaded: {})",
+                    req.tool,
+                    req.config,
+                    self.indexes.len()
+                ),
+            };
+        };
+        if req.q.len() != idx.dim() {
+            return Message::Error {
+                code: ERR_BAD_DIMS,
+                message: format!(
+                    "query has {} dims, index {:?} has {}",
+                    req.q.len(),
+                    req.tool,
+                    idx.dim()
+                ),
+            };
+        }
+        if req.k > MAX_K {
+            return Message::Error {
+                code: ERR_BAD_REQUEST,
+                message: format!("k={} exceeds the {MAX_K} cap", req.k),
+            };
+        }
+        let ranked = idx.query_with(&req.q, req.k as usize, req.nprobe as usize);
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        Message::Hits(
+            ranked
+                .into_iter()
+                .map(|(row, score)| {
+                    let m = idx.meta(row);
+                    Hit {
+                        row: row as u64,
+                        score,
+                        binary: m.binary,
+                        function: m.function,
+                        name: m.name.clone(),
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    fn stats(&self) -> Message {
+        Message::Stats(ServerStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            indexes: self
+                .indexes
+                .iter()
+                .map(|i| IndexInfo {
+                    tool: i.tool().to_string(),
+                    config: i.config(),
+                    corpus: i.corpus(),
+                    rows: i.len() as u64,
+                    dim: i.dim() as u64,
+                    nlist: i.nlist() as u64,
+                    nprobe: i.default_nprobe() as u32,
+                })
+                .collect(),
+        })
+    }
+}
+
+type QueryJob = (QueryReq, mpsc::Sender<Message>);
+
+/// A running daemon: accept loop, per-connection readers, one
+/// batching dispatcher. Stops on [`ServerHandle::stop`], on drop, or
+/// when a client sends a kind-23 shutdown frame.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Loads every index segment from the store and serves on `addr`
+    /// (use port 0 to let the OS pick; the bound port is in
+    /// [`ServerHandle::addr`]).
+    pub fn serve_store(store: &khaos_store::Store, addr: &str) -> io::Result<ServerHandle> {
+        let indexes = IvfIndex::load_all(store)?;
+        Self::serve(indexes, addr)
+    }
+
+    /// Serves the given indexes on `addr`.
+    pub fn serve(indexes: Vec<IvfIndex>, addr: &str) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            indexes: indexes.into_iter().map(Arc::new).collect(),
+            queries: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let (dispatch_tx, dispatch_rx) = mpsc::channel::<QueryJob>();
+
+        let mut threads = Vec::new();
+        {
+            // Dispatcher: drain whatever queries are waiting and run
+            // the burst as one khaos-par batch.
+            let shared = Arc::clone(&shared);
+            threads.push(thread::spawn(move || loop {
+                let first = match dispatch_rx.recv_timeout(POLL_INTERVAL) {
+                    Ok(job) => job,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        continue;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => return,
+                };
+                let mut batch = vec![first];
+                while let Ok(job) = dispatch_rx.try_recv() {
+                    batch.push(job);
+                }
+                let answers = khaos_par::par_map(batch.len(), |i| shared.answer_query(&batch[i].0));
+                for ((_, reply), answer) in batch.into_iter().zip(answers) {
+                    // A reader that already hung up just drops its
+                    // answer.
+                    let _ = reply.send(answer);
+                }
+            }));
+        }
+        {
+            // Accept loop. Connection readers are tracked so stop()
+            // can join them.
+            let shared = Arc::clone(&shared);
+            let conns: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+            threads.push(thread::spawn(move || {
+                loop {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let shared = Arc::clone(&shared);
+                            let tx = dispatch_tx.clone();
+                            let h = thread::spawn(move || {
+                                let _ = serve_connection(stream, &shared, &tx);
+                            });
+                            conns.lock().unwrap().push(h);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                drop(dispatch_tx);
+                let handles = std::mem::take(&mut *conns.lock().unwrap());
+                for h in handles {
+                    let _ = h.join();
+                }
+            }));
+        }
+        Ok(ServerHandle {
+            addr,
+            shared,
+            threads,
+        })
+    }
+
+    /// The bound socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once a shutdown has been requested (by a client frame or
+    /// [`ServerHandle::stop`]).
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the daemon shuts down (a client kind-23 frame).
+    pub fn wait(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Requests shutdown and joins every thread.
+    pub fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, tolerating read timeouts (the
+/// shutdown flag is re-checked each poll). `Ok(false)` means the peer
+/// closed cleanly before the first byte, or shutdown was requested.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) -> io::Result<bool> {
+    let mut got = 0;
+    while got < buf.len() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(false);
+        }
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(false);
+                }
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn send(stream: &mut TcpStream, msg: &Message) -> io::Result<()> {
+    stream.write_all(&msg.encode())
+}
+
+/// One connection: read frames until EOF, shutdown, or a frame
+/// violation. Returns after sending a structured error on malformed
+/// input (the stream's framing can no longer be trusted).
+fn serve_connection(
+    mut stream: TcpStream,
+    shared: &Shared,
+    dispatch: &mpsc::Sender<QueryJob>,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_nodelay(true)?;
+    loop {
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        if !read_full(&mut stream, &mut header, shared)? {
+            return Ok(());
+        }
+        let (kind, len) = match validate_header(&header) {
+            Ok(v) => v,
+            Err(e) => {
+                send(&mut stream, &frame_error(&e))?;
+                return Ok(());
+            }
+        };
+        let mut body = vec![0u8; len as usize + FRAME_CHECKSUM_LEN];
+        if !read_full(&mut stream, &mut body, shared)? {
+            return Ok(());
+        }
+        let (payload, sum) = body.split_at(len as usize);
+        let mut whole = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        whole.extend_from_slice(&header);
+        whole.extend_from_slice(payload);
+        if khaos_store::fnv1a(&whole) != u64::from_le_bytes(sum.try_into().unwrap()) {
+            send(&mut stream, &frame_error(&FrameError::Checksum))?;
+            return Ok(());
+        }
+        let msg = match Message::decode(kind, payload) {
+            Ok(m) => m,
+            Err(e) => {
+                send(&mut stream, &frame_error(&e))?;
+                return Ok(());
+            }
+        };
+        match msg {
+            Message::Ping(t) => send(&mut stream, &Message::Pong(t))?,
+            Message::StatsReq => {
+                let stats = shared.stats();
+                send(&mut stream, &stats)?
+            }
+            Message::Query(req) => {
+                let (tx, rx) = mpsc::channel();
+                if dispatch.send((req, tx)).is_err() {
+                    return Ok(()); // daemon is shutting down
+                }
+                match rx.recv() {
+                    Ok(answer) => send(&mut stream, &answer)?,
+                    Err(_) => return Ok(()),
+                }
+            }
+            Message::Shutdown => {
+                send(&mut stream, &Message::Shutdown)?;
+                shared.shutdown.store(true, Ordering::SeqCst);
+                return Ok(());
+            }
+            other => {
+                send(
+                    &mut stream,
+                    &Message::Error {
+                        code: ERR_UNSUPPORTED,
+                        message: format!("frame kind {} is a reply, not a request", other.kind()),
+                    },
+                )?;
+            }
+        }
+    }
+}
+
+fn frame_error(e: &FrameError) -> Message {
+    Message::Error {
+        code: ERR_BAD_FRAME,
+        message: e.to_string(),
+    }
+}
+
+/// A blocking client over one connection. Each request method writes a
+/// frame and reads exactly one reply frame.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends a message and reads the reply.
+    pub fn roundtrip(&mut self, msg: &Message) -> io::Result<Message> {
+        self.stream.write_all(&msg.encode())?;
+        self.read_reply()
+    }
+
+    /// Writes raw bytes (deliberately malformed frames included) and
+    /// reads whatever single frame comes back.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<Message> {
+        self.stream.write_all(bytes)?;
+        self.read_reply()
+    }
+
+    /// Liveness probe; returns the echoed token.
+    pub fn ping(&mut self, token: u64) -> io::Result<u64> {
+        match self.roundtrip(&Message::Ping(token))? {
+            Message::Pong(t) => Ok(t),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ranked corpus query. Returns the hit list, or the daemon's
+    /// structured error as `Err(InvalidInput)` with the diagnosis.
+    pub fn query(&mut self, req: QueryReq) -> io::Result<Vec<Hit>> {
+        match self.roundtrip(&Message::Query(req))? {
+            Message::Hits(hits) => Ok(hits),
+            Message::Error { code, message } => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("daemon error {code}: {message}"),
+            )),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Daemon statistics.
+    pub fn stats(&mut self) -> io::Result<ServerStats> {
+        match self.roundtrip(&Message::StatsReq)? {
+            Message::Stats(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Orderly shutdown; resolves once the daemon acks.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.roundtrip(&Message::Shutdown)? {
+            Message::Shutdown => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn read_reply(&mut self) -> io::Result<Message> {
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        self.stream.read_exact(&mut header)?;
+        let (kind, len) = validate_header(&header)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut body = vec![0u8; len as usize + FRAME_CHECKSUM_LEN];
+        self.stream.read_exact(&mut body)?;
+        let (payload, sum) = body.split_at(len as usize);
+        let mut whole = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        whole.extend_from_slice(&header);
+        whole.extend_from_slice(payload);
+        if khaos_store::fnv1a(&whole) != u64::from_le_bytes(sum.try_into().unwrap()) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                FrameError::Checksum.to_string(),
+            ));
+        }
+        Message::decode(kind, payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+fn unexpected(msg: &Message) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected reply frame kind {}", msg.kind()),
+    )
+}

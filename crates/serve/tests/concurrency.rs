@@ -1,0 +1,151 @@
+//! Concurrency determinism: N clients hammering the daemon in
+//! parallel must each receive byte-identical replies to the same
+//! queries issued serially. The dispatcher may batch any interleaving
+//! of in-flight requests into one blocked scan, so this pins the
+//! contract that batching never changes an answer. The CI tier-1
+//! matrix re-runs this under `KHAOS_THREADS=1` and both SIMD legs,
+//! which pins the serial-equals-parallel half at every worker count.
+
+use khaos_diff::engine::FunctionEmbeddings;
+use khaos_index::{IndexParams, IvfIndex, RowMeta};
+use khaos_serve::protocol::{Message, QueryReq};
+use khaos_serve::{Client, ServerHandle};
+use std::sync::Arc;
+
+const CLIENTS: usize = 8;
+const QUERIES_PER_CLIENT: usize = 25;
+
+fn lane(seed: u64, d: usize) -> f64 {
+    let h = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left((d % 63) as u32)
+        .wrapping_add(d as u64);
+    (h as f64 / u64::MAX as f64) * 2.0 - 1.0
+}
+
+fn corpus_index() -> IvfIndex {
+    let rows: Vec<Vec<f64>> = (0..400)
+        .map(|i| {
+            (0..24)
+                .map(|d| lane(i as u64, d) + ((i % 8) as f64) * 0.5)
+                .collect()
+        })
+        .collect();
+    let meta = (0..400)
+        .map(|i| RowMeta {
+            binary: (i / 50) as u64,
+            function: (i % 50) as u32,
+            name: format!("f{i}"),
+        })
+        .collect();
+    IvfIndex::build(
+        "Conc",
+        1,
+        Arc::new(FunctionEmbeddings::from_rows(rows)),
+        meta,
+        &IndexParams::default(),
+    )
+}
+
+/// The query set for one client, derived only from the client id —
+/// both phases issue exactly these requests.
+fn client_queries(idx: &IvfIndex, client: usize) -> Vec<QueryReq> {
+    (0..QUERIES_PER_CLIENT)
+        .map(|qi| {
+            let row = (client * 37 + qi * 13) % idx.len();
+            let mut q = idx.exact_rows().row(row).to_vec();
+            // Perturb half of them so not every query is a self-hit.
+            if qi % 2 == 1 {
+                for (d, v) in q.iter_mut().enumerate() {
+                    *v += lane((client * 1000 + qi) as u64, d) * 0.05;
+                }
+            }
+            QueryReq {
+                tool: "Conc".into(),
+                config: 1,
+                k: 1 + (qi % 16) as u32,
+                nprobe: 0,
+                q,
+            }
+        })
+        .collect()
+}
+
+/// Encoded reply frames for one client's query set, issued on one
+/// connection in order.
+fn run_client(addr: &str, queries: &[QueryReq]) -> Vec<Vec<u8>> {
+    let mut c = Client::connect(addr).unwrap();
+    queries
+        .iter()
+        .map(|q| {
+            let reply = c.roundtrip(&Message::Query(q.clone())).unwrap();
+            assert!(
+                matches!(reply, Message::Hits(_)),
+                "query got non-hits reply {reply:?}"
+            );
+            // Compare replies as encoded frames: any drift in indices,
+            // score bits, or metadata changes the bytes.
+            reply.encode()
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_replies_are_byte_identical_to_serial() {
+    let idx = corpus_index();
+    let server = ServerHandle::serve(vec![idx], "127.0.0.1:0").unwrap();
+    let addr = server.addr().to_string();
+    let plans: Vec<Vec<QueryReq>> = {
+        let probe = corpus_index();
+        (0..CLIENTS).map(|c| client_queries(&probe, c)).collect()
+    };
+
+    // Serial baseline: one client at a time, in order.
+    let serial: Vec<Vec<Vec<u8>>> = plans.iter().map(|qs| run_client(&addr, qs)).collect();
+
+    // Concurrent run: all clients at once, so the dispatcher sees
+    // arbitrarily interleaved bursts and batches them.
+    let handles: Vec<_> = plans
+        .iter()
+        .cloned()
+        .map(|qs| {
+            let addr = addr.clone();
+            std::thread::spawn(move || run_client(&addr, &qs))
+        })
+        .collect();
+    let concurrent: Vec<Vec<Vec<u8>>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread panicked"))
+        .collect();
+
+    for (c, (s, p)) in serial.iter().zip(&concurrent).enumerate() {
+        assert_eq!(s.len(), p.len(), "client {c} reply count");
+        for (qi, (a, b)) in s.iter().zip(p).enumerate() {
+            assert_eq!(a, b, "client {c} query {qi}: reply bytes differ");
+        }
+    }
+
+    // And a repeat concurrent run agrees with the first — no
+    // run-to-run nondeterminism either.
+    let handles: Vec<_> = plans
+        .iter()
+        .cloned()
+        .map(|qs| {
+            let addr = addr.clone();
+            std::thread::spawn(move || run_client(&addr, &qs))
+        })
+        .collect();
+    for (c, h) in handles.into_iter().enumerate() {
+        let again = h.join().expect("client thread panicked");
+        assert_eq!(again, concurrent[c], "client {c}: second run drifted");
+    }
+
+    // The daemon counted every query exactly once.
+    let mut probe = Client::connect(&addr).unwrap();
+    let stats = probe.stats().unwrap();
+    assert_eq!(
+        stats.queries as usize,
+        3 * CLIENTS * QUERIES_PER_CLIENT,
+        "query counter"
+    );
+}

@@ -224,6 +224,7 @@ fn cmd_stats(store: &Store) -> std::io::Result<ExitCode> {
         ("matrices", s.matrices),
         ("reports", s.reports),
         ("quantized", s.quantized),
+        ("indexes", s.indexes),
     ] {
         println!("{:<12} {:>8} {:>12}", name, sec.records, human(sec.bytes));
     }

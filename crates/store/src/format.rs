@@ -5,7 +5,10 @@
 //! encoder/decoder pair and the FNV-1a checksum both sides share; the
 //! [`crate::Store`] layer never touches raw bytes directly.
 
-use crate::{FlatTable, QuantTable, QuantView, StoredPass, StoredReport, StoredShape, TableView};
+use crate::{
+    FlatTable, IndexTable, QuantTable, QuantView, StoredPass, StoredReport, StoredRowMeta,
+    StoredShape, TableView,
+};
 
 /// First four bytes of every record file.
 pub const MAGIC: [u8; 4] = *b"KHST";
@@ -20,6 +23,13 @@ pub const MAGIC: [u8; 4] = *b"KHST";
 /// deliberate: v1 stores predate the quantized tier and are fully
 /// recomputable, and stamping the version forward keeps the "one
 /// store, one format" invariant simple (no per-record version skew).
+///
+/// IVF index segments (kind 5, the `idx/` section) were added
+/// **without** a bump: the addition is purely additive — no existing
+/// record changes shape, and older readers degrade diagnosably on the
+/// new kind (`verify`/`cat` name the unknown kind; lookups miss). The
+/// ROADMAP records this as the deliberate format decision of the index
+/// tier.
 pub const FORMAT_VERSION: u32 = 2;
 
 /// Record kind tag: a per-binary embedding table.
@@ -31,6 +41,13 @@ pub const KIND_REPORT: u8 = 3;
 /// Record kind tag: a per-binary int8 quantized embedding table
 /// (format v2).
 pub const KIND_QUANT: u8 = 4;
+/// Record kind tag: an IVF index segment over a corpus of embedding
+/// rows (format v2, additive).
+pub const KIND_INDEX: u8 = 5;
+
+/// Every kind tag this build reads, in tag order (the diagnosable
+/// range named by unknown-kind decode errors).
+pub const KNOWN_KINDS: std::ops::RangeInclusive<u8> = KIND_EMBEDDINGS..=KIND_INDEX;
 
 /// FNV-1a over a byte slice — the record checksum (and the hash behind
 /// content-addressed file names).
@@ -42,70 +59,73 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Little-endian record encoder.
-pub(crate) struct Enc {
+/// Little-endian record encoder. Public because the `khaos-serve`
+/// wire protocol reuses the record grammar (same primitives, same
+/// checksum) for its frames; re-exported as `khaos_store::codec`.
+#[derive(Default)]
+pub struct Enc {
     buf: Vec<u8>,
 }
 
 impl Enc {
-    pub(crate) fn new() -> Self {
+    pub fn new() -> Self {
         Enc { buf: Vec::new() }
     }
 
-    pub(crate) fn u8(&mut self, v: u8) {
+    pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    pub(crate) fn u32(&mut self, v: u32) {
+    pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn u64(&mut self, v: u64) {
+    pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Raw IEEE-754 bits: the byte-exact round trip the store pins.
-    pub(crate) fn f64(&mut self, v: f64) {
+    pub fn f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
     }
 
     /// Length-prefixed UTF-8 (u32 length + bytes).
-    pub(crate) fn str(&mut self, s: &str) {
+    pub fn str(&mut self, s: &str) {
         self.u32(s.len() as u32);
         self.buf.extend_from_slice(s.as_bytes());
     }
 
-    pub(crate) fn bytes(&mut self, b: &[u8]) {
+    pub fn bytes(&mut self, b: &[u8]) {
         self.buf.extend_from_slice(b);
     }
 
     /// Appends the FNV-1a checksum of everything written so far and
     /// returns the finished record bytes.
-    pub(crate) fn finish(mut self) -> Vec<u8> {
+    pub fn finish(mut self) -> Vec<u8> {
         let sum = fnv1a(&self.buf);
         self.buf.extend_from_slice(&sum.to_le_bytes());
         self.buf
     }
 
-    pub(crate) fn into_bytes(self) -> Vec<u8> {
+    pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
 }
 
 /// Little-endian record decoder; every accessor fails loudly (with a
 /// reason string the `verify` path surfaces) instead of reading out of
-/// bounds.
-pub(crate) struct Dec<'a> {
+/// bounds. Public for the same reason as [`Enc`] (the wire codec).
+pub struct Dec<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Dec<'a> {
-    pub(crate) fn new(buf: &'a [u8]) -> Self {
+    pub fn new(buf: &'a [u8]) -> Self {
         Dec { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
         let end = self
             .pos
             .checked_add(n)
@@ -116,33 +136,33 @@ impl<'a> Dec<'a> {
         Ok(out)
     }
 
-    pub(crate) fn u8(&mut self) -> Result<u8, String> {
+    pub fn u8(&mut self) -> Result<u8, String> {
         Ok(self.take(1)?[0])
     }
 
-    pub(crate) fn u32(&mut self) -> Result<u32, String> {
+    pub fn u32(&mut self) -> Result<u32, String> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+    pub fn u64(&mut self) -> Result<u64, String> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    pub(crate) fn f64(&mut self) -> Result<f64, String> {
+    pub fn f64(&mut self) -> Result<f64, String> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    pub(crate) fn str(&mut self) -> Result<String, String> {
+    pub fn str(&mut self) -> Result<String, String> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| "non-UTF-8 string field".to_string())
     }
 
-    pub(crate) fn remaining(&self) -> usize {
+    pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
-    pub(crate) fn offset(&self) -> usize {
+    pub fn offset(&self) -> usize {
         self.pos
     }
 }
@@ -190,6 +210,15 @@ pub enum OwnedKey {
         /// `Binary::fingerprint` of the embedded binary.
         binary: u64,
     },
+    /// IVF index-segment key.
+    Index {
+        /// Differ name.
+        tool: String,
+        /// Differ configuration fingerprint.
+        config: u64,
+        /// Corpus fingerprint (FNV over the indexed rows' provenance).
+        corpus: u64,
+    },
 }
 
 impl std::fmt::Display for OwnedKey {
@@ -219,6 +248,11 @@ impl std::fmt::Display for OwnedKey {
                 config,
                 binary,
             } => write!(f, "qnt {tool} cfg={config:016x} bin={binary:016x}"),
+            OwnedKey::Index {
+                tool,
+                config,
+                corpus,
+            } => write!(f, "idx {tool} cfg={config:016x} corpus={corpus:016x}"),
         }
     }
 }
@@ -229,6 +263,7 @@ pub(crate) enum Payload {
     Table(FlatTable),
     Report(StoredReport),
     Quant(QuantTable),
+    Index(IndexTable),
 }
 
 /// A fully decoded, checksum-verified record.
@@ -265,6 +300,15 @@ pub(crate) fn key_bytes_rep(pipeline: u64, seed: u64, subject: &str) -> Vec<u8> 
     e.u64(pipeline);
     e.u64(seed);
     e.str(subject);
+    e.into_bytes()
+}
+
+/// Encodes the key block of an index-segment record.
+pub(crate) fn key_bytes_idx(tool: &str, config: u64, corpus: u64) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.str(tool);
+    e.u64(config);
+    e.u64(corpus);
     e.into_bytes()
 }
 
@@ -363,6 +407,42 @@ pub(crate) fn encode_quantized(tool: &str, config: u64, binary: u64, q: QuantVie
     )
 }
 
+/// Index-segment payload: IVF parameters and shape, the (normalized)
+/// centroid rows as raw f64 bits, the per-row cell assignments, then
+/// per-row provenance (source binary fingerprint, function index,
+/// symbol name). The corpus' f64 and int8 tables are *not* inlined —
+/// they live in their own `emb`/`qnt` records keyed by the corpus
+/// fingerprint, so the three records form one index segment.
+fn payload_bytes_index(t: &IndexTable) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(t.rows);
+    e.u64(t.dim);
+    e.u64(t.nlist);
+    e.u32(t.nprobe);
+    e.u64(t.seed);
+    for &c in &t.centroids {
+        e.f64(c);
+    }
+    for &a in &t.assignments {
+        e.u32(a);
+    }
+    for m in &t.meta {
+        e.u64(m.binary);
+        e.u32(m.function);
+        e.str(&m.name);
+    }
+    e.into_bytes()
+}
+
+/// Encodes an index-segment record.
+pub(crate) fn encode_index(tool: &str, config: u64, corpus: u64, t: &IndexTable) -> Vec<u8> {
+    encode_record(
+        KIND_INDEX,
+        &key_bytes_idx(tool, config, corpus),
+        &payload_bytes_index(t),
+    )
+}
+
 /// Encodes a report record.
 pub(crate) fn encode_report(r: &StoredReport) -> Vec<u8> {
     encode_record(
@@ -440,6 +520,67 @@ fn decode_quant(payload: &[u8]) -> Result<QuantTable, String> {
     })
 }
 
+fn decode_index(payload: &[u8]) -> Result<IndexTable, String> {
+    let mut d = Dec::new(payload);
+    let rows = d.u64()?;
+    let dim = d.u64()?;
+    let nlist = d.u64()?;
+    let nprobe = d.u32()?;
+    let seed = d.u64()?;
+    // Checked-shape discipline (see `decode_table`): the fixed-width
+    // runs (centroids, assignments) must fit the remaining payload
+    // before anything is allocated, so a forged nlist=2^61 is a decode
+    // error, never a `with_capacity` abort.
+    let centroid_vals = nlist
+        .checked_mul(dim)
+        .filter(|&c| {
+            c.checked_mul(8)
+                .and_then(|cb| rows.checked_mul(4).map(|ab| (cb, ab)))
+                .and_then(|(cb, ab)| cb.checked_add(ab))
+                .is_some_and(|bytes| bytes <= d.remaining() as u64)
+        })
+        .ok_or_else(|| {
+            format!(
+                "index shape rows={rows} dim={dim} nlist={nlist} disagrees with payload \
+                 ({} bytes left)",
+                d.remaining()
+            )
+        })?;
+    let mut centroids = Vec::with_capacity(centroid_vals as usize);
+    for _ in 0..centroid_vals {
+        centroids.push(d.f64()?);
+    }
+    let mut assignments = Vec::with_capacity(rows as usize);
+    for _ in 0..rows {
+        let a = d.u32()?;
+        if u64::from(a) >= nlist {
+            return Err(format!("row assigned to cell {a}, but nlist is {nlist}"));
+        }
+        assignments.push(a);
+    }
+    let mut meta = Vec::with_capacity((rows as usize).min(1 << 20));
+    for _ in 0..rows {
+        meta.push(StoredRowMeta {
+            binary: d.u64()?,
+            function: d.u32()?,
+            name: d.str()?,
+        });
+    }
+    if d.remaining() != 0 {
+        return Err(format!("{} trailing payload bytes", d.remaining()));
+    }
+    Ok(IndexTable {
+        rows,
+        dim,
+        nlist,
+        nprobe,
+        seed,
+        centroids,
+        assignments,
+        meta,
+    })
+}
+
 fn decode_report(
     payload: &[u8],
     pipeline: u64,
@@ -497,13 +638,11 @@ pub(crate) fn decode_record(bytes: &[u8]) -> Result<Record, String> {
         return Err(format!("file too short ({} bytes)", bytes.len()));
     }
     let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
-    let want = u64::from_le_bytes(sum_bytes.try_into().unwrap());
-    let have = fnv1a(body);
-    if want != have {
-        return Err(format!(
-            "checksum mismatch: stored {want:016x}, computed {have:016x}"
-        ));
-    }
+    // The self-describing header (magic, version, kind) is validated
+    // *before* the checksum: a record of a kind this build does not
+    // know — written by a newer format, or with a damaged kind byte —
+    // must be reported as exactly that, not as a generic checksum
+    // error that points at nothing.
     let mut d = Dec::new(body);
     let magic = [d.u8()?, d.u8()?, d.u8()?, d.u8()?];
     if magic != MAGIC {
@@ -517,6 +656,21 @@ pub(crate) fn decode_record(bytes: &[u8]) -> Result<Record, String> {
         ));
     }
     let kind = d.u8()?;
+    if !KNOWN_KINDS.contains(&kind) {
+        return Err(format!(
+            "unknown record kind {kind} (this build reads kinds {}..={}; \
+             a newer format may have written it)",
+            KNOWN_KINDS.start(),
+            KNOWN_KINDS.end()
+        ));
+    }
+    let want = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+    let have = fnv1a(body);
+    if want != have {
+        return Err(format!(
+            "checksum mismatch: stored {want:016x}, computed {have:016x}"
+        ));
+    }
     let key = match kind {
         KIND_EMBEDDINGS => OwnedKey::Emb {
             tool: d.str()?,
@@ -539,7 +693,12 @@ pub(crate) fn decode_record(bytes: &[u8]) -> Result<Record, String> {
             config: d.u64()?,
             binary: d.u64()?,
         },
-        _ => return Err(format!("unknown record kind {kind}")),
+        KIND_INDEX => OwnedKey::Index {
+            tool: d.str()?,
+            config: d.u64()?,
+            corpus: d.u64()?,
+        },
+        _ => unreachable!("kind validated against KNOWN_KINDS above"),
     };
     let payload_len = d.u64()? as usize;
     if payload_len != d.remaining() {
@@ -553,6 +712,7 @@ pub(crate) fn decode_record(bytes: &[u8]) -> Result<Record, String> {
     let payload = match &key {
         OwnedKey::Emb { .. } | OwnedKey::Mat { .. } => Payload::Table(decode_table(payload)?),
         OwnedKey::Quant { .. } => Payload::Quant(decode_quant(payload)?),
+        OwnedKey::Index { .. } => Payload::Index(decode_index(payload)?),
         OwnedKey::Rep {
             pipeline,
             seed,

@@ -25,6 +25,7 @@
 //! <root>/mat/<addr>.khs   query×target similarity matrices
 //! <root>/rep/<addr>.khs   pipeline / experiment reports
 //! <root>/qnt/<addr>.khs   per-binary int8 quantized embedding tables
+//! <root>/idx/<addr>.khs   IVF index segments over embedding corpora
 //! ```
 //!
 //! `<addr>` is the content address: 16 hex digits of FNV-1a over the
@@ -38,7 +39,8 @@
 //! magic            4 bytes   "KHST"
 //! format version   u32       2
 //! kind             u8        1 = embeddings, 2 = matrix, 3 = report,
-//!                            4 = quantized embeddings
+//!                            4 = quantized embeddings, 5 = IVF index
+//!                            segment
 //! key block        kind-specific, see below
 //! payload length   u64       bytes of payload that follow
 //! payload          kind-specific, see below
@@ -52,6 +54,8 @@
 //! * report:     `pipeline: u64`, `seed: u64`, `subject: str`
 //! * quantized:  `tool: str`, `config: u64`, `binary: u64` (the
 //!   embedding key; the kind tag keeps the addresses disjoint)
+//! * index:      `tool: str`, `config: u64`, `corpus: u64` (FNV-1a
+//!   fingerprint over the indexed rows' provenance)
 //!
 //! Payloads:
 //!
@@ -64,14 +68,23 @@
 //!   bits}`;
 //! * quantized: `rows: u64`, `dim: u64`, `rows` per-row scales then
 //!   `rows` per-row offsets (f64 bits), then `rows × dim` i8 codes as
-//!   raw bytes — i8 payload and scales round-trip bit-exactly.
+//!   raw bytes — i8 payload and scales round-trip bit-exactly;
+//! * index: `rows: u64`, `dim: u64`, `nlist: u64`, `nprobe: u32`,
+//!   `seed: u64`, `nlist × dim` centroid f64 bits, `rows` u32 cell
+//!   assignments, then `rows` per-row provenance records
+//!   `{binary: u64, function: u32, name: str}`. The corpus' f64 and
+//!   int8 tables are separate `emb`/`qnt` records keyed by the corpus
+//!   fingerprint — one index segment is those three records together.
 //!
 //! **A format-version bump is a cache-invalidating event**: readers
 //! refuse both records and whole store directories of any other
 //! version, exactly like a `Binary::fingerprint` digest change
 //! invalidates the in-memory cache keys. Version 2 (the quantized
 //! record kind) was such a bump: v1 directories are refused and
-//! recompute from scratch under a fresh stamp.
+//! recompute from scratch under a fresh stamp. The index kind was
+//! added to version 2 **without** a bump — purely additive, and
+//! readers that predate it diagnose the unknown kind by name instead
+//! of refusing the store.
 //!
 //! ## Concurrency
 //!
@@ -86,8 +99,16 @@
 mod format;
 
 pub use format::{
-    fnv1a, OwnedKey, FORMAT_VERSION, KIND_EMBEDDINGS, KIND_MATRIX, KIND_QUANT, KIND_REPORT, MAGIC,
+    fnv1a, OwnedKey, FORMAT_VERSION, KIND_EMBEDDINGS, KIND_INDEX, KIND_MATRIX, KIND_QUANT,
+    KIND_REPORT, KNOWN_KINDS, MAGIC,
 };
+
+/// The little-endian encoder/decoder pair behind the record format,
+/// exported for protocols that reuse the `KHST` grammar on the wire
+/// (`khaos-serve` frames are records with an empty key block).
+pub mod codec {
+    pub use crate::format::{Dec, Enc};
+}
 
 use format::{Payload, Record};
 use std::fs;
@@ -229,6 +250,42 @@ impl<'a> QuantView<'a> {
     }
 }
 
+/// Per-row provenance inside a stored index segment: where the corpus
+/// row came from, so a daemon can answer "which function matched"
+/// without reloading any binary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoredRowMeta {
+    /// `Binary::fingerprint` of the source binary.
+    pub binary: u64,
+    /// Function index inside that binary.
+    pub function: u32,
+    /// Function symbol name (empty when anonymous).
+    pub name: String,
+}
+
+/// An owned IVF index segment — the wire form of
+/// `khaos_index::IvfIndex` minus the corpus tables (which persist as
+/// their own `emb`/`qnt` records under the corpus fingerprint).
+#[derive(Clone, Debug, PartialEq)]
+pub struct IndexTable {
+    /// Corpus row count.
+    pub rows: u64,
+    /// Embedding dimension.
+    pub dim: u64,
+    /// Number of coarse cells (k-means centroids).
+    pub nlist: u64,
+    /// Default number of cells probed per query.
+    pub nprobe: u32,
+    /// Seed the k-means build ran under.
+    pub seed: u64,
+    /// `nlist * dim` centroid values, row-major, L2-normalized.
+    pub centroids: Vec<f64>,
+    /// Per-corpus-row cell assignment (`rows` values, each `< nlist`).
+    pub assignments: Vec<u32>,
+    /// Per-corpus-row provenance (`rows` entries).
+    pub meta: Vec<StoredRowMeta>,
+}
+
 /// IR shape snapshot inside a stored report (functions/blocks/insts).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoredShape {
@@ -334,6 +391,17 @@ pub struct MatKey<'a> {
     pub target: u64,
 }
 
+/// Lookup key of an index-segment record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct IndexKey<'a> {
+    /// Differ name.
+    pub tool: &'a str,
+    /// Differ configuration fingerprint.
+    pub config: u64,
+    /// Corpus fingerprint (FNV over the indexed rows' provenance).
+    pub corpus: u64,
+}
+
 /// Lookup key of a report record.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ReportKey<'a> {
@@ -354,7 +422,7 @@ pub struct SectionStats {
     pub bytes: u64,
 }
 
-/// Aggregate [`Store::stats`] over the four sections.
+/// Aggregate [`Store::stats`] over the five sections.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// The `emb/` section.
@@ -365,6 +433,8 @@ pub struct StoreStats {
     pub reports: SectionStats,
     /// The `qnt/` section (int8 quantized embedding tables).
     pub quantized: SectionStats,
+    /// The `idx/` section (IVF index segments).
+    pub indexes: SectionStats,
 }
 
 impl StoreStats {
@@ -374,11 +444,16 @@ impl StoreStats {
             + self.matrices.records
             + self.reports.records
             + self.quantized.records
+            + self.indexes.records
     }
 
     /// Total bytes across sections.
     pub fn total_bytes(&self) -> u64 {
-        self.embeddings.bytes + self.matrices.bytes + self.reports.bytes + self.quantized.bytes
+        self.embeddings.bytes
+            + self.matrices.bytes
+            + self.reports.bytes
+            + self.quantized.bytes
+            + self.indexes.bytes
     }
 }
 
@@ -420,6 +495,8 @@ pub enum PayloadDump {
     Report(StoredReport),
     /// An int8 quantized embedding table.
     Quant(QuantTable),
+    /// An IVF index segment.
+    Index(IndexTable),
 }
 
 impl std::fmt::Display for RecordDump {
@@ -488,6 +565,39 @@ impl std::fmt::Display for RecordDump {
                     writeln!(f, "  … ({} more rows)", q.rows - 4)?;
                 }
             }
+            PayloadDump::Index(t) => {
+                writeln!(
+                    f,
+                    "payload: IVF index segment, {} rows x {} dim, nlist={} nprobe={} seed={:#x}",
+                    t.rows, t.dim, t.nlist, t.nprobe, t.seed
+                )?;
+                let mut sizes = vec![0u64; t.nlist as usize];
+                for &a in &t.assignments {
+                    if let Some(s) = sizes.get_mut(a as usize) {
+                        *s += 1;
+                    }
+                }
+                let occupied = sizes.iter().filter(|&&s| s > 0).count();
+                writeln!(
+                    f,
+                    "  cells: {occupied}/{} occupied, largest {}",
+                    t.nlist,
+                    sizes.iter().max().copied().unwrap_or(0)
+                )?;
+                for (i, m) in t.meta.iter().take(4).enumerate() {
+                    writeln!(
+                        f,
+                        "  row {i}: bin={:016x} fn#{} `{}` -> cell {}",
+                        m.binary,
+                        m.function,
+                        m.name,
+                        t.assignments.get(i).copied().unwrap_or(0)
+                    )?;
+                }
+                if t.rows > 4 {
+                    writeln!(f, "  … ({} more rows)", t.rows - 4)?;
+                }
+            }
         }
         Ok(())
     }
@@ -522,12 +632,13 @@ const GC_LOCK: &str = "gc.lock";
 /// crashed collector and are stolen.
 const STALE_LOCK: Duration = Duration::from_secs(600);
 
-/// The four record sections, in `(name, kind)` order.
-const SECTIONS: [(&str, u8); 4] = [
+/// The five record sections, in `(name, kind)` order.
+const SECTIONS: [(&str, u8); 5] = [
     ("emb", KIND_EMBEDDINGS),
     ("mat", KIND_MATRIX),
     ("rep", KIND_REPORT),
     ("qnt", KIND_QUANT),
+    ("idx", KIND_INDEX),
 ];
 
 /// A content-addressed artifact store rooted at one directory. Cheap to
@@ -796,6 +907,82 @@ impl Store {
         }
     }
 
+    /// Persists an IVF index segment, keyed by
+    /// `(tool, config, corpus fingerprint)`.
+    pub fn put_index(&self, key: &IndexKey, table: &IndexTable) -> io::Result<()> {
+        assert_eq!(
+            table.rows as usize,
+            table.assignments.len(),
+            "one cell assignment per corpus row"
+        );
+        assert_eq!(
+            table.rows as usize,
+            table.meta.len(),
+            "one provenance entry per corpus row"
+        );
+        assert_eq!(
+            (table.nlist * table.dim) as usize,
+            table.centroids.len(),
+            "index centroid shape mismatch"
+        );
+        let kb = format::key_bytes_idx(key.tool, key.config, key.corpus);
+        let bytes = format::encode_index(key.tool, key.config, key.corpus, table);
+        self.write_atomic(&self.record_path("idx", KIND_INDEX, &kb), &bytes)
+    }
+
+    /// Loads an index segment (same miss semantics as
+    /// [`Store::get_embeddings`]: damage degrades to a miss; `verify`
+    /// names it).
+    pub fn get_index(&self, key: &IndexKey) -> io::Result<Option<IndexTable>> {
+        let kb = format::key_bytes_idx(key.tool, key.config, key.corpus);
+        let want = OwnedKey::Index {
+            tool: key.tool.to_string(),
+            config: key.config,
+            corpus: key.corpus,
+        };
+        let path = self.record_path("idx", KIND_INDEX, &kb);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        match format::decode_record(&bytes) {
+            Ok(Record {
+                key,
+                payload: Payload::Index(t),
+                ..
+            }) if key == want => Ok(Some(t)),
+            _ => Ok(None),
+        }
+    }
+
+    /// Decodes every index segment in the store, sorted by
+    /// `(tool, config, corpus)` for deterministic output — what a
+    /// daemon enumerates at startup. Records that fail to decode are
+    /// skipped here; [`Store::verify`] is the tool that names them.
+    pub fn index_records(&self) -> io::Result<Vec<(String, u64, u64, IndexTable)>> {
+        let mut out = Vec::new();
+        for (path, _) in self.section_files("idx")? {
+            if let Ok(bytes) = fs::read(&path) {
+                if let Ok(Record {
+                    key:
+                        OwnedKey::Index {
+                            tool,
+                            config,
+                            corpus,
+                        },
+                    payload: Payload::Index(t),
+                    ..
+                }) = format::decode_record(&bytes)
+                {
+                    out.push((tool, config, corpus, t));
+                }
+            }
+        }
+        out.sort_by(|a, b| (&a.0, a.1, a.2).cmp(&(&b.0, b.1, b.2)));
+        Ok(out)
+    }
+
     /// Decodes every report record in the store, sorted by
     /// `(subject, pipeline, seed)` for deterministic output — the query
     /// side of the report keyspace (shard merge tooling and
@@ -834,7 +1021,7 @@ impl Store {
                     .ok_or_else(|| {
                         io::Error::new(
                             io::ErrorKind::InvalidInput,
-                            format!("unknown section `{section}` (want emb, mat, rep or qnt)"),
+                            format!("unknown section `{section}` (want emb, mat, rep, qnt or idx)"),
                         )
                     })?;
                 (vec![section], file)
@@ -872,6 +1059,7 @@ impl Store {
                     Payload::Table(t) => PayloadDump::Table(t),
                     Payload::Report(r) => PayloadDump::Report(r),
                     Payload::Quant(q) => PayloadDump::Quant(q),
+                    Payload::Index(t) => PayloadDump::Index(t),
                 },
             }));
         }
@@ -904,6 +1092,7 @@ impl Store {
                 "emb" => stats.embeddings = s,
                 "mat" => stats.matrices = s,
                 "qnt" => stats.quantized = s,
+                "idx" => stats.indexes = s,
                 _ => stats.reports = s,
             }
         }
@@ -998,6 +1187,11 @@ impl Store {
                         config,
                         binary,
                     } => format::address(kind, &format::key_bytes_emb(tool, *config, *binary)),
+                    OwnedKey::Index {
+                        tool,
+                        config,
+                        corpus,
+                    } => format::address(kind, &format::key_bytes_idx(tool, *config, *corpus)),
                 };
                 let stem = path
                     .file_stem()
@@ -1272,6 +1466,112 @@ mod tests {
             "{}",
             issues[0].reason
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn sample_index(rows: usize, dim: usize, nlist: usize) -> IndexTable {
+        IndexTable {
+            rows: rows as u64,
+            dim: dim as u64,
+            nlist: nlist as u64,
+            nprobe: 2,
+            seed: 0xC60_2023,
+            centroids: (0..nlist * dim).map(|i| (i as f64).cos()).collect(),
+            assignments: (0..rows).map(|i| (i % nlist) as u32).collect(),
+            meta: (0..rows)
+                .map(|i| StoredRowMeta {
+                    binary: 0xB00 + (i / 3) as u64,
+                    function: (i % 3) as u32,
+                    name: format!("fn_{i}"),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn index_round_trip_and_listing() {
+        let dir = scratch("idx");
+        let store = Store::open(&dir).unwrap();
+        let t = sample_index(9, 4, 3);
+        let key = IndexKey {
+            tool: "VulSeeker",
+            config: 0xCF6,
+            corpus: 0xC0DE,
+        };
+        assert_eq!(store.get_index(&key).unwrap(), None);
+        store.put_index(&key, &t).unwrap();
+        assert_eq!(store.get_index(&key).unwrap().as_ref(), Some(&t));
+        assert!(store.verify().unwrap().is_empty(), "index records verify");
+        assert_eq!(store.stats().unwrap().indexes.records, 1);
+        // Listing decodes the same segment with its key triple.
+        let listed = store.index_records().unwrap();
+        assert_eq!(listed.len(), 1);
+        let (tool, config, corpus, back) = &listed[0];
+        assert_eq!(
+            (tool.as_str(), *config, *corpus),
+            ("VulSeeker", 0xCF6, 0xC0DE)
+        );
+        assert_eq!(back, &t);
+        // A different corpus fingerprint is a miss.
+        let other = IndexKey {
+            corpus: 0xC0DF,
+            ..key
+        };
+        assert_eq!(store.get_index(&other).unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_names_unknown_record_kinds() {
+        // Regression: a record whose kind tag this build does not know
+        // — a newer writer's kind, or a damaged kind byte — must be
+        // reported as "unknown record kind N", never as a generic
+        // checksum error that points at nothing. The kind byte sits
+        // right after the 4-byte magic and the u32 version.
+        let dir = scratch("unkind");
+        let store = Store::open(&dir).unwrap();
+        let key = EmbKey {
+            tool: "t",
+            config: 1,
+            binary: 2,
+        };
+        store.put_embeddings(&key, table(2, 2, 9).view()).unwrap();
+        let (path, _) = store.section_files("emb").unwrap().pop().unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        assert_eq!(bytes[8], KIND_EMBEDDINGS);
+
+        // Case 1: kind byte damaged in place (checksum now also stale).
+        bytes[8] = 42;
+        fs::write(&path, &bytes).unwrap();
+        let issues = store.verify().unwrap();
+        assert_eq!(issues.len(), 1);
+        assert!(
+            issues[0].reason.contains("unknown record kind 42"),
+            "want the kind named, got: {}",
+            issues[0].reason
+        );
+        assert!(
+            !issues[0].reason.contains("checksum"),
+            "must not degrade to a checksum error: {}",
+            issues[0].reason
+        );
+
+        // Case 2: a well-formed record of a future kind (checksum
+        // recomputed, as a newer writer would produce): same diagnosis,
+        // and the lookup degrades to a miss rather than an error.
+        let body_len = bytes.len() - 8;
+        bytes[8] = 77;
+        let sum = fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let issues = store.verify().unwrap();
+        assert_eq!(issues.len(), 1);
+        assert!(
+            issues[0].reason.contains("unknown record kind 77"),
+            "{}",
+            issues[0].reason
+        );
+        assert_eq!(store.get_embeddings(&key).unwrap(), None);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -4,6 +4,7 @@
 //! substrate, the optimizer, the fission/fusion obfuscator, the O-LLVM and
 //! BinTuner baselines, the unified `khaos-pass` build-pipeline API, the
 //! synthetic binary codegen, the five binary diffing techniques, the
+//! corpus-scale ANN index tier and its socket query daemon, the
 //! benchmark workloads and the execution VM.
 //!
 //! Builds are declarative pipelines: `khaos::pass::Pipeline::parse(
@@ -31,11 +32,13 @@ pub use khaos_binary as binary;
 pub use khaos_bintuner as bintuner;
 pub use khaos_core as obfuscate;
 pub use khaos_diff as diff;
+pub use khaos_index as index;
 pub use khaos_ir as ir;
 pub use khaos_ollvm as ollvm;
 pub use khaos_opt as opt;
 pub use khaos_par as par;
 pub use khaos_pass as pass;
+pub use khaos_serve as serve;
 pub use khaos_store as store;
 pub use khaos_vm as vm;
 pub use khaos_workloads as workloads;
