@@ -26,7 +26,6 @@ use khaos_diff::{
 use khaos_pass::{PassCtx, Pipeline, VerifyPolicy};
 use khaos_workloads::{generate, ProgramProfile};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// A 200-function baseline/obfuscated pair with every tenth function
 /// annotated vulnerable (the Figure-10 shape at T-I scale). The
@@ -383,13 +382,17 @@ mod seed_layout {
     }
 }
 
+/// Mean-of-`iters` wall clock via the shared [`khaos_obs::timer`]
+/// stopwatch — the one timing idiom the pass reports and the serve
+/// dispatcher use too.
 fn time_ns<F: FnMut() -> f64>(iters: u32, mut f: F) -> (f64, f64) {
     let mut value = 0.0;
-    let start = Instant::now();
-    for _ in 0..iters {
-        value = criterion::black_box(f());
-    }
-    (start.elapsed().as_nanos() as f64 / iters as f64, value)
+    let (ns, ()) = khaos_obs::timer::time_ns(|| {
+        for _ in 0..iters {
+            value = criterion::black_box(f());
+        }
+    });
+    (ns as f64 / iters as f64, value)
 }
 
 /// Best-of-`rounds` timing: the minimum single-round wall clock plus
@@ -397,14 +400,7 @@ fn time_ns<F: FnMut() -> f64>(iters: u32, mut f: F) -> (f64, f64) {
 /// robust to scheduler noise in a way a ratio of averages is not —
 /// each side sheds its own worst rounds.
 fn time_ns_best<F: FnMut() -> f64>(rounds: u32, mut f: F) -> (f64, f64) {
-    let mut best = f64::INFINITY;
-    let mut value = 0.0;
-    for _ in 0..rounds {
-        let start = Instant::now();
-        value = criterion::black_box(f());
-        best = best.min(start.elapsed().as_nanos() as f64);
-    }
-    (best, value)
+    khaos_obs::timer::best_of_ns(rounds, || criterion::black_box(f()))
 }
 
 fn json_escape_entry(tool: &str, seed_ns: f64, cold_ns: f64, warm_ns: f64, equal: bool) -> String {
@@ -1174,6 +1170,118 @@ fn bench_similarity(c: &mut Criterion) {
          \"overhead_pct\": {audit_overhead_pct:.1}, \"bar_pct\": 15.0}}"
     );
 
+    // -----------------------------------------------------------------
+    // Observability overhead on the fig10 build+query path: one round
+    // = the verify-only fig10 build plus the 64 indexed top-50 corpus
+    // queries, the same workloads timed above. The traced side is
+    // measured end-to-end with a real span tree exported to a scratch
+    // sink. The compiled-in-but-disabled cost is far too small to
+    // resolve end-to-end, so it is bounded from above instead: ns per
+    // disabled span site (microbenched) x span sites per round, as a
+    // fraction of the untraced round. Bars: < 2% disabled, < 10%
+    // tracing — and tracing must not change a single ranked bit.
+    // -----------------------------------------------------------------
+    let was_tracing = khaos_obs::trace::enabled();
+    khaos_obs::trace::set_enabled(false);
+
+    // Per-site cost of a disabled span: create + drop, nothing else.
+    const SPAN_SPINS: u32 = 200_000;
+    let (disabled_spin_ns, _) = time_ns_best(4, || {
+        for _ in 0..SPAN_SPINS {
+            criterion::black_box(khaos_obs::span("probe"));
+        }
+        0.0
+    });
+    let disabled_span_ns = disabled_spin_ns / SPAN_SPINS as f64;
+
+    // One fig10 round. Non-move closure over shared refs: Copy, so
+    // the same closure times both the untraced and the traced side.
+    let fig10_round = || {
+        let mut acc = build_with(VerifyPolicy::AfterEach);
+        for q in &index_queries {
+            acc += big_idx.query(q, INDEX_K)[0].1;
+        }
+        acc
+    };
+    let trace_path =
+        std::env::temp_dir().join(format!("khaos-bench-obs-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&trace_path);
+    khaos_obs::trace::install(&trace_path).expect("install bench trace sink");
+    // One warm traced round pins the (deterministic) span count.
+    let _ = criterion::black_box(fig10_round());
+    let spans_per_round = std::fs::read_to_string(&trace_path)
+        .expect("bench trace file")
+        .lines()
+        .count() as f64;
+    assert!(
+        spans_per_round > 0.0,
+        "the fig10 build+query round must produce spans when tracing is on"
+    );
+
+    // Interleaved best-of-rounds, same reasoning as the audit ratio
+    // above: alternating the tracer state per round makes both sides
+    // sample the same scheduler conditions, so drift on the timescale
+    // of one round cannot masquerade as tracing overhead.
+    let mut untraced_ns = f64::INFINITY;
+    let mut traced_ns = f64::INFINITY;
+    let mut untraced_v = 0.0;
+    let mut traced_v = 0.0;
+    for _ in 0..4 {
+        khaos_obs::trace::set_enabled(false);
+        let (u_ns, u) = time_ns_best(1, fig10_round);
+        khaos_obs::trace::set_enabled(true);
+        let (t_ns, t) = time_ns_best(1, fig10_round);
+        untraced_ns = untraced_ns.min(u_ns);
+        traced_ns = traced_ns.min(t_ns);
+        untraced_v = u;
+        traced_v = t;
+    }
+    khaos_obs::trace::set_enabled(false);
+
+    let obs_bits_equal = untraced_v.to_bits() == traced_v.to_bits();
+    assert!(
+        obs_bits_equal,
+        "tracing changed the fig10 build+query result bits: {untraced_v} vs {traced_v}"
+    );
+    let disabled_overhead_pct = disabled_span_ns * spans_per_round / untraced_ns * 100.0;
+    let traced_overhead_pct = (traced_ns / untraced_ns - 1.0) * 100.0;
+    println!(
+        "# obs: fig10 build+query round {:.2} ms untraced -> {:.2} ms traced \
+         ({} spans/round), {traced_overhead_pct:.1}% traced overhead (bar: < 10%); \
+         disabled span {disabled_span_ns:.1} ns -> {disabled_overhead_pct:.4}% bound \
+         (bar: < 2%)",
+        untraced_ns / 1e6,
+        traced_ns / 1e6,
+        spans_per_round as u64
+    );
+    assert!(
+        disabled_overhead_pct < 2.0,
+        "disabled-tracer overhead regression: {disabled_span_ns:.1} ns/span x \
+         {spans_per_round} spans = {disabled_overhead_pct:.4}% of the fig10 round \
+         (bar: < 2%)"
+    );
+    assert!(
+        traced_overhead_pct < 10.0,
+        "tracing overhead regression: exporting the span tree adds \
+         {traced_overhead_pct:.1}% to the fig10 build+query round (bar: < 10%)"
+    );
+    let obs_json = format!(
+        "  \"obs\": {{\"what\": \"tracing overhead on the fig10 build+query path (verify-only \
+         build + {} indexed top-{INDEX_K} queries); disabled cost is a per-span microbench \
+         upper bound\", \"untraced_round_ns\": {untraced_ns:.0}, \
+         \"traced_round_ns\": {traced_ns:.0}, \"spans_per_round\": {spans_per_round:.0}, \
+         \"disabled_span_ns\": {disabled_span_ns:.2}, \
+         \"disabled_overhead_pct\": {disabled_overhead_pct:.4}, \"disabled_bar_pct\": 2.0, \
+         \"traced_overhead_pct\": {traced_overhead_pct:.1}, \"traced_bar_pct\": 10.0, \
+         \"bits_equal_traced_vs_untraced\": {obs_bits_equal}}}",
+        index_queries.len(),
+    );
+    // Restore the ambient tracer state. The scratch sink stays
+    // installed (the original env sink cannot be re-pointed), but the
+    // bench opens no further spans; the scratch file is removed.
+    khaos_obs::trace::set_enabled(was_tracing);
+    let _ = std::fs::remove_file(&trace_path);
+
     let kernels_json = format!(
         "  \"kernels\": {{\"what\": \"runtime-dispatched f64 dot on real {}-dim embedding rows, \
          {} dots per pass\", \"active\": \"{}\", \"available\": [{}], \
@@ -1218,7 +1326,7 @@ fn bench_similarity(c: &mut Criterion) {
          \"parallel_streaming\": {{\"what\": \"row-parallel rank-only escape@{{1,10,50}}, all {} \
          functions vulnerable, multi-thread vs KHAOS_THREADS=1\", \"threads\": {threads}, \
          \"single_thread_ns\": {:.0}, \"multi_thread_ns\": {:.0}, \"speedup\": {par_speedup:.2}, \
-         \"ranked_bits_equal\": {ranked_bits_equal}}},\n{kernels_json},\n{quant_json},\n{index_json},\n{audit_json}\n}}\n",
+         \"ranked_bits_equal\": {ranked_bits_equal}}},\n{kernels_json},\n{quant_json},\n{index_json},\n{audit_json},\n{obs_json}\n}}\n",
         base_bin.functions.len(),
         base_bin
             .functions

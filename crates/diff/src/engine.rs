@@ -593,6 +593,7 @@ const STREAM_PAR_MIN_COLS: usize = 8192;
 /// worker — the row-parallel drivers — the nested fan-out degrades to
 /// sequential).
 pub fn stream_top_k(scorer: &dyn RowScore, qi: usize, k: usize) -> Vec<(usize, f64)> {
+    let _span = khaos_obs::span("stream_top_k");
     let cols = scorer.cols();
     if cols < STREAM_PAR_MIN_COLS {
         let mut sel = StreamingTopK::new(k);
@@ -732,6 +733,49 @@ pub struct CacheStats {
 
 /// Matrix cache key: tool identity plus both binaries' fingerprints.
 type MatrixKey = (&'static str, u64, u64, u64);
+
+/// Pre-resolved `khaos-obs` global-registry handles mirroring
+/// [`CacheStats`]: every cache instance increments these alongside its
+/// internal counters (one relaxed atomic add per event), so the
+/// process-wide registry — and the daemon's metrics frame — exports
+/// cache-tier effectiveness live, aggregated across instances, without
+/// any extra lock traffic. The per-instance [`EmbeddingCache::stats`]
+/// numbers remain the exact source of truth for one cache.
+struct CacheObs {
+    hits: Arc<khaos_obs::Counter>,
+    misses: Arc<khaos_obs::Counter>,
+    disk_hits: Arc<khaos_obs::Counter>,
+    disk_misses: Arc<khaos_obs::Counter>,
+    disk_writes: Arc<khaos_obs::Counter>,
+    embeds_computed: Arc<khaos_obs::Counter>,
+    quant_hits: Arc<khaos_obs::Counter>,
+    quant_misses: Arc<khaos_obs::Counter>,
+    quant_writes: Arc<khaos_obs::Counter>,
+    entries: Arc<khaos_obs::Gauge>,
+    matrix_entries: Arc<khaos_obs::Gauge>,
+    quant_entries: Arc<khaos_obs::Gauge>,
+}
+
+fn cache_obs() -> &'static CacheObs {
+    static OBS: OnceLock<CacheObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = khaos_obs::Registry::global();
+        CacheObs {
+            hits: r.counter("diff.cache.hits"),
+            misses: r.counter("diff.cache.misses"),
+            disk_hits: r.counter("diff.cache.disk_hits"),
+            disk_misses: r.counter("diff.cache.disk_misses"),
+            disk_writes: r.counter("diff.cache.disk_writes"),
+            embeds_computed: r.counter("diff.cache.embeds_computed"),
+            quant_hits: r.counter("diff.cache.quant_hits"),
+            quant_misses: r.counter("diff.cache.quant_misses"),
+            quant_writes: r.counter("diff.cache.quant_writes"),
+            entries: r.gauge("diff.cache.entries"),
+            matrix_entries: r.gauge("diff.cache.matrix_entries"),
+            quant_entries: r.gauge("diff.cache.quant_entries"),
+        }
+    })
+}
 
 /// Shared FIFO insert-with-eviction for the cache's two bounded maps.
 /// Re-inserting an existing key replaces the value without touching
@@ -881,9 +925,11 @@ impl EmbeddingCache {
             if let Some(hit) = inner.map.get(&key) {
                 let hit = Arc::clone(hit);
                 inner.hits += 1;
+                cache_obs().hits.inc();
                 return hit;
             }
             inner.misses += 1;
+            cache_obs().misses.inc();
             store = inner.store.clone();
         }
         let disk_key = khaos_store::EmbKey {
@@ -900,12 +946,17 @@ impl EmbeddingCache {
                 ));
                 let mut inner = self.inner.lock().expect("embedding cache poisoned");
                 inner.disk_hits += 1;
+                cache_obs().disk_hits.inc();
                 let CacheInner { map, order, .. } = &mut *inner;
                 insert_bounded(map, order, self.capacity, key, Arc::clone(&value));
+                cache_obs().entries.set(map.len() as i64);
                 return value;
             }
         }
-        let value = Arc::new(FunctionEmbeddings::from_rows(embed()));
+        let value = {
+            let _span = khaos_obs::span_with(|| format!("embed:{}", key.0));
+            Arc::new(FunctionEmbeddings::from_rows(embed()))
+        };
         let wrote = store.as_ref().is_some_and(|store| {
             store
                 .put_embeddings(
@@ -916,12 +967,16 @@ impl EmbeddingCache {
         });
         let mut inner = self.inner.lock().expect("embedding cache poisoned");
         inner.embeds_computed += 1;
+        cache_obs().embeds_computed.inc();
         if store.is_some() {
             inner.disk_misses += 1;
             inner.disk_writes += wrote as u64;
+            cache_obs().disk_misses.inc();
+            cache_obs().disk_writes.add(wrote as u64);
         }
         let CacheInner { map, order, .. } = &mut *inner;
         insert_bounded(map, order, self.capacity, key, Arc::clone(&value));
+        cache_obs().entries.set(map.len() as i64);
         value
     }
 
@@ -947,9 +1002,11 @@ impl EmbeddingCache {
             if let Some(hit) = inner.quant.get(&key) {
                 let hit = Arc::clone(hit);
                 inner.quant_hits += 1;
+                cache_obs().quant_hits.inc();
                 return hit;
             }
             inner.quant_misses += 1;
+            cache_obs().quant_misses.inc();
             store = inner.store.clone();
         }
         let disk_key = khaos_store::EmbKey {
@@ -968,17 +1025,22 @@ impl EmbeddingCache {
                 ));
                 let mut inner = self.inner.lock().expect("embedding cache poisoned");
                 inner.disk_hits += 1;
+                cache_obs().disk_hits.inc();
                 let CacheInner {
                     quant, quant_order, ..
                 } = &mut *inner;
                 insert_bounded(quant, quant_order, self.capacity, key, Arc::clone(&value));
+                cache_obs().quant_entries.set(quant.len() as i64);
                 return value;
             }
         }
         // Derive from the f64 tier (shares its memory/disk/compute
         // path and counters), then write the quantized table through.
         let base = self.get_or_embed(key, embed);
-        let value = Arc::new(crate::quant::QuantizedEmbeddings::from_embeddings(&base));
+        let value = {
+            let _span = khaos_obs::span_with(|| format!("quantize:{}", key.0));
+            Arc::new(crate::quant::QuantizedEmbeddings::from_embeddings(&base))
+        };
         let wrote = store.as_ref().is_some_and(|store| {
             store
                 .put_quantized(
@@ -995,10 +1057,12 @@ impl EmbeddingCache {
         });
         let mut inner = self.inner.lock().expect("embedding cache poisoned");
         inner.quant_writes += wrote as u64;
+        cache_obs().quant_writes.add(wrote as u64);
         let CacheInner {
             quant, quant_order, ..
         } = &mut *inner;
         insert_bounded(quant, quant_order, self.capacity, key, Arc::clone(&value));
+        cache_obs().quant_entries.set(quant.len() as i64);
         value
     }
 
@@ -1028,9 +1092,11 @@ impl EmbeddingCache {
             if let Some(hit) = inner.matrices.get(&key) {
                 let hit = Arc::clone(hit);
                 inner.hits += 1;
+                cache_obs().hits.inc();
                 return hit;
             }
             inner.misses += 1;
+            cache_obs().misses.inc();
             store = inner.store.clone();
         }
         let disk_key = khaos_store::MatKey {
@@ -1048,6 +1114,7 @@ impl EmbeddingCache {
                 ));
                 let mut inner = self.inner.lock().expect("embedding cache poisoned");
                 inner.disk_hits += 1;
+                cache_obs().disk_hits.inc();
                 let CacheInner {
                     matrices,
                     matrix_order,
@@ -1060,12 +1127,16 @@ impl EmbeddingCache {
                     key,
                     Arc::clone(&value),
                 );
+                cache_obs().matrix_entries.set(matrices.len() as i64);
                 return value;
             }
         }
         // Built outside the lock; embeddings come from this same cache,
         // reusing the fingerprints already computed for the matrix key.
-        let value = Arc::new(tool.batched_similarity_keyed(query, target, self, key.2, key.3));
+        let value = {
+            let _span = khaos_obs::span_with(|| format!("matrix:{}", key.0));
+            Arc::new(tool.batched_similarity_keyed(query, target, self, key.2, key.3))
+        };
         let wrote = store.as_ref().is_some_and(|store| {
             store
                 .put_matrix(
@@ -1078,6 +1149,8 @@ impl EmbeddingCache {
         if store.is_some() {
             inner.disk_misses += 1;
             inner.disk_writes += wrote as u64;
+            cache_obs().disk_misses.inc();
+            cache_obs().disk_writes.add(wrote as u64);
         }
         let CacheInner {
             matrices,
@@ -1091,6 +1164,7 @@ impl EmbeddingCache {
             key,
             Arc::clone(&value),
         );
+        cache_obs().matrix_entries.set(matrices.len() as i64);
         value
     }
 
@@ -1120,6 +1194,7 @@ impl EmbeddingCache {
         let hit = inner.matrices.get(&key).map(Arc::clone);
         if hit.is_some() {
             inner.hits += 1;
+            cache_obs().hits.inc();
         }
         hit
     }

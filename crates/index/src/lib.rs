@@ -85,7 +85,36 @@ use khaos_diff::kernels;
 use khaos_diff::quant::QuantizedEmbeddings;
 use khaos_store::{codec::Enc, EmbKey, IndexKey, IndexTable, Store, StoredRowMeta, TableView};
 use std::io;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Global-registry handles for the probe-path telemetry, resolved once
+/// per process. Counters aggregate across every index in the process;
+/// per-query batching keeps the hot scan loops free of atomics.
+struct IndexObs {
+    queries: Arc<khaos_obs::Counter>,
+    cells_probed: Arc<khaos_obs::Counter>,
+    cells_skipped: Arc<khaos_obs::Counter>,
+    candidates_scanned: Arc<khaos_obs::Counter>,
+    rerank_scored: Arc<khaos_obs::Counter>,
+    rerank_pruned: Arc<khaos_obs::Counter>,
+    shortlist_rows: Arc<khaos_obs::Histogram>,
+}
+
+fn index_obs() -> &'static IndexObs {
+    static OBS: OnceLock<IndexObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = khaos_obs::Registry::global();
+        IndexObs {
+            queries: r.counter("index.queries"),
+            cells_probed: r.counter("index.cells_probed"),
+            cells_skipped: r.counter("index.cells_skipped"),
+            candidates_scanned: r.counter("index.candidates_scanned"),
+            rerank_scored: r.counter("index.rerank_scored"),
+            rerank_pruned: r.counter("index.rerank_pruned"),
+            shortlist_rows: r.histogram("index.shortlist_rows"),
+        }
+    })
+}
 
 /// Below this corpus size the automatic `nprobe` probes **every**
 /// cell: a brute scan over so few rows is already fast, so the default
@@ -465,14 +494,17 @@ impl IvfIndex {
             n => n,
         }
         .min(self.nlist);
+        let _span = khaos_obs::span("index:query");
 
         // Stage 1: exact centroid scores → the nprobe best cells.
+        let probe_span = khaos_obs::span("index:probe");
         let mut probe = StreamingTopK::new(nprobe);
         for c in 0..self.nlist {
             let row = &self.centroids[c * self.dim()..(c + 1) * self.dim()];
             probe.offer(c, kernels::dot(q, row));
         }
         let probed = probe.into_ranked();
+        drop(probe_span);
         let candidates: usize = probed
             .iter()
             .map(|&(c, _)| self.cell_start[c + 1] - self.cell_start[c])
@@ -487,6 +519,8 @@ impl IvfIndex {
         // scorer. A candidate's exact score lies within ±margin of its
         // approx score (margin = ‖Δq‖·‖t‖ + ‖q̂‖·‖Δt‖ + slack, with
         // ‖t‖ = 1 and ‖q̂‖ ≤ ‖q‖ + ‖Δq‖).
+        let scan_span = khaos_obs::span("index:scan");
+        let mut cells_skipped: u64 = 0;
         let qe = FunctionEmbeddings::from_flat_normalized(1, self.dim(), q.to_vec());
         let qq = QuantizedEmbeddings::from_embeddings(&qe);
         let e_q = residual_norms(&qe, &qq, &[0])[0];
@@ -514,6 +548,7 @@ impl IvfIndex {
             // lower bounds clear that, no member can enter the top-k
             // and the cell's scan is skipped entirely.
             if low.len() == k && sc + qnorm * self.cell_radii[c] + MARGIN_SLACK < bar {
+                cells_skipped += 1;
                 continue;
             }
             let seg = cand.len();
@@ -538,6 +573,7 @@ impl IvfIndex {
                 bar = low.peek().expect("k > 0").0 .0;
             }
         }
+        drop(scan_span);
 
         // Stage 3: windowed exact re-rank. `bar` is the k-th largest
         // certified lower bound, so at least `k` candidates have exact
@@ -550,17 +586,31 @@ impl IvfIndex {
         // engine's pinned total order on *original* row indices, so
         // the ranked output is bit-identical to the brute-force scan
         // whenever the shortlist covers the true top-k.
+        let rerank_span = khaos_obs::span("index:rerank");
         let table = kernels::active_table();
         let mut top = StreamingTopK::new(k);
+        let mut scored: u64 = 0;
         for &(s, p) in &cand {
             let p = p as usize;
             if s.max(0.0) + margin(p) < bar {
                 continue;
             }
+            scored += 1;
             let j = self.perm[p] as usize;
             top.offer(j, table.dot(q, self.exact.row(j)).max(0.0));
         }
-        top.into_ranked()
+        let ranked = top.into_ranked();
+        drop(rerank_span);
+
+        let obs = index_obs();
+        obs.queries.inc();
+        obs.cells_probed.add(probed.len() as u64);
+        obs.cells_skipped.add(cells_skipped);
+        obs.candidates_scanned.add(cand.len() as u64);
+        obs.rerank_scored.add(scored);
+        obs.rerank_pruned.add(cand.len() as u64 - scored);
+        obs.shortlist_rows.record(cand.len() as u64);
+        ranked
     }
 
     /// Batch query: ranks the given rows of `queries` concurrently via

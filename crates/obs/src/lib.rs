@@ -1,0 +1,59 @@
+//! # khaos-obs — unified tracing, metrics, and self-profiling
+//!
+//! A dependency-free observability substrate for the whole workspace
+//! (offline-shim discipline, like `khaos-par`): every layer — build
+//! pipelines, the three-tier embedding cache, the artifact store, the
+//! IVF index, and the TCP daemon — reports health through one shared
+//! registry and one shared timeline instead of scattered ad-hoc
+//! structs.
+//!
+//! The crate has three parts:
+//!
+//! * [`metrics`] — a process-wide [`metrics::Registry`] of named
+//!   atomic [`metrics::Counter`]s, [`metrics::Gauge`]s, and
+//!   fixed-bucket log-scale [`metrics::Histogram`]s with
+//!   p50/p95/p99 snapshots. Layers pre-resolve their handles once
+//!   (an `Arc` per metric) and update them with relaxed atomics, so
+//!   counting is a handful of nanoseconds per event. `KHAOS_METRICS`
+//!   selects an end-of-run dump target (see
+//!   [`metrics::maybe_dump`]).
+//! * [`trace`] — a span-based tracer: scoped RAII [`trace::SpanGuard`]s
+//!   form a per-thread parent/child tree (cross-thread edges are
+//!   linked explicitly, e.g. daemon request → dispatcher), stamped
+//!   with `khaos-par` worker lane ids, and exported as Chrome
+//!   trace-event JSONL when `KHAOS_TRACE=path` is set. When unset the
+//!   whole tracer collapses to a single relaxed atomic load per
+//!   span — the disabled path's overhead is bench-gated (see the
+//!   `obs` section of `BENCH_similarity.json`).
+//! * [`timer`] — the one blessed stopwatch: [`timer::Stopwatch`],
+//!   [`timer::time`], and [`timer::best_of_ns`] subsume the
+//!   hand-rolled timing idioms that used to live in `khaos-pass`
+//!   (`PassReport`), `bench_similarity`, and the serve dispatcher.
+//!
+//! ## The standing invariant: observability never changes ranked bits
+//!
+//! Instrumentation is *pure observation*: counters, spans, and timers
+//! may never influence any value on a ranked path. Tier-1 must pass
+//! bit-identical with tracing on and off (CI's `obs` job runs the
+//! suite both ways and diffs the output), exactly like the workspace's
+//! thread-count and SIMD-dispatch invariance guarantees.
+//!
+//! ## Environment surface
+//!
+//! | variable        | effect |
+//! |-----------------|--------|
+//! | `KHAOS_TRACE`   | `path` — append Chrome trace-event JSONL there; `1`/`true` — default path `khaos-trace.jsonl`; unset/empty/`0` — tracing disabled |
+//! | `KHAOS_METRICS` | `stderr`/`1` — dump the global registry to stderr via [`metrics::maybe_dump`]; `path` — append the dump there; unset — no dump |
+//!
+//! The exported JSONL (one complete `"ph":"X"` event per line) is
+//! rendered into a text flamegraph / summary table by the
+//! `khaos-profile` bin, and wraps trivially into the JSON array form
+//! `chrome://tracing` loads.
+
+pub mod metrics;
+pub mod timer;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricValue, Registry};
+pub use timer::Stopwatch;
+pub use trace::{span, span_child_of, span_with, SpanGuard};

@@ -31,22 +31,33 @@ thread_local! {
     /// calls then run sequentially instead of spawning another full
     /// complement of threads (which would oversubscribe to ~cores²
     /// when an experiment fan-out reaches the engine's parallel
-    /// matrix rows).
-    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// matrix rows). Carries the worker's lane index within its
+    /// fan-out so observability layers (`khaos-obs`) can attribute
+    /// spans to a stable worker lane.
+    static WORKER_ID: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
 /// True on threads spawned by this crate's parallel helpers. Nested
 /// parallel calls detect this and degrade to sequential execution, so
 /// total concurrency stays at one level of [`max_threads`].
 pub fn is_worker_thread() -> bool {
-    IN_WORKER.with(Cell::get)
+    WORKER_ID.with(Cell::get).is_some()
 }
 
-/// Runs `f` with this thread marked as a worker.
-fn as_worker<T>(f: impl FnOnce() -> T) -> T {
-    IN_WORKER.with(|w| w.set(true));
+/// The calling thread's worker lane index within the current fan-out
+/// (`0..threads`), or `None` off the worker pool. Lane indices are
+/// reused across successive fan-outs — they identify a *lane*, not a
+/// task — which is exactly what trace timelines want: work scheduled
+/// on lane `k` of any `par_*` call shows up on one timeline row.
+pub fn worker_id() -> Option<usize> {
+    WORKER_ID.with(Cell::get)
+}
+
+/// Runs `f` with this thread marked as worker lane `id`.
+fn as_worker<T>(id: usize, f: impl FnOnce() -> T) -> T {
+    WORKER_ID.with(|w| w.set(Some(id)));
     let out = f();
-    IN_WORKER.with(|w| w.set(false));
+    WORKER_ID.with(|w| w.set(None));
     out
 }
 
@@ -115,15 +126,16 @@ where
     let cursor = AtomicUsize::new(0);
     let done: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::new());
     std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| {
-                as_worker(|| loop {
+        for w in 0..threads {
+            let (cursor, done, f) = (&cursor, &done, &f);
+            s.spawn(move || {
+                as_worker(w, || loop {
                     let start = cursor.fetch_add(block, Ordering::Relaxed);
                     if start >= n {
                         break;
                     }
                     let end = (start + block).min(n);
-                    let part: Vec<T> = (start..end).map(&f).collect();
+                    let part: Vec<T> = (start..end).map(f).collect();
                     done.lock()
                         .expect("par_map worker panicked")
                         .push((start, part));
@@ -166,9 +178,10 @@ where
     let cursor = AtomicUsize::new(0);
     let done: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::new());
     std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| {
-                as_worker(|| {
+        for w in 0..threads {
+            let (cursor, done, init, f) = (&cursor, &done, &init, &f);
+            s.spawn(move || {
+                as_worker(w, || {
                     let mut scratch = init();
                     loop {
                         let start = cursor.fetch_add(block, Ordering::Relaxed);
@@ -230,9 +243,10 @@ where
     let chunks: Mutex<Vec<(usize, &mut [T])>> =
         Mutex::new(data.chunks_mut(chunk_len).enumerate().rev().collect());
     std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| {
-                as_worker(|| loop {
+        for w in 0..threads {
+            let (chunks, f) = (&chunks, &f);
+            s.spawn(move || {
+                as_worker(w, || loop {
                     // Claim a batch of rows per lock acquisition.
                     let mut batch = Vec::new();
                     {
@@ -268,7 +282,7 @@ where
         return (fa(), fb());
     }
     std::thread::scope(|s| {
-        let hb = s.spawn(|| as_worker(fb));
+        let hb = s.spawn(|| as_worker(0, fb));
         let a = fa();
         let b = hb.join().expect("join closure panicked");
         (a, b)
@@ -449,6 +463,22 @@ mod tests {
             .unwrap_or(1);
         assert_eq!(fallback, machine, "bad override must fall back");
         assert!(fallback >= 1);
+    }
+
+    #[test]
+    fn worker_ids_are_lane_indices() {
+        assert_eq!(worker_id(), None, "non-worker threads have no lane");
+        let threads = max_threads();
+        let ids = par_map(256, |_| worker_id());
+        for id in &ids {
+            if threads > 1 {
+                let lane = id.expect("parallel fan-out must run on workers");
+                assert!(lane < threads.min(256), "lane {lane} out of range");
+            } else {
+                assert_eq!(*id, None, "sequential fallback stays off-pool");
+            }
+        }
+        assert_eq!(worker_id(), None, "lane must reset after the fan-out");
     }
 
     #[test]

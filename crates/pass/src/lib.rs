@@ -81,7 +81,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
 use std::hash::Hasher;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// When a pipeline re-verifies the module it is transforming.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -295,12 +295,14 @@ impl PassReport {
         m: &mut Module,
         f: impl FnOnce(&mut Module) -> Result<(), E>,
     ) -> Result<PassReport, E> {
+        let pass = pass.into();
         let before = IrShape::of(m);
-        let start = Instant::now();
-        f(m)?;
+        let _span = khaos_obs::span_with(|| format!("pass:{pass}"));
+        let (duration, res) = khaos_obs::timer::time(|| f(m));
+        res?;
         Ok(PassReport {
-            pass: pass.into(),
-            duration: start.elapsed(),
+            pass,
+            duration,
             before,
             after: IrShape::of(m),
         })
@@ -461,7 +463,8 @@ impl Pipeline {
     /// The first [`PassError`] encountered; `m` is left in its
     /// mid-pipeline state (clone first if you need rollback).
     pub fn run(&self, m: &mut Module, ctx: &mut PassCtx) -> Result<PipelineReport, PassError> {
-        let start = Instant::now();
+        let _span = khaos_obs::span_with(|| format!("pipeline:{self}"));
+        let start = khaos_obs::timer::Stopwatch::start();
         let mut reports = Vec::with_capacity(self.passes.len());
         // Under AuditAfterEach each pass's output summary becomes the next
         // pass's baseline, so the whole pipeline costs one summary per pass
@@ -474,6 +477,7 @@ impl Pipeline {
             let report = pass.run(m, ctx)?;
             match ctx.verify {
                 VerifyPolicy::AfterEach | VerifyPolicy::AuditAfterEach => {
+                    let _v = khaos_obs::span("pass:verify");
                     verify_module(m).map_err(|report| PassError::Verify {
                         pass: pass.name(),
                         report,
@@ -482,6 +486,7 @@ impl Pipeline {
                 VerifyPolicy::AtEnd | VerifyPolicy::Never => {}
             }
             if let Some(before) = summary.take() {
+                let _a = khaos_obs::span("pass:audit");
                 let (after, diagnostics) = khaos_ir::audit::audit_step(&before, m);
                 if !diagnostics.is_empty() {
                     return Err(PassError::Audit {

@@ -9,6 +9,7 @@
 //!                      [--as-tool NAME] [--config N] [--row I] [--k N]
 //!                      [--nprobe N]
 //! khaos-serve stats    (--addr | --port-file)
+//! khaos-serve metrics  (--addr | --port-file)
 //! khaos-serve shutdown (--addr | --port-file)
 //! khaos-serve bad-frame (--addr | --port-file)
 //!
@@ -22,6 +23,10 @@
 //!              top hit must be the row itself; --as-tool sends the
 //!              request under a different tool name (daemon-side miss
 //!              smoke: expects the structured unknown-index error)
+//!   metrics    print the daemon's rendered metrics registry (kind-25
+//!              frame): request counters, per-request latency
+//!              histograms, uptime, and the daemon process' global
+//!              index/store telemetry
 //!   bad-frame  send deliberate garbage and print the daemon's
 //!              structured error reply (exits 0 only on an error frame)
 //! ```
@@ -90,7 +95,8 @@ fn parse_args() -> Result<Args, String> {
     }
     if a.command.is_empty() {
         return Err(
-            "missing command (serve, build, ping, query, stats, shutdown, bad-frame)".into(),
+            "missing command (serve, build, ping, query, stats, metrics, shutdown, bad-frame)"
+                .into(),
         );
     }
     Ok(a)
@@ -259,13 +265,24 @@ fn run(a: &Args) -> Result<(), String> {
         "stats" => {
             let mut c = client(a)?;
             let s = c.stats().map_err(|e| format!("stats failed: {e}"))?;
+            println!("uptime_secs {}", s.uptime_secs);
             println!("queries {}", s.queries);
+            println!("pings {}", s.pings);
+            println!("stats_reqs {}", s.stats_reqs);
+            println!("metrics_reqs {}", s.metrics_reqs);
+            println!("errors {}", s.errors);
             for i in &s.indexes {
                 println!(
                     "index {} cfg={:016x} corpus={:016x} rows={} dim={} nlist={} nprobe={}",
                     i.tool, i.config, i.corpus, i.rows, i.dim, i.nlist, i.nprobe
                 );
             }
+            Ok(())
+        }
+        "metrics" => {
+            let mut c = client(a)?;
+            let text = c.metrics().map_err(|e| format!("metrics failed: {e}"))?;
+            print!("{text}");
             Ok(())
         }
         "shutdown" => {
@@ -304,11 +321,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(&args) {
+    let code = match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("khaos-serve: {e}");
             ExitCode::FAILURE
         }
-    }
+    };
+    khaos_obs::metrics::maybe_dump();
+    code
 }

@@ -37,14 +37,14 @@ use khaos_index::IvfIndex;
 use protocol::{
     validate_header, FrameError, Hit, IndexInfo, Message, QueryReq, ServerStats, ERR_BAD_DIMS,
     ERR_BAD_FRAME, ERR_BAD_REQUEST, ERR_UNKNOWN_INDEX, ERR_UNSUPPORTED, FRAME_CHECKSUM_LEN,
-    FRAME_HEADER_LEN,
+    FRAME_HEADER_LEN, KIND_ERROR,
 };
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long blocking socket reads wait before re-checking the
 /// shutdown flag.
@@ -54,13 +54,41 @@ const POLL_INTERVAL: Duration = Duration::from_millis(100);
 /// daemon heap-select the whole corpus).
 pub const MAX_K: u32 = 4096;
 
+/// Per-server daemon state. Request counters and latency histograms
+/// live in a **per-server** `khaos_obs::Registry` (not the process
+/// global): several daemons in one test process must not bleed counts
+/// into each other. Both the kind-22 stats frame and the kind-25
+/// metrics frame read these same atomics, so they cannot drift apart.
 struct Shared {
     indexes: Vec<Arc<IvfIndex>>,
-    queries: AtomicU64,
+    registry: khaos_obs::Registry,
+    started: Instant,
+    req_queries: Arc<khaos_obs::Counter>,
+    req_pings: Arc<khaos_obs::Counter>,
+    req_stats: Arc<khaos_obs::Counter>,
+    req_metrics: Arc<khaos_obs::Counter>,
+    errors_sent: Arc<khaos_obs::Counter>,
+    query_ns: Arc<khaos_obs::Histogram>,
     shutdown: AtomicBool,
 }
 
 impl Shared {
+    fn new(indexes: Vec<IvfIndex>) -> Shared {
+        let registry = khaos_obs::Registry::new();
+        Shared {
+            indexes: indexes.into_iter().map(Arc::new).collect(),
+            started: Instant::now(),
+            req_queries: registry.counter("serve.requests.query"),
+            req_pings: registry.counter("serve.requests.ping"),
+            req_stats: registry.counter("serve.requests.stats"),
+            req_metrics: registry.counter("serve.requests.metrics"),
+            errors_sent: registry.counter("serve.errors_sent"),
+            query_ns: registry.histogram("serve.query_ns"),
+            registry,
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
     /// Resolves a query's index: exact `(tool, config)` match, or the
     /// first index of the tool when `config == 0`.
     fn resolve(&self, tool: &str, config: u64) -> Option<&Arc<IvfIndex>> {
@@ -99,7 +127,6 @@ impl Shared {
             };
         }
         let ranked = idx.query_with(&req.q, req.k as usize, req.nprobe as usize);
-        self.queries.fetch_add(1, Ordering::Relaxed);
         Message::Hits(
             ranked
                 .into_iter()
@@ -117,9 +144,34 @@ impl Shared {
         )
     }
 
+    /// Whole seconds since the daemon started, mirrored into the
+    /// registry so the metrics frame reports it too.
+    fn uptime_secs(&self) -> u64 {
+        let secs = self.started.elapsed().as_secs();
+        self.registry
+            .gauge("serve.uptime_secs")
+            .set(secs.min(i64::MAX as u64) as i64);
+        secs
+    }
+
+    /// The kind-25 payload: this daemon's registry first, then the
+    /// process-global one (index/store/diff telemetry) — names are
+    /// namespaced per crate, so the sections cannot collide.
+    fn metrics_text(&self) -> String {
+        self.uptime_secs();
+        let mut text = self.registry.render_text();
+        text.push_str(&khaos_obs::Registry::global().render_text());
+        text
+    }
+
     fn stats(&self) -> Message {
         Message::Stats(ServerStats {
-            queries: self.queries.load(Ordering::Relaxed),
+            queries: self.req_queries.get(),
+            uptime_secs: self.uptime_secs(),
+            pings: self.req_pings.get(),
+            stats_reqs: self.req_stats.get(),
+            metrics_reqs: self.req_metrics.get(),
+            errors: self.errors_sent.get(),
             indexes: self
                 .indexes
                 .iter()
@@ -137,7 +189,10 @@ impl Shared {
     }
 }
 
-type QueryJob = (QueryReq, mpsc::Sender<Message>);
+/// One forwarded query: the request, the reader's `serve:query` span
+/// id (so the dispatcher's span can parent under it across threads),
+/// and the reply channel.
+type QueryJob = (QueryReq, Option<u64>, mpsc::Sender<Message>);
 
 /// A running daemon: accept loop, per-connection readers, one
 /// batching dispatcher. Stops on [`ServerHandle::stop`], on drop, or
@@ -162,11 +217,7 @@ impl ServerHandle {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let shared = Arc::new(Shared {
-            indexes: indexes.into_iter().map(Arc::new).collect(),
-            queries: AtomicU64::new(0),
-            shutdown: AtomicBool::new(false),
-        });
+        let shared = Arc::new(Shared::new(indexes));
         let (dispatch_tx, dispatch_rx) = mpsc::channel::<QueryJob>();
 
         let mut threads = Vec::new();
@@ -189,8 +240,14 @@ impl ServerHandle {
                 while let Ok(job) = dispatch_rx.try_recv() {
                     batch.push(job);
                 }
-                let answers = khaos_par::par_map(batch.len(), |i| shared.answer_query(&batch[i].0));
-                for ((_, reply), answer) in batch.into_iter().zip(answers) {
+                let answers = khaos_par::par_map(batch.len(), |i| {
+                    let (req, parent, _) = &batch[i];
+                    let _span = khaos_obs::span_child_of("dispatch:answer", *parent);
+                    let (ns, answer) = khaos_obs::timer::time_ns(|| shared.answer_query(req));
+                    shared.query_ns.record(ns);
+                    answer
+                });
+                for ((_, _, reply), answer) in batch.into_iter().zip(answers) {
                     // A reader that already hung up just drops its
                     // answer.
                     let _ = reply.send(answer);
@@ -296,7 +353,13 @@ fn read_full(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) -> io::Res
     Ok(true)
 }
 
-fn send(stream: &mut TcpStream, msg: &Message) -> io::Result<()> {
+/// Writes one reply frame, counting kind-18 errors in the daemon's
+/// registry — every error path funnels through here, so the error
+/// count cannot under-report.
+fn send(stream: &mut TcpStream, msg: &Message, shared: &Shared) -> io::Result<()> {
+    if msg.kind() == KIND_ERROR {
+        shared.errors_sent.inc();
+    }
     stream.write_all(&msg.encode())
 }
 
@@ -318,7 +381,7 @@ fn serve_connection(
         let (kind, len) = match validate_header(&header) {
             Ok(v) => v,
             Err(e) => {
-                send(&mut stream, &frame_error(&e))?;
+                send(&mut stream, &frame_error(&e), shared)?;
                 return Ok(());
             }
         };
@@ -331,34 +394,48 @@ fn serve_connection(
         whole.extend_from_slice(&header);
         whole.extend_from_slice(payload);
         if khaos_store::fnv1a(&whole) != u64::from_le_bytes(sum.try_into().unwrap()) {
-            send(&mut stream, &frame_error(&FrameError::Checksum))?;
+            send(&mut stream, &frame_error(&FrameError::Checksum), shared)?;
             return Ok(());
         }
         let msg = match Message::decode(kind, payload) {
             Ok(m) => m,
             Err(e) => {
-                send(&mut stream, &frame_error(&e))?;
+                send(&mut stream, &frame_error(&e), shared)?;
                 return Ok(());
             }
         };
         match msg {
-            Message::Ping(t) => send(&mut stream, &Message::Pong(t))?,
+            Message::Ping(t) => {
+                shared.req_pings.inc();
+                send(&mut stream, &Message::Pong(t), shared)?
+            }
             Message::StatsReq => {
+                shared.req_stats.inc();
                 let stats = shared.stats();
-                send(&mut stream, &stats)?
+                send(&mut stream, &stats, shared)?
+            }
+            Message::MetricsReq => {
+                shared.req_metrics.inc();
+                let metrics = Message::Metrics(shared.metrics_text());
+                send(&mut stream, &metrics, shared)?
             }
             Message::Query(req) => {
+                shared.req_queries.inc();
+                // The span covers read→dispatch→reply; its id crosses
+                // to the dispatcher so `dispatch:answer` (and the
+                // index spans under it) parent here.
+                let span = khaos_obs::span("serve:query");
                 let (tx, rx) = mpsc::channel();
-                if dispatch.send((req, tx)).is_err() {
+                if dispatch.send((req, span.id(), tx)).is_err() {
                     return Ok(()); // daemon is shutting down
                 }
                 match rx.recv() {
-                    Ok(answer) => send(&mut stream, &answer)?,
+                    Ok(answer) => send(&mut stream, &answer, shared)?,
                     Err(_) => return Ok(()),
                 }
             }
             Message::Shutdown => {
-                send(&mut stream, &Message::Shutdown)?;
+                send(&mut stream, &Message::Shutdown, shared)?;
                 shared.shutdown.store(true, Ordering::SeqCst);
                 return Ok(());
             }
@@ -369,6 +446,7 @@ fn serve_connection(
                         code: ERR_UNSUPPORTED,
                         message: format!("frame kind {} is a reply, not a request", other.kind()),
                     },
+                    shared,
                 )?;
             }
         }
@@ -434,6 +512,15 @@ impl Client {
     pub fn stats(&mut self) -> io::Result<ServerStats> {
         match self.roundtrip(&Message::StatsReq)? {
             Message::Stats(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The daemon's rendered metrics registry (kind-25 frame): one
+    /// metric per line, `khaos_obs::Registry::render_text` format.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.roundtrip(&Message::MetricsReq)? {
+            Message::Metrics(text) => Ok(text),
             other => Err(unexpected(&other)),
         }
     }

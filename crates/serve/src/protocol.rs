@@ -18,9 +18,11 @@
 //! `Enc`/`Dec` pair the store uses, so scores round-trip bit-exactly.
 //!
 //! Wire kinds: 16 query, 17 hits, 18 error, 19 ping, 20 pong,
-//! 21 stats request, 22 stats, 23 shutdown. Every validation failure
-//! is a typed [`FrameError`]; the daemon answers kind-18 frames and
-//! never panics on malformed input.
+//! 21 stats request, 22 stats, 23 shutdown, 24 metrics request,
+//! 25 metrics. Every validation failure is a typed [`FrameError`]; the
+//! daemon answers kind-18 frames and never panics on malformed input.
+//! Kinds 24/25 were added **additively** (no version bump): a client
+//! that never sends kind 24 sees a byte-identical protocol.
 
 use khaos_store::codec::{Dec, Enc};
 use khaos_store::{fnv1a, FORMAT_VERSION, MAGIC};
@@ -58,9 +60,13 @@ pub const KIND_STATS_REQ: u8 = 21;
 pub const KIND_STATS: u8 = 22;
 /// Orderly shutdown request (acked with another kind-23 frame).
 pub const KIND_SHUTDOWN: u8 = 23;
+/// Request for the daemon's metrics-registry rendering.
+pub const KIND_METRICS_REQ: u8 = 24;
+/// Metrics reply: the rendered `khaos_obs` registry text.
+pub const KIND_METRICS: u8 = 25;
 
 /// The valid wire kind range.
-pub const WIRE_KINDS: std::ops::RangeInclusive<u8> = KIND_QUERY..=KIND_SHUTDOWN;
+pub const WIRE_KINDS: std::ops::RangeInclusive<u8> = KIND_QUERY..=KIND_METRICS;
 
 /// Error codes carried by kind-18 frames.
 pub const ERR_BAD_FRAME: u32 = 1;
@@ -183,11 +189,24 @@ pub struct IndexInfo {
     pub nprobe: u32,
 }
 
-/// Daemon statistics.
+/// Daemon statistics. Every count is sourced from the daemon's
+/// `khaos_obs` metrics registry — the same atomics the kind-25 metrics
+/// frame renders — so the two frames cannot drift apart.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct ServerStats {
-    /// Queries answered since startup.
+    /// Query frames received since startup (including ones answered
+    /// with an error — request counts never under-report).
     pub queries: u64,
+    /// Whole seconds since the daemon started serving.
+    pub uptime_secs: u64,
+    /// Ping frames received.
+    pub pings: u64,
+    /// Stats-request frames received.
+    pub stats_reqs: u64,
+    /// Metrics-request frames received.
+    pub metrics_reqs: u64,
+    /// Error frames sent (frame violations and request errors alike).
+    pub errors: u64,
     /// Loaded index segments.
     pub indexes: Vec<IndexInfo>,
 }
@@ -216,6 +235,11 @@ pub enum Message {
     Stats(ServerStats),
     /// Kind 23.
     Shutdown,
+    /// Kind 24.
+    MetricsReq,
+    /// Kind 25: the daemon's rendered metrics registry (one metric per
+    /// line, `khaos_obs::Registry::render_text` format).
+    Metrics(String),
 }
 
 impl Message {
@@ -230,6 +254,8 @@ impl Message {
             Message::StatsReq => KIND_STATS_REQ,
             Message::Stats(_) => KIND_STATS,
             Message::Shutdown => KIND_SHUTDOWN,
+            Message::MetricsReq => KIND_METRICS_REQ,
+            Message::Metrics(_) => KIND_METRICS,
         }
     }
 
@@ -262,9 +288,15 @@ impl Message {
                 e.str(message);
             }
             Message::Ping(t) | Message::Pong(t) => e.u64(*t),
-            Message::StatsReq | Message::Shutdown => {}
+            Message::StatsReq | Message::Shutdown | Message::MetricsReq => {}
+            Message::Metrics(text) => e.str(text),
             Message::Stats(s) => {
                 e.u64(s.queries);
+                e.u64(s.uptime_secs);
+                e.u64(s.pings);
+                e.u64(s.stats_reqs);
+                e.u64(s.metrics_reqs);
+                e.u64(s.errors);
                 e.u64(s.indexes.len() as u64);
                 for i in &s.indexes {
                     e.str(&i.tool);
@@ -351,6 +383,11 @@ impl Message {
             KIND_STATS_REQ => Message::StatsReq,
             KIND_STATS => {
                 let queries = d.u64()?;
+                let uptime_secs = d.u64()?;
+                let pings = d.u64()?;
+                let stats_reqs = d.u64()?;
+                let metrics_reqs = d.u64()?;
+                let errors = d.u64()?;
                 let n = d.u64()?;
                 // Minimum encoded index entry: empty-tool length + five
                 // u64 fields + nprobe = 4 + 5*8 + 4 = 48 bytes.
@@ -372,9 +409,19 @@ impl Message {
                         nprobe: d.u32()?,
                     });
                 }
-                Message::Stats(ServerStats { queries, indexes })
+                Message::Stats(ServerStats {
+                    queries,
+                    uptime_secs,
+                    pings,
+                    stats_reqs,
+                    metrics_reqs,
+                    errors,
+                    indexes,
+                })
             }
             KIND_SHUTDOWN => Message::Shutdown,
+            KIND_METRICS_REQ => Message::MetricsReq,
+            KIND_METRICS => Message::Metrics(d.str()?),
             k => return Err(FrameError::UnknownKind(k)),
         };
         if d.remaining() != 0 {

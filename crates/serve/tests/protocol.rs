@@ -54,8 +54,17 @@ fn sample_messages(seed: u64) -> Vec<Message> {
                 })
                 .collect(),
         ),
+        Message::MetricsReq,
+        Message::Metrics(format!(
+            "serve.requests.query counter {seed}\nserve.query_ns histogram count={seed} ✓\n"
+        )),
         Message::Stats(ServerStats {
             queries: seed,
+            uptime_secs: seed % 100_000,
+            pings: seed.rotate_left(3),
+            stats_reqs: seed % 7,
+            metrics_reqs: seed % 3,
+            errors: seed % 11,
             indexes: (0..(seed % 4))
                 .map(|i| IndexInfo {
                     tool: format!("t{i}"),
@@ -321,6 +330,69 @@ fn daemon_answers_structured_errors_and_survives() {
         .unwrap();
     assert_eq!(hits[0].row, 5);
     assert_eq!(hits[0].name, "f5");
+}
+
+/// The kind-22 stats frame and the kind-25 metrics frame read the
+/// same registry atomics: request counts never under-report (error
+/// answers included) and the two frames cannot drift apart.
+#[test]
+fn stats_and_metrics_frames_agree() {
+    let server = ServerHandle::serve(vec![tiny_index("T")], "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+    let mut c = Client::connect(addr).unwrap();
+
+    c.ping(1).unwrap();
+    c.ping(2).unwrap();
+    let q = tiny_index("T").exact_rows().row(7).to_vec();
+    c.query(QueryReq {
+        tool: "T".into(),
+        config: 0,
+        k: 3,
+        nprobe: 0,
+        q: q.clone(),
+    })
+    .unwrap();
+    // A query answered with an error still counts as a query request
+    // *and* as a sent error frame.
+    c.query(QueryReq {
+        tool: "NoSuchTool".into(),
+        config: 0,
+        k: 3,
+        nprobe: 0,
+        q,
+    })
+    .unwrap_err();
+
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.pings, 2, "ping count");
+    assert_eq!(stats.queries, 2, "query count includes error answers");
+    assert_eq!(stats.errors, 1, "error-frame count");
+    assert_eq!(stats.stats_reqs, 1, "stats request count");
+    assert_eq!(stats.metrics_reqs, 0);
+
+    let text = c.metrics().unwrap();
+    assert!(
+        text.contains("serve.requests.ping counter 2"),
+        "metrics text:\n{text}"
+    );
+    assert!(
+        text.contains("serve.requests.query counter 2"),
+        "metrics text:\n{text}"
+    );
+    assert!(
+        text.contains("serve.errors_sent counter 1"),
+        "metrics text:\n{text}"
+    );
+    assert!(
+        text.contains("serve.query_ns histogram count=2"),
+        "metrics text:\n{text}"
+    );
+
+    // The metrics request itself is counted, visible to the next
+    // stats frame — same atomics, no drift.
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.metrics_reqs, 1);
+    assert_eq!(stats.stats_reqs, 2);
 }
 
 #[test]

@@ -118,6 +118,36 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, SystemTime};
 
+/// Global-registry handles for the disk tier's telemetry, resolved
+/// once per process so the per-event cost is one relaxed atomic add.
+/// Counters aggregate across every `Store` instance in the process;
+/// `khaos-store stats` stays the per-directory view.
+struct StoreObs {
+    writes: Arc<khaos_obs::Counter>,
+    write_bytes: Arc<khaos_obs::Counter>,
+    reads: Arc<khaos_obs::Counter>,
+    read_bytes: Arc<khaos_obs::Counter>,
+    read_misses: Arc<khaos_obs::Counter>,
+    gc_deleted: Arc<khaos_obs::Counter>,
+    gc_freed_bytes: Arc<khaos_obs::Counter>,
+}
+
+fn store_obs() -> &'static StoreObs {
+    static OBS: OnceLock<StoreObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = khaos_obs::Registry::global();
+        StoreObs {
+            writes: r.counter("store.disk.writes"),
+            write_bytes: r.counter("store.disk.write_bytes"),
+            reads: r.counter("store.disk.reads"),
+            read_bytes: r.counter("store.disk.read_bytes"),
+            read_misses: r.counter("store.disk.read_misses"),
+            gc_deleted: r.counter("store.gc.deleted"),
+            gc_freed_bytes: r.counter("store.gc.freed_bytes"),
+        }
+    })
+}
+
 /// A flat row-major f64 table — the wire form of both embedding tables
 /// (`rows` functions × `dim` features) and similarity matrices (`rows`
 /// queries × `dim` targets). `data` round-trips bit-exactly.
@@ -764,9 +794,34 @@ impl Store {
         );
         let tmp = self.root.join(TMP_DIR).join(unique);
         fs::write(&tmp, bytes)?;
-        fs::rename(&tmp, dest).inspect_err(|_| {
-            let _ = fs::remove_file(&tmp);
-        })
+        fs::rename(&tmp, dest)
+            .inspect(|()| {
+                let obs = store_obs();
+                obs.writes.inc();
+                obs.write_bytes.add(bytes.len() as u64);
+            })
+            .inspect_err(|_| {
+                let _ = fs::remove_file(&tmp);
+            })
+    }
+
+    /// Reads one record file, counting the disk-tier hit/miss in the
+    /// metrics registry. `Ok(None)` on a missing file; other I/O errors
+    /// surface.
+    fn read_record_bytes(path: &Path) -> io::Result<Option<Vec<u8>>> {
+        match fs::read(path) {
+            Ok(b) => {
+                let obs = store_obs();
+                obs.reads.inc();
+                obs.read_bytes.add(b.len() as u64);
+                Ok(Some(b))
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                store_obs().read_misses.inc();
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     fn record_path(&self, section: &str, kind: u8, key_bytes: &[u8]) -> PathBuf {
@@ -827,10 +882,8 @@ impl Store {
     }
 
     fn get_table(&self, path: PathBuf, want: &OwnedKey) -> io::Result<Option<FlatTable>> {
-        let bytes = match fs::read(&path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(e),
+        let Some(bytes) = Self::read_record_bytes(&path)? else {
+            return Ok(None);
         };
         match format::decode_record(&bytes) {
             Ok(Record {
@@ -864,10 +917,8 @@ impl Store {
             binary: key.binary,
         };
         let path = self.record_path("qnt", KIND_QUANT, &kb);
-        let bytes = match fs::read(&path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(e),
+        let Some(bytes) = Self::read_record_bytes(&path)? else {
+            return Ok(None);
         };
         match format::decode_record(&bytes) {
             Ok(Record {
@@ -891,10 +942,8 @@ impl Store {
     pub fn get_report(&self, key: &ReportKey) -> io::Result<Option<StoredReport>> {
         let kb = format::key_bytes_rep(key.pipeline, key.seed, key.subject);
         let path = self.record_path("rep", KIND_REPORT, &kb);
-        let bytes = match fs::read(&path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(e),
+        let Some(bytes) = Self::read_record_bytes(&path)? else {
+            return Ok(None);
         };
         match format::decode_record(&bytes) {
             Ok(Record {
@@ -941,10 +990,8 @@ impl Store {
             corpus: key.corpus,
         };
         let path = self.record_path("idx", KIND_INDEX, &kb);
-        let bytes = match fs::read(&path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(e),
+        let Some(bytes) = Self::read_record_bytes(&path)? else {
+            return Ok(None);
         };
         match format::decode_record(&bytes) {
             Ok(Record {
@@ -1256,6 +1303,7 @@ impl Store {
     /// the stale-lock horizon. Holds the exclusive lock for the whole
     /// collection.
     pub fn gc(&self, max_bytes: u64) -> io::Result<GcSummary> {
+        let _span = khaos_obs::span("store:gc");
         let _lock = self.lock_exclusive()?;
         // Leftover staging files from crashed writers.
         for entry in fs::read_dir(self.root.join(TMP_DIR))? {
@@ -1293,6 +1341,10 @@ impl Store {
             summary.deleted += 1;
             summary.bytes_after -= len;
         }
+        let obs = store_obs();
+        obs.gc_deleted.add(summary.deleted);
+        obs.gc_freed_bytes
+            .add(summary.bytes_before - summary.bytes_after);
         Ok(summary)
     }
 }
