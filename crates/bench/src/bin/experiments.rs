@@ -1,10 +1,11 @@
 //! `experiments` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--shard i/n] <fig6|fig7|fig8|fig9|fig10|fig11
-//!                        |table1|table2|table3|ablations
-//!                        |ext-arity|ext-dataflow|ext-stripped|all>
-//! experiments [--quick] fig10-merge DIR...
+//! experiments [--quick] [--shard i/n] [--elastic]
+//!             <fig6|fig7|fig8|fig9|fig10|fig11
+//!              |table1|table2|table3|ablations
+//!              |ext-arity|ext-dataflow|ext-stripped|all>
+//! experiments [--quick] <fig7-merge|fig9-merge|fig10-merge|table2-merge> DIR...
 //! ```
 //!
 //! The `ext-*` targets are extension experiments beyond the paper's
@@ -16,23 +17,71 @@
 //! only their deterministic share of the flattened work grid, so `n`
 //! processes — or machines sharing nothing but store directories —
 //! split a sweep. Shard runs should set `KHAOS_STORE` so each cell is
-//! persisted; `fig10-merge DIR...` then reassembles the complete
-//! Figure-10 grid from any union of shard stores (and fails, listing
+//! persisted; `figN-merge`/`table2-merge DIR...` then reassembles the
+//! complete grid from any union of shard stores (and fails, listing
 //! every missing cell, when the union is incomplete).
+//!
+//! `--elastic` replaces the static partition with the leased work
+//! queue in the shared `KHAOS_STORE` (see `khaos_bench::coordinator`):
+//! every worker pointed at the same store claims open cells, steals
+//! stale claims from dead peers after the lease horizon
+//! (`KHAOS_LEASE_MS`, default 120s), and exits only when the whole
+//! grid's records exist — no up-front `i/n` arithmetic, and a killed
+//! worker costs one re-computed cell instead of a hole in the grid.
 
 use khaos_bench::experiments::{self, Scope};
 use khaos_bench::ShardSpec;
 use std::time::Instant;
 
+/// A grid reassembler: prints the full table from shard-store DIRs,
+/// returning whether the grid was complete.
+type MergeFn = fn(Scope, &[String]) -> bool;
+
+/// An elastic driver: one worker's pass over a target's leased work
+/// queue, returning false when no store is configured.
+type ElasticFn = fn(Scope) -> bool;
+
+/// The merge targets: each reassembles one full grid from shard-store
+/// DIRs and exits 1 when cells are missing.
+const MERGE_TARGETS: [(&str, MergeFn); 4] = [
+    ("fig7-merge", experiments::fig7_report),
+    ("fig9-merge", experiments::fig9_report),
+    ("fig10-merge", experiments::fig10_report),
+    ("table2-merge", experiments::table2_report),
+];
+
+/// Targets whose drivers honour `KHAOS_SHARD` (grid-shaped, per-cell
+/// persisted). Everything else runs FULL on every shard.
+const SHARDED_TARGETS: [&str; 7] = ["fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table2"];
+
+/// Targets with an elastic (leased work-queue) driver.
+const ELASTIC_TARGETS: [(&str, ElasticFn); 4] = [
+    ("fig7", experiments::fig7_elastic),
+    ("fig9", experiments::fig9_elastic),
+    ("fig10", experiments::fig10_elastic),
+    ("table2", experiments::table2_elastic),
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [--quick] [--shard i/n] [--elastic] \
+         <fig6..fig11|table1..table3|ablations|ext-arity|ext-dataflow|ext-stripped|all>\n       \
+         experiments [--quick] <fig7-merge|fig9-merge|fig10-merge|table2-merge> DIR..."
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scope = if quick { Scope::Quick } else { Scope::Full };
+    let mut elastic = false;
     let mut positional: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => {}
+            "--elastic" => elastic = true,
             "--shard" => {
                 let v = it.next().map(String::as_str).unwrap_or("");
                 let shard = match ShardSpec::parse(v) {
@@ -54,21 +103,24 @@ fn main() {
         }
     }
 
-    // `fig10-merge` consumes the remaining positionals as store dirs.
-    if positional.first() == Some(&"fig10-merge") {
+    // Merge targets consume the remaining positionals as store dirs.
+    if let Some(&(name, report)) = positional
+        .first()
+        .and_then(|t| MERGE_TARGETS.iter().find(|(n, _)| n == t))
+    {
         let dirs: Vec<String> = positional[1..].iter().map(|s| s.to_string()).collect();
         let dirs = if dirs.is_empty() {
             match std::env::var("KHAOS_STORE") {
                 Ok(d) if !d.trim().is_empty() => vec![d],
                 _ => {
-                    eprintln!("experiments: fig10-merge needs store DIRs (or KHAOS_STORE)");
+                    eprintln!("experiments: {name} needs store DIRs (or KHAOS_STORE)");
                     std::process::exit(2);
                 }
             }
         } else {
             dirs
         };
-        let complete = experiments::fig10_report(scope, &dirs);
+        let complete = report(scope, &dirs);
         std::process::exit(if complete { 0 } else { 1 });
     }
 
@@ -92,13 +144,18 @@ fn main() {
         positional
     };
 
-    // Only the grid-shaped drivers shard (see ROADMAP: the aggregate
-    // targets need per-cell persistence first). A sharded run of any
-    // other target would duplicate its full cost on every shard, so
-    // say so loudly instead of letting it pass as a smaller sweep.
-    const SHARDED_TARGETS: [&str; 4] = ["fig6", "fig8", "fig10", "fig11"];
     let shard = khaos_bench::active_shard();
+    if elastic && !shard.is_full() {
+        eprintln!(
+            "experiments: WARNING: --elastic ignores the static shard {shard} — \
+             the work queue balances itself; every elastic worker scans the full grid"
+        );
+    }
     for t in targets {
+        // Only the grid-shaped drivers shard. A sharded run of any
+        // other target would duplicate its full cost on every shard,
+        // so say so loudly instead of letting it pass as a smaller
+        // sweep.
         if !shard.is_full() && !SHARDED_TARGETS.contains(&t) {
             eprintln!(
                 "experiments: WARNING: `{t}` does not shard — shard {shard} runs it in FULL \
@@ -107,6 +164,20 @@ fn main() {
             );
         }
         let start = Instant::now();
+        if elastic {
+            if let Some(&(_, run)) = ELASTIC_TARGETS.iter().find(|(n, _)| *n == t) {
+                if !run(scope) {
+                    std::process::exit(1);
+                }
+                eprintln!("[{t} took {:.1?}]\n", start.elapsed());
+                continue;
+            }
+            eprintln!(
+                "experiments: WARNING: `{t}` has no elastic driver — running it plainly \
+                 (elastic targets: {})",
+                ELASTIC_TARGETS.map(|(n, _)| n).join(", ")
+            );
+        }
         match t {
             "fig6" => experiments::fig6(scope),
             "fig7" => experiments::fig7(scope),
@@ -123,10 +194,7 @@ fn main() {
             "ext-stripped" => experiments::ext_stripped(scope),
             other => {
                 eprintln!("unknown experiment `{other}`");
-                eprintln!(
-                    "usage: experiments [--quick] [--shard i/n] <fig6..fig11|table1..table3|ablations|ext-arity|ext-dataflow|ext-stripped|all>\n       experiments [--quick] fig10-merge DIR..."
-                );
-                std::process::exit(2);
+                usage();
             }
         }
         eprintln!("[{t} took {:.1?}]\n", start.elapsed());

@@ -4,10 +4,11 @@
 //! reports. See `EXPERIMENTS.md` at the repository root for paper-vs-
 //! measured notes.
 
+use crate::coordinator::{run_elastic, run_elastic_with, ElasticSummary, WorkUnit};
 use crate::harness::{
     active_shard, artifact_store, build_at, build_baseline, build_binary, build_config, geomean,
     geomean_ratio, khaos_apply, khaos_atom, measure_cycles, overhead_pct, par_fan_out,
-    persist_metrics_to, prepare_baselines, run_spec, BuildConfig, ShardSpec, SEED,
+    persist_metrics_to, run_spec, BuildConfig, ShardSpec, SEED,
 };
 use khaos_binary::{histogram_distance, lower_module, opcode_histogram};
 use khaos_bintuner::BinTuner;
@@ -105,11 +106,10 @@ pub fn fig6(scope: Scope) {
     println!("{row}");
 }
 
-/// **Figure 7** — overhead comparison against O-LLVM (Sub/Bog/Fla at
-/// 100%, Fla-10 at 10%) with geometric means per suite.
-pub fn fig7(scope: Scope) {
-    println!("# Figure 7: runtime overhead (%) — O-LLVM vs Khaos (GEOMEAN)");
-    let configs: Vec<(String, BuildConfig)> = vec![
+/// The nine configurations of Figure 7, in row order (O-LLVM's
+/// Sub/Bog/Fla at 100%, Fla-10 at 10%, then the five Khaos modes).
+pub fn fig7_configs() -> Vec<(String, BuildConfig)> {
+    vec![
         ("Sub".into(), BuildConfig::Ollvm(OllvmMode::Sub(1.0))),
         ("Bog".into(), BuildConfig::Ollvm(OllvmMode::Bog(1.0))),
         ("Fla".into(), BuildConfig::Ollvm(OllvmMode::Fla(1.0))),
@@ -119,35 +119,296 @@ pub fn fig7(scope: Scope) {
         ("FuFi.sep".into(), BuildConfig::Khaos(KhaosMode::FuFiSep)),
         ("FuFi.ori".into(), BuildConfig::Khaos(KhaosMode::FuFiOri)),
         ("FuFi.all".into(), BuildConfig::Khaos(KhaosMode::FuFiAll)),
-    ];
-    let suites: Vec<(&str, Vec<Module>)> = if scope == Scope::Quick {
+    ]
+}
+
+/// The suites of Figure 7 (its GEOMEAN columns), trimmed under
+/// `--quick`.
+fn fig7_suites(scope: Scope) -> Vec<(&'static str, Vec<Module>)> {
+    if scope == Scope::Quick {
         vec![("SPEC(quick)", t1_programs(scope))]
     } else {
         vec![("SPEC CPU 2006", spec2006()), ("SPEC CPU 2017", spec2017())]
+    }
+}
+
+/// The `khaos-store` report subject of one Figure-7 cell.
+pub fn fig7_subject(suite: &str, program: &str, config: &str) -> String {
+    format!("fig7/{suite}/{program}/{config}")
+}
+
+/// One measured Figure-7 cell: the runtime overhead of `program`
+/// (member of `suite`) built under `config`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig7Cell {
+    /// Suite the program belongs to (Figure-7 column group).
+    pub suite: &'static str,
+    /// Program name.
+    pub program: String,
+    /// Configuration display name (Figure-7 row).
+    pub config: String,
+    /// Configuration pipeline fingerprint (the report keyspace).
+    pub pipeline: u64,
+    /// Runtime overhead (%) against the `O2+LTO` baseline.
+    pub overhead: f64,
+}
+
+impl Fig7Cell {
+    /// The cell's store subject.
+    pub fn subject(&self) -> String {
+        fig7_subject(self.suite, &self.program, &self.config)
+    }
+}
+
+/// The identity of one expected Figure-7 cell (no measurement).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig7CellKey {
+    /// Suite the program belongs to.
+    pub suite: &'static str,
+    /// Program name.
+    pub program: String,
+    /// Configuration display name.
+    pub config: String,
+    /// Configuration pipeline fingerprint.
+    pub pipeline: u64,
+}
+
+impl Fig7CellKey {
+    /// The cell's store subject.
+    pub fn subject(&self) -> String {
+        fig7_subject(self.suite, &self.program, &self.config)
+    }
+}
+
+/// Every cell of the Figure-7 grid in canonical order (configs outer,
+/// then suites, then programs) — the completeness contract
+/// [`fig7_merge`] enforces.
+pub fn fig7_expected(scope: Scope) -> Vec<Fig7CellKey> {
+    let configs = fig7_configs();
+    let suites = fig7_suites(scope);
+    let mut out = Vec::new();
+    for (config, cfg) in &configs {
+        for (suite, programs) in &suites {
+            for program in programs {
+                out.push(Fig7CellKey {
+                    suite,
+                    program: program.name.clone(),
+                    config: config.clone(),
+                    pipeline: cfg.fingerprint(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Measures `shard`'s share of the Figure-7 grid, returning its cells
+/// in canonical grid order and persisting each into `store` (when
+/// given) under the cell's `ReportKey`. Like [`fig10_cells`], every
+/// cell is a deterministic function of `(program, config, seed)`, so
+/// shards computed by different processes merge bit-identically.
+pub fn fig7_cells(scope: Scope, shard: ShardSpec, store: Option<&Store>) -> Vec<Fig7Cell> {
+    let configs = fig7_configs();
+    let suites = fig7_suites(scope);
+    let mut grid: Vec<(usize, usize, usize)> = Vec::new();
+    for ci in 0..configs.len() {
+        for (si, (_, programs)) in suites.iter().enumerate() {
+            for pi in 0..programs.len() {
+                grid.push((ci, si, pi));
+            }
+        }
+    }
+    let grid = shard.select(grid);
+    // Baselines are shared by all nine configuration rows touching a
+    // program: build each distinct program of the owned cells once.
+    let needed: Vec<(usize, usize)> = {
+        let mut v: Vec<(usize, usize)> = grid.iter().map(|&(_, si, pi)| (si, pi)).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
     };
+    let prepared: Vec<(Module, u64)> = par_fan_out(&needed, |&(si, pi)| {
+        let base = build_baseline(&suites[si].1[pi]);
+        let cycles = measure_cycles(&base);
+        (base, cycles)
+    });
+    par_fan_out(&grid, |&(ci, si, pi)| {
+        let slot = needed
+            .binary_search(&(si, pi))
+            .expect("(si, pi) collected from grid");
+        let (base, base_cycles) = &prepared[slot];
+        let (cfg_name, cfg) = &configs[ci];
+        let obf = build_config(base, *cfg);
+        let cell = Fig7Cell {
+            suite: suites[si].0,
+            program: base.name.clone(),
+            config: cfg_name.clone(),
+            pipeline: cfg.fingerprint(),
+            overhead: overhead_pct(*base_cycles, measure_cycles(&obf)),
+        };
+        if let Some(store) = store {
+            persist_metrics_to(
+                store,
+                &cell.subject(),
+                cell.pipeline,
+                &[("overhead%", cell.overhead)],
+            );
+        }
+        cell
+    })
+}
+
+/// Prints the Figure-7 table (config rows, per-suite geometric means
+/// plus the overall GEOMEAN) from a complete cell grid.
+fn fig7_print_table(cells: &[Fig7Cell]) {
+    let suites = uniq(cells.iter().map(|c| c.suite));
+    let configs = uniq(cells.iter().map(|c| c.config.as_str()));
     print!("{:<14}", "config");
-    for (sname, _) in &suites {
+    for sname in &suites {
         print!(" {sname:>15}");
     }
     println!(" {:>10}", "GEOMEAN");
-    // Baselines are shared by all nine configurations: build once.
-    let baselines: Vec<Vec<(Module, u64)>> = suites
-        .iter()
-        .map(|(_, programs)| prepare_baselines(programs))
-        .collect();
-    for (name, cfg) in &configs {
+    for config in &configs {
         let mut all = Vec::new();
-        print!("{name:<14}");
-        for prepared in &baselines {
-            let ohs = par_fan_out(prepared, |(base, base_cycles)| {
-                let obf = build_config(base, *cfg);
-                overhead_pct(*base_cycles, measure_cycles(&obf))
-            });
+        print!("{config:<14}");
+        for suite in &suites {
+            let ohs: Vec<f64> = cells
+                .iter()
+                .filter(|c| c.config == *config && c.suite == *suite)
+                .map(|c| c.overhead)
+                .collect();
             all.extend_from_slice(&ohs);
             print!(" {:>14.1}%", geomean_ratio(&ohs));
         }
         println!(" {:>9.1}%", geomean_ratio(&all));
     }
+}
+
+/// **Figure 7** — overhead comparison against O-LLVM (Sub/Bog/Fla at
+/// 100%, Fla-10 at 10%) with geometric means per suite. Honours the
+/// active shard like [`fig10`]: a sharded run measures only its share
+/// of the `config × suite × program` grid, persists the cells into
+/// `KHAOS_STORE`, and prints them row-wise; `experiments fig7-merge
+/// <DIR...>` reassembles the full table.
+pub fn fig7(scope: Scope) {
+    println!("# Figure 7: runtime overhead (%) — O-LLVM vs Khaos (GEOMEAN)");
+    let shard = active_shard();
+    let store = artifact_store();
+    if !shard.is_full() && store.is_none() {
+        println!(
+            "# WARNING: sharded run without KHAOS_STORE — cells will be printed but \
+             not persisted, so fig7-merge cannot reassemble this shard"
+        );
+    }
+    let cells = fig7_cells(scope, shard, store.as_deref());
+    if shard.is_full() {
+        fig7_print_table(&cells);
+        return;
+    }
+    println!(
+        "# shard {shard}: {} of {} cells (merge with `experiments fig7-merge <store-dirs>`)",
+        cells.len(),
+        fig7_expected(scope).len()
+    );
+    println!(
+        "{:<14} {:<16} {:<10} {:>10}",
+        "suite", "program", "config", "overhead"
+    );
+    for c in &cells {
+        println!(
+            "{:<14} {:<16} {:<10} {:>9.1}%",
+            c.suite, c.program, c.config, c.overhead
+        );
+    }
+}
+
+/// Reassembles the complete Figure-7 grid from any union of shard
+/// stores, or lists every missing cell precisely.
+pub fn fig7_merge(scope: Scope, stores: &[&Store]) -> Result<Vec<Fig7Cell>, Vec<String>> {
+    let expected = fig7_expected(scope);
+    let pairs: Vec<(String, u64)> = expected.iter().map(|k| (k.subject(), k.pipeline)).collect();
+    let values = merge_grid(&["overhead%"], &pairs, stores)?;
+    Ok(expected
+        .into_iter()
+        .zip(values)
+        .map(|(k, v)| Fig7Cell {
+            suite: k.suite,
+            program: k.program,
+            config: k.config,
+            pipeline: k.pipeline,
+            overhead: v[0],
+        })
+        .collect())
+}
+
+/// `experiments fig7-merge DIR...` — reassembles and prints the full
+/// Figure-7 table from a union of shard stores, or lists every missing
+/// cell and fails. Returns whether the grid was complete.
+pub fn fig7_report(scope: Scope, store_dirs: &[String]) -> bool {
+    let expected = fig7_expected(scope);
+    merged_report(
+        "Figure 7",
+        scope,
+        expected.len(),
+        store_dirs,
+        fig7_merge,
+        fig7_print_table,
+    )
+}
+
+/// **Figure 7, elastic** — the grid as a leased work queue in the
+/// shared `KHAOS_STORE` (see [`crate::coordinator`]). Each unit is one
+/// cell and re-derives its baseline, so any worker can own any cell;
+/// the store's report and embedding tiers absorb most of the repeat
+/// cost. Returns `false` (without working) when no store is
+/// configured.
+pub fn fig7_elastic(scope: Scope) -> bool {
+    let Some(store) = artifact_store() else {
+        eprintln!("experiments: --elastic needs KHAOS_STORE (the shared store is the work queue)");
+        return false;
+    };
+    println!("# Figure 7: runtime overhead (%) — O-LLVM vs Khaos (GEOMEAN)");
+    println!("# elastic worker over {}", store.root().display());
+    let configs = fig7_configs();
+    let suites = fig7_suites(scope);
+    let mut grid: Vec<(usize, usize, usize)> = Vec::new();
+    for ci in 0..configs.len() {
+        for (si, (_, programs)) in suites.iter().enumerate() {
+            for pi in 0..programs.len() {
+                grid.push((ci, si, pi));
+            }
+        }
+    }
+    let units: Vec<WorkUnit> = grid
+        .iter()
+        .map(|&(ci, si, pi)| {
+            let (cfg_name, cfg) = &configs[ci];
+            let subject = fig7_subject(suites[si].0, &suites[si].1[pi].name, cfg_name);
+            WorkUnit {
+                label: subject.clone(),
+                lease: (subject.clone(), cfg.fingerprint()),
+                outputs: vec![(subject, cfg.fingerprint())],
+            }
+        })
+        .collect();
+    let summary = run_elastic(&store, "fig7", &units, |i| {
+        let (ci, si, pi) = grid[i];
+        let (cfg_name, cfg) = &configs[ci];
+        let src = &suites[si].1[pi];
+        let base = build_baseline(src);
+        let base_cycles = measure_cycles(&base);
+        let obf = build_config(&base, *cfg);
+        persist_metrics_to(
+            &store,
+            &fig7_subject(suites[si].0, &src.name, cfg_name),
+            cfg.fingerprint(),
+            &[("overhead%", overhead_pct(base_cycles, measure_cycles(&obf)))],
+        );
+    });
+    print_elastic_summary("fig7", &summary);
+    elastic_epilogue(fig7_merge(scope, &[&store]), |cells| {
+        fig7_print_table(cells)
+    })
 }
 
 /// **Figure 8** — Precision@1 of the five diffing tools against the eight
@@ -220,11 +481,8 @@ fn fig9_names() -> Vec<&'static str> {
     ]
 }
 
-/// **Figure 9** — BinDiff similarity of BinTuner and Khaos builds against
-/// `O0`–`O3` reference builds, plus BinTuner's runtime overhead against
-/// the paper's `O2+LTO` Khaos baseline (paper reports 30.35%).
-pub fn fig9(scope: Scope) {
-    println!("# Figure 9: BinDiff similarity — BinTuner vs Khaos (FuFi.all)");
+/// The T-I programs of Figure 9, trimmed under `--quick`.
+fn fig9_programs(scope: Scope) -> Vec<Module> {
     let names = fig9_names();
     let mut programs: Vec<Module> = spec2006()
         .into_iter()
@@ -234,27 +492,88 @@ pub fn fig9(scope: Scope) {
     if scope == Scope::Quick {
         programs.truncate(4);
     }
+    programs
+}
 
+/// The `khaos-store` report subject of one Figure-9 cell (one cell per
+/// program: the whole BinTuner-vs-Khaos row).
+pub fn fig9_subject(program: &str) -> String {
+    format!("fig9/{program}")
+}
+
+/// The stored metric names of one Figure-9 cell, in row order.
+const FIG9_METRICS: [&str; 9] = [
+    "bt/o0", "bt/o1", "bt/o2", "bt/o3", "kh/o0", "kh/o1", "kh/o2", "kh/o3", "bt-ovh%",
+];
+
+/// The fingerprint keying Figure-9 cells: the Khaos side of the
+/// comparison (`FuFi.all | O2+lto`) — the BinTuner search has no
+/// pipeline spec of its own.
+fn fig9_pipeline() -> u64 {
+    BuildConfig::Khaos(KhaosMode::FuFiAll).fingerprint()
+}
+
+/// One measured Figure-9 cell: BinDiff similarity of the BinTuner and
+/// Khaos (`FuFi.all`) builds of `program` against its `O0`–`O3`
+/// reference builds, plus BinTuner's runtime overhead.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig9Cell {
+    /// Program name.
+    pub program: String,
+    /// Report keyspace fingerprint ([`Fig9CellKey::pipeline`]).
+    pub pipeline: u64,
+    /// BinTuner-build similarity vs `O0..O3`.
+    pub bt: [f64; 4],
+    /// Khaos-build similarity vs `O0..O3`.
+    pub kh: [f64; 4],
+    /// BinTuner runtime overhead (%) vs the `O2+LTO` baseline.
+    pub bt_overhead: f64,
+}
+
+impl Fig9Cell {
+    /// The cell's store subject.
+    pub fn subject(&self) -> String {
+        fig9_subject(&self.program)
+    }
+}
+
+/// The identity of one expected Figure-9 cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig9CellKey {
+    /// Program name.
+    pub program: String,
+    /// Report keyspace fingerprint.
+    pub pipeline: u64,
+}
+
+impl Fig9CellKey {
+    /// The cell's store subject.
+    pub fn subject(&self) -> String {
+        fig9_subject(&self.program)
+    }
+}
+
+/// Every cell of the Figure-9 grid in canonical (program) order.
+pub fn fig9_expected(scope: Scope) -> Vec<Fig9CellKey> {
+    fig9_programs(scope)
+        .iter()
+        .map(|m| Fig9CellKey {
+            program: m.name.clone(),
+            pipeline: fig9_pipeline(),
+        })
+        .collect()
+}
+
+/// Measures `shard`'s share of the Figure-9 grid (one cell per
+/// program), persisting each cell into `store` when given. Cells are
+/// deterministic functions of `(program, seed)`, so shards merge
+/// bit-identically.
+pub fn fig9_cells(scope: Scope, shard: ShardSpec, store: Option<&Store>) -> Vec<Fig9Cell> {
+    let programs = shard.select(fig9_programs(scope));
     let differ = BinDiff::default();
-    println!(
-        "{:<18} {:>8} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8} {:>8} {:>10}",
-        "program",
-        "BT/O0",
-        "BT/O1",
-        "BT/O2",
-        "BT/O3",
-        "KH/O0",
-        "KH/O1",
-        "KH/O2",
-        "KH/O3",
-        "BT-ovh%"
-    );
-    let mut bt_cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    let mut kh_cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    let mut bt_overheads = Vec::new();
     // Fan out per program: each worker runs the BinTuner search, the
     // Khaos build, and the eight whole-binary comparisons.
-    let results = par_fan_out(&programs, |src| {
+    par_fan_out(&programs, |src| {
         let refs: Vec<_> = OptLevel::ALL
             .iter()
             .map(|l| lower_module(&build_at(src, *l)))
@@ -280,22 +599,79 @@ pub fn fig9(scope: Scope) {
             .iter()
             .map(|r| binary_similarity(&differ, r, &khaos_bin))
             .collect();
-        (src.name.clone(), bt, kh, bt_overhead)
-    });
-    for (name, bt, kh, bt_overhead) in results {
-        bt_overheads.push(bt_overhead);
-        let mut row = format!("{name:<18}");
-        for (k, s) in bt.into_iter().enumerate() {
-            bt_cols[k].push(s);
-            row.push_str(&format!(" {s:>8.3}"));
+        let cell = Fig9Cell {
+            program: src.name.clone(),
+            pipeline: fig9_pipeline(),
+            bt: [bt[0], bt[1], bt[2], bt[3]],
+            kh: [kh[0], kh[1], kh[2], kh[3]],
+            bt_overhead,
+        };
+        if let Some(store) = store {
+            persist_metrics_to(store, &cell.subject(), cell.pipeline, &fig9_metrics(&cell));
         }
-        row.push_str("  ");
-        for (k, s) in kh.into_iter().enumerate() {
-            kh_cols[k].push(s);
-            row.push_str(&format!(" {s:>8.3}"));
+        cell
+    })
+}
+
+/// The cell's stored metric pairs, in [`FIG9_METRICS`] order.
+fn fig9_metrics(cell: &Fig9Cell) -> Vec<(&'static str, f64)> {
+    let values = [
+        cell.bt[0],
+        cell.bt[1],
+        cell.bt[2],
+        cell.bt[3],
+        cell.kh[0],
+        cell.kh[1],
+        cell.kh[2],
+        cell.kh[3],
+        cell.bt_overhead,
+    ];
+    FIG9_METRICS.iter().copied().zip(values).collect()
+}
+
+fn fig9_row(cell: &Fig9Cell) -> String {
+    let mut row = format!("{:<18}", cell.program);
+    for s in cell.bt {
+        row.push_str(&format!(" {s:>8.3}"));
+    }
+    row.push_str("  ");
+    for s in cell.kh {
+        row.push_str(&format!(" {s:>8.3}"));
+    }
+    row.push_str(&format!(" {:>9.1}%", cell.bt_overhead));
+    row
+}
+
+fn fig9_print_header() {
+    println!(
+        "{:<18} {:>8} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "program",
+        "BT/O0",
+        "BT/O1",
+        "BT/O2",
+        "BT/O3",
+        "KH/O0",
+        "KH/O1",
+        "KH/O2",
+        "KH/O3",
+        "BT-ovh%"
+    );
+}
+
+/// Prints the Figure-9 table (per-program rows plus the GEOMEAN row)
+/// from a complete cell grid.
+fn fig9_print_table(cells: &[Fig9Cell]) {
+    fig9_print_header();
+    let mut bt_cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let mut kh_cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let mut bt_overheads = Vec::new();
+    for cell in cells {
+        bt_overheads.push(cell.bt_overhead);
+        for k in 0..4 {
+            bt_cols[k].push(cell.bt[k]);
+            kh_cols[k].push(cell.kh[k]);
         }
-        row.push_str(&format!(" {bt_overhead:>9.1}%"));
-        println!("{row}");
+        println!("{}", fig9_row(cell));
     }
     let mut row = format!("{:<18}", "GEOMEAN");
     for c in &bt_cols {
@@ -308,6 +684,133 @@ pub fn fig9(scope: Scope) {
     row.push_str(&format!(" {:>9.1}%", geomean_ratio(&bt_overheads)));
     println!("{row}");
     println!("# paper: Khaos scores well below BinTuner at every level; BinTuner overhead 30.35%");
+}
+
+/// **Figure 9** — BinDiff similarity of BinTuner and Khaos builds against
+/// `O0`–`O3` reference builds, plus BinTuner's runtime overhead against
+/// the paper's `O2+LTO` Khaos baseline (paper reports 30.35%). Honours
+/// the active shard like [`fig10`]; `experiments fig9-merge <DIR...>`
+/// reassembles the full table from shard stores.
+pub fn fig9(scope: Scope) {
+    println!("# Figure 9: BinDiff similarity — BinTuner vs Khaos (FuFi.all)");
+    let shard = active_shard();
+    let store = artifact_store();
+    if !shard.is_full() && store.is_none() {
+        println!(
+            "# WARNING: sharded run without KHAOS_STORE — cells will be printed but \
+             not persisted, so fig9-merge cannot reassemble this shard"
+        );
+    }
+    let cells = fig9_cells(scope, shard, store.as_deref());
+    if shard.is_full() {
+        fig9_print_table(&cells);
+        return;
+    }
+    println!(
+        "# shard {shard}: {} of {} cells (merge with `experiments fig9-merge <store-dirs>`)",
+        cells.len(),
+        fig9_expected(scope).len()
+    );
+    fig9_print_header();
+    for cell in &cells {
+        println!("{}", fig9_row(cell));
+    }
+}
+
+/// Reassembles the complete Figure-9 grid from any union of shard
+/// stores, or lists every missing cell precisely.
+pub fn fig9_merge(scope: Scope, stores: &[&Store]) -> Result<Vec<Fig9Cell>, Vec<String>> {
+    let expected = fig9_expected(scope);
+    let pairs: Vec<(String, u64)> = expected.iter().map(|k| (k.subject(), k.pipeline)).collect();
+    let values = merge_grid(&FIG9_METRICS, &pairs, stores)?;
+    Ok(expected
+        .into_iter()
+        .zip(values)
+        .map(|(k, v)| Fig9Cell {
+            program: k.program,
+            pipeline: k.pipeline,
+            bt: [v[0], v[1], v[2], v[3]],
+            kh: [v[4], v[5], v[6], v[7]],
+            bt_overhead: v[8],
+        })
+        .collect())
+}
+
+/// `experiments fig9-merge DIR...` — reassembles and prints the full
+/// Figure-9 table from a union of shard stores, or lists every missing
+/// cell and fails. Returns whether the grid was complete.
+pub fn fig9_report(scope: Scope, store_dirs: &[String]) -> bool {
+    let expected = fig9_expected(scope);
+    merged_report(
+        "Figure 9",
+        scope,
+        expected.len(),
+        store_dirs,
+        fig9_merge,
+        fig9_print_table,
+    )
+}
+
+/// **Figure 9, elastic** — one work unit per program on the shared
+/// store's leased work queue (see [`crate::coordinator`]). Returns
+/// `false` (without working) when no store is configured.
+pub fn fig9_elastic(scope: Scope) -> bool {
+    let Some(store) = artifact_store() else {
+        eprintln!("experiments: --elastic needs KHAOS_STORE (the shared store is the work queue)");
+        return false;
+    };
+    println!("# Figure 9: BinDiff similarity — BinTuner vs Khaos (FuFi.all)");
+    println!("# elastic worker over {}", store.root().display());
+    let programs = fig9_programs(scope);
+    let units: Vec<WorkUnit> = programs
+        .iter()
+        .map(|m| {
+            let subject = fig9_subject(&m.name);
+            WorkUnit {
+                label: subject.clone(),
+                lease: (subject.clone(), fig9_pipeline()),
+                outputs: vec![(subject, fig9_pipeline())],
+            }
+        })
+        .collect();
+    let differ = BinDiff::default();
+    let summary = run_elastic(&store, "fig9", &units, |i| {
+        let src = &programs[i];
+        let refs: Vec<_> = OptLevel::ALL
+            .iter()
+            .map(|l| lower_module(&build_at(src, *l)))
+            .collect();
+        let tuned = BinTuner {
+            budget: 16,
+            seed: SEED,
+        }
+        .tune(src);
+        let baseline = build_baseline(src);
+        let base_cycles = measure_cycles(&baseline);
+        let bt_overhead = overhead_pct(base_cycles, measure_cycles(&tuned.module));
+        let (khaos, _) = khaos_apply(&baseline, KhaosMode::FuFiAll, SEED);
+        let khaos_bin = lower_module(&khaos);
+        let bt: Vec<f64> = refs
+            .iter()
+            .map(|r| binary_similarity(&differ, r, &tuned.binary))
+            .collect();
+        let kh: Vec<f64> = refs
+            .iter()
+            .map(|r| binary_similarity(&differ, r, &khaos_bin))
+            .collect();
+        let cell = Fig9Cell {
+            program: src.name.clone(),
+            pipeline: fig9_pipeline(),
+            bt: [bt[0], bt[1], bt[2], bt[3]],
+            kh: [kh[0], kh[1], kh[2], kh[3]],
+            bt_overhead,
+        };
+        persist_metrics_to(&store, &cell.subject(), cell.pipeline, &fig9_metrics(&cell));
+    });
+    print_elastic_summary("fig9", &summary);
+    elastic_epilogue(fig9_merge(scope, &[&store]), |cells| {
+        fig9_print_table(cells)
+    })
 }
 
 /// The escape thresholds of Figure 10 (the paper's `escape@{1,10,50}`).
@@ -598,22 +1101,25 @@ pub fn fig10_merge(scope: Scope, stores: &[&Store]) -> Result<Vec<Fig10Cell>, Ve
     fig10_merge_expected(&fig10_expected(scope), stores)
 }
 
-/// [`fig10_merge`] against an already-computed expected grid (the
-/// merge CLI computes the grid once and reuses it for its header and
-/// missing-cell accounting — regenerating it re-synthesizes the whole
-/// T-III suite).
-fn fig10_merge_expected(
-    expected: &[Fig10CellKey],
+/// Looks up every expected `(subject, pipeline)` cell across a union
+/// of stores, returning each cell's metric values (in `metrics` order)
+/// in expected order — or, when any cell is missing from every store,
+/// an `Err` listing each missing cell precisely (subject + pipeline
+/// fingerprint), so an operator can see exactly which shard never ran
+/// or never persisted. Every `figN_merge`/`table2_merge` is this one
+/// contract over its own grid.
+fn merge_grid(
+    metrics: &[&str],
+    expected: &[(String, u64)],
     stores: &[&Store],
-) -> Result<Vec<Fig10Cell>, Vec<String>> {
+) -> Result<Vec<Vec<f64>>, Vec<String>> {
     let mut cells = Vec::new();
     let mut missing = Vec::new();
-    for key in expected {
-        let subject = key.subject();
+    for (subject, pipeline) in expected {
         let report_key = ReportKey {
-            pipeline: key.pipeline,
+            pipeline: *pipeline,
             seed: SEED,
-            subject: &subject,
+            subject,
         };
         // A store I/O failure is not "the shard never ran" — keep the
         // distinction so the operator fixes the store instead of
@@ -633,10 +1139,7 @@ fn fig10_merge_expected(
         }
         let Some(report) = found else {
             missing.push(if read_errors.is_empty() {
-                format!(
-                    "{subject} (pipeline {:016x}, seed {:#x})",
-                    key.pipeline, SEED
-                )
+                format!("{subject} (pipeline {pipeline:016x}, seed {:#x})", SEED)
             } else {
                 // Name every failing store, not just the last — the
                 // operator should fix them all in one pass.
@@ -647,23 +1150,21 @@ fn fig10_merge_expected(
             });
             continue;
         };
-        let metric = |name: &str| {
-            report
-                .metrics
-                .iter()
-                .find(|(n, _)| n == name)
-                .map(|(_, v)| *v)
-        };
-        match (metric("escape@1"), metric("escape@10"), metric("escape@50")) {
-            (Some(e1), Some(e10), Some(e50)) => cells.push(Fig10Cell {
-                program: key.program.clone(),
-                config: key.config.clone(),
-                tool: key.tool,
-                pipeline: key.pipeline,
-                escape: [e1, e10, e50],
-            }),
-            _ => missing.push(format!(
-                "{subject} (record present but missing escape@{{1,10,50}} metrics)"
+        let values: Option<Vec<f64>> = metrics
+            .iter()
+            .map(|name| {
+                report
+                    .metrics
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v)
+            })
+            .collect();
+        match values {
+            Some(v) => cells.push(v),
+            None => missing.push(format!(
+                "{subject} (record present but missing {} metrics)",
+                metrics.join("/")
             )),
         }
     }
@@ -674,23 +1175,49 @@ fn fig10_merge_expected(
     }
 }
 
-/// `experiments fig10-merge DIR...` — reassembles and prints the full
-/// Figure-10 tables from a union of shard stores, or lists every
-/// missing cell and fails. Returns whether the grid was complete.
-pub fn fig10_report(scope: Scope, store_dirs: &[String]) -> bool {
-    // One grid generation serves the header, the merge and the
-    // missing-cell accounting.
-    let expected = fig10_expected(scope);
-    println!("# Figure 10 (merged from {} store(s))", store_dirs.len());
+/// [`fig10_merge`] against an already-computed expected grid (the
+/// merge CLI computes the grid once and reuses it for its header and
+/// missing-cell accounting — regenerating it re-synthesizes the whole
+/// T-III suite).
+fn fig10_merge_expected(
+    expected: &[Fig10CellKey],
+    stores: &[&Store],
+) -> Result<Vec<Fig10Cell>, Vec<String>> {
+    let pairs: Vec<(String, u64)> = expected.iter().map(|k| (k.subject(), k.pipeline)).collect();
+    let values = merge_grid(&["escape@1", "escape@10", "escape@50"], &pairs, stores)?;
+    Ok(expected
+        .iter()
+        .zip(values)
+        .map(|(k, v)| Fig10Cell {
+            program: k.program.clone(),
+            config: k.config.clone(),
+            tool: k.tool,
+            pipeline: k.pipeline,
+            escape: [v[0], v[1], v[2]],
+        })
+        .collect())
+}
+
+/// Shared driver of the `figN-merge`/`table2-merge` CLI targets: opens
+/// every store (a typo'd path must be an error, not an empty store
+/// whose every cell reads as missing), runs the figure's merge, and
+/// prints the merged table or the precise missing-cell listing.
+/// Returns whether the grid was complete.
+fn merged_report<T>(
+    what: &str,
+    scope: Scope,
+    expected_len: usize,
+    store_dirs: &[String],
+    merge: impl FnOnce(Scope, &[&Store]) -> Result<Vec<T>, Vec<String>>,
+    print: impl FnOnce(&[T]),
+) -> bool {
+    println!("# {what} (merged from {} store(s))", store_dirs.len());
     println!(
-        "# scope: {scope:?} — expecting {} cells; match the shards' --quick flag, or a \
-         full-scope store merges into a silently smaller grid",
-        expected.len()
+        "# scope: {scope:?} — expecting {expected_len} cells; match the shards' --quick \
+         flag, or a full-scope store merges into a silently smaller grid"
     );
     let mut stores = Vec::new();
     for dir in store_dirs {
-        // Merging must never conjure a store: a typo'd path is an
-        // error, not an empty store whose every cell reads as missing.
         match Store::open_existing(dir) {
             Ok(s) => stores.push(s),
             Err(e) => {
@@ -700,16 +1227,15 @@ pub fn fig10_report(scope: Scope, store_dirs: &[String]) -> bool {
         }
     }
     let refs: Vec<&Store> = stores.iter().collect();
-    match fig10_merge_expected(&expected, &refs) {
+    match merge(scope, &refs) {
         Ok(cells) => {
-            fig10_print_tables(&cells);
+            print(&cells);
             true
         }
         Err(missing) => {
             println!(
-                "# INCOMPLETE GRID: {} of {} cells missing:",
-                missing.len(),
-                expected.len()
+                "# INCOMPLETE GRID: {} of {expected_len} cells missing:",
+                missing.len()
             );
             for m in &missing {
                 println!("#   missing {m}");
@@ -717,6 +1243,130 @@ pub fn fig10_report(scope: Scope, store_dirs: &[String]) -> bool {
             false
         }
     }
+}
+
+/// Prints one worker's elastic-loop accounting (stderr, like the
+/// steal lines — stdout stays the figure's table).
+fn print_elastic_summary(what: &str, s: &ElasticSummary) {
+    eprintln!(
+        "# elastic {what}: {} unit(s) — {} computed here, {} already done, \
+         {} stale lease(s) stolen, {} round(s)",
+        s.units, s.computed, s.already_done, s.stolen, s.rounds
+    );
+}
+
+/// After an elastic run every unit's records exist, so the merge can
+/// only fail on a scope mismatch (records persisted under a different
+/// `--quick` grid) — still reported precisely rather than silently.
+fn elastic_epilogue<T>(merge: Result<Vec<T>, Vec<String>>, print: impl FnOnce(&[T])) -> bool {
+    match merge {
+        Ok(cells) => {
+            print(&cells);
+            true
+        }
+        Err(missing) => {
+            println!("# INCOMPLETE GRID: {} cells missing:", missing.len());
+            for m in &missing {
+                println!("#   missing {m}");
+            }
+            false
+        }
+    }
+}
+
+/// `experiments fig10-merge DIR...` — reassembles and prints the full
+/// Figure-10 tables from a union of shard stores, or lists every
+/// missing cell and fails. Returns whether the grid was complete.
+pub fn fig10_report(scope: Scope, store_dirs: &[String]) -> bool {
+    // One grid generation serves the header, the merge and the
+    // missing-cell accounting.
+    let expected = fig10_expected(scope);
+    merged_report(
+        "Figure 10",
+        scope,
+        expected.len(),
+        store_dirs,
+        |_, refs| fig10_merge_expected(&expected, refs),
+        fig10_print_tables,
+    )
+}
+
+/// **Figure 10, elastic** — the `config × program` grid as a leased
+/// work queue in the shared `KHAOS_STORE` (see [`crate::coordinator`]).
+/// One work unit is one obfuscated build shared by all three tool
+/// columns — the same grain as the static path, so a redone unit
+/// recomputes exactly the records a dead worker owed. Any number of
+/// workers run this concurrently; each prints the complete merged
+/// tables once the grid's records all exist. Returns `false` (without
+/// working) when no store is configured.
+pub fn fig10_elastic(scope: Scope) -> bool {
+    let Some(store) = artifact_store() else {
+        eprintln!("experiments: --elastic needs KHAOS_STORE (the shared store is the work queue)");
+        return false;
+    };
+    println!("# Figure 10: escape ratio of vulnerable functions (T-III)");
+    println!("# elastic worker over {}", store.root().display());
+    let summary = fig10_elastic_sweep(scope, &store, Store::lease_horizon());
+    print_elastic_summary("fig10", &summary);
+    elastic_epilogue(fig10_merge(scope, &[&store]), |cells| {
+        fig10_print_tables(cells)
+    })
+}
+
+/// One worker's pass over the Figure-10 work queue at an explicit
+/// lease `horizon` (tests inject a tiny horizon to exercise stealing
+/// without touching the process-global `KHAOS_LEASE_MS`). Returns
+/// once every unit's records exist in `store`.
+pub fn fig10_elastic_sweep(
+    scope: Scope,
+    store: &Store,
+    horizon: std::time::Duration,
+) -> ElasticSummary {
+    let configs = fig10_configs();
+    let tools = fig10_tools();
+    let programs = fig10_programs(scope);
+    let grid: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|ci| (0..programs.len()).map(move |pi| (ci, pi)))
+        .collect();
+    let units: Vec<WorkUnit> = grid
+        .iter()
+        .map(|&(ci, pi)| {
+            let (cfg_name, cfg) = &configs[ci];
+            let program = &programs[pi].name;
+            WorkUnit {
+                label: format!("fig10/{program}/{cfg_name}"),
+                lease: (
+                    fig10_subject(program, cfg_name, tools[0].0),
+                    cfg.fingerprint(),
+                ),
+                outputs: tools
+                    .iter()
+                    .map(|(t, _)| (fig10_subject(program, cfg_name, t), cfg.fingerprint()))
+                    .collect(),
+            }
+        })
+        .collect();
+    run_elastic_with(store, "fig10", &units, horizon, |i| {
+        let (ci, pi) = grid[i];
+        let (cfg_name, cfg) = &configs[ci];
+        let src = &programs[pi];
+        let base = build_baseline(src);
+        let base_bin = lower_module(&base);
+        let obf_bin = build_binary(&base, *cfg);
+        for (tool_name, tool) in &tools {
+            let profile = escape_profile(tool.as_ref(), &base_bin, &obf_bin, &FIG10_KS);
+            persist_metrics_to(
+                store,
+                &fig10_subject(&src.name, cfg_name, tool_name),
+                cfg.fingerprint(),
+                &[
+                    ("escape@1", profile[0]),
+                    ("escape@10", profile[1]),
+                    ("escape@50", profile[2]),
+                ],
+            );
+        }
+    })
 }
 
 /// **Figure 11** — normalized opcode-histogram distance of every
@@ -819,10 +1469,9 @@ pub fn table1() {
     }
 }
 
-/// **Table 2** — fission/fusion internal statistics per suite.
-pub fn table2(scope: Scope) {
-    println!("# Table 2: statistics of the fission and the fusion");
-    let suites: Vec<(&str, Vec<Module>)> = if scope == Scope::Quick {
+/// The suites of Table 2 (its rows), trimmed under `--quick`.
+fn table2_suites(scope: Scope) -> Vec<(&'static str, Vec<Module>)> {
+    if scope == Scope::Quick {
         vec![("SPEC2006(q)", {
             let mut v = spec2006();
             v.truncate(4);
@@ -834,30 +1483,206 @@ pub fn table2(scope: Scope) {
             ("SPEC CPU 2017", spec2017()),
             ("CoreUtils", coreutils()),
         ]
-    };
+    }
+}
+
+/// The `khaos-store` report subject of one Table-2 cell (one cell per
+/// program: its raw fission + fusion counters).
+pub fn table2_subject(suite: &str, program: &str) -> String {
+    format!("table2/{suite}/{program}")
+}
+
+/// The stored metric names of one Table-2 cell: the raw
+/// [`FissionStats`]/[`FusionStats`] counters, *not* the derived
+/// ratios — ratios don't merge, counters do (sum per suite), which is
+/// what keeps the merged table bit-identical to a single-process run.
+const TABLE2_METRICS: [&str; 14] = [
+    "fi/ori_funcs",
+    "fi/fissioned_funcs",
+    "fi/sep_funcs",
+    "fi/sep_blocks",
+    "fi/reduced_ratio_sum",
+    "fi/params_reduced",
+    "fu/eligible_funcs",
+    "fu/fused_funcs",
+    "fu/fus_funcs",
+    "fu/params_removed",
+    "fu/innocuous_blocks",
+    "fu/deep_fused_pairs",
+    "fu/trampolines",
+    "fu/indirect_sites_rewritten",
+];
+
+/// The fingerprint keying Table-2 cells (the fission build's pipeline;
+/// one cell covers both primitive builds).
+fn table2_pipeline() -> u64 {
+    BuildConfig::Khaos(KhaosMode::Fission).fingerprint()
+}
+
+/// One measured Table-2 cell: the fission/fusion counters of one
+/// program (fission stats from a pure-fission build, fusion stats from
+/// a pure-fusion build — the paper measures the primitives
+/// individually, "without the combination").
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table2Cell {
+    /// Suite the program belongs to (Table-2 row).
+    pub suite: &'static str,
+    /// Program name.
+    pub program: String,
+    /// Report keyspace fingerprint.
+    pub pipeline: u64,
+    /// Fission counters of the pure-fission build.
+    pub fission: FissionStats,
+    /// Fusion counters of the pure-fusion build.
+    pub fusion: FusionStats,
+}
+
+impl Table2Cell {
+    /// The cell's store subject.
+    pub fn subject(&self) -> String {
+        table2_subject(self.suite, &self.program)
+    }
+}
+
+/// The identity of one expected Table-2 cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table2CellKey {
+    /// Suite the program belongs to.
+    pub suite: &'static str,
+    /// Program name.
+    pub program: String,
+    /// Report keyspace fingerprint.
+    pub pipeline: u64,
+}
+
+impl Table2CellKey {
+    /// The cell's store subject.
+    pub fn subject(&self) -> String {
+        table2_subject(self.suite, &self.program)
+    }
+}
+
+/// Every cell of the Table-2 grid in canonical (suite, program) order.
+pub fn table2_expected(scope: Scope) -> Vec<Table2CellKey> {
+    let suites = table2_suites(scope);
+    let mut out = Vec::new();
+    for (suite, programs) in &suites {
+        for program in programs {
+            out.push(Table2CellKey {
+                suite,
+                program: program.name.clone(),
+                pipeline: table2_pipeline(),
+            });
+        }
+    }
+    out
+}
+
+/// The cell's stored metric pairs, in [`TABLE2_METRICS`] order.
+/// Counters round-trip exactly through `f64` (they are far below
+/// 2^53); `reduced_ratio_sum` is stored bit-for-bit.
+fn table2_metrics(cell: &Table2Cell) -> Vec<(&'static str, f64)> {
+    let fi = &cell.fission;
+    let fu = &cell.fusion;
+    let values = [
+        fi.ori_funcs as f64,
+        fi.fissioned_funcs as f64,
+        fi.sep_funcs as f64,
+        fi.sep_blocks as f64,
+        fi.reduced_ratio_sum,
+        fi.params_reduced as f64,
+        fu.eligible_funcs as f64,
+        fu.fused_funcs as f64,
+        fu.fus_funcs as f64,
+        fu.params_removed as f64,
+        fu.innocuous_blocks as f64,
+        fu.deep_fused_pairs as f64,
+        fu.trampolines as f64,
+        fu.indirect_sites_rewritten as f64,
+    ];
+    TABLE2_METRICS.iter().copied().zip(values).collect()
+}
+
+/// Inverse of [`table2_metrics`]: counters back out of a merged
+/// record's values (in [`TABLE2_METRICS`] order).
+fn table2_stats_from(v: &[f64]) -> (FissionStats, FusionStats) {
+    (
+        FissionStats {
+            ori_funcs: v[0] as usize,
+            fissioned_funcs: v[1] as usize,
+            sep_funcs: v[2] as usize,
+            sep_blocks: v[3] as usize,
+            reduced_ratio_sum: v[4],
+            params_reduced: v[5] as usize,
+        },
+        FusionStats {
+            eligible_funcs: v[6] as usize,
+            fused_funcs: v[7] as usize,
+            fus_funcs: v[8] as usize,
+            params_removed: v[9] as usize,
+            innocuous_blocks: v[10] as usize,
+            deep_fused_pairs: v[11] as usize,
+            trampolines: v[12] as usize,
+            indirect_sites_rewritten: v[13] as usize,
+        },
+    )
+}
+
+/// Measures `shard`'s share of the Table-2 grid (one cell per
+/// program), persisting each cell into `store` when given. Cells are
+/// deterministic functions of `(program, seed)`, so shards merge
+/// bit-identically.
+pub fn table2_cells(scope: Scope, shard: ShardSpec, store: Option<&Store>) -> Vec<Table2Cell> {
+    let suites = table2_suites(scope);
+    let mut grid: Vec<(usize, usize)> = Vec::new();
+    for (si, (_, programs)) in suites.iter().enumerate() {
+        for pi in 0..programs.len() {
+            grid.push((si, pi));
+        }
+    }
+    let grid = shard.select(grid);
+    par_fan_out(&grid, |&(si, pi)| {
+        let src = &suites[si].1[pi];
+        let base = build_baseline(src);
+        let (_, fi_ctx) = khaos_apply(&base, KhaosMode::Fission, SEED);
+        let (_, fu_ctx) = khaos_apply(&base, KhaosMode::Fusion, SEED);
+        let cell = Table2Cell {
+            suite: suites[si].0,
+            program: src.name.clone(),
+            pipeline: table2_pipeline(),
+            fission: fi_ctx.fission_stats,
+            fusion: fu_ctx.fusion_stats,
+        };
+        if let Some(store) = store {
+            persist_metrics_to(
+                store,
+                &cell.subject(),
+                cell.pipeline,
+                &table2_metrics(&cell),
+            );
+        }
+        cell
+    })
+}
+
+/// Prints the Table-2 rows (per-suite aggregates) from a complete cell
+/// grid. Per-suite counters are summed in canonical program order, so
+/// the derived ratios match a single-process run bit for bit.
+fn table2_print_table(cells: &[Table2Cell]) {
     println!(
         "{:<16} {:>12} {:>8} {:>8} {:>13} {:>8} {:>8}",
         "suite", "FissionRatio", "#BB", "RR", "FusionRatio", "#RP", "#HBB"
     );
-    for (name, programs) in suites {
+    for suite in uniq(cells.iter().map(|c| c.suite)) {
         let mut fi = FissionStats::default();
         let mut fu = FusionStats::default();
-        // Fission stats come from a pure-fission build; fusion stats
-        // from a pure-fusion build (the paper measures the primitives
-        // individually, "without the combination").
-        let stats = par_fan_out(&programs, |src| {
-            let base = build_baseline(src);
-            let (_, fi_ctx) = khaos_apply(&base, KhaosMode::Fission, SEED);
-            let (_, fu_ctx) = khaos_apply(&base, KhaosMode::Fusion, SEED);
-            (fi_ctx.fission_stats, fu_ctx.fusion_stats)
-        });
-        for (fis, fus) in &stats {
-            fi.merge(fis);
-            fu.merge(fus);
+        for c in cells.iter().filter(|c| c.suite == suite) {
+            fi.merge(&c.fission);
+            fu.merge(&c.fusion);
         }
         println!(
             "{:<16} {:>11.0}% {:>8.2} {:>7.0}% {:>12.0}% {:>8.2} {:>8.2}",
-            name,
+            suite,
             fi.ratio() * 100.0,
             fi.avg_blocks(),
             fi.reduced_ratio() * 100.0,
@@ -867,6 +1692,138 @@ pub fn table2(scope: Scope) {
         );
     }
     println!("# paper: Fission 116-152%, #BB 5.3-6.5, RR 34-44%; Fusion 97-99%, #RP 1.2-1.5, #HBB 1.0-1.9");
+}
+
+/// **Table 2** — fission/fusion internal statistics per suite. Honours
+/// the active shard like [`fig10`]; `experiments table2-merge <DIR...>`
+/// reassembles the full table from shard stores.
+pub fn table2(scope: Scope) {
+    println!("# Table 2: statistics of the fission and the fusion");
+    let shard = active_shard();
+    let store = artifact_store();
+    if !shard.is_full() && store.is_none() {
+        println!(
+            "# WARNING: sharded run without KHAOS_STORE — cells will be printed but \
+             not persisted, so table2-merge cannot reassemble this shard"
+        );
+    }
+    let cells = table2_cells(scope, shard, store.as_deref());
+    if shard.is_full() {
+        table2_print_table(&cells);
+        return;
+    }
+    println!(
+        "# shard {shard}: {} of {} cells (merge with `experiments table2-merge <store-dirs>`)",
+        cells.len(),
+        table2_expected(scope).len()
+    );
+    println!(
+        "{:<16} {:<16} {:>9} {:>9} {:>9} {:>9}",
+        "suite", "program", "sepFuncs", "sepBBs", "fusFuncs", "remParams"
+    );
+    for c in &cells {
+        println!(
+            "{:<16} {:<16} {:>9} {:>9} {:>9} {:>9}",
+            c.suite,
+            c.program,
+            c.fission.sep_funcs,
+            c.fission.sep_blocks,
+            c.fusion.fus_funcs,
+            c.fusion.params_removed
+        );
+    }
+}
+
+/// Reassembles the complete Table-2 grid from any union of shard
+/// stores, or lists every missing cell precisely.
+pub fn table2_merge(scope: Scope, stores: &[&Store]) -> Result<Vec<Table2Cell>, Vec<String>> {
+    let expected = table2_expected(scope);
+    let pairs: Vec<(String, u64)> = expected.iter().map(|k| (k.subject(), k.pipeline)).collect();
+    let values = merge_grid(&TABLE2_METRICS, &pairs, stores)?;
+    Ok(expected
+        .into_iter()
+        .zip(values)
+        .map(|(k, v)| {
+            let (fission, fusion) = table2_stats_from(&v);
+            Table2Cell {
+                suite: k.suite,
+                program: k.program,
+                pipeline: k.pipeline,
+                fission,
+                fusion,
+            }
+        })
+        .collect())
+}
+
+/// `experiments table2-merge DIR...` — reassembles and prints the full
+/// Table 2 from a union of shard stores, or lists every missing cell
+/// and fails. Returns whether the grid was complete.
+pub fn table2_report(scope: Scope, store_dirs: &[String]) -> bool {
+    let expected = table2_expected(scope);
+    println!("# Table 2: statistics of the fission and the fusion");
+    merged_report(
+        "Table 2",
+        scope,
+        expected.len(),
+        store_dirs,
+        table2_merge,
+        table2_print_table,
+    )
+}
+
+/// **Table 2, elastic** — one work unit per program on the shared
+/// store's leased work queue (see [`crate::coordinator`]). Returns
+/// `false` (without working) when no store is configured.
+pub fn table2_elastic(scope: Scope) -> bool {
+    let Some(store) = artifact_store() else {
+        eprintln!("experiments: --elastic needs KHAOS_STORE (the shared store is the work queue)");
+        return false;
+    };
+    println!("# Table 2: statistics of the fission and the fusion");
+    println!("# elastic worker over {}", store.root().display());
+    let suites = table2_suites(scope);
+    let mut grid: Vec<(usize, usize)> = Vec::new();
+    for (si, (_, programs)) in suites.iter().enumerate() {
+        for pi in 0..programs.len() {
+            grid.push((si, pi));
+        }
+    }
+    let units: Vec<WorkUnit> = grid
+        .iter()
+        .map(|&(si, pi)| {
+            let subject = table2_subject(suites[si].0, &suites[si].1[pi].name);
+            WorkUnit {
+                label: subject.clone(),
+                lease: (subject.clone(), table2_pipeline()),
+                outputs: vec![(subject, table2_pipeline())],
+            }
+        })
+        .collect();
+    let summary = run_elastic(&store, "table2", &units, |i| {
+        let (si, pi) = grid[i];
+        let src = &suites[si].1[pi];
+        let base = build_baseline(src);
+        let (_, fi_ctx) = khaos_apply(&base, KhaosMode::Fission, SEED);
+        let (_, fu_ctx) = khaos_apply(&base, KhaosMode::Fusion, SEED);
+        let cell = Table2Cell {
+            suite: suites[si].0,
+            program: src.name.clone(),
+            pipeline: table2_pipeline(),
+            fission: fi_ctx.fission_stats,
+            fusion: fu_ctx.fusion_stats,
+        };
+        persist_metrics_to(
+            &store,
+            &cell.subject(),
+            cell.pipeline,
+            &table2_metrics(&cell),
+        );
+    });
+    print_elastic_summary("table2", &summary);
+    elastic_epilogue(table2_merge(scope, &[&store]), |cells| {
+        table2_print_table(cells)
+    })
 }
 
 /// **Table 3** — the CVE inventory of the T-III suite.

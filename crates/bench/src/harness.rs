@@ -22,6 +22,19 @@
 //! and drivers can attach metric results to the same keys via
 //! [`persist_metrics`]. Store writes are atomic renames, so concurrent
 //! [`par_fan_out`] workers share one store safely.
+//!
+//! ## Sharding: static and elastic
+//!
+//! `KHAOS_SHARD=i/n` ([`active_shard`]) statically partitions every
+//! grid-shaped driver's flattened work grid; `figN-merge` reassembles
+//! the full grid from the shards' stores. `--elastic` goes further:
+//! the grid becomes a leased work queue *in* the shared store
+//! ([`crate::coordinator`]) — workers claim open cells with atomic
+//! claim files, steal stale claims from dead peers after the lease
+//! horizon, and converge on one complete grid with no up-front
+//! partition. Both modes rely on the same invariant: every cell is a
+//! deterministic function of `(program, config, seed)`, so shards,
+//! stealers, and even double-computed cells merge bit-identically.
 
 use khaos_binary::{lower_module, Binary};
 use khaos_core::KhaosMode;

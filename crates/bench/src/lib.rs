@@ -5,9 +5,11 @@
 //! reports; `EXPERIMENTS.md` records the measured numbers next to the
 //! paper's. The `experiments` binary dispatches to these functions.
 
+pub mod coordinator;
 pub mod experiments;
 pub mod harness;
 
+pub use coordinator::{run_elastic, run_elastic_with, ElasticSummary, WorkUnit};
 pub use harness::{
     active_shard, artifact_store, build_at, build_baseline, build_binary, build_config, geomean,
     geomean_ratio, khaos_apply, khaos_apply_nway, khaos_atom, measure_cycles, obfuscate_ollvm,

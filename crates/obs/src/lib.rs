@@ -38,6 +38,19 @@
 //! suite both ways and diffs the output), exactly like the workspace's
 //! thread-count and SIMD-dispatch invariance guarantees.
 //!
+//! ## Coordination telemetry
+//!
+//! The elastic shard coordinator reports through the same registry:
+//! `store.lease.acquired` / `store.lease.stolen` /
+//! `store.lease.contended` count cell-lease claims, stale-lease
+//! steals, and claims lost to a live peer, and `store.merge.copied` /
+//! `store.merge.skipped` count records a write-side `khaos-store
+//! merge` moved vs found already present (the store's `store:merge`
+//! span covers the verify-then-copy pass). A fleet-wide sweep's
+//! health is readable from these five numbers: `stolen` > 0 means a
+//! worker died (its units were redone), `contended` rising means
+//! workers are racing over too-few open units near the end of a grid.
+//!
 //! ## Environment surface
 //!
 //! | variable        | effect |

@@ -344,19 +344,29 @@ impl ShardSpec {
                 .map_err(|_| format!("`{s}`: {what} `{part}` is not a non-negative integer"))
         };
         ShardSpec::new(parse(i, "shard index")?, parse(n, "shard count")?)
+            .map_err(|e| format!("`{s}`: {e}"))
     }
 
     /// The shard named by the `KHAOS_SHARD` environment variable, or
-    /// [`ShardSpec::FULL`] when the variable is unset or empty. A
-    /// malformed value is an error, never a silent fallback — a shard
-    /// quietly becoming `0/1` would redo (and re-persist) the whole
-    /// grid on every machine of a sharded sweep.
+    /// [`ShardSpec::FULL`] when the variable is **unset**. Any set
+    /// value that is not a well-formed `i/n` — including blank and
+    /// non-UTF-8 values — is an error naming the offending value,
+    /// never a silent fallback: a shard quietly becoming `0/1` would
+    /// redo (and re-persist) the whole grid on every machine of a
+    /// sharded sweep, duplicating the fleet's work.
     pub fn from_env() -> Result<ShardSpec, String> {
         match std::env::var("KHAOS_SHARD") {
             Ok(v) if !v.trim().is_empty() => {
                 ShardSpec::parse(&v).map_err(|e| format!("KHAOS_SHARD: {e}"))
             }
-            _ => Ok(ShardSpec::FULL),
+            Ok(v) => Err(format!(
+                "KHAOS_SHARD: set but blank (`{v}`) — want `i/n` (e.g. `0/4`), or unset \
+                 it for a full run"
+            )),
+            Err(std::env::VarError::NotPresent) => Ok(ShardSpec::FULL),
+            Err(std::env::VarError::NotUnicode(v)) => Err(format!(
+                "KHAOS_SHARD: not valid UTF-8 ({v:?}) — want `i/n` (e.g. `0/4`)"
+            )),
         }
     }
 
@@ -563,6 +573,45 @@ mod tests {
         for bad in ["", "3", "a/b", "1/0", "2/2", "5/4", "-1/2", "1/2/3"] {
             assert!(ShardSpec::parse(bad).is_err(), "`{bad}` must not parse");
         }
+    }
+
+    /// Pins the loud-failure contract of `ShardSpec::from_env`: a set
+    /// but malformed (or blank) `KHAOS_SHARD` must error *naming the
+    /// offending value*, never silently fall back to a full run — the
+    /// silent `0/1` fallback would make every machine of a sweep redo
+    /// the whole grid. One test, serial sections: the variable is
+    /// process-global state.
+    #[test]
+    fn from_env_fails_loudly_on_malformed_values() {
+        // set_var/remove_var on a process-global is why this is a
+        // single sequential test, not a loop of parallel cases.
+        std::env::remove_var("KHAOS_SHARD");
+        assert_eq!(ShardSpec::from_env().unwrap(), ShardSpec::FULL);
+        for (val, named) in [
+            ("", "blank"),
+            ("   ", "blank"),
+            ("banana", "`banana`"),
+            ("1/0", "`1/0`"),
+            ("5/4", "`5/4`"),
+            ("1/2/3", "`1/2/3`"),
+        ] {
+            std::env::set_var("KHAOS_SHARD", val);
+            let err = ShardSpec::from_env().expect_err(&format!("`{val}` must not parse"));
+            assert!(
+                err.contains("KHAOS_SHARD"),
+                "error must name the variable: {err}"
+            );
+            assert!(
+                err.contains(named),
+                "error must name the offending value `{val}`: {err}"
+            );
+        }
+        std::env::set_var("KHAOS_SHARD", "2/3");
+        assert_eq!(
+            ShardSpec::from_env().unwrap(),
+            ShardSpec::new(2, 3).unwrap()
+        );
+        std::env::remove_var("KHAOS_SHARD");
     }
 
     #[test]

@@ -30,14 +30,22 @@
 //! structured kind-18 error naming the violation, after which the
 //! connection closes (framing may be lost). Other connections — and
 //! new ones — are unaffected.
+//!
+//! A client that *stalls* mid-frame is a violation too: once the first
+//! byte of a frame arrives, the whole frame must complete within the
+//! per-frame deadline ([`ServeOptions::frame_deadline`], ten seconds
+//! by default) or the daemon answers a structured `ERR_TIMEOUT` error
+//! and disconnects — a half-sent header must never pin a reader
+//! thread forever. Idle connections are legal at any duration: the
+//! deadline clock only starts on a frame's first byte.
 
 pub mod protocol;
 
 use khaos_index::IvfIndex;
 use protocol::{
     validate_header, FrameError, Hit, IndexInfo, Message, QueryReq, ServerStats, ERR_BAD_DIMS,
-    ERR_BAD_FRAME, ERR_BAD_REQUEST, ERR_UNKNOWN_INDEX, ERR_UNSUPPORTED, FRAME_CHECKSUM_LEN,
-    FRAME_HEADER_LEN, KIND_ERROR,
+    ERR_BAD_FRAME, ERR_BAD_REQUEST, ERR_TIMEOUT, ERR_UNKNOWN_INDEX, ERR_UNSUPPORTED,
+    FRAME_CHECKSUM_LEN, FRAME_HEADER_LEN, KIND_ERROR,
 };
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -49,6 +57,30 @@ use std::time::{Duration, Instant};
 /// How long blocking socket reads wait before re-checking the
 /// shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Per-server tunables. Today that is one knob: the per-frame
+/// deadline. An options struct (rather than an environment variable)
+/// because several daemons with different deadlines coexist in one
+/// test process, and a global env read would race between them.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Once a frame's first byte arrives, the rest of the frame must
+    /// arrive within this window or the connection is answered with
+    /// `ERR_TIMEOUT` and closed. Does not limit idle time between
+    /// frames.
+    pub frame_deadline: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            // Generous against slow networks, tiny against the threat
+            // model (a stalled client pinning a reader thread for the
+            // daemon's lifetime).
+            frame_deadline: Duration::from_secs(10),
+        }
+    }
+}
 
 /// Hard cap on results per query (a hostile `k` must not make the
 /// daemon heap-select the whole corpus).
@@ -68,12 +100,14 @@ struct Shared {
     req_stats: Arc<khaos_obs::Counter>,
     req_metrics: Arc<khaos_obs::Counter>,
     errors_sent: Arc<khaos_obs::Counter>,
+    stalled_disconnects: Arc<khaos_obs::Counter>,
     query_ns: Arc<khaos_obs::Histogram>,
     shutdown: AtomicBool,
+    options: ServeOptions,
 }
 
 impl Shared {
-    fn new(indexes: Vec<IvfIndex>) -> Shared {
+    fn new(indexes: Vec<IvfIndex>, options: ServeOptions) -> Shared {
         let registry = khaos_obs::Registry::new();
         Shared {
             indexes: indexes.into_iter().map(Arc::new).collect(),
@@ -83,9 +117,11 @@ impl Shared {
             req_stats: registry.counter("serve.requests.stats"),
             req_metrics: registry.counter("serve.requests.metrics"),
             errors_sent: registry.counter("serve.errors_sent"),
+            stalled_disconnects: registry.counter("serve.stalled_disconnects"),
             query_ns: registry.histogram("serve.query_ns"),
             registry,
             shutdown: AtomicBool::new(false),
+            options,
         }
     }
 
@@ -212,12 +248,21 @@ impl ServerHandle {
         Self::serve(indexes, addr)
     }
 
-    /// Serves the given indexes on `addr`.
+    /// Serves the given indexes on `addr` with default [`ServeOptions`].
     pub fn serve(indexes: Vec<IvfIndex>, addr: &str) -> io::Result<ServerHandle> {
+        Self::serve_with(indexes, addr, ServeOptions::default())
+    }
+
+    /// Serves the given indexes on `addr` with explicit options.
+    pub fn serve_with(
+        indexes: Vec<IvfIndex>,
+        addr: &str,
+        options: ServeOptions,
+    ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let shared = Arc::new(Shared::new(indexes));
+        let shared = Arc::new(Shared::new(indexes, options));
         let (dispatch_tx, dispatch_rx) = mpsc::channel::<QueryJob>();
 
         let mut threads = Vec::new();
@@ -326,23 +371,54 @@ impl Drop for ServerHandle {
     }
 }
 
+/// How one `read_full` call ended.
+enum ReadStatus {
+    /// The buffer was filled.
+    Complete,
+    /// Clean end: the peer closed before the frame started, or
+    /// shutdown was requested.
+    Closed,
+    /// The per-frame deadline expired with the frame incomplete — a
+    /// stalled client. The caller answers `ERR_TIMEOUT` and
+    /// disconnects.
+    Stalled,
+}
+
 /// Reads exactly `buf.len()` bytes, tolerating read timeouts (the
-/// shutdown flag is re-checked each poll). `Ok(false)` means the peer
-/// closed cleanly before the first byte, or shutdown was requested.
-fn read_full(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) -> io::Result<bool> {
+/// shutdown flag is re-checked each poll) — but only until the
+/// per-frame deadline: `frame_started` is stamped when the first byte
+/// of the frame arrives (the header and body reads of one frame share
+/// it), and once set, the read loop refuses to out-wait
+/// `options.frame_deadline` past it. Without that bound a client
+/// sending a partial frame and stalling would pin this reader thread
+/// for the daemon's lifetime.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shared: &Shared,
+    frame_started: &mut Option<Instant>,
+) -> io::Result<ReadStatus> {
     let mut got = 0;
     while got < buf.len() {
         if shared.shutdown.load(Ordering::SeqCst) {
-            return Ok(false);
+            return Ok(ReadStatus::Closed);
+        }
+        if let Some(t0) = *frame_started {
+            if t0.elapsed() > shared.options.frame_deadline {
+                return Ok(ReadStatus::Stalled);
+            }
         }
         match stream.read(&mut buf[got..]) {
             Ok(0) => {
-                if got == 0 {
-                    return Ok(false);
+                if got == 0 && frame_started.is_none() {
+                    return Ok(ReadStatus::Closed);
                 }
                 return Err(io::ErrorKind::UnexpectedEof.into());
             }
-            Ok(n) => got += n,
+            Ok(n) => {
+                got += n;
+                frame_started.get_or_insert_with(Instant::now);
+            }
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
             }
@@ -350,7 +426,7 @@ fn read_full(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) -> io::Res
             Err(e) => return Err(e),
         }
     }
-    Ok(true)
+    Ok(ReadStatus::Complete)
 }
 
 /// Writes one reply frame, counting kind-18 errors in the daemon's
@@ -374,9 +450,14 @@ fn serve_connection(
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
     stream.set_nodelay(true)?;
     loop {
+        // One deadline clock per frame, started by the frame's first
+        // byte and shared by the header and body reads.
+        let mut frame_started = None;
         let mut header = [0u8; FRAME_HEADER_LEN];
-        if !read_full(&mut stream, &mut header, shared)? {
-            return Ok(());
+        match read_full(&mut stream, &mut header, shared, &mut frame_started)? {
+            ReadStatus::Complete => {}
+            ReadStatus::Closed => return Ok(()),
+            ReadStatus::Stalled => return disconnect_stalled(&mut stream, shared),
         }
         let (kind, len) = match validate_header(&header) {
             Ok(v) => v,
@@ -386,8 +467,10 @@ fn serve_connection(
             }
         };
         let mut body = vec![0u8; len as usize + FRAME_CHECKSUM_LEN];
-        if !read_full(&mut stream, &mut body, shared)? {
-            return Ok(());
+        match read_full(&mut stream, &mut body, shared, &mut frame_started)? {
+            ReadStatus::Complete => {}
+            ReadStatus::Closed => return Ok(()),
+            ReadStatus::Stalled => return disconnect_stalled(&mut stream, shared),
         }
         let (payload, sum) = body.split_at(len as usize);
         let mut whole = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
@@ -458,6 +541,26 @@ fn frame_error(e: &FrameError) -> Message {
         code: ERR_BAD_FRAME,
         message: e.to_string(),
     }
+}
+
+/// Answers a stalled client with a structured `ERR_TIMEOUT` frame and
+/// lets the connection close (the reader returns, dropping the
+/// stream). A best-effort send: the client may already be gone.
+fn disconnect_stalled(stream: &mut TcpStream, shared: &Shared) -> io::Result<()> {
+    shared.stalled_disconnects.inc();
+    let _ = send(
+        stream,
+        &Message::Error {
+            code: ERR_TIMEOUT,
+            message: format!(
+                "frame incomplete after {}ms — closing the stalled connection \
+                 (frames must arrive whole within the per-frame deadline)",
+                shared.options.frame_deadline.as_millis()
+            ),
+        },
+        shared,
+    );
+    Ok(())
 }
 
 /// A blocking client over one connection. Each request method writes a

@@ -80,6 +80,10 @@ pub const ERR_BAD_REQUEST: u32 = 4;
 pub const ERR_UNSUPPORTED: u32 = 5;
 /// Daemon-side failure.
 pub const ERR_INTERNAL: u32 = 6;
+/// A frame was started but not completed within the per-frame
+/// deadline — the daemon answers this and disconnects the stalled
+/// client rather than pin a reader thread forever.
+pub const ERR_TIMEOUT: u32 = 7;
 
 /// Everything that can be wrong with a frame, as a typed value — the
 /// daemon maps these onto [`ERR_BAD_FRAME`] replies and the fuzz suite

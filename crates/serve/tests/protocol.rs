@@ -412,3 +412,65 @@ fn shutdown_frame_stops_the_daemon() {
         }
     }
 }
+
+#[test]
+fn stalled_client_gets_timeout_error_and_disconnect() {
+    use khaos_serve::protocol::ERR_TIMEOUT;
+    use khaos_serve::ServeOptions;
+    use std::io::{Read, Write};
+    use std::time::{Duration, Instant};
+
+    // A short deadline so the test is fast; POLL_INTERVAL inside the
+    // daemon is 100ms, so 300ms spans several polls.
+    let server = ServerHandle::serve_with(
+        vec![tiny_index("T")],
+        "127.0.0.1:0",
+        ServeOptions {
+            frame_deadline: Duration::from_millis(300),
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // The stalled client: three bytes of magic, then silence. Without
+    // the per-frame deadline this reader thread would be pinned
+    // forever (the regression this test covers).
+    let mut stalled = std::net::TcpStream::connect(addr).unwrap();
+    stalled.write_all(b"KHS").unwrap();
+
+    // An idle connection that never starts a frame is legal at any
+    // duration — the deadline clock starts on a frame's first byte —
+    // and a well-behaved client keeps getting answers while the
+    // stalled one waits out its deadline.
+    let idle = std::net::TcpStream::connect(addr).unwrap();
+    let mut polite = Client::connect(addr).unwrap();
+    assert_eq!(polite.ping(7).unwrap(), 7);
+
+    // The stalled connection receives a structured ERR_TIMEOUT frame,
+    // then EOF.
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = Vec::new();
+    let t0 = Instant::now();
+    stalled.read_to_end(&mut buf).unwrap();
+    assert!(
+        t0.elapsed() < Duration::from_secs(8),
+        "daemon must disconnect the stalled client, not out-wait it"
+    );
+    let (msg, _) = decode_frame(&buf).expect("a complete error frame before EOF");
+    match msg {
+        Message::Error { code, message } => {
+            assert_eq!(code, ERR_TIMEOUT);
+            assert!(message.contains("stalled"), "{message}");
+        }
+        other => panic!("expected ERR_TIMEOUT frame, got {other:?}"),
+    }
+
+    // The daemon survives: the idle connection is still usable and
+    // fresh clients are served.
+    drop(idle);
+    assert_eq!(polite.ping(8).unwrap(), 8);
+    let mut fresh = Client::connect(addr).unwrap();
+    assert_eq!(fresh.ping(9).unwrap(), 9);
+}

@@ -1,7 +1,7 @@
 //! `khaos-store` — inspect and maintain an artifact store directory.
 //!
 //! ```text
-//! khaos-store <stats|ls|verify|gc|cat|report> [--max-bytes N] [ARGS] [DIR...]
+//! khaos-store <stats|ls|verify|gc|cat|report|merge> [--max-bytes N] [ARGS] [DIR...]
 //!
 //!   stats          record counts and byte totals per section
 //!   ls             every record with its decoded key
@@ -10,6 +10,15 @@
 //!   cat ADDR       decode one record (content address or section/file)
 //!   report         every report record with its metrics, across one or
 //!                  more store directories (the shard-merge query view)
+//!   merge SRC.. DST  physically consolidate shard stores into DST
+//!                  (created if absent): each SRC is integrity-checked
+//!                  first and the merge refuses checksum damage and
+//!                  same-address content conflicts; records already in
+//!                  DST byte-identically are skipped, claim files never
+//!                  travel. Grid *completeness* is the experiment
+//!                  layer's concern — `experiments figN-merge DST` is
+//!                  the command that refuses an incomplete grid with
+//!                  the missing-cell listing.
 //!   DIR            store directory; defaults to $KHAOS_STORE.
 //!                  `report` accepts several DIRs and reads their union
 //!                  (first store wins on duplicate keys).
@@ -74,7 +83,7 @@ fn human(bytes: u64) -> String {
 }
 
 const USAGE: &str =
-    "usage: khaos-store <stats|ls|verify|gc|cat|report> [--max-bytes N] [ADDR] [DIR...]";
+    "usage: khaos-store <stats|ls|verify|gc|cat|report|merge> [--max-bytes N] [ADDR] [DIR...]";
 
 /// Resolves the store directories of a command: the given positionals,
 /// or `$KHAOS_STORE` when none were passed.
@@ -117,6 +126,11 @@ fn main() -> ExitCode {
     } else {
         None
     };
+    // `merge SRC... DST` has its own positional grammar (and a
+    // write-side destination), handled before the read-side open path.
+    if args.command == "merge" {
+        return cmd_merge(&positional);
+    }
     if args.command != "report" && positional.len() > 1 {
         eprintln!("khaos-store: {} takes at most one DIR", args.command);
         return ExitCode::from(2);
@@ -162,6 +176,55 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn cmd_merge(positional: &[String]) -> ExitCode {
+    if positional.len() < 2 {
+        eprintln!("khaos-store: merge needs at least one SRC and exactly one DST directory");
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let (srcs, dst) = positional.split_at(positional.len() - 1);
+    // Sources must already be stores (a typo'd SRC is an error, not an
+    // empty merge); the destination is the one directory `merge` may
+    // create.
+    let dest = match Store::open(&dst[0]) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("khaos-store: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut copied = 0u64;
+    let mut skipped = 0u64;
+    for dir in srcs {
+        let src = match Store::open_existing(dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("khaos-store: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match dest.merge_from(&src) {
+            Ok(s) => {
+                println!(
+                    "merged {dir}: {} record(s) copied, {} already present",
+                    s.copied, s.skipped
+                );
+                copied += s.copied;
+                skipped += s.skipped;
+            }
+            Err(e) => {
+                eprintln!("khaos-store: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "merge: {copied} record(s) copied, {skipped} skipped into {}",
+        dest.root().display()
+    );
+    ExitCode::SUCCESS
 }
 
 fn cmd_cat(store: &Store, needle: &str) -> std::io::Result<ExitCode> {

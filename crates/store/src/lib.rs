@@ -24,6 +24,7 @@
 //! <root>/emb/<addr>.khs   per-binary embedding tables
 //! <root>/mat/<addr>.khs   query×target similarity matrices
 //! <root>/rep/<addr>.khs   pipeline / experiment reports
+//! <root>/rep/<addr>.lease cell claim files (work-queue leases, see below)
 //! <root>/qnt/<addr>.khs   per-binary int8 quantized embedding tables
 //! <root>/idx/<addr>.khs   IVF index segments over embedding corpora
 //! ```
@@ -95,6 +96,35 @@
 //! coordination. Mutating maintenance ([`Store::gc`]) takes an
 //! exclusive lock file (`gc.lock`, created with `O_EXCL`; stale locks
 //! older than ten minutes are stolen) so two collectors never race.
+//!
+//! Stale locks are stolen with a rename-verify-delete dance, never a
+//! bare `remove_file`: the stealer renames the suspect lock to a
+//! process-unique grave name (the rename is the atomic arbiter — only
+//! one stealer gets the inode), re-checks the *renamed* file's mtime,
+//! and only then deletes it. A fresh lock that slipped into the window
+//! between the staleness check and the rename is put back via
+//! `hard_link` (which, unlike rename, refuses to clobber). The old
+//! check-then-delete had a TOCTOU hole: another process could steal
+//! and recreate the lock inside the window, and the late deleter would
+//! remove the *fresh* holder's lock, letting two collectors run
+//! concurrently.
+//!
+//! ## Cell leases (elastic work queues)
+//!
+//! The same stolen-stale-lock pattern, generalized per record, turns
+//! the report keyspace into a persistent work queue: a worker claims a
+//! grid cell by creating `rep/<addr>.lease` with `O_EXCL` next to
+//! where the cell's report record will land ([`Store::try_lease_report`]),
+//! computes, persists the record, and releases the claim. A worker
+//! that dies mid-cell leaves the claim file behind; once it is older
+//! than the lease horizon any other worker steals it (same
+//! rename-verify-delete primitive) and recomputes the cell — cells are
+//! deterministic functions of their key, so a re-steal is always safe.
+//! Claim files use the `.lease` extension precisely so every record
+//! scan (`stats`, `ls`, `verify`, `gc`, `merge`) ignores them: they
+//! are coordination state, not artifacts, and are **excluded from gc
+//! accounting** — a dangling claim never counts against `max_bytes`
+//! and is never "collected" into a half-claimed queue.
 
 mod format;
 
@@ -130,6 +160,11 @@ struct StoreObs {
     read_misses: Arc<khaos_obs::Counter>,
     gc_deleted: Arc<khaos_obs::Counter>,
     gc_freed_bytes: Arc<khaos_obs::Counter>,
+    lease_acquired: Arc<khaos_obs::Counter>,
+    lease_stolen: Arc<khaos_obs::Counter>,
+    lease_contended: Arc<khaos_obs::Counter>,
+    merge_copied: Arc<khaos_obs::Counter>,
+    merge_skipped: Arc<khaos_obs::Counter>,
 }
 
 fn store_obs() -> &'static StoreObs {
@@ -144,6 +179,11 @@ fn store_obs() -> &'static StoreObs {
             read_misses: r.counter("store.disk.read_misses"),
             gc_deleted: r.counter("store.gc.deleted"),
             gc_freed_bytes: r.counter("store.gc.freed_bytes"),
+            lease_acquired: r.counter("store.lease.acquired"),
+            lease_stolen: r.counter("store.lease.stolen"),
+            lease_contended: r.counter("store.lease.contended"),
+            merge_copied: r.counter("store.merge.copied"),
+            merge_skipped: r.counter("store.merge.skipped"),
         }
     })
 }
@@ -661,6 +701,15 @@ const GC_LOCK: &str = "gc.lock";
 /// Lock files older than this are assumed to be left over from a
 /// crashed collector and are stolen.
 const STALE_LOCK: Duration = Duration::from_secs(600);
+/// Extension of cell claim files (`rep/<addr>.lease`). Deliberately
+/// not `.khs`: every record scan filters on the record extension, so
+/// claim files are invisible to `stats`/`ls`/`verify`/`gc`/`merge`.
+const LEASE_EXT: &str = "lease";
+/// Default lease horizon when `KHAOS_LEASE_MS` is unset: a claim file
+/// older than this marks a dead worker and is stolen. Must exceed the
+/// slowest single cell build; well under the gc `STALE_LOCK` horizon
+/// because cells are small units of work, not whole collections.
+const DEFAULT_LEASE: Duration = Duration::from_secs(120);
 
 /// The five record sections, in `(name, kind)` order.
 const SECTIONS: [(&str, u8); 5] = [
@@ -688,6 +737,56 @@ impl Drop for StoreLock {
     fn drop(&mut self) {
         let _ = fs::remove_file(&self.path);
     }
+}
+
+/// A held claim on one report cell (see the crate docs' *Cell leases*
+/// section). The claim file is removed on drop; a worker that dies
+/// without dropping leaves it behind for another worker to steal after
+/// the lease horizon.
+#[derive(Debug)]
+pub struct Lease {
+    path: PathBuf,
+    stolen: bool,
+}
+
+impl Lease {
+    /// Whether this claim was stolen from a dead worker's stale claim
+    /// file (as opposed to created on free ground).
+    pub fn was_stolen(&self) -> bool {
+        self.stolen
+    }
+
+    /// The claim file backing this lease.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Re-stamps the claim file's mtime (by rewriting the owner pid) so
+    /// a long-running cell is not stolen mid-compute. Call at least
+    /// once per lease horizon while still working.
+    pub fn refresh(&self) -> io::Result<()> {
+        fs::write(&self.path, format!("{}\n", std::process::id()))
+    }
+
+    /// Releases the claim (same as dropping, spelled for call sites
+    /// where the release is the point).
+    pub fn release(self) {}
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// What one [`Store::merge_from`] run did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergeSummary {
+    /// Records copied into the destination.
+    pub copied: u64,
+    /// Records skipped because the destination already holds the
+    /// byte-identical record.
+    pub skipped: u64,
 }
 
 impl Store {
@@ -1258,9 +1357,68 @@ impl Store {
         Ok(issues)
     }
 
+    /// Steals a stale lock/claim file, TOCTOU-free: rename it to a
+    /// process-unique grave name (the rename is the atomic arbiter —
+    /// exactly one stealer gets the inode), verify the *renamed*
+    /// file's age, and only then delete it. Returns `true` when the
+    /// caller may retry creating the file (the suspect was stale and
+    /// is gone, or its holder released it meanwhile).
+    ///
+    /// A bare check-then-`remove_file` has a hole this closes: between
+    /// the staleness check and the delete, another process can steal
+    /// the stale file and recreate it fresh, and the late deleter then
+    /// removes the *fresh* holder's file — two holders run
+    /// concurrently. Rename preserves mtime, so a grave that measures
+    /// fresh can only be such a slipped-in fresh file; it is restored
+    /// via `hard_link`, which (unlike a rename back) refuses to
+    /// clobber a lock created in the meantime.
+    fn steal_stale(&self, path: &Path, horizon: Duration) -> bool {
+        let age_of = |p: &Path| {
+            fs::metadata(p)
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|m| m.elapsed().ok())
+        };
+        match age_of(path) {
+            Some(age) if age > horizon => {}
+            Some(_) => return false,
+            // Gone already: the holder released (or another stealer
+            // won); the ground is free, retry the create.
+            None => return true,
+        }
+        static GRAVE: AtomicU64 = AtomicU64::new(0);
+        let grave = self.root.join(TMP_DIR).join(format!(
+            "{}.steal-{}-{}",
+            path.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+            std::process::id(),
+            GRAVE.fetch_add(1, Ordering::Relaxed)
+        ));
+        if fs::rename(path, &grave).is_err() {
+            // Lost the steal race (or the holder released): either way
+            // the path's state changed under us — let the caller's
+            // retry observe the new state.
+            return true;
+        }
+        match age_of(&grave) {
+            Some(age) if age > horizon => {
+                let _ = fs::remove_file(&grave);
+                true
+            }
+            _ => {
+                // We moved a fresh holder's file. Put it back without
+                // clobbering anything created since.
+                let _ = fs::hard_link(&grave, path);
+                let _ = fs::remove_file(&grave);
+                false
+            }
+        }
+    }
+
     /// Takes the exclusive maintenance lock (used by [`Store::gc`]).
     /// Lock files older than ten minutes are assumed stale (a crashed
-    /// collector) and stolen.
+    /// collector) and stolen via [`Store::steal_stale`].
     pub fn lock_exclusive(&self) -> io::Result<StoreLock> {
         let path = self.root.join(GC_LOCK);
         for attempt in 0..2 {
@@ -1274,14 +1432,7 @@ impl Store {
                     return Ok(StoreLock { path });
                 }
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists && attempt == 0 => {
-                    let stale = fs::metadata(&path)
-                        .and_then(|m| m.modified())
-                        .ok()
-                        .and_then(|m| m.elapsed().ok())
-                        .is_some_and(|age| age > STALE_LOCK);
-                    if stale {
-                        let _ = fs::remove_file(&path);
-                    } else {
+                    if !self.steal_stale(&path, STALE_LOCK) {
                         return Err(io::Error::new(
                             io::ErrorKind::WouldBlock,
                             format!("{} is held by another maintainer", path.display()),
@@ -1297,11 +1448,139 @@ impl Store {
         ))
     }
 
+    /// The cell-lease horizon: claim files older than this mark a dead
+    /// worker and are stolen. `KHAOS_LEASE_MS` overrides the
+    /// two-minute default (tests and CI smokes use sub-second
+    /// horizons); read per call, so one process can host workers with
+    /// different horizons.
+    pub fn lease_horizon() -> Duration {
+        std::env::var("KHAOS_LEASE_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(DEFAULT_LEASE)
+    }
+
+    /// Tries to claim the report cell `key` by creating its
+    /// `rep/<addr>.lease` claim file with `O_EXCL`. `Ok(None)` when
+    /// another live worker holds the claim; a claim older than
+    /// `horizon` is stolen ([`Store::steal_stale`]) and re-acquired.
+    /// The returned [`Lease`] releases on drop; a worker that dies
+    /// holding it leaves the claim file for the next stealer.
+    pub fn try_lease_report(
+        &self,
+        key: &ReportKey,
+        horizon: Duration,
+    ) -> io::Result<Option<Lease>> {
+        let kb = format::key_bytes_rep(key.pipeline, key.seed, key.subject);
+        let path = self
+            .root
+            .join("rep")
+            .join(format!("{}.{LEASE_EXT}", format::address(KIND_REPORT, &kb)));
+        let obs = store_obs();
+        for attempt in 0..2 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let _ = writeln!(f, "{}", std::process::id());
+                    obs.lease_acquired.inc();
+                    if attempt > 0 {
+                        obs.lease_stolen.inc();
+                    }
+                    return Ok(Some(Lease {
+                        path,
+                        stolen: attempt > 0,
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if attempt == 0 && self.steal_stale(&path, horizon) {
+                        continue;
+                    }
+                    obs.lease_contended.inc();
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        obs.lease_contended.inc();
+        Ok(None)
+    }
+
+    /// Physically copies every record of `src` into this store —
+    /// verify-then-copy. The whole source is integrity-checked first
+    /// ([`Store::verify`]) and the merge **refuses checksum damage**,
+    /// naming the first damaged file; it likewise refuses a record
+    /// whose destination already exists with *different* bytes (grid
+    /// cells are deterministic, so a same-address content conflict
+    /// means damage or a foreign record, never legitimate divergence).
+    /// Byte-identical records already present are skipped. Claim files
+    /// (`.lease`) are coordination state and are never copied.
+    pub fn merge_from(&self, src: &Store) -> io::Result<MergeSummary> {
+        let _span = khaos_obs::span("store:merge");
+        let issues = src.verify()?;
+        if let Some(first) = issues.first() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "refusing to merge {}: {}: {} ({} issue(s) in total — repair or delete \
+                     the damaged records and re-run)",
+                    src.root.display(),
+                    first.file,
+                    first.reason,
+                    issues.len()
+                ),
+            ));
+        }
+        let mut summary = MergeSummary::default();
+        let obs = store_obs();
+        for (section, _) in SECTIONS {
+            for (path, _) in src.section_files(section)? {
+                let bytes = fs::read(&path)?;
+                let name = path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                let dest = self.root.join(section).join(&name);
+                match fs::read(&dest) {
+                    Ok(have) if have == bytes => {
+                        summary.skipped += 1;
+                        obs.merge_skipped.inc();
+                    }
+                    Ok(_) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "refusing to merge {}: {section}/{name} already exists in {} \
+                                 with different content — same content address, different \
+                                 bytes indicates damage or a foreign record",
+                                src.root.display(),
+                                self.root.display()
+                            ),
+                        ));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                        self.write_atomic(&dest, &bytes)?;
+                        summary.copied += 1;
+                        obs.merge_copied.inc();
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(summary)
+    }
+
     /// Shrinks the store to at most `max_bytes` of records by deleting
     /// the **oldest** records first (modification time, ties broken by
     /// file name for determinism). Also sweeps staging files older than
     /// the stale-lock horizon. Holds the exclusive lock for the whole
-    /// collection.
+    /// collection. Claim files (`.lease`) are excluded from the
+    /// accounting entirely: they neither count against `max_bytes` nor
+    /// get collected — stealing a dead worker's claim is the lease
+    /// horizon's job, not the collector's.
     pub fn gc(&self, max_bytes: u64) -> io::Result<GcSummary> {
         let _span = khaos_obs::span("store:gc");
         let _lock = self.lock_exclusive()?;
@@ -1725,6 +2004,262 @@ mod tests {
         let err = store.cat(&stem).unwrap_err();
         assert!(err.to_string().contains("shape"), "{err}");
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Ages a file by rewinding its mtime `secs` into the past.
+    fn rewind_mtime(path: &Path, secs: u64) {
+        let t = SystemTime::now() - Duration::from_secs(secs);
+        let f = fs::OpenOptions::new().write(true).open(path).unwrap();
+        f.set_modified(t).unwrap();
+    }
+
+    #[test]
+    fn stale_lock_is_stolen_fresh_lock_is_not() {
+        let dir = scratch("steal");
+        let store = Store::open(&dir).unwrap();
+        // A fresh foreign lock blocks and survives the attempt intact.
+        fs::write(dir.join(GC_LOCK), "99999\n").unwrap();
+        assert_eq!(
+            store.lock_exclusive().unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+        assert_eq!(fs::read_to_string(dir.join(GC_LOCK)).unwrap(), "99999\n");
+        // Aged past the horizon it is stolen.
+        rewind_mtime(&dir.join(GC_LOCK), 601);
+        let lock = store.lock_exclusive().expect("stale lock stolen");
+        // The steal leaves no grave files behind.
+        assert_eq!(fs::read_dir(dir.join(TMP_DIR)).unwrap().count(), 0);
+        drop(lock);
+        assert!(!dir.join(GC_LOCK).exists(), "released on drop");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression for the stale-steal TOCTOU: with the old
+    /// check-then-`remove_file` steal, two thieves could both measure
+    /// the same stale lock, the slow one then deleting the fast one's
+    /// *fresh* replacement — two holders at once. The rename-based
+    /// steal makes the rename the arbiter: across many racing rounds,
+    /// at most one thread may ever hold the lock at a time.
+    #[test]
+    fn concurrent_stale_steal_never_yields_two_holders() {
+        use std::sync::atomic::AtomicU32;
+        use std::sync::Barrier;
+        let dir = scratch("steal-race");
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let holders = Arc::new(AtomicU32::new(0));
+        for _round in 0..50 {
+            fs::write(dir.join(GC_LOCK), "dead\n").unwrap();
+            rewind_mtime(&dir.join(GC_LOCK), 601);
+            let barrier = Arc::new(Barrier::new(2));
+            let threads: Vec<_> = (0..2)
+                .map(|_| {
+                    let (store, barrier, holders) =
+                        (store.clone(), barrier.clone(), holders.clone());
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        if let Ok(lock) = store.lock_exclusive() {
+                            let live = holders.fetch_add(1, Ordering::SeqCst) + 1;
+                            assert_eq!(live, 1, "two concurrent lock holders");
+                            // Hold long enough for the loser's steal
+                            // attempt to observe the fresh lock.
+                            std::thread::sleep(Duration::from_millis(2));
+                            holders.fetch_sub(1, Ordering::SeqCst);
+                            drop(lock);
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+            let _ = fs::remove_file(dir.join(GC_LOCK));
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lease_claim_release_steal_cycle() {
+        let dir = scratch("lease");
+        let store = Store::open(&dir).unwrap();
+        let key = ReportKey {
+            pipeline: 0xF1,
+            seed: 0xC60,
+            subject: "fig10/demo/FuFiAll/SAFE",
+        };
+        let horizon = Duration::from_secs(60);
+        let lease = store
+            .try_lease_report(&key, horizon)
+            .unwrap()
+            .expect("free cell claims");
+        assert!(!lease.was_stolen());
+        // A second worker is refused while the claim is live.
+        assert!(store.try_lease_report(&key, horizon).unwrap().is_none());
+        // A different cell is independent.
+        let other = ReportKey {
+            subject: "fig10/demo/FuFiAll/Asm2Vec",
+            ..key
+        };
+        assert!(store.try_lease_report(&other, horizon).unwrap().is_some());
+        // Release → claimable again.
+        let path = lease.path().to_path_buf();
+        lease.release();
+        assert!(!path.exists(), "claim file removed on release");
+        let lease = store.try_lease_report(&key, horizon).unwrap().unwrap();
+        // A dead worker's claim (stale mtime) is stolen; a live one's
+        // is not.
+        assert!(store.try_lease_report(&key, horizon).unwrap().is_none());
+        rewind_mtime(lease.path(), 61);
+        std::mem::forget(lease); // simulate the worker dying mid-cell
+        let stolen = store
+            .try_lease_report(&key, horizon)
+            .unwrap()
+            .expect("stale claim stolen");
+        assert!(stolen.was_stolen());
+        // refresh() re-stamps the mtime so long cells are not stolen.
+        rewind_mtime(stolen.path(), 61);
+        stolen.refresh().unwrap();
+        assert!(store.try_lease_report(&key, horizon).unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn claim_files_are_invisible_to_stats_verify_and_gc() {
+        let dir = scratch("lease-gc");
+        let store = Store::open(&dir).unwrap();
+        let report = StoredReport {
+            spec: "fission".into(),
+            pipeline: 1,
+            seed: 2,
+            subject: "cell".into(),
+            total_micros: 1,
+            passes: vec![],
+            metrics: vec![("m".into(), 1.0)],
+        };
+        store.put_report(&report).unwrap();
+        let lease = store
+            .try_lease_report(
+                &ReportKey {
+                    pipeline: 9,
+                    seed: 9,
+                    subject: "other-cell",
+                },
+                Duration::from_secs(60),
+            )
+            .unwrap()
+            .unwrap();
+        std::mem::forget(lease); // dangling claim from a "dead" worker
+        let stats = store.stats().unwrap();
+        assert_eq!(stats.reports.records, 1, "claim files are not records");
+        assert!(store.verify().unwrap().is_empty(), "verify ignores claims");
+        // gc to zero deletes every record but never touches the claim.
+        let summary = store.gc(0).unwrap();
+        assert_eq!(summary.scanned, 1);
+        assert_eq!(summary.deleted, 1);
+        let leases: Vec<_> = fs::read_dir(dir.join("rep"))
+            .unwrap()
+            .filter_map(|e| e.unwrap().path().extension().map(|x| x.to_os_string()))
+            .collect();
+        assert_eq!(leases, vec![std::ffi::OsString::from(LEASE_EXT)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn merge_copies_skips_and_refuses() {
+        let (a, b, dst) = (scratch("mrg-a"), scratch("mrg-b"), scratch("mrg-d"));
+        let src_a = Store::open(&a).unwrap();
+        let src_b = Store::open(&b).unwrap();
+        let dest = Store::open(&dst).unwrap();
+        let cell = |subject: &str, value: f64| StoredReport {
+            spec: "fission".into(),
+            pipeline: 0xF1,
+            seed: 0xC60,
+            subject: subject.into(),
+            total_micros: 7,
+            passes: vec![],
+            metrics: vec![("escape@1".into(), value)],
+        };
+        src_a.put_report(&cell("cell/0", 0.25)).unwrap();
+        src_a.put_report(&cell("cell/1", 0.5)).unwrap();
+        src_b.put_report(&cell("cell/1", 0.5)).unwrap(); // overlap, same bytes
+        src_b.put_report(&cell("cell/2", 0.75)).unwrap();
+        src_b
+            .put_embeddings(
+                &EmbKey {
+                    tool: "t",
+                    config: 1,
+                    binary: 2,
+                },
+                table(2, 2, 1).view(),
+            )
+            .unwrap();
+        // A dangling claim in a source must not travel.
+        let lease = src_a
+            .try_lease_report(
+                &ReportKey {
+                    pipeline: 0xF1,
+                    seed: 0xC60,
+                    subject: "cell/9",
+                },
+                Duration::from_secs(60),
+            )
+            .unwrap()
+            .unwrap();
+        std::mem::forget(lease);
+
+        assert_eq!(
+            dest.merge_from(&src_a).unwrap(),
+            MergeSummary {
+                copied: 2,
+                skipped: 0
+            }
+        );
+        assert_eq!(
+            dest.merge_from(&src_b).unwrap(),
+            MergeSummary {
+                copied: 2,
+                skipped: 1
+            }
+        );
+        // The union arrived bit-identically and no claim travelled.
+        assert_eq!(dest.reports().unwrap().len(), 3);
+        for (path, _) in src_a.section_files("rep").unwrap() {
+            let dst_path = dst.join("rep").join(path.file_name().unwrap());
+            assert_eq!(fs::read(&path).unwrap(), fs::read(&dst_path).unwrap());
+        }
+        assert!(fs::read_dir(dst.join("rep")).unwrap().all(|e| e
+            .unwrap()
+            .path()
+            .extension()
+            .unwrap()
+            == "khs"));
+        // Idempotent: a re-merge copies nothing.
+        assert_eq!(
+            dest.merge_from(&src_b).unwrap(),
+            MergeSummary {
+                copied: 0,
+                skipped: 3
+            }
+        );
+
+        // Refusal 1: checksum damage in the source, named precisely.
+        let (victim, _) = src_b.section_files("emb").unwrap().pop().unwrap();
+        let mut bytes = fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&victim, &bytes).unwrap();
+        let err = dest.merge_from(&src_b).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "{err}");
+        assert!(err.to_string().contains("emb/"), "{err}");
+
+        // Refusal 2: same address, different content.
+        src_a.put_report(&cell("cell/0", 0.125)).unwrap(); // diverged
+        let err = dest.merge_from(&src_a).unwrap_err();
+        assert!(err.to_string().contains("different content"), "{err}");
+
+        for d in [a, b, dst] {
+            fs::remove_dir_all(&d).unwrap();
+        }
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //!    single-process run, and a store missing a shard is refused with a
 //!    precise listing of every missing cell.
 
-use khaos_bench::experiments::{fig10_cells, fig10_expected, fig10_merge, Fig10Cell, Scope};
+use khaos_bench::experiments::{
+    fig10_cells, fig10_expected, fig10_merge, fig7_cells, fig7_expected, fig7_merge, fig9_cells,
+    fig9_expected, fig9_merge, table2_cells, table2_expected, table2_merge, Fig10Cell, Scope,
+};
 use khaos_bench::ShardSpec;
 use khaos_store::Store;
 use proptest::prelude::*;
@@ -176,4 +179,123 @@ fn merge_refuses_an_incomplete_grid_listing_every_missing_cell() {
     assert_eq!(merged.len(), expected.len());
     std::fs::remove_dir_all(&dir).unwrap();
     std::fs::remove_dir_all(&dir2).unwrap();
+}
+
+/// Figure 7 merge fidelity: a two-shard run reassembles to the
+/// single-process grid with bit-identical overheads, and a lone shard
+/// is refused.
+#[test]
+fn fig7_shards_merge_bit_identically() {
+    let dir = scratch("fig7");
+    let store = Store::open(&dir).expect("store opens");
+    let reference = fig7_cells(Scope::Quick, ShardSpec::FULL, None);
+    assert_eq!(reference.len(), fig7_expected(Scope::Quick).len());
+
+    let a = fig7_cells(Scope::Quick, ShardSpec::new(0, 2).unwrap(), Some(&store));
+    assert!(
+        fig7_merge(Scope::Quick, &[&store]).is_err(),
+        "half a grid must not merge"
+    );
+    let b = fig7_cells(Scope::Quick, ShardSpec::new(1, 2).unwrap(), Some(&store));
+    assert_eq!(a.len() + b.len(), reference.len());
+
+    let merged = fig7_merge(Scope::Quick, &[&store]).expect("union of both shards is complete");
+    assert_eq!(merged.len(), reference.len());
+    for (m, r) in merged.iter().zip(&reference) {
+        assert_eq!(
+            (m.suite, &m.program, &m.config, m.pipeline),
+            (r.suite, &r.program, &r.config, r.pipeline),
+            "fig7 cell identity/order"
+        );
+        assert_eq!(
+            m.overhead.to_bits(),
+            r.overhead.to_bits(),
+            "fig7 {}/{}/{} overhead bits",
+            m.suite,
+            m.program,
+            m.config
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Figure 9 merge fidelity: every BinTuner/Khaos similarity column and
+/// the BinTuner overhead survive the store round-trip bit for bit.
+#[test]
+fn fig9_shards_merge_bit_identically() {
+    let dir = scratch("fig9");
+    let store = Store::open(&dir).expect("store opens");
+    let reference = fig9_cells(Scope::Quick, ShardSpec::FULL, None);
+    assert_eq!(reference.len(), fig9_expected(Scope::Quick).len());
+
+    fig9_cells(Scope::Quick, ShardSpec::new(0, 2).unwrap(), Some(&store));
+    fig9_cells(Scope::Quick, ShardSpec::new(1, 2).unwrap(), Some(&store));
+
+    let merged = fig9_merge(Scope::Quick, &[&store]).expect("union of both shards is complete");
+    assert_eq!(merged.len(), reference.len());
+    for (m, r) in merged.iter().zip(&reference) {
+        assert_eq!(
+            (&m.program, m.pipeline),
+            (&r.program, r.pipeline),
+            "fig9 cell identity/order"
+        );
+        for (a, b) in m.bt.iter().zip(&r.bt).chain(m.kh.iter().zip(&r.kh)) {
+            assert_eq!(a.to_bits(), b.to_bits(), "fig9 {} similarity bits", m.program);
+        }
+        assert_eq!(
+            m.bt_overhead.to_bits(),
+            r.bt_overhead.to_bits(),
+            "fig9 {} overhead bits",
+            m.program
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Table 2 merge fidelity: the raw fission/fusion counters round-trip
+/// exactly (including the f64 `reduced_ratio_sum`, bit for bit), so
+/// the per-suite aggregates a merged table derives are the
+/// single-process numbers.
+#[test]
+fn table2_shards_merge_bit_identically() {
+    let dir = scratch("table2");
+    let store = Store::open(&dir).expect("store opens");
+    let reference = table2_cells(Scope::Quick, ShardSpec::FULL, None);
+    assert_eq!(reference.len(), table2_expected(Scope::Quick).len());
+
+    table2_cells(Scope::Quick, ShardSpec::new(0, 2).unwrap(), Some(&store));
+    table2_cells(Scope::Quick, ShardSpec::new(1, 2).unwrap(), Some(&store));
+
+    let merged = table2_merge(Scope::Quick, &[&store]).expect("union of both shards is complete");
+    assert_eq!(merged.len(), reference.len());
+    for (m, r) in merged.iter().zip(&reference) {
+        assert_eq!(
+            (m.suite, &m.program, m.pipeline),
+            (r.suite, &r.program, r.pipeline),
+            "table2 cell identity/order"
+        );
+        assert_eq!(m.fusion, r.fusion, "table2 {} fusion counters", m.program);
+        assert_eq!(
+            m.fission.reduced_ratio_sum.to_bits(),
+            r.fission.reduced_ratio_sum.to_bits(),
+            "table2 {} reduced_ratio_sum bits",
+            m.program
+        );
+        let strip = |s: &khaos_core::FissionStats| {
+            (
+                s.ori_funcs,
+                s.fissioned_funcs,
+                s.sep_funcs,
+                s.sep_blocks,
+                s.params_reduced,
+            )
+        };
+        assert_eq!(
+            strip(&m.fission),
+            strip(&r.fission),
+            "table2 {} fission counters",
+            m.program
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
 }
